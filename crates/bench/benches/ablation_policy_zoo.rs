@@ -1,0 +1,27 @@
+//! Extension ablation bench: the full policy zoo (LNC-RA, LNC-R, LRU, LRU-K,
+//! LFU, LCS, GreedyDual-Size) and the optimality-gap comparison against the
+//! static LNC* oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::{run_policy, OptimalityExperiment, PolicyKind, PolicyZooExperiment, Workload};
+
+fn bench_ablation(c: &mut Criterion) {
+    let zoo = PolicyZooExperiment::run(report_scale());
+    println!("\n{}", zoo.render());
+    let optimality = OptimalityExperiment::run(report_scale(), &[0.01, 0.05]);
+    println!("{}", optimality.render());
+
+    let workload = Workload::set_query(measure_scale());
+    let mut group = c.benchmark_group("ablation_policy_zoo");
+    group.sample_size(10);
+    for kind in [PolicyKind::Lfu, PolicyKind::Lcs, PolicyKind::GreedyDualSize] {
+        group.bench_function(format!("replay_{}", kind.label()), |b| {
+            b.iter(|| run_policy(&workload.trace, kind, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

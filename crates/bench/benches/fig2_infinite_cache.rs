@@ -1,0 +1,27 @@
+//! Figure 2 bench: infinite-cache CSR/HR and working-set size for both
+//! benchmark traces, plus a measurement of the infinite-cache replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::{run_infinite, ExperimentScale, InfiniteCacheExperiment, Workload};
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the figure table once.
+    let experiment = InfiniteCacheExperiment::run(report_scale());
+    println!("\n{}", experiment.render());
+
+    // Measure infinite-cache replay of the TPC-D trace.
+    let workload = Workload::tpcd(measure_scale());
+    let mut group = c.benchmark_group("fig2_infinite_cache");
+    group.sample_size(10);
+    group.bench_function("replay_tpcd_infinite", |b| {
+        b.iter(|| run_infinite(&workload.trace))
+    });
+    group.bench_function("experiment_quick", |b| {
+        b.iter(|| InfiniteCacheExperiment::run(ExperimentScale::quick(500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

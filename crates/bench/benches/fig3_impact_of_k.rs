@@ -1,0 +1,27 @@
+//! Figure 3 bench: CSR of LNC-RA and LRU-K as a function of the reference
+//! window K (cache = 1 % of the database).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::{run_policy, ImpactOfKExperiment, PolicyKind, Workload};
+
+fn bench_fig3(c: &mut Criterion) {
+    let experiment = ImpactOfKExperiment::run(report_scale());
+    println!("\n{}", experiment.render());
+
+    let workload = Workload::tpcd(measure_scale());
+    let mut group = c.benchmark_group("fig3_impact_of_k");
+    group.sample_size(10);
+    for k in [1usize, 4] {
+        group.bench_function(format!("lnc_ra_k{k}"), |b| {
+            b.iter(|| run_policy(&workload.trace, PolicyKind::LncRa { k }, 0.01))
+        });
+        group.bench_function(format!("lru_k{k}"), |b| {
+            b.iter(|| run_policy(&workload.trace, PolicyKind::LruK { k }, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 4 bench: cost savings ratio vs cache size for LNC-RA, LNC-R and
+//! LRU on both benchmark traces, plus the §4.2 improvement-factor summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::experiments::cost_savings::QUICK_CACHE_FRACTIONS;
+use watchman_sim::{run_policy, CostSavingsExperiment, PolicyKind, Workload};
+
+fn bench_fig4(c: &mut Criterion) {
+    let experiment =
+        CostSavingsExperiment::run_with_fractions(report_scale(), &QUICK_CACHE_FRACTIONS);
+    println!("\n{}", experiment.render_cost_savings());
+    println!("{}", experiment.render_summary());
+
+    let workload = Workload::tpcd(measure_scale());
+    let mut group = c.benchmark_group("fig4_cost_savings");
+    group.sample_size(10);
+    for kind in PolicyKind::paper_trio() {
+        group.bench_function(format!("replay_{}", kind.label()), |b| {
+            b.iter(|| run_policy(&workload.trace, kind, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5 bench: hit ratio vs cache size for LNC-RA, LNC-R and LRU on both
+//! benchmark traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::experiments::cost_savings::QUICK_CACHE_FRACTIONS;
+use watchman_sim::{run_policy, CostSavingsExperiment, PolicyKind, Workload};
+
+fn bench_fig5(c: &mut Criterion) {
+    let experiment =
+        CostSavingsExperiment::run_with_fractions(report_scale(), &QUICK_CACHE_FRACTIONS);
+    println!("\n{}", experiment.render_hit_ratio());
+
+    // Measure the Set Query replay (the other trace is measured by fig4).
+    let workload = Workload::set_query(measure_scale());
+    let mut group = c.benchmark_group("fig5_hit_ratio");
+    group.sample_size(10);
+    for kind in PolicyKind::paper_trio() {
+        group.bench_function(format!("replay_sq_{}", kind.label()), |b| {
+            b.iter(|| run_policy(&workload.trace, kind, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

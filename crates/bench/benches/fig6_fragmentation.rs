@@ -1,0 +1,32 @@
+//! Figure 6 bench: external cache fragmentation (fraction of cache space in
+//! use) for LNC-RA, LNC-R and LRU across cache sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_bench::{measure_scale, report_scale};
+use watchman_sim::{replay_trace, ExperimentScale, FragmentationExperiment, PolicyKind, Workload};
+
+fn bench_fig6(c: &mut Criterion) {
+    let experiment =
+        FragmentationExperiment::run_with_fractions(report_scale(), &[0.005, 0.01, 0.03, 0.05]);
+    println!("\n{}", experiment.render());
+
+    let workload = Workload::set_query(measure_scale());
+    let capacity = (workload.database_bytes() as f64 * 0.01) as u64;
+    let mut group = c.benchmark_group("fig6_fragmentation");
+    group.sample_size(10);
+    group.bench_function("replay_with_occupancy_sampling", |b| {
+        b.iter(|| {
+            let mut cache = PolicyKind::LNC_RA.build(capacity);
+            replay_trace(&workload.trace, cache.as_mut(), 0.01)
+        })
+    });
+    group.bench_function("experiment_quick", |b| {
+        b.iter(|| {
+            FragmentationExperiment::run_with_fractions(ExperimentScale::quick(400), &[0.01])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

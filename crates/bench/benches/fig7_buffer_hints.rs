@@ -1,0 +1,36 @@
+//! Figure 7 bench: buffer-manager hit ratio as a function of the
+//! p₀-redundancy threshold used by WATCHMAN's hints.
+//!
+//! The printed table uses a reduced trace (the full experiment replays tens
+//! of millions of page references; run `cargo run --release -p watchman-sim
+//! --bin fig7_buffer_hints` for paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use watchman_sim::experiments::buffer_hints::{BufferHintConfig, BufferHintExperiment};
+use watchman_sim::ExperimentScale;
+
+fn bench_fig7(c: &mut Criterion) {
+    let report_config = BufferHintConfig {
+        buffer_bytes: 4 * 1024 * 1024,
+        cache_bytes: 4 * 1024 * 1024,
+        ..BufferHintConfig::default()
+    };
+    let experiment =
+        BufferHintExperiment::run_with(ExperimentScale::quick(1_200), report_config);
+    println!("\n{}", experiment.render());
+
+    let measure_config = BufferHintConfig {
+        buffer_bytes: 2 * 1024 * 1024,
+        cache_bytes: 2 * 1024 * 1024,
+        thresholds: [1.0, 0.8, 0.6, 0.4, 0.2, 0.0],
+    };
+    let mut group = c.benchmark_group("fig7_buffer_hints");
+    group.sample_size(10);
+    group.bench_function("sweep_200_queries", |b| {
+        b.iter(|| BufferHintExperiment::run_with(ExperimentScale::quick(200), measure_config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

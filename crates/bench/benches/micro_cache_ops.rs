@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the cache-manager hot paths: lookups (hit and miss),
+//! admission with eviction, LNC-R victim selection pressure, and the
+//! concurrent shared-cache wrapper.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use watchman_core::prelude::*;
+
+fn prefilled_lnc(entries: usize, capacity: u64) -> LncCache<SizedPayload> {
+    let mut cache = LncCache::lnc_ra(capacity);
+    for i in 0..entries {
+        let key = QueryKey::new(format!("warm-query-{i}"));
+        let now = Timestamp::from_micros(i as u64 + 1);
+        cache.insert(
+            key,
+            SizedPayload::new(512),
+            ExecutionCost::from_blocks(1_000),
+            now,
+        );
+    }
+    cache
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_lookup");
+    let mut cache = prefilled_lnc(1_000, 10 * 1024 * 1024);
+    let hit_key = QueryKey::new("warm-query-500".to_owned());
+    let miss_key = QueryKey::new("never-seen".to_owned());
+    let mut tick = 1_000_000u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            tick += 1;
+            cache.get(&hit_key, Timestamp::from_micros(tick)).is_some()
+        })
+    });
+    group.bench_function("get_miss", |b| {
+        b.iter(|| {
+            tick += 1;
+            cache.get(&miss_key, Timestamp::from_micros(tick)).is_none()
+        })
+    });
+    group.finish();
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_admission");
+    group.sample_size(20);
+    // Insert into a full cache of 1 000 entries: every admission must run the
+    // LNC-R victim selection over the whole cache.
+    group.bench_function("insert_with_eviction_1000_entries", |b| {
+        let mut counter = 0u64;
+        b.iter_batched(
+            || prefilled_lnc(1_000, 1_000 * 512),
+            |mut cache| {
+                counter += 1;
+                let key = QueryKey::new(format!("newcomer-{counter}"));
+                cache.insert(
+                    key,
+                    SizedPayload::new(2_048),
+                    ExecutionCost::from_blocks(50_000),
+                    Timestamp::from_micros(10_000_000 + counter),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_key_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_key");
+    let raw = "SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice) \
+               FROM lineitem WHERE l_shipdate <= date '1998-12-01' GROUP BY l_returnflag";
+    group.bench_function("query_key_from_raw", |b| {
+        b.iter(|| QueryKey::from_raw_query(raw))
+    });
+    group.finish();
+}
+
+fn bench_shared_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_shared_cache");
+    let shared = SharedCache::new(prefilled_lnc(1_000, 10 * 1024 * 1024));
+    let key = QueryKey::new("warm-query-100".to_owned());
+    let mut tick = 2_000_000u64;
+    group.bench_function("shared_get_hit", |b| {
+        b.iter(|| {
+            tick += 1;
+            shared.get(&key, Timestamp::from_micros(tick))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookups,
+    bench_admission,
+    bench_key_hashing,
+    bench_shared_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Query reference sets and p₀-redundancy hints (paper §3).
+//!
+//! For the simulation of the WATCHMAN ↔ buffer-manager interaction, the
+//! buffer manager maintains with every buffered page its *query reference
+//! set*: the IDs of all queries that have referenced the page.  A page is
+//! **p-redundant** if at least a fraction `p` of the queries in its reference
+//! set currently have their retrieved sets cached by WATCHMAN — re-executing
+//! those queries is unnecessary, so the page itself is unlikely to be read
+//! again.  After caching a retrieved set, WATCHMAN sends the buffer manager a
+//! hint listing all pages that are p₀-redundant for a fixed threshold p₀; the
+//! buffer manager moves them to the end of its LRU chain.
+
+use std::collections::{HashMap, HashSet};
+
+use watchman_core::key::Signature;
+use watchman_warehouse::PageId;
+
+/// Tracks, for every page, the set of queries that referenced it.
+///
+/// `max_queries_per_page` bounds the per-page set; the paper notes that
+/// compression and sampling techniques can be used to keep this structure
+/// small, and a bounded set is the simplest such scheme (once the bound is
+/// reached, new queries are not recorded, which only makes redundancy
+/// estimates conservative).
+#[derive(Debug, Default)]
+pub struct QueryReferenceTracker {
+    per_page: HashMap<PageId, HashSet<Signature>>,
+    max_queries_per_page: usize,
+}
+
+impl QueryReferenceTracker {
+    /// Creates a tracker with the default per-page bound (64 queries).
+    pub fn new() -> Self {
+        Self::with_bound(64)
+    }
+
+    /// Creates a tracker that records at most `max_queries_per_page` distinct
+    /// queries per page.
+    pub fn with_bound(max_queries_per_page: usize) -> Self {
+        QueryReferenceTracker {
+            per_page: HashMap::new(),
+            max_queries_per_page: max_queries_per_page.max(1),
+        }
+    }
+
+    /// Records that `query` referenced `page`.
+    pub fn record(&mut self, page: PageId, query: Signature) {
+        let set = self.per_page.entry(page).or_default();
+        if set.len() < self.max_queries_per_page {
+            set.insert(query);
+        }
+    }
+
+    /// Records that `query` referenced every page in `pages`.
+    pub fn record_all(&mut self, pages: &[PageId], query: Signature) {
+        for &page in pages {
+            self.record(page, query);
+        }
+    }
+
+    /// The query reference set of a page (empty if the page was never seen).
+    pub fn reference_set(&self, page: PageId) -> Option<&HashSet<Signature>> {
+        self.per_page.get(&page)
+    }
+
+    /// Number of tracked pages.
+    pub fn tracked_pages(&self) -> usize {
+        self.per_page.len()
+    }
+
+    /// The fraction of `page`'s query reference set whose retrieved sets are
+    /// currently cached (`is_cached` decides membership).  Returns 0 for an
+    /// untracked page.
+    pub fn redundancy<F>(&self, page: PageId, is_cached: F) -> f64
+    where
+        F: Fn(Signature) -> bool,
+    {
+        match self.per_page.get(&page) {
+            None => 0.0,
+            Some(set) if set.is_empty() => 0.0,
+            Some(set) => {
+                let cached = set.iter().filter(|&&sig| is_cached(sig)).count();
+                cached as f64 / set.len() as f64
+            }
+        }
+    }
+
+    /// Returns the subset of `pages` that are p₀-redundant: pages whose
+    /// redundancy is at least `threshold` (`p₀ ∈ [0, 1]`).
+    ///
+    /// This is the hint WATCHMAN sends to the buffer manager after caching a
+    /// retrieved set.  With `threshold = 0` every tracked page qualifies
+    /// (degenerating the buffer's LRU into MRU, as the paper's Figure 7
+    /// shows); with `threshold = 1` only pages used exclusively by cached
+    /// queries qualify.
+    pub fn redundant_pages<F>(&self, pages: &[PageId], threshold: f64, is_cached: F) -> Vec<PageId>
+    where
+        F: Fn(Signature) -> bool,
+    {
+        let threshold = threshold.clamp(0.0, 1.0);
+        pages
+            .iter()
+            .copied()
+            .filter(|&page| {
+                self.per_page.contains_key(&page)
+                    && self.redundancy(page, &is_cached) >= threshold
+            })
+            .collect()
+    }
+
+    /// Forgets all reference sets.
+    pub fn clear(&mut self) {
+        self.per_page.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchman_warehouse::RelationId;
+
+    fn page(p: u32) -> PageId {
+        PageId::new(RelationId(0), p)
+    }
+
+    fn sig(n: u64) -> Signature {
+        Signature(n)
+    }
+
+    #[test]
+    fn records_and_reports_reference_sets() {
+        let mut tracker = QueryReferenceTracker::new();
+        tracker.record(page(1), sig(10));
+        tracker.record(page(1), sig(20));
+        tracker.record(page(2), sig(10));
+        assert_eq!(tracker.reference_set(page(1)).unwrap().len(), 2);
+        assert_eq!(tracker.reference_set(page(2)).unwrap().len(), 1);
+        assert!(tracker.reference_set(page(3)).is_none());
+        assert_eq!(tracker.tracked_pages(), 2);
+    }
+
+    #[test]
+    fn duplicate_references_are_not_double_counted() {
+        let mut tracker = QueryReferenceTracker::new();
+        tracker.record(page(1), sig(10));
+        tracker.record(page(1), sig(10));
+        assert_eq!(tracker.reference_set(page(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn redundancy_is_the_cached_fraction() {
+        let mut tracker = QueryReferenceTracker::new();
+        tracker.record_all(&[page(1)], sig(1));
+        tracker.record_all(&[page(1)], sig(2));
+        tracker.record_all(&[page(1)], sig(3));
+        tracker.record_all(&[page(1)], sig(4));
+        // 2 of the 4 referencing queries are cached → 50 % redundant.
+        let cached: HashSet<Signature> = [sig(1), sig(2)].into_iter().collect();
+        let redundancy = tracker.redundancy(page(1), |s| cached.contains(&s));
+        assert!((redundancy - 0.5).abs() < 1e-12);
+        assert_eq!(tracker.redundancy(page(9), |_| true), 0.0);
+    }
+
+    #[test]
+    fn redundant_pages_filters_by_threshold() {
+        let mut tracker = QueryReferenceTracker::new();
+        // Page 1: only query 1 (cached) → 100 % redundant.
+        tracker.record(page(1), sig(1));
+        // Page 2: queries 1 (cached) and 2 (not cached) → 50 %.
+        tracker.record(page(2), sig(1));
+        tracker.record(page(2), sig(2));
+        // Page 3: only query 2 → 0 %.
+        tracker.record(page(3), sig(2));
+        let cached: HashSet<Signature> = [sig(1)].into_iter().collect();
+        let is_cached = |s: Signature| cached.contains(&s);
+        let pages = [page(1), page(2), page(3), page(4)];
+        assert_eq!(tracker.redundant_pages(&pages, 1.0, is_cached), vec![page(1)]);
+        assert_eq!(
+            tracker.redundant_pages(&pages, 0.6, is_cached),
+            vec![page(1)]
+        );
+        assert_eq!(
+            tracker.redundant_pages(&pages, 0.5, is_cached),
+            vec![page(1), page(2)]
+        );
+        // Threshold 0: every *tracked* page qualifies (page 4 was never seen).
+        assert_eq!(
+            tracker.redundant_pages(&pages, 0.0, is_cached),
+            vec![page(1), page(2), page(3)]
+        );
+    }
+
+    #[test]
+    fn per_page_bound_limits_set_growth() {
+        let mut tracker = QueryReferenceTracker::with_bound(2);
+        for q in 0..10 {
+            tracker.record(page(1), sig(q));
+        }
+        assert_eq!(tracker.reference_set(page(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut tracker = QueryReferenceTracker::new();
+        tracker.record(page(1), sig(1));
+        tracker.clear();
+        assert_eq!(tracker.tracked_pages(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # watchman-buffer
+//!
+//! The page-level buffer manager used to study the interaction between
+//! WATCHMAN and the DBMS buffer pool (paper §3 and Figure 7).
+//!
+//! * [`pool::BufferPool`] — a fixed-capacity LRU page buffer with an
+//!   additional *demote* operation that moves pages to the cold end of the
+//!   LRU chain;
+//! * [`hints::QueryReferenceTracker`] — per-page query reference sets and the
+//!   p₀-redundancy computation that decides which pages WATCHMAN's hints
+//!   name.
+//!
+//! ```
+//! use watchman_buffer::{BufferPool, QueryReferenceTracker};
+//! use watchman_core::key::Signature;
+//! use watchman_warehouse::{PageId, RelationId};
+//!
+//! let mut pool = BufferPool::new(128);
+//! let mut tracker = QueryReferenceTracker::new();
+//! let page = PageId::new(RelationId(0), 7);
+//!
+//! pool.access(page);
+//! tracker.record(page, Signature(42));
+//!
+//! // Query 42's retrieved set just got cached by WATCHMAN: demote the pages
+//! // that only it uses.
+//! let hint = tracker.redundant_pages(&[page], 0.6, |sig| sig == Signature(42));
+//! pool.demote(&hint);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod hints;
+pub mod pool;
+
+pub use hints::QueryReferenceTracker;
+pub use pool::{BufferPool, BufferStats};

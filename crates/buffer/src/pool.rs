@@ -1,0 +1,257 @@
+//! A page-level LRU buffer pool with support for WATCHMAN hints.
+//!
+//! The buffer manager simulated in paper §3 implements plain LRU page
+//! replacement, with one extension: upon receiving a hint from WATCHMAN it
+//! moves the named pages to the *end* of the LRU chain (the next victims),
+//! because those pages are mostly used by queries whose retrieved sets are
+//! already cached and are therefore unlikely to be needed again soon.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use watchman_warehouse::{PageId, PAGE_SIZE_BYTES};
+
+/// Buffer-pool access statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Total page references.
+    pub references: u64,
+    /// References satisfied from the pool.
+    pub hits: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Pages demoted to the cold end of the LRU chain by hints.
+    pub demotions: u64,
+}
+
+impl BufferStats {
+    /// The buffer hit ratio (zero when no reference has been made).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.references as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU page buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity_pages: usize,
+    /// page → its position key in `order`.
+    resident: HashMap<PageId, u64>,
+    /// position key → page; iteration order = eviction order (oldest first).
+    order: BTreeMap<u64, PageId>,
+    /// Monotonically increasing key for normal (hot) insertions.
+    next_hot: u64,
+    /// Monotonically decreasing key for demoted (cold) pages; always smaller
+    /// than every hot key, so demoted pages are evicted first.
+    next_cold: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool that can hold `capacity_pages` pages.
+    pub fn new(capacity_pages: usize) -> Self {
+        BufferPool {
+            capacity_pages,
+            resident: HashMap::with_capacity(capacity_pages),
+            order: BTreeMap::new(),
+            next_hot: u64::MAX / 2,
+            next_cold: u64::MAX / 2 - 1,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Creates a pool sized in bytes (rounded down to whole pages).
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self::new((bytes / PAGE_SIZE_BYTES) as usize)
+    }
+
+    /// The pool capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether a page is currently buffered.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    /// References a page: a hit refreshes its recency, a miss faults it in,
+    /// evicting the least recently used page if the pool is full.
+    ///
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, page: PageId) -> bool {
+        self.stats.references += 1;
+        if self.capacity_pages == 0 {
+            return false;
+        }
+        let hit = if let Some(&key) = self.resident.get(&page) {
+            self.order.remove(&key);
+            self.stats.hits += 1;
+            true
+        } else {
+            if self.resident.len() >= self.capacity_pages {
+                self.evict_one();
+            }
+            false
+        };
+        let key = self.next_hot;
+        self.next_hot += 1;
+        self.order.insert(key, page);
+        self.resident.insert(page, key);
+        hit
+    }
+
+    fn evict_one(&mut self) {
+        if let Some((&key, &victim)) = self.order.iter().next() {
+            self.order.remove(&key);
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Applies a WATCHMAN hint: every named page that is currently resident
+    /// is moved to the cold end of the LRU chain so it becomes the next
+    /// eviction victim.  Pages that are not resident are ignored.
+    ///
+    /// Returns the number of pages actually demoted.
+    pub fn demote(&mut self, pages: &[PageId]) -> usize {
+        let mut demoted = 0;
+        for &page in pages {
+            if let Some(&key) = self.resident.get(&page) {
+                self.order.remove(&key);
+                let cold_key = self.next_cold;
+                self.next_cold -= 1;
+                self.order.insert(cold_key, page);
+                self.resident.insert(page, cold_key);
+                demoted += 1;
+            }
+        }
+        self.stats.demotions += demoted as u64;
+        demoted
+    }
+
+    /// Empties the pool (statistics are preserved).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchman_warehouse::RelationId;
+
+    fn page(rel: u16, p: u32) -> PageId {
+        PageId::new(RelationId(rel), p)
+    }
+
+    #[test]
+    fn faults_and_hits_are_counted() {
+        let mut pool = BufferPool::new(2);
+        assert!(!pool.access(page(0, 1)));
+        assert!(!pool.access(page(0, 2)));
+        assert!(pool.access(page(0, 1)));
+        assert_eq!(pool.stats().references, 3);
+        assert_eq!(pool.stats().hits, 1);
+        assert!((pool.stats().hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pool.resident_pages(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut pool = BufferPool::new(2);
+        pool.access(page(0, 1));
+        pool.access(page(0, 2));
+        pool.access(page(0, 1)); // page 1 is now the most recent
+        pool.access(page(0, 3)); // evicts page 2
+        assert!(pool.contains(page(0, 1)));
+        assert!(!pool.contains(page(0, 2)));
+        assert!(pool.contains(page(0, 3)));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut pool = BufferPool::new(8);
+        for i in 0..100 {
+            pool.access(page(0, i));
+            assert!(pool.resident_pages() <= 8);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_hits() {
+        let mut pool = BufferPool::new(0);
+        assert!(!pool.access(page(0, 1)));
+        assert!(!pool.access(page(0, 1)));
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn with_capacity_bytes_converts_to_pages() {
+        let pool = BufferPool::with_capacity_bytes(10 * PAGE_SIZE_BYTES + 123);
+        assert_eq!(pool.capacity_pages(), 10);
+    }
+
+    #[test]
+    fn demoted_pages_are_evicted_first() {
+        let mut pool = BufferPool::new(3);
+        pool.access(page(0, 1));
+        pool.access(page(0, 2));
+        pool.access(page(0, 3));
+        // Page 3 is the most recently used, but a hint demotes it.
+        assert_eq!(pool.demote(&[page(0, 3)]), 1);
+        pool.access(page(0, 4)); // must evict the demoted page 3, not page 1
+        assert!(pool.contains(page(0, 1)));
+        assert!(pool.contains(page(0, 2)));
+        assert!(!pool.contains(page(0, 3)));
+        assert_eq!(pool.stats().demotions, 1);
+    }
+
+    #[test]
+    fn demoting_non_resident_pages_is_a_noop() {
+        let mut pool = BufferPool::new(2);
+        pool.access(page(0, 1));
+        assert_eq!(pool.demote(&[page(5, 99)]), 0);
+        assert!(pool.contains(page(0, 1)));
+    }
+
+    #[test]
+    fn re_access_restores_a_demoted_page() {
+        let mut pool = BufferPool::new(2);
+        pool.access(page(0, 1));
+        pool.access(page(0, 2));
+        pool.demote(&[page(0, 1)]);
+        // Touching the demoted page makes it hot again.
+        assert!(pool.access(page(0, 1)));
+        pool.access(page(0, 3)); // evicts page 2, not page 1
+        assert!(pool.contains(page(0, 1)));
+        assert!(!pool.contains(page(0, 2)));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut pool = BufferPool::new(4);
+        pool.access(page(0, 1));
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.stats().references, 1);
+        assert!(!pool.contains(page(0, 1)));
+    }
+}

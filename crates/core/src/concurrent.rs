@@ -1,0 +1,235 @@
+//! A thread-safe wrapper around any cache policy.
+//!
+//! WATCHMAN is described in the paper as "a library of routines that may be
+//! linked with an application" (§3).  In a multiuser warehouse front end
+//! several sessions share one retrieved-set cache, so the library provides
+//! [`SharedCache`], a mutex-guarded handle that exposes the same operations
+//! as [`QueryCache`] but returns owned values (cloned payloads) instead of
+//! references, making it safe to use from multiple threads.
+//!
+//! A single `parking_lot::Mutex` is sufficient here: cache operations are
+//! micro- to millisecond-scale while the warehouse queries they save are
+//! seconds-scale, so the lock is never the bottleneck (this is measured in
+//! the `concurrent_access` benchmark).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Timestamp;
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache};
+use crate::value::{CachePayload, ExecutionCost};
+
+/// A cloneable, thread-safe handle to a cache policy.
+pub struct SharedCache<V, P> {
+    inner: Arc<Mutex<P>>,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, P> Clone for SharedCache<V, P> {
+    fn clone(&self) -> Self {
+        SharedCache {
+            inner: Arc::clone(&self.inner),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V, P> std::fmt::Debug for SharedCache<V, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCache").finish_non_exhaustive()
+    }
+}
+
+impl<V, P> SharedCache<V, P>
+where
+    V: CachePayload + Clone,
+    P: QueryCache<V>,
+{
+    /// Wraps a policy in a thread-safe handle.
+    pub fn new(policy: P) -> Self {
+        SharedCache {
+            inner: Arc::new(Mutex::new(policy)),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Looks up a retrieved set, returning a clone of the cached payload.
+    pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<V> {
+        self.inner.lock().get(key, now).cloned()
+    }
+
+    /// Offers a retrieved set for admission.
+    pub fn insert(
+        &self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        self.inner.lock().insert(key, value, cost, now)
+    }
+
+    /// Looks up a retrieved set; on a miss, executes `fetch` to produce the
+    /// value and its cost, offers the result for admission and returns it.
+    ///
+    /// This is the ergonomic entry point for applications: it mirrors the
+    /// "check cache, otherwise run the query and offer the result" protocol
+    /// in one call.  `fetch` runs *outside* the cache lock so concurrent
+    /// sessions are not serialized behind a slow warehouse query.
+    pub fn get_or_insert_with<F>(&self, key: &QueryKey, now: Timestamp, fetch: F) -> V
+    where
+        F: FnOnce() -> (V, ExecutionCost),
+    {
+        if let Some(hit) = self.get(key, now) {
+            return hit;
+        }
+        let (value, cost) = fetch();
+        self.insert(key.clone(), value.clone(), cost, now);
+        value
+    }
+
+    /// Whether a retrieved set for `key` is currently cached.
+    pub fn contains(&self, key: &QueryKey) -> bool {
+        self.inner.lock().contains(key)
+    }
+
+    /// Number of cached retrieved sets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Bytes currently in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes()
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.inner.lock().capacity_bytes()
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats().clone()
+    }
+
+    /// A snapshot of the currently cached keys.
+    pub fn cached_keys(&self) -> Vec<QueryKey> {
+        self.inner.lock().cached_keys()
+    }
+
+    /// Removes every cached set.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Runs a closure with exclusive access to the underlying policy, for
+    /// operations not covered by the convenience methods.
+    pub fn with_policy<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lnc::LncCache;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    #[test]
+    fn shared_cache_round_trip() {
+        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        assert!(cache.get(&key("q"), ts(1)).is_none());
+        cache.insert(key("q"), SizedPayload::new(100), ExecutionCost::from_blocks(50), ts(1));
+        assert!(cache.get(&key("q"), ts(2)).is_some());
+        assert!(cache.contains(&key("q")));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.used_bytes(), 100);
+        assert_eq!(cache.capacity_bytes(), 10_000);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.cached_keys(), vec![key("q")]);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_fetches_only_on_miss() {
+        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        let mut fetches = 0;
+        let v = cache.get_or_insert_with(&key("q"), ts(1), || {
+            fetches += 1;
+            (SizedPayload::new(64), ExecutionCost::from_blocks(10))
+        });
+        assert_eq!(v.size_bytes(), 64);
+        let _ = cache.get_or_insert_with(&key("q"), ts(2), || {
+            fetches += 1;
+            (SizedPayload::new(64), ExecutionCost::from_blocks(10))
+        });
+        assert_eq!(fetches, 1, "second call must be served from cache");
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_share_state() {
+        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        let other = cache.clone();
+        other.insert(key("q"), SizedPayload::new(10), ExecutionCost::from_blocks(5), ts(1));
+        assert!(cache.contains(&key("q")));
+    }
+
+    #[test]
+    fn concurrent_references_from_multiple_threads() {
+        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(1_000_000));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..250u64 {
+                        let name = format!("q{}", (t * 7 + i) % 50);
+                        let k = key(&name);
+                        let now = ts(t * 1_000 + i);
+                        if cache.get(&k, now).is_none() {
+                            cache.insert(
+                                k,
+                                SizedPayload::new(128),
+                                ExecutionCost::from_blocks(100),
+                                now,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.references, 4 * 250 + stats.hits - stats.hits); // references recorded once per get/insert pair
+        assert!(stats.references >= 1_000);
+        assert!(cache.len() <= 50);
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn with_policy_gives_access_to_policy_specifics() {
+        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(1_000));
+        cache.insert(key("q"), SizedPayload::new(10), ExecutionCost::from_blocks(5), ts(1));
+        let retained = cache.with_policy(|p| p.retained_entries());
+        assert_eq!(retained, 0);
+        let name = cache.with_policy(|p| p.name());
+        assert_eq!(name, "LNC-RA");
+    }
+}

@@ -1,0 +1,308 @@
+//! Signature-indexed entry storage shared by all cache policies (paper §3).
+//!
+//! WATCHMAN speeds up cache lookup by storing a *signature* (a hash of the
+//! query ID) with every cache entry; only entries whose signature matches the
+//! looked-up query are compared by exact query-ID match.  [`EntryStore`]
+//! packages that scheme as a slab of policy-specific entries plus a
+//! signature → entry-id index, so every policy gets collision-safe,
+//! allocation-friendly lookups without duplicating the bookkeeping.
+
+use std::collections::HashMap;
+
+use crate::key::QueryKey;
+
+/// A stable handle to an entry inside an [`EntryStore`].
+///
+/// Ids are reused after removal, so holders must not retain an `EntryId`
+/// across a `remove` of that entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId(usize);
+
+impl EntryId {
+    /// Returns the raw slot index (useful only for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Trait implemented by policy entry types so the store can maintain its
+/// signature index.
+pub trait KeyedEntry {
+    /// The query key identifying this entry.
+    fn key(&self) -> &QueryKey;
+}
+
+/// A slab of entries indexed by query-ID signature.
+#[derive(Debug, Clone)]
+pub struct EntryStore<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    /// signature → ids of entries with that signature (normally exactly one).
+    index: HashMap<u64, Vec<EntryId>>,
+    len: usize,
+}
+
+impl<E: KeyedEntry> EntryStore<E> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EntryStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty store with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EntryStore {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry and returns its id.
+    ///
+    /// The caller is responsible for not inserting two entries with the same
+    /// key; [`EntryStore::find`] can be used to check first.  If a duplicate
+    /// is inserted anyway, lookups will consistently return the first one.
+    pub fn insert(&mut self, entry: E) -> EntryId {
+        let signature = entry.key().signature().value();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        let id = EntryId(slot);
+        self.index.entry(signature).or_default().push(id);
+        self.len += 1;
+        id
+    }
+
+    /// Finds the id of the entry with the given key, resolving signature
+    /// collisions by exact key comparison.
+    pub fn find(&self, key: &QueryKey) -> Option<EntryId> {
+        let ids = self.index.get(&key.signature().value())?;
+        ids.iter()
+            .copied()
+            .find(|id| self.slots[id.0].as_ref().is_some_and(|e| e.key() == key))
+    }
+
+    /// Whether an entry with the given key exists.
+    pub fn contains(&self, key: &QueryKey) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Returns a reference to the entry with the given key.
+    pub fn get(&self, key: &QueryKey) -> Option<&E> {
+        self.find(key).and_then(|id| self.by_id(id))
+    }
+
+    /// Returns a mutable reference to the entry with the given key.
+    pub fn get_mut(&mut self, key: &QueryKey) -> Option<&mut E> {
+        let id = self.find(key)?;
+        self.by_id_mut(id)
+    }
+
+    /// Returns a reference to the entry with the given id.
+    pub fn by_id(&self, id: EntryId) -> Option<&E> {
+        self.slots.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Returns a mutable reference to the entry with the given id.
+    pub fn by_id_mut(&mut self, id: EntryId) -> Option<&mut E> {
+        self.slots.get_mut(id.0).and_then(Option::as_mut)
+    }
+
+    /// Removes and returns the entry with the given id.
+    pub fn remove(&mut self, id: EntryId) -> Option<E> {
+        let entry = self.slots.get_mut(id.0)?.take()?;
+        let signature = entry.key().signature().value();
+        if let Some(ids) = self.index.get_mut(&signature) {
+            ids.retain(|&other| other != id);
+            if ids.is_empty() {
+                self.index.remove(&signature);
+            }
+        }
+        self.free.push(id.0);
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// Removes and returns the entry with the given key.
+    pub fn remove_by_key(&mut self, key: &QueryKey) -> Option<E> {
+        let id = self.find(key)?;
+        self.remove(id)
+    }
+
+    /// Iterates over `(id, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &E)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (EntryId(i), e)))
+    }
+
+    /// Iterates over mutable entries in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (EntryId, &mut E)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_mut().map(|e| (EntryId(i), e)))
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.index.clear();
+        self.len = 0;
+    }
+}
+
+impl<E: KeyedEntry> Default for EntryStore<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct TestEntry {
+        key: QueryKey,
+        payload: u32,
+    }
+
+    impl KeyedEntry for TestEntry {
+        fn key(&self) -> &QueryKey {
+            &self.key
+        }
+    }
+
+    fn entry(name: &str, payload: u32) -> TestEntry {
+        TestEntry {
+            key: QueryKey::new(name.to_owned()),
+            payload,
+        }
+    }
+
+    #[test]
+    fn insert_find_remove_round_trip() {
+        let mut store = EntryStore::new();
+        let id = store.insert(entry("q1", 7));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.find(&QueryKey::new("q1")), Some(id));
+        assert_eq!(store.get(&QueryKey::new("q1")).unwrap().payload, 7);
+        let removed = store.remove(id).unwrap();
+        assert_eq!(removed.payload, 7);
+        assert!(store.is_empty());
+        assert_eq!(store.find(&QueryKey::new("q1")), None);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let store: EntryStore<TestEntry> = EntryStore::new();
+        assert_eq!(store.find(&QueryKey::new("nope")), None);
+        assert!(!store.contains(&QueryKey::new("nope")));
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut store = EntryStore::new();
+        let a = store.insert(entry("a", 1));
+        store.remove(a);
+        let b = store.insert(entry("b", 2));
+        // The freed slot must be reused so the slab does not grow unboundedly.
+        assert_eq!(a.index(), b.index());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&QueryKey::new("b")).unwrap().payload, 2);
+        assert_eq!(store.get(&QueryKey::new("a")), None);
+    }
+
+    #[test]
+    fn get_mut_allows_updates() {
+        let mut store = EntryStore::new();
+        store.insert(entry("q", 1));
+        store.get_mut(&QueryKey::new("q")).unwrap().payload = 99;
+        assert_eq!(store.get(&QueryKey::new("q")).unwrap().payload, 99);
+    }
+
+    #[test]
+    fn iter_visits_all_live_entries() {
+        let mut store = EntryStore::new();
+        store.insert(entry("a", 1));
+        let b = store.insert(entry("b", 2));
+        store.insert(entry("c", 3));
+        store.remove(b);
+        let mut payloads: Vec<u32> = store.iter().map(|(_, e)| e.payload).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut store = EntryStore::new();
+        store.insert(entry("a", 1));
+        store.insert(entry("b", 2));
+        for (_, e) in store.iter_mut() {
+            e.payload *= 10;
+        }
+        assert_eq!(store.get(&QueryKey::new("a")).unwrap().payload, 10);
+        assert_eq!(store.get(&QueryKey::new("b")).unwrap().payload, 20);
+    }
+
+    #[test]
+    fn remove_by_key_works() {
+        let mut store = EntryStore::new();
+        store.insert(entry("x", 5));
+        assert_eq!(store.remove_by_key(&QueryKey::new("x")).unwrap().payload, 5);
+        assert!(store.remove_by_key(&QueryKey::new("x")).is_none());
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let mut store = EntryStore::with_capacity(4);
+        store.insert(entry("a", 1));
+        store.insert(entry("b", 2));
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.find(&QueryKey::new("a")), None);
+        // Store remains usable after clear.
+        store.insert(entry("c", 3));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn colliding_signatures_are_resolved_by_exact_match() {
+        // Force a collision by inserting two entries and then corrupting the
+        // index is not possible from outside, so instead verify that two
+        // distinct keys that happen to live in the same bucket (same store)
+        // are independently retrievable.  This exercises the per-signature
+        // Vec path for the normal case and documents the exact-match rule.
+        let mut store = EntryStore::new();
+        store.insert(entry("q-one", 1));
+        store.insert(entry("q-two", 2));
+        assert_eq!(store.get(&QueryKey::new("q-one")).unwrap().payload, 1);
+        assert_eq!(store.get(&QueryKey::new("q-two")).unwrap().payload, 2);
+    }
+}

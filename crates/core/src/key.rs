@@ -1,0 +1,268 @@
+//! Query identification.
+//!
+//! WATCHMAN identifies a retrieved set by the *query ID*: the query string
+//! with all delimiter runs compressed to a single separator character
+//! (paper §3).  To avoid comparing full strings on every lookup, each cache
+//! entry additionally carries a *signature* — a hash of the query ID — and
+//! only entries with a matching signature are compared textually.
+//!
+//! [`QueryKey`] bundles the compressed query text with its signature;
+//! [`Signature`] is the 64-bit hash used by the signature index.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit signature of a query ID, computed with FNV-1a.
+///
+/// FNV-1a is used instead of the standard library's SipHash because the
+/// signature must be *stable* across processes (it is persisted in traces and
+/// experiment outputs) and because query IDs are looked up extremely
+/// frequently.  HashDoS resistance is not a concern: query IDs are generated
+/// by the warehouse front end, not by untrusted clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Signature(pub u64);
+
+impl Signature {
+    /// Computes the FNV-1a signature of the given bytes.
+    pub fn of_bytes(bytes: &[u8]) -> Signature {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        Signature(hash)
+    }
+
+    /// Computes the signature of a query ID string.
+    pub fn of_str(text: &str) -> Signature {
+        Signature::of_bytes(text.as_bytes())
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Compresses a raw query string into a canonical query ID.
+///
+/// The paper compresses the query string "by substituting all delimiters with
+/// a single special character".  This function collapses every maximal run of
+/// ASCII whitespace, commas and semicolons into a single `'\u{1}'` separator,
+/// trims leading and trailing separators, and lowercases keywords-agnostic
+/// characters are left untouched (SQL identifiers may be case sensitive, so
+/// only whitespace handling is normalized).
+pub fn compress_query_text(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut in_delim = false;
+    for ch in raw.chars() {
+        let is_delim = ch.is_whitespace() || ch == ',' || ch == ';';
+        if is_delim {
+            in_delim = true;
+        } else {
+            if in_delim && !out.is_empty() {
+                out.push('\u{1}');
+            }
+            in_delim = false;
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The identity of a query (and therefore of its retrieved set) inside the
+/// cache manager.
+///
+/// A `QueryKey` owns the compressed query ID text (shared via `Arc` so that
+/// cloning keys while moving entries between the cache and the retained
+/// reference store is cheap) and caches its [`Signature`].
+///
+/// Equality is *exact textual* equality, as in the paper: two semantically
+/// equivalent but syntactically different queries are distinct keys.  The
+/// `Hash` implementation forwards the precomputed signature so that hash-map
+/// lookups do not re-hash the text.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryKey {
+    text: Arc<str>,
+    signature: Signature,
+}
+
+impl QueryKey {
+    /// Creates a key from an already-canonical query ID.
+    ///
+    /// Use [`QueryKey::from_raw_query`] when starting from user-facing SQL
+    /// text that still contains arbitrary whitespace.
+    pub fn new(text: impl Into<Arc<str>>) -> Self {
+        let text = text.into();
+        let signature = Signature::of_str(&text);
+        QueryKey { text, signature }
+    }
+
+    /// Creates a key from raw query text, compressing delimiters first.
+    pub fn from_raw_query(raw: &str) -> Self {
+        QueryKey::new(compress_query_text(raw))
+    }
+
+    /// Returns the canonical query ID text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Returns the precomputed signature.
+    pub fn signature(&self) -> Signature {
+        self.signature
+    }
+
+    /// Returns the number of bytes of metadata this key occupies, used when
+    /// accounting for the space taken by retained reference information.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.text.len() as u64 + std::mem::size_of::<Signature>() as u64
+    }
+}
+
+impl PartialEq for QueryKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path on the signature; fall back to exact text comparison to
+        // resolve collisions, exactly like the paper's lookup procedure.
+        self.signature == other.signature && self.text == other.text
+    }
+}
+
+impl Eq for QueryKey {}
+
+impl Hash for QueryKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.signature.0);
+    }
+}
+
+impl PartialOrd for QueryKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueryKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.text.cmp(&other.text)
+    }
+}
+
+impl fmt::Display for QueryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text.replace('\u{1}', " "))
+    }
+}
+
+impl From<&str> for QueryKey {
+    fn from(text: &str) -> Self {
+        QueryKey::new(text.to_owned())
+    }
+}
+
+impl From<String> for QueryKey {
+    fn from(text: String) -> Self {
+        QueryKey::new(text)
+    }
+}
+
+impl Borrow<str> for QueryKey {
+    fn borrow(&self) -> &str {
+        &self.text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn signature_is_deterministic() {
+        let a = Signature::of_str("SELECT * FROM lineitem");
+        let b = Signature::of_str("SELECT * FROM lineitem");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_differs_for_different_text() {
+        let a = Signature::of_str("q1");
+        let b = Signature::of_str("q2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_known_value_of_empty() {
+        // FNV-1a offset basis for empty input.
+        assert_eq!(Signature::of_bytes(b"").value(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn compress_collapses_whitespace_runs() {
+        let compressed = compress_query_text("SELECT   a,\n\tb FROM  t ;");
+        assert_eq!(compressed, "SELECT\u{1}a\u{1}b\u{1}FROM\u{1}t");
+    }
+
+    #[test]
+    fn compress_trims_leading_and_trailing_delimiters() {
+        assert_eq!(compress_query_text("   x   "), "x");
+        assert_eq!(compress_query_text(""), "");
+        assert_eq!(compress_query_text(" ,; "), "");
+    }
+
+    #[test]
+    fn keys_with_same_text_are_equal() {
+        let a = QueryKey::new("Q1(p=3)");
+        let b = QueryKey::new("Q1(p=3)");
+        assert_eq!(a, b);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn keys_from_raw_query_normalize_whitespace() {
+        let a = QueryKey::from_raw_query("SELECT  x FROM t");
+        let b = QueryKey::from_raw_query("SELECT x\nFROM t");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_uses_signature() {
+        let key = QueryKey::new("Q7(a=1,b=2)");
+        let mut h1 = DefaultHasher::new();
+        key.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        h2.write_u64(key.signature().value());
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn display_replaces_separator_with_space() {
+        let key = QueryKey::from_raw_query("SELECT  x FROM t");
+        assert_eq!(key.to_string(), "SELECT x FROM t");
+    }
+
+    #[test]
+    fn metadata_bytes_accounts_for_text() {
+        let key = QueryKey::new("abcd");
+        assert_eq!(key.metadata_bytes(), 4 + 8);
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        let a = QueryKey::new("a");
+        let b = QueryKey::new("b");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,110 @@
+//! # watchman-core
+//!
+//! Core library of the WATCHMAN reproduction: the retrieved-set cache
+//! manager described in *"WATCHMAN: A Data Warehouse Intelligent Cache
+//! Manager"* (Scheuermann, Shim & Vingralek, VLDB 1996).
+//!
+//! WATCHMAN caches whole *retrieved sets* — the materialized results of
+//! decision-support queries — and decides what to keep using a **profit
+//! metric** that combines, for each set, its average reference rate `λᵢ`,
+//! its size `sᵢ` and the execution cost `cᵢ` of the query that produced it:
+//!
+//! ```text
+//! profit(RSᵢ) = λᵢ · cᵢ / sᵢ
+//! ```
+//!
+//! Two complementary algorithms use this metric:
+//!
+//! * **LNC-R** (Least Normalized Cost Replacement) evicts cached sets in
+//!   ascending profit order, considering sets with fewer reference samples
+//!   first.
+//! * **LNC-A** (Least Normalized Cost Admission) admits a newly retrieved set
+//!   only if its profit exceeds the aggregate profit of the sets it would
+//!   displace.
+//!
+//! Their combination, **LNC-RA**, is provided by [`policy::lnc::LncCache`],
+//! alongside the comparison baselines used in the paper's evaluation (LRU,
+//! LRU-K) and in follow-up literature (LFU, LCS, GreedyDual-Size).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use watchman_core::prelude::*;
+//!
+//! // A 1 MB LNC-RA cache with the paper's default window K = 4.
+//! let mut cache: LncCache<SizedPayload> = LncCache::lnc_ra(1 << 20);
+//!
+//! let key = QueryKey::from_raw_query("SELECT sum(price) FROM lineitem WHERE year = 1995");
+//! let now = Timestamp::from_secs(1);
+//!
+//! // Look up: miss → execute the query against the warehouse, then offer the
+//! // retrieved set together with its observed execution cost.
+//! assert!(cache.get(&key, now).is_none());
+//! let outcome = cache.insert(
+//!     key.clone(),
+//!     SizedPayload::new(256),                  // 256-byte aggregate result
+//!     ExecutionCost::from_blocks(12_000),      // 12 000 block reads to compute
+//!     now,
+//! );
+//! assert!(outcome.is_admitted());
+//!
+//! // Subsequent references are served from the cache.
+//! assert!(cache.get(&key, Timestamp::from_secs(2)).is_some());
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`key`] | Query IDs, signatures, delimiter compression (paper §3) |
+//! | [`value`] | [`CachePayload`](value::CachePayload), retrieved sets, execution costs |
+//! | [`clock`] | Logical timestamps and clock sources |
+//! | [`history`] | Sliding-window reference histories (Eq. 3) |
+//! | [`profit`] | The profit and estimated-profit metrics (Eq. 2, 5, 6, 8) |
+//! | [`policy`] | The [`QueryCache`](policy::QueryCache) trait, LNC-R/LNC-RA and all baselines |
+//! | [`retained`] | Retained reference information (§2.4) |
+//! | [`coherence`] | Relation-dependency tracking and invalidation on warehouse updates (§3) |
+//! | [`equivalence`] | Canonical query matching beyond exact text equality (§6 future work) |
+//! | [`metrics`] | Cost savings ratio, hit ratio, fragmentation (§4.1) |
+//! | [`theory`] | LNC\* and the exact knapsack oracle (§2.3) |
+//! | [`concurrent`] | A thread-safe shared-cache wrapper |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod coherence;
+pub mod concurrent;
+pub mod equivalence;
+pub mod history;
+pub mod index;
+pub mod key;
+pub mod metrics;
+pub mod policy;
+pub mod profit;
+pub mod retained;
+pub mod theory;
+pub mod value;
+
+/// Convenient re-exports of the types most applications need.
+pub mod prelude {
+    pub use crate::clock::{Clock, ManualClock, MonotonicClock, Timestamp};
+    pub use crate::coherence::{invalidate_affected, DependencyIndex, InvalidationReport};
+    pub use crate::concurrent::SharedCache;
+    pub use crate::history::ReferenceHistory;
+    pub use crate::key::{QueryKey, Signature};
+    pub use crate::metrics::{CacheStats, FragmentationTracker};
+    pub use crate::policy::gds::GreedyDualSizeCache;
+    pub use crate::policy::lcs::LcsCache;
+    pub use crate::policy::lfu::LfuCache;
+    pub use crate::policy::lnc::{LncCache, LncConfig};
+    pub use crate::policy::lru::LruCache;
+    pub use crate::policy::lru_k::{LruKCache, LruKConfig};
+    pub use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+    pub use crate::profit::Profit;
+    pub use crate::value::{CachePayload, Datum, ExecutionCost, RetrievedSet, Row, SizedPayload};
+}
+
+pub use prelude::*;

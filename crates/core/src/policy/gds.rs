@@ -1,0 +1,313 @@
+//! GreedyDual-Size replacement over retrieved sets.
+//!
+//! GreedyDual-Size (Cao & Irani, 1997) is the best-known *later* cost- and
+//! size-aware caching policy; it is included as an extension baseline so the
+//! ablation experiments can position LNC-RA against the algorithm that
+//! eventually became the standard answer to the same problem.
+//!
+//! Each cached set carries a credit `H = L + c/s`, where `L` is a global
+//! inflation value.  On eviction the victim is the set with the smallest `H`
+//! and `L` is raised to that value; on a hit the set's credit is restored to
+//! `L + c/s`.  The inflation term plays the role that the sliding-window
+//! reference-rate estimate plays in LNC-R: it ages sets that have not been
+//! referenced recently.
+
+use crate::clock::Timestamp;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
+use crate::value::{CachePayload, ExecutionCost};
+
+#[derive(Debug, Clone)]
+struct GdsEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    /// The credit value `H`.
+    credit: f64,
+}
+
+impl<V> KeyedEntry for GdsEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+/// A retrieved-set cache with GreedyDual-Size replacement.
+#[derive(Debug)]
+pub struct GreedyDualSizeCache<V> {
+    capacity_bytes: u64,
+    entries: EntryStore<GdsEntry<V>>,
+    /// The global inflation value `L`.
+    inflation: f64,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> GreedyDualSizeCache<V> {
+    /// Creates a GreedyDual-Size cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        GreedyDualSizeCache {
+            capacity_bytes,
+            entries: EntryStore::new(),
+            inflation: 0.0,
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The current global inflation value `L` (exposed for tests and
+    /// diagnostics).
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    fn fresh_credit(&self, cost: ExecutionCost, size_bytes: u64) -> f64 {
+        self.inflation + Profit::estimated(cost, size_bytes).value()
+    }
+
+    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + needed > self.capacity_bytes {
+            let victim: Option<(EntryId, f64)> = self
+                .entries
+                .iter()
+                .map(|(id, e)| (id, e.credit))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((id, credit)) = victim else { break };
+            self.inflation = self.inflation.max(credit);
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                evicted.push(entry.key);
+            }
+        }
+        evicted
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
+    fn name(&self) -> &'static str {
+        "GreedyDual-Size"
+    }
+
+    fn get(&mut self, key: &QueryKey, _now: Timestamp) -> Option<&V> {
+        let inflation = self.inflation;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.credit = inflation + Profit::estimated(entry.cost, entry.size_bytes).value();
+            let cost = entry.cost;
+            self.stats.record_hit(cost);
+            return self.entries.get(key).map(|e| &e.value);
+        }
+        None
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        _now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let old = entry.size_bytes;
+            entry.value = value;
+            entry.cost = cost;
+            entry.size_bytes = size_bytes;
+            self.used_bytes = self.used_bytes - old + size_bytes;
+            let credit = self.fresh_credit(cost, size_bytes);
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.credit = credit;
+            }
+            // Restore the capacity invariant if the refreshed payload grew.
+            self.evict_for(0);
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.capacity_bytes {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        let evicted = self.evict_for(size_bytes);
+        let credit = self.fresh_credit(cost, size_bytes);
+        self.entries.insert(GdsEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            credit,
+        });
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        InsertOutcome::Admitted { evicted }
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+        self.inflation = 0.0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn insert_with_cost(
+        cache: &mut GreedyDualSizeCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        cost: f64,
+        now: u64,
+    ) -> InsertOutcome {
+        cache.insert(
+            key(name),
+            SizedPayload::new(size),
+            ExecutionCost::from_block_reads(cost),
+            ts(now),
+        )
+    }
+
+    #[test]
+    fn evicts_lowest_credit_entry() {
+        let mut cache = GreedyDualSizeCache::new(300);
+        // c/s: cheap = 0.01, pricey = 10.
+        insert_with_cost(&mut cache, "cheap", 100, 1.0, 1);
+        insert_with_cost(&mut cache, "pricey", 100, 1_000.0, 2);
+        insert_with_cost(&mut cache, "mid", 100, 100.0, 3);
+        let outcome = insert_with_cost(&mut cache, "incoming", 100, 500.0, 4);
+        assert_eq!(outcome.evicted(), &[key("cheap")]);
+        assert!(cache.contains(&key("pricey")));
+    }
+
+    #[test]
+    fn inflation_rises_with_evictions() {
+        let mut cache = GreedyDualSizeCache::new(200);
+        insert_with_cost(&mut cache, "a", 100, 100.0, 1);
+        insert_with_cost(&mut cache, "b", 100, 200.0, 2);
+        assert_eq!(cache.inflation(), 0.0);
+        insert_with_cost(&mut cache, "c", 100, 300.0, 3);
+        assert!(cache.inflation() > 0.0);
+    }
+
+    #[test]
+    fn aging_lets_new_entries_displace_stale_expensive_ones() {
+        let mut cache = GreedyDualSizeCache::new(200);
+        insert_with_cost(&mut cache, "stale-expensive", 100, 500.0, 1);
+        insert_with_cost(&mut cache, "b", 100, 400.0, 2);
+        // Repeated misses on cheap one-off sets raise L; eventually even the
+        // expensive stale set is displaced.
+        let mut displaced = false;
+        for i in 0..50u64 {
+            let name = format!("oneoff{i}");
+            let outcome = insert_with_cost(&mut cache, &name, 100, 50.0, 10 + i);
+            if outcome.evicted().contains(&key("stale-expensive")) {
+                displaced = true;
+                break;
+            }
+        }
+        assert!(displaced, "inflation must age stale entries out");
+    }
+
+    #[test]
+    fn hit_restores_credit() {
+        let mut cache = GreedyDualSizeCache::new(200);
+        insert_with_cost(&mut cache, "a", 100, 100.0, 1);
+        insert_with_cost(&mut cache, "b", 100, 100.0, 2);
+        // Push inflation up by cycling through one-off sets.
+        for i in 0..5u64 {
+            let name = format!("x{i}");
+            insert_with_cost(&mut cache, &name, 100, 150.0, 3 + i);
+        }
+        // Whichever of a/b survived, hitting it must keep it above the next
+        // one-off's credit so it survives one more round.
+        let survivor = if cache.contains(&key("a")) { "a" } else { "b" };
+        if cache.contains(&key(survivor)) {
+            cache.get(&key(survivor), ts(100));
+            let outcome = insert_with_cost(&mut cache, "final", 100, 50.0, 101);
+            assert!(
+                !outcome.evicted().contains(&key(survivor)) || !cache.contains(&key(survivor)),
+                "a just-hit entry should not be the first victim against a cheaper newcomer"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_and_zero_capacity() {
+        let mut cache = GreedyDualSizeCache::new(100);
+        assert_eq!(
+            insert_with_cost(&mut cache, "big", 500, 10.0, 1),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+        let mut zero = GreedyDualSizeCache::new(0);
+        assert_eq!(
+            insert_with_cost(&mut zero, "x", 1, 10.0, 1),
+            InsertOutcome::Rejected(RejectReason::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn capacity_invariant_holds() {
+        let mut cache = GreedyDualSizeCache::new(1_000);
+        for i in 0..200u64 {
+            let name = format!("q{}", i % 29);
+            insert_with_cost(&mut cache, &name, 50 + (i % 13) * 40, 10.0 + (i % 7) as f64 * 80.0, i + 1);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn clear_resets_inflation() {
+        let mut cache = GreedyDualSizeCache::new(100);
+        insert_with_cost(&mut cache, "a", 100, 10.0, 1);
+        insert_with_cost(&mut cache, "b", 100, 20.0, 2);
+        assert!(cache.inflation() > 0.0);
+        cache.clear();
+        assert_eq!(cache.inflation(), 0.0);
+        assert!(cache.is_empty());
+    }
+}

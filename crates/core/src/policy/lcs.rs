@@ -1,0 +1,265 @@
+//! LCS (Largest Cache Space) replacement over retrieved sets.
+//!
+//! Adopted from the ADMS project (paper §5), where it was the
+//! best-performing of the {LRU, LFU, LCS} trio: the victim is always the
+//! *largest* cached retrieved set, the idea being that evicting one large set
+//! frees room for many small (and typically expensive-to-recompute)
+//! aggregate results.  LCS uses size information but — unlike LNC-R — neither
+//! reference rates nor execution costs.
+
+use crate::clock::Timestamp;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::value::{CachePayload, ExecutionCost};
+
+#[derive(Debug, Clone)]
+struct LcsEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    last_used: Timestamp,
+}
+
+impl<V> KeyedEntry for LcsEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+/// A retrieved-set cache that always evicts the largest cached set first.
+#[derive(Debug)]
+pub struct LcsCache<V> {
+    capacity_bytes: u64,
+    entries: EntryStore<LcsEntry<V>>,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> LcsCache<V> {
+    /// Creates an LCS cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LcsCache {
+            capacity_bytes,
+            entries: EntryStore::new(),
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + needed > self.capacity_bytes {
+            // Largest first; ties broken by least recent use.
+            let victim: Option<EntryId> = self
+                .entries
+                .iter()
+                .max_by_key(|(_, e)| (e.size_bytes, std::cmp::Reverse(e.last_used)))
+                .map(|(id, _)| id);
+            let Some(id) = victim else { break };
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                evicted.push(entry.key);
+            }
+        }
+        evicted
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
+    fn name(&self) -> &'static str {
+        "LCS"
+    }
+
+    fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = now;
+            let cost = entry.cost;
+            self.stats.record_hit(cost);
+            return self.entries.get(key).map(|e| &e.value);
+        }
+        None
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let old = entry.size_bytes;
+            entry.value = value;
+            entry.cost = cost;
+            entry.size_bytes = size_bytes;
+            entry.last_used = now;
+            self.used_bytes = self.used_bytes - old + size_bytes;
+            // Restore the capacity invariant if the refreshed payload grew.
+            self.evict_for(0);
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.capacity_bytes {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        let evicted = self.evict_for(size_bytes);
+        self.entries.insert(LcsEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            last_used: now,
+        });
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        InsertOutcome::Admitted { evicted }
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn insert(cache: &mut LcsCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+        cache.insert(
+            key(name),
+            SizedPayload::new(size),
+            ExecutionCost::from_blocks(10),
+            ts(now),
+        )
+    }
+
+    #[test]
+    fn evicts_largest_set_first() {
+        let mut cache = LcsCache::new(600);
+        insert(&mut cache, "small", 100, 1);
+        insert(&mut cache, "large", 400, 2);
+        insert(&mut cache, "medium", 100, 3);
+        let outcome = insert(&mut cache, "incoming", 200, 4);
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted(), &[key("large")]);
+        assert!(cache.contains(&key("small")));
+        assert!(cache.contains(&key("medium")));
+    }
+
+    #[test]
+    fn size_ties_broken_by_recency() {
+        let mut cache = LcsCache::new(200);
+        insert(&mut cache, "older", 100, 1);
+        insert(&mut cache, "newer", 100, 2);
+        let outcome = insert(&mut cache, "incoming", 100, 3);
+        assert_eq!(outcome.evicted(), &[key("older")]);
+    }
+
+    #[test]
+    fn many_small_sets_survive_one_large_arrival() {
+        let mut cache = LcsCache::new(1_000);
+        for i in 0..9 {
+            let name = format!("small{i}");
+            insert(&mut cache, &name, 100, i + 1);
+        }
+        // A 500-byte set arrives: LCS evicts the largest residents (all 100
+        // bytes each), so five small sets go.
+        let outcome = insert(&mut cache, "big", 500, 100);
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted().len(), 4);
+        assert!(cache.used_bytes() <= 1_000);
+        // Later, the big set itself becomes the first victim.
+        let outcome = insert(&mut cache, "small-again", 200, 101);
+        assert_eq!(outcome.evicted(), &[key("big")]);
+    }
+
+    #[test]
+    fn rejects_oversized_and_zero_capacity() {
+        let mut cache = LcsCache::new(100);
+        assert_eq!(
+            insert(&mut cache, "big", 200, 1),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+        let mut zero = LcsCache::new(0);
+        assert_eq!(
+            insert(&mut zero, "x", 1, 1),
+            InsertOutcome::Rejected(RejectReason::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn hit_and_refresh_paths() {
+        let mut cache = LcsCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        assert!(cache.get(&key("a"), ts(2)).is_some());
+        assert_eq!(insert(&mut cache, "a", 150, 3), InsertOutcome::AlreadyCached);
+        assert_eq!(cache.used_bytes(), 150);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_invariant_holds() {
+        let mut cache = LcsCache::new(700);
+        for i in 0..150u64 {
+            let name = format!("q{}", i % 19);
+            insert(&mut cache, &name, 40 + (i % 9) * 70, i + 1);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut cache = LcsCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! LFU (least frequently used) replacement over retrieved sets.
+//!
+//! One of the baselines adopted by the ADMS project (paper §5).  The victim
+//! is the cached set with the fewest recorded references; ties are broken by
+//! least-recent use.  Like LRU, LFU ignores retrieved-set sizes and query
+//! execution costs, but unlike LRU it is not fooled by long scans of
+//! never-repeated queries.
+
+use crate::clock::Timestamp;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::value::{CachePayload, ExecutionCost};
+
+#[derive(Debug, Clone)]
+struct LfuEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    references: u64,
+    last_used: Timestamp,
+}
+
+impl<V> KeyedEntry for LfuEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+/// A retrieved-set cache with least-frequently-used replacement.
+#[derive(Debug)]
+pub struct LfuCache<V> {
+    capacity_bytes: u64,
+    entries: EntryStore<LfuEntry<V>>,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> LfuCache<V> {
+    /// Creates an LFU cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LfuCache {
+            capacity_bytes,
+            entries: EntryStore::new(),
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + needed > self.capacity_bytes {
+            let victim: Option<EntryId> = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.references, e.last_used))
+                .map(|(id, _)| id);
+            let Some(id) = victim else { break };
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                evicted.push(entry.key);
+            }
+        }
+        evicted
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+
+    fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.references += 1;
+            entry.last_used = now;
+            let cost = entry.cost;
+            self.stats.record_hit(cost);
+            return self.entries.get(key).map(|e| &e.value);
+        }
+        None
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let old = entry.size_bytes;
+            entry.value = value;
+            entry.cost = cost;
+            entry.size_bytes = size_bytes;
+            entry.references += 1;
+            entry.last_used = now;
+            self.used_bytes = self.used_bytes - old + size_bytes;
+            // Restore the capacity invariant if the refreshed payload grew.
+            self.evict_for(0);
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.capacity_bytes {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        let evicted = self.evict_for(size_bytes);
+        self.entries.insert(LfuEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            references: 1,
+            last_used: now,
+        });
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        InsertOutcome::Admitted { evicted }
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn insert(cache: &mut LfuCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+        cache.insert(
+            key(name),
+            SizedPayload::new(size),
+            ExecutionCost::from_blocks(10),
+            ts(now),
+        )
+    }
+
+    #[test]
+    fn evicts_least_frequently_used() {
+        let mut cache = LfuCache::new(300);
+        insert(&mut cache, "popular", 100, 1);
+        insert(&mut cache, "unpopular", 100, 2);
+        insert(&mut cache, "middling", 100, 3);
+        cache.get(&key("popular"), ts(4));
+        cache.get(&key("popular"), ts(5));
+        cache.get(&key("middling"), ts(6));
+        let outcome = insert(&mut cache, "new", 100, 7);
+        assert_eq!(outcome.evicted(), &[key("unpopular")]);
+        assert!(cache.contains(&key("popular")));
+        assert!(cache.contains(&key("middling")));
+    }
+
+    #[test]
+    fn frequency_ties_broken_by_recency() {
+        let mut cache = LfuCache::new(200);
+        insert(&mut cache, "older", 100, 1);
+        insert(&mut cache, "newer", 100, 2);
+        // Both have 1 reference; the older one must be evicted first.
+        let outcome = insert(&mut cache, "incoming", 100, 3);
+        assert_eq!(outcome.evicted(), &[key("older")]);
+    }
+
+    #[test]
+    fn scan_resistance_compared_to_lru() {
+        // A hot set referenced many times survives a burst of one-off sets.
+        let mut cache = LfuCache::new(300);
+        insert(&mut cache, "hot", 100, 1);
+        for t in 2..10 {
+            cache.get(&key("hot"), ts(t));
+        }
+        for i in 0..20u64 {
+            let name = format!("scan{i}");
+            insert(&mut cache, &name, 100, 10 + i);
+        }
+        assert!(cache.contains(&key("hot")));
+    }
+
+    #[test]
+    fn rejects_oversized_and_zero_capacity() {
+        let mut cache = LfuCache::new(100);
+        assert_eq!(
+            insert(&mut cache, "big", 200, 1),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+        let mut zero = LfuCache::new(0);
+        assert_eq!(
+            insert(&mut zero, "x", 1, 1),
+            InsertOutcome::Rejected(RejectReason::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn already_cached_increments_frequency() {
+        let mut cache = LfuCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        assert_eq!(insert(&mut cache, "a", 100, 2), InsertOutcome::AlreadyCached);
+        insert(&mut cache, "b", 100, 3);
+        insert(&mut cache, "c", 100, 4);
+        // "a" has 2 references, so "b" (1 reference, older) is the victim.
+        let outcome = insert(&mut cache, "d", 100, 5);
+        assert_eq!(outcome.evicted(), &[key("b")]);
+        assert!(cache.contains(&key("a")));
+    }
+
+    #[test]
+    fn capacity_invariant_holds() {
+        let mut cache = LfuCache::new(500);
+        for i in 0..100u64 {
+            let name = format!("q{}", i % 17);
+            insert(&mut cache, &name, 50 + (i % 5) * 60, i + 1);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn clear_and_stats() {
+        let mut cache = LfuCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        cache.get(&key("a"), ts(2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.cached_keys().len(), 0);
+    }
+}

@@ -1,0 +1,775 @@
+//! LNC-R / LNC-RA: the WATCHMAN replacement and admission policies (paper §2).
+//!
+//! * **LNC-R** (Least Normalized Cost Replacement) evicts cached retrieved
+//!   sets in ascending order of profit `λᵢ·cᵢ/sᵢ`, considering sets with
+//!   fewer reference samples first (their rate estimates are less reliable).
+//! * **LNC-A** (Least Normalized Cost Admission) admits a newly retrieved set
+//!   only if its profit exceeds the aggregate profit of the sets it would
+//!   displace; first-time sets are judged by estimated profit `cᵢ/sᵢ`.
+//! * **LNC-RA** is the combination of the two; it is the policy WATCHMAN
+//!   deploys, and the one evaluated in Figures 3–6 of the paper.
+//!
+//! [`LncCache`] implements all three: the admission algorithm can be turned
+//! off in [`LncConfig`] to obtain plain LNC-R, which then admits every set
+//! that fits (like a buffer manager would).
+
+use crate::clock::Timestamp;
+use crate::history::ReferenceHistory;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
+use crate::retained::{RetainedInfo, RetainedStore};
+use crate::value::{CachePayload, ExecutionCost};
+
+/// Configuration of an [`LncCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LncConfig {
+    /// Cache capacity in bytes.  Use [`LncConfig::unbounded`] for the
+    /// infinite-cache experiments.
+    pub capacity_bytes: u64,
+    /// Number of reference timestamps retained per set (the `K` of Eq. 3).
+    pub k: usize,
+    /// Whether the LNC-A admission test is applied (true → LNC-RA,
+    /// false → LNC-R).
+    pub admission: bool,
+    /// Whether reference information of evicted / rejected sets is retained
+    /// (paper §2.4).  Disabling this reproduces the starvation behaviour the
+    /// paper warns about and is exposed for ablation experiments.
+    pub retain_reference_info: bool,
+    /// Hard bound on the number of retained reference-information entries.
+    pub max_retained_entries: usize,
+}
+
+impl LncConfig {
+    /// The default hard bound on retained reference-information entries.
+    pub const DEFAULT_MAX_RETAINED: usize = 16_384;
+
+    /// LNC-RA with the paper's default window of `K = 4` and retained
+    /// reference information enabled.
+    pub fn lnc_ra(capacity_bytes: u64) -> Self {
+        LncConfig {
+            capacity_bytes,
+            k: 4,
+            admission: true,
+            retain_reference_info: true,
+            max_retained_entries: Self::DEFAULT_MAX_RETAINED,
+        }
+    }
+
+    /// LNC-R (no admission control) with `K = 4`.
+    pub fn lnc_r(capacity_bytes: u64) -> Self {
+        LncConfig {
+            admission: false,
+            ..Self::lnc_ra(capacity_bytes)
+        }
+    }
+
+    /// Returns the configuration with a different reference window `K`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Returns the configuration with retained reference information enabled
+    /// or disabled.
+    pub fn with_retained_info(mut self, enabled: bool) -> Self {
+        self.retain_reference_info = enabled;
+        self
+    }
+
+    /// An effectively infinite cache (used by the Figure 2 experiment).
+    pub fn unbounded() -> Self {
+        Self::lnc_ra(u64::MAX)
+    }
+}
+
+/// A cached retrieved set together with the statistics LNC-R needs.
+#[derive(Debug, Clone)]
+struct LncEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    history: ReferenceHistory,
+}
+
+impl<V> LncEntry<V> {
+    fn profit(&self, now: Timestamp) -> Profit {
+        match self.history.rate(now) {
+            Some(rate) => Profit::of_set(rate, self.cost, self.size_bytes),
+            None => Profit::ZERO,
+        }
+    }
+}
+
+impl<V> KeyedEntry for LncEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+/// The LNC-R / LNC-RA retrieved-set cache.
+#[derive(Debug)]
+pub struct LncCache<V> {
+    config: LncConfig,
+    entries: EntryStore<LncEntry<V>>,
+    retained: RetainedStore,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> LncCache<V> {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: LncConfig) -> Self {
+        let max_retained = config.max_retained_entries.max(1);
+        LncCache {
+            config,
+            entries: EntryStore::new(),
+            retained: RetainedStore::new(max_retained),
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Creates an LNC-RA cache with capacity `capacity_bytes` and `K = 4`.
+    pub fn lnc_ra(capacity_bytes: u64) -> Self {
+        Self::new(LncConfig::lnc_ra(capacity_bytes))
+    }
+
+    /// Creates an LNC-R cache (no admission control) with `K = 4`.
+    pub fn lnc_r(capacity_bytes: u64) -> Self {
+        Self::new(LncConfig::lnc_r(capacity_bytes))
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &LncConfig {
+        &self.config
+    }
+
+    /// Number of retained reference-information entries currently held.
+    pub fn retained_entries(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Approximate bytes of metadata used by retained reference information.
+    pub fn retained_metadata_bytes(&self) -> u64 {
+        self.retained.metadata_bytes()
+    }
+
+    /// The profit of the cached set for `key` at time `now`, if cached.
+    pub fn profit_of(&self, key: &QueryKey, now: Timestamp) -> Option<Profit> {
+        self.entries.get(key).map(|e| e.profit(now))
+    }
+
+    /// The smallest profit among cached sets at time `now`, or `None` if the
+    /// cache is empty.
+    pub fn min_cached_profit(&self, now: Timestamp) -> Option<Profit> {
+        self.entries.iter().map(|(_, e)| e.profit(now)).min()
+    }
+
+    /// Removes the retrieved set for `key` from the cache, returning its
+    /// payload if it was resident.
+    ///
+    /// This is the *invalidation* entry point used by the cache-coherence
+    /// machinery ([`crate::coherence`]): when the warehouse manager applies an
+    /// update that affects a cached query, the stale retrieved set is removed
+    /// so the next reference recomputes it.  Unlike an eviction, an
+    /// invalidation does not retain the set's reference information (the
+    /// update may have changed the set's size and cost) and is not counted in
+    /// the eviction statistics.
+    pub fn remove(&mut self, key: &QueryKey) -> Option<V> {
+        let entry = self.entries.remove_by_key(key)?;
+        self.used_bytes -= entry.size_bytes;
+        Some(entry.value)
+    }
+
+    /// Selects replacement candidates to free at least `needed` bytes
+    /// (the LNC-R procedure of Figure 1).
+    ///
+    /// Cached sets are grouped by the number of retained reference samples
+    /// (1, 2, …, K); within each group they are ordered by ascending profit;
+    /// the groups are concatenated in order of increasing sample count and
+    /// the minimal prefix whose sizes sum to at least `needed` is returned.
+    ///
+    /// Returns `None` if even evicting every cached set would not free
+    /// `needed` bytes.
+    fn select_victims(&self, needed: u64, now: Timestamp) -> Option<Vec<EntryId>> {
+        if needed == 0 {
+            return Some(Vec::new());
+        }
+        let total: u64 = self.entries.iter().map(|(_, e)| e.size_bytes).sum();
+        if total < needed {
+            return None;
+        }
+        // (sample_count, profit, id, size) for every cached set.
+        let mut ranked: Vec<(usize, Profit, EntryId, u64)> = self
+            .entries
+            .iter()
+            .map(|(id, e)| (e.history.sample_count(), e.profit(now), id, e.size_bytes))
+            .collect();
+        ranked.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for (_, _, id, size) in ranked {
+            if freed >= needed {
+                break;
+            }
+            victims.push(id);
+            freed += size;
+        }
+        Some(victims)
+    }
+
+    /// Evicts the given entries, retaining their reference information when
+    /// configured to do so.  Returns the evicted keys.
+    fn evict(&mut self, victims: Vec<EntryId>, now: Timestamp) -> Vec<QueryKey> {
+        let mut evicted = Vec::with_capacity(victims.len());
+        for id in victims {
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                evicted.push(entry.key.clone());
+                if self.config.retain_reference_info {
+                    self.retained.insert(
+                        RetainedInfo {
+                            key: entry.key,
+                            size_bytes: entry.size_bytes,
+                            cost: entry.cost,
+                            history: entry.history,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Applies the §2.4 retention policy: drop retained histories whose
+    /// profit is below the least profit among cached sets.
+    fn purge_retained(&mut self, now: Timestamp) {
+        if !self.config.retain_reference_info || self.retained.is_empty() {
+            return;
+        }
+        if let Some(min_profit) = self.min_cached_profit(now) {
+            self.retained.purge_below(min_profit, now);
+        }
+    }
+
+    /// Builds the reference history to use for a set being admitted: the
+    /// retained history if one exists (updated with the current reference if
+    /// it has not been recorded yet), otherwise a fresh history containing
+    /// only the current reference.
+    fn admission_history(&mut self, key: &QueryKey, now: Timestamp) -> (ReferenceHistory, bool) {
+        match self.retained.take(key) {
+            Some(mut info) => {
+                if info.history.last_reference() != Some(now) {
+                    info.history.record(now);
+                }
+                (info.history, true)
+            }
+            None => (
+                ReferenceHistory::with_first_reference(self.config.k, now),
+                false,
+            ),
+        }
+    }
+
+    /// Records an admission rejection: the reference information of the
+    /// rejected set is retained so that it may be admitted later once enough
+    /// references accumulate (paper §2.4, last paragraph).
+    fn retain_rejected(
+        &mut self,
+        key: QueryKey,
+        size_bytes: u64,
+        cost: ExecutionCost,
+        history: ReferenceHistory,
+        now: Timestamp,
+    ) {
+        if self.config.retain_reference_info {
+            self.retained.insert(
+                RetainedInfo {
+                    key,
+                    size_bytes,
+                    cost,
+                    history,
+                },
+                now,
+            );
+        }
+    }
+
+    fn admit(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        size_bytes: u64,
+        cost: ExecutionCost,
+        history: ReferenceHistory,
+        evicted: Vec<QueryKey>,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        self.entries.insert(LncEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            history,
+        });
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        debug_assert!(self.used_bytes <= self.config.capacity_bytes);
+        self.purge_retained(now);
+        InsertOutcome::Admitted { evicted }
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for LncCache<V> {
+    fn name(&self) -> &'static str {
+        if self.config.admission {
+            "LNC-RA"
+        } else {
+            "LNC-R"
+        }
+    }
+
+    fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.history.record(now);
+            let cost = entry.cost;
+            self.stats.record_hit(cost);
+            // Re-borrow immutably for the return value.
+            return self.entries.get(key).map(|e| &e.value);
+        }
+        // Miss: record the reference against retained information (if any) so
+        // that the admission decision that typically follows sees it.
+        if self.config.retain_reference_info {
+            self.retained.record_reference(key, now);
+        }
+        None
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        // Already cached: refresh the payload and cost, count the reference.
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let old_size = entry.size_bytes;
+            entry.value = value;
+            entry.cost = cost;
+            entry.size_bytes = size_bytes;
+            entry.history.record(now);
+            self.used_bytes = self.used_bytes - old_size + size_bytes;
+            // If the refreshed payload grew, restore the capacity invariant by
+            // evicting the lowest-profit sets (possibly the refreshed one).
+            if self.used_bytes > self.config.capacity_bytes {
+                let needed = self.used_bytes - self.config.capacity_bytes;
+                if let Some(victims) = self.select_victims(needed, now) {
+                    self.evict(victims, now);
+                }
+            }
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.config.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.config.capacity_bytes {
+            // The set can never fit; remember its references anyway.
+            let (history, _) = self.admission_history(&key, now);
+            self.retain_rejected(key, size_bytes, cost, history, now);
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        let available = self.config.capacity_bytes - self.used_bytes;
+        let (history, had_history) = self.admission_history(&key, now);
+
+        if available >= size_bytes {
+            // Enough free space: cache unconditionally (Figure 1, middle case).
+            return self.admit(key, value, size_bytes, cost, history, Vec::new(), now);
+        }
+
+        // Not enough space: run LNC-R to find replacement candidates.
+        let needed = size_bytes - available;
+        let victims = match self.select_victims(needed, now) {
+            Some(v) => v,
+            None => {
+                // Cannot free enough space (should not happen given the size
+                // check above, but be defensive).
+                self.retain_rejected(key, size_bytes, cost, history, now);
+                self.stats.record_admission(false);
+                return InsertOutcome::Rejected(RejectReason::TooLarge);
+            }
+        };
+
+        let admit = if !self.config.admission {
+            // Plain LNC-R admits everything that fits.
+            true
+        } else if had_history && history.sample_count() > 1 {
+            // Past reference information available: compare real profits
+            // (Eq. 4 / Eq. 5).
+            let candidate_profit = Profit::of_list(victims.iter().filter_map(|&id| {
+                self.entries.by_id(id).map(|e| {
+                    (
+                        e.history.rate(now).unwrap_or(0.0),
+                        e.cost,
+                        e.size_bytes,
+                    )
+                })
+            }));
+            let own_rate = history.rate(now).unwrap_or(0.0);
+            let own_profit = Profit::of_set(own_rate, cost, size_bytes);
+            own_profit > candidate_profit
+        } else {
+            // First-time set: compare estimated profits (Eq. 7 / Eq. 8).
+            let candidate_eprofit = Profit::estimated_of_list(
+                victims
+                    .iter()
+                    .filter_map(|&id| self.entries.by_id(id).map(|e| (e.cost, e.size_bytes))),
+            );
+            let own_eprofit = Profit::estimated(cost, size_bytes);
+            own_eprofit > candidate_eprofit
+        };
+
+        if !admit {
+            self.retain_rejected(key, size_bytes, cost, history, now);
+            self.stats.record_admission(false);
+            self.purge_retained(now);
+            return InsertOutcome::Rejected(RejectReason::AdmissionTest);
+        }
+
+        let evicted = self.evict(victims, now);
+        self.admit(key, value, size_bytes, cost, history, evicted, now)
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.config.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.retained.clear();
+        self.used_bytes = 0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn cost(c: f64) -> ExecutionCost {
+        ExecutionCost::from_block_reads(c)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn payload(bytes: u64) -> SizedPayload {
+        SizedPayload::new(bytes)
+    }
+
+    /// Reference a query: get (miss expected) then insert.
+    fn reference(
+        cache: &mut LncCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        c: f64,
+        now: u64,
+    ) -> InsertOutcome {
+        let k = key(name);
+        if cache.get(&k, ts(now)).is_some() {
+            return InsertOutcome::AlreadyCached;
+        }
+        cache.insert(k, payload(size), cost(c), ts(now))
+    }
+
+    #[test]
+    fn names_reflect_admission_setting() {
+        let ra: LncCache<SizedPayload> = LncCache::lnc_ra(100);
+        let r: LncCache<SizedPayload> = LncCache::lnc_r(100);
+        assert_eq!(ra.name(), "LNC-RA");
+        assert_eq!(r.name(), "LNC-R");
+    }
+
+    #[test]
+    fn get_hit_returns_value_and_updates_stats() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        assert!(cache.get(&key("q"), ts(1)).is_none());
+        cache.insert(key("q"), payload(100), cost(50.0), ts(1));
+        assert!(cache.get(&key("q"), ts(2)).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        // One miss (counted at insert time) plus one hit.
+        assert_eq!(cache.stats().references, 2);
+        assert!((cache.stats().saved_cost - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_fits_in_free_space_without_eviction() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        let outcome = reference(&mut cache, "a", 400, 10.0, 1);
+        assert!(outcome.is_admitted());
+        assert!(outcome.evicted().is_empty());
+        assert_eq!(cache.used_bytes(), 400);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut cache = LncCache::lnc_ra(0);
+        let outcome = reference(&mut cache, "a", 1, 10.0, 1);
+        assert_eq!(outcome, InsertOutcome::Rejected(RejectReason::ZeroCapacity));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oversized_set_is_rejected_as_too_large() {
+        let mut cache = LncCache::lnc_ra(100);
+        let outcome = reference(&mut cache, "huge", 500, 10.0, 1);
+        assert_eq!(outcome, InsertOutcome::Rejected(RejectReason::TooLarge));
+    }
+
+    #[test]
+    fn reinsert_of_cached_key_refreshes_in_place() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        reference(&mut cache, "a", 400, 10.0, 1);
+        let outcome = cache.insert(key("a"), payload(300), cost(20.0), ts(2));
+        assert_eq!(outcome, InsertOutcome::AlreadyCached);
+        assert_eq!(cache.used_bytes(), 300);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn admission_rejects_cheap_large_set_that_would_displace_valuable_ones() {
+        // Cache full of small, expensive, frequently referenced aggregates.
+        let mut cache = LncCache::lnc_ra(1_000);
+        for i in 0..10 {
+            let name = format!("agg{i}");
+            reference(&mut cache, &name, 100, 1_000.0, i + 1);
+        }
+        // Reference them again so they have healthy rate estimates.
+        for i in 0..10 {
+            let name = format!("agg{i}");
+            assert!(cache.get(&key(&name), ts(100 + i)).is_some());
+        }
+        assert_eq!(cache.used_bytes(), 1_000);
+        // A cheap projection with a huge retrieved set shows up.
+        let outcome = reference(&mut cache, "projection", 900, 10.0, 200);
+        assert_eq!(
+            outcome,
+            InsertOutcome::Rejected(RejectReason::AdmissionTest),
+            "LNC-A must not let a cheap large set evict expensive aggregates"
+        );
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn lnc_r_without_admission_accepts_the_same_set() {
+        let mut cache = LncCache::lnc_r(1_000);
+        for i in 0..10 {
+            let name = format!("agg{i}");
+            reference(&mut cache, &name, 100, 1_000.0, i + 1);
+        }
+        let outcome = reference(&mut cache, "projection", 900, 10.0, 200);
+        assert!(outcome.is_admitted(), "LNC-R admits whatever fits");
+        assert!(cache.used_bytes() <= 1_000);
+    }
+
+    #[test]
+    fn admission_accepts_expensive_small_set() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        // Fill with mediocre sets.
+        for i in 0..10 {
+            let name = format!("med{i}");
+            reference(&mut cache, &name, 100, 50.0, i + 1);
+        }
+        // An expensive small aggregate should displace one of them.
+        let outcome = reference(&mut cache, "expensive", 100, 10_000.0, 50);
+        assert!(outcome.is_admitted());
+        assert!(!outcome.evicted().is_empty());
+        assert!(cache.contains(&key("expensive")));
+        assert!(cache.used_bytes() <= 1_000);
+    }
+
+    #[test]
+    fn eviction_prefers_sets_with_fewer_reference_samples() {
+        let mut cache = LncCache::new(LncConfig::lnc_r(300).with_k(3));
+        // "old" has 3 reference samples, "new" only 1; both same size/cost.
+        reference(&mut cache, "old", 100, 100.0, 1);
+        cache.get(&key("old"), ts(10));
+        cache.get(&key("old"), ts(20));
+        reference(&mut cache, "new", 100, 100.0, 25);
+        reference(&mut cache, "other", 100, 100.0, 30);
+        assert_eq!(cache.used_bytes(), 300);
+        // Force an eviction; "new"/"other" (1 sample) must go before "old".
+        let outcome = reference(&mut cache, "incoming", 150, 100.0, 40);
+        assert!(outcome.is_admitted());
+        assert!(
+            cache.contains(&key("old")),
+            "the set with the full reference history must survive"
+        );
+    }
+
+    #[test]
+    fn victims_are_lowest_profit_first_within_same_sample_count() {
+        let mut cache = LncCache::lnc_r(300);
+        reference(&mut cache, "cheap", 100, 1.0, 1);
+        reference(&mut cache, "pricey", 100, 1_000.0, 2);
+        reference(&mut cache, "mid", 100, 100.0, 3);
+        // Need 100 bytes → exactly one victim → must be "cheap".
+        let outcome = reference(&mut cache, "incoming", 100, 500.0, 10);
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted(), &[key("cheap")]);
+        assert!(cache.contains(&key("pricey")));
+        assert!(cache.contains(&key("mid")));
+    }
+
+    #[test]
+    fn retained_reference_info_enables_later_admission() {
+        // A small expensive set is initially rejected because the cache is
+        // full of equally good sets; after repeated references its retained
+        // history gives it a higher profit and it gets admitted.
+        let mut cache = LncCache::new(LncConfig::lnc_ra(400).with_k(2));
+        for i in 0..4 {
+            let name = format!("resident{i}");
+            reference(&mut cache, &name, 100, 100.0, i + 1);
+            cache.get(&key(&name), ts(10 + i));
+        }
+        // First attempt: same cost/size as residents → not strictly better →
+        // rejected, but its reference info is retained.
+        let first = reference(&mut cache, "contender", 100, 100.0, 1_000);
+        assert_eq!(first, InsertOutcome::Rejected(RejectReason::AdmissionTest));
+        assert!(cache.retained_entries() > 0);
+        // Re-reference the contender several times in quick succession: its
+        // rate estimate becomes much higher than the residents'.
+        let mut outcome = InsertOutcome::AlreadyCached;
+        for t in 0..5u64 {
+            let now = 1_010 + t;
+            if cache.get(&key("contender"), ts(now)).is_none() {
+                outcome = cache.insert(key("contender"), payload(100), cost(100.0), ts(now));
+            }
+        }
+        assert!(
+            outcome.is_admitted(),
+            "retained reference information must eventually win admission, got {outcome:?}"
+        );
+        assert!(cache.contains(&key("contender")));
+    }
+
+    #[test]
+    fn disabling_retained_info_keeps_store_empty() {
+        let mut cache: LncCache<SizedPayload> =
+            LncCache::new(LncConfig::lnc_ra(200).with_retained_info(false));
+        reference(&mut cache, "a", 150, 100.0, 1);
+        reference(&mut cache, "b", 150, 1.0, 2); // rejected or evicts a
+        reference(&mut cache, "c", 150, 1.0, 3);
+        assert_eq!(cache.retained_entries(), 0);
+        assert_eq!(cache.retained_metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn used_bytes_never_exceeds_capacity() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        for i in 0..200u64 {
+            let name = format!("q{}", i % 37);
+            let size = 50 + (i % 13) * 30;
+            let c = 10.0 + (i % 7) as f64 * 100.0;
+            let _ = reference(&mut cache, &name, size, c, i + 1);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = LncCache::new(LncConfig::unbounded());
+        for i in 0..100u64 {
+            let name = format!("q{i}");
+            let outcome = reference(&mut cache, &name, 1_000_000, 10.0, i + 1);
+            assert!(outcome.is_admitted());
+            assert!(outcome.evicted().is_empty());
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn clear_removes_entries_but_keeps_stats() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        reference(&mut cache, "a", 100, 10.0, 1);
+        cache.get(&key("a"), ts(2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(!cache.contains(&key("a")));
+    }
+
+    #[test]
+    fn cached_keys_lists_all_entries() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        reference(&mut cache, "a", 100, 10.0, 1);
+        reference(&mut cache, "b", 100, 10.0, 2);
+        let mut keys: Vec<String> = cache
+            .cached_keys()
+            .into_iter()
+            .map(|k| k.text().to_owned())
+            .collect();
+        keys.sort();
+        assert_eq!(keys, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn utilization_reflects_occupancy() {
+        let mut cache = LncCache::lnc_ra(1_000);
+        assert_eq!(cache.utilization(), 0.0);
+        reference(&mut cache, "a", 250, 10.0, 1);
+        assert!((cache.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cached_profit_matches_lowest_entry() {
+        let mut cache = LncCache::lnc_ra(10_000);
+        reference(&mut cache, "low", 1_000, 1.0, 1);
+        reference(&mut cache, "high", 10, 1_000.0, 2);
+        let now = ts(100);
+        let min = cache.min_cached_profit(now).unwrap();
+        assert_eq!(min, cache.profit_of(&key("low"), now).unwrap());
+        assert!(min < cache.profit_of(&key("high"), now).unwrap());
+    }
+}

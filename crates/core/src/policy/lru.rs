@@ -1,0 +1,315 @@
+//! Vanilla LRU over whole retrieved sets — the paper's primary baseline.
+//!
+//! Every referenced retrieved set is admitted (there is no admission
+//! control); when space is needed, the least recently used sets are evicted
+//! until the newcomer fits.  Reference rate, size-relative value and
+//! execution cost play no role in the decision, which is exactly why LRU
+//! underperforms on decision-support workloads (paper §4.2).
+
+use std::collections::BTreeMap;
+
+use crate::clock::Timestamp;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::value::{CachePayload, ExecutionCost};
+
+#[derive(Debug, Clone)]
+struct LruEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    /// Recency sequence number; larger = more recently used.
+    tick: u64,
+}
+
+impl<V> KeyedEntry for LruEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+/// A retrieved-set cache with least-recently-used replacement.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity_bytes: u64,
+    entries: EntryStore<LruEntry<V>>,
+    /// tick → entry id, ordered oldest first.
+    recency: BTreeMap<u64, EntryId>,
+    next_tick: u64,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> LruCache<V> {
+    /// Creates an LRU cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LruCache {
+            capacity_bytes,
+            entries: EntryStore::new(),
+            recency: BTreeMap::new(),
+            next_tick: 0,
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    fn bump(&mut self, id: EntryId) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.entries.by_id_mut(id) {
+            let old = entry.tick;
+            entry.tick = tick;
+            self.recency.remove(&old);
+            self.recency.insert(tick, id);
+        }
+    }
+
+    /// Evicts least-recently-used entries until at least `needed` bytes are
+    /// free.  Returns the evicted keys.
+    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + needed > self.capacity_bytes {
+            let Some((&tick, &id)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&tick);
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                evicted.push(entry.key);
+            }
+        }
+        evicted
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for LruCache<V> {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn get(&mut self, key: &QueryKey, _now: Timestamp) -> Option<&V> {
+        match self.entries.find(key) {
+            Some(id) => {
+                self.bump(id);
+                let cost = self.entries.by_id(id).map(|e| e.cost).unwrap_or_default();
+                self.stats.record_hit(cost);
+                self.entries.by_id(id).map(|e| &e.value)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        _now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        if let Some(id) = self.entries.find(&key) {
+            if let Some(entry) = self.entries.by_id_mut(id) {
+                let old = entry.size_bytes;
+                entry.value = value;
+                entry.cost = cost;
+                entry.size_bytes = size_bytes;
+                self.used_bytes = self.used_bytes - old + size_bytes;
+            }
+            self.bump(id);
+            // Restore the capacity invariant if the refreshed payload grew.
+            self.evict_for(0);
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.capacity_bytes {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        let evicted = self.evict_for(size_bytes);
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let id = self.entries.insert(LruEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            tick,
+        });
+        self.recency.insert(tick, id);
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        InsertOutcome::Admitted { evicted }
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+        self.used_bytes = 0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn insert(cache: &mut LruCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+        cache.insert(
+            key(name),
+            SizedPayload::new(size),
+            ExecutionCost::from_blocks(10),
+            ts(now),
+        )
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut cache = LruCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 100, 2);
+        insert(&mut cache, "c", 100, 3);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.get(&key("a"), ts(4)).is_some());
+        let outcome = insert(&mut cache, "d", 100, 5);
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted(), &[key("b")]);
+        assert!(cache.contains(&key("a")));
+        assert!(cache.contains(&key("c")));
+        assert!(cache.contains(&key("d")));
+    }
+
+    #[test]
+    fn large_insert_evicts_multiple_victims() {
+        let mut cache = LruCache::new(300);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 100, 2);
+        insert(&mut cache, "c", 100, 3);
+        let outcome = insert(&mut cache, "big", 250, 4);
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted().len(), 3);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() <= 300);
+    }
+
+    #[test]
+    fn admits_everything_regardless_of_cost() {
+        // LRU has no admission control: a cheap huge set displaces everything.
+        let mut cache = LruCache::new(1_000);
+        for i in 0..10 {
+            let name = format!("agg{i}");
+            cache.insert(
+                key(&name),
+                SizedPayload::new(100),
+                ExecutionCost::from_blocks(1_000),
+                ts(i + 1),
+            );
+        }
+        let outcome = cache.insert(
+            key("cheap-projection"),
+            SizedPayload::new(1_000),
+            ExecutionCost::from_blocks(1),
+            ts(100),
+        );
+        assert!(outcome.is_admitted());
+        assert_eq!(outcome.evicted().len(), 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_updates_recency_and_stats() {
+        let mut cache = LruCache::new(500);
+        insert(&mut cache, "a", 100, 1);
+        assert!(cache.get(&key("a"), ts(2)).is_some());
+        assert!(cache.get(&key("missing"), ts(3)).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().references, 2);
+    }
+
+    #[test]
+    fn rejects_oversized_and_zero_capacity() {
+        let mut cache = LruCache::new(100);
+        assert_eq!(
+            insert(&mut cache, "big", 200, 1),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+        let mut zero = LruCache::new(0);
+        assert_eq!(
+            insert(&mut zero, "any", 1, 1),
+            InsertOutcome::Rejected(RejectReason::ZeroCapacity)
+        );
+    }
+
+    #[test]
+    fn already_cached_refreshes_size() {
+        let mut cache = LruCache::new(500);
+        insert(&mut cache, "a", 100, 1);
+        let outcome = insert(&mut cache, "a", 200, 2);
+        assert_eq!(outcome, InsertOutcome::AlreadyCached);
+        assert_eq!(cache.used_bytes(), 200);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut cache = LruCache::new(500);
+        insert(&mut cache, "a", 100, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        insert(&mut cache, "b", 100, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn used_bytes_never_exceeds_capacity() {
+        let mut cache = LruCache::new(1_000);
+        for i in 0..300u64 {
+            let name = format!("q{}", i % 41);
+            insert(&mut cache, &name, 60 + (i % 11) * 40, i);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+}

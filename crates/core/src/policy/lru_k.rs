@@ -1,0 +1,412 @@
+//! LRU-K replacement over retrieved sets (O'Neil, O'Neil & Weikum, SIGMOD'93).
+//!
+//! LRU-K evicts the set whose K-th most recent reference lies furthest in the
+//! past (equivalently: the set with the greatest *backward K-distance*).
+//! Sets with fewer than K recorded references have infinite backward
+//! K-distance and are evicted first, oldest last-reference first.  Like LRU,
+//! LRU-K ignores retrieved-set sizes and query execution costs; the paper
+//! uses it in the "impact of K" experiment (Figure 3) to isolate the benefit
+//! of the multi-reference rate estimate from the benefit of the profit
+//! metric.
+//!
+//! Following the original LRU-K design (and paper §2.4), reference history is
+//! retained for a configurable period after eviction so a re-referenced set
+//! does not restart with an empty history.
+
+use std::collections::HashMap;
+
+use crate::clock::Timestamp;
+use crate::history::ReferenceHistory;
+use crate::index::{EntryId, EntryStore, KeyedEntry};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::value::{CachePayload, ExecutionCost};
+
+/// Configuration for [`LruKCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LruKConfig {
+    /// Cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of reference times considered (the `K`).
+    pub k: usize,
+    /// How long (in microseconds of logical time) reference history is
+    /// retained after eviction.  The classical guideline is the Five Minute
+    /// Rule; the default is 300 seconds of logical time.
+    pub retained_info_period: u64,
+    /// Hard bound on retained histories.
+    pub max_retained_entries: usize,
+}
+
+impl LruKConfig {
+    /// LRU-K with the given capacity and window `K`.
+    pub fn new(capacity_bytes: u64, k: usize) -> Self {
+        LruKConfig {
+            capacity_bytes,
+            k: k.max(1),
+            retained_info_period: 300 * 1_000_000,
+            max_retained_entries: 16_384,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LruKEntry<V> {
+    key: QueryKey,
+    value: V,
+    size_bytes: u64,
+    cost: ExecutionCost,
+    history: ReferenceHistory,
+}
+
+impl<V> KeyedEntry for LruKEntry<V> {
+    fn key(&self) -> &QueryKey {
+        &self.key
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RetainedHistory {
+    history: ReferenceHistory,
+    evicted_at: Timestamp,
+}
+
+/// A retrieved-set cache with LRU-K replacement.
+#[derive(Debug)]
+pub struct LruKCache<V> {
+    config: LruKConfig,
+    entries: EntryStore<LruKEntry<V>>,
+    retained: HashMap<QueryKey, RetainedHistory>,
+    used_bytes: u64,
+    stats: CacheStats,
+}
+
+impl<V: CachePayload> LruKCache<V> {
+    /// Creates an LRU-K cache from a configuration.
+    pub fn new(config: LruKConfig) -> Self {
+        LruKCache {
+            config,
+            entries: EntryStore::new(),
+            retained: HashMap::new(),
+            used_bytes: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Creates an LRU-K cache with the given capacity and `K`.
+    pub fn with_capacity(capacity_bytes: u64, k: usize) -> Self {
+        Self::new(LruKConfig::new(capacity_bytes, k))
+    }
+
+    /// The configured `K`.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Number of retained (post-eviction) histories currently held.
+    pub fn retained_entries(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// The eviction priority of an entry: entries with fewer than K samples
+    /// sort first (ascending by last reference), then entries by ascending
+    /// K-th most recent reference time.
+    fn victim_rank(entry: &LruKEntry<V>, k: usize) -> (bool, u64) {
+        let full = entry.history.sample_count() >= k;
+        if full {
+            // Oldest retained sample is exactly the K-th most recent one.
+            (true, entry.history.oldest_reference().map_or(0, |t| t.as_micros()))
+        } else {
+            (false, entry.history.last_reference().map_or(0, |t| t.as_micros()))
+        }
+    }
+
+    fn evict_for(&mut self, needed: u64, now: Timestamp) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.used_bytes + needed > self.config.capacity_bytes {
+            let victim: Option<EntryId> = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| Self::victim_rank(e, self.config.k))
+                .map(|(id, _)| id);
+            let Some(id) = victim else { break };
+            if let Some(entry) = self.entries.remove(id) {
+                self.used_bytes -= entry.size_bytes;
+                self.stats.record_eviction(entry.size_bytes);
+                self.retain_history(entry.key.clone(), entry.history, now);
+                evicted.push(entry.key);
+            }
+        }
+        evicted
+    }
+
+    fn retain_history(&mut self, key: QueryKey, history: ReferenceHistory, now: Timestamp) {
+        if self.retained.len() >= self.config.max_retained_entries {
+            self.expire_retained(now);
+            if self.retained.len() >= self.config.max_retained_entries {
+                return;
+            }
+        }
+        self.retained.insert(
+            key,
+            RetainedHistory {
+                history,
+                evicted_at: now,
+            },
+        );
+    }
+
+    /// Drops retained histories older than the configured retention period
+    /// (the timeout-based scheme of the original LRU-K paper).
+    fn expire_retained(&mut self, now: Timestamp) {
+        let period = self.config.retained_info_period;
+        self.retained
+            .retain(|_, r| now.saturating_since(r.evicted_at) <= period);
+    }
+}
+
+impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
+    fn name(&self) -> &'static str {
+        "LRU-K"
+    }
+
+    fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.history.record(now);
+            let cost = entry.cost;
+            self.stats.record_hit(cost);
+            return self.entries.get(key).map(|e| &e.value);
+        }
+        if let Some(retained) = self.retained.get_mut(key) {
+            retained.history.record(now);
+        }
+        None
+    }
+
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        self.stats.record_miss(cost);
+
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let old = entry.size_bytes;
+            entry.value = value;
+            entry.cost = cost;
+            entry.size_bytes = size_bytes;
+            entry.history.record(now);
+            self.used_bytes = self.used_bytes - old + size_bytes;
+            // Restore the capacity invariant if the refreshed payload grew.
+            self.evict_for(0, now);
+            return InsertOutcome::AlreadyCached;
+        }
+
+        if self.config.capacity_bytes == 0 {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::ZeroCapacity);
+        }
+        if size_bytes > self.config.capacity_bytes {
+            self.stats.record_admission(false);
+            return InsertOutcome::Rejected(RejectReason::TooLarge);
+        }
+
+        self.expire_retained(now);
+        let history = match self.retained.remove(&key) {
+            Some(mut retained) => {
+                if retained.history.last_reference() != Some(now) {
+                    retained.history.record(now);
+                }
+                retained.history
+            }
+            None => ReferenceHistory::with_first_reference(self.config.k, now),
+        };
+
+        let evicted = self.evict_for(size_bytes, now);
+        self.entries.insert(LruKEntry {
+            key,
+            value,
+            size_bytes,
+            cost,
+            history,
+        });
+        self.used_bytes += size_bytes;
+        self.stats.record_admission(true);
+        InsertOutcome::Admitted { evicted }
+    }
+
+    fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.config.capacity_bytes
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.retained.clear();
+        self.used_bytes = 0;
+    }
+
+    fn cached_keys(&self) -> Vec<QueryKey> {
+        self.entries.iter().map(|(_, e)| e.key.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SizedPayload;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn insert(cache: &mut LruKCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+        cache.insert(
+            key(name),
+            SizedPayload::new(size),
+            ExecutionCost::from_blocks(10),
+            ts(now),
+        )
+    }
+
+    #[test]
+    fn k_equals_one_behaves_like_lru() {
+        let mut cache = LruKCache::with_capacity(300, 1);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 100, 2);
+        insert(&mut cache, "c", 100, 3);
+        cache.get(&key("a"), ts(4));
+        let outcome = insert(&mut cache, "d", 100, 5);
+        assert_eq!(outcome.evicted(), &[key("b")]);
+    }
+
+    #[test]
+    fn entries_with_incomplete_history_are_evicted_first() {
+        let mut cache = LruKCache::with_capacity(300, 2);
+        insert(&mut cache, "seasoned", 100, 1);
+        cache.get(&key("seasoned"), ts(2)); // now has 2 samples
+        insert(&mut cache, "rookie1", 100, 3);
+        insert(&mut cache, "rookie2", 100, 4);
+        // Evict one: rookies (1 sample) must go before "seasoned", and the
+        // older rookie goes first.
+        let outcome = insert(&mut cache, "new", 100, 5);
+        assert_eq!(outcome.evicted(), &[key("rookie1")]);
+        assert!(cache.contains(&key("seasoned")));
+    }
+
+    #[test]
+    fn full_histories_compared_by_kth_reference() {
+        let mut cache = LruKCache::with_capacity(200, 2);
+        // "x": references at 1 and 10 → 2nd most recent = 1.
+        insert(&mut cache, "x", 100, 1);
+        cache.get(&key("x"), ts(10));
+        // "y": references at 5 and 6 → 2nd most recent = 5.
+        insert(&mut cache, "y", 100, 5);
+        cache.get(&key("y"), ts(6));
+        // Victim must be "x" (older K-th reference) even though its most
+        // recent reference (10) is newer than y's (6) — the defining
+        // difference between LRU and LRU-K.
+        let outcome = insert(&mut cache, "z", 100, 20);
+        assert_eq!(outcome.evicted(), &[key("x")]);
+        assert!(cache.contains(&key("y")));
+    }
+
+    #[test]
+    fn retained_history_survives_eviction_and_reinsert() {
+        let mut cache = LruKCache::with_capacity(100, 2);
+        insert(&mut cache, "a", 100, 1);
+        cache.get(&key("a"), ts(2));
+        // Evict "a" by inserting "b".
+        let outcome = insert(&mut cache, "b", 100, 3);
+        assert_eq!(outcome.evicted(), &[key("a")]);
+        assert_eq!(cache.retained_entries(), 1);
+        // Re-reference "a": its retained history plus the new reference give
+        // it a full history immediately.
+        assert!(cache.get(&key("a"), ts(4)).is_none());
+        insert(&mut cache, "a", 100, 4);
+        let entry_samples = {
+            // "a" is cached again; check through public behaviour: evicting
+            // now should prefer nothing with incomplete history.
+            cache.len()
+        };
+        assert_eq!(entry_samples, 1);
+        assert!(cache.contains(&key("a")));
+    }
+
+    #[test]
+    fn retained_history_expires_after_period() {
+        let mut config = LruKConfig::new(100, 2);
+        config.retained_info_period = 10;
+        let mut cache: LruKCache<SizedPayload> = LruKCache::new(config);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 100, 2); // evicts a, retains its history
+        assert_eq!(cache.retained_entries(), 1);
+        // Far in the future the retained history must be gone.
+        insert(&mut cache, "c", 100, 1_000);
+        assert_eq!(cache.retained_entries(), 1, "only b's fresh eviction is retained");
+        assert!(!cache.retained.contains_key(&key("a")));
+    }
+
+    #[test]
+    fn rejects_oversized_sets() {
+        let mut cache = LruKCache::with_capacity(100, 2);
+        assert_eq!(
+            insert(&mut cache, "big", 500, 1),
+            InsertOutcome::Rejected(RejectReason::TooLarge)
+        );
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut cache = LruKCache::with_capacity(1_000, 2);
+        assert!(cache.get(&key("a"), ts(1)).is_none());
+        insert(&mut cache, "a", 100, 1);
+        assert!(cache.get(&key("a"), ts(2)).is_some());
+        // One miss (counted at insert time) plus one hit.
+        assert_eq!(cache.stats().references, 2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn used_bytes_bounded_by_capacity() {
+        let mut cache = LruKCache::with_capacity(1_000, 3);
+        for i in 0..200u64 {
+            let name = format!("q{}", i % 23);
+            insert(&mut cache, &name, 80 + (i % 7) * 50, i + 1);
+            assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut cache = LruKCache::with_capacity(200, 2);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 150, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.retained_entries(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cache policies.
+//!
+//! The [`QueryCache`] trait is the public interface shared by the paper's
+//! LNC-R / LNC-RA policies ([`lnc`]) and the comparison baselines:
+//! vanilla LRU ([`lru`]), LRU-K ([`lru_k`]), LFU ([`lfu`]), largest-space
+//! LCS ([`lcs`]) and GreedyDual-Size ([`gds`]).
+//!
+//! # Usage protocol
+//!
+//! A cache client issues one [`QueryCache::get`] per logical query reference.
+//! On a hit the cached retrieved set is returned and the reference is
+//! accounted as saved cost.  On a miss the client executes the query against
+//! the warehouse and then offers the freshly retrieved set with
+//! [`QueryCache::insert`], passing the observed execution cost; the policy
+//! decides whether to admit it (possibly evicting other sets) or reject it.
+//! Both calls take an explicit logical [`Timestamp`] so that trace replay is
+//! deterministic.
+
+pub mod gds;
+pub mod lcs;
+pub mod lfu;
+pub mod lnc;
+pub mod lru;
+pub mod lru_k;
+
+use crate::clock::Timestamp;
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::value::{CachePayload, ExecutionCost};
+
+/// Why an offered retrieved set was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The set is larger than the entire cache.
+    TooLarge,
+    /// The cache has zero capacity.
+    ZeroCapacity,
+    /// The admission test (Eq. 4 / Eq. 7) decided the set is not worth the
+    /// evictions it would require.
+    AdmissionTest,
+}
+
+/// The result of offering a retrieved set to the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// The set was already cached; its metadata was refreshed.
+    AlreadyCached,
+    /// The set was admitted.  `evicted` lists the keys that were removed to
+    /// make room (empty if the set fit in free space).
+    Admitted {
+        /// Keys of the retrieved sets evicted to make room.
+        evicted: Vec<QueryKey>,
+    },
+    /// The set was not admitted.
+    Rejected(RejectReason),
+}
+
+impl InsertOutcome {
+    /// Whether the set ended up cached (either newly admitted or already
+    /// present).
+    pub fn is_cached(&self) -> bool {
+        matches!(self, InsertOutcome::Admitted { .. } | InsertOutcome::AlreadyCached)
+    }
+
+    /// Whether the set was newly admitted by this call.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, InsertOutcome::Admitted { .. })
+    }
+
+    /// The keys evicted by this call (empty unless newly admitted with
+    /// evictions).
+    pub fn evicted(&self) -> &[QueryKey] {
+        match self {
+            InsertOutcome::Admitted { evicted } => evicted,
+            _ => &[],
+        }
+    }
+}
+
+/// The common interface of all retrieved-set cache policies.
+pub trait QueryCache<V: CachePayload> {
+    /// A short, stable policy name ("LNC-RA", "LRU", …) used in experiment
+    /// output.
+    fn name(&self) -> &'static str;
+
+    /// Looks up the retrieved set for `key`, recording one query reference.
+    ///
+    /// Returns the cached value on a hit.  On a miss the caller is expected
+    /// to execute the query and call [`QueryCache::insert`] with the result
+    /// and its execution cost.
+    fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V>;
+
+    /// Offers a freshly retrieved set for admission after a miss.
+    ///
+    /// `cost` is the execution cost of the query that produced the set.  The
+    /// same `now` that was passed to the preceding `get` should be used (or a
+    /// later one); policies tolerate either.
+    fn insert(
+        &mut self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome;
+
+    /// Whether a retrieved set for `key` is currently cached.
+    fn contains(&self, key: &QueryKey) -> bool;
+
+    /// Number of cached retrieved sets.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds no retrieved sets.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently occupied by cached retrieved sets.
+    fn used_bytes(&self) -> u64;
+
+    /// Total cache capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Accumulated reference / cost statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Removes every cached retrieved set (statistics are preserved).
+    fn clear(&mut self);
+
+    /// A snapshot of the keys currently cached, in unspecified order.
+    ///
+    /// Used by the buffer-manager integration to determine which pages are
+    /// redundant, and by tests.
+    fn cached_keys(&self) -> Vec<QueryKey>;
+
+    /// Fraction of capacity currently in use (zero for a zero-capacity
+    /// cache).
+    fn utilization(&self) -> f64 {
+        let capacity = self.capacity_bytes();
+        if capacity == 0 {
+            0.0
+        } else {
+            self.used_bytes() as f64 / capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_outcome_accessors() {
+        let admitted = InsertOutcome::Admitted {
+            evicted: vec![QueryKey::new("victim")],
+        };
+        assert!(admitted.is_cached());
+        assert!(admitted.is_admitted());
+        assert_eq!(admitted.evicted().len(), 1);
+
+        let already = InsertOutcome::AlreadyCached;
+        assert!(already.is_cached());
+        assert!(!already.is_admitted());
+        assert!(already.evicted().is_empty());
+
+        let rejected = InsertOutcome::Rejected(RejectReason::AdmissionTest);
+        assert!(!rejected.is_cached());
+        assert!(!rejected.is_admitted());
+        assert!(rejected.evicted().is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Retained reference information (paper §2.4).
+//!
+//! With `K > 1`, a freshly admitted retrieved set has incomplete reference
+//! information and is therefore among the first eviction candidates.  If its
+//! reference history were discarded together with the set, the history would
+//! have to be rebuilt from scratch after every re-reference and the set could
+//! never accumulate enough references to stay cached — a starvation problem
+//! first described for LRU-K.
+//!
+//! WATCHMAN therefore *retains* the reference information (timestamps, size
+//! and execution cost) of evicted and admission-rejected sets in a side
+//! table.  Instead of a wall-clock timeout (the "Five Minute Rule"), retained
+//! entries are dropped whenever their profit falls below the smallest profit
+//! among currently cached sets: valuable histories (small, expensive,
+//! frequently referenced sets) survive long, worthless ones disappear
+//! quickly, and the amount of retained information automatically scales with
+//! the cache size.
+
+use std::collections::HashMap;
+
+use crate::clock::Timestamp;
+use crate::history::ReferenceHistory;
+use crate::key::QueryKey;
+use crate::profit::Profit;
+use crate::value::ExecutionCost;
+
+/// Reference metadata kept for a retrieved set that is not currently cached.
+#[derive(Debug, Clone)]
+pub struct RetainedInfo {
+    /// The query key the information belongs to.
+    pub key: QueryKey,
+    /// The size of the retrieved set when it was last materialized.
+    pub size_bytes: u64,
+    /// The execution cost of the associated query.
+    pub cost: ExecutionCost,
+    /// The last (up to) K reference times.
+    pub history: ReferenceHistory,
+}
+
+impl RetainedInfo {
+    /// The profit of the retrieved set this information describes, evaluated
+    /// at time `now` using the maximal available number of reference samples
+    /// (paper §2.4: fewer than K samples are used as-is).
+    pub fn profit(&self, now: Timestamp) -> Profit {
+        match self.history.rate(now) {
+            Some(rate) => Profit::of_set(rate, self.cost, self.size_bytes),
+            None => Profit::ZERO,
+        }
+    }
+
+    /// Approximate number of bytes of cache metadata this entry occupies.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.key.metadata_bytes() + self.history.metadata_bytes() + 16
+    }
+}
+
+/// The side table of retained reference information.
+#[derive(Debug, Default)]
+pub struct RetainedStore {
+    entries: HashMap<QueryKey, RetainedInfo>,
+    /// Hard safety bound on the number of retained entries; the profit-based
+    /// policy normally keeps the table far smaller, but a bound protects
+    /// against pathological workloads where the cache is empty (min profit is
+    /// undefined) for long stretches.
+    max_entries: usize,
+}
+
+impl RetainedStore {
+    /// Creates a store bounded to `max_entries` retained histories.
+    pub fn new(max_entries: usize) -> Self {
+        RetainedStore {
+            entries: HashMap::new(),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Number of retained histories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total metadata bytes held by the store.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.entries.values().map(RetainedInfo::metadata_bytes).sum()
+    }
+
+    /// Returns the retained information for `key`, if any.
+    pub fn get(&self, key: &QueryKey) -> Option<&RetainedInfo> {
+        self.entries.get(key)
+    }
+
+    /// Whether information for `key` is retained.
+    pub fn contains(&self, key: &QueryKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Records a reference to a non-cached retrieved set, if its information
+    /// is retained.  Returns `true` if a retained history was updated.
+    pub fn record_reference(&mut self, key: &QueryKey, now: Timestamp) -> bool {
+        match self.entries.get_mut(key) {
+            Some(info) => {
+                info.history.record(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts or replaces retained information.  If the store is at its hard
+    /// bound, the entry with the lowest profit is dropped first.
+    pub fn insert(&mut self, info: RetainedInfo, now: Timestamp) {
+        if !self.entries.contains_key(&info.key) && self.entries.len() >= self.max_entries {
+            if let Some(worst) = self
+                .entries
+                .values()
+                .min_by_key(|i| i.profit(now))
+                .map(|i| i.key.clone())
+            {
+                // Only displace an existing entry if the newcomer is at least
+                // as valuable; otherwise drop the newcomer.
+                let worst_profit = self.entries[&worst].profit(now);
+                if info.profit(now) >= worst_profit {
+                    self.entries.remove(&worst);
+                } else {
+                    return;
+                }
+            }
+        }
+        self.entries.insert(info.key.clone(), info);
+    }
+
+    /// Removes and returns the retained information for `key`, typically
+    /// because the retrieved set is being (re-)admitted to the cache.
+    pub fn take(&mut self, key: &QueryKey) -> Option<RetainedInfo> {
+        self.entries.remove(key)
+    }
+
+    /// Applies the paper's retention policy: drop every retained entry whose
+    /// profit is smaller than `min_cached_profit`, the least profit among all
+    /// currently cached retrieved sets.
+    ///
+    /// Returns the number of entries dropped.  When the cache is empty the
+    /// caller should pass [`Profit::ZERO`], which retains everything (subject
+    /// to the hard bound).
+    pub fn purge_below(&mut self, min_cached_profit: Profit, now: Timestamp) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, info| info.profit(now) >= min_cached_profit);
+        before - self.entries.len()
+    }
+
+    /// Removes every retained entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over retained entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &RetainedInfo> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn info(name: &str, size: u64, cost: f64, refs: &[u64], k: usize) -> RetainedInfo {
+        let mut history = ReferenceHistory::new(k);
+        for &r in refs {
+            history.record(ts(r));
+        }
+        RetainedInfo {
+            key: QueryKey::new(name.to_owned()),
+            size_bytes: size,
+            cost: ExecutionCost::from_block_reads(cost),
+            history,
+        }
+    }
+
+    #[test]
+    fn record_reference_updates_existing_entry_only() {
+        let mut store = RetainedStore::new(16);
+        store.insert(info("q1", 100, 50.0, &[10], 2), ts(10));
+        assert!(store.record_reference(&QueryKey::new("q1"), ts(20)));
+        assert!(!store.record_reference(&QueryKey::new("q2"), ts(20)));
+        assert_eq!(
+            store.get(&QueryKey::new("q1")).unwrap().history.sample_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn take_removes_the_entry() {
+        let mut store = RetainedStore::new(16);
+        store.insert(info("q1", 100, 50.0, &[10], 2), ts(10));
+        let taken = store.take(&QueryKey::new("q1")).unwrap();
+        assert_eq!(taken.size_bytes, 100);
+        assert!(store.is_empty());
+        assert!(store.take(&QueryKey::new("q1")).is_none());
+    }
+
+    #[test]
+    fn purge_drops_entries_below_min_cached_profit() {
+        let mut store = RetainedStore::new(16);
+        // Valuable: small, expensive, recently referenced twice.
+        store.insert(info("valuable", 10, 1_000.0, &[90, 100], 2), ts(100));
+        // Worthless: huge, cheap, referenced once long ago.
+        store.insert(info("worthless", 1_000_000, 1.0, &[1], 2), ts(100));
+        let now = ts(200);
+        let threshold = store.get(&QueryKey::new("valuable")).unwrap().profit(now);
+        // Purge with a threshold equal to the valuable entry's profit: the
+        // valuable entry survives (>=), the worthless one is dropped.
+        let dropped = store.purge_below(threshold, now);
+        assert_eq!(dropped, 1);
+        assert!(store.contains(&QueryKey::new("valuable")));
+        assert!(!store.contains(&QueryKey::new("worthless")));
+    }
+
+    #[test]
+    fn purge_with_zero_threshold_keeps_everything() {
+        let mut store = RetainedStore::new(16);
+        store.insert(info("a", 10, 10.0, &[5], 2), ts(5));
+        store.insert(info("b", 10, 10.0, &[6], 2), ts(6));
+        assert_eq!(store.purge_below(Profit::ZERO, ts(100)), 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn hard_bound_displaces_lowest_profit_entry() {
+        let mut store = RetainedStore::new(2);
+        store.insert(info("low", 1_000_000, 1.0, &[1], 2), ts(1));
+        store.insert(info("mid", 100, 100.0, &[2], 2), ts(2));
+        // Store is full; inserting a high-profit entry displaces "low".
+        store.insert(info("high", 10, 10_000.0, &[3], 2), ts(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&QueryKey::new("high")));
+        assert!(store.contains(&QueryKey::new("mid")));
+        assert!(!store.contains(&QueryKey::new("low")));
+    }
+
+    #[test]
+    fn hard_bound_rejects_entry_worse_than_all_retained() {
+        let mut store = RetainedStore::new(2);
+        store.insert(info("a", 10, 1_000.0, &[1, 2], 2), ts(2));
+        store.insert(info("b", 10, 1_000.0, &[1, 2], 2), ts(2));
+        store.insert(info("junk", 1_000_000, 1.0, &[3], 2), ts(3));
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(&QueryKey::new("junk")));
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_in_place_even_when_full() {
+        let mut store = RetainedStore::new(1);
+        store.insert(info("a", 10, 10.0, &[1], 2), ts(1));
+        store.insert(info("a", 20, 10.0, &[2], 2), ts(2));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&QueryKey::new("a")).unwrap().size_bytes, 20);
+    }
+
+    #[test]
+    fn profit_of_entry_without_references_is_zero() {
+        let i = info("empty", 100, 50.0, &[], 2);
+        assert_eq!(i.profit(ts(10)), Profit::ZERO);
+    }
+
+    #[test]
+    fn metadata_bytes_is_positive_and_additive() {
+        let mut store = RetainedStore::new(8);
+        assert_eq!(store.metadata_bytes(), 0);
+        store.insert(info("a", 10, 10.0, &[1], 2), ts(1));
+        let one = store.metadata_bytes();
+        store.insert(info("bb", 10, 10.0, &[1, 2], 2), ts(2));
+        assert!(store.metadata_bytes() > one);
+    }
+
+    #[test]
+    fn clear_and_iter() {
+        let mut store = RetainedStore::new(8);
+        store.insert(info("a", 10, 10.0, &[1], 2), ts(1));
+        store.insert(info("b", 10, 10.0, &[1], 2), ts(1));
+        assert_eq!(store.iter().count(), 2);
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

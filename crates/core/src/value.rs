@@ -1,0 +1,362 @@
+//! Cached payloads and query execution costs.
+//!
+//! WATCHMAN caches *retrieved sets*: the materialized results of warehouse
+//! queries.  The cache policies in this crate are generic over the payload
+//! type; any type that can report its storage footprint via [`CachePayload`]
+//! can be cached.  [`RetrievedSet`] is the concrete payload produced by the
+//! warehouse substrate — a small columnar batch of aggregate rows — and
+//! [`ExecutionCost`] is the paper's query execution cost `cᵢ`, measured in
+//! logical block reads.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Types that can be stored in a WATCHMAN cache.
+///
+/// The only requirement is an accurate report of the number of bytes the
+/// value occupies (`sᵢ` in the paper's profit metric).  The size must be
+/// stable for the lifetime of the cached value: policies account space at
+/// admission time and release exactly the same amount at eviction.
+pub trait CachePayload {
+    /// The storage footprint of the value in bytes.
+    ///
+    /// Must be greater than zero for the profit metric (`λᵢ·cᵢ/sᵢ`) to be
+    /// well defined; implementations for possibly-empty containers should
+    /// round up to at least one byte.
+    fn size_bytes(&self) -> u64;
+}
+
+impl CachePayload for Bytes {
+    fn size_bytes(&self) -> u64 {
+        (self.len() as u64).max(1)
+    }
+}
+
+impl CachePayload for Vec<u8> {
+    fn size_bytes(&self) -> u64 {
+        (self.len() as u64).max(1)
+    }
+}
+
+impl CachePayload for String {
+    fn size_bytes(&self) -> u64 {
+        (self.len() as u64).max(1)
+    }
+}
+
+impl<T: CachePayload> CachePayload for std::sync::Arc<T> {
+    fn size_bytes(&self) -> u64 {
+        self.as_ref().size_bytes()
+    }
+}
+
+/// A payload that occupies a declared number of bytes without materializing
+/// them.
+///
+/// The evaluation experiments replay traces of tens of thousands of queries;
+/// only the *size* of each retrieved set affects policy decisions, so the
+/// simulator uses `SizedPayload` to avoid allocating hundreds of megabytes of
+/// synthetic rows.  Library users caching real data use [`RetrievedSet`] or
+/// their own [`CachePayload`] type instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizedPayload {
+    bytes: u64,
+}
+
+impl SizedPayload {
+    /// Creates a payload standing in for `bytes` bytes of data (minimum 1).
+    pub fn new(bytes: u64) -> Self {
+        SizedPayload {
+            bytes: bytes.max(1),
+        }
+    }
+}
+
+impl CachePayload for SizedPayload {
+    fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A single value inside a retrieved-set row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Datum {
+    /// 64-bit signed integer (counts, keys).
+    Int(i64),
+    /// 64-bit float (sums, averages).
+    Float(f64),
+    /// Short string (group-by keys such as return flags or nations).
+    Text(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Datum {
+    /// The number of bytes this value contributes to the retrieved-set size.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Datum::Int(_) => 8,
+            Datum::Float(_) => 8,
+            Datum::Text(s) => s.len() as u64 + 4,
+            Datum::Null => 1,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v:.4}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A row of a retrieved set.
+pub type Row = Vec<Datum>;
+
+/// The materialized result of a warehouse query.
+///
+/// Decision-support queries typically return small sets of statistical data
+/// (sums, counts, averages, grouped by a handful of keys), which is exactly
+/// what makes retrieved-set caching attractive (paper §1).  A `RetrievedSet`
+/// stores the column names and rows, and reports a size that includes both
+/// the data and the per-row representation overhead.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RetrievedSet {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl RetrievedSet {
+    /// Creates an empty retrieved set with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        RetrievedSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a retrieved set from columns and rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the number of columns.
+    pub fn with_rows(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                columns.len(),
+                "row arity must match column count"
+            );
+        }
+        RetrievedSet { columns, rows }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the number of columns.
+    pub fn push_row(&mut self, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must match column count"
+        );
+        self.rows.push(row);
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the set has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl CachePayload for RetrievedSet {
+    fn size_bytes(&self) -> u64 {
+        let header: u64 = self.columns.iter().map(|c| c.len() as u64 + 8).sum();
+        let data: u64 = self
+            .rows
+            .iter()
+            .map(|r| 8 + r.iter().map(Datum::size_bytes).sum::<u64>())
+            .sum();
+        (header + data).max(1)
+    }
+}
+
+/// The execution cost `cᵢ` of the query that produced a retrieved set.
+///
+/// Following the paper's experimental setup (§4.1), cost is expressed as the
+/// number of logical block reads the query performs, which makes the estimate
+/// independent of the buffer manager's state.  Costs are non-negative finite
+/// floats; constructors clamp invalid inputs to zero.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ExecutionCost(f64);
+
+impl ExecutionCost {
+    /// Zero cost (a query answered without touching storage).
+    pub const ZERO: ExecutionCost = ExecutionCost(0.0);
+
+    /// Creates a cost from a number of logical block reads.
+    ///
+    /// Negative, NaN and infinite inputs are clamped to zero so that the
+    /// profit metric stays finite.
+    pub fn from_block_reads(blocks: f64) -> Self {
+        if blocks.is_finite() && blocks > 0.0 {
+            ExecutionCost(blocks)
+        } else {
+            ExecutionCost(0.0)
+        }
+    }
+
+    /// Creates a cost from an integral block-read count.
+    pub fn from_blocks(blocks: u64) -> Self {
+        ExecutionCost(blocks as f64)
+    }
+
+    /// Returns the cost as a float.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the sum of two costs.
+    pub fn saturating_add(self, other: ExecutionCost) -> ExecutionCost {
+        ExecutionCost(self.0 + other.0)
+    }
+}
+
+impl Default for ExecutionCost {
+    fn default() -> Self {
+        ExecutionCost::ZERO
+    }
+}
+
+impl fmt::Display for ExecutionCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} blocks", self.0)
+    }
+}
+
+impl From<u64> for ExecutionCost {
+    fn from(blocks: u64) -> Self {
+        ExecutionCost::from_blocks(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_payload_reports_declared_size() {
+        assert_eq!(SizedPayload::new(1024).size_bytes(), 1024);
+    }
+
+    #[test]
+    fn sized_payload_rounds_zero_up_to_one() {
+        assert_eq!(SizedPayload::new(0).size_bytes(), 1);
+    }
+
+    #[test]
+    fn bytes_payload_size() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.size_bytes(), 5);
+        assert_eq!(Bytes::new().size_bytes(), 1);
+    }
+
+    #[test]
+    fn vec_and_string_payload_size() {
+        assert_eq!(vec![0u8; 16].size_bytes(), 16);
+        assert_eq!("abc".to_owned().size_bytes(), 3);
+        assert_eq!(String::new().size_bytes(), 1);
+    }
+
+    #[test]
+    fn arc_payload_delegates() {
+        let inner = SizedPayload::new(77);
+        assert_eq!(std::sync::Arc::new(inner).size_bytes(), 77);
+    }
+
+    #[test]
+    fn retrieved_set_size_grows_with_rows() {
+        let mut rs = RetrievedSet::new(vec!["sum".into(), "count".into()]);
+        let empty = rs.size_bytes();
+        rs.push_row(vec![Datum::Float(10.0), Datum::Int(3)]);
+        assert!(rs.size_bytes() > empty);
+        assert_eq!(rs.len(), 1);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn retrieved_set_rejects_mismatched_row() {
+        let mut rs = RetrievedSet::new(vec!["a".into()]);
+        rs.push_row(vec![Datum::Int(1), Datum::Int(2)]);
+    }
+
+    #[test]
+    fn retrieved_set_with_rows_checks_arity() {
+        let rs = RetrievedSet::with_rows(
+            vec!["a".into()],
+            vec![vec![Datum::Int(1)], vec![Datum::Null]],
+        );
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns(), &["a".to_owned()]);
+    }
+
+    #[test]
+    fn datum_sizes() {
+        assert_eq!(Datum::Int(1).size_bytes(), 8);
+        assert_eq!(Datum::Float(1.0).size_bytes(), 8);
+        assert_eq!(Datum::Text("ab".into()).size_bytes(), 6);
+        assert_eq!(Datum::Null.size_bytes(), 1);
+    }
+
+    #[test]
+    fn datum_display() {
+        assert_eq!(Datum::Int(7).to_string(), "7");
+        assert_eq!(Datum::Text("x".into()).to_string(), "x");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn execution_cost_clamps_invalid_values() {
+        assert_eq!(ExecutionCost::from_block_reads(-5.0).value(), 0.0);
+        assert_eq!(ExecutionCost::from_block_reads(f64::NAN).value(), 0.0);
+        assert_eq!(ExecutionCost::from_block_reads(f64::INFINITY).value(), 0.0);
+        assert_eq!(ExecutionCost::from_block_reads(12.5).value(), 12.5);
+    }
+
+    #[test]
+    fn execution_cost_addition() {
+        let a = ExecutionCost::from_blocks(10);
+        let b = ExecutionCost::from_blocks(32);
+        assert_eq!(a.saturating_add(b).value(), 42.0);
+    }
+
+    #[test]
+    fn execution_cost_display_and_from() {
+        let c: ExecutionCost = 100u64.into();
+        assert_eq!(c.to_string(), "100.0 blocks");
+    }
+}

@@ -1,0 +1,21 @@
+//! Extension ablation: LNC-RA against LRU, LRU-K, LFU, LCS and
+//! GreedyDual-Size, plus the optimality-gap comparison against the static
+//! LNC* oracle of §2.3.
+//!
+//! Run with `cargo run --release -p watchman-sim --bin ablation_policy_zoo`.
+//! Pass `--quick` to use a shortened trace.
+
+use watchman_sim::{ExperimentScale, OptimalityExperiment, PolicyZooExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick(4_000)
+    } else {
+        ExperimentScale::paper()
+    };
+    let zoo = PolicyZooExperiment::run(scale);
+    print!("{}", zoo.render());
+    let optimality = OptimalityExperiment::run(scale, &[0.01, 0.05]);
+    print!("{}", optimality.render());
+}

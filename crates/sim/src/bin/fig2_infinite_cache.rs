@@ -1,0 +1,20 @@
+//! Reproduces Figure 2: performance with an infinite cache.
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig2_infinite_cache`.
+//! Pass `--quick` to use a shortened trace.
+
+use watchman_sim::{ExperimentScale, InfiniteCacheExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick(4_000)
+    } else {
+        ExperimentScale::paper()
+    };
+    let experiment = InfiniteCacheExperiment::run(scale);
+    print!("{}", experiment.render());
+    if let Ok(json) = serde_json::to_string_pretty(&experiment.rows) {
+        eprintln!("{json}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproduces Figure 3: impact of the reference window `K` on the cost
+//! savings ratio (cache size = 1 % of the database).
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig3_impact_of_k`.
+//! Pass `--quick` to use a shortened trace.
+
+use watchman_sim::{ExperimentScale, ImpactOfKExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick(4_000)
+    } else {
+        ExperimentScale::paper()
+    };
+    let experiment = ImpactOfKExperiment::run(scale);
+    print!("{}", experiment.render());
+}

@@ -1,0 +1,23 @@
+//! Reproduces Figure 4 (cost savings ratio vs cache size), Figure 5 (hit
+//! ratio vs cache size) and the §4.2 improvement-factor summary.
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig4_5_cost_savings`.
+//! Pass `--quick` to use a shortened trace and a reduced sweep.
+
+use watchman_sim::experiments::cost_savings::QUICK_CACHE_FRACTIONS;
+use watchman_sim::{CostSavingsExperiment, ExperimentScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick {
+        CostSavingsExperiment::run_with_fractions(
+            ExperimentScale::quick(4_000),
+            &QUICK_CACHE_FRACTIONS,
+        )
+    } else {
+        CostSavingsExperiment::run(ExperimentScale::paper())
+    };
+    print!("{}", experiment.render_cost_savings());
+    print!("{}", experiment.render_hit_ratio());
+    print!("{}", experiment.render_summary());
+}

@@ -1,0 +1,20 @@
+//! Reproduces Figure 6: external cache fragmentation (fraction of cache space
+//! in use) for LNC-RA, LNC-R and LRU across cache sizes.
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig6_fragmentation`.
+//! Pass `--quick` to use a shortened trace and a reduced sweep.
+
+use watchman_sim::{ExperimentScale, FragmentationExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let experiment = if quick {
+        FragmentationExperiment::run_with_fractions(
+            ExperimentScale::quick(4_000),
+            &[0.005, 0.01, 0.03, 0.05],
+        )
+    } else {
+        FragmentationExperiment::run(ExperimentScale::paper())
+    };
+    print!("{}", experiment.render());
+}

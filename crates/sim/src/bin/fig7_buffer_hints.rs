@@ -1,0 +1,20 @@
+//! Reproduces Figure 7: effect of WATCHMAN's p₀-redundancy hints on the
+//! buffer manager's hit ratio (15 MB buffer pool, 15 MB WATCHMAN cache,
+//! 14-relation 100 MB database).
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig7_buffer_hints`.
+//! Pass `--quick` to use a shortened trace (the full run replays tens of
+//! millions of page references).
+
+use watchman_sim::{BufferHintExperiment, ExperimentScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick(2_000)
+    } else {
+        ExperimentScale::paper()
+    };
+    let experiment = BufferHintExperiment::run(scale);
+    print!("{}", experiment.render());
+}

@@ -1,0 +1,135 @@
+//! Figure 2: performance with an infinite cache.
+//!
+//! The paper first replays both traces against an unlimited cache to
+//! establish the reference-locality ceiling: the maximal cost savings ratio,
+//! the maximal hit ratio, and the cache size an unbounded cache grows to
+//! (compared with the database size).
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::run_infinite;
+use crate::table::{bytes, ratio, TextTable};
+use crate::workload::{ExperimentScale, Workload};
+
+/// One row of the Figure 2 table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfiniteCacheRow {
+    /// Benchmark label ("TPC-D" / "Set Query").
+    pub benchmark: String,
+    /// Cost savings ratio with an infinite cache.
+    pub cost_savings_ratio: f64,
+    /// Hit ratio with an infinite cache.
+    pub hit_ratio: f64,
+    /// Bytes the unbounded cache grew to (the trace working set).
+    pub cache_bytes: u64,
+    /// Database size in bytes.
+    pub database_bytes: u64,
+}
+
+/// The complete Figure 2 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfiniteCacheExperiment {
+    /// One row per benchmark.
+    pub rows: Vec<InfiniteCacheRow>,
+}
+
+impl InfiniteCacheExperiment {
+    /// Runs the experiment at the given scale.
+    pub fn run(scale: ExperimentScale) -> Self {
+        let rows = Workload::both(scale)
+            .into_iter()
+            .map(|workload| {
+                let result = run_infinite(&workload.trace);
+                let stats = watchman_trace::TraceStats::of(&workload.trace);
+                InfiniteCacheRow {
+                    benchmark: workload.kind().label().to_owned(),
+                    cost_savings_ratio: result.cost_savings_ratio,
+                    hit_ratio: result.hit_ratio,
+                    cache_bytes: stats.working_set_bytes,
+                    database_bytes: workload.database_bytes(),
+                }
+            })
+            .collect();
+        InfiniteCacheExperiment { rows }
+    }
+
+    /// Renders the Figure 2 table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(
+            "Figure 2: performance with infinite cache",
+            &["benchmark", "CSR", "HR", "cache size", "db size"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.benchmark.clone(),
+                ratio(row.cost_savings_ratio),
+                ratio(row.hit_ratio),
+                bytes(row.cache_bytes),
+                bytes(row.database_bytes),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_benchmarks_show_high_locality() {
+        // The drill-down distribution only becomes visible once every
+        // template has accumulated a few hundred references, so this test
+        // uses a longer trace than most.
+        let experiment = InfiniteCacheExperiment::run(ExperimentScale::quick(8_000));
+        assert_eq!(experiment.rows.len(), 2);
+        for row in &experiment.rows {
+            assert!(
+                row.cost_savings_ratio > 0.45,
+                "{}: CSR {} too low for a drill-down workload",
+                row.benchmark,
+                row.cost_savings_ratio
+            );
+            assert!(
+                row.hit_ratio > 0.32,
+                "{}: HR {} too low for a drill-down workload",
+                row.benchmark,
+                row.hit_ratio
+            );
+            assert!(row.cache_bytes < row.database_bytes);
+        }
+    }
+
+    #[test]
+    fn set_query_has_higher_csr_but_lower_hit_ratio_than_tpcd() {
+        // The paper's Figure 2 finding: the Set Query trace yields a smaller
+        // hit ratio than TPC-D but a higher cost savings ratio relative to
+        // it, because its query-cost distribution is more skewed.
+        let experiment = InfiniteCacheExperiment::run(ExperimentScale::quick(8_000));
+        let tpcd = &experiment.rows[0];
+        let sq = &experiment.rows[1];
+        assert!(
+            sq.hit_ratio < tpcd.hit_ratio,
+            "Set Query HR ({}) should be below TPC-D HR ({})",
+            sq.hit_ratio,
+            tpcd.hit_ratio
+        );
+        assert!(
+            sq.cost_savings_ratio - sq.hit_ratio > tpcd.cost_savings_ratio - tpcd.hit_ratio,
+            "Set Query must show a larger CSR-HR gap (cost skew) than TPC-D: SQ ({}, {}), TPC-D ({}, {})",
+            sq.cost_savings_ratio,
+            sq.hit_ratio,
+            tpcd.cost_savings_ratio,
+            tpcd.hit_ratio
+        );
+    }
+
+    #[test]
+    fn render_contains_every_benchmark() {
+        let experiment = InfiniteCacheExperiment::run(ExperimentScale::quick(500));
+        let rendered = experiment.render();
+        assert!(rendered.contains("TPC-D"));
+        assert!(rendered.contains("Set Query"));
+        assert!(rendered.contains("Figure 2"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # watchman-sim
+//!
+//! The experiment harness of the WATCHMAN reproduction: it wires the cache
+//! policies ([`watchman-core`](watchman_core)), the synthetic warehouse
+//! ([`watchman-warehouse`](watchman_warehouse)), the trace generator
+//! ([`watchman-trace`](watchman_trace)) and the buffer manager
+//! ([`watchman-buffer`](watchman_buffer)) into the experiments of the paper's
+//! evaluation section.
+//!
+//! * [`policy_kind`] — named policy configurations;
+//! * [`workload`] — the TPC-D, Set Query and buffer-experiment workloads;
+//! * [`runner`] — trace replay and metric collection;
+//! * [`experiments`] — one module per paper figure (2–7) plus extension
+//!   ablations;
+//! * [`table`] — text-table rendering used by the figure binaries and the
+//!   Criterion benches.
+//!
+//! Each figure also has a binary (`fig2_infinite_cache`, `fig3_impact_of_k`,
+//! `fig4_5_cost_savings`, `fig6_fragmentation`, `fig7_buffer_hints`,
+//! `ablation_policy_zoo`, `run_all`) that runs the experiment at paper scale
+//! and prints its table.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod policy_kind;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use experiments::{
+    BufferHintExperiment, CostSavingsExperiment, FragmentationExperiment, ImpactOfKExperiment,
+    InfiniteCacheExperiment, OptimalityExperiment, PolicyZooExperiment,
+};
+pub use policy_kind::{BoxedCache, PolicyKind, SimPayload};
+pub use runner::{replay_trace, run_infinite, run_policy, RunResult};
+pub use workload::{ExperimentScale, Workload};

@@ -1,0 +1,174 @@
+//! Trace replay: drive a cache policy with a workload trace and collect the
+//! paper's performance metrics.
+
+use serde::{Deserialize, Serialize};
+use watchman_core::clock::Timestamp;
+use watchman_core::key::QueryKey;
+use watchman_core::metrics::FragmentationTracker;
+use watchman_core::policy::QueryCache;
+use watchman_core::value::{ExecutionCost, SizedPayload};
+use watchman_trace::Trace;
+
+use crate::policy_kind::{BoxedCache, PolicyKind};
+
+/// The metrics of one (trace, policy, cache size) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Display label of the policy.
+    pub policy: String,
+    /// Cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Cache capacity as a fraction of the database size.
+    pub cache_fraction: f64,
+    /// Cost savings ratio (the paper's primary metric).
+    pub cost_savings_ratio: f64,
+    /// Hit ratio.
+    pub hit_ratio: f64,
+    /// Average fraction of cache space in use (1 − external fragmentation).
+    pub avg_used_fraction: f64,
+    /// Minimum observed used fraction.
+    pub min_used_fraction: f64,
+    /// Number of query references replayed.
+    pub references: u64,
+    /// Number of admissions.
+    pub admissions: u64,
+    /// Number of admission rejections.
+    pub rejections: u64,
+    /// Number of evictions.
+    pub evictions: u64,
+}
+
+/// Replays `trace` against an already-constructed cache policy.
+///
+/// For every trace record the runner performs the protocol described in
+/// [`watchman_core::policy`]: a `get` with the record's timestamp, and on a
+/// miss an `insert` carrying the record's retrieved-set size and execution
+/// cost.  Occupancy is sampled after every query for the fragmentation
+/// metric.
+pub fn replay_trace(
+    trace: &Trace,
+    cache: &mut dyn QueryCache<SizedPayload>,
+    cache_fraction: f64,
+) -> RunResult {
+    let mut fragmentation = FragmentationTracker::new();
+    for record in trace.iter() {
+        let now = Timestamp::from_micros(record.timestamp_us);
+        let key = QueryKey::from_raw_query(&record.query_text);
+        if cache.get(&key, now).is_none() {
+            // Miss: "execute" the query (its cost is already recorded in the
+            // trace) and offer the retrieved set for admission.
+            cache.insert(
+                key,
+                SizedPayload::new(record.result_bytes),
+                ExecutionCost::from_blocks(record.cost_blocks),
+                now,
+            );
+        }
+        fragmentation.record(cache.used_bytes(), cache.capacity_bytes());
+    }
+    let stats = cache.stats();
+    RunResult {
+        policy: cache.name().to_owned(),
+        capacity_bytes: cache.capacity_bytes(),
+        cache_fraction,
+        cost_savings_ratio: stats.cost_savings_ratio(),
+        hit_ratio: stats.hit_ratio(),
+        avg_used_fraction: fragmentation.average_used_fraction(),
+        min_used_fraction: fragmentation.min_used_fraction(),
+        references: stats.references,
+        admissions: stats.admissions,
+        rejections: stats.rejections,
+        evictions: stats.evictions,
+    }
+}
+
+/// Builds the policy for `kind` at `cache_fraction` of the trace's database
+/// size and replays the trace through it.
+pub fn run_policy(trace: &Trace, kind: PolicyKind, cache_fraction: f64) -> RunResult {
+    let capacity = (trace.database_bytes as f64 * cache_fraction).round() as u64;
+    let mut cache: BoxedCache = kind.build(capacity);
+    let mut result = replay_trace(trace, cache.as_mut(), cache_fraction);
+    result.policy = kind.label();
+    result
+}
+
+/// Replays the trace against an effectively infinite cache (used by the
+/// Figure 2 experiment and as the "inf" line of Figures 4 and 5).
+pub fn run_infinite(trace: &Trace) -> RunResult {
+    let mut cache: BoxedCache = PolicyKind::LNC_RA.build(u64::MAX);
+    let mut result = replay_trace(trace, cache.as_mut(), f64::INFINITY);
+    result.policy = "inf".to_owned();
+    // Occupancy relative to an unbounded cache is meaningless.
+    result.avg_used_fraction = 0.0;
+    result.min_used_fraction = 0.0;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchman_trace::{TraceConfig, TraceGenerator, TraceStats};
+    use watchman_warehouse::tpcd;
+
+    fn quick_trace(n: usize, seed: u64) -> Trace {
+        let benchmark = tpcd::benchmark();
+        TraceGenerator::new(&benchmark, TraceConfig::quick(n, seed)).generate()
+    }
+
+    #[test]
+    fn infinite_cache_achieves_the_trace_upper_bounds() {
+        let trace = quick_trace(1_500, 1);
+        let stats = TraceStats::of(&trace);
+        let result = run_infinite(&trace);
+        assert!((result.hit_ratio - stats.max_hit_ratio).abs() < 1e-9);
+        assert!((result.cost_savings_ratio - stats.max_cost_savings_ratio).abs() < 1e-9);
+        assert_eq!(result.references, trace.len() as u64);
+    }
+
+    #[test]
+    fn finite_caches_never_beat_the_infinite_cache() {
+        let trace = quick_trace(1_200, 2);
+        let inf = run_infinite(&trace);
+        for kind in PolicyKind::paper_trio() {
+            let result = run_policy(&trace, kind, 0.01);
+            assert!(
+                result.cost_savings_ratio <= inf.cost_savings_ratio + 1e-9,
+                "{kind} beat the infinite cache"
+            );
+            assert!(result.hit_ratio <= inf.hit_ratio + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lnc_ra_outperforms_lru_on_small_caches() {
+        // The paper's headline result: at small cache sizes LNC-RA achieves a
+        // multiple of LRU's cost savings ratio on the TPC-D trace.
+        let trace = quick_trace(3_000, 3);
+        let lnc = run_policy(&trace, PolicyKind::LNC_RA, 0.005);
+        let lru = run_policy(&trace, PolicyKind::Lru, 0.005);
+        assert!(
+            lnc.cost_savings_ratio > 1.5 * lru.cost_savings_ratio,
+            "LNC-RA CSR {} should clearly beat LRU CSR {}",
+            lnc.cost_savings_ratio,
+            lru.cost_savings_ratio
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let trace = quick_trace(800, 4);
+        let a = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
+        let b = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_result_counts_are_consistent() {
+        let trace = quick_trace(600, 5);
+        let result = run_policy(&trace, PolicyKind::Lru, 0.02);
+        assert_eq!(result.references, trace.len() as u64);
+        assert!(result.admissions + result.rejections <= result.references);
+        assert!(result.avg_used_fraction >= result.min_used_fraction);
+        assert!(result.policy == "LRU");
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal fixed-width text tables for experiment output.
+//!
+//! Every experiment renders its results as one or more of these tables; the
+//! figure binaries and the Criterion benches print them so that
+//! `bench_output.txt` contains the same rows/series the paper's figures
+//! report.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the header arity.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header_line.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// Formats a ratio (0–1) with three decimals.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a byte count in a human-friendly unit.
+pub fn bytes(value: u64) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let v = value as f64;
+    if v >= MB {
+        format!("{:.1} MB", v / MB)
+    } else if v >= KB {
+        format!("{:.1} KB", v / KB)
+    } else {
+        format!("{value} B")
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new("Demo", &["policy", "csr"]);
+        table.push_row(vec!["LNC-RA".into(), "0.812".into()]);
+        table.push_row(vec!["LRU".into(), "0.204".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("policy"));
+        assert!(rendered.contains("LNC-RA"));
+        assert!(rendered.contains("0.204"));
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.title(), "Demo");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_mismatched_rows() {
+        let mut table = TextTable::new("Bad", &["a", "b"]);
+        table.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(0.51234), "0.512");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MB");
+        assert_eq!(percent(0.987), "98.7%");
+    }
+}

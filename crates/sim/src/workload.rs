@@ -1,0 +1,136 @@
+//! Workload construction shared by all experiments.
+//!
+//! Each experiment needs one or both of the paper's benchmark traces.  To
+//! keep experiments fast during development and exhaustive when reproducing
+//! the paper, every experiment takes an [`ExperimentScale`]: the paper scale
+//! replays the full 17 000-query traces, the quick scale a few thousand
+//! queries (enough for every qualitative trend to be visible).
+
+use serde::{Deserialize, Serialize};
+use watchman_trace::{Trace, TraceConfig, TraceGenerator};
+use watchman_warehouse::{setquery, synthetic, tpcd, Benchmark, BenchmarkKind};
+
+/// How large an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Number of queries per trace.
+    pub query_count: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's scale: 17 000 queries per trace.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            query_count: TraceConfig::PAPER_QUERY_COUNT,
+            seed: 1996,
+        }
+    }
+
+    /// A reduced scale for unit tests and micro-benchmarks.
+    pub fn quick(query_count: usize) -> Self {
+        ExperimentScale {
+            query_count,
+            seed: 1996,
+        }
+    }
+
+    /// Returns the scale with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn trace_config(&self) -> TraceConfig {
+        TraceConfig {
+            query_count: self.query_count,
+            seed: self.seed,
+            mean_interarrival_us: 1_000_000,
+            template_weights: None,
+        }
+    }
+}
+
+/// A benchmark together with a trace generated against it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The benchmark (catalog + templates + models).
+    pub benchmark: Benchmark,
+    /// The generated trace.
+    pub trace: Trace,
+}
+
+impl Workload {
+    /// Builds the TPC-D workload at the given scale.
+    pub fn tpcd(scale: ExperimentScale) -> Workload {
+        let benchmark = tpcd::benchmark();
+        let trace = TraceGenerator::new(&benchmark, scale.trace_config()).generate();
+        Workload { benchmark, trace }
+    }
+
+    /// Builds the Set Query workload at the given scale.
+    pub fn set_query(scale: ExperimentScale) -> Workload {
+        let benchmark = setquery::benchmark();
+        let trace = TraceGenerator::new(&benchmark, scale.trace_config()).generate();
+        Workload { benchmark, trace }
+    }
+
+    /// Builds the 14-relation buffer-experiment workload at the given scale.
+    pub fn buffer_experiment(scale: ExperimentScale) -> Workload {
+        let benchmark = synthetic::benchmark();
+        let trace = TraceGenerator::new(&benchmark, scale.trace_config()).generate();
+        Workload { benchmark, trace }
+    }
+
+    /// Both cache-experiment workloads (TPC-D and Set Query), in the order
+    /// the paper's figures present them.
+    pub fn both(scale: ExperimentScale) -> Vec<Workload> {
+        vec![Workload::tpcd(scale), Workload::set_query(scale)]
+    }
+
+    /// The benchmark kind.
+    pub fn kind(&self) -> BenchmarkKind {
+        self.benchmark.kind()
+    }
+
+    /// The database size in bytes.
+    pub fn database_bytes(&self) -> u64 {
+        self.benchmark.catalog().total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_expected_trace_lengths() {
+        assert_eq!(ExperimentScale::paper().query_count, 17_000);
+        let workload = Workload::tpcd(ExperimentScale::quick(200));
+        assert_eq!(workload.trace.len(), 200);
+        assert_eq!(workload.kind(), BenchmarkKind::TpcD);
+        assert!(workload.database_bytes() > 0);
+    }
+
+    #[test]
+    fn both_returns_tpcd_then_set_query() {
+        let workloads = Workload::both(ExperimentScale::quick(50));
+        assert_eq!(workloads.len(), 2);
+        assert_eq!(workloads[0].kind(), BenchmarkKind::TpcD);
+        assert_eq!(workloads[1].kind(), BenchmarkKind::SetQuery);
+    }
+
+    #[test]
+    fn seeds_change_traces() {
+        let a = Workload::tpcd(ExperimentScale::quick(100));
+        let b = Workload::tpcd(ExperimentScale::quick(100).with_seed(7));
+        assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn buffer_workload_uses_fourteen_relations() {
+        let workload = Workload::buffer_experiment(ExperimentScale::quick(20));
+        assert_eq!(workload.benchmark.catalog().relation_count(), 14);
+    }
+}

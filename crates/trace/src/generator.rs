@@ -1,0 +1,270 @@
+//! Drill-down workload trace generation (paper §4.1).
+//!
+//! The paper's traces were produced by instantiating benchmark query
+//! templates with parameters "generated randomly from pre-defined intervals".
+//! Because the parameter intervals of different templates differ in size by
+//! many orders of magnitude, the resulting trace follows the "drill-down
+//! analysis" distribution: queries at high summarization levels (small
+//! parameter spaces) repeat frequently within the trace, while queries at low
+//! summarization levels (huge parameter spaces) do not repeat at all.
+//!
+//! [`TraceGenerator`] reproduces exactly that process against a synthetic
+//! [`Benchmark`]: each of the `query_count` trace entries picks a template
+//! (uniformly by default, or with user-supplied weights) and a parameter
+//! value uniform in the template's instance space, and stamps it with an
+//! exponentially distributed inter-arrival time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use watchman_warehouse::{Benchmark, QueryInstance};
+
+use crate::record::{Trace, TraceRecord};
+
+/// Configuration of a trace generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of queries to generate.  The paper uses 17 000 per trace.
+    pub query_count: usize,
+    /// RNG seed; the same seed and benchmark always yield the same trace.
+    pub seed: u64,
+    /// Mean inter-arrival time between consecutive queries, in microseconds
+    /// of logical time.
+    pub mean_interarrival_us: u64,
+    /// Optional per-template selection weights.  `None` selects templates
+    /// uniformly, which matches the benchmark specifications' instantiation
+    /// rules.  When provided, the vector must have one entry per template.
+    pub template_weights: Option<Vec<f64>>,
+}
+
+impl TraceConfig {
+    /// The paper's trace length.
+    pub const PAPER_QUERY_COUNT: usize = 17_000;
+
+    /// The configuration used to reproduce the paper's experiments:
+    /// 17 000 queries, uniform template selection, one query per logical
+    /// second on average.
+    pub fn paper(seed: u64) -> Self {
+        TraceConfig {
+            query_count: Self::PAPER_QUERY_COUNT,
+            seed,
+            mean_interarrival_us: 1_000_000,
+            template_weights: None,
+        }
+    }
+
+    /// A shorter configuration for unit tests and micro-benchmarks.
+    pub fn quick(query_count: usize, seed: u64) -> Self {
+        TraceConfig {
+            query_count,
+            seed,
+            mean_interarrival_us: 1_000_000,
+            template_weights: None,
+        }
+    }
+
+    /// Sets per-template weights (must have one entry per template of the
+    /// benchmark the trace will be generated for).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        self.template_weights = Some(weights);
+        self
+    }
+}
+
+/// Generates workload traces against a benchmark.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator<'a> {
+    benchmark: &'a Benchmark,
+    config: TraceConfig,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template_weights` is provided with a length different from
+    /// the benchmark's template count, or with non-positive total weight —
+    /// these are configuration programming errors.
+    pub fn new(benchmark: &'a Benchmark, config: TraceConfig) -> Self {
+        if let Some(weights) = &config.template_weights {
+            assert_eq!(
+                weights.len(),
+                benchmark.template_count(),
+                "one weight per template required"
+            );
+            assert!(
+                weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+                    && weights.iter().sum::<f64>() > 0.0,
+                "weights must be non-negative with a positive sum"
+            );
+        }
+        TraceGenerator { benchmark, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut records = Vec::with_capacity(self.config.query_count);
+        let mut now_us: u64 = 0;
+        for seq in 0..self.config.query_count as u64 {
+            // Exponential inter-arrival via inverse-transform sampling.
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            let gap = (-u.ln() * self.config.mean_interarrival_us as f64).round() as u64;
+            now_us += gap.max(1);
+
+            let template_idx = self.pick_template(&mut rng);
+            let template = &self.benchmark.templates()[template_idx];
+            let param = rng.gen_range(0..template.instance_space());
+            let instance = QueryInstance::new(template.id, param);
+            records.push(TraceRecord {
+                seq,
+                timestamp_us: now_us,
+                instance,
+                query_text: self.benchmark.query_text(instance),
+                result_bytes: self.benchmark.result_bytes(instance),
+                cost_blocks: self.benchmark.cost_blocks(instance),
+            });
+        }
+        Trace {
+            benchmark: self.benchmark.kind(),
+            database_bytes: self.benchmark.catalog().total_bytes(),
+            seed: self.config.seed,
+            records,
+        }
+    }
+
+    fn pick_template(&self, rng: &mut StdRng) -> usize {
+        match &self.config.template_weights {
+            None => rng.gen_range(0..self.benchmark.template_count()),
+            Some(weights) => {
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.gen_range(0.0..total);
+                for (i, w) in weights.iter().enumerate() {
+                    if draw < *w {
+                        return i;
+                    }
+                    draw -= w;
+                }
+                weights.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use watchman_warehouse::{setquery, tpcd, SummarizationLevel};
+
+    #[test]
+    fn trace_has_requested_length_and_monotonic_timestamps() {
+        let benchmark = tpcd::benchmark();
+        let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(500, 1)).generate();
+        assert_eq!(trace.len(), 500);
+        for pair in trace.records.windows(2) {
+            assert!(pair[1].timestamp_us > pair[0].timestamp_us);
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let benchmark = setquery::benchmark();
+        let a = TraceGenerator::new(&benchmark, TraceConfig::quick(300, 42)).generate();
+        let b = TraceGenerator::new(&benchmark, TraceConfig::quick(300, 42)).generate();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(&benchmark, TraceConfig::quick(300, 43)).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn records_are_consistent_with_the_benchmark_models() {
+        let benchmark = tpcd::benchmark();
+        let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(200, 9)).generate();
+        for record in trace.iter() {
+            assert_eq!(record.cost_blocks, benchmark.cost_blocks(record.instance));
+            assert_eq!(record.result_bytes, benchmark.result_bytes(record.instance));
+            assert_eq!(record.query_text, benchmark.query_text(record.instance));
+        }
+    }
+
+    #[test]
+    fn drill_down_distribution_high_summarization_repeats() {
+        // High-summarization templates must repeat many times in a trace of a
+        // few thousand queries, low-summarization templates essentially never.
+        let benchmark = tpcd::benchmark();
+        let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(5_000, 3)).generate();
+        let mut high_refs = 0u64;
+        let mut high_unique: HashSet<_> = HashSet::new();
+        let mut low_refs = 0u64;
+        let mut low_unique: HashSet<_> = HashSet::new();
+        for record in trace.iter() {
+            let template = &benchmark.templates()[record.instance.template.index()];
+            match template.summarization {
+                SummarizationLevel::High => {
+                    high_refs += 1;
+                    high_unique.insert(record.instance);
+                }
+                SummarizationLevel::Low => {
+                    low_refs += 1;
+                    low_unique.insert(record.instance);
+                }
+                SummarizationLevel::Medium => {}
+            }
+        }
+        let high_repeat_factor = high_refs as f64 / high_unique.len() as f64;
+        let low_repeat_factor = low_refs as f64 / low_unique.len().max(1) as f64;
+        assert!(
+            high_repeat_factor > 3.0,
+            "high-summarization queries must repeat (factor {high_repeat_factor})"
+        );
+        assert!(
+            low_repeat_factor < 1.05,
+            "low-summarization queries must almost never repeat (factor {low_repeat_factor})"
+        );
+    }
+
+    #[test]
+    fn weighted_selection_respects_weights() {
+        let benchmark = setquery::benchmark();
+        let mut weights = vec![0.0; benchmark.template_count()];
+        weights[0] = 1.0;
+        weights[3] = 3.0;
+        let config = TraceConfig::quick(2_000, 11).with_weights(weights);
+        let trace = TraceGenerator::new(&benchmark, config).generate();
+        let counts = trace.iter().fold(vec![0u64; benchmark.template_count()], |mut acc, r| {
+            acc[r.instance.template.index()] += 1;
+            acc
+        });
+        assert_eq!(counts.iter().sum::<u64>(), 2_000);
+        assert!(counts[0] > 0);
+        assert!(counts[3] > 2 * counts[0], "template 3 has 3x the weight of template 0");
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 0 && i != 3 {
+                assert_eq!(c, 0, "unweighted template {i} must never be selected");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per template")]
+    fn mismatched_weights_are_rejected() {
+        let benchmark = setquery::benchmark();
+        let config = TraceConfig::quick(10, 1).with_weights(vec![1.0, 2.0]);
+        let _ = TraceGenerator::new(&benchmark, config);
+    }
+
+    #[test]
+    fn paper_config_has_seventeen_thousand_queries() {
+        let config = TraceConfig::paper(5);
+        assert_eq!(config.query_count, 17_000);
+        assert!(config.template_weights.is_none());
+    }
+}

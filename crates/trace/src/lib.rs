@@ -1,0 +1,27 @@
+//! # watchman-trace
+//!
+//! Workload traces for the WATCHMAN reproduction: the trace record format of
+//! paper §4.1, a drill-down trace generator, and trace statistics.
+//!
+//! ```
+//! use watchman_trace::{TraceConfig, TraceGenerator, TraceStats};
+//! use watchman_warehouse::tpcd;
+//!
+//! let benchmark = tpcd::benchmark();
+//! let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(1_000, 42)).generate();
+//! let stats = TraceStats::of(&trace);
+//! assert_eq!(trace.len(), 1_000);
+//! assert!(stats.max_hit_ratio > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod record;
+pub mod stats;
+
+pub use generator::{TraceConfig, TraceGenerator};
+pub use record::{Trace, TraceRecord};
+pub use stats::TraceStats;

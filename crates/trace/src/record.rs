@@ -1,0 +1,133 @@
+//! Workload trace records.
+//!
+//! A trace is exactly what the paper collected from its Oracle 7 setup
+//! (§4.1): a sequence of queries, each carrying "a timestamp of the retrieval
+//! time, query ID, size of the retrieved set and execution cost of the
+//! query".  Traces are self-contained — every record embeds the derived
+//! quantities — so a saved trace can be replayed without re-instantiating the
+//! benchmark that generated it.
+
+use serde::{Deserialize, Serialize};
+use watchman_warehouse::{BenchmarkKind, QueryInstance};
+
+/// One query reference in a workload trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Position of the record in the trace (0-based).
+    pub seq: u64,
+    /// Retrieval timestamp in microseconds of logical time.
+    pub timestamp_us: u64,
+    /// The query instance (template + parameter) that was submitted.
+    pub instance: QueryInstance,
+    /// The canonical query text; its delimiter-compressed form is the query
+    /// ID used for cache lookups.
+    pub query_text: String,
+    /// Size of the retrieved set in bytes.
+    pub result_bytes: u64,
+    /// Execution cost in logical block reads.
+    pub cost_blocks: u64,
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Which benchmark produced the trace.
+    pub benchmark: BenchmarkKind,
+    /// Total size of the benchmark database the trace was generated against,
+    /// in bytes (cache sizes in the experiments are fractions of this).
+    pub database_bytes: u64,
+    /// The seed the trace was generated with (for reproducibility).
+    pub seed: u64,
+    /// The query references, in submission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of queries in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in submission order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Serializes the trace to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a trace from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Trace> {
+        serde_json::from_str(json)
+    }
+
+    /// Returns a shortened copy containing only the first `n` records
+    /// (useful for quick experiments and benchmarks).
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            benchmark: self.benchmark,
+            database_bytes: self.database_bytes,
+            seed: self.seed,
+            records: self.records.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use watchman_warehouse::TemplateId;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            benchmark: BenchmarkKind::TpcD,
+            database_bytes: 1_000_000,
+            seed: 7,
+            records: (0..5)
+                .map(|i| TraceRecord {
+                    seq: i,
+                    timestamp_us: i * 100,
+                    instance: QueryInstance::new(TemplateId((i % 2) as u16), i),
+                    query_text: format!("SELECT {i}"),
+                    result_bytes: 100 + i,
+                    cost_blocks: 10 * (i + 1),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn len_and_iteration() {
+        let trace = sample_trace();
+        assert_eq!(trace.len(), 5);
+        assert!(!trace.is_empty());
+        let timestamps: Vec<u64> = trace.iter().map(|r| r.timestamp_us).collect();
+        assert_eq!(timestamps, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = sample_trace();
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let trace = sample_trace();
+        let short = trace.truncated(2);
+        assert_eq!(short.len(), 2);
+        assert_eq!(short.records[1], trace.records[1]);
+        assert_eq!(short.benchmark, trace.benchmark);
+        // Truncating beyond the end keeps everything.
+        assert_eq!(trace.truncated(100).len(), 5);
+    }
+}

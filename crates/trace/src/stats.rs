@@ -1,0 +1,190 @@
+//! Trace statistics.
+//!
+//! [`TraceStats`] summarizes the reference-locality and cost/size structure
+//! of a workload trace.  The statistics directly correspond to the quantities
+//! the paper reports for the infinite-cache experiment (Figure 2): the
+//! working-set size ("cache size" column — the total bytes of all distinct
+//! retrieved sets), the maximal achievable hit ratio, and the maximal
+//! achievable cost savings ratio.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use watchman_warehouse::QueryInstance;
+
+use crate::record::Trace;
+
+/// Summary statistics of a workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of query references.
+    pub references: u64,
+    /// Number of distinct query instances referenced.
+    pub distinct_queries: u64,
+    /// Total execution cost over all references, in block reads.
+    pub total_cost_blocks: u64,
+    /// Total bytes of all *distinct* retrieved sets — the cache size an
+    /// infinite cache would grow to (Fig. 2's "cache size" column).
+    pub working_set_bytes: u64,
+    /// Maximal achievable hit ratio: repeated references / all references.
+    pub max_hit_ratio: f64,
+    /// Maximal achievable cost savings ratio: cost of repeated references /
+    /// total cost (every repetition of a query could have been answered from
+    /// an infinite cache).
+    pub max_cost_savings_ratio: f64,
+    /// References per template index.
+    pub references_per_template: Vec<u64>,
+    /// Distinct instances per template index.
+    pub distinct_per_template: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut first_seen: HashMap<QueryInstance, ()> = HashMap::new();
+        let mut references = 0u64;
+        let mut total_cost = 0u64;
+        let mut repeated_refs = 0u64;
+        let mut repeated_cost = 0u64;
+        let mut working_set = 0u64;
+        let template_count = trace
+            .records
+            .iter()
+            .map(|r| r.instance.template.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut refs_per_template = vec![0u64; template_count];
+        let mut distinct_per_template = vec![0u64; template_count];
+
+        for record in trace.iter() {
+            references += 1;
+            total_cost += record.cost_blocks;
+            refs_per_template[record.instance.template.index()] += 1;
+            if first_seen.insert(record.instance, ()).is_none() {
+                working_set += record.result_bytes;
+                distinct_per_template[record.instance.template.index()] += 1;
+            } else {
+                repeated_refs += 1;
+                repeated_cost += record.cost_blocks;
+            }
+        }
+
+        TraceStats {
+            references,
+            distinct_queries: first_seen.len() as u64,
+            total_cost_blocks: total_cost,
+            working_set_bytes: working_set,
+            max_hit_ratio: if references == 0 {
+                0.0
+            } else {
+                repeated_refs as f64 / references as f64
+            },
+            max_cost_savings_ratio: if total_cost == 0 {
+                0.0
+            } else {
+                repeated_cost as f64 / total_cost as f64
+            },
+            references_per_template: refs_per_template,
+            distinct_per_template,
+        }
+    }
+
+    /// The working set expressed as a fraction of the database size.
+    pub fn working_set_fraction(&self, database_bytes: u64) -> f64 {
+        if database_bytes == 0 {
+            0.0
+        } else {
+            self.working_set_bytes as f64 / database_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+    use crate::record::TraceRecord;
+    use watchman_warehouse::{tpcd, BenchmarkKind, TemplateId};
+
+    fn record(seq: u64, template: u16, param: u64, bytes: u64, cost: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            timestamp_us: seq * 10,
+            instance: QueryInstance::new(TemplateId(template), param),
+            query_text: format!("T{template} P{param}"),
+            result_bytes: bytes,
+            cost_blocks: cost,
+        }
+    }
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let trace = Trace {
+            benchmark: BenchmarkKind::TpcD,
+            database_bytes: 100,
+            seed: 0,
+            records: vec![],
+        };
+        let stats = TraceStats::of(&trace);
+        assert_eq!(stats.references, 0);
+        assert_eq!(stats.distinct_queries, 0);
+        assert_eq!(stats.max_hit_ratio, 0.0);
+        assert_eq!(stats.max_cost_savings_ratio, 0.0);
+        assert_eq!(stats.working_set_fraction(100), 0.0);
+    }
+
+    #[test]
+    fn repeats_are_counted_correctly() {
+        // q(0,1) referenced three times, q(1,5) once.
+        let trace = Trace {
+            benchmark: BenchmarkKind::TpcD,
+            database_bytes: 10_000,
+            seed: 0,
+            records: vec![
+                record(0, 0, 1, 100, 50),
+                record(1, 1, 5, 200, 10),
+                record(2, 0, 1, 100, 50),
+                record(3, 0, 1, 100, 50),
+            ],
+        };
+        let stats = TraceStats::of(&trace);
+        assert_eq!(stats.references, 4);
+        assert_eq!(stats.distinct_queries, 2);
+        assert_eq!(stats.working_set_bytes, 300);
+        assert_eq!(stats.total_cost_blocks, 160);
+        assert!((stats.max_hit_ratio - 0.5).abs() < 1e-12);
+        assert!((stats.max_cost_savings_ratio - 100.0 / 160.0).abs() < 1e-12);
+        assert_eq!(stats.references_per_template, vec![3, 1]);
+        assert_eq!(stats.distinct_per_template, vec![1, 1]);
+    }
+
+    #[test]
+    fn working_set_fraction_relative_to_database() {
+        let trace = Trace {
+            benchmark: BenchmarkKind::TpcD,
+            database_bytes: 1_000,
+            seed: 0,
+            records: vec![record(0, 0, 1, 250, 5)],
+        };
+        let stats = TraceStats::of(&trace);
+        assert!((stats.working_set_fraction(1_000) - 0.25).abs() < 1e-12);
+        assert_eq!(stats.working_set_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn generated_traces_have_substantial_locality() {
+        // The paper's infinite-cache experiment finds high reference locality
+        // in both benchmark traces; verify the generator reproduces that.
+        let benchmark = tpcd::benchmark();
+        let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(5_000, 17)).generate();
+        let stats = TraceStats::of(&trace);
+        assert!(
+            stats.max_hit_ratio > 0.4,
+            "expected high reference locality, got {}",
+            stats.max_hit_ratio
+        );
+        assert!(stats.max_cost_savings_ratio > 0.4);
+        assert!(stats.working_set_bytes > 0);
+        assert!(stats.distinct_queries < stats.references);
+    }
+}

@@ -1,0 +1,423 @@
+//! A benchmark = a catalog + a set of query templates + the cost, result-size
+//! and page-access models that tie them together.
+//!
+//! The paper collected its traces by running benchmark queries against a live
+//! Oracle 7 installation and recording, for every query, the retrieval
+//! timestamp, the query ID, the retrieved-set size and the execution cost
+//! measured in logical block reads (§4.1).  [`Benchmark`] is the synthetic
+//! substitute for that installation: given a [`QueryInstance`] it produces
+//! deterministically
+//!
+//! * the canonical query text (and hence the query ID),
+//! * the execution cost in logical block reads,
+//! * the retrieved-set size in bytes (and, through
+//!   [`crate::executor`], the actual rows), and
+//! * the exact list of pages the execution reads (for the buffer-manager
+//!   experiment of Figure 7).
+//!
+//! All quantities are pure functions of the instance, as they would be when
+//! re-running a deterministic SQL query against a static warehouse.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::hashing::{bounded, mix3, unit_from};
+use crate::pages::{PageId, RelationId};
+use crate::template::{AccessKind, QueryInstance, QueryTemplate, RowCountModel, TemplateId};
+
+/// Which of the two paper benchmarks a [`Benchmark`] instance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkKind {
+    /// The TPC-D decision-support benchmark (17 query templates, 30 MB
+    /// database in the paper's setup).
+    TpcD,
+    /// The Set Query benchmark (modified parameterization, 100 MB database).
+    SetQuery,
+}
+
+impl BenchmarkKind {
+    /// A short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchmarkKind::TpcD => "TPC-D",
+            BenchmarkKind::SetQuery => "Set Query",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully specified synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    kind: BenchmarkKind,
+    catalog: Catalog,
+    templates: Vec<QueryTemplate>,
+    /// Seed mixed into every deterministic draw so two benchmarks with the
+    /// same templates but different seeds produce different (but internally
+    /// consistent) workload details.
+    seed: u64,
+}
+
+impl Benchmark {
+    /// Creates a benchmark from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template references a relation that is not in the catalog,
+    /// or if template ids are not dense and in order — these are programming
+    /// errors in the benchmark definition, not runtime conditions.
+    pub fn new(
+        kind: BenchmarkKind,
+        catalog: Catalog,
+        templates: Vec<QueryTemplate>,
+        seed: u64,
+    ) -> Self {
+        for (i, t) in templates.iter().enumerate() {
+            assert_eq!(t.id.index(), i, "template ids must be dense and ordered");
+            for access in &t.accesses {
+                assert!(
+                    catalog.relation(access.relation).is_some(),
+                    "template {} references unknown relation {:?}",
+                    t.name,
+                    access.relation
+                );
+            }
+        }
+        Benchmark {
+            kind,
+            catalog,
+            templates,
+            seed,
+        }
+    }
+
+    /// The benchmark kind.
+    pub fn kind(&self) -> BenchmarkKind {
+        self.kind
+    }
+
+    /// The catalog (database) this benchmark runs against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All query templates.
+    pub fn templates(&self) -> &[QueryTemplate] {
+        &self.templates
+    }
+
+    /// Looks up a template by id.
+    pub fn template(&self, id: TemplateId) -> Option<&QueryTemplate> {
+        self.templates.get(id.index())
+    }
+
+    /// Number of templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn instance_seed(&self, instance: QueryInstance, stream: u64) -> u64 {
+        mix3(
+            self.seed ^ u64::from(instance.template.0),
+            instance.param,
+            stream,
+        )
+    }
+
+    /// The canonical query text of an instance (the query ID of §3 is this
+    /// text after delimiter compression).
+    pub fn query_text(&self, instance: QueryInstance) -> String {
+        let template = &self.templates[instance.template.index()];
+        let rendered = if template.sql_pattern.contains(":p") {
+            template
+                .sql_pattern
+                .replace(":p", &instance.param.to_string())
+        } else {
+            format!("{} -- p={}", template.sql_pattern, instance.param)
+        };
+        format!("/* {}.{} */ {}", self.kind.label(), template.name, rendered)
+    }
+
+    /// How many pages of each relation the instance reads.
+    ///
+    /// The total over all relations is the execution cost in logical block
+    /// reads; [`Benchmark::page_accesses`] materializes exactly these counts.
+    pub fn access_counts(&self, instance: QueryInstance) -> Vec<(RelationId, u32)> {
+        let template = &self.templates[instance.template.index()];
+        template
+            .accesses
+            .iter()
+            .enumerate()
+            .map(|(i, access)| {
+                let relation_pages = self
+                    .catalog
+                    .relation(access.relation)
+                    .map_or(1, |r| r.pages());
+                let count = match access.access {
+                    AccessKind::FullScan => relation_pages,
+                    AccessKind::Selective { fraction } => {
+                        // Vary the touched fraction by ±50 % across instances.
+                        let factor = 0.5 + unit_from(self.instance_seed(instance, 100 + i as u64), 0);
+                        let pages = (f64::from(relation_pages) * fraction * factor).ceil() as u32;
+                        pages.clamp(1, relation_pages)
+                    }
+                    AccessKind::IndexLookup { pages } => pages.min(relation_pages).max(1),
+                };
+                (access.relation, count)
+            })
+            .collect()
+    }
+
+    /// The execution cost of an instance in logical block reads.
+    pub fn cost_blocks(&self, instance: QueryInstance) -> u64 {
+        self.access_counts(instance)
+            .iter()
+            .map(|&(_, count)| u64::from(count))
+            .sum()
+    }
+
+    /// Number of rows in the instance's retrieved set.
+    pub fn result_rows(&self, instance: QueryInstance) -> u64 {
+        let template = &self.templates[instance.template.index()];
+        match template.result_rows {
+            RowCountModel::Fixed(n) => n,
+            RowCountModel::Range { min, max } => {
+                let span = max.saturating_sub(min) + 1;
+                min + bounded(self.instance_seed(instance, 7), 0, span)
+            }
+        }
+    }
+
+    /// Size of the instance's retrieved set in bytes.
+    ///
+    /// A fixed per-set header models the result's schema metadata, so even a
+    /// zero-row aggregate occupies a realistic minimum amount of cache space.
+    pub fn result_bytes(&self, instance: QueryInstance) -> u64 {
+        let template = &self.templates[instance.template.index()];
+        let rows = self.result_rows(instance);
+        64 + rows * u64::from(template.result_row_bytes)
+    }
+
+    /// The exact pages the instance reads, in execution order.
+    ///
+    /// Full scans enumerate every page of the relation; selective scans read
+    /// a contiguous page range (modelling an index range scan on a clustered
+    /// key); index lookups read individually chosen pages.  The list length
+    /// equals [`Benchmark::cost_blocks`].
+    pub fn page_accesses(&self, instance: QueryInstance) -> Vec<PageId> {
+        let counts = self.access_counts(instance);
+        let mut pages = Vec::with_capacity(counts.iter().map(|&(_, c)| c as usize).sum());
+        for (i, (relation, count)) in counts.into_iter().enumerate() {
+            let relation_pages = self.catalog.relation(relation).map_or(1, |r| r.pages());
+            let seed = self.instance_seed(instance, 200 + i as u64);
+            match self.templates[instance.template.index()].accesses[i].access {
+                AccessKind::FullScan => {
+                    pages.extend((0..count).map(|p| PageId::new(relation, p)));
+                }
+                AccessKind::Selective { .. } => {
+                    let start = bounded(seed, 0, u64::from(relation_pages)) as u32;
+                    pages.extend(
+                        (0..count).map(|off| PageId::new(relation, (start + off) % relation_pages)),
+                    );
+                }
+                AccessKind::IndexLookup { .. } => {
+                    pages.extend((0..count).map(|off| {
+                        PageId::new(
+                            relation,
+                            bounded(seed, u64::from(off), u64::from(relation_pages)) as u32,
+                        )
+                    }));
+                }
+            }
+        }
+        pages
+    }
+
+    /// An upper bound on the size of any retrieved set this benchmark can
+    /// produce, used to sanity-check cache configurations.
+    pub fn max_result_bytes(&self) -> u64 {
+        self.templates
+            .iter()
+            .map(|t| 64 + t.result_rows.max_rows() * u64::from(t.result_row_bytes))
+            .max()
+            .unwrap_or(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Relation;
+    use crate::template::{RelationAccess, SummarizationLevel};
+
+    fn sample_benchmark() -> Benchmark {
+        let catalog = Catalog::new(
+            "TEST",
+            vec![
+                Relation::new("FACT", 100_000, 100),  // ~2442 pages
+                Relation::new("DIM", 1_000, 50),      // ~13 pages
+            ],
+        );
+        let fact = RelationId(0);
+        let dim = RelationId(1);
+        let templates = vec![
+            QueryTemplate {
+                id: TemplateId(0),
+                name: "AGG".into(),
+                sql_pattern: "SELECT sum(v) FROM fact, dim WHERE fact.k = dim.k AND dim.g = :p"
+                    .into(),
+                summarization: SummarizationLevel::High,
+                instance_space: 50,
+                accesses: vec![RelationAccess::scan(fact), RelationAccess::scan(dim)],
+                result_rows: RowCountModel::Fixed(5),
+                result_row_bytes: 40,
+            },
+            QueryTemplate {
+                id: TemplateId(1),
+                name: "DETAIL".into(),
+                sql_pattern: "SELECT * FROM fact WHERE k BETWEEN :p AND :p+100".into(),
+                summarization: SummarizationLevel::Low,
+                instance_space: 1_000_000_000,
+                accesses: vec![RelationAccess::selective(fact, 0.05)],
+                result_rows: RowCountModel::Range { min: 50, max: 500 },
+                result_row_bytes: 100,
+            },
+            QueryTemplate {
+                id: TemplateId(2),
+                name: "POINT".into(),
+                sql_pattern: "SELECT v FROM dim WHERE k = :p".into(),
+                summarization: SummarizationLevel::High,
+                instance_space: 10,
+                accesses: vec![RelationAccess::lookup(dim, 3)],
+                result_rows: RowCountModel::Fixed(1),
+                result_row_bytes: 16,
+            },
+        ];
+        Benchmark::new(BenchmarkKind::TpcD, catalog, templates, 42)
+    }
+
+    #[test]
+    fn query_text_embeds_parameter_and_template() {
+        let b = sample_benchmark();
+        let text = b.query_text(QueryInstance::new(TemplateId(0), 7));
+        assert!(text.contains("dim.g = 7"));
+        assert!(text.contains("TPC-D.AGG"));
+        // Different parameters give different query IDs.
+        let other = b.query_text(QueryInstance::new(TemplateId(0), 8));
+        assert_ne!(text, other);
+    }
+
+    #[test]
+    fn cost_is_deterministic_per_instance() {
+        let b = sample_benchmark();
+        let i = QueryInstance::new(TemplateId(1), 123);
+        assert_eq!(b.cost_blocks(i), b.cost_blocks(i));
+        assert_eq!(b.result_bytes(i), b.result_bytes(i));
+        assert_eq!(b.page_accesses(i), b.page_accesses(i));
+    }
+
+    #[test]
+    fn full_scan_cost_equals_relation_pages() {
+        let b = sample_benchmark();
+        let i = QueryInstance::new(TemplateId(0), 3);
+        let fact_pages = b.catalog().relation(RelationId(0)).unwrap().pages();
+        let dim_pages = b.catalog().relation(RelationId(1)).unwrap().pages();
+        assert_eq!(b.cost_blocks(i), u64::from(fact_pages) + u64::from(dim_pages));
+    }
+
+    #[test]
+    fn selective_costs_vary_across_instances_but_stay_bounded() {
+        let b = sample_benchmark();
+        let fact_pages = u64::from(b.catalog().relation(RelationId(0)).unwrap().pages());
+        let costs: Vec<u64> = (0..50)
+            .map(|p| b.cost_blocks(QueryInstance::new(TemplateId(1), p)))
+            .collect();
+        assert!(costs.iter().any(|&c| c != costs[0]), "costs should vary");
+        for &c in &costs {
+            assert!(c >= 1);
+            assert!(c <= fact_pages);
+        }
+    }
+
+    #[test]
+    fn page_accesses_length_equals_cost() {
+        let b = sample_benchmark();
+        for template in 0..3u16 {
+            for param in 0..5u64 {
+                let i = QueryInstance::new(TemplateId(template), param);
+                assert_eq!(
+                    b.page_accesses(i).len() as u64,
+                    b.cost_blocks(i),
+                    "template {template} param {param}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn page_accesses_reference_valid_pages() {
+        let b = sample_benchmark();
+        for param in 0..10u64 {
+            for page in b.page_accesses(QueryInstance::new(TemplateId(1), param)) {
+                let rel = b.catalog().relation(page.relation).unwrap();
+                assert!(page.page < rel.pages());
+            }
+        }
+    }
+
+    #[test]
+    fn result_rows_respect_the_model() {
+        let b = sample_benchmark();
+        assert_eq!(b.result_rows(QueryInstance::new(TemplateId(0), 9)), 5);
+        for p in 0..50 {
+            let rows = b.result_rows(QueryInstance::new(TemplateId(1), p));
+            assert!((50..=500).contains(&rows));
+        }
+    }
+
+    #[test]
+    fn result_bytes_include_header() {
+        let b = sample_benchmark();
+        let i = QueryInstance::new(TemplateId(2), 1);
+        assert_eq!(b.result_bytes(i), 64 + 16);
+    }
+
+    #[test]
+    fn max_result_bytes_covers_all_templates() {
+        let b = sample_benchmark();
+        assert_eq!(b.max_result_bytes(), 64 + 500 * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn construction_rejects_dangling_relation_references() {
+        let catalog = Catalog::new("T", vec![Relation::new("A", 10, 10)]);
+        let templates = vec![QueryTemplate {
+            id: TemplateId(0),
+            name: "BAD".into(),
+            sql_pattern: "SELECT 1".into(),
+            summarization: SummarizationLevel::High,
+            instance_space: 1,
+            accesses: vec![RelationAccess::scan(RelationId(5))],
+            result_rows: RowCountModel::Fixed(1),
+            result_row_bytes: 8,
+        }];
+        let _ = Benchmark::new(BenchmarkKind::TpcD, catalog, templates, 0);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(BenchmarkKind::TpcD.label(), "TPC-D");
+        assert_eq!(BenchmarkKind::SetQuery.to_string(), "Set Query");
+    }
+}

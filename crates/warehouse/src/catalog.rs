@@ -1,0 +1,187 @@
+//! The warehouse catalog: relations, their sizes and page counts.
+//!
+//! The paper's traces were collected against physical databases of 30 MB
+//! (TPC-D) and 100 MB (Set Query).  The catalog captures exactly the
+//! information the cost and access models need — relation cardinalities, row
+//! widths and derived page counts — without materializing any tuple data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pages::{PageId, RelationId, PAGE_SIZE_BYTES};
+
+/// Metadata for one relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Relation name (upper-case by convention, e.g. `LINEITEM`).
+    pub name: String,
+    /// Number of rows.
+    pub row_count: u64,
+    /// Average row width in bytes.
+    pub row_bytes: u32,
+}
+
+impl Relation {
+    /// Creates relation metadata.
+    pub fn new(name: impl Into<String>, row_count: u64, row_bytes: u32) -> Self {
+        Relation {
+            name: name.into(),
+            row_count,
+            row_bytes: row_bytes.max(1),
+        }
+    }
+
+    /// Total data volume of the relation in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.row_count * u64::from(self.row_bytes)
+    }
+
+    /// Number of pages the relation occupies (at least one).
+    pub fn pages(&self) -> u32 {
+        let pages = self.total_bytes().div_ceil(PAGE_SIZE_BYTES);
+        u32::try_from(pages.max(1)).unwrap_or(u32::MAX)
+    }
+
+    /// Rows per page (at least one).
+    pub fn rows_per_page(&self) -> u64 {
+        (PAGE_SIZE_BYTES / u64::from(self.row_bytes)).max(1)
+    }
+}
+
+/// The collection of relations forming one benchmark database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    name: String,
+    relations: Vec<Relation>,
+}
+
+impl Catalog {
+    /// Creates a catalog from a list of relations.
+    pub fn new(name: impl Into<String>, relations: Vec<Relation>) -> Self {
+        Catalog {
+            name: name.into(),
+            relations,
+        }
+    }
+
+    /// The catalog (benchmark database) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All relations, in id order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Looks up a relation by id.
+    pub fn relation(&self, id: RelationId) -> Option<&Relation> {
+        self.relations.get(id.index())
+    }
+
+    /// Looks up a relation id by name (case-sensitive).
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelationId(i as u16))
+    }
+
+    /// Total database size in bytes (data only, excluding indices, matching
+    /// the paper's reported sizes).
+    pub fn total_bytes(&self) -> u64 {
+        self.relations.iter().map(Relation::total_bytes).sum()
+    }
+
+    /// Total number of data pages.
+    pub fn total_pages(&self) -> u64 {
+        self.relations.iter().map(|r| u64::from(r.pages())).sum()
+    }
+
+    /// Iterates over every page id of a relation.
+    pub fn pages_of(&self, id: RelationId) -> impl Iterator<Item = PageId> + '_ {
+        let pages = self.relation(id).map_or(0, Relation::pages);
+        (0..pages).map(move |p| PageId::new(id, p))
+    }
+
+    /// A cache size expressed as a fraction of the database size, in bytes —
+    /// the way all cache sizes are specified in the paper's experiments
+    /// ("cache size (% of database size)").
+    pub fn cache_bytes_for_fraction(&self, fraction: f64) -> u64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        (self.total_bytes() as f64 * fraction).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        Catalog::new(
+            "SAMPLE",
+            vec![
+                Relation::new("SMALL", 100, 64),
+                Relation::new("BIG", 100_000, 128),
+            ],
+        )
+    }
+
+    #[test]
+    fn relation_derived_quantities() {
+        let r = Relation::new("T", 10_000, 100);
+        assert_eq!(r.total_bytes(), 1_000_000);
+        assert_eq!(r.pages(), 245); // ceil(1_000_000 / 4096)
+        assert_eq!(r.rows_per_page(), 40);
+    }
+
+    #[test]
+    fn tiny_relation_occupies_at_least_one_page() {
+        let r = Relation::new("TINY", 1, 8);
+        assert_eq!(r.pages(), 1);
+        assert!(r.rows_per_page() >= 1);
+    }
+
+    #[test]
+    fn catalog_lookup_by_name_and_id() {
+        let catalog = sample_catalog();
+        let big = catalog.relation_id("BIG").unwrap();
+        assert_eq!(big, RelationId(1));
+        assert_eq!(catalog.relation(big).unwrap().name, "BIG");
+        assert!(catalog.relation_id("MISSING").is_none());
+        assert!(catalog.relation(RelationId(9)).is_none());
+    }
+
+    #[test]
+    fn totals_sum_over_relations() {
+        let catalog = sample_catalog();
+        assert_eq!(catalog.total_bytes(), 100 * 64 + 100_000 * 128);
+        assert_eq!(
+            catalog.total_pages(),
+            u64::from(catalog.relations()[0].pages()) + u64::from(catalog.relations()[1].pages())
+        );
+        assert_eq!(catalog.relation_count(), 2);
+    }
+
+    #[test]
+    fn pages_of_enumerates_every_page() {
+        let catalog = sample_catalog();
+        let small = catalog.relation_id("SMALL").unwrap();
+        let pages: Vec<PageId> = catalog.pages_of(small).collect();
+        assert_eq!(pages.len(), catalog.relation(small).unwrap().pages() as usize);
+        assert_eq!(pages[0], PageId::new(small, 0));
+    }
+
+    #[test]
+    fn cache_fraction_conversion() {
+        let catalog = sample_catalog();
+        let one_percent = catalog.cache_bytes_for_fraction(0.01);
+        assert_eq!(one_percent, (catalog.total_bytes() as f64 * 0.01).round() as u64);
+        assert_eq!(catalog.cache_bytes_for_fraction(-1.0), 0);
+        assert_eq!(catalog.cache_bytes_for_fraction(2.0), catalog.total_bytes());
+    }
+}

@@ -1,0 +1,91 @@
+//! Small deterministic hashing helpers used by the cost and access models.
+//!
+//! Every per-instance quantity (execution cost jitter, result size, page
+//! selection) must be a *pure function* of the query instance so that
+//! re-running the same query always yields the same cost and the same pages —
+//! exactly as re-executing a deterministic SQL query against a static
+//! warehouse would.  The helpers here are based on SplitMix64, which has
+//! excellent avalanche behaviour and needs no allocation or state.
+
+/// SplitMix64: maps a 64-bit value to a well-mixed 64-bit value.
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two 64-bit values into one well-mixed value.
+pub fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b))
+}
+
+/// Combines three 64-bit values into one well-mixed value.
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(mix2(a, b) ^ splitmix64(c.wrapping_add(0x51_7C_C1_B7_27_22_0A_95)))
+}
+
+/// Maps a 64-bit value to a float uniformly distributed in `[0, 1)`.
+pub fn unit_f64(value: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0, 1).
+    (value >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic uniform draw in `[0, 1)` from a seed and a stream index.
+pub fn unit_from(seed: u64, stream: u64) -> f64 {
+    unit_f64(mix2(seed, stream))
+}
+
+/// Deterministic integer draw in `[0, bound)` (returns 0 for `bound == 0`).
+pub fn bounded(seed: u64, stream: u64, bound: u64) -> u64 {
+    if bound == 0 {
+        0
+    } else {
+        mix2(seed, stream) % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // Adjacent seeds should differ in many bits.
+        let diff = (splitmix64(1) ^ splitmix64(2)).count_ones();
+        assert!(diff > 16, "poor avalanche: only {diff} differing bits");
+    }
+
+    #[test]
+    fn mix_functions_depend_on_all_arguments() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+        assert_ne!(mix3(1, 2, 3), mix3(1, 2, 4));
+        assert_ne!(mix3(1, 2, 3), mix3(3, 2, 1));
+    }
+
+    #[test]
+    fn unit_values_are_in_range() {
+        for i in 0..1_000u64 {
+            let u = unit_from(12345, i);
+            assert!((0.0..1.0).contains(&u), "out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn unit_values_are_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit_from(7, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        for i in 0..100u64 {
+            assert!(bounded(9, i, 17) < 17);
+        }
+        assert_eq!(bounded(9, 1, 0), 0);
+        assert_eq!(bounded(9, 1, 1), 0);
+    }
+}

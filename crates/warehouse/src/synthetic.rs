@@ -1,0 +1,177 @@
+//! The synthetic multi-relation workload used for the buffer-manager
+//! interaction experiment (paper §4.2, Figure 7).
+//!
+//! That experiment does not reuse the TPC-D or Set Query databases; the paper
+//! describes "an environment with a 15 Mbyte page buffer pool, a 15 Mbyte
+//! WATCHMAN cache and **14 relations of total size 100 Mbytes**", driven by
+//! 17 000 queries producing more than 26 million page references.  This
+//! module builds that environment: fourteen relations whose sizes follow a
+//! mild Zipf-like progression and a family of templates that scan and join
+//! subsets of them, so that pages are shared between queries and the
+//! p₀-redundancy hints have something to act on.
+
+use crate::benchmark::{Benchmark, BenchmarkKind};
+use crate::catalog::{Catalog, Relation};
+use crate::pages::RelationId;
+use crate::template::{
+    QueryTemplate, RelationAccess, RowCountModel, SummarizationLevel, TemplateId,
+};
+
+/// Number of relations in the buffer-experiment database.
+pub const RELATION_COUNT: usize = 14;
+
+/// The paper's database size for the buffer experiment: 100 MB.
+pub const PAPER_DATABASE_BYTES: u64 = 100 * 1024 * 1024;
+
+/// Builds the 14-relation catalog with total size approximately
+/// `target_bytes`.
+pub fn catalog(target_bytes: u64) -> Catalog {
+    // Weights decay geometrically so there are a few large fact tables and
+    // many smaller dimension tables, as in a real warehouse star schema.
+    let weights: Vec<f64> = (0..RELATION_COUNT).map(|i| 0.78_f64.powi(i as i32)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let relations = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let bytes = (target_bytes as f64 * w / total_weight).round() as u64;
+            let row_bytes = 120;
+            Relation::new(format!("REL{i:02}"), (bytes / row_bytes).max(1), row_bytes as u32)
+        })
+        .collect();
+    Catalog::new("BufferWorkload", relations)
+}
+
+/// Builds the query templates for the buffer experiment.
+///
+/// Each template joins a small group of relations (one large "fact" relation
+/// scanned selectively plus a few smaller ones scanned fully), with parameter
+/// spaces spanning the drill-down range so that a realistic share of queries
+/// repeats and can be satisfied from the WATCHMAN cache.
+pub fn templates() -> Vec<QueryTemplate> {
+    let mut templates = Vec::new();
+    let spaces: [u64; 10] = [
+        20,
+        40,
+        80,
+        150,
+        400,
+        2_000,
+        20_000,
+        1_000_000,
+        100_000_000,
+        1_000_000_000_000,
+    ];
+    for (i, &space) in spaces.iter().enumerate() {
+        let fact = RelationId((i % 4) as u16);
+        let dim_a = RelationId((4 + (i * 3) % 10) as u16);
+        let dim_b = RelationId((4 + (i * 7 + 2) % 10) as u16);
+        let summarization = if space <= 200 {
+            SummarizationLevel::High
+        } else if space <= 100_000 {
+            SummarizationLevel::Medium
+        } else {
+            SummarizationLevel::Low
+        };
+        let result_rows = match summarization {
+            SummarizationLevel::High => RowCountModel::Fixed(8),
+            SummarizationLevel::Medium => RowCountModel::Range { min: 20, max: 200 },
+            SummarizationLevel::Low => RowCountModel::Range { min: 100, max: 2_000 },
+        };
+        templates.push(QueryTemplate {
+            id: TemplateId(i as u16),
+            name: format!("B{i}"),
+            sql_pattern: format!(
+                "SELECT g, sum(v) FROM rel{:02} f, rel{:02} a, rel{:02} b WHERE f.k = a.k AND f.j = b.k AND f.filter = :p GROUP BY g",
+                fact.0, dim_a.0, dim_b.0
+            ),
+            summarization,
+            instance_space: space,
+            accesses: vec![
+                RelationAccess::selective(fact, 0.20 + 0.05 * (i % 3) as f64),
+                RelationAccess::scan(dim_a),
+                RelationAccess::scan(dim_b),
+            ],
+            result_rows,
+            result_row_bytes: 40,
+        });
+    }
+    templates
+}
+
+/// Builds the full buffer-experiment benchmark at the paper's 100 MB scale.
+pub fn benchmark() -> Benchmark {
+    benchmark_with(PAPER_DATABASE_BYTES, 0x4255_4646)
+}
+
+/// Builds the buffer-experiment benchmark with a custom size and seed.
+pub fn benchmark_with(database_bytes: u64, seed: u64) -> Benchmark {
+    Benchmark::new(
+        BenchmarkKind::SetQuery,
+        catalog(database_bytes),
+        templates(),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::QueryInstance;
+
+    #[test]
+    fn catalog_has_fourteen_relations_totalling_target_size() {
+        let c = catalog(PAPER_DATABASE_BYTES);
+        assert_eq!(c.relation_count(), RELATION_COUNT);
+        let total = c.total_bytes() as f64;
+        let target = PAPER_DATABASE_BYTES as f64;
+        assert!((total - target).abs() / target < 0.02);
+    }
+
+    #[test]
+    fn relation_sizes_are_skewed() {
+        let c = catalog(PAPER_DATABASE_BYTES);
+        let first = c.relations()[0].total_bytes();
+        let last = c.relations()[RELATION_COUNT - 1].total_bytes();
+        assert!(first > 5 * last, "fact tables must dwarf dimension tables");
+    }
+
+    #[test]
+    fn templates_reference_valid_relations_and_spaces() {
+        let b = benchmark();
+        assert_eq!(b.template_count(), 10);
+        for t in b.templates() {
+            assert_eq!(t.accesses.len(), 3);
+        }
+        let spaces: Vec<u64> = b.templates().iter().map(|t| t.instance_space).collect();
+        assert!(spaces.iter().any(|&s| s <= 100));
+        assert!(spaces.iter().any(|&s| s >= 1_000_000_000));
+    }
+
+    #[test]
+    fn queries_generate_many_page_references() {
+        let b = benchmark();
+        let pages = b.page_accesses(QueryInstance::new(TemplateId(0), 3));
+        // Each query touches on the order of thousands of pages, consistent
+        // with 17 000 queries generating over 26 million page references.
+        assert!(pages.len() > 500, "only {} pages referenced", pages.len());
+    }
+
+    #[test]
+    fn page_references_overlap_between_different_templates() {
+        // The p0-redundancy mechanism only matters if different queries share
+        // pages; verify that two templates reading the same fact relation
+        // overlap.
+        let b = benchmark();
+        use std::collections::HashSet;
+        let a: HashSet<_> = b
+            .page_accesses(QueryInstance::new(TemplateId(0), 1))
+            .into_iter()
+            .collect();
+        let c: HashSet<_> = b
+            .page_accesses(QueryInstance::new(TemplateId(4), 2))
+            .into_iter()
+            .collect();
+        assert!(a.intersection(&c).count() > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Query templates and query instances.
+//!
+//! Both benchmarks used in the paper are defined as a set of *query
+//! templates* that are instantiated with randomly drawn parameters (paper
+//! §4.1).  Because the parameter spaces of different templates differ by many
+//! orders of magnitude, instantiating them uniformly produces the
+//! "drill-down analysis" reference distribution: high-summarization queries
+//! (small parameter spaces) repeat frequently within a trace, while
+//! low-summarization queries (huge parameter spaces) essentially never
+//! repeat.
+//!
+//! A [`QueryTemplate`] describes everything the warehouse needs to know about
+//! one template: its parameter-space size, which relations it touches and
+//! how, and the shape of its retrieved set.  A [`QueryInstance`] is a
+//! template plus one point of its parameter space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pages::RelationId;
+
+/// Identifies a query template within a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TemplateId(pub u16);
+
+impl TemplateId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The summarization level of a template in the drill-down hierarchy.
+///
+/// High-summarization queries aggregate large portions of the warehouse into
+/// tiny statistical results and are re-issued frequently by many users;
+/// low-summarization queries drill down to detail data, produce larger
+/// retrieved sets and rarely repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SummarizationLevel {
+    /// Top of the drill-down hierarchy: tiny results, frequent repetition.
+    High,
+    /// Intermediate level.
+    Medium,
+    /// Detail level: larger results, essentially never repeated.
+    Low,
+}
+
+/// How a template reads one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Reads every page of the relation (table scan, scan side of a join).
+    FullScan,
+    /// Reads roughly `fraction` of the relation's pages (index range scan /
+    /// selective predicate).  The exact count varies per instance.
+    Selective {
+        /// Fraction of the relation's pages touched, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Reads a fixed small number of pages (index point lookups).
+    IndexLookup {
+        /// Number of pages touched.
+        pages: u32,
+    },
+}
+
+/// One relation access performed by a template.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationAccess {
+    /// The relation read.
+    pub relation: RelationId,
+    /// How it is read.
+    pub access: AccessKind,
+}
+
+impl RelationAccess {
+    /// Convenience constructor for a full scan.
+    pub fn scan(relation: RelationId) -> Self {
+        RelationAccess {
+            relation,
+            access: AccessKind::FullScan,
+        }
+    }
+
+    /// Convenience constructor for a selective scan.
+    pub fn selective(relation: RelationId, fraction: f64) -> Self {
+        RelationAccess {
+            relation,
+            access: AccessKind::Selective {
+                fraction: fraction.clamp(1e-6, 1.0),
+            },
+        }
+    }
+
+    /// Convenience constructor for an index lookup.
+    pub fn lookup(relation: RelationId, pages: u32) -> Self {
+        RelationAccess {
+            relation,
+            access: AccessKind::IndexLookup {
+                pages: pages.max(1),
+            },
+        }
+    }
+}
+
+/// The number of rows a template's retrieved set contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowCountModel {
+    /// Every instance returns exactly this many rows.
+    Fixed(u64),
+    /// Instances return between `min` and `max` rows (inclusive), varying
+    /// deterministically with the parameter value.
+    Range {
+        /// Minimum number of rows.
+        min: u64,
+        /// Maximum number of rows.
+        max: u64,
+    },
+}
+
+impl RowCountModel {
+    /// The largest number of rows any instance of the template can return.
+    pub fn max_rows(&self) -> u64 {
+        match *self {
+            RowCountModel::Fixed(n) => n,
+            RowCountModel::Range { max, .. } => max,
+        }
+    }
+}
+
+/// A benchmark query template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// The template's id within its benchmark.
+    pub id: TemplateId,
+    /// Short name, e.g. `"Q6"` or `"SQ3B"`.
+    pub name: String,
+    /// A human-readable SQL pattern; the literal `:p` is replaced by the
+    /// instance parameter when building the query ID.
+    pub sql_pattern: String,
+    /// Where the template sits in the drill-down hierarchy.
+    pub summarization: SummarizationLevel,
+    /// Number of distinct parameter combinations the template can be
+    /// instantiated with.
+    pub instance_space: u64,
+    /// The relation accesses the template performs.
+    pub accesses: Vec<RelationAccess>,
+    /// Shape of the retrieved set.
+    pub result_rows: RowCountModel,
+    /// Average bytes per result row.
+    pub result_row_bytes: u32,
+}
+
+impl QueryTemplate {
+    /// Whether two different parameter values ever produce the same query ID.
+    /// (They never do; this is the exact-match caching model of §3.)
+    pub fn instance_space(&self) -> u64 {
+        self.instance_space.max(1)
+    }
+
+    /// Names of the result columns (synthesized from the template name).
+    pub fn result_columns(&self) -> Vec<String> {
+        vec![
+            format!("{}_group", self.name.to_lowercase()),
+            "agg_sum".to_owned(),
+            "agg_count".to_owned(),
+        ]
+    }
+}
+
+/// One instantiation of a query template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryInstance {
+    /// The template being instantiated.
+    pub template: TemplateId,
+    /// The parameter value, in `[0, instance_space)`.
+    pub param: u64,
+}
+
+impl QueryInstance {
+    /// Creates a query instance.
+    pub const fn new(template: TemplateId, param: u64) -> Self {
+        QueryInstance { template, param }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> QueryTemplate {
+        QueryTemplate {
+            id: TemplateId(3),
+            name: "Q3".into(),
+            sql_pattern: "SELECT sum(x) FROM t WHERE k = :p".into(),
+            summarization: SummarizationLevel::High,
+            instance_space: 100,
+            accesses: vec![RelationAccess::scan(RelationId(0))],
+            result_rows: RowCountModel::Fixed(10),
+            result_row_bytes: 32,
+        }
+    }
+
+    #[test]
+    fn access_constructors_clamp_inputs() {
+        let sel = RelationAccess::selective(RelationId(1), 5.0);
+        assert_eq!(
+            sel.access,
+            AccessKind::Selective { fraction: 1.0 },
+            "fractions are clamped to (0, 1]"
+        );
+        let lookup = RelationAccess::lookup(RelationId(1), 0);
+        assert_eq!(lookup.access, AccessKind::IndexLookup { pages: 1 });
+    }
+
+    #[test]
+    fn row_count_model_max() {
+        assert_eq!(RowCountModel::Fixed(7).max_rows(), 7);
+        assert_eq!(RowCountModel::Range { min: 1, max: 9 }.max_rows(), 9);
+    }
+
+    #[test]
+    fn template_instance_space_is_at_least_one() {
+        let mut t = template();
+        t.instance_space = 0;
+        assert_eq!(t.instance_space(), 1);
+    }
+
+    #[test]
+    fn result_columns_are_derived_from_name() {
+        let t = template();
+        let cols = t.result_columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0], "q3_group");
+    }
+
+    #[test]
+    fn query_instances_compare_by_value() {
+        let a = QueryInstance::new(TemplateId(1), 5);
+        let b = QueryInstance::new(TemplateId(1), 5);
+        let c = QueryInstance::new(TemplateId(1), 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

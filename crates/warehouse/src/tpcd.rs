@@ -1,0 +1,461 @@
+//! The TPC-D benchmark definition (scaled to the paper's 30 MB database).
+//!
+//! The paper populated a 30 MB TPC-D database (about scale factor 0.03),
+//! excluded the two update templates, and ran 17 000 random instantiations of
+//! the remaining 17 query templates.  This module defines the scaled catalog
+//! and the 17 templates.  Parameter-space sizes follow the benchmark's
+//! parameter-substitution rules in spirit: they range from a few tens of
+//! combinations (high-summarization queries such as Q1 or Q6, which therefore
+//! repeat frequently in a 17 000-query trace) up to 10¹³–10¹⁵ combinations
+//! (low-summarization queries that essentially never repeat), which is the
+//! "drill-down analysis" distribution the paper relies on.
+//!
+//! Every TPC-D query joins and/or scans the large `LINEITEM`/`ORDERS` tables,
+//! so execution costs are uniformly high; retrieved sets at high
+//! summarization levels are tiny (a handful of aggregate rows) while
+//! drill-down queries return larger sets.  Both properties are what the
+//! paper's analysis of Figure 2 attributes the TPC-D results to.
+
+use crate::benchmark::{Benchmark, BenchmarkKind};
+use crate::catalog::{Catalog, Relation};
+use crate::pages::RelationId;
+use crate::template::{
+    QueryTemplate, RelationAccess, RowCountModel, SummarizationLevel, TemplateId,
+};
+
+/// Relation indices of the TPC-D catalog, in catalog order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcdRelations {
+    /// `LINEITEM`
+    pub lineitem: RelationId,
+    /// `ORDERS`
+    pub orders: RelationId,
+    /// `PARTSUPP`
+    pub partsupp: RelationId,
+    /// `PART`
+    pub part: RelationId,
+    /// `CUSTOMER`
+    pub customer: RelationId,
+    /// `SUPPLIER`
+    pub supplier: RelationId,
+    /// `NATION`
+    pub nation: RelationId,
+    /// `REGION`
+    pub region: RelationId,
+}
+
+/// The fixed relation layout used by [`catalog`].
+pub const RELATIONS: TpcdRelations = TpcdRelations {
+    lineitem: RelationId(0),
+    orders: RelationId(1),
+    partsupp: RelationId(2),
+    part: RelationId(3),
+    customer: RelationId(4),
+    supplier: RelationId(5),
+    nation: RelationId(6),
+    region: RelationId(7),
+};
+
+/// Builds the TPC-D catalog scaled so the total data volume is approximately
+/// `target_bytes` (the paper used 30 MB).
+///
+/// Row counts follow the TPC-D cardinality ratios (LINEITEM : ORDERS :
+/// PARTSUPP : PART : CUSTOMER : SUPPLIER = 6 000 000 : 1 500 000 : 800 000 :
+/// 200 000 : 150 000 : 10 000 at scale factor 1); NATION and REGION are
+/// fixed-size.
+pub fn catalog(target_bytes: u64) -> Catalog {
+    // Bytes per scale-factor-1 unit of each relation (row count × row bytes).
+    // Total at SF 1 is ~1 GB; we scale linearly to the requested size.
+    let sf = target_bytes as f64 / 1_015_000_000.0;
+    let rows = |base: u64| ((base as f64 * sf).round() as u64).max(1);
+    Catalog::new(
+        "TPC-D",
+        vec![
+            Relation::new("LINEITEM", rows(6_000_000), 112),
+            Relation::new("ORDERS", rows(1_500_000), 104),
+            Relation::new("PARTSUPP", rows(800_000), 144),
+            Relation::new("PART", rows(200_000), 128),
+            Relation::new("CUSTOMER", rows(150_000), 160),
+            Relation::new("SUPPLIER", rows(10_000), 144),
+            Relation::new("NATION", 25, 88),
+            Relation::new("REGION", 5, 88),
+        ],
+    )
+}
+
+/// The paper's database size for this benchmark: 30 MB.
+pub const PAPER_DATABASE_BYTES: u64 = 30 * 1024 * 1024;
+
+/// Builds the 17 TPC-D query templates (updates UF1/UF2 are excluded, as in
+/// the paper).
+pub fn templates() -> Vec<QueryTemplate> {
+    let r = RELATIONS;
+    let t = |id: u16,
+             name: &str,
+             sql: &str,
+             summarization: SummarizationLevel,
+             instance_space: u64,
+             accesses: Vec<RelationAccess>,
+             result_rows: RowCountModel,
+             result_row_bytes: u32| QueryTemplate {
+        id: TemplateId(id),
+        name: name.to_owned(),
+        sql_pattern: sql.to_owned(),
+        summarization,
+        instance_space,
+        accesses,
+        result_rows,
+        result_row_bytes,
+    };
+    use RowCountModel::{Fixed, Range};
+    use SummarizationLevel::{High, Low, Medium};
+
+    vec![
+        t(
+            0,
+            "Q1",
+            "SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice), avg(l_discount), count(*) FROM lineitem WHERE l_shipdate <= date '1998-12-01' - interval ':p' day GROUP BY l_returnflag, l_linestatus",
+            High,
+            61,
+            vec![RelationAccess::scan(r.lineitem)],
+            Fixed(6),
+            96,
+        ),
+        t(
+            1,
+            "Q2",
+            "SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, partsupp, nation, region WHERE p_size = :p AND ps_supplycost = (SELECT min(ps_supplycost) ...)",
+            Medium,
+            600,
+            vec![
+                RelationAccess::selective(r.part, 0.25),
+                RelationAccess::selective(r.partsupp, 0.3),
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.nation),
+                RelationAccess::scan(r.region),
+            ],
+            Range { min: 4, max: 100 },
+            120,
+        ),
+        t(
+            2,
+            "Q3",
+            "SELECT l_orderkey, sum(l_extendedprice*(1-l_discount)), o_orderdate, o_shippriority FROM customer, orders, lineitem WHERE c_mktsegment = ':p' GROUP BY l_orderkey, o_orderdate, o_shippriority ORDER BY revenue DESC",
+            High,
+            155,
+            vec![
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.orders),
+                RelationAccess::selective(r.lineitem, 0.55),
+            ],
+            Fixed(10),
+            56,
+        ),
+        t(
+            3,
+            "Q4",
+            "SELECT o_orderpriority, count(*) FROM orders WHERE o_orderdate >= date ':p' AND exists (SELECT * FROM lineitem WHERE l_commitdate < l_receiptdate) GROUP BY o_orderpriority",
+            High,
+            58,
+            vec![
+                RelationAccess::scan(r.orders),
+                RelationAccess::selective(r.lineitem, 0.35),
+            ],
+            Fixed(5),
+            40,
+        ),
+        t(
+            4,
+            "Q5",
+            "SELECT n_name, sum(l_extendedprice*(1-l_discount)) FROM customer, orders, lineitem, supplier, nation, region WHERE r_name = ':p' GROUP BY n_name",
+            High,
+            25,
+            vec![
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.orders),
+                RelationAccess::scan(r.lineitem),
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.nation),
+                RelationAccess::scan(r.region),
+            ],
+            Fixed(5),
+            48,
+        ),
+        t(
+            5,
+            "Q6",
+            "SELECT sum(l_extendedprice*l_discount) FROM lineitem WHERE l_shipdate >= date ':p' AND l_discount BETWEEN x AND y AND l_quantity < z",
+            High,
+            45,
+            vec![RelationAccess::selective(r.lineitem, 0.15)],
+            Fixed(1),
+            24,
+        ),
+        t(
+            6,
+            "Q7",
+            "SELECT supp_nation, cust_nation, l_year, sum(volume) FROM supplier, lineitem, orders, customer, nation n1, nation n2 WHERE nations = ':p' GROUP BY supp_nation, cust_nation, l_year",
+            Medium,
+            300,
+            vec![
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.lineitem),
+                RelationAccess::scan(r.orders),
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.nation),
+            ],
+            Fixed(4),
+            64,
+        ),
+        t(
+            7,
+            "Q8",
+            "SELECT o_year, sum(case when nation = ':p' then volume else 0 end) / sum(volume) FROM ... GROUP BY o_year",
+            Medium,
+            2_500,
+            vec![
+                RelationAccess::scan(r.part),
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.lineitem),
+                RelationAccess::scan(r.orders),
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.nation),
+                RelationAccess::scan(r.region),
+            ],
+            Fixed(2),
+            32,
+        ),
+        t(
+            8,
+            "Q9",
+            "SELECT nation, o_year, sum(amount) FROM part, supplier, lineitem, partsupp, orders, nation WHERE p_name like '%:p%' GROUP BY nation, o_year",
+            Medium,
+            92,
+            vec![
+                RelationAccess::scan(r.part),
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.lineitem),
+                RelationAccess::scan(r.partsupp),
+                RelationAccess::scan(r.orders),
+                RelationAccess::scan(r.nation),
+            ],
+            Fixed(175),
+            48,
+        ),
+        t(
+            9,
+            "Q10",
+            "SELECT c_custkey, c_name, sum(l_extendedprice*(1-l_discount)), c_acctbal, n_name FROM customer, orders, lineitem, nation WHERE o_orderdate >= date ':p' AND l_returnflag = 'R' GROUP BY c_custkey, ...",
+            High,
+            24,
+            vec![
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.orders),
+                RelationAccess::selective(r.lineitem, 0.25),
+                RelationAccess::scan(r.nation),
+            ],
+            Fixed(20),
+            160,
+        ),
+        t(
+            10,
+            "Q11",
+            "SELECT ps_partkey, sum(ps_supplycost*ps_availqty) FROM partsupp, supplier, nation WHERE n_name = ':p' GROUP BY ps_partkey HAVING sum(...) > fraction",
+            Medium,
+            25,
+            vec![
+                RelationAccess::scan(r.partsupp),
+                RelationAccess::scan(r.supplier),
+                RelationAccess::scan(r.nation),
+            ],
+            Range { min: 50, max: 400 },
+            24,
+        ),
+        t(
+            11,
+            "Q12",
+            "SELECT l_shipmode, sum(case when o_orderpriority in ('1-URGENT','2-HIGH') then 1 else 0 end) FROM orders, lineitem WHERE l_shipmode in (':p') GROUP BY l_shipmode",
+            High,
+            105,
+            vec![
+                RelationAccess::scan(r.orders),
+                RelationAccess::selective(r.lineitem, 0.3),
+            ],
+            Fixed(2),
+            40,
+        ),
+        t(
+            12,
+            "Q13",
+            "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) FROM customer, orders, lineitem WHERE o_orderkey in (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > :p)",
+            Low,
+            10_000_000_000_000,
+            vec![
+                RelationAccess::scan(r.customer),
+                RelationAccess::scan(r.orders),
+                RelationAccess::scan(r.lineitem),
+            ],
+            Range { min: 10, max: 80 },
+            136,
+        ),
+        t(
+            13,
+            "Q14",
+            "SELECT 100.00 * sum(case when p_type like 'PROMO%' then l_extendedprice*(1-l_discount) else 0 end) / sum(l_extendedprice*(1-l_discount)) FROM lineitem, part WHERE l_shipdate >= date ':p'",
+            High,
+            60,
+            vec![
+                RelationAccess::selective(r.lineitem, 0.08),
+                RelationAccess::scan(r.part),
+            ],
+            Fixed(1),
+            16,
+        ),
+        t(
+            14,
+            "Q15",
+            "SELECT s_suppkey, s_name, total_revenue FROM supplier, revenue_view WHERE total_revenue = (SELECT max(total_revenue) FROM revenue_view) AND quarter = ':p'",
+            Medium,
+            58,
+            vec![
+                RelationAccess::selective(r.lineitem, 0.25),
+                RelationAccess::scan(r.supplier),
+            ],
+            Range { min: 1, max: 10 },
+            96,
+        ),
+        t(
+            15,
+            "Q16",
+            "SELECT p_brand, p_type, p_size, count(distinct ps_suppkey) FROM partsupp, part WHERE p_brand <> ':p' AND p_size in (...) GROUP BY p_brand, p_type, p_size",
+            Low,
+            150_000_000,
+            vec![
+                RelationAccess::scan(r.partsupp),
+                RelationAccess::selective(r.part, 0.4),
+                RelationAccess::lookup(r.supplier, 4),
+            ],
+            Range { min: 20, max: 400 },
+            48,
+        ),
+        t(
+            16,
+            "Q17",
+            "SELECT sum(l_extendedprice) / 7.0 FROM lineitem, part WHERE p_brand = ':p' AND l_quantity < (SELECT 0.2*avg(l_quantity) FROM lineitem WHERE l_partkey = p_partkey)",
+            Medium,
+            400,
+            vec![
+                RelationAccess::scan(r.lineitem),
+                RelationAccess::selective(r.part, 0.02),
+            ],
+            Fixed(1),
+            16,
+        ),
+    ]
+}
+
+/// Builds the full TPC-D benchmark at the paper's 30 MB scale.
+pub fn benchmark() -> Benchmark {
+    benchmark_with(PAPER_DATABASE_BYTES, 0x7063_6474)
+}
+
+/// Builds the TPC-D benchmark with a custom database size and workload seed.
+pub fn benchmark_with(database_bytes: u64, seed: u64) -> Benchmark {
+    Benchmark::new(BenchmarkKind::TpcD, catalog(database_bytes), templates(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::QueryInstance;
+
+    #[test]
+    fn catalog_size_is_close_to_target() {
+        let c = catalog(PAPER_DATABASE_BYTES);
+        let total = c.total_bytes() as f64;
+        let target = PAPER_DATABASE_BYTES as f64;
+        assert!(
+            (total - target).abs() / target < 0.05,
+            "catalog is {total} bytes, target {target}"
+        );
+        assert_eq!(c.relation_count(), 8);
+        assert_eq!(c.relation_id("LINEITEM"), Some(RELATIONS.lineitem));
+        assert_eq!(c.relation_id("REGION"), Some(RELATIONS.region));
+    }
+
+    #[test]
+    fn defines_seventeen_templates() {
+        let templates = templates();
+        assert_eq!(templates.len(), 17, "the paper uses 17 query templates");
+        for (i, t) in templates.iter().enumerate() {
+            assert_eq!(t.id.index(), i);
+            assert!(!t.accesses.is_empty());
+            assert!(t.instance_space >= 10);
+        }
+    }
+
+    #[test]
+    fn instance_spaces_span_many_orders_of_magnitude() {
+        let templates = templates();
+        let min = templates.iter().map(|t| t.instance_space).min().unwrap();
+        let max = templates.iter().map(|t| t.instance_space).max().unwrap();
+        assert!(min <= 100, "smallest space must allow frequent repeats");
+        assert!(
+            max >= 1_000_000_000_000,
+            "largest space must effectively never repeat"
+        );
+    }
+
+    #[test]
+    fn all_queries_are_join_heavy() {
+        // The paper attributes TPC-D's cost distribution to every query
+        // performing costly joins/scans: no template may be index-cheap, and
+        // most templates must cost at least as much as a LINEITEM scan.
+        let b = benchmark();
+        let lineitem_pages =
+            u64::from(b.catalog().relation(RELATIONS.lineitem).unwrap().pages());
+        let costs: Vec<u64> = b
+            .templates()
+            .iter()
+            .map(|t| b.cost_blocks(QueryInstance::new(t.id, 0)))
+            .collect();
+        for (template, &cost) in b.templates().iter().zip(&costs) {
+            assert!(
+                cost >= 200,
+                "{} cost {cost} blocks is too cheap for TPC-D",
+                template.name
+            );
+        }
+        let heavy = costs.iter().filter(|&&c| c >= lineitem_pages).count();
+        assert!(
+            heavy * 3 >= costs.len(),
+            "a large share of TPC-D templates should scan LINEITEM-scale volumes ({heavy}/{})",
+            costs.len()
+        );
+    }
+
+    #[test]
+    fn high_summarization_results_are_small() {
+        let b = benchmark();
+        for template in b.templates() {
+            if template.summarization == SummarizationLevel::High {
+                let bytes = b.result_bytes(QueryInstance::new(template.id, 1));
+                assert!(
+                    bytes <= 4_096,
+                    "{} high-summarization result is {bytes} bytes",
+                    template.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_constructs_and_is_deterministic() {
+        let a = benchmark();
+        let b = benchmark();
+        let i = QueryInstance::new(TemplateId(5), 17);
+        assert_eq!(a.cost_blocks(i), b.cost_blocks(i));
+        assert_eq!(a.query_text(i), b.query_text(i));
+        assert_eq!(a.kind(), BenchmarkKind::TpcD);
+    }
+}

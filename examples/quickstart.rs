@@ -1,0 +1,89 @@
+//! Quickstart: cache warehouse query results with the LNC-RA policy.
+//!
+//! This example plays the role of a tiny warehouse front end.  It executes
+//! queries from the synthetic TPC-D benchmark through the
+//! [`watchman::warehouse::QueryExecutor`], caches the retrieved sets in an
+//! LNC-RA cache, and prints what the cache decided and what it saved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use watchman::prelude::*;
+use watchman::warehouse::tpcd;
+
+fn main() {
+    // The synthetic 30 MB TPC-D warehouse and its executor.
+    let benchmark = tpcd::benchmark();
+    let executor = QueryExecutor::new(&benchmark);
+
+    // A 1 MB LNC-RA cache (the paper's configuration: K = 4, admission
+    // control and retained reference information enabled).
+    let mut cache: LncCache<RetrievedSet> = LncCache::lnc_ra(1 << 20);
+    let clock = ManualClock::new();
+
+    // A small interactive session: the analyst keeps coming back to the
+    // same two summary queries while occasionally drilling down.
+    let session: Vec<QueryInstance> = vec![
+        QueryInstance::new(TemplateId(0), 30), // Q1, pricing summary
+        QueryInstance::new(TemplateId(5), 7),  // Q6, revenue forecast
+        QueryInstance::new(TemplateId(0), 30), // Q1 again — should hit
+        QueryInstance::new(TemplateId(12), 987_654_321), // Q13 drill-down, never repeated
+        QueryInstance::new(TemplateId(5), 7),  // Q6 again — should hit
+        QueryInstance::new(TemplateId(0), 30), // Q1 again — should hit
+    ];
+
+    for instance in session {
+        let now = clock.advance(1_000_000); // one second between queries
+        let key = executor.query_key(instance);
+        match cache.get(&key, now) {
+            Some(result) => {
+                println!(
+                    "HIT   {:<60} -> {} rows served from cache",
+                    truncate(&key.to_string(), 60),
+                    result.len()
+                );
+            }
+            None => {
+                let executed = executor.execute(instance);
+                let outcome = cache.insert(
+                    key.clone(),
+                    executed.retrieved_set.clone(),
+                    executed.cost,
+                    now,
+                );
+                println!(
+                    "MISS  {:<60} -> executed for {} ({} rows), {}",
+                    truncate(&key.to_string(), 60),
+                    executed.cost,
+                    executed.retrieved_set.len(),
+                    describe(&outcome)
+                );
+            }
+        }
+    }
+
+    let stats = cache.stats();
+    println!();
+    println!("references          : {}", stats.references);
+    println!("hits                : {}", stats.hits);
+    println!("hit ratio           : {:.2}", stats.hit_ratio());
+    println!("cost savings ratio  : {:.2}", stats.cost_savings_ratio());
+    println!("block reads saved   : {:.0}", stats.saved_cost);
+    println!("cache occupancy     : {} / {} bytes", cache.used_bytes(), cache.capacity_bytes());
+}
+
+fn describe(outcome: &InsertOutcome) -> String {
+    match outcome {
+        InsertOutcome::Admitted { evicted } if evicted.is_empty() => "admitted".to_owned(),
+        InsertOutcome::Admitted { evicted } => format!("admitted, evicted {}", evicted.len()),
+        InsertOutcome::AlreadyCached => "already cached".to_owned(),
+        InsertOutcome::Rejected(reason) => format!("rejected ({reason:?})"),
+    }
+}
+
+fn truncate(text: &str, limit: usize) -> String {
+    if text.len() <= limit {
+        text.to_owned()
+    } else {
+        format!("{}…", &text[..limit.saturating_sub(1)])
+    }
+}

@@ -1,0 +1,85 @@
+//! # WATCHMAN — a data warehouse intelligent cache manager
+//!
+//! This is the facade crate of the WATCHMAN reproduction (Scheuermann, Shim &
+//! Vingralek, VLDB 1996).  It re-exports the workspace crates so applications
+//! and the bundled examples can depend on a single crate:
+//!
+//! * [`core`] ([`watchman_core`]) — the cache manager itself: the LNC-R
+//!   replacement and LNC-A admission algorithms (combined: LNC-RA), the
+//!   retained-reference-information mechanism, the comparison baselines
+//!   (LRU, LRU-K, LFU, LCS, GreedyDual-Size), metrics and the §2.3
+//!   optimality oracles.
+//! * [`warehouse`] ([`watchman_warehouse`]) — the synthetic data warehouse:
+//!   TPC-D, Set Query and the 14-relation buffer workload, with cost,
+//!   result-size and page-access models.
+//! * [`trace`] ([`watchman_trace`]) — drill-down workload traces.
+//! * [`buffer`] ([`watchman_buffer`]) — the page-level LRU buffer manager
+//!   with p₀-redundancy hints.
+//! * [`sim`] ([`watchman_sim`]) — the experiment harness reproducing the
+//!   paper's Figures 2–7 and the extension ablations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use watchman::prelude::*;
+//!
+//! // A 2 MB LNC-RA cache (K = 4, admission control and retained reference
+//! // information enabled — the paper's configuration).
+//! let mut cache: LncCache<SizedPayload> = LncCache::lnc_ra(2 << 20);
+//!
+//! let query = QueryKey::from_raw_query(
+//!     "SELECT o_orderpriority, count(*) FROM orders GROUP BY o_orderpriority",
+//! );
+//! let now = Timestamp::from_secs(10);
+//!
+//! if cache.get(&query, now).is_none() {
+//!     // Execute the query against the warehouse, then offer the retrieved
+//!     // set together with its observed execution cost (in block reads).
+//!     let outcome = cache.insert(
+//!         query.clone(),
+//!         SizedPayload::new(320),
+//!         ExecutionCost::from_blocks(8_500),
+//!         now,
+//!     );
+//!     assert!(outcome.is_admitted());
+//! }
+//! assert!(cache.contains(&query));
+//! ```
+//!
+//! See the `examples/` directory for complete programs: `quickstart`,
+//! `drill_down`, `buffer_hints` and `policy_comparison`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use watchman_buffer as buffer;
+pub use watchman_core as core;
+pub use watchman_sim as sim;
+pub use watchman_trace as trace;
+pub use watchman_warehouse as warehouse;
+
+/// The most commonly used types from every workspace crate.
+pub mod prelude {
+    pub use watchman_buffer::{BufferPool, BufferStats, QueryReferenceTracker};
+    pub use watchman_core::prelude::*;
+    pub use watchman_sim::{
+        replay_trace, run_infinite, run_policy, ExperimentScale, PolicyKind, RunResult, Workload,
+    };
+    pub use watchman_trace::{Trace, TraceConfig, TraceGenerator, TraceRecord, TraceStats};
+    pub use watchman_warehouse::{
+        Benchmark, BenchmarkKind, ExecutionResult, QueryExecutor, QueryInstance, TemplateId,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let workload = Workload::tpcd(ExperimentScale::quick(100));
+        let result = run_policy(&workload.trace, PolicyKind::LNC_RA, 0.01);
+        assert_eq!(result.references, 100);
+    }
+}
