@@ -21,9 +21,7 @@ fn bench_fig6(c: &mut Criterion) {
         })
     });
     group.bench_function("experiment_quick", |b| {
-        b.iter(|| {
-            FragmentationExperiment::run_with_fractions(ExperimentScale::quick(400), &[0.01])
-        })
+        b.iter(|| FragmentationExperiment::run_with_fractions(ExperimentScale::quick(400), &[0.01]))
     });
     group.finish();
 }

@@ -15,8 +15,7 @@ fn bench_fig7(c: &mut Criterion) {
         cache_bytes: 4 * 1024 * 1024,
         ..BufferHintConfig::default()
     };
-    let experiment =
-        BufferHintExperiment::run_with(ExperimentScale::quick(1_200), report_config);
+    let experiment = BufferHintExperiment::run_with(ExperimentScale::quick(1_200), report_config);
     println!("\n{}", experiment.render());
 
     let measure_config = BufferHintConfig {

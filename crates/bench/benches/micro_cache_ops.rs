@@ -76,15 +76,35 @@ fn bench_key_hashing(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_shared_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro_shared_cache");
-    let shared = SharedCache::new(prefilled_lnc(1_000, 10 * 1024 * 1024));
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_engine");
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(8)
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(10 * 1024 * 1024)
+        .build();
+    for i in 0..1_000u64 {
+        engine.insert(
+            QueryKey::new(format!("warm-query-{i}")),
+            SizedPayload::new(512),
+            ExecutionCost::from_blocks(1_000),
+            Timestamp::from_micros(i + 1),
+        );
+    }
     let key = QueryKey::new("warm-query-100".to_owned());
     let mut tick = 2_000_000u64;
-    group.bench_function("shared_get_hit", |b| {
+    group.bench_function("engine_get_hit", |b| {
         b.iter(|| {
             tick += 1;
-            shared.get(&key, Timestamp::from_micros(tick))
+            engine.get(&key, Timestamp::from_micros(tick))
+        })
+    });
+    group.bench_function("engine_get_or_execute_hit", |b| {
+        b.iter(|| {
+            tick += 1;
+            engine.get_or_execute(&key, Timestamp::from_micros(tick), || {
+                unreachable!("warmed key must hit")
+            })
         })
     });
     group.finish();
@@ -95,6 +115,6 @@ criterion_group!(
     bench_lookups,
     bench_admission,
     bench_key_hashing,
-    bench_shared_cache
+    bench_engine
 );
 criterion_main!(benches);

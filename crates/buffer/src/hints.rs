@@ -11,9 +11,13 @@
 //! buffer manager moves them to the end of its LRU chain.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use watchman_core::key::Signature;
+use watchman_core::engine::{CacheEvent, CacheObserver};
+use watchman_core::key::{QueryKey, Signature};
 use watchman_warehouse::PageId;
+
+use crate::pool::BufferPool;
 
 /// Tracks, for every page, the set of queries that referenced it.
 ///
@@ -22,10 +26,18 @@ use watchman_warehouse::PageId;
 /// small, and a bounded set is the simplest such scheme (once the bound is
 /// reached, new queries are not recorded, which only makes redundancy
 /// estimates conservative).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryReferenceTracker {
     per_page: HashMap<PageId, HashSet<Signature>>,
     max_queries_per_page: usize,
+}
+
+impl Default for QueryReferenceTracker {
+    /// Equivalent to [`QueryReferenceTracker::new`].  (A derived `Default`
+    /// would set the per-page bound to zero, silently recording nothing.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl QueryReferenceTracker {
@@ -102,8 +114,7 @@ impl QueryReferenceTracker {
             .iter()
             .copied()
             .filter(|&page| {
-                self.per_page.contains_key(&page)
-                    && self.redundancy(page, &is_cached) >= threshold
+                self.per_page.contains_key(&page) && self.redundancy(page, &is_cached) >= threshold
             })
             .collect()
     }
@@ -111,6 +122,112 @@ impl QueryReferenceTracker {
     /// Forgets all reference sets.
     pub fn clear(&mut self) {
         self.per_page.clear();
+    }
+}
+
+/// A [`CacheObserver`] that turns the engine's event stream into p₀ buffer
+/// hints (paper §3).
+///
+/// The observer mirrors the cache's contents as a set of query signatures:
+/// admissions add, evictions and invalidations remove.  When a retrieved set
+/// is admitted, it resolves the query's page accesses with `resolver`,
+/// computes which of those pages are p₀-redundant against the mirrored
+/// signature set, and demotes them in the shared [`BufferPool`] — exactly the
+/// hint WATCHMAN sends the buffer manager after caching a set, now driven
+/// automatically by the engine instead of hand-wired in the simulation loop.
+///
+/// Query page references still need to be recorded as queries execute; call
+/// [`RedundancyHintObserver::record_access`] from the execution path (misses
+/// only, since hits perform no page I/O).
+pub struct RedundancyHintObserver<F> {
+    pool: Arc<Mutex<BufferPool>>,
+    threshold: f64,
+    resolver: F,
+    state: Mutex<HintState>,
+}
+
+#[derive(Debug, Default)]
+struct HintState {
+    tracker: QueryReferenceTracker,
+    cached: HashSet<Signature>,
+}
+
+impl<F> RedundancyHintObserver<F>
+where
+    F: Fn(&QueryKey) -> Vec<PageId> + Send + Sync,
+{
+    /// Creates an observer demoting pages whose redundancy reaches
+    /// `threshold` (`p₀ ∈ [0, 1]`), resolving each admitted query's page
+    /// accesses with `resolver`.
+    pub fn new(pool: Arc<Mutex<BufferPool>>, threshold: f64, resolver: F) -> Self {
+        RedundancyHintObserver {
+            pool,
+            threshold: threshold.clamp(0.0, 1.0),
+            resolver,
+            state: Mutex::new(HintState::default()),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, HintState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Records that `query` read every page in `pages` (call on every cache
+    /// miss that executes against the warehouse).
+    pub fn record_access(&self, pages: &[PageId], query: Signature) {
+        self.lock_state().tracker.record_all(pages, query);
+    }
+
+    /// The shared buffer pool this observer demotes pages in.
+    pub fn pool(&self) -> &Arc<Mutex<BufferPool>> {
+        &self.pool
+    }
+
+    /// The number of query signatures currently mirrored as cached.
+    pub fn cached_queries(&self) -> usize {
+        self.lock_state().cached.len()
+    }
+}
+
+impl<F> CacheObserver for RedundancyHintObserver<F>
+where
+    F: Fn(&QueryKey) -> Vec<PageId> + Send + Sync,
+{
+    fn on_cache_event(&self, event: &CacheEvent) {
+        match event {
+            CacheEvent::Admitted { key, .. } => {
+                let pages = (self.resolver)(key);
+                let hint = {
+                    let mut state = self.lock_state();
+                    state.cached.insert(key.signature());
+                    let cached = &state.cached;
+                    state
+                        .tracker
+                        .redundant_pages(&pages, self.threshold, |sig| cached.contains(&sig))
+                };
+                if !hint.is_empty() {
+                    let mut pool = self
+                        .pool
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    pool.demote(&hint);
+                }
+            }
+            CacheEvent::Evicted { key, .. } | CacheEvent::Invalidated { key, .. } => {
+                self.lock_state().cached.remove(&key.signature());
+            }
+            CacheEvent::Rejected { .. } => {}
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for RedundancyHintObserver<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RedundancyHintObserver")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
     }
 }
 
@@ -174,7 +291,10 @@ mod tests {
         let cached: HashSet<Signature> = [sig(1)].into_iter().collect();
         let is_cached = |s: Signature| cached.contains(&s);
         let pages = [page(1), page(2), page(3), page(4)];
-        assert_eq!(tracker.redundant_pages(&pages, 1.0, is_cached), vec![page(1)]);
+        assert_eq!(
+            tracker.redundant_pages(&pages, 1.0, is_cached),
+            vec![page(1)]
+        );
         assert_eq!(
             tracker.redundant_pages(&pages, 0.6, is_cached),
             vec![page(1)]
@@ -205,5 +325,54 @@ mod tests {
         tracker.record(page(1), sig(1));
         tracker.clear();
         assert_eq!(tracker.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn observer_demotes_redundant_pages_on_admission() {
+        use watchman_core::clock::Timestamp;
+        use watchman_core::engine::{PolicyKind, Watchman};
+        use watchman_core::value::{ExecutionCost, SizedPayload};
+
+        let pool = Arc::new(Mutex::new(BufferPool::new(8)));
+        // Every query touches pages 1 and 2.
+        let pages = vec![page(1), page(2)];
+        let observer = {
+            let pages = pages.clone();
+            Arc::new(RedundancyHintObserver::new(
+                Arc::clone(&pool),
+                0.6,
+                move |_key: &QueryKey| pages.clone(),
+            ))
+        };
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .policy(PolicyKind::Lru)
+            .capacity_bytes(1_000)
+            .observer(observer.clone())
+            .build();
+
+        // The query executes: its pages enter the pool and the tracker.
+        let key = QueryKey::new("q1");
+        {
+            let mut pool = pool.lock().unwrap();
+            for &p in &pages {
+                pool.access(p);
+            }
+        }
+        observer.record_access(&pages, key.signature());
+
+        // Admission: both pages are used only by the now-cached query, so
+        // both are p0-redundant and get demoted.
+        engine.insert(
+            key.clone(),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(50),
+            Timestamp::from_secs(1),
+        );
+        assert_eq!(observer.cached_queries(), 1);
+        assert_eq!(pool.lock().unwrap().stats().demotions, 2);
+
+        // Invalidation clears the mirrored signature.
+        assert!(engine.invalidate(&key));
+        assert_eq!(observer.cached_queries(), 0);
     }
 }

@@ -35,5 +35,5 @@
 pub mod hints;
 pub mod pool;
 
-pub use hints::QueryReferenceTracker;
+pub use hints::{QueryReferenceTracker, RedundancyHintObserver};
 pub use pool::{BufferPool, BufferStats};

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// expressed in references per microsecond; because the profit metric is used
 /// purely for *ordering* cached sets, any consistent unit yields identical
 /// caching decisions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(u64);
 
 impl Timestamp {

@@ -13,7 +13,9 @@
 //! (dropped and recomputed on next reference) or refreshed incrementally.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 
+use crate::engine::{CacheEvent, CacheObserver};
 use crate::key::QueryKey;
 
 /// Maps base relations to the cached queries that depend on them.
@@ -150,14 +152,128 @@ where
     F: FnMut(&QueryKey) -> bool,
 {
     let affected = index.take_affected_by(relation);
-    let invalidated = affected
-        .iter()
-        .filter(|key| remove(key))
-        .cloned()
-        .collect();
+    let invalidated = affected.iter().filter(|key| remove(key)).cloned().collect();
     InvalidationReport {
         affected,
         invalidated,
+    }
+}
+
+/// A [`CacheObserver`] that keeps a [`DependencyIndex`] synchronized with an
+/// engine's contents.
+///
+/// On every admission the observer asks `resolver` which base relations the
+/// query reads and registers them; evictions and invalidations unregister the
+/// key.  Subscribe it at build time and the index never goes stale:
+///
+/// ```
+/// use std::sync::Arc;
+/// use watchman_core::coherence::DependencyObserver;
+/// use watchman_core::engine::{PolicyKind, Watchman};
+/// use watchman_core::prelude::*;
+///
+/// let deps = Arc::new(DependencyObserver::new(|key: &QueryKey| {
+///     // A real front end would consult its query plans; the WATCHMAN paper's
+///     // warehouse manager knows each query's base relations.
+///     if key.text().contains("lineitem") { vec!["LINEITEM".to_owned()] } else { vec![] }
+/// }));
+/// let engine: Watchman<SizedPayload> = Watchman::builder()
+///     .policy(PolicyKind::LNC_RA)
+///     .capacity_bytes(1 << 20)
+///     .observer(deps.clone())
+///     .build();
+///
+/// let key = QueryKey::from_raw_query("SELECT sum(price) FROM lineitem");
+/// engine.insert(key.clone(), SizedPayload::new(64), ExecutionCost::from_blocks(100), Timestamp::from_secs(1));
+/// assert_eq!(deps.affected_by("LINEITEM"), vec![key.clone()]);
+///
+/// // An update lands on LINEITEM: invalidate the dependents.
+/// let report = deps.apply_update(&engine, "LINEITEM");
+/// assert_eq!(report.invalidated, vec![key.clone()]);
+/// assert!(!engine.contains(&key));
+/// ```
+pub struct DependencyObserver<F> {
+    index: Mutex<DependencyIndex>,
+    resolver: F,
+}
+
+impl<F> DependencyObserver<F>
+where
+    F: Fn(&QueryKey) -> Vec<String> + Send + Sync,
+{
+    /// Creates an observer that resolves a query's base relations with
+    /// `resolver` at admission time.
+    pub fn new(resolver: F) -> Self {
+        DependencyObserver {
+            index: Mutex::new(DependencyIndex::new()),
+            resolver,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DependencyIndex> {
+        self.index
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs a closure with access to the tracked index.
+    pub fn with_index<R>(&self, f: impl FnOnce(&DependencyIndex) -> R) -> R {
+        f(&self.lock())
+    }
+
+    /// The keys of all tracked sets that read the given relation.
+    pub fn affected_by(&self, relation: &str) -> Vec<QueryKey> {
+        self.lock().affected_by(relation)
+    }
+
+    /// Applies a warehouse update to `relation`: invalidates every dependent
+    /// cached set in `engine` and returns the report.
+    ///
+    /// The index entries for the affected keys are taken out first and the
+    /// engine's resulting `Invalidated` events then find nothing left to
+    /// unregister, so the lock is never held across the engine call.
+    pub fn apply_update<V>(
+        &self,
+        engine: &crate::engine::Watchman<V>,
+        relation: &str,
+    ) -> InvalidationReport
+    where
+        V: crate::value::CachePayload + Send + Sync + 'static,
+    {
+        let affected = self.lock().take_affected_by(relation);
+        let invalidated = affected
+            .iter()
+            .filter(|key| engine.invalidate(key))
+            .cloned()
+            .collect();
+        InvalidationReport {
+            affected,
+            invalidated,
+        }
+    }
+}
+
+impl<F> CacheObserver for DependencyObserver<F>
+where
+    F: Fn(&QueryKey) -> Vec<String> + Send + Sync,
+{
+    fn on_cache_event(&self, event: &CacheEvent) {
+        match event {
+            CacheEvent::Admitted { key, .. } => {
+                let relations = (self.resolver)(key);
+                self.lock().register(key.clone(), relations);
+            }
+            CacheEvent::Evicted { key, .. } | CacheEvent::Invalidated { key, .. } => {
+                self.lock().unregister(key);
+            }
+            CacheEvent::Rejected { .. } => {}
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for DependencyObserver<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DependencyObserver").finish_non_exhaustive()
     }
 }
 
@@ -185,10 +301,7 @@ mod tests {
         assert_eq!(affected, vec![key("q1"), key("q2")]);
         assert_eq!(index.affected_by("LINEITEM"), vec![key("q1")]);
         assert!(index.affected_by("PART").is_empty());
-        assert_eq!(
-            index.dependencies_of(&key("q1")).unwrap().len(),
-            2
-        );
+        assert_eq!(index.dependencies_of(&key("q1")).unwrap().len(), 2);
     }
 
     #[test]
@@ -233,7 +346,12 @@ mod tests {
             ("parts-summary", vec!["PART"]),
         ] {
             let k = key(name);
-            cache.insert(k.clone(), SizedPayload::new(256), ExecutionCost::from_blocks(500), now);
+            cache.insert(
+                k.clone(),
+                SizedPayload::new(256),
+                ExecutionCost::from_blocks(500),
+                now,
+            );
             index.register(k, relations);
         }
         assert_eq!(cache.len(), 2);

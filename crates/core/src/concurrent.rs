@@ -1,64 +1,78 @@
-//! A thread-safe wrapper around any cache policy.
+//! Deprecated thread-safe wrapper, retained as a shim over the engine.
 //!
-//! WATCHMAN is described in the paper as "a library of routines that may be
-//! linked with an application" (§3).  In a multiuser warehouse front end
-//! several sessions share one retrieved-set cache, so the library provides
-//! [`SharedCache`], a mutex-guarded handle that exposes the same operations
-//! as [`QueryCache`] but returns owned values (cloned payloads) instead of
-//! references, making it safe to use from multiple threads.
-//!
-//! A single `parking_lot::Mutex` is sufficient here: cache operations are
-//! micro- to millisecond-scale while the warehouse queries they save are
-//! seconds-scale, so the lock is never the bottleneck (this is measured in
-//! the `concurrent_access` benchmark).
+//! Earlier versions of this library offered [`SharedCache`]: one big mutex
+//! around a policy, cloning the whole retrieved set on every hit.  The
+//! [`engine`](crate::engine) subsystem supersedes it — sharded locking,
+//! `Arc<V>` payload sharing, single-flight miss deduplication and an
+//! observer hook — so `SharedCache` is now a thin shim over a **one-shard**
+//! [`Watchman`] engine, kept only to ease migration.  New code should use
+//! [`Watchman::builder`] directly.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::clock::Timestamp;
+use crate::engine::{PolicyKind, Watchman};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
-use crate::policy::{InsertOutcome, QueryCache};
+use crate::policy::InsertOutcome;
 use crate::value::{CachePayload, ExecutionCost};
 
-/// A cloneable, thread-safe handle to a cache policy.
-pub struct SharedCache<V, P> {
-    inner: Arc<Mutex<P>>,
-    _marker: std::marker::PhantomData<fn() -> V>,
+/// A cloneable, thread-safe cache handle over a single shard.
+///
+/// Deprecated: this is the old single-mutex API.  [`Watchman`] offers the
+/// same operations plus sharding, single-flight misses and cache events.
+#[deprecated(
+    since = "0.2.0",
+    note = "use watchman_core::engine::Watchman, the sharded concurrent engine"
+)]
+pub struct SharedCache<V> {
+    engine: Watchman<V>,
 }
 
-impl<V, P> Clone for SharedCache<V, P> {
+impl<V> Clone for SharedCache<V> {
     fn clone(&self) -> Self {
         SharedCache {
-            inner: Arc::clone(&self.inner),
-            _marker: std::marker::PhantomData,
+            engine: self.engine.clone(),
         }
     }
 }
 
-impl<V, P> std::fmt::Debug for SharedCache<V, P> {
+impl<V> std::fmt::Debug for SharedCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedCache").finish_non_exhaustive()
     }
 }
 
-impl<V, P> SharedCache<V, P>
+impl<V> SharedCache<V>
 where
-    V: CachePayload + Clone,
-    P: QueryCache<V>,
+    V: CachePayload + Send + Sync + 'static,
 {
-    /// Wraps a policy in a thread-safe handle.
-    pub fn new(policy: P) -> Self {
+    /// Wraps a one-shard engine running `policy` with the given capacity.
+    pub fn new(policy: PolicyKind, capacity_bytes: u64) -> Self {
         SharedCache {
-            inner: Arc::new(Mutex::new(policy)),
-            _marker: std::marker::PhantomData,
+            engine: Watchman::builder()
+                .shards(1)
+                .policy(policy)
+                .capacity_bytes(capacity_bytes)
+                .build(),
         }
     }
 
-    /// Looks up a retrieved set, returning a clone of the cached payload.
-    pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<V> {
-        self.inner.lock().get(key, now).cloned()
+    /// An LNC-RA shared cache with the paper's default configuration.
+    pub fn lnc_ra(capacity_bytes: u64) -> Self {
+        Self::new(PolicyKind::LNC_RA, capacity_bytes)
+    }
+
+    /// The underlying engine, for callers migrating incrementally.
+    pub fn engine(&self) -> &Watchman<V> {
+        &self.engine
+    }
+
+    /// Looks up a retrieved set, returning a shared handle to the payload.
+    pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<Arc<V>> {
+        self.engine.get(key, now)
     }
 
     /// Offers a retrieved set for admission.
@@ -69,79 +83,65 @@ where
         cost: ExecutionCost,
         now: Timestamp,
     ) -> InsertOutcome {
-        self.inner.lock().insert(key, value, cost, now)
+        self.engine.insert(key, value, cost, now)
     }
 
     /// Looks up a retrieved set; on a miss, executes `fetch` to produce the
     /// value and its cost, offers the result for admission and returns it.
     ///
-    /// This is the ergonomic entry point for applications: it mirrors the
-    /// "check cache, otherwise run the query and offer the result" protocol
-    /// in one call.  `fetch` runs *outside* the cache lock so concurrent
-    /// sessions are not serialized behind a slow warehouse query.
-    pub fn get_or_insert_with<F>(&self, key: &QueryKey, now: Timestamp, fetch: F) -> V
+    /// `fetch` runs outside the cache lock, and concurrent misses on the same
+    /// key are deduplicated by the engine's single-flight machinery.
+    pub fn get_or_insert_with<F>(&self, key: &QueryKey, now: Timestamp, fetch: F) -> Arc<V>
     where
         F: FnOnce() -> (V, ExecutionCost),
     {
-        if let Some(hit) = self.get(key, now) {
-            return hit;
-        }
-        let (value, cost) = fetch();
-        self.insert(key.clone(), value.clone(), cost, now);
-        value
+        self.engine.get_or_execute(key, now, fetch).value
     }
 
     /// Whether a retrieved set for `key` is currently cached.
     pub fn contains(&self, key: &QueryKey) -> bool {
-        self.inner.lock().contains(key)
+        self.engine.contains(key)
     }
 
     /// Number of cached retrieved sets.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.engine.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.engine.is_empty()
     }
 
     /// Bytes currently in use.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().used_bytes()
+        self.engine.used_bytes()
     }
 
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.inner.lock().capacity_bytes()
+        self.engine.capacity_bytes()
     }
 
     /// A snapshot of the accumulated statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats().clone()
+        self.engine.stats()
     }
 
     /// A snapshot of the currently cached keys.
     pub fn cached_keys(&self) -> Vec<QueryKey> {
-        self.inner.lock().cached_keys()
+        self.engine.cached_keys()
     }
 
     /// Removes every cached set.
     pub fn clear(&self) {
-        self.inner.lock().clear();
-    }
-
-    /// Runs a closure with exclusive access to the underlying policy, for
-    /// operations not covered by the convenience methods.
-    pub fn with_policy<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
-        f(&mut self.inner.lock())
+        self.engine.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::lnc::LncCache;
     use crate::value::SizedPayload;
 
     fn ts(us: u64) -> Timestamp {
@@ -154,9 +154,14 @@ mod tests {
 
     #[test]
     fn shared_cache_round_trip() {
-        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        let cache: SharedCache<SizedPayload> = SharedCache::lnc_ra(10_000);
         assert!(cache.get(&key("q"), ts(1)).is_none());
-        cache.insert(key("q"), SizedPayload::new(100), ExecutionCost::from_blocks(50), ts(1));
+        cache.insert(
+            key("q"),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(50),
+            ts(1),
+        );
         assert!(cache.get(&key("q"), ts(2)).is_some());
         assert!(cache.contains(&key("q")));
         assert_eq!(cache.len(), 1);
@@ -171,7 +176,7 @@ mod tests {
 
     #[test]
     fn get_or_insert_with_fetches_only_on_miss() {
-        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        let cache: SharedCache<SizedPayload> = SharedCache::lnc_ra(10_000);
         let mut fetches = 0;
         let v = cache.get_or_insert_with(&key("q"), ts(1), || {
             fetches += 1;
@@ -187,15 +192,20 @@ mod tests {
 
     #[test]
     fn handles_are_cloneable_and_share_state() {
-        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(10_000));
+        let cache: SharedCache<SizedPayload> = SharedCache::lnc_ra(10_000);
         let other = cache.clone();
-        other.insert(key("q"), SizedPayload::new(10), ExecutionCost::from_blocks(5), ts(1));
+        other.insert(
+            key("q"),
+            SizedPayload::new(10),
+            ExecutionCost::from_blocks(5),
+            ts(1),
+        );
         assert!(cache.contains(&key("q")));
     }
 
     #[test]
     fn concurrent_references_from_multiple_threads() {
-        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(1_000_000));
+        let cache: SharedCache<SizedPayload> = SharedCache::lnc_ra(1_000_000);
         std::thread::scope(|scope| {
             for t in 0..4u64 {
                 let cache = cache.clone();
@@ -217,19 +227,15 @@ mod tests {
             }
         });
         let stats = cache.stats();
-        assert_eq!(stats.references, 4 * 250 + stats.hits - stats.hits); // references recorded once per get/insert pair
         assert!(stats.references >= 1_000);
         assert!(cache.len() <= 50);
         assert!(cache.used_bytes() <= cache.capacity_bytes());
     }
 
     #[test]
-    fn with_policy_gives_access_to_policy_specifics() {
-        let cache = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(1_000));
-        cache.insert(key("q"), SizedPayload::new(10), ExecutionCost::from_blocks(5), ts(1));
-        let retained = cache.with_policy(|p| p.retained_entries());
-        assert_eq!(retained, 0);
-        let name = cache.with_policy(|p| p.name());
-        assert_eq!(name, "LNC-RA");
+    fn shim_exposes_its_engine() {
+        let cache: SharedCache<SizedPayload> = SharedCache::new(PolicyKind::Lru, 1_000);
+        assert_eq!(cache.engine().shard_count(), 1);
+        assert_eq!(cache.engine().policy(), PolicyKind::Lru);
     }
 }

@@ -1,0 +1,328 @@
+//! The concurrent WATCHMAN engine: the library's primary public API.
+//!
+//! The paper describes WATCHMAN as "a library of routines that may be linked
+//! with an application" serving a multiuser warehouse front end (§3).  This
+//! module is that library surface, designed for many concurrent sessions:
+//!
+//! * [`Watchman`] — a builder-configured facade that hash-partitions the
+//!   keyspace by query signature across N per-shard policy instances and
+//!   shares payloads as `Arc<V>`;
+//! * [`Watchman::get_or_execute`] — the session entry point, with
+//!   **single-flight** deduplication so concurrent misses on the same query
+//!   execute the warehouse query exactly once;
+//! * [`PolicyKind`] — the one construction path for every replacement /
+//!   admission policy, shared by the engine, the simulator and the examples;
+//! * [`CacheEvent`] / [`CacheObserver`] — the lifecycle event stream that
+//!   the coherence [`DependencyIndex`](crate::coherence::DependencyIndex)
+//!   and the buffer manager's p₀-redundancy hints subscribe to;
+//! * [`StatsSnapshot`] — owned, aggregated statistics across shards.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use watchman_core::engine::{LookupSource, PolicyKind, Watchman};
+//! use watchman_core::prelude::*;
+//!
+//! let engine: Watchman<SizedPayload> = Watchman::builder()
+//!     .shards(8)
+//!     .policy(PolicyKind::LncRa { k: 4 })
+//!     .capacity_bytes(16 << 20)
+//!     .build();
+//!
+//! let key = QueryKey::from_raw_query("SELECT count(*) FROM orders");
+//! let lookup = engine.get_or_execute(&key, Timestamp::from_secs(1), || {
+//!     // Cache miss: execute against the warehouse and report the observed
+//!     // cost. Under concurrency, only one session runs this closure per
+//!     // distinct query.
+//!     (SizedPayload::new(512), ExecutionCost::from_blocks(9_000))
+//! });
+//! assert_eq!(lookup.source, LookupSource::Executed);
+//! assert!(engine.contains(&key));
+//! ```
+
+mod events;
+mod policy_kind;
+mod single_flight;
+mod watchman;
+
+pub use events::{CacheEvent, CacheObserver, EventCounters};
+pub use policy_kind::PolicyKind;
+pub use watchman::{KeyNormalizer, Lookup, LookupSource, StatsSnapshot, Watchman, WatchmanBuilder};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::clock::Timestamp;
+    use crate::coherence::DependencyIndex;
+    use crate::key::QueryKey;
+    use crate::value::{CachePayload, ExecutionCost, SizedPayload};
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    fn key(name: &str) -> QueryKey {
+        QueryKey::new(name.to_owned())
+    }
+
+    fn engine(shards: usize, capacity: u64) -> Watchman<SizedPayload> {
+        Watchman::builder()
+            .shards(shards)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(capacity)
+            .build()
+    }
+
+    #[test]
+    fn get_or_execute_round_trip() {
+        let engine = engine(4, 1 << 20);
+        let executed = Arc::new(AtomicU64::new(0));
+        for i in 0..3 {
+            let executed = Arc::clone(&executed);
+            let lookup = engine.get_or_execute(&key("q"), ts(i + 1), move || {
+                executed.fetch_add(1, Ordering::SeqCst);
+                (SizedPayload::new(128), ExecutionCost::from_blocks(1_000))
+            });
+            assert_eq!(lookup.value.size_bytes(), 128);
+        }
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            1,
+            "repeat lookups must hit"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.references, 3);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let engine = engine(8, 64 << 20);
+        for i in 0..200u32 {
+            engine.insert(
+                key(&format!("query-{i}")),
+                SizedPayload::new(100),
+                ExecutionCost::from_blocks(10),
+                ts(u64::from(i) + 1),
+            );
+        }
+        assert_eq!(engine.len(), 200);
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.per_shard.len(), 8);
+        let populated = snapshot
+            .per_shard
+            .iter()
+            .filter(|s| s.admissions > 0)
+            .count();
+        assert!(populated >= 6, "only {populated}/8 shards saw admissions");
+        assert_eq!(snapshot.total.admissions, 200);
+        assert_eq!(snapshot.entries, 200);
+    }
+
+    #[test]
+    fn capacity_splits_exactly_across_shards() {
+        for shards in [1, 3, 7, 8] {
+            let engine = engine(shards, 1_000_003);
+            assert_eq!(engine.capacity_bytes(), 1_000_003, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn observers_see_admissions_evictions_and_invalidations() {
+        let counters = Arc::new(EventCounters::new());
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::Lru)
+            .capacity_bytes(250)
+            .observer(Arc::clone(&counters) as Arc<dyn CacheObserver>)
+            .build();
+        // Two admissions fit; the third evicts the oldest.
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            engine.insert(
+                key(name),
+                SizedPayload::new(100),
+                ExecutionCost::from_blocks(10),
+                ts(i as u64 + 1),
+            );
+        }
+        assert_eq!(counters.admitted(), 3);
+        assert_eq!(counters.evicted(), 1);
+        assert!(engine.invalidate(&key("c")));
+        assert!(
+            !engine.invalidate(&key("c")),
+            "second invalidation is a no-op"
+        );
+        assert_eq!(counters.invalidated(), 1);
+        // An oversized offer is rejected and reported.
+        engine.insert(
+            key("huge"),
+            SizedPayload::new(10_000),
+            ExecutionCost::from_blocks(10),
+            ts(10),
+        );
+        assert_eq!(counters.rejected(), 1);
+    }
+
+    #[test]
+    fn invalidate_relation_drives_the_dependency_index() {
+        let engine = engine(4, 1 << 20);
+        let mut index = DependencyIndex::new();
+        engine.insert(
+            key("orders-summary"),
+            SizedPayload::new(64),
+            ExecutionCost::from_blocks(100),
+            ts(1),
+        );
+        engine.insert(
+            key("parts-summary"),
+            SizedPayload::new(64),
+            ExecutionCost::from_blocks(100),
+            ts(2),
+        );
+        index.register(key("orders-summary"), ["ORDERS"]);
+        index.register(key("parts-summary"), ["PART"]);
+
+        let report = engine.invalidate_relation(&mut index, "ORDERS");
+        assert_eq!(report.invalidated, vec![key("orders-summary")]);
+        assert!(!engine.contains(&key("orders-summary")));
+        assert!(engine.contains(&key("parts-summary")));
+    }
+
+    #[test]
+    fn canonical_sql_matching_merges_equivalent_queries() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(4)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .canonical_sql_matching()
+            .build();
+        let a = QueryKey::from_raw_query("SELECT sum(x) FROM t WHERE p = 1 AND q = 2");
+        let b = QueryKey::from_raw_query("select SUM(x) from t where q = 2 and p = 1");
+        engine.insert(
+            a.clone(),
+            SizedPayload::new(64),
+            ExecutionCost::from_blocks(100),
+            ts(1),
+        );
+        assert!(engine.contains(&b), "equivalent query must share the entry");
+        assert!(engine.get(&b, ts(2)).is_some());
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        let engine = engine(4, 4 << 20);
+        let executions = Arc::new(AtomicU64::new(0));
+        let sessions = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..sessions {
+                let engine = engine.clone();
+                let executions = Arc::clone(&executions);
+                scope.spawn(move || {
+                    let lookup = engine.get_or_execute(&key("hot"), ts(1), || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the other
+                        // sessions to pile up behind it.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        (SizedPayload::new(256), ExecutionCost::from_blocks(50_000))
+                    });
+                    assert_eq!(lookup.value.size_bytes(), 256);
+                });
+            }
+        });
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "concurrent misses on one query must execute once"
+        );
+        let snapshot = engine.stats_snapshot();
+        assert!(
+            snapshot.coalesced_misses >= 1,
+            "at least one session must have coalesced"
+        );
+    }
+
+    #[test]
+    fn leader_panic_hands_the_flight_to_a_waiter() {
+        let engine = engine(1, 1 << 20);
+        let attempts = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let engine = engine.clone();
+                let attempts = Arc::clone(&attempts);
+                scope.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.get_or_execute(&key("fragile"), ts(1), || {
+                            attempts.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            panic!("warehouse connection lost");
+                        })
+                    }));
+                    assert!(result.is_err(), "leader must propagate its panic");
+                });
+            }
+            {
+                let engine = engine.clone();
+                let attempts = Arc::clone(&attempts);
+                scope.spawn(move || {
+                    // Give the doomed leader time to claim the flight.
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    let lookup = engine.get_or_execute(&key("fragile"), ts(2), || {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        (SizedPayload::new(64), ExecutionCost::from_blocks(100))
+                    });
+                    assert_eq!(lookup.value.size_bytes(), 64);
+                });
+            }
+        });
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            2,
+            "waiter must retry after abandonment"
+        );
+        assert!(engine.contains(&key("fragile")));
+    }
+
+    #[test]
+    fn clear_and_utilization() {
+        let engine = engine(2, 1_000);
+        engine.insert(
+            key("q"),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(10),
+            ts(1),
+        );
+        assert!(engine.utilization() > 0.0);
+        assert_eq!(engine.cached_keys().len(), 1);
+        engine.clear();
+        assert!(engine.is_empty());
+        assert_eq!(engine.used_bytes(), 0);
+        // Statistics survive a clear.
+        assert_eq!(engine.stats().references, 1);
+    }
+
+    #[test]
+    fn one_shard_engine_matches_a_raw_policy_replay() {
+        let shard_engine = engine(1, 10_000);
+        let mut raw = PolicyKind::LNC_RA.build::<Arc<SizedPayload>>(10_000);
+        for i in 0..400u64 {
+            let name = format!("q{}", i % 23);
+            let k = key(&name);
+            let now = ts(i * 1_000 + 1);
+            let size = 100 + (i % 7) * 30;
+            let cost = ExecutionCost::from_blocks(500 + (i % 11) * 100);
+            if shard_engine.get(&k, now).is_none() {
+                shard_engine.insert(k.clone(), SizedPayload::new(size), cost, now);
+            }
+            if raw.get(&k, now).is_none() {
+                raw.insert(k, Arc::new(SizedPayload::new(size)), cost, now);
+            }
+        }
+        assert_eq!(shard_engine.stats(), raw.stats_snapshot());
+        assert_eq!(shard_engine.used_bytes(), raw.used_bytes());
+        assert_eq!(shard_engine.len(), raw.len());
+    }
+}

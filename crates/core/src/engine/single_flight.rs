@@ -1,0 +1,145 @@
+//! Single-flight deduplication of concurrent cache misses.
+//!
+//! When several sessions miss on the same query at once, only one of them —
+//! the *leader* — should execute the warehouse query; the others wait for
+//! the leader's result instead of issuing redundant multi-second scans.
+//! [`Flight`] is the synchronization cell for one in-flight execution: the
+//! leader publishes its result through [`Flight::complete`], waiters block in
+//! [`Flight::wait`], and if the leader's fetch panics the flight is
+//! [abandoned](Flight::abandon) so that one waiter can take over as the new
+//! leader rather than blocking forever.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::value::ExecutionCost;
+
+/// The observable state of one in-flight execution.
+#[derive(Debug)]
+enum FlightState<V> {
+    /// The leader is still executing the query.
+    Pending,
+    /// The leader published its result.
+    Done(Arc<V>, ExecutionCost),
+    /// The leader failed (its fetch panicked); a waiter must re-execute.
+    Abandoned,
+}
+
+/// What a waiter observes when its flight finishes.
+#[derive(Debug)]
+pub enum FlightOutcome<V> {
+    /// The leader produced this value at this cost.
+    Done(Arc<V>, ExecutionCost),
+    /// The leader abandoned the flight; the caller should retry (and may
+    /// become the new leader).
+    Abandoned,
+}
+
+/// The synchronization cell for one in-flight query execution.
+#[derive(Debug)]
+pub struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    finished: Condvar,
+}
+
+impl<V> Flight<V> {
+    /// Creates a pending flight.
+    pub fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            finished: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FlightState<V>> {
+        // The engine never panics while holding this lock except in the
+        // leader's fetch, which is guarded by abandonment; recovering from
+        // poisoning keeps waiters alive in that case.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Publishes the leader's result and wakes all waiters.
+    pub fn complete(&self, value: Arc<V>, cost: ExecutionCost) {
+        *self.lock() = FlightState::Done(value, cost);
+        self.finished.notify_all();
+    }
+
+    /// Marks the flight as failed and wakes all waiters so one can retry.
+    pub fn abandon(&self) {
+        let mut state = self.lock();
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Abandoned;
+            self.finished.notify_all();
+        }
+    }
+
+    /// Blocks until the flight finishes.
+    pub fn wait(&self) -> FlightOutcome<V> {
+        let mut state = self.lock();
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self
+                        .finished
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                FlightState::Done(value, cost) => {
+                    return FlightOutcome::Done(Arc::clone(value), *cost)
+                }
+                FlightState::Abandoned => return FlightOutcome::Abandoned,
+            }
+        }
+    }
+}
+
+impl<V> Default for Flight<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn waiters_receive_the_leaders_result() {
+        let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let flight = Arc::clone(&flight);
+            handles.push(std::thread::spawn(move || match flight.wait() {
+                FlightOutcome::Done(value, cost) => (*value, cost.value()),
+                FlightOutcome::Abandoned => panic!("flight must complete"),
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        flight.complete(Arc::new(99), ExecutionCost::from_blocks(5));
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), (99, 5.0));
+        }
+    }
+
+    #[test]
+    fn abandonment_wakes_waiters() {
+        let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || matches!(flight.wait(), FlightOutcome::Abandoned))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        flight.abandon();
+        assert!(waiter.join().unwrap(), "waiter must observe abandonment");
+    }
+
+    #[test]
+    fn abandon_after_complete_is_a_no_op() {
+        let flight: Flight<u64> = Flight::new();
+        flight.complete(Arc::new(1), ExecutionCost::from_blocks(1));
+        flight.abandon();
+        assert!(matches!(flight.wait(), FlightOutcome::Done(..)));
+    }
+}

@@ -1,0 +1,675 @@
+//! The sharded concurrent cache engine.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::clock::Timestamp;
+use crate::coherence::DependencyIndex;
+use crate::engine::events::{CacheEvent, CacheObserver};
+use crate::engine::policy_kind::PolicyKind;
+use crate::engine::single_flight::{Flight, FlightOutcome};
+use crate::key::QueryKey;
+use crate::metrics::CacheStats;
+use crate::policy::{InsertOutcome, QueryCache};
+use crate::value::{CachePayload, ExecutionCost};
+
+/// Pluggable key normalization applied to every key entering the engine.
+///
+/// The paper matches queries by exact (delimiter-compressed) text; §6 lists a
+/// cheaper-than-rewrite equivalence test as future work.  The engine makes
+/// that choice a configuration knob: [`KeyNormalizer::Exact`] is the paper's
+/// behavior, [`KeyNormalizer::CanonicalSql`] routes every key through
+/// [`crate::equivalence::canonical_key`] so syntactically different but
+/// canonically equivalent queries share one cache entry, and
+/// [`KeyNormalizer::Custom`] accepts any user function.
+#[derive(Clone)]
+pub enum KeyNormalizer {
+    /// Exact query-ID matching (the paper's §3 lookup).
+    Exact,
+    /// Canonical-SQL matching via the [`crate::equivalence`] canonicalizer.
+    CanonicalSql,
+    /// A caller-supplied normalization function.
+    Custom(Arc<dyn Fn(&QueryKey) -> QueryKey + Send + Sync>),
+}
+
+impl std::fmt::Debug for KeyNormalizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyNormalizer::Exact => f.write_str("Exact"),
+            KeyNormalizer::CanonicalSql => f.write_str("CanonicalSql"),
+            KeyNormalizer::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl KeyNormalizer {
+    fn apply(&self, key: &QueryKey) -> QueryKey {
+        match self {
+            KeyNormalizer::Exact => key.clone(),
+            KeyNormalizer::CanonicalSql => crate::equivalence::canonical_key(&key.to_string()),
+            KeyNormalizer::Custom(normalize) => normalize(key),
+        }
+    }
+}
+
+/// Where a [`Watchman::get_or_execute`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupSource {
+    /// The retrieved set was already cached.
+    Hit,
+    /// This session executed the query (it was the single-flight leader).
+    Executed,
+    /// Another session was already executing the same query; this session
+    /// waited for its result instead of re-executing.
+    Coalesced,
+}
+
+/// The result of a [`Watchman::get_or_execute`] call.
+#[derive(Debug)]
+pub struct Lookup<V> {
+    /// The retrieved set, shared without copying.
+    pub value: Arc<V>,
+    /// How the value was obtained.
+    pub source: LookupSource,
+    /// The admission outcome, when this session executed the query.
+    pub outcome: Option<InsertOutcome>,
+}
+
+/// An owned, aggregated snapshot of the engine's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Counters summed across every shard.
+    pub total: CacheStats,
+    /// The per-shard counters, indexed by shard.
+    pub per_shard: Vec<CacheStats>,
+    /// Bytes currently cached, summed across shards.
+    pub used_bytes: u64,
+    /// Total configured capacity across shards.
+    pub capacity_bytes: u64,
+    /// Number of cached retrieved sets across shards.
+    pub entries: usize,
+    /// Number of misses whose execution was coalesced into another session's
+    /// in-flight query instead of re-executing.
+    pub coalesced_misses: u64,
+}
+
+impl StatsSnapshot {
+    /// The aggregate hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.total.hit_ratio()
+    }
+
+    /// The aggregate cost savings ratio (the paper's primary metric).
+    pub fn cost_savings_ratio(&self) -> f64 {
+        self.total.cost_savings_ratio()
+    }
+}
+
+struct ShardState<V> {
+    cache: Box<dyn QueryCache<Arc<V>> + Send>,
+    inflight: HashMap<QueryKey, Arc<Flight<V>>>,
+}
+
+struct Shard<V> {
+    state: Mutex<ShardState<V>>,
+}
+
+impl<V> Shard<V> {
+    fn lock(&self) -> MutexGuard<'_, ShardState<V>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+struct Inner<V> {
+    shards: Vec<Shard<V>>,
+    observers: Vec<Arc<dyn CacheObserver>>,
+    normalizer: KeyNormalizer,
+    policy: PolicyKind,
+    coalesced_misses: std::sync::atomic::AtomicU64,
+}
+
+/// Configures and builds a [`Watchman`] engine.
+///
+/// ```
+/// use watchman_core::engine::{PolicyKind, Watchman};
+/// use watchman_core::value::SizedPayload;
+///
+/// let engine: Watchman<SizedPayload> = Watchman::builder()
+///     .shards(8)
+///     .policy(PolicyKind::LncRa { k: 4 })
+///     .capacity_bytes(64 << 20)
+///     .build();
+/// assert_eq!(engine.shard_count(), 8);
+/// assert_eq!(engine.capacity_bytes(), 64 << 20);
+/// ```
+pub struct WatchmanBuilder<V> {
+    shards: usize,
+    policy: PolicyKind,
+    capacity_bytes: u64,
+    normalizer: KeyNormalizer,
+    observers: Vec<Arc<dyn CacheObserver>>,
+    _payload: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V> std::fmt::Debug for WatchmanBuilder<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchmanBuilder")
+            .field("shards", &self.shards)
+            .field("policy", &self.policy)
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("normalizer", &self.normalizer)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<V> Default for WatchmanBuilder<V> {
+    fn default() -> Self {
+        WatchmanBuilder {
+            shards: 1,
+            policy: PolicyKind::LNC_RA,
+            capacity_bytes: 0,
+            normalizer: KeyNormalizer::Exact,
+            observers: Vec::new(),
+            _payload: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V> WatchmanBuilder<V> {
+    /// Sets the number of shards the keyspace is hash-partitioned across.
+    ///
+    /// Each shard holds an independent policy instance behind its own lock,
+    /// so sessions touching different shards never contend.  Values are
+    /// clamped to at least 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the replacement/admission policy every shard runs.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the total cache capacity, split evenly across shards.
+    pub fn capacity_bytes(mut self, capacity_bytes: u64) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Sets the key-normalization step applied to every key.
+    pub fn normalizer(mut self, normalizer: KeyNormalizer) -> Self {
+        self.normalizer = normalizer;
+        self
+    }
+
+    /// Routes every key through the [`crate::equivalence`] canonicalizer so
+    /// canonically equivalent queries share one cache entry.
+    pub fn canonical_sql_matching(self) -> Self {
+        self.normalizer(KeyNormalizer::CanonicalSql)
+    }
+
+    /// Subscribes an observer to the engine's [`CacheEvent`] stream.
+    pub fn observer(mut self, observer: Arc<dyn CacheObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Watchman<V>
+    where
+        V: CachePayload + Send + Sync + 'static,
+    {
+        let shard_count = self.shards as u64;
+        let base = self.capacity_bytes / shard_count;
+        let remainder = self.capacity_bytes % shard_count;
+        let shards = (0..self.shards)
+            .map(|i| {
+                // Distribute the division remainder so capacities sum exactly.
+                let capacity = base + u64::from((i as u64) < remainder);
+                Shard {
+                    state: Mutex::new(ShardState {
+                        cache: self.policy.build::<Arc<V>>(capacity),
+                        inflight: HashMap::new(),
+                    }),
+                }
+            })
+            .collect();
+        Watchman {
+            inner: Arc::new(Inner {
+                shards,
+                observers: self.observers,
+                normalizer: self.normalizer,
+                policy: self.policy,
+                coalesced_misses: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// The WATCHMAN engine: a thread-safe, sharded retrieved-set cache facade.
+///
+/// This is the primary public API of the library — the "library of routines
+/// that may be linked with an application" of paper §3, grown into a
+/// concurrent engine:
+///
+/// * the keyspace is hash-partitioned by query signature across N shards,
+///   each an independent [`PolicyKind`] instance behind its own lock;
+/// * payloads are shared as `Arc<V>`, so hits never copy retrieved sets;
+/// * [`Watchman::get_or_execute`] deduplicates concurrent misses on the same
+///   query (*single-flight*): one session executes the warehouse query, the
+///   rest wait for its result;
+/// * admissions, rejections, evictions and invalidations are published to
+///   [`CacheObserver`]s, which the coherence index and the buffer manager's
+///   p₀-hint machinery subscribe to;
+/// * statistics aggregate across shards into an owned [`StatsSnapshot`].
+///
+/// Handles are cheap to clone and share one underlying engine:
+///
+/// ```
+/// use std::sync::Arc;
+/// use watchman_core::engine::{LookupSource, PolicyKind, Watchman};
+/// use watchman_core::prelude::*;
+///
+/// let engine: Watchman<SizedPayload> = Watchman::builder()
+///     .shards(4)
+///     .policy(PolicyKind::LncRa { k: 4 })
+///     .capacity_bytes(1 << 20)
+///     .build();
+///
+/// let key = QueryKey::from_raw_query("SELECT sum(price) FROM lineitem");
+/// let first = engine.get_or_execute(&key, Timestamp::from_secs(1), || {
+///     (SizedPayload::new(256), ExecutionCost::from_blocks(12_000))
+/// });
+/// assert_eq!(first.source, LookupSource::Executed);
+///
+/// let again = engine.get_or_execute(&key, Timestamp::from_secs(2), || {
+///     unreachable!("served from cache")
+/// });
+/// assert_eq!(again.source, LookupSource::Hit);
+/// assert_eq!(engine.stats().hits, 1);
+/// ```
+pub struct Watchman<V> {
+    inner: Arc<Inner<V>>,
+}
+
+impl<V> Clone for Watchman<V> {
+    fn clone(&self) -> Self {
+        Watchman {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for Watchman<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchman")
+            .field("shards", &self.inner.shards.len())
+            .field("policy", &self.inner.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V> Watchman<V>
+where
+    V: CachePayload + Send + Sync + 'static,
+{
+    /// Starts configuring an engine.
+    pub fn builder() -> WatchmanBuilder<V> {
+        WatchmanBuilder::default()
+    }
+
+    /// The policy every shard runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.inner.policy
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    fn shard_index(&self, key: &QueryKey) -> usize {
+        // Mix the signature before reduction: FNV's low bits correlate with
+        // short key suffixes, and the paper's signature index already uses
+        // the raw value.
+        let mixed = key.signature().value().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.inner.shards.len()
+    }
+
+    fn emit(&self, events: Vec<CacheEvent>) {
+        if self.inner.observers.is_empty() {
+            return;
+        }
+        for event in &events {
+            for observer in &self.inner.observers {
+                observer.on_cache_event(event);
+            }
+        }
+    }
+
+    fn insert_events(
+        key: &QueryKey,
+        size_bytes: u64,
+        cost: ExecutionCost,
+        outcome: &InsertOutcome,
+        shard: usize,
+    ) -> Vec<CacheEvent> {
+        match outcome {
+            InsertOutcome::Admitted { evicted } => {
+                let mut events = Vec::with_capacity(evicted.len() + 1);
+                for victim in evicted {
+                    events.push(CacheEvent::Evicted {
+                        key: victim.clone(),
+                        shard,
+                    });
+                }
+                events.push(CacheEvent::Admitted {
+                    key: key.clone(),
+                    size_bytes,
+                    cost,
+                    shard,
+                });
+                events
+            }
+            InsertOutcome::Rejected(reason) => {
+                vec![CacheEvent::Rejected {
+                    key: key.clone(),
+                    reason: *reason,
+                    shard,
+                }]
+            }
+            InsertOutcome::AlreadyCached => Vec::new(),
+        }
+    }
+
+    /// Looks up the retrieved set for `key`, recording one query reference.
+    ///
+    /// Returns a shared handle to the cached value on a hit.  Callers that
+    /// execute the query themselves on a miss should prefer
+    /// [`Watchman::get_or_execute`], which additionally deduplicates
+    /// concurrent executions.
+    pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<Arc<V>> {
+        let key = self.inner.normalizer.apply(key);
+        let index = self.shard_index(&key);
+        let mut shard = self.inner.shards[index].lock();
+        shard.cache.get(&key, now).map(Arc::clone)
+    }
+
+    /// Offers a freshly retrieved set for admission after a miss.
+    pub fn insert(
+        &self,
+        key: QueryKey,
+        value: V,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        self.insert_shared(key, Arc::new(value), cost, now)
+    }
+
+    /// Offers an already-shared retrieved set for admission.
+    pub fn insert_shared(
+        &self,
+        key: QueryKey,
+        value: Arc<V>,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let key = self.inner.normalizer.apply(&key);
+        let index = self.shard_index(&key);
+        let size_bytes = value.size_bytes();
+        let mut shard = self.inner.shards[index].lock();
+        let outcome = shard.cache.insert(key.clone(), value, cost, now);
+        // Emitted under the shard lock so observers see this shard's events
+        // in cache order (see the events module docs).
+        if !self.inner.observers.is_empty() {
+            self.emit(Self::insert_events(&key, size_bytes, cost, &outcome, index));
+        }
+        outcome
+    }
+
+    /// Looks up `key`; on a miss, executes `fetch` to produce the retrieved
+    /// set and its observed cost, offers it for admission, and returns it.
+    ///
+    /// Concurrent misses on the same query are **single-flight**: exactly one
+    /// session runs `fetch` (outside any lock), the others block until its
+    /// result is available and share it without executing.  If the leader's
+    /// `fetch` panics, one waiter takes over as the new leader.
+    pub fn get_or_execute<F>(&self, key: &QueryKey, now: Timestamp, fetch: F) -> Lookup<V>
+    where
+        F: FnOnce() -> (V, ExecutionCost),
+    {
+        let key = self.inner.normalizer.apply(key);
+        let index = self.shard_index(&key);
+        let shard = &self.inner.shards[index];
+        let mut fetch = Some(fetch);
+        loop {
+            // Fast path: hit, or join an existing flight.
+            let flight = {
+                let mut state = shard.lock();
+                if let Some(value) = state.cache.get(&key, now) {
+                    return Lookup {
+                        value: Arc::clone(value),
+                        source: LookupSource::Hit,
+                        outcome: None,
+                    };
+                }
+                match state.inflight.get(&key) {
+                    Some(flight) => FlightRole::Waiter(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        state.inflight.insert(key.clone(), Arc::clone(&flight));
+                        FlightRole::Leader(flight)
+                    }
+                }
+            };
+
+            match flight {
+                FlightRole::Waiter(flight) => match flight.wait() {
+                    FlightOutcome::Done(value, _cost) => {
+                        self.inner
+                            .coalesced_misses
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Lookup {
+                            value,
+                            source: LookupSource::Coalesced,
+                            outcome: None,
+                        };
+                    }
+                    // The leader failed; loop back and try to become the
+                    // new leader (or hit the cache if someone else already
+                    // repaired it).
+                    FlightOutcome::Abandoned => continue,
+                },
+                FlightRole::Leader(flight) => {
+                    let guard = AbandonGuard {
+                        shard,
+                        key: &key,
+                        flight: &flight,
+                    };
+                    let (value, cost) = (fetch.take().expect("leader runs fetch once"))();
+                    let value = Arc::new(value);
+                    let outcome = {
+                        let mut state = shard.lock();
+                        let outcome =
+                            state
+                                .cache
+                                .insert(key.clone(), Arc::clone(&value), cost, now);
+                        state.inflight.remove(&key);
+                        // Emitted under the shard lock: observers see this
+                        // shard's events in cache order.
+                        if !self.inner.observers.is_empty() {
+                            self.emit(Self::insert_events(
+                                &key,
+                                value.size_bytes(),
+                                cost,
+                                &outcome,
+                                index,
+                            ));
+                        }
+                        outcome
+                    };
+                    flight.complete(Arc::clone(&value), cost);
+                    std::mem::forget(guard);
+                    return Lookup {
+                        value,
+                        source: LookupSource::Executed,
+                        outcome: Some(outcome),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Removes the retrieved set for `key` because a warehouse update made it
+    /// stale.  Returns whether it was resident.
+    pub fn invalidate(&self, key: &QueryKey) -> bool {
+        let key = self.inner.normalizer.apply(key);
+        let index = self.shard_index(&key);
+        let mut shard = self.inner.shards[index].lock();
+        let removed = shard.cache.remove(&key);
+        if removed && !self.inner.observers.is_empty() {
+            self.emit(vec![CacheEvent::Invalidated { key, shard: index }]);
+        }
+        removed
+    }
+
+    /// Invalidates every cached set that `index` records as dependent on
+    /// `relation`, returning the coherence report.
+    ///
+    /// This is the warehouse-update entry point of paper §3: the embedding
+    /// application maintains the [`DependencyIndex`] (usually via a
+    /// [`crate::coherence::DependencyObserver`] subscribed to this engine)
+    /// and calls this when an update lands on a base relation.
+    pub fn invalidate_relation(
+        &self,
+        index: &mut DependencyIndex,
+        relation: &str,
+    ) -> crate::coherence::InvalidationReport {
+        crate::coherence::invalidate_affected(index, relation, |key| self.invalidate(key))
+    }
+
+    /// Whether a retrieved set for `key` is currently cached.
+    pub fn contains(&self, key: &QueryKey) -> bool {
+        let key = self.inner.normalizer.apply(key);
+        let index = self.shard_index(&key);
+        self.inner.shards[index].lock().cache.contains(&key)
+    }
+
+    /// Number of cached retrieved sets across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().cache.len()).sum()
+    }
+
+    /// Whether no retrieved set is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently cached across all shards.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().cache.used_bytes())
+            .sum()
+    }
+
+    /// Total configured capacity across all shards.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().cache.capacity_bytes())
+            .sum()
+    }
+
+    /// Fraction of capacity currently in use.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.capacity_bytes();
+        if capacity == 0 {
+            0.0
+        } else {
+            self.used_bytes() as f64 / capacity as f64
+        }
+    }
+
+    /// The keys currently cached, across all shards, in unspecified order.
+    pub fn cached_keys(&self) -> Vec<QueryKey> {
+        let mut keys = Vec::new();
+        for shard in &self.inner.shards {
+            keys.extend(shard.lock().cache.cached_keys());
+        }
+        keys
+    }
+
+    /// Removes every cached retrieved set (statistics are preserved).
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().cache.clear();
+        }
+    }
+
+    /// The aggregate statistics summed across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for shard in &self.inner.shards {
+            total.merge(&shard.lock().cache.stats_snapshot());
+        }
+        total
+    }
+
+    /// A full owned snapshot: aggregate and per-shard counters, occupancy and
+    /// single-flight coalescing.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut total = CacheStats::new();
+        let mut per_shard = Vec::with_capacity(self.inner.shards.len());
+        let mut used_bytes = 0;
+        let mut capacity_bytes = 0;
+        let mut entries = 0;
+        for shard in &self.inner.shards {
+            let state = shard.lock();
+            let stats = state.cache.stats_snapshot();
+            total.merge(&stats);
+            per_shard.push(stats);
+            used_bytes += state.cache.used_bytes();
+            capacity_bytes += state.cache.capacity_bytes();
+            entries += state.cache.len();
+        }
+        StatsSnapshot {
+            total,
+            per_shard,
+            used_bytes,
+            capacity_bytes,
+            entries,
+            coalesced_misses: self
+                .inner
+                .coalesced_misses
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+enum FlightRole<V> {
+    Leader(Arc<Flight<V>>),
+    Waiter(Arc<Flight<V>>),
+}
+
+/// Abandons the leader's flight if its fetch panics, so waiters are not
+/// stranded on a flight that will never complete.
+struct AbandonGuard<'a, V> {
+    shard: &'a Shard<V>,
+    key: &'a QueryKey,
+    flight: &'a Arc<Flight<V>>,
+}
+
+impl<V> Drop for AbandonGuard<'_, V> {
+    fn drop(&mut self) {
+        self.shard.lock().inflight.remove(self.key);
+        self.flight.abandon();
+    }
+}

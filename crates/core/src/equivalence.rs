@@ -213,7 +213,10 @@ mod tests {
         let a = "SELECT * FROM t WHERE a = 1 OR b = 2";
         let b = "SELECT * FROM t WHERE b = 2 OR a = 1";
         assert!(!queries_equivalent(a, b));
-        assert!(queries_equivalent(a, "select * from t where A = 1 or B = 2"));
+        assert!(queries_equivalent(
+            a,
+            "select * from t where A = 1 or B = 2"
+        ));
     }
 
     #[test]

@@ -120,7 +120,12 @@ impl ReferenceHistory {
     /// timestamps across both.  Used when a retrieved set is re-admitted and
     /// both a retained history and fresh references exist.
     pub fn merge(&mut self, other: &ReferenceHistory) {
-        let mut all: Vec<Timestamp> = self.times.iter().chain(other.times.iter()).copied().collect();
+        let mut all: Vec<Timestamp> = self
+            .times
+            .iter()
+            .chain(other.times.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         let keep = all.len().saturating_sub(self.k);
         self.times.clear();

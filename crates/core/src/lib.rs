@@ -26,37 +26,49 @@
 //! alongside the comparison baselines used in the paper's evaluation (LRU,
 //! LRU-K) and in follow-up literature (LFU, LCS, GreedyDual-Size).
 //!
-//! ## Quick example
+//! ## Quick start: the engine
+//!
+//! The primary public API is the concurrent [`engine`]: a sharded,
+//! builder-configured facade serving many sessions at once, exactly the
+//! "library of routines that may be linked with an application" of paper §3.
 //!
 //! ```
+//! use watchman_core::engine::{LookupSource, PolicyKind, Watchman};
 //! use watchman_core::prelude::*;
 //!
-//! // A 1 MB LNC-RA cache with the paper's default window K = 4.
-//! let mut cache: LncCache<SizedPayload> = LncCache::lnc_ra(1 << 20);
+//! // 8 shards, each an independent LNC-RA policy instance (K = 4), sharing
+//! // 16 MB of capacity. Handles are cheap clones; one engine serves every
+//! // session of a warehouse front end.
+//! let engine: Watchman<SizedPayload> = Watchman::builder()
+//!     .shards(8)
+//!     .policy(PolicyKind::LncRa { k: 4 })
+//!     .capacity_bytes(16 << 20)
+//!     .build();
 //!
 //! let key = QueryKey::from_raw_query("SELECT sum(price) FROM lineitem WHERE year = 1995");
-//! let now = Timestamp::from_secs(1);
 //!
-//! // Look up: miss → execute the query against the warehouse, then offer the
-//! // retrieved set together with its observed execution cost.
-//! assert!(cache.get(&key, now).is_none());
-//! let outcome = cache.insert(
-//!     key.clone(),
-//!     SizedPayload::new(256),                  // 256-byte aggregate result
-//!     ExecutionCost::from_blocks(12_000),      // 12 000 block reads to compute
-//!     now,
-//! );
-//! assert!(outcome.is_admitted());
+//! // One call: hit, or execute-and-admit. Concurrent misses on the same
+//! // query execute the warehouse query exactly once (single-flight).
+//! let lookup = engine.get_or_execute(&key, Timestamp::from_secs(1), || {
+//!     (SizedPayload::new(256), ExecutionCost::from_blocks(12_000))
+//! });
+//! assert_eq!(lookup.source, LookupSource::Executed);
 //!
-//! // Subsequent references are served from the cache.
-//! assert!(cache.get(&key, Timestamp::from_secs(2)).is_some());
-//! assert_eq!(cache.stats().hits, 1);
+//! // Subsequent references are served from the cache, payloads shared by Arc.
+//! let again = engine.get_or_execute(&key, Timestamp::from_secs(2), || unreachable!());
+//! assert_eq!(again.source, LookupSource::Hit);
+//! assert_eq!(engine.stats().hits, 1);
 //! ```
+//!
+//! Single-threaded tools (the simulator, the optimality oracles) can still
+//! drive a bare policy through [`policy::QueryCache`]; the engine and the
+//! policies share one construction path, [`engine::PolicyKind`].
 //!
 //! ## Crate layout
 //!
 //! | Module | Contents |
 //! |--------|----------|
+//! | [`engine`] | **The concurrent engine**: sharded [`Watchman`](engine::Watchman) facade, single-flight misses, [`PolicyKind`](engine::PolicyKind), [`CacheEvent`](engine::CacheEvent) observers, [`StatsSnapshot`](engine::StatsSnapshot) |
 //! | [`key`] | Query IDs, signatures, delimiter compression (paper §3) |
 //! | [`value`] | [`CachePayload`](value::CachePayload), retrieved sets, execution costs |
 //! | [`clock`] | Logical timestamps and clock sources |
@@ -65,10 +77,10 @@
 //! | [`policy`] | The [`QueryCache`](policy::QueryCache) trait, LNC-R/LNC-RA and all baselines |
 //! | [`retained`] | Retained reference information (§2.4) |
 //! | [`coherence`] | Relation-dependency tracking and invalidation on warehouse updates (§3) |
-//! | [`equivalence`] | Canonical query matching beyond exact text equality (§6 future work) |
+//! | [`equivalence`] | Canonical query matching, pluggable into the engine as a [`KeyNormalizer`](engine::KeyNormalizer) (§6) |
 //! | [`metrics`] | Cost savings ratio, hit ratio, fragmentation (§4.1) |
 //! | [`theory`] | LNC\* and the exact knapsack oracle (§2.3) |
-//! | [`concurrent`] | A thread-safe shared-cache wrapper |
+//! | [`concurrent`] | Deprecated single-mutex wrapper, now a shim over a 1-shard engine |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -77,6 +89,7 @@
 pub mod clock;
 pub mod coherence;
 pub mod concurrent;
+pub mod engine;
 pub mod equivalence;
 pub mod history;
 pub mod index;
@@ -91,8 +104,13 @@ pub mod value;
 /// Convenient re-exports of the types most applications need.
 pub mod prelude {
     pub use crate::clock::{Clock, ManualClock, MonotonicClock, Timestamp};
-    pub use crate::coherence::{invalidate_affected, DependencyIndex, InvalidationReport};
-    pub use crate::concurrent::SharedCache;
+    pub use crate::coherence::{
+        invalidate_affected, DependencyIndex, DependencyObserver, InvalidationReport,
+    };
+    pub use crate::engine::{
+        CacheEvent, CacheObserver, KeyNormalizer, Lookup, LookupSource, PolicyKind, StatsSnapshot,
+        Watchman,
+    };
     pub use crate::history::ReferenceHistory;
     pub use crate::key::{QueryKey, Signature};
     pub use crate::metrics::{CacheStats, FragmentationTracker};

@@ -153,6 +153,16 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
         InsertOutcome::Admitted { evicted }
     }
 
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        match self.entries.remove_by_key(key) {
+            Some(entry) => {
+                self.used_bytes -= entry.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }
@@ -295,7 +305,13 @@ mod tests {
         let mut cache = GreedyDualSizeCache::new(1_000);
         for i in 0..200u64 {
             let name = format!("q{}", i % 29);
-            insert_with_cost(&mut cache, &name, 50 + (i % 13) * 40, 10.0 + (i % 7) as f64 * 80.0, i + 1);
+            insert_with_cost(
+                &mut cache,
+                &name,
+                50 + (i % 13) * 40,
+                10.0 + (i % 7) as f64 * 80.0,
+                i + 1,
+            );
             assert!(cache.used_bytes() <= cache.capacity_bytes());
         }
     }

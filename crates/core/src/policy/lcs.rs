@@ -128,6 +128,16 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
         InsertOutcome::Admitted { evicted }
     }
 
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        match self.entries.remove_by_key(key) {
+            Some(entry) => {
+                self.used_bytes -= entry.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }
@@ -171,7 +181,12 @@ mod tests {
         QueryKey::new(name.to_owned())
     }
 
-    fn insert(cache: &mut LcsCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+    fn insert(
+        cache: &mut LcsCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        now: u64,
+    ) -> InsertOutcome {
         cache.insert(
             key(name),
             SizedPayload::new(size),
@@ -239,7 +254,10 @@ mod tests {
         let mut cache = LcsCache::new(300);
         insert(&mut cache, "a", 100, 1);
         assert!(cache.get(&key("a"), ts(2)).is_some());
-        assert_eq!(insert(&mut cache, "a", 150, 3), InsertOutcome::AlreadyCached);
+        assert_eq!(
+            insert(&mut cache, "a", 150, 3),
+            InsertOutcome::AlreadyCached
+        );
         assert_eq!(cache.used_bytes(), 150);
         assert_eq!(cache.stats().hits, 1);
     }

@@ -130,6 +130,16 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
         InsertOutcome::Admitted { evicted }
     }
 
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        match self.entries.remove_by_key(key) {
+            Some(entry) => {
+                self.used_bytes -= entry.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }
@@ -173,7 +183,12 @@ mod tests {
         QueryKey::new(name.to_owned())
     }
 
-    fn insert(cache: &mut LfuCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+    fn insert(
+        cache: &mut LfuCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        now: u64,
+    ) -> InsertOutcome {
         cache.insert(
             key(name),
             SizedPayload::new(size),
@@ -240,7 +255,10 @@ mod tests {
     fn already_cached_increments_frequency() {
         let mut cache = LfuCache::new(300);
         insert(&mut cache, "a", 100, 1);
-        assert_eq!(insert(&mut cache, "a", 100, 2), InsertOutcome::AlreadyCached);
+        assert_eq!(
+            insert(&mut cache, "a", 100, 2),
+            InsertOutcome::AlreadyCached
+        );
         insert(&mut cache, "b", 100, 3);
         insert(&mut cache, "c", 100, 4);
         // "a" has 2 references, so "b" (1 reference, older) is the victim.

@@ -301,6 +301,7 @@ impl<V: CachePayload> LncCache<V> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
         key: QueryKey,
@@ -420,13 +421,9 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
             // Past reference information available: compare real profits
             // (Eq. 4 / Eq. 5).
             let candidate_profit = Profit::of_list(victims.iter().filter_map(|&id| {
-                self.entries.by_id(id).map(|e| {
-                    (
-                        e.history.rate(now).unwrap_or(0.0),
-                        e.cost,
-                        e.size_bytes,
-                    )
-                })
+                self.entries
+                    .by_id(id)
+                    .map(|e| (e.history.rate(now).unwrap_or(0.0), e.cost, e.size_bytes))
             }));
             let own_rate = history.rate(now).unwrap_or(0.0);
             let own_profit = Profit::of_set(own_rate, cost, size_bytes);
@@ -451,6 +448,10 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
 
         let evicted = self.evict(victims, now);
         self.admit(key, value, size_bytes, cost, history, evicted, now)
+    }
+
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        LncCache::remove(self, key).is_some()
     }
 
     fn contains(&self, key: &QueryKey) -> bool {

@@ -152,6 +152,17 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
         InsertOutcome::Admitted { evicted }
     }
 
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        match self.entries.remove_by_key(key) {
+            Some(entry) => {
+                self.recency.remove(&entry.tick);
+                self.used_bytes -= entry.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }
@@ -196,7 +207,12 @@ mod tests {
         QueryKey::new(name.to_owned())
     }
 
-    fn insert(cache: &mut LruCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+    fn insert(
+        cache: &mut LruCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        now: u64,
+    ) -> InsertOutcome {
         cache.insert(
             key(name),
             SizedPayload::new(size),

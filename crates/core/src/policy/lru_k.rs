@@ -115,9 +115,18 @@ impl<V: CachePayload> LruKCache<V> {
         let full = entry.history.sample_count() >= k;
         if full {
             // Oldest retained sample is exactly the K-th most recent one.
-            (true, entry.history.oldest_reference().map_or(0, |t| t.as_micros()))
+            (
+                true,
+                entry
+                    .history
+                    .oldest_reference()
+                    .map_or(0, |t| t.as_micros()),
+            )
         } else {
-            (false, entry.history.last_reference().map_or(0, |t| t.as_micros()))
+            (
+                false,
+                entry.history.last_reference().map_or(0, |t| t.as_micros()),
+            )
         }
     }
 
@@ -238,6 +247,19 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
         InsertOutcome::Admitted { evicted }
     }
 
+    fn remove(&mut self, key: &QueryKey) -> bool {
+        match self.entries.remove_by_key(key) {
+            Some(entry) => {
+                // Invalidation discards reference history: the update that
+                // triggered it may have changed the set entirely.
+                self.retained.remove(key);
+                self.used_bytes -= entry.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }
@@ -282,7 +304,12 @@ mod tests {
         QueryKey::new(name.to_owned())
     }
 
-    fn insert(cache: &mut LruKCache<SizedPayload>, name: &str, size: u64, now: u64) -> InsertOutcome {
+    fn insert(
+        cache: &mut LruKCache<SizedPayload>,
+        name: &str,
+        size: u64,
+        now: u64,
+    ) -> InsertOutcome {
         cache.insert(
             key(name),
             SizedPayload::new(size),
@@ -365,7 +392,11 @@ mod tests {
         assert_eq!(cache.retained_entries(), 1);
         // Far in the future the retained history must be gone.
         insert(&mut cache, "c", 100, 1_000);
-        assert_eq!(cache.retained_entries(), 1, "only b's fresh eviction is retained");
+        assert_eq!(
+            cache.retained_entries(),
+            1,
+            "only b's fresh eviction is retained"
+        );
         assert!(!cache.retained.contains_key(&key("a")));
     }
 

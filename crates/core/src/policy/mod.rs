@@ -23,6 +23,8 @@ pub mod lnc;
 pub mod lru;
 pub mod lru_k;
 
+use std::fmt;
+
 use crate::clock::Timestamp;
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
@@ -38,6 +40,16 @@ pub enum RejectReason {
     /// The admission test (Eq. 4 / Eq. 7) decided the set is not worth the
     /// evictions it would require.
     AdmissionTest,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::TooLarge => f.write_str("larger than the cache"),
+            RejectReason::ZeroCapacity => f.write_str("zero-capacity cache"),
+            RejectReason::AdmissionTest => f.write_str("failed the admission test"),
+        }
+    }
 }
 
 /// The result of offering a retrieved set to the cache.
@@ -59,7 +71,10 @@ impl InsertOutcome {
     /// Whether the set ended up cached (either newly admitted or already
     /// present).
     pub fn is_cached(&self) -> bool {
-        matches!(self, InsertOutcome::Admitted { .. } | InsertOutcome::AlreadyCached)
+        matches!(
+            self,
+            InsertOutcome::Admitted { .. } | InsertOutcome::AlreadyCached
+        )
     }
 
     /// Whether the set was newly admitted by this call.
@@ -73,6 +88,19 @@ impl InsertOutcome {
         match self {
             InsertOutcome::Admitted { evicted } => evicted,
             _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for InsertOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertOutcome::AlreadyCached => f.write_str("already cached"),
+            InsertOutcome::Admitted { evicted } if evicted.is_empty() => f.write_str("admitted"),
+            InsertOutcome::Admitted { evicted } => {
+                write!(f, "admitted, evicted {}", evicted.len())
+            }
+            InsertOutcome::Rejected(reason) => write!(f, "rejected ({reason})"),
         }
     }
 }
@@ -103,6 +131,15 @@ pub trait QueryCache<V: CachePayload> {
         now: Timestamp,
     ) -> InsertOutcome;
 
+    /// Removes the retrieved set for `key`, returning whether it was
+    /// resident.
+    ///
+    /// This is the *invalidation* entry point used by the cache-coherence
+    /// machinery and the concurrent engine: removal is not an eviction, so it
+    /// is not counted in the eviction statistics and does not retain
+    /// reference information.
+    fn remove(&mut self, key: &QueryKey) -> bool;
+
     /// Whether a retrieved set for `key` is currently cached.
     fn contains(&self, key: &QueryKey) -> bool;
 
@@ -122,6 +159,16 @@ pub trait QueryCache<V: CachePayload> {
 
     /// Accumulated reference / cost statistics.
     fn stats(&self) -> &CacheStats;
+
+    /// An owned snapshot of the accumulated statistics.
+    ///
+    /// Prefer this over [`QueryCache::stats`] when aggregating across several
+    /// caches (for example the per-shard policies of the concurrent engine):
+    /// owned snapshots can be summed with [`CacheStats::merge`] without
+    /// holding borrows on the caches.
+    fn stats_snapshot(&self) -> CacheStats {
+        self.stats().clone()
+    }
 
     /// Removes every cached retrieved set (statistics are preserved).
     fn clear(&mut self);

@@ -86,7 +86,10 @@ impl RetainedStore {
 
     /// Total metadata bytes held by the store.
     pub fn metadata_bytes(&self) -> u64 {
-        self.entries.values().map(RetainedInfo::metadata_bytes).sum()
+        self.entries
+            .values()
+            .map(RetainedInfo::metadata_bytes)
+            .sum()
     }
 
     /// Returns the retained information for `key`, if any.
@@ -193,7 +196,11 @@ mod tests {
         assert!(store.record_reference(&QueryKey::new("q1"), ts(20)));
         assert!(!store.record_reference(&QueryKey::new("q2"), ts(20)));
         assert_eq!(
-            store.get(&QueryKey::new("q1")).unwrap().history.sample_count(),
+            store
+                .get(&QueryKey::new("q1"))
+                .unwrap()
+                .history
+                .sample_count(),
             2
         );
     }

@@ -183,9 +183,9 @@ mod tests {
     #[test]
     fn greedy_prefers_high_density_items() {
         let items = vec![
-            item(0.5, 100.0, 10), // density 5.0
+            item(0.5, 100.0, 10),  // density 5.0
             item(0.5, 100.0, 100), // density 0.5
-            item(0.1, 10.0, 1),   // density 1.0
+            item(0.1, 10.0, 1),    // density 1.0
         ];
         let sel = lnc_star(&items, 11);
         assert_eq!(sel.chosen, vec![0, 2]);
@@ -230,7 +230,7 @@ mod tests {
         // Classic example where greedy-by-density is suboptimal because the
         // dense item blocks two items that together are better.
         let items = vec![
-            item(1.0, 60.0, 10), // density 6.0
+            item(1.0, 60.0, 10),  // density 6.0
             item(1.0, 100.0, 20), // density 5.0
             item(1.0, 120.0, 30), // density 4.0
         ];

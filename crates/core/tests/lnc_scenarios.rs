@@ -24,7 +24,12 @@ fn reference(
     if cache.get(&k, ts(secs)).is_some() {
         true
     } else {
-        cache.insert(k, SizedPayload::new(size), ExecutionCost::from_blocks(cost), ts(secs));
+        cache.insert(
+            k,
+            SizedPayload::new(size),
+            ExecutionCost::from_blocks(cost),
+            ts(secs),
+        );
         false
     }
 }
@@ -41,7 +46,13 @@ fn projection_flood_cannot_wipe_out_expensive_aggregates() {
     // Re-reference them so their rate estimates are established.
     for round in 1..3u64 {
         for i in 0..100 {
-            reference(&mut cache, &format!("aggregate-{i}"), 1_024, 50_000, 200 * round + i);
+            reference(
+                &mut cache,
+                &format!("aggregate-{i}"),
+                1_024,
+                50_000,
+                200 * round + i,
+            );
         }
     }
     assert_eq!(cache.len(), 100);
@@ -49,7 +60,13 @@ fn projection_flood_cannot_wipe_out_expensive_aggregates() {
     // A flood of cheap large projections arrives; none of them should displace
     // the aggregate working set.
     for i in 0..50 {
-        reference(&mut cache, &format!("projection-{i}"), 60 * 1_024, 500, 1_000 + i);
+        reference(
+            &mut cache,
+            &format!("projection-{i}"),
+            60 * 1_024,
+            500,
+            1_000 + i,
+        );
     }
     let survivors = (0..100)
         .filter(|i| cache.contains(&key(&format!("aggregate-{i}"))))
@@ -58,7 +75,10 @@ fn projection_flood_cannot_wipe_out_expensive_aggregates() {
         survivors >= 95,
         "only {survivors}/100 aggregates survived the projection flood"
     );
-    assert!(cache.stats().rejections >= 40, "the flood should mostly be rejected");
+    assert!(
+        cache.stats().rejections >= 40,
+        "the flood should mostly be rejected"
+    );
 }
 
 #[test]
@@ -68,11 +88,21 @@ fn lru_baseline_is_wiped_out_by_the_same_flood() {
     let mut cache: LruCache<SizedPayload> = LruCache::new(100 * 1_024);
     for i in 0..100u64 {
         let k = key(&format!("aggregate-{i}"));
-        cache.insert(k, SizedPayload::new(1_024), ExecutionCost::from_blocks(50_000), ts(i));
+        cache.insert(
+            k,
+            SizedPayload::new(1_024),
+            ExecutionCost::from_blocks(50_000),
+            ts(i),
+        );
     }
     for i in 0..50u64 {
         let k = key(&format!("projection-{i}"));
-        cache.insert(k, SizedPayload::new(60 * 1_024), ExecutionCost::from_blocks(500), ts(1_000 + i));
+        cache.insert(
+            k,
+            SizedPayload::new(60 * 1_024),
+            ExecutionCost::from_blocks(500),
+            ts(1_000 + i),
+        );
     }
     let survivors = (0..100)
         .filter(|i| cache.contains(&key(&format!("aggregate-{i}"))))
@@ -89,7 +119,9 @@ fn starvation_without_retained_info_and_recovery_with_it() {
     // getting evicted before it can accumulate enough references; retaining
     // the information fixes it.
     let run = |retained: bool| -> bool {
-        let config = LncConfig::lnc_ra(4 * 1_024).with_k(3).with_retained_info(retained);
+        let config = LncConfig::lnc_ra(4 * 1_024)
+            .with_k(3)
+            .with_retained_info(retained);
         let mut cache: LncCache<SizedPayload> = LncCache::new(config);
         // Residents: four established 1 KB sets re-referenced regularly.
         for i in 0..4u64 {
@@ -97,7 +129,13 @@ fn starvation_without_retained_info_and_recovery_with_it() {
         }
         for round in 1..6u64 {
             for i in 0..4u64 {
-                reference(&mut cache, &format!("resident-{i}"), 1_024, 1_000, round * 40 + i);
+                reference(
+                    &mut cache,
+                    &format!("resident-{i}"),
+                    1_024,
+                    1_000,
+                    round * 40 + i,
+                );
             }
         }
         // The contender is equally sized but referenced far more often; it
@@ -141,7 +179,10 @@ fn coherence_invalidation_forces_recomputation() {
     // A batch update lands on ORDERS.
     let report = invalidate_affected(&mut index, "ORDERS", |k| cache.remove(k).is_some());
     assert_eq!(report.invalidated, vec![orders_summary.clone()]);
-    assert!(cache.get(&orders_summary, ts(3)).is_none(), "stale set must be gone");
+    assert!(
+        cache.get(&orders_summary, ts(3)).is_none(),
+        "stale set must be gone"
+    );
 
     // The application recomputes and re-registers.
     cache.insert(
@@ -171,7 +212,12 @@ fn equivalence_canonical_keys_raise_the_hit_ratio() {
     for (i, sql) in variants.iter().enumerate() {
         let k = QueryKey::from_raw_query(sql);
         if exact.get(&k, ts(i as u64)).is_none() {
-            exact.insert(k, SizedPayload::new(64), ExecutionCost::from_blocks(1_000), ts(i as u64));
+            exact.insert(
+                k,
+                SizedPayload::new(64),
+                ExecutionCost::from_blocks(1_000),
+                ts(i as u64),
+            );
         }
     }
     assert_eq!(exact.stats().hits, 0);
@@ -181,7 +227,12 @@ fn equivalence_canonical_keys_raise_the_hit_ratio() {
     for (i, sql) in variants.iter().enumerate() {
         let k = canonical_key(sql);
         if canonical.get(&k, ts(i as u64)).is_none() {
-            canonical.insert(k, SizedPayload::new(64), ExecutionCost::from_blocks(1_000), ts(i as u64));
+            canonical.insert(
+                k,
+                SizedPayload::new(64),
+                ExecutionCost::from_blocks(1_000),
+                ts(i as u64),
+            );
         }
     }
     assert_eq!(canonical.stats().hits, 2);
@@ -200,8 +251,20 @@ fn drill_down_session_keeps_the_upper_levels_cached() {
         if reference(&mut cache, "level0-summary", 512, 20_000, t) {
             hits_on_summary += 1;
         }
-        reference(&mut cache, &format!("level1-{}", session % 5), 2_048, 8_000, t + 10);
-        reference(&mut cache, &format!("level2-{session}"), 6_000, 3_000, t + 20);
+        reference(
+            &mut cache,
+            &format!("level1-{}", session % 5),
+            2_048,
+            8_000,
+            t + 10,
+        );
+        reference(
+            &mut cache,
+            &format!("level2-{session}"),
+            6_000,
+            3_000,
+            t + 20,
+        );
     }
     assert!(
         hits_on_summary >= 18,

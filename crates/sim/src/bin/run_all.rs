@@ -22,10 +22,13 @@ fn main() {
         ExperimentScale::paper()
     };
 
-    println!("WATCHMAN evaluation reproduction (scale: {} queries per trace)\n", scale.query_count);
+    println!(
+        "WATCHMAN evaluation reproduction (scale: {} queries per trace)\n",
+        scale.query_count
+    );
 
     let fig2 = InfiniteCacheExperiment::run(scale);
-    print!("{}\n", fig2.render());
+    println!("{}", fig2.render());
 
     let fig3 = ImpactOfKExperiment::run(scale);
     print!("{}", fig3.render());
@@ -33,13 +36,13 @@ fn main() {
     let fig45 = CostSavingsExperiment::run(scale);
     print!("{}", fig45.render_cost_savings());
     print!("{}", fig45.render_hit_ratio());
-    print!("{}\n", fig45.render_summary());
+    println!("{}", fig45.render_summary());
 
     let fig6 = FragmentationExperiment::run(scale);
     print!("{}", fig6.render());
 
     let fig7 = BufferHintExperiment::run(buffer_scale);
-    print!("{}\n", fig7.render());
+    println!("{}", fig7.render());
 
     let zoo = PolicyZooExperiment::run(scale);
     print!("{}", zoo.render());

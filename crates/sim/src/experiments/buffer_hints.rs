@@ -12,9 +12,13 @@
 //! thresholds improve the buffer hit ratio, while p₀ → 0 degenerates the
 //! buffer's LRU into MRU and the hit ratio collapses.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
-use watchman_buffer::{BufferPool, QueryReferenceTracker};
+use watchman_buffer::{BufferPool, RedundancyHintObserver};
 use watchman_core::clock::Timestamp;
+use watchman_core::engine::Watchman;
 use watchman_core::key::QueryKey;
 use watchman_core::value::{ExecutionCost, SizedPayload};
 
@@ -89,14 +93,51 @@ impl BufferHintExperiment {
 
     /// Replays the workload once with the given p₀ threshold (`None` = hints
     /// disabled).
+    ///
+    /// The hint path is event-driven: a [`RedundancyHintObserver`] subscribed
+    /// to the engine mirrors the cache's contents from admission/eviction
+    /// events and demotes p₀-redundant pages whenever a set is admitted — the
+    /// replay loop only executes queries and records page accesses.
     fn run_once(
         workload: &Workload,
         config: &BufferHintConfig,
         threshold: Option<f64>,
     ) -> BufferHintPoint {
-        let mut pool = BufferPool::with_capacity_bytes(config.buffer_bytes);
-        let mut tracker = QueryReferenceTracker::new();
-        let mut cache = PolicyKind::LNC_RA.build(config.cache_bytes);
+        let pool = Arc::new(Mutex::new(BufferPool::with_capacity_bytes(
+            config.buffer_bytes,
+        )));
+        // Hints disabled (`threshold == None`) means no observer at all: the
+        // engine then emits no hints and the pool runs plain LRU.
+        let observer = threshold.map(|p0| {
+            let benchmark = workload.benchmark.clone();
+            let instances: HashMap<QueryKey, _> = workload
+                .trace
+                .iter()
+                .map(|record| {
+                    (
+                        QueryKey::from_raw_query(&record.query_text),
+                        record.instance,
+                    )
+                })
+                .collect();
+            Arc::new(RedundancyHintObserver::new(
+                Arc::clone(&pool),
+                p0,
+                move |key: &QueryKey| {
+                    instances
+                        .get(key)
+                        .map(|&instance| benchmark.page_accesses(instance))
+                        .unwrap_or_default()
+                },
+            ))
+        });
+        let mut builder = Watchman::builder()
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(config.cache_bytes);
+        if let Some(observer) = &observer {
+            builder = builder.observer(observer.clone());
+        }
+        let cache: Watchman<SizedPayload> = builder.build();
 
         for record in workload.trace.iter() {
             let now = Timestamp::from_micros(record.timestamp_us);
@@ -109,33 +150,26 @@ impl BufferHintExperiment {
             // Execute the query: read its pages through the buffer pool and
             // remember which query touched which page.
             let pages = workload.benchmark.page_accesses(record.instance);
-            for &page in &pages {
-                pool.access(page);
+            {
+                let mut pool = pool.lock().unwrap();
+                for &page in &pages {
+                    pool.access(page);
+                }
             }
-            tracker.record_all(&pages, key.signature());
+            if let Some(observer) = &observer {
+                observer.record_access(&pages, key.signature());
+            }
 
-            let outcome = cache.insert(
-                key.clone(),
+            // Offering the set triggers the observer's hint on admission.
+            cache.insert(
+                key,
                 SizedPayload::new(record.result_bytes),
                 ExecutionCost::from_blocks(record.cost_blocks),
                 now,
             );
-            if outcome.is_admitted() {
-                if let Some(p0) = threshold {
-                    // WATCHMAN sends a hint: demote the pages of this query
-                    // that are p0-redundant given the current cache contents.
-                    let cached: std::collections::HashSet<_> = cache
-                        .cached_keys()
-                        .into_iter()
-                        .map(|k| k.signature())
-                        .collect();
-                    let redundant =
-                        tracker.redundant_pages(&pages, p0, |sig| cached.contains(&sig));
-                    pool.demote(&redundant);
-                }
-            }
         }
 
+        let pool = pool.lock().unwrap();
         BufferHintPoint {
             threshold: threshold.unwrap_or(f64::NAN),
             buffer_hit_ratio: pool.stats().hit_ratio(),
@@ -190,7 +224,10 @@ mod tests {
         );
         assert_eq!(experiment.points.len(), 6);
         let baseline = experiment.no_hints_hit_ratio;
-        assert!(baseline > 0.05, "baseline buffer hit ratio {baseline} is meaningless");
+        assert!(
+            baseline > 0.05,
+            "baseline buffer hit ratio {baseline} is meaningless"
+        );
         // Moderate thresholds (p0 >= 0.6) must be at least roughly as good as
         // no hints at all.
         for point in experiment.points.iter().filter(|p| p.threshold >= 0.6) {

@@ -20,8 +20,7 @@ use crate::table::{percent, ratio, TextTable};
 use crate::workload::{ExperimentScale, Workload};
 
 /// The cache-size sweep used by Figures 4–6 (fractions of database size).
-pub const PAPER_CACHE_FRACTIONS: [f64; 8] =
-    [0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05];
+pub const PAPER_CACHE_FRACTIONS: [f64; 8] = [0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05];
 
 /// A reduced sweep for quick runs.
 pub const QUICK_CACHE_FRACTIONS: [f64; 4] = [0.002, 0.01, 0.03, 0.05];
@@ -135,7 +134,10 @@ impl CostSavingsExperiment {
             headers.extend(sweep.fractions.iter().map(|f| percent(*f)));
             let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
             let mut table = TextTable::new(
-                format!("{title_prefix} ({}) vs cache size (% of database)", sweep.benchmark),
+                format!(
+                    "{title_prefix} ({}) vs cache size (% of database)",
+                    sweep.benchmark
+                ),
                 &header_refs,
             );
             for (policy, runs) in sweep.policies.iter().zip(&sweep.runs) {
@@ -286,10 +288,8 @@ mod tests {
 
     #[test]
     fn render_produces_all_three_tables() {
-        let experiment = CostSavingsExperiment::run_with_fractions(
-            ExperimentScale::quick(500),
-            &[0.01, 0.05],
-        );
+        let experiment =
+            CostSavingsExperiment::run_with_fractions(ExperimentScale::quick(500), &[0.01, 0.05]);
         assert!(experiment.render_cost_savings().contains("Figure 4"));
         assert!(experiment.render_hit_ratio().contains("Figure 5"));
         let summary = experiment.render_summary();

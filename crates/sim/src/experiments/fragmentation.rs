@@ -140,10 +140,8 @@ mod tests {
 
     #[test]
     fn lnc_ra_utilization_is_competitive() {
-        let experiment = FragmentationExperiment::run_with_fractions(
-            ExperimentScale::quick(2_000),
-            &[0.01],
-        );
+        let experiment =
+            FragmentationExperiment::run_with_fractions(ExperimentScale::quick(2_000), &[0.01]);
         for result in &experiment.results {
             let get = |label: &str| {
                 result
@@ -167,10 +165,8 @@ mod tests {
 
     #[test]
     fn render_contains_percentages() {
-        let experiment = FragmentationExperiment::run_with_fractions(
-            ExperimentScale::quick(400),
-            &[0.01],
-        );
+        let experiment =
+            FragmentationExperiment::run_with_fractions(ExperimentScale::quick(400), &[0.01]);
         let rendered = experiment.render();
         assert!(rendered.contains("Figure 6"));
         assert!(rendered.contains('%'));

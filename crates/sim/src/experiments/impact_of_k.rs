@@ -66,7 +66,8 @@ impl ImpactOfKExperiment {
                 let lnc_points = ks
                     .iter()
                     .map(|&k| {
-                        let r = run_policy(&workload.trace, PolicyKind::LncRa { k }, CACHE_FRACTION);
+                        let r =
+                            run_policy(&workload.trace, PolicyKind::LncRa { k }, CACHE_FRACTION);
                         (k, r.cost_savings_ratio)
                     })
                     .collect();
@@ -136,8 +137,7 @@ mod tests {
         // LRU-K at every K.  (On our synthetic traces LNC-RA's CSR moves
         // mildly with K, sometimes downward; see EXPERIMENTS.md for the
         // discussion of that deviation.)
-        let experiment =
-            ImpactOfKExperiment::run_with_ks(ExperimentScale::quick(6_000), &[1, 4]);
+        let experiment = ImpactOfKExperiment::run_with_ks(ExperimentScale::quick(6_000), &[1, 4]);
         for result in &experiment.results {
             let lnc = &result.series[0];
             let lruk = &result.series[1];

@@ -57,11 +57,7 @@ impl OptimalityExperiment {
             let items: Vec<KnapsackItem> = aggregates
                 .values()
                 .map(|a| {
-                    KnapsackItem::new(
-                        a.references as f64,
-                        a.cost_blocks as f64,
-                        a.result_bytes,
-                    )
+                    KnapsackItem::new(a.references as f64, a.cost_blocks as f64, a.result_bytes)
                 })
                 .collect();
             let total_cost: f64 = aggregates
@@ -69,8 +65,7 @@ impl OptimalityExperiment {
                 .map(|a| a.references as f64 * a.cost_blocks as f64)
                 .sum();
             for &fraction in fractions {
-                let capacity =
-                    (workload.database_bytes() as f64 * fraction).round() as u64;
+                let capacity = (workload.database_bytes() as f64 * fraction).round() as u64;
                 let selection = lnc_star_skipping(&items, capacity);
                 // A statically cached query still pays one compulsory miss to
                 // materialize its retrieved set; all later references hit.
@@ -79,7 +74,11 @@ impl OptimalityExperiment {
                     .iter()
                     .map(|&i| (items[i].probability - 1.0).max(0.0) * items[i].cost)
                     .sum();
-                let static_csr = if total_cost > 0.0 { saved / total_cost } else { 0.0 };
+                let static_csr = if total_cost > 0.0 {
+                    saved / total_cost
+                } else {
+                    0.0
+                };
                 let online = run_policy(&workload.trace, PolicyKind::LNC_RA, fraction);
                 rows.push(OptimalityRow {
                     benchmark: workload.kind().label().to_owned(),
@@ -95,13 +94,11 @@ impl OptimalityExperiment {
     fn aggregate(workload: &Workload) -> HashMap<QueryInstance, QueryAggregate> {
         let mut aggregates: HashMap<QueryInstance, QueryAggregate> = HashMap::new();
         for record in workload.trace.iter() {
-            let entry = aggregates
-                .entry(record.instance)
-                .or_insert(QueryAggregate {
-                    references: 0,
-                    cost_blocks: record.cost_blocks,
-                    result_bytes: record.result_bytes,
-                });
+            let entry = aggregates.entry(record.instance).or_insert(QueryAggregate {
+                references: 0,
+                cost_blocks: record.cost_blocks,
+                result_bytes: record.result_bytes,
+            });
             entry.references += 1;
         }
         aggregates
@@ -135,7 +132,11 @@ mod tests {
         let experiment = OptimalityExperiment::run(ExperimentScale::quick(2_500), &[0.01]);
         assert_eq!(experiment.rows.len(), 2);
         for row in &experiment.rows {
-            assert!(row.static_csr > 0.0, "{}: static CSR is zero", row.benchmark);
+            assert!(
+                row.static_csr > 0.0,
+                "{}: static CSR is zero",
+                row.benchmark
+            );
             // The on-line policy cannot be expected to beat the informed
             // static selection by much, and must reach a reasonable fraction
             // of it.

@@ -87,7 +87,10 @@ impl PolicyZooExperiment {
             headers.extend(result.fractions.iter().map(|f| percent(*f)));
             let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
             let mut table = TextTable::new(
-                format!("Ablation: CSR of the full policy zoo ({})", result.benchmark),
+                format!(
+                    "Ablation: CSR of the full policy zoo ({})",
+                    result.benchmark
+                ),
                 &header_refs,
             );
             for (policy, runs) in result.policies.iter().zip(&result.runs) {
@@ -108,10 +111,8 @@ mod tests {
 
     #[test]
     fn lnc_ra_is_at_or_near_the_top_of_the_zoo() {
-        let experiment = PolicyZooExperiment::run_with_fractions(
-            ExperimentScale::quick(2_500),
-            &[0.01],
-        );
+        let experiment =
+            PolicyZooExperiment::run_with_fractions(ExperimentScale::quick(2_500), &[0.01]);
         for result in &experiment.results {
             let lnc = result.csr("LNC-RA", 0).unwrap();
             // LNC-RA must clearly dominate every cost/size-blind policy.
@@ -141,10 +142,8 @@ mod tests {
     fn cost_aware_policies_beat_cost_blind_ones_on_skewed_workloads() {
         // On the Set Query trace (heavily skewed costs), the cost/size-aware
         // policies (LNC-RA, GreedyDual-Size) must beat the cost-blind LRU.
-        let experiment = PolicyZooExperiment::run_with_fractions(
-            ExperimentScale::quick(2_500),
-            &[0.01],
-        );
+        let experiment =
+            PolicyZooExperiment::run_with_fractions(ExperimentScale::quick(2_500), &[0.01]);
         let sq = experiment
             .results
             .iter()
@@ -157,10 +156,8 @@ mod tests {
 
     #[test]
     fn render_lists_all_policies() {
-        let experiment = PolicyZooExperiment::run_with_fractions(
-            ExperimentScale::quick(300),
-            &[0.01],
-        );
+        let experiment =
+            PolicyZooExperiment::run_with_fractions(ExperimentScale::quick(300), &[0.01]);
         let rendered = experiment.render();
         for policy in PolicyKind::all() {
             assert!(rendered.contains(&policy.label()), "missing {policy}");

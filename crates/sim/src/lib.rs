@@ -35,5 +35,7 @@ pub use experiments::{
     InfiniteCacheExperiment, OptimalityExperiment, PolicyZooExperiment,
 };
 pub use policy_kind::{BoxedCache, PolicyKind, SimPayload};
-pub use runner::{replay_trace, run_infinite, run_policy, RunResult};
+pub use runner::{
+    replay_trace, replay_trace_engine, run_infinite, run_policy, run_policy_sharded, RunResult,
+};
 pub use workload::{ExperimentScale, Workload};

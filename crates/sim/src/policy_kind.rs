@@ -1,16 +1,12 @@
 //! Named cache-policy configurations used throughout the experiments.
 //!
-//! [`PolicyKind`] is a small, serializable description of a policy (and its
-//! parameters) that can be instantiated into a boxed [`QueryCache`] of any
-//! capacity.  The experiment runners sweep over slices of `PolicyKind`s.
+//! [`PolicyKind`] now lives in the core library
+//! ([`watchman_core::engine::PolicyKind`]) so the concurrent engine, the
+//! simulator, the buffer-hint machinery and the examples all share one
+//! construction path; this module re-exports it together with the
+//! simulation-payload aliases the experiment runners use.
 
-use serde::{Deserialize, Serialize};
-use watchman_core::policy::gds::GreedyDualSizeCache;
-use watchman_core::policy::lcs::LcsCache;
-use watchman_core::policy::lfu::LfuCache;
-use watchman_core::policy::lnc::{LncCache, LncConfig};
-use watchman_core::policy::lru::LruCache;
-use watchman_core::policy::lru_k::LruKCache;
+pub use watchman_core::engine::PolicyKind;
 use watchman_core::policy::QueryCache;
 use watchman_core::value::SizedPayload;
 
@@ -19,98 +15,7 @@ use watchman_core::value::SizedPayload;
 pub type SimPayload = SizedPayload;
 
 /// A boxed cache policy over simulation payloads.
-pub type BoxedCache = Box<dyn QueryCache<SimPayload>>;
-
-/// A named, parameterized cache policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PolicyKind {
-    /// LNC-RA (replacement + admission) with reference window `k`.
-    LncRa {
-        /// The reference window `K`.
-        k: usize,
-    },
-    /// LNC-R (replacement only) with reference window `k`.
-    LncR {
-        /// The reference window `K`.
-        k: usize,
-    },
-    /// Vanilla LRU (the paper's primary baseline).
-    Lru,
-    /// LRU-K with reference window `k`.
-    LruK {
-        /// The reference window `K`.
-        k: usize,
-    },
-    /// Least frequently used.
-    Lfu,
-    /// Largest cache space (evict the biggest set first).
-    Lcs,
-    /// GreedyDual-Size.
-    GreedyDualSize,
-}
-
-impl PolicyKind {
-    /// The paper's default LNC-RA configuration (`K = 4`).
-    pub const LNC_RA: PolicyKind = PolicyKind::LncRa { k: 4 };
-    /// The paper's default LNC-R configuration (`K = 4`).
-    pub const LNC_R: PolicyKind = PolicyKind::LncR { k: 4 };
-
-    /// The three policies compared in Figures 4–6.
-    pub fn paper_trio() -> Vec<PolicyKind> {
-        vec![Self::LNC_RA, Self::LNC_R, PolicyKind::Lru]
-    }
-
-    /// The full policy zoo used by the extension ablation.
-    pub fn all() -> Vec<PolicyKind> {
-        vec![
-            Self::LNC_RA,
-            Self::LNC_R,
-            PolicyKind::Lru,
-            PolicyKind::LruK { k: 4 },
-            PolicyKind::Lfu,
-            PolicyKind::Lcs,
-            PolicyKind::GreedyDualSize,
-        ]
-    }
-
-    /// A stable display label.
-    pub fn label(&self) -> String {
-        match self {
-            PolicyKind::LncRa { k } if *k == 4 => "LNC-RA".to_owned(),
-            PolicyKind::LncRa { k } => format!("LNC-RA(K={k})"),
-            PolicyKind::LncR { k } if *k == 4 => "LNC-R".to_owned(),
-            PolicyKind::LncR { k } => format!("LNC-R(K={k})"),
-            PolicyKind::Lru => "LRU".to_owned(),
-            PolicyKind::LruK { k } => format!("LRU-{k}"),
-            PolicyKind::Lfu => "LFU".to_owned(),
-            PolicyKind::Lcs => "LCS".to_owned(),
-            PolicyKind::GreedyDualSize => "GreedyDual-Size".to_owned(),
-        }
-    }
-
-    /// Instantiates the policy with the given capacity in bytes.
-    pub fn build(&self, capacity_bytes: u64) -> BoxedCache {
-        match *self {
-            PolicyKind::LncRa { k } => {
-                Box::new(LncCache::new(LncConfig::lnc_ra(capacity_bytes).with_k(k)))
-            }
-            PolicyKind::LncR { k } => {
-                Box::new(LncCache::new(LncConfig::lnc_r(capacity_bytes).with_k(k)))
-            }
-            PolicyKind::Lru => Box::new(LruCache::new(capacity_bytes)),
-            PolicyKind::LruK { k } => Box::new(LruKCache::with_capacity(capacity_bytes, k)),
-            PolicyKind::Lfu => Box::new(LfuCache::new(capacity_bytes)),
-            PolicyKind::Lcs => Box::new(LcsCache::new(capacity_bytes)),
-            PolicyKind::GreedyDualSize => Box::new(GreedyDualSizeCache::new(capacity_bytes)),
-        }
-    }
-}
-
-impl std::fmt::Display for PolicyKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.label())
-    }
-}
+pub type BoxedCache = Box<dyn QueryCache<SimPayload> + Send>;
 
 #[cfg(test)]
 mod tests {
@@ -137,7 +42,7 @@ mod tests {
     #[test]
     fn every_kind_builds_a_working_cache() {
         for kind in PolicyKind::all() {
-            let mut cache = kind.build(10_000);
+            let mut cache: BoxedCache = kind.build(10_000);
             assert_eq!(cache.capacity_bytes(), 10_000);
             let key = QueryKey::new("q");
             assert!(cache.get(&key, Timestamp::from_micros(1)).is_none());

@@ -1,10 +1,11 @@
-//! Trace replay: drive a cache policy with a workload trace and collect the
-//! paper's performance metrics.
+//! Trace replay: drive a cache (bare policy or concurrent engine) with a
+//! workload trace and collect the paper's performance metrics.
 
 use serde::{Deserialize, Serialize};
 use watchman_core::clock::Timestamp;
+use watchman_core::engine::Watchman;
 use watchman_core::key::QueryKey;
-use watchman_core::metrics::FragmentationTracker;
+use watchman_core::metrics::{CacheStats, FragmentationTracker};
 use watchman_core::policy::QueryCache;
 use watchman_core::value::{ExecutionCost, SizedPayload};
 use watchman_trace::Trace;
@@ -38,7 +39,31 @@ pub struct RunResult {
     pub evictions: u64,
 }
 
-/// Replays `trace` against an already-constructed cache policy.
+impl RunResult {
+    fn from_stats(
+        policy: String,
+        capacity_bytes: u64,
+        cache_fraction: f64,
+        stats: &CacheStats,
+        fragmentation: &FragmentationTracker,
+    ) -> RunResult {
+        RunResult {
+            policy,
+            capacity_bytes,
+            cache_fraction,
+            cost_savings_ratio: stats.cost_savings_ratio(),
+            hit_ratio: stats.hit_ratio(),
+            avg_used_fraction: fragmentation.average_used_fraction(),
+            min_used_fraction: fragmentation.min_used_fraction(),
+            references: stats.references,
+            admissions: stats.admissions,
+            rejections: stats.rejections,
+            evictions: stats.evictions,
+        }
+    }
+}
+
+/// Replays `trace` against an already-constructed bare cache policy.
 ///
 /// For every trace record the runner performs the protocol described in
 /// [`watchman_core::policy`]: a `get` with the record's timestamp, and on a
@@ -66,30 +91,67 @@ pub fn replay_trace(
         }
         fragmentation.record(cache.used_bytes(), cache.capacity_bytes());
     }
-    let stats = cache.stats();
-    RunResult {
-        policy: cache.name().to_owned(),
-        capacity_bytes: cache.capacity_bytes(),
+    RunResult::from_stats(
+        cache.name().to_owned(),
+        cache.capacity_bytes(),
         cache_fraction,
-        cost_savings_ratio: stats.cost_savings_ratio(),
-        hit_ratio: stats.hit_ratio(),
-        avg_used_fraction: fragmentation.average_used_fraction(),
-        min_used_fraction: fragmentation.min_used_fraction(),
-        references: stats.references,
-        admissions: stats.admissions,
-        rejections: stats.rejections,
-        evictions: stats.evictions,
-    }
+        cache.stats(),
+        &fragmentation,
+    )
 }
 
-/// Builds the policy for `kind` at `cache_fraction` of the trace's database
-/// size and replays the trace through it.
+/// Replays `trace` through a concurrent [`Watchman`] engine using
+/// [`Watchman::get_or_execute`] — the same protocol a live multiuser front
+/// end runs, here driven by one session.
+pub fn replay_trace_engine(
+    trace: &Trace,
+    engine: &Watchman<SizedPayload>,
+    cache_fraction: f64,
+) -> RunResult {
+    let mut fragmentation = FragmentationTracker::new();
+    for record in trace.iter() {
+        let now = Timestamp::from_micros(record.timestamp_us);
+        let key = QueryKey::from_raw_query(&record.query_text);
+        engine.get_or_execute(&key, now, || {
+            (
+                SizedPayload::new(record.result_bytes),
+                ExecutionCost::from_blocks(record.cost_blocks),
+            )
+        });
+        fragmentation.record(engine.used_bytes(), engine.capacity_bytes());
+    }
+    RunResult::from_stats(
+        engine.policy().label(),
+        engine.capacity_bytes(),
+        cache_fraction,
+        &engine.stats(),
+        &fragmentation,
+    )
+}
+
+/// Builds a one-shard engine for `kind` at `cache_fraction` of the trace's
+/// database size and replays the trace through it.
 pub fn run_policy(trace: &Trace, kind: PolicyKind, cache_fraction: f64) -> RunResult {
+    run_policy_sharded(trace, kind, cache_fraction, 1)
+}
+
+/// Like [`run_policy`], but hash-partitions the keyspace across `shards`
+/// independent policy instances — the configuration a concurrent deployment
+/// runs.  With a single replaying session the aggregate metrics measure the
+/// effect of partitioning the capacity, not of contention.
+pub fn run_policy_sharded(
+    trace: &Trace,
+    kind: PolicyKind,
+    cache_fraction: f64,
+    shards: usize,
+) -> RunResult {
     let capacity = (trace.database_bytes as f64 * cache_fraction).round() as u64;
-    let mut cache: BoxedCache = kind.build(capacity);
-    let mut result = replay_trace(trace, cache.as_mut(), cache_fraction);
-    result.policy = kind.label();
-    result
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(shards)
+        .policy(kind)
+        .capacity_bytes(capacity)
+        .build();
+    replay_trace_engine(trace, &engine, cache_fraction)
 }
 
 /// Replays the trace against an effectively infinite cache (used by the
@@ -160,6 +222,38 @@ mod tests {
         let a = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
         let b = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_replay_matches_bare_policy_replay() {
+        // One shard, one session: the engine path must reproduce the bare
+        // policy replay metric for metric.
+        let trace = quick_trace(1_000, 6);
+        let capacity = (trace.database_bytes as f64 * 0.01).round() as u64;
+        let mut bare: BoxedCache = PolicyKind::LNC_RA.build(capacity);
+        let via_policy = replay_trace(&trace, bare.as_mut(), 0.01);
+        let via_engine = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
+        assert_eq!(via_engine.references, via_policy.references);
+        assert_eq!(via_engine.admissions, via_policy.admissions);
+        assert_eq!(via_engine.evictions, via_policy.evictions);
+        assert!((via_engine.cost_savings_ratio - via_policy.cost_savings_ratio).abs() < 1e-12);
+        assert!((via_engine.hit_ratio - via_policy.hit_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_replay_stays_close_to_unsharded() {
+        let trace = quick_trace(1_500, 7);
+        let unsharded = run_policy(&trace, PolicyKind::LNC_RA, 0.01);
+        let sharded = run_policy_sharded(&trace, PolicyKind::LNC_RA, 0.01, 8);
+        assert_eq!(sharded.references, unsharded.references);
+        // Partitioning the capacity changes individual eviction decisions but
+        // must not collapse the cost savings.
+        assert!(
+            sharded.cost_savings_ratio > 0.5 * unsharded.cost_savings_ratio,
+            "sharded CSR {} vs unsharded {}",
+            sharded.cost_savings_ratio,
+            unsharded.cost_savings_ratio
+        );
     }
 
     #[test]

@@ -239,13 +239,18 @@ mod tests {
         weights[3] = 3.0;
         let config = TraceConfig::quick(2_000, 11).with_weights(weights);
         let trace = TraceGenerator::new(&benchmark, config).generate();
-        let counts = trace.iter().fold(vec![0u64; benchmark.template_count()], |mut acc, r| {
-            acc[r.instance.template.index()] += 1;
-            acc
-        });
+        let counts = trace
+            .iter()
+            .fold(vec![0u64; benchmark.template_count()], |mut acc, r| {
+                acc[r.instance.template.index()] += 1;
+                acc
+            });
         assert_eq!(counts.iter().sum::<u64>(), 2_000);
         assert!(counts[0] > 0);
-        assert!(counts[3] > 2 * counts[0], "template 3 has 3x the weight of template 0");
+        assert!(
+            counts[3] > 2 * counts[0],
+            "template 3 has 3x the weight of template 0"
+        );
         for (i, &c) in counts.iter().enumerate() {
             if i != 0 && i != 3 {
                 assert_eq!(c, 0, "unweighted template {i} must never be selected");

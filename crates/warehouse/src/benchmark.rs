@@ -167,7 +167,8 @@ impl Benchmark {
                     AccessKind::FullScan => relation_pages,
                     AccessKind::Selective { fraction } => {
                         // Vary the touched fraction by ±50 % across instances.
-                        let factor = 0.5 + unit_from(self.instance_seed(instance, 100 + i as u64), 0);
+                        let factor =
+                            0.5 + unit_from(self.instance_seed(instance, 100 + i as u64), 0);
                         let pages = (f64::from(relation_pages) * fraction * factor).ceil() as u32;
                         pages.clamp(1, relation_pages)
                     }
@@ -264,8 +265,8 @@ mod tests {
         let catalog = Catalog::new(
             "TEST",
             vec![
-                Relation::new("FACT", 100_000, 100),  // ~2442 pages
-                Relation::new("DIM", 1_000, 50),      // ~13 pages
+                Relation::new("FACT", 100_000, 100), // ~2442 pages
+                Relation::new("DIM", 1_000, 50),     // ~13 pages
             ],
         );
         let fact = RelationId(0);
@@ -332,7 +333,10 @@ mod tests {
         let i = QueryInstance::new(TemplateId(0), 3);
         let fact_pages = b.catalog().relation(RelationId(0)).unwrap().pages();
         let dim_pages = b.catalog().relation(RelationId(1)).unwrap().pages();
-        assert_eq!(b.cost_blocks(i), u64::from(fact_pages) + u64::from(dim_pages));
+        assert_eq!(
+            b.cost_blocks(i),
+            u64::from(fact_pages) + u64::from(dim_pages)
+        );
     }
 
     #[test]

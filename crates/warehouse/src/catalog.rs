@@ -172,7 +172,10 @@ mod tests {
         let catalog = sample_catalog();
         let small = catalog.relation_id("SMALL").unwrap();
         let pages: Vec<PageId> = catalog.pages_of(small).collect();
-        assert_eq!(pages.len(), catalog.relation(small).unwrap().pages() as usize);
+        assert_eq!(
+            pages.len(),
+            catalog.relation(small).unwrap().pages() as usize
+        );
         assert_eq!(pages[0], PageId::new(small, 0));
     }
 
@@ -180,7 +183,10 @@ mod tests {
     fn cache_fraction_conversion() {
         let catalog = sample_catalog();
         let one_percent = catalog.cache_bytes_for_fraction(0.01);
-        assert_eq!(one_percent, (catalog.total_bytes() as f64 * 0.01).round() as u64);
+        assert_eq!(
+            one_percent,
+            (catalog.total_bytes() as f64 * 0.01).round() as u64
+        );
         assert_eq!(catalog.cache_bytes_for_fraction(-1.0), 0);
         assert_eq!(catalog.cache_bytes_for_fraction(2.0), catalog.total_bytes());
     }

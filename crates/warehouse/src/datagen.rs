@@ -124,9 +124,7 @@ impl<'a> DataGenerator<'a> {
                     ColumnKind::ForeignKey { cardinality } => {
                         Datum::Int(bounded(seed, stream, cardinality) as i64)
                     }
-                    ColumnKind::Measure { scale } => {
-                        Datum::Float(unit_from(seed, stream) * scale)
-                    }
+                    ColumnKind::Measure { scale } => Datum::Float(unit_from(seed, stream) * scale),
                     ColumnKind::Category { cardinality } => {
                         let code = bounded(seed, stream, cardinality);
                         Datum::Text(format!("C{code:02}"))

@@ -92,12 +92,20 @@ impl<'a> QueryExecutor<'a> {
         let rows = self.benchmark.result_rows(instance);
         let columns = template.result_columns();
         let mut set = RetrievedSet::new(columns);
-        let seed = mix3(self.benchmark.seed(), u64::from(instance.template.0), instance.param);
+        let seed = mix3(
+            self.benchmark.seed(),
+            u64::from(instance.template.0),
+            instance.param,
+        );
         for row_idx in 0..rows {
             let group = format!("{}-{}", template.name, row_idx);
             let sum = unit_from(seed, row_idx * 2 + 1) * 1_000_000.0;
             let count = (unit_from(seed, row_idx * 2 + 2) * 10_000.0) as i64 + 1;
-            set.push_row(vec![Datum::Text(group), Datum::Float(sum), Datum::Int(count)]);
+            set.push_row(vec![
+                Datum::Text(group),
+                Datum::Float(sum),
+                Datum::Int(count),
+            ]);
         }
         set
     }
@@ -135,7 +143,10 @@ mod tests {
         let executor = QueryExecutor::new(&benchmark);
         let instance = QueryInstance::new(TemplateId(7), 3);
         let result = executor.execute(instance);
-        assert_eq!(result.retrieved_set.len() as u64, benchmark.result_rows(instance));
+        assert_eq!(
+            result.retrieved_set.len() as u64,
+            benchmark.result_rows(instance)
+        );
         assert!(result.retrieved_set.size_bytes() > 0);
     }
 
@@ -157,7 +168,13 @@ mod tests {
         let benchmark = crate::tpcd::benchmark();
         let executor = QueryExecutor::new(&benchmark);
         let key = executor.query_key(QueryInstance::new(TemplateId(5), 9));
-        assert_eq!(key, executor.query_key(QueryInstance::new(TemplateId(5), 9)));
-        assert!(!key.text().contains("  "), "query ID must be delimiter-compressed");
+        assert_eq!(
+            key,
+            executor.query_key(QueryInstance::new(TemplateId(5), 9))
+        );
+        assert!(
+            !key.text().contains("  "),
+            "query ID must be delimiter-compressed"
+        );
     }
 }

@@ -28,7 +28,9 @@ pub const PAPER_DATABASE_BYTES: u64 = 100 * 1024 * 1024;
 pub fn catalog(target_bytes: u64) -> Catalog {
     // Weights decay geometrically so there are a few large fact tables and
     // many smaller dimension tables, as in a real warehouse star schema.
-    let weights: Vec<f64> = (0..RELATION_COUNT).map(|i| 0.78_f64.powi(i as i32)).collect();
+    let weights: Vec<f64> = (0..RELATION_COUNT)
+        .map(|i| 0.78_f64.powi(i as i32))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     let relations = weights
         .iter()
@@ -36,7 +38,11 @@ pub fn catalog(target_bytes: u64) -> Catalog {
         .map(|(i, w)| {
             let bytes = (target_bytes as f64 * w / total_weight).round() as u64;
             let row_bytes = 120;
-            Relation::new(format!("REL{i:02}"), (bytes / row_bytes).max(1), row_bytes as u32)
+            Relation::new(
+                format!("REL{i:02}"),
+                (bytes / row_bytes).max(1),
+                row_bytes as u32,
+            )
         })
         .collect();
     Catalog::new("BufferWorkload", relations)
@@ -76,7 +82,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         let result_rows = match summarization {
             SummarizationLevel::High => RowCountModel::Fixed(8),
             SummarizationLevel::Medium => RowCountModel::Range { min: 20, max: 200 },
-            SummarizationLevel::Low => RowCountModel::Range { min: 100, max: 2_000 },
+            SummarizationLevel::Low => RowCountModel::Range {
+                min: 100,
+                max: 2_000,
+            },
         };
         templates.push(QueryTemplate {
             id: TemplateId(i as u16),

@@ -361,7 +361,12 @@ pub fn benchmark() -> Benchmark {
 
 /// Builds the TPC-D benchmark with a custom database size and workload seed.
 pub fn benchmark_with(database_bytes: u64, seed: u64) -> Benchmark {
-    Benchmark::new(BenchmarkKind::TpcD, catalog(database_bytes), templates(), seed)
+    Benchmark::new(
+        BenchmarkKind::TpcD,
+        catalog(database_bytes),
+        templates(),
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -412,8 +417,7 @@ mod tests {
         // performing costly joins/scans: no template may be index-cheap, and
         // most templates must cost at least as much as a LINEITEM scan.
         let b = benchmark();
-        let lineitem_pages =
-            u64::from(b.catalog().relation(RELATIONS.lineitem).unwrap().pages());
+        let lineitem_pages = u64::from(b.catalog().relation(RELATIONS.lineitem).unwrap().pages());
         let costs: Vec<u64> = b
             .templates()
             .iter()

@@ -1,13 +1,14 @@
 //! WATCHMAN ↔ buffer-manager cooperation (paper §3, Figure 7).
 //!
-//! This example wires the retrieved-set cache, the page-level buffer pool and
-//! the query-reference tracker together by hand — the same loop the Figure 7
-//! experiment runs — and shows how the p₀-redundancy hints change the buffer
-//! manager's hit ratio.
+//! This example wires the retrieved-set engine, the page-level buffer pool
+//! and the query-reference tracker together through the engine's cache-event
+//! stream: a [`RedundancyHintObserver`] subscribes to admissions and demotes
+//! p₀-redundant pages automatically, replacing the hand-wired hint loop the
+//! Figure 7 experiment runs.
 //!
 //! Run with: `cargo run --release --example buffer_hints`
 
-use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 use watchman::prelude::*;
 use watchman::warehouse::synthetic;
@@ -19,15 +20,21 @@ fn main() {
     let benchmark = synthetic::benchmark();
     let trace = TraceGenerator::new(&benchmark, TraceConfig::quick(600, 7)).generate();
 
-    println!("database: {} relations, {:.0} MB", benchmark.catalog().relation_count(),
-        benchmark.catalog().total_bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "database: {} relations, {:.0} MB",
+        benchmark.catalog().relation_count(),
+        benchmark.catalog().total_bytes() as f64 / (1024.0 * 1024.0)
+    );
     println!("trace   : {} queries\n", trace.len());
 
     for p0 in [None, Some(0.6), Some(0.0)] {
-        let hit_ratio = run_with_hints(&benchmark, &trace, p0);
+        let (hit_ratio, demotions) = run_with_hints(&benchmark, &trace, p0);
         match p0 {
             None => println!("no hints        -> buffer hit ratio {hit_ratio:.3}"),
-            Some(t) => println!("hints, p0 = {:>3.0}% -> buffer hit ratio {hit_ratio:.3}", t * 100.0),
+            Some(t) => println!(
+                "hints, p0 = {:>3.0}% -> buffer hit ratio {hit_ratio:.3} ({demotions} pages demoted)",
+                t * 100.0
+            ),
         }
     }
     println!("\nModerate thresholds free buffer space held by pages whose queries are");
@@ -35,11 +42,47 @@ fn main() {
     println!("degenerates the buffer's LRU into MRU.");
 }
 
-/// Replays the trace once and returns the buffer hit ratio.
-fn run_with_hints(benchmark: &Benchmark, trace: &Trace, p0: Option<f64>) -> f64 {
-    let mut pool = BufferPool::with_capacity_bytes(15 * 1024 * 1024);
-    let mut tracker = QueryReferenceTracker::new();
-    let mut cache: LncCache<SizedPayload> = LncCache::lnc_ra(15 * 1024 * 1024);
+/// Replays the trace once, returning the buffer hit ratio and the number of
+/// pages the observer's hints demoted.
+fn run_with_hints(benchmark: &Benchmark, trace: &Trace, p0: Option<f64>) -> (f64, u64) {
+    let pool = Arc::new(Mutex::new(BufferPool::with_capacity_bytes(
+        15 * 1024 * 1024,
+    )));
+
+    // The observer resolves an admitted query's page accesses from the
+    // benchmark's access model, looking the query up by its cache key.  With
+    // hints disabled (`p0 == None`) no observer is subscribed at all and the
+    // pool runs plain LRU.
+    let observer = p0.map(|threshold| {
+        let benchmark = benchmark.clone();
+        let instances: std::collections::HashMap<QueryKey, QueryInstance> = trace
+            .iter()
+            .map(|record| {
+                (
+                    QueryKey::from_raw_query(&record.query_text),
+                    record.instance,
+                )
+            })
+            .collect();
+        Arc::new(RedundancyHintObserver::new(
+            Arc::clone(&pool),
+            threshold,
+            move |key: &QueryKey| {
+                instances
+                    .get(key)
+                    .map(|&instance| benchmark.page_accesses(instance))
+                    .unwrap_or_default()
+            },
+        ))
+    });
+
+    let mut builder = Watchman::builder()
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(15 * 1024 * 1024);
+    if let Some(observer) = &observer {
+        builder = builder.observer(observer.clone());
+    }
+    let cache: Watchman<SizedPayload> = builder.build();
 
     for record in trace.iter() {
         let now = Timestamp::from_micros(record.timestamp_us);
@@ -47,29 +90,27 @@ fn run_with_hints(benchmark: &Benchmark, trace: &Trace, p0: Option<f64>) -> f64 
         if cache.get(&key, now).is_some() {
             continue; // answered from the retrieved-set cache: no page I/O
         }
+        // Miss: the query runs against the warehouse and touches its pages.
         let pages = benchmark.page_accesses(record.instance);
-        for &page in &pages {
-            pool.access(page);
+        {
+            let mut pool = pool.lock().unwrap();
+            for &page in &pages {
+                pool.access(page);
+            }
         }
-        tracker.record_all(&pages, key.signature());
+        if let Some(observer) = &observer {
+            observer.record_access(&pages, key.signature());
+        }
 
-        let outcome = cache.insert(
+        // Offering the set for admission triggers the observer: if admitted,
+        // the now-redundant pages are demoted in the pool automatically.
+        cache.insert(
             key,
             SizedPayload::new(record.result_bytes),
             ExecutionCost::from_blocks(record.cost_blocks),
             now,
         );
-        if outcome.is_admitted() {
-            if let Some(threshold) = p0 {
-                let cached: HashSet<Signature> = cache
-                    .cached_keys()
-                    .into_iter()
-                    .map(|k| k.signature())
-                    .collect();
-                let hint = tracker.redundant_pages(&pages, threshold, |sig| cached.contains(&sig));
-                pool.demote(&hint);
-            }
-        }
     }
-    pool.stats().hit_ratio()
+    let pool = pool.lock().unwrap();
+    (pool.stats().hit_ratio(), pool.stats().demotions)
 }

@@ -21,7 +21,10 @@ fn main() {
         workload.database_bytes() as f64 / (1024.0 * 1024.0)
     );
 
-    println!("{:<16} {:>10} {:>10} {:>10}", "policy", "0.5% CSR", "1% CSR", "5% CSR");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "policy", "0.5% CSR", "1% CSR", "5% CSR"
+    );
     for kind in PolicyKind::all() {
         let mut row = format!("{:<16}", kind.label());
         for &fraction in &fractions {
@@ -37,9 +40,11 @@ fn main() {
     let mut per_query: std::collections::HashMap<QueryInstance, (u64, u64, u64)> =
         std::collections::HashMap::new();
     for record in workload.trace.iter() {
-        let entry = per_query
-            .entry(record.instance)
-            .or_insert((0, record.cost_blocks, record.result_bytes));
+        let entry = per_query.entry(record.instance).or_insert((
+            0,
+            record.cost_blocks,
+            record.result_bytes,
+        ));
         entry.0 += 1;
     }
     let items: Vec<KnapsackItem> = per_query

@@ -1,9 +1,10 @@
-//! Quickstart: cache warehouse query results with the LNC-RA policy.
+//! Quickstart: cache warehouse query results behind the Watchman engine.
 //!
 //! This example plays the role of a tiny warehouse front end.  It executes
 //! queries from the synthetic TPC-D benchmark through the
 //! [`watchman::warehouse::QueryExecutor`], caches the retrieved sets in an
-//! LNC-RA cache, and prints what the cache decided and what it saved.
+//! LNC-RA [`Watchman`] engine, and prints what the cache decided and what it
+//! saved.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -15,9 +16,14 @@ fn main() {
     let benchmark = tpcd::benchmark();
     let executor = QueryExecutor::new(&benchmark);
 
-    // A 1 MB LNC-RA cache (the paper's configuration: K = 4, admission
-    // control and retained reference information enabled).
-    let mut cache: LncCache<RetrievedSet> = LncCache::lnc_ra(1 << 20);
+    // A 1 MB LNC-RA engine (the paper's configuration: K = 4, admission
+    // control and retained reference information enabled). One shard is
+    // plenty for a single session; a multiuser front end would raise
+    // `.shards(..)` and clone the handle into every session thread.
+    let cache: Watchman<RetrievedSet> = Watchman::builder()
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(1 << 20)
+        .build();
     let clock = ManualClock::new();
 
     // A small interactive session: the analyst keeps coming back to the
@@ -34,30 +40,29 @@ fn main() {
     for instance in session {
         let now = clock.advance(1_000_000); // one second between queries
         let key = executor.query_key(instance);
-        match cache.get(&key, now) {
-            Some(result) => {
-                println!(
-                    "HIT   {:<60} -> {} rows served from cache",
-                    truncate(&key.to_string(), 60),
-                    result.len()
-                );
-            }
-            None => {
-                let executed = executor.execute(instance);
-                let outcome = cache.insert(
-                    key.clone(),
-                    executed.retrieved_set.clone(),
-                    executed.cost,
-                    now,
-                );
-                println!(
-                    "MISS  {:<60} -> executed for {} ({} rows), {}",
-                    truncate(&key.to_string(), 60),
-                    executed.cost,
-                    executed.retrieved_set.len(),
-                    describe(&outcome)
-                );
-            }
+        let lookup = cache.get_or_execute(&key, now, || {
+            let executed = executor.execute(instance);
+            (executed.retrieved_set, executed.cost)
+        });
+        match lookup.source {
+            LookupSource::Hit => println!(
+                "HIT   {:<60} -> {} rows served from cache",
+                truncate(&key.to_string(), 60),
+                lookup.value.len()
+            ),
+            LookupSource::Coalesced => println!(
+                "WAIT  {:<60} -> joined another session's execution",
+                truncate(&key.to_string(), 60),
+            ),
+            LookupSource::Executed => println!(
+                "MISS  {:<60} -> executed ({} rows), {}",
+                truncate(&key.to_string(), 60),
+                lookup.value.len(),
+                lookup
+                    .outcome
+                    .map(|outcome| outcome.to_string())
+                    .unwrap_or_default()
+            ),
         }
     }
 
@@ -68,16 +73,11 @@ fn main() {
     println!("hit ratio           : {:.2}", stats.hit_ratio());
     println!("cost savings ratio  : {:.2}", stats.cost_savings_ratio());
     println!("block reads saved   : {:.0}", stats.saved_cost);
-    println!("cache occupancy     : {} / {} bytes", cache.used_bytes(), cache.capacity_bytes());
-}
-
-fn describe(outcome: &InsertOutcome) -> String {
-    match outcome {
-        InsertOutcome::Admitted { evicted } if evicted.is_empty() => "admitted".to_owned(),
-        InsertOutcome::Admitted { evicted } => format!("admitted, evicted {}", evicted.len()),
-        InsertOutcome::AlreadyCached => "already cached".to_owned(),
-        InsertOutcome::Rejected(reason) => format!("rejected ({reason:?})"),
-    }
+    println!(
+        "cache occupancy     : {} / {} bytes",
+        cache.used_bytes(),
+        cache.capacity_bytes()
+    );
 }
 
 fn truncate(text: &str, limit: usize) -> String {

@@ -95,14 +95,20 @@ fn executor_results_can_be_cached_and_served_byte_identical() {
         let key = executor.query_key(instance);
         if let Some(cached) = cache.get(&key, now) {
             let fresh = executor.execute(instance);
-            assert_eq!(cached, &fresh.retrieved_set, "cache must serve identical rows");
+            assert_eq!(
+                cached, &fresh.retrieved_set,
+                "cache must serve identical rows"
+            );
         } else {
             let fresh = executor.execute(instance);
             executions += 1;
             cache.insert(key, fresh.retrieved_set, fresh.cost, now);
         }
     }
-    assert!(executions < instances.len(), "repeated queries must hit the cache");
+    assert!(
+        executions < instances.len(),
+        "repeated queries must hit the cache"
+    );
     assert!(cache.stats().hits > 0);
 }
 
@@ -119,14 +125,18 @@ fn trace_round_trips_through_json() {
 }
 
 #[test]
-fn shared_cache_serves_concurrent_sessions() {
+fn engine_serves_concurrent_sessions() {
     let benchmark = watchman::warehouse::setquery::benchmark();
-    let shared = SharedCache::new(LncCache::<SizedPayload>::lnc_ra(8 << 20));
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(4)
+        .policy(PolicyKind::LNC_RA)
+        .capacity_bytes(8 << 20)
+        .build();
     let clock = std::sync::Arc::new(ManualClock::new());
 
     std::thread::scope(|scope| {
         for session in 0..4u16 {
-            let shared = shared.clone();
+            let engine = engine.clone();
             let clock = std::sync::Arc::clone(&clock);
             let benchmark = &benchmark;
             scope.spawn(move || {
@@ -136,7 +146,7 @@ fn shared_cache_serves_concurrent_sessions() {
                         QueryInstance::new(TemplateId(((session as u64 + i) % 13) as u16), i % 11);
                     let now = clock.advance(500);
                     let key = executor.query_key(instance);
-                    shared.get_or_insert_with(&key, now, || {
+                    engine.get_or_execute(&key, now, || {
                         let result = executor.execute(instance);
                         (SizedPayload::new(result.declared_result_bytes), result.cost)
                     });
@@ -145,8 +155,33 @@ fn shared_cache_serves_concurrent_sessions() {
         }
     });
 
-    let stats = shared.stats();
-    assert_eq!(stats.references, 400);
-    assert!(stats.hits > 0, "concurrent sessions must share cached results");
-    assert!(shared.used_bytes() <= shared.capacity_bytes());
+    let snapshot = engine.stats_snapshot();
+    // Every reference was either recorded by a shard (hit or executed miss)
+    // or coalesced into another session's in-flight execution.
+    assert_eq!(snapshot.total.references + snapshot.coalesced_misses, 400);
+    assert!(
+        snapshot.total.hits > 0,
+        "concurrent sessions must share cached results"
+    );
+    assert!(engine.used_bytes() <= engine.capacity_bytes());
+    assert_eq!(snapshot.per_shard.len(), 4);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shared_cache_shim_still_works() {
+    use watchman::core::concurrent::SharedCache;
+    let shared: SharedCache<SizedPayload> = SharedCache::lnc_ra(1 << 20);
+    let key = QueryKey::new("legacy-query");
+    let now = Timestamp::from_secs(1);
+    let value = shared.get_or_insert_with(&key, now, || {
+        (SizedPayload::new(64), ExecutionCost::from_blocks(100))
+    });
+    assert_eq!(value.size_bytes(), 64);
+    assert!(shared.contains(&key));
+    assert_eq!(
+        shared.engine().shard_count(),
+        1,
+        "shim runs a one-shard engine"
+    );
 }

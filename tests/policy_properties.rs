@@ -36,7 +36,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     )
 }
 
-fn policies(capacity: u64) -> Vec<Box<dyn QueryCache<SizedPayload>>> {
+fn policies(capacity: u64) -> Vec<Box<dyn QueryCache<SizedPayload> + Send>> {
     PolicyKind::all()
         .into_iter()
         .map(|kind| kind.build(capacity))

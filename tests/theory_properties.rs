@@ -8,8 +8,7 @@ use watchman::core::theory::{
 use watchman::prelude::*;
 
 fn item_strategy() -> impl Strategy<Value = KnapsackItem> {
-    (0.01f64..1.0, 1.0f64..1_000.0, 1u64..40)
-        .prop_map(|(p, c, s)| KnapsackItem::new(p, c, s))
+    (0.01f64..1.0, 1.0f64..1_000.0, 1u64..40).prop_map(|(p, c, s)| KnapsackItem::new(p, c, s))
 }
 
 proptest! {

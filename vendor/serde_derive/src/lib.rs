@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde-compatible surface: `serde::Serialize` / `serde::Deserialize`
+//! are traits over a JSON-like [`serde::Value`] tree, and this proc-macro crate
+//! derives them for the limited shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like real
+//!   serde's default representation).
+//!
+//! Generics, `#[serde(...)]` attributes and borrowed deserialization are not
+//! supported; deriving on such a type fails with a compile error rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Named(String, Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    gen_serialize(&name, &shape).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    gen_deserialize(&name, &shape).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `field: Type, ...` bodies, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after `{field}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle: i64 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut angle: i64 = 0;
+    let mut pending = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                i += 2;
+                continue;
+            }
+            if p.as_char() == ',' {
+                i += 1;
+                continue;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, tuple_arity(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Named(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Variant::Tuple(v, 1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Variant::Tuple(v, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Variant::Named(v, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(__{f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            binds.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::value_get(__obj, \"{f}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::serde::Deserialize::from_missing_field(\"{f}\")? }}"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n        Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n        if __arr.len() != {n} {{ return Err(::serde::Error::expected(\"array of length {n}\", \"{name}\")); }}\n        Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!("\"{v}\" => Ok({name}::{v}),")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(v, 1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Variant::Tuple(v, n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{v}\"))?; if __arr.len() != {n} {{ return Err(::serde::Error::expected(\"array of length {n}\", \"{name}::{v}\")); }} Ok({name}::{v}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Variant::Named(v, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: match ::serde::value_get(__fields, \"{f}\") {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::serde::Deserialize::from_missing_field(\"{f}\")? }}"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{v}\"))?; Ok({name}::{v} {{ {} }}) }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n            ::serde::Value::Str(__s) => match __s.as_str() {{ {} __other => Err(::serde::Error::unknown_variant(__other, \"{name}\")) }},\n            __val => {{\n                let __obj = __val.as_object().ok_or_else(|| ::serde::Error::expected(\"string or object\", \"{name}\"))?;\n                if __obj.len() != 1 {{ return Err(::serde::Error::expected(\"single-entry object\", \"{name}\")); }}\n                let (__tag, __inner) = (&__obj[0].0, &__obj[0].1);\n                match __tag.as_str() {{ {} __other => Err(::serde::Error::unknown_variant(__other, \"{name}\")) }}\n            }}\n        }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
