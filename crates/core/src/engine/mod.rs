@@ -15,6 +15,9 @@
 //! * [`CacheEvent`] / [`CacheObserver`] — the lifecycle event stream that
 //!   the coherence [`DependencyIndex`](crate::coherence::DependencyIndex)
 //!   and the buffer manager's p₀-redundancy hints subscribe to;
+//! * [`RebalanceConfig`] — optional profit-aware capacity rebalancing that
+//!   moves bytes from capacity-rich to capacity-starved shards on skewed
+//!   keyspaces (the per-shard split is a static `total/N` otherwise);
 //! * [`StatsSnapshot`] — owned, aggregated statistics across shards.
 //!
 //! ## Quick start
@@ -42,11 +45,13 @@
 
 mod events;
 mod policy_kind;
+mod rebalance;
 mod single_flight;
 mod watchman;
 
 pub use events::{CacheEvent, CacheObserver, EventCounters};
 pub use policy_kind::PolicyKind;
+pub use rebalance::{RebalanceConfig, RebalanceOutcome};
 pub use watchman::{KeyNormalizer, Lookup, LookupSource, StatsSnapshot, Watchman, WatchmanBuilder};
 
 #[cfg(test)]
@@ -127,7 +132,94 @@ mod tests {
         for shards in [1, 3, 7, 8] {
             let engine = engine(shards, 1_000_003);
             assert_eq!(engine.capacity_bytes(), 1_000_003, "{shards} shards");
+            assert_eq!(
+                engine.shard_capacities().iter().sum::<u64>(),
+                1_000_003,
+                "{shards} shards"
+            );
         }
+    }
+
+    #[test]
+    fn tiny_capacity_never_creates_zero_byte_shards() {
+        // capacity < shards: an even split would hand some shards 0 bytes,
+        // silently voiding their slice of the keyspace.  The builder clamps
+        // the shard count instead.
+        let engine = engine(8, 3);
+        assert_eq!(engine.shard_count(), 3);
+        assert_eq!(engine.capacity_bytes(), 3);
+        assert!(engine
+            .shard_capacities()
+            .iter()
+            .all(|&capacity| capacity >= 1));
+        // Every shard can now hold data: a 1-byte set may lose the admission
+        // test, but it must never be turned away for lack of any capacity.
+        for i in 0..20 {
+            let outcome = engine.insert(
+                key(&format!("tiny-{i}")),
+                SizedPayload::new(1),
+                ExecutionCost::from_blocks(10),
+                ts(i + 1),
+            );
+            assert!(
+                !matches!(
+                    outcome,
+                    crate::policy::InsertOutcome::Rejected(
+                        crate::policy::RejectReason::ZeroCapacity
+                    )
+                ),
+                "1-byte set must never see ZeroCapacity, got {outcome}"
+            );
+        }
+        // A zero-capacity engine still keeps its configured shard count: the
+        // whole cache is deliberately inert, not misconfigured.
+        let zero = engine_with(4, 0);
+        assert_eq!(zero.shard_count(), 4);
+        assert_eq!(zero.capacity_bytes(), 0);
+    }
+
+    fn engine_with(shards: usize, capacity: u64) -> Watchman<SizedPayload> {
+        Watchman::builder()
+            .shards(shards)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(capacity)
+            .build()
+    }
+
+    #[test]
+    fn refresh_that_grows_payload_reports_its_evictions() {
+        // Regression: a re-insert of a cached key whose payload grew used to
+        // report AlreadyCached with no eviction information, so observer
+        // mirrors kept the displaced keys forever.
+        let counters = Arc::new(EventCounters::new());
+        let deps = Arc::new(crate::coherence::DependencyObserver::new(
+            |key: &QueryKey| vec![format!("REL_{}", key.text())],
+        ));
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::Lru)
+            .capacity_bytes(300)
+            .observer(Arc::clone(&counters) as Arc<dyn CacheObserver>)
+            .observer(Arc::clone(&deps) as Arc<dyn CacheObserver>)
+            .build();
+        let cost = ExecutionCost::from_blocks(100);
+        engine.insert(key("a"), SizedPayload::new(100), cost, ts(1));
+        engine.insert(key("b"), SizedPayload::new(100), cost, ts(2));
+        assert_eq!(deps.affected_by("REL_b"), vec![key("b")]);
+
+        // Refresh "a" with a payload so large that "b" must be evicted.
+        let outcome = engine.insert(key("a"), SizedPayload::new(250), cost, ts(3));
+        assert_eq!(outcome.evicted(), &[key("b")]);
+        assert!(outcome.is_cached());
+        assert!(!outcome.is_admitted(), "a refresh is not a new admission");
+        assert!(!engine.contains(&key("b")));
+        assert_eq!(counters.evicted(), 1, "the eviction must be published");
+        assert_eq!(counters.admitted(), 2, "a refresh emits no Admitted event");
+        assert!(
+            deps.affected_by("REL_b").is_empty(),
+            "the dependency mirror must drop the evicted key"
+        );
+        assert_eq!(deps.affected_by("REL_a"), vec![key("a")]);
     }
 
     #[test]
@@ -164,6 +256,125 @@ mod tests {
             ts(10),
         );
         assert_eq!(counters.rejected(), 1);
+    }
+
+    /// Classifies `count` generated keys by the shard they hash to, by
+    /// probing a throwaway engine and watching per-shard occupancy grow.
+    fn keys_by_shard(shards: usize, count: usize) -> Vec<Vec<QueryKey>> {
+        let probe = engine_with(shards, 1 << 30);
+        let mut buckets = vec![Vec::new(); shards];
+        let mut previous = vec![0u64; shards];
+        for i in 0..count {
+            let k = key(&format!("classify-{i}"));
+            probe.insert(
+                k.clone(),
+                SizedPayload::new(1),
+                ExecutionCost::from_blocks(1),
+                ts(i as u64 + 1),
+            );
+            let snapshot = probe.stats_snapshot();
+            for (shard, bucket) in buckets.iter_mut().enumerate() {
+                if snapshot.per_shard_used[shard] != previous[shard] {
+                    bucket.push(k.clone());
+                }
+                previous[shard] = snapshot.per_shard_used[shard];
+            }
+        }
+        buckets
+    }
+
+    #[test]
+    fn rebalancer_moves_capacity_to_the_starved_shard() {
+        const TOTAL: u64 = 20_000;
+        let counters = Arc::new(EventCounters::new());
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(2)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(TOTAL)
+            .rebalance(
+                RebalanceConfig::new()
+                    .with_interval(u64::MAX) // driven manually below
+                    .with_min_shard_fraction(0.25)
+                    .with_step_fraction(0.1),
+            )
+            .observer(Arc::clone(&counters) as Arc<dyn CacheObserver>)
+            .build();
+        let buckets = keys_by_shard(2, 120);
+        // Shard 0 sees a hot working set of valuable summaries that does not
+        // fit its static half; shard 1 sees only one-off junk.
+        let hot: Vec<_> = buckets[0].iter().take(15).cloned().collect();
+        let junk: Vec<_> = buckets[1].clone();
+        assert!(
+            hot.len() == 15 && junk.len() >= 20,
+            "probe found too few keys"
+        );
+
+        let mut now = 0u64;
+        let mut junk_round = 0usize;
+        for round in 0..60u64 {
+            for k in &hot {
+                now += 1_000;
+                engine.get_or_execute(&k.clone(), ts(now), || {
+                    (
+                        SizedPayload::new(1_000),
+                        ExecutionCost::from_blocks(100_000),
+                    )
+                });
+            }
+            // A couple of never-repeating junk queries per round.
+            for _ in 0..2 {
+                let k = &junk[junk_round % junk.len()];
+                junk_round += 1;
+                now += 1_000;
+                engine.get_or_execute(&k.clone(), ts(now), || {
+                    (SizedPayload::new(2_000), ExecutionCost::from_blocks(1))
+                });
+            }
+            if round % 3 == 2 {
+                engine.rebalance_now(ts(now));
+            }
+            // The invariants hold at every step, not just at the end.
+            let snapshot = engine.stats_snapshot();
+            assert_eq!(
+                snapshot.per_shard_capacity.iter().sum::<u64>(),
+                TOTAL,
+                "capacity must be conserved across rebalances"
+            );
+            for shard in 0..2 {
+                assert!(
+                    snapshot.per_shard_used[shard] <= snapshot.per_shard_capacity[shard],
+                    "occupancy invariant violated on shard {shard}"
+                );
+            }
+        }
+
+        let capacities = engine.shard_capacities();
+        let floor = (0.25 * (TOTAL / 2) as f64) as u64;
+        assert!(
+            engine.rebalance_count() > 0,
+            "the starved shard must have attracted capacity"
+        );
+        assert!(
+            capacities[0] > capacities[1],
+            "capacity must flow toward the hot shard: {capacities:?}"
+        );
+        assert!(
+            capacities.iter().all(|&c| c >= floor),
+            "no shard may fall below the floor: {capacities:?}"
+        );
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.rebalances, engine.rebalance_count());
+        assert_eq!(snapshot.capacity_bytes, TOTAL);
+        // The donor's shrink evictions were published to observers.
+        assert!(counters.evicted() > 0);
+    }
+
+    #[test]
+    fn rebalance_now_without_configuration_is_inert() {
+        let engine = engine(4, 1 << 20);
+        assert!(engine.rebalance_now(ts(1)).is_none());
+        assert_eq!(engine.rebalance_count(), 0);
+        assert_eq!(engine.stats_snapshot().rebalances, 0);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The sharded concurrent cache engine.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::clock::Timestamp;
 use crate::coherence::DependencyIndex;
 use crate::engine::events::{CacheEvent, CacheObserver};
 use crate::engine::policy_kind::PolicyKind;
+use crate::engine::rebalance::{plan_transfer, RebalanceConfig, RebalanceOutcome, ShardSignal};
 use crate::engine::single_flight::{Flight, FlightOutcome};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
@@ -76,12 +78,23 @@ pub struct Lookup<V> {
 }
 
 /// An owned, aggregated snapshot of the engine's statistics.
+///
+/// The snapshot is *atomic*: every shard is locked for the duration of the
+/// read, so the per-shard capacities always sum to the configured total even
+/// while a rebalance pass is moving bytes between shards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Counters summed across every shard.
     pub total: CacheStats,
     /// The per-shard counters, indexed by shard.
     pub per_shard: Vec<CacheStats>,
+    /// The per-shard capacities in bytes, indexed by shard.  With
+    /// rebalancing enabled these drift away from the static `total/N` split
+    /// toward the profit-heavy shards; they always sum to `capacity_bytes`.
+    pub per_shard_capacity: Vec<u64>,
+    /// The per-shard occupancies in bytes, indexed by shard.  Each entry is
+    /// bounded by the matching `per_shard_capacity` entry.
+    pub per_shard_used: Vec<u64>,
     /// Bytes currently cached, summed across shards.
     pub used_bytes: u64,
     /// Total configured capacity across shards.
@@ -89,8 +102,10 @@ pub struct StatsSnapshot {
     /// Number of cached retrieved sets across shards.
     pub entries: usize,
     /// Number of misses whose execution was coalesced into another session's
-    /// in-flight query instead of re-executing.
+    /// in-flight query instead of re-executing.  Equals `total.coalesced`.
     pub coalesced_misses: u64,
+    /// Number of capacity transfers the rebalancer has performed.
+    pub rebalances: u64,
 }
 
 impl StatsSnapshot {
@@ -122,12 +137,46 @@ impl<V> Shard<V> {
     }
 }
 
+/// The rebalancer's mutable bookkeeping, behind one mutex that also
+/// serializes passes — a session that finds it busy simply skips its turn.
+struct RebalancePassState {
+    /// Per-shard cumulative pressure (rejections + evictions) observed at
+    /// the previous pass.
+    last_pressure: Vec<u64>,
+    /// Exponentially smoothed per-shard step gain ([`QueryCache::grow_gain`]).
+    /// Instantaneous profit estimates spike transiently — a single valuable
+    /// eviction inflates a shard's retained store for several passes — and
+    /// paying real evictions for a spike is how a rebalancer starts
+    /// thrashing.  Smoothing across passes lets only *persistent* starvation
+    /// attract capacity.
+    smoothed_gain: Vec<f64>,
+    /// Exponentially smoothed per-shard step loss ([`QueryCache::shrink_loss`]).
+    smoothed_loss: Vec<f64>,
+    /// Number of passes run (including ones that moved nothing).
+    pass_index: u64,
+    /// The last executed transfer, as (donor, recipient, pass_index).
+    /// Shrinking a shard feeds its own starvation signal (the evicted sets
+    /// land in its retained store), so an unchecked planner slowly sloshes
+    /// capacity back and forth between two shards; refusing to reverse the
+    /// most recent transfer for a cooldown period breaks that feedback loop.
+    last_transfer: Option<(usize, usize, u64)>,
+}
+
+struct RebalancerState {
+    config: RebalanceConfig,
+    ops: AtomicU64,
+    rebalances: AtomicU64,
+    pass: Mutex<RebalancePassState>,
+}
+
 struct Inner<V> {
     shards: Vec<Shard<V>>,
     observers: Vec<Arc<dyn CacheObserver>>,
     normalizer: KeyNormalizer,
     policy: PolicyKind,
-    coalesced_misses: std::sync::atomic::AtomicU64,
+    total_capacity_bytes: u64,
+    coalesced_misses: AtomicU64,
+    rebalancer: Option<RebalancerState>,
 }
 
 /// Configures and builds a [`Watchman`] engine.
@@ -150,6 +199,7 @@ pub struct WatchmanBuilder<V> {
     capacity_bytes: u64,
     normalizer: KeyNormalizer,
     observers: Vec<Arc<dyn CacheObserver>>,
+    rebalance: Option<RebalanceConfig>,
     _payload: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -161,6 +211,7 @@ impl<V> std::fmt::Debug for WatchmanBuilder<V> {
             .field("capacity_bytes", &self.capacity_bytes)
             .field("normalizer", &self.normalizer)
             .field("observers", &self.observers.len())
+            .field("rebalance", &self.rebalance)
             .finish()
     }
 }
@@ -173,6 +224,7 @@ impl<V> Default for WatchmanBuilder<V> {
             capacity_bytes: 0,
             normalizer: KeyNormalizer::Exact,
             observers: Vec::new(),
+            rebalance: None,
             _payload: std::marker::PhantomData,
         }
     }
@@ -219,15 +271,41 @@ impl<V> WatchmanBuilder<V> {
         self
     }
 
+    /// Enables profit-aware capacity rebalancing between shards.
+    ///
+    /// Without this, every shard keeps its static `total/N` split for the
+    /// engine's lifetime.  See [`RebalanceConfig`] for the profit signal and
+    /// pass mechanics.
+    pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = Some(config.sanitized());
+        self
+    }
+
     /// Builds the engine.
+    ///
+    /// The configured capacity is split evenly across shards (any division
+    /// remainder goes to the first shards, so the shard capacities always sum
+    /// to the configured total).  When the total capacity is positive but
+    /// smaller than the shard count, the shard count is clamped down so that
+    /// no shard is created with zero bytes — an even `total/N` split would
+    /// otherwise leave shards that reject every insert with `ZeroCapacity`.
     pub fn build(self) -> Watchman<V>
     where
         V: CachePayload + Send + Sync + 'static,
     {
-        let shard_count = self.shards as u64;
-        let base = self.capacity_bytes / shard_count;
-        let remainder = self.capacity_bytes % shard_count;
-        let shards = (0..self.shards)
+        // Clamp away zero-byte shards: with 0 < capacity < shards an even
+        // split would hand some shards 0 bytes, silently voiding the slice of
+        // the keyspace hashed onto them.
+        let shard_count = if self.capacity_bytes == 0 {
+            self.shards
+        } else {
+            self.shards
+                .min(usize::try_from(self.capacity_bytes).unwrap_or(usize::MAX))
+                .max(1)
+        };
+        let base = self.capacity_bytes / shard_count as u64;
+        let remainder = self.capacity_bytes % shard_count as u64;
+        let shards: Vec<Shard<V>> = (0..shard_count)
             .map(|i| {
                 // Distribute the division remainder so capacities sum exactly.
                 let capacity = base + u64::from((i as u64) < remainder);
@@ -239,13 +317,27 @@ impl<V> WatchmanBuilder<V> {
                 }
             })
             .collect();
+        let rebalancer = self.rebalance.map(|config| RebalancerState {
+            config,
+            ops: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            pass: Mutex::new(RebalancePassState {
+                last_pressure: vec![0; shard_count],
+                smoothed_gain: vec![0.0; shard_count],
+                smoothed_loss: vec![0.0; shard_count],
+                pass_index: 0,
+                last_transfer: None,
+            }),
+        });
         Watchman {
             inner: Arc::new(Inner {
                 shards,
                 observers: self.observers,
                 normalizer: self.normalizer,
                 policy: self.policy,
-                coalesced_misses: std::sync::atomic::AtomicU64::new(0),
+                total_capacity_bytes: self.capacity_bytes,
+                coalesced_misses: AtomicU64::new(0),
+                rebalancer,
             }),
         }
     }
@@ -383,8 +475,154 @@ where
                     shard,
                 }]
             }
-            InsertOutcome::AlreadyCached => Vec::new(),
+            // A refresh emits no Admitted event (the key was already
+            // resident), but a refresh whose payload grew may still have
+            // evicted victims — observers mirroring cache contents must see
+            // those removals or they keep stale keys.
+            InsertOutcome::AlreadyCached { evicted } => evicted
+                .iter()
+                .map(|victim| CacheEvent::Evicted {
+                    key: victim.clone(),
+                    shard,
+                })
+                .collect(),
         }
+    }
+
+    /// Counts one engine operation toward the rebalance interval, running a
+    /// rebalance pass when the interval elapses.  Must be called with **no
+    /// shard lock held**.
+    fn tick(&self, now: Timestamp) {
+        let Some(rb) = &self.inner.rebalancer else {
+            return;
+        };
+        if self.inner.shards.len() < 2 {
+            return;
+        }
+        let ops = rb.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if ops % rb.config.interval == 0 {
+            self.rebalance_pass(now, false);
+        }
+    }
+
+    /// Runs one rebalance pass immediately, regardless of the operation
+    /// counter, and returns what it did (or `None` when rebalancing is not
+    /// configured, another pass is in flight, or the shard signals do not
+    /// justify a move).  Exposed for deterministic tests and drivers that
+    /// prefer explicit scheduling over the operation-count trigger.
+    pub fn rebalance_now(&self, now: Timestamp) -> Option<RebalanceOutcome> {
+        self.rebalance_pass(now, true)
+    }
+
+    fn rebalance_pass(&self, now: Timestamp, block: bool) -> Option<RebalanceOutcome> {
+        let rb = self.inner.rebalancer.as_ref()?;
+        if self.inner.shards.len() < 2 {
+            return None;
+        }
+        // The pass state mutex serializes passes; an op-triggered pass that
+        // finds it busy skips its turn rather than queueing behind it.
+        let mut pass = if block {
+            rb.pass
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        } else {
+            match rb.pass.try_lock() {
+                Ok(guard) => guard,
+                Err(_) => return None,
+            }
+        };
+
+        let total = self.inner.total_capacity_bytes;
+        let floor = rb.config.floor_bytes(total, self.inner.shards.len());
+        let step = rb.config.step_bytes(total, self.inner.shards.len());
+
+        // Observe every shard's signal (one shard lock at a time) and fold
+        // it into the exponentially smoothed per-shard gain/loss estimates:
+        // instantaneous profit estimates spike (one valuable eviction
+        // inflates a shard's retained store for a few passes), and paying
+        // real evictions for a spike is how a rebalancer starts thrashing.
+        const SMOOTHING: f64 = 0.4;
+        let mut signals = Vec::with_capacity(self.inner.shards.len());
+        let mut cumulative = Vec::with_capacity(self.inner.shards.len());
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let state = shard.lock();
+            let mut signal =
+                ShardSignal::observe(state.cache.as_ref(), pass.last_pressure[i], step, now);
+            cumulative.push(pass.last_pressure[i] + signal.pressure);
+            pass.smoothed_loss[i] =
+                (1.0 - SMOOTHING) * pass.smoothed_loss[i] + SMOOTHING * signal.loss.value();
+            signal.loss = crate::profit::Profit::new(pass.smoothed_loss[i]);
+            if let Some(gain) = signal.gain {
+                pass.smoothed_gain[i] =
+                    (1.0 - SMOOTHING) * pass.smoothed_gain[i] + SMOOTHING * gain.value();
+                signal.gain = Some(crate::profit::Profit::new(pass.smoothed_gain[i]));
+            }
+            signals.push(signal);
+        }
+        pass.last_pressure.copy_from_slice(&cumulative);
+        pass.pass_index += 1;
+
+        let (donor, recipient, amount) = plan_transfer(&signals, floor, step)?;
+        // Refuse to reverse the most recent transfer for a while (see
+        // `RebalancePassState::last_transfer`).
+        const REVERSAL_COOLDOWN_PASSES: u64 = 24;
+        if let Some((last_donor, last_recipient, at)) = pass.last_transfer {
+            if donor == last_recipient
+                && recipient == last_donor
+                && pass.pass_index.saturating_sub(at) < REVERSAL_COOLDOWN_PASSES
+            {
+                return None;
+            }
+        }
+
+        // Transfer under BOTH shard locks (acquired in index order, the same
+        // order every multi-lock path uses) so Σ capacity == total holds at
+        // every point another thread can observe.
+        let (low, high) = (donor.min(recipient), donor.max(recipient));
+        let mut low_guard = self.inner.shards[low].lock();
+        let mut high_guard = self.inner.shards[high].lock();
+        let (donor_state, recipient_state) = if donor < recipient {
+            (&mut *low_guard, &mut *high_guard)
+        } else {
+            (&mut *high_guard, &mut *low_guard)
+        };
+        let donor_capacity = donor_state.cache.capacity_bytes();
+        let recipient_capacity = recipient_state.cache.capacity_bytes();
+        // Capacities only change under the pass mutex we hold, so the
+        // planned amount is still valid; be defensive anyway.
+        let amount = amount.min(donor_capacity.saturating_sub(floor));
+        if amount == 0 {
+            return None;
+        }
+        let evicted = donor_state
+            .cache
+            .set_capacity_bytes(donor_capacity - amount, now);
+        recipient_state
+            .cache
+            .set_capacity_bytes(recipient_capacity + amount, now);
+        // The donor's evictions are real removals: publish them (under the
+        // donor's lock, like every other eviction) so observer mirrors stay
+        // exact.
+        if !self.inner.observers.is_empty() {
+            let events = evicted
+                .iter()
+                .map(|key| CacheEvent::Evicted {
+                    key: key.clone(),
+                    shard: donor,
+                })
+                .collect();
+            self.emit(events);
+        }
+        drop(high_guard);
+        drop(low_guard);
+        pass.last_transfer = Some((donor, recipient, pass.pass_index));
+        rb.rebalances.fetch_add(1, Ordering::Relaxed);
+        Some(RebalanceOutcome {
+            donor,
+            recipient,
+            moved_bytes: amount,
+            evicted,
+        })
     }
 
     /// Looks up the retrieved set for `key`, recording one query reference.
@@ -394,6 +632,7 @@ where
     /// [`Watchman::get_or_execute`], which additionally deduplicates
     /// concurrent executions.
     pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<Arc<V>> {
+        self.tick(now);
         let key = self.inner.normalizer.apply(key);
         let index = self.shard_index(&key);
         let mut shard = self.inner.shards[index].lock();
@@ -419,6 +658,7 @@ where
         cost: ExecutionCost,
         now: Timestamp,
     ) -> InsertOutcome {
+        self.tick(now);
         let key = self.inner.normalizer.apply(&key);
         let index = self.shard_index(&key);
         let size_bytes = value.size_bytes();
@@ -443,6 +683,7 @@ where
     where
         F: FnOnce() -> (V, ExecutionCost),
     {
+        self.tick(now);
         let key = self.inner.normalizer.apply(key);
         let index = self.shard_index(&key);
         let shard = &self.inner.shards[index];
@@ -470,10 +711,16 @@ where
 
             match flight {
                 FlightRole::Waiter(flight) => match flight.wait() {
-                    FlightOutcome::Done(value, _cost) => {
-                        self.inner
-                            .coalesced_misses
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    FlightOutcome::Done(value, cost) => {
+                        // A coalesced wait is still one logical reference
+                        // (one-call-per-reference protocol): account it as
+                        // hit-equivalent at the leader's observed cost so
+                        // CSR/HR denominators cover every reference.
+                        {
+                            let mut state = self.inner.shards[index].lock();
+                            state.cache.record_coalesced_reference(cost);
+                        }
+                        self.inner.coalesced_misses.fetch_add(1, Ordering::Relaxed);
                         return Lookup {
                             value,
                             source: LookupSource::Coalesced,
@@ -580,12 +827,26 @@ where
     }
 
     /// Total configured capacity across all shards.
+    ///
+    /// Rebalancing moves capacity *between* shards but never changes the
+    /// total, so this is a constant established at build time.
     pub fn capacity_bytes(&self) -> u64 {
+        self.inner.total_capacity_bytes
+    }
+
+    /// The current per-shard capacities in bytes (an atomic snapshot: they
+    /// always sum to [`Watchman::capacity_bytes`]).
+    pub fn shard_capacities(&self) -> Vec<u64> {
+        let guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        guards.iter().map(|s| s.cache.capacity_bytes()).collect()
+    }
+
+    /// Number of capacity transfers the rebalancer has performed.
+    pub fn rebalance_count(&self) -> u64 {
         self.inner
-            .shards
-            .iter()
-            .map(|s| s.lock().cache.capacity_bytes())
-            .sum()
+            .rebalancer
+            .as_ref()
+            .map_or(0, |rb| rb.rebalances.load(Ordering::Relaxed))
     }
 
     /// Fraction of capacity currently in use.
@@ -623,33 +884,48 @@ where
         total
     }
 
-    /// A full owned snapshot: aggregate and per-shard counters, occupancy and
-    /// single-flight coalescing.
+    /// A full owned snapshot: aggregate and per-shard counters, occupancies,
+    /// capacities, single-flight coalescing and rebalancing activity.
+    ///
+    /// Every shard is locked for the duration of the read (in index order,
+    /// consistent with the rebalancer's lock order), so the snapshot is
+    /// internally consistent: per-shard capacities sum to the configured
+    /// total even while a rebalance pass runs concurrently.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         let mut total = CacheStats::new();
-        let mut per_shard = Vec::with_capacity(self.inner.shards.len());
+        let mut per_shard = Vec::with_capacity(guards.len());
+        let mut per_shard_capacity = Vec::with_capacity(guards.len());
+        let mut per_shard_used = Vec::with_capacity(guards.len());
         let mut used_bytes = 0;
         let mut capacity_bytes = 0;
         let mut entries = 0;
-        for shard in &self.inner.shards {
-            let state = shard.lock();
+        for state in &guards {
             let stats = state.cache.stats_snapshot();
             total.merge(&stats);
             per_shard.push(stats);
-            used_bytes += state.cache.used_bytes();
-            capacity_bytes += state.cache.capacity_bytes();
+            let used = state.cache.used_bytes();
+            let capacity = state.cache.capacity_bytes();
+            per_shard_used.push(used);
+            per_shard_capacity.push(capacity);
+            used_bytes += used;
+            capacity_bytes += capacity;
             entries += state.cache.len();
         }
         StatsSnapshot {
             total,
             per_shard,
+            per_shard_capacity,
+            per_shard_used,
             used_bytes,
             capacity_bytes,
             entries,
-            coalesced_misses: self
+            coalesced_misses: self.inner.coalesced_misses.load(Ordering::Relaxed),
+            rebalances: self
                 .inner
-                .coalesced_misses
-                .load(std::sync::atomic::Ordering::Relaxed),
+                .rebalancer
+                .as_ref()
+                .map_or(0, |rb| rb.rebalances.load(Ordering::Relaxed)),
         }
     }
 }

@@ -108,8 +108,8 @@ pub mod prelude {
         invalidate_affected, DependencyIndex, DependencyObserver, InvalidationReport,
     };
     pub use crate::engine::{
-        CacheEvent, CacheObserver, KeyNormalizer, Lookup, LookupSource, PolicyKind, StatsSnapshot,
-        Watchman,
+        CacheEvent, CacheObserver, KeyNormalizer, Lookup, LookupSource, PolicyKind,
+        RebalanceConfig, RebalanceOutcome, StatsSnapshot, Watchman,
     };
     pub use crate::history::ReferenceHistory;
     pub use crate::key::{QueryKey, Signature};

@@ -20,16 +20,24 @@ use crate::value::ExecutionCost;
 /// Counters accumulated by a cache policy over its lifetime.
 ///
 /// The counting protocol is: every logical query reference results in exactly
-/// one [`record_hit`](CacheStats::record_hit) *or* one
-/// [`record_miss`](CacheStats::record_miss) call (policies do this from their
-/// `get`/`insert` implementations), so `references = hits + misses` and the
-/// cost accumulators cover every reference exactly once.
+/// one [`record_hit`](CacheStats::record_hit), one
+/// [`record_miss`](CacheStats::record_miss) *or* one
+/// [`record_coalesced`](CacheStats::record_coalesced) call (policies record
+/// hits and misses from their `get`/`insert` implementations; the concurrent
+/// engine records coalesced single-flight references), so
+/// `references = hits + coalesced + misses` and the cost accumulators cover
+/// every reference exactly once.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Total number of query references observed.
     pub references: u64,
     /// References satisfied from the cache.
     pub hits: u64,
+    /// References satisfied by waiting on another session's in-flight
+    /// execution of the same query (single-flight coalescing).  Like a hit,
+    /// a coalesced reference saves its full execution cost; unlike a hit, the
+    /// retrieved set was not yet cached when the reference arrived.
+    pub coalesced: u64,
     /// Σ cᵢ over all references (the CSR denominator).
     pub total_cost: f64,
     /// Σ cᵢ over references satisfied from cache (the CSR numerator).
@@ -68,6 +76,16 @@ impl CacheStats {
         self.total_cost += cost.value();
     }
 
+    /// Records a reference that was satisfied by coalescing onto another
+    /// session's in-flight execution of the same query (hit-equivalent at the
+    /// leader's observed cost: the reference saved `cost` without executing).
+    pub fn record_coalesced(&mut self, cost: ExecutionCost) {
+        self.references += 1;
+        self.coalesced += 1;
+        self.total_cost += cost.value();
+        self.saved_cost += cost.value();
+    }
+
     /// Records the outcome of an admission attempt.
     pub fn record_admission(&mut self, admitted: bool) {
         self.insertions_offered += 1;
@@ -84,17 +102,21 @@ impl CacheStats {
         self.bytes_evicted += size_bytes;
     }
 
-    /// Number of references that missed the cache.
+    /// Number of references that missed the cache and paid their execution
+    /// cost (coalesced references neither hit nor paid).
     pub fn misses(&self) -> u64 {
-        self.references - self.hits
+        self.references - self.hits - self.coalesced
     }
 
     /// The hit ratio `HR` (Eq. 17); zero when no reference has been observed.
+    ///
+    /// Coalesced references count as satisfied: they were answered without
+    /// executing the query, exactly like cache hits.
     pub fn hit_ratio(&self) -> f64 {
         if self.references == 0 {
             0.0
         } else {
-            self.hits as f64 / self.references as f64
+            (self.hits + self.coalesced) as f64 / self.references as f64
         }
     }
 
@@ -119,6 +141,7 @@ impl CacheStats {
     pub fn merge(&mut self, other: &CacheStats) {
         self.references += other.references;
         self.hits += other.hits;
+        self.coalesced += other.coalesced;
         self.total_cost += other.total_cost;
         self.saved_cost += other.saved_cost;
         self.insertions_offered += other.insertions_offered;
@@ -247,6 +270,38 @@ mod tests {
         stats.record_miss(cost(991.0));
         assert!(stats.hit_ratio() > 0.89);
         assert!(stats.cost_savings_ratio() < 0.01);
+    }
+
+    #[test]
+    fn coalesced_references_are_hit_equivalent() {
+        let mut stats = CacheStats::new();
+        stats.record_miss(cost(100.0)); // the leader executes
+        stats.record_coalesced(cost(100.0)); // a waiter shares the result
+        stats.record_hit(cost(100.0)); // a later reference hits the cache
+        assert_eq!(stats.references, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(
+            stats.references,
+            stats.hits + stats.coalesced + stats.misses()
+        );
+        // Two of three references saved their cost.
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.cost_savings_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.incurred_cost() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_includes_coalesced() {
+        let mut a = CacheStats::new();
+        a.record_coalesced(cost(10.0));
+        let mut b = CacheStats::new();
+        b.record_coalesced(cost(5.0));
+        a.merge(&b);
+        assert_eq!(a.coalesced, 2);
+        assert_eq!(a.references, 2);
+        assert!((a.saved_cost - 15.0).abs() < 1e-12);
     }
 
     #[test]

@@ -69,15 +69,22 @@ impl<V: CachePayload> GreedyDualSizeCache<V> {
         self.inflation + Profit::estimated(cost, size_bytes).value()
     }
 
+    /// The entry GreedyDual-Size would evict next (smallest credit `H`) and
+    /// its credit.  Single source of truth for `evict_for` and
+    /// `min_cached_profit`.
+    fn victim(&self) -> Option<(EntryId, f64)> {
+        self.entries
+            .iter()
+            .map(|(id, e)| (id, e.credit))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
     fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
         let mut evicted = Vec::new();
         while self.used_bytes + needed > self.capacity_bytes {
-            let victim: Option<(EntryId, f64)> = self
-                .entries
-                .iter()
-                .map(|(id, e)| (id, e.credit))
-                .min_by(|a, b| a.1.total_cmp(&b.1));
-            let Some((id, credit)) = victim else { break };
+            let Some((id, credit)) = self.victim() else {
+                break;
+            };
             self.inflation = self.inflation.max(credit);
             if let Some(entry) = self.entries.remove(id) {
                 self.used_bytes -= entry.size_bytes;
@@ -126,8 +133,8 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
                 entry.credit = credit;
             }
             // Restore the capacity invariant if the refreshed payload grew.
-            self.evict_for(0);
-            return InsertOutcome::AlreadyCached;
+            let evicted = self.evict_for(0);
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.capacity_bytes == 0 {
@@ -179,8 +186,27 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
         self.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+        self.capacity_bytes = capacity_bytes;
+        // Shrinking below occupancy evicts the smallest-credit sets first,
+        // inflating `L` exactly as demand-driven evictions do.
+        self.evict_for(0)
+    }
+
+    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+        // GDS's next victim is the smallest-credit set; report its estimated
+        // profit `c/s` (the non-inflated part of its credit).
+        self.victim()
+            .and_then(|(id, _)| self.entries.by_id(id))
+            .map(|e| Profit::estimated(e.cost, e.size_bytes))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {

@@ -12,6 +12,7 @@ use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
 
 #[derive(Debug, Clone)]
@@ -49,16 +50,20 @@ impl<V: CachePayload> LcsCache<V> {
         }
     }
 
+    /// The entry LCS would evict next: largest first, ties broken by least
+    /// recent use.  Single source of truth for `evict_for` and
+    /// `min_cached_profit`.
+    fn victim(&self) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .max_by_key(|(_, e)| (e.size_bytes, std::cmp::Reverse(e.last_used)))
+            .map(|(id, _)| id)
+    }
+
     fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
         let mut evicted = Vec::new();
         while self.used_bytes + needed > self.capacity_bytes {
-            // Largest first; ties broken by least recent use.
-            let victim: Option<EntryId> = self
-                .entries
-                .iter()
-                .max_by_key(|(_, e)| (e.size_bytes, std::cmp::Reverse(e.last_used)))
-                .map(|(id, _)| id);
-            let Some(id) = victim else { break };
+            let Some(id) = self.victim() else { break };
             if let Some(entry) = self.entries.remove(id) {
                 self.used_bytes -= entry.size_bytes;
                 self.stats.record_eviction(entry.size_bytes);
@@ -102,8 +107,8 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
             entry.last_used = now;
             self.used_bytes = self.used_bytes - old + size_bytes;
             // Restore the capacity invariant if the refreshed payload grew.
-            self.evict_for(0);
-            return InsertOutcome::AlreadyCached;
+            let evicted = self.evict_for(0);
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.capacity_bytes == 0 {
@@ -154,8 +159,26 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
         self.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+        self.capacity_bytes = capacity_bytes;
+        // Shrinking below occupancy evicts the largest sets first.
+        self.evict_for(0)
+    }
+
+    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+        // LCS's next victim is the largest set; report its estimated profit
+        // (Eq. 6) since LCS keeps no rate estimate.
+        self.victim()
+            .and_then(|id| self.entries.by_id(id))
+            .map(|e| Profit::estimated(e.cost, e.size_bytes))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {
@@ -256,7 +279,7 @@ mod tests {
         assert!(cache.get(&key("a"), ts(2)).is_some());
         assert_eq!(
             insert(&mut cache, "a", 150, 3),
-            InsertOutcome::AlreadyCached
+            InsertOutcome::already_cached()
         );
         assert_eq!(cache.used_bytes(), 150);
         assert_eq!(cache.stats().hits, 1);

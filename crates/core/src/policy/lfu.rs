@@ -11,6 +11,7 @@ use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
 
 #[derive(Debug, Clone)]
@@ -49,15 +50,20 @@ impl<V: CachePayload> LfuCache<V> {
         }
     }
 
+    /// The entry LFU would evict next: fewest references, ties broken by
+    /// least-recent use.  Single source of truth for `evict_for` and
+    /// `min_cached_profit`.
+    fn victim(&self) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| (e.references, e.last_used))
+            .map(|(id, _)| id)
+    }
+
     fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
         let mut evicted = Vec::new();
         while self.used_bytes + needed > self.capacity_bytes {
-            let victim: Option<EntryId> = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| (e.references, e.last_used))
-                .map(|(id, _)| id);
-            let Some(id) = victim else { break };
+            let Some(id) = self.victim() else { break };
             if let Some(entry) = self.entries.remove(id) {
                 self.used_bytes -= entry.size_bytes;
                 self.stats.record_eviction(entry.size_bytes);
@@ -103,8 +109,8 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
             entry.last_used = now;
             self.used_bytes = self.used_bytes - old + size_bytes;
             // Restore the capacity invariant if the refreshed payload grew.
-            self.evict_for(0);
-            return InsertOutcome::AlreadyCached;
+            let evicted = self.evict_for(0);
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.capacity_bytes == 0 {
@@ -156,8 +162,26 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
         self.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+        self.capacity_bytes = capacity_bytes;
+        // Shrinking below occupancy evicts least-frequently-used sets first.
+        self.evict_for(0)
+    }
+
+    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+        // LFU's next victim is the least-referenced set; report its estimated
+        // profit (Eq. 6) since LFU keeps no rate estimate.
+        self.victim()
+            .and_then(|id| self.entries.by_id(id))
+            .map(|e| Profit::estimated(e.cost, e.size_bytes))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {
@@ -257,7 +281,7 @@ mod tests {
         insert(&mut cache, "a", 100, 1);
         assert_eq!(
             insert(&mut cache, "a", 100, 2),
-            InsertOutcome::AlreadyCached
+            InsertOutcome::already_cached()
         );
         insert(&mut cache, "b", 100, 3);
         insert(&mut cache, "c", 100, 4);

@@ -338,7 +338,13 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
 
     fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
         if let Some(entry) = self.entries.get_mut(key) {
-            entry.history.record(now);
+            // Skip duplicate timestamps: a single-flight waiter retrying
+            // after an abandoned flight re-issues the same logical
+            // reference, and its first pass may already sit in the history
+            // via promoted retained information (§2.4).
+            if entry.history.last_reference() != Some(now) {
+                entry.history.record(now);
+            }
             let cost = entry.cost;
             self.stats.record_hit(cost);
             // Re-borrow immutably for the return value.
@@ -368,17 +374,20 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
             entry.value = value;
             entry.cost = cost;
             entry.size_bytes = size_bytes;
-            entry.history.record(now);
+            if entry.history.last_reference() != Some(now) {
+                entry.history.record(now);
+            }
             self.used_bytes = self.used_bytes - old_size + size_bytes;
             // If the refreshed payload grew, restore the capacity invariant by
             // evicting the lowest-profit sets (possibly the refreshed one).
+            let mut evicted = Vec::new();
             if self.used_bytes > self.config.capacity_bytes {
                 let needed = self.used_bytes - self.config.capacity_bytes;
                 if let Some(victims) = self.select_victims(needed, now) {
-                    self.evict(victims, now);
+                    evicted = self.evict(victims, now);
                 }
             }
-            return InsertOutcome::AlreadyCached;
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.config.capacity_bytes == 0 {
@@ -470,8 +479,85 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
         self.config.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
+        self.config.capacity_bytes = capacity_bytes;
+        if self.used_bytes <= capacity_bytes {
+            return Vec::new();
+        }
+        // Shrink below occupancy: run LNC-R over the full cache to free the
+        // overshoot, lowest-profit victims first.
+        let needed = self.used_bytes - capacity_bytes;
+        match self.select_victims(needed, now) {
+            Some(victims) => {
+                let evicted = self.evict(victims, now);
+                debug_assert!(self.used_bytes <= self.config.capacity_bytes);
+                evicted
+            }
+            // Unreachable: evicting everything always frees `needed`.
+            None => Vec::new(),
+        }
+    }
+
+    fn min_cached_profit(&self, now: Timestamp) -> Option<Profit> {
+        LncCache::min_cached_profit(self, now)
+    }
+
+    fn max_retained_profit(&self, now: Timestamp) -> Option<Profit> {
+        self.retained.iter().map(|info| info.profit(now)).max()
+    }
+
+    fn shrink_loss(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+        // Shrinking into free space costs nothing.
+        let free = self.config.capacity_bytes.saturating_sub(self.used_bytes);
+        if bytes <= free || self.entries.is_empty() {
+            return Some(Profit::ZERO);
+        }
+        // Price the victims LNC-R would actually pick for this shrink.
+        let needed = (bytes - free).min(self.used_bytes);
+        let victims = self.select_victims(needed, now)?;
+        Some(Profit::of_list(victims.iter().filter_map(|&id| {
+            self.entries
+                .by_id(id)
+                .map(|e| (e.history.rate(now).unwrap_or(0.0), e.cost, e.size_bytes))
+        })))
+    }
+
+    fn grow_gain(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+        if bytes == 0 || self.retained.is_empty() {
+            return Some(Profit::ZERO);
+        }
+        // Greedily pack the most profitable retained (denied-residency) sets
+        // into the hypothetical extra capacity.
+        let mut candidates: Vec<(Profit, ExecutionCost, u64, f64)> = self
+            .retained
+            .iter()
+            .map(|info| {
+                (
+                    info.profit(now),
+                    info.cost,
+                    info.size_bytes,
+                    info.history.rate(now).unwrap_or(0.0),
+                )
+            })
+            .collect();
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+        let mut free = bytes;
+        let mut packed = Vec::new();
+        for (_, cost, size, rate) in candidates {
+            if size <= free {
+                free -= size;
+                packed.push((rate, cost, size));
+            }
+        }
+        Some(Profit::of_list(packed))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {
@@ -516,7 +602,7 @@ mod tests {
     ) -> InsertOutcome {
         let k = key(name);
         if cache.get(&k, ts(now)).is_some() {
-            return InsertOutcome::AlreadyCached;
+            return InsertOutcome::already_cached();
         }
         cache.insert(k, payload(size), cost(c), ts(now))
     }
@@ -571,7 +657,7 @@ mod tests {
         let mut cache = LncCache::lnc_ra(1_000);
         reference(&mut cache, "a", 400, 10.0, 1);
         let outcome = cache.insert(key("a"), payload(300), cost(20.0), ts(2));
-        assert_eq!(outcome, InsertOutcome::AlreadyCached);
+        assert_eq!(outcome, InsertOutcome::already_cached());
         assert_eq!(cache.used_bytes(), 300);
         assert_eq!(cache.len(), 1);
     }
@@ -679,7 +765,7 @@ mod tests {
         assert!(cache.retained_entries() > 0);
         // Re-reference the contender several times in quick succession: its
         // rate estimate becomes much higher than the residents'.
-        let mut outcome = InsertOutcome::AlreadyCached;
+        let mut outcome = InsertOutcome::already_cached();
         for t in 0..5u64 {
             let now = 1_010 + t;
             if cache.get(&key("contender"), ts(now)).is_none() {
@@ -761,6 +847,65 @@ mod tests {
         assert_eq!(cache.utilization(), 0.0);
         reference(&mut cache, "a", 250, 10.0, 1);
         assert!((cache.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_lowest_profit_first() {
+        let mut cache = LncCache::lnc_r(600);
+        // Same size and reference pattern, ascending cost → ascending profit.
+        reference(&mut cache, "cheap", 200, 1.0, 1);
+        reference(&mut cache, "mid", 200, 100.0, 2);
+        reference(&mut cache, "pricey", 200, 10_000.0, 3);
+        for t in [10u64, 20, 30] {
+            cache.get(&key("cheap"), ts(t));
+            cache.get(&key("mid"), ts(t + 1));
+            cache.get(&key("pricey"), ts(t + 2));
+        }
+        // Shrink so exactly one set must go: it must be the lowest-profit one.
+        let evicted = QueryCache::set_capacity_bytes(&mut cache, 400, ts(40));
+        assert_eq!(evicted, vec![key("cheap")]);
+        assert!(cache.contains(&key("mid")));
+        assert!(cache.contains(&key("pricey")));
+        assert_eq!(cache.capacity_bytes(), 400);
+        // The victim's reference information is retained (§2.4), so it can
+        // win its way back in later.
+        assert!(cache.retained_entries() > 0);
+        // Shrink below the next set: "mid" goes before "pricey".
+        let evicted = QueryCache::set_capacity_bytes(&mut cache, 200, ts(41));
+        assert_eq!(evicted, vec![key("mid")]);
+        assert_eq!(cache.used_bytes(), 200);
+    }
+
+    #[test]
+    fn grow_gain_prices_retained_sets() {
+        // Two residents whose aggregate profit rejects the contender while
+        // the contender's own profit still clears the §2.4 retention bar
+        // (it must beat only the *minimum* cached profit to stay retained).
+        let mut cache = LncCache::lnc_ra(400);
+        reference(&mut cache, "low", 200, 100.0, 1);
+        reference(&mut cache, "high", 200, 10_000.0, 1);
+        let outcome = cache.insert(key("contender"), payload(400), cost(400.0), ts(11));
+        assert_eq!(
+            outcome,
+            InsertOutcome::Rejected(RejectReason::AdmissionTest)
+        );
+        assert_eq!(
+            cache.retained_entries(),
+            1,
+            "the contender must be retained"
+        );
+
+        let gain = QueryCache::grow_gain(&cache, 400, ts(12)).unwrap();
+        assert!(
+            gain > Profit::ZERO,
+            "a retained denied set must make extra capacity valuable"
+        );
+        // The retained set does not fit a 10-byte grant → no gain.
+        let none = QueryCache::grow_gain(&cache, 10, ts(12)).unwrap();
+        assert_eq!(none, Profit::ZERO);
+        // Shrink loss prices the would-be victims.
+        let loss = QueryCache::shrink_loss(&cache, 200, ts(12)).unwrap();
+        assert!(loss > Profit::ZERO);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
 
 #[derive(Debug, Clone)]
@@ -67,12 +68,18 @@ impl<V: CachePayload> LruCache<V> {
         }
     }
 
+    /// The entry LRU would evict next (the oldest recency tick).  Single
+    /// source of truth for `evict_for` and `min_cached_profit`.
+    fn victim(&self) -> Option<(u64, EntryId)> {
+        self.recency.iter().next().map(|(&tick, &id)| (tick, id))
+    }
+
     /// Evicts least-recently-used entries until at least `needed` bytes are
     /// free.  Returns the evicted keys.
     fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
         let mut evicted = Vec::new();
         while self.used_bytes + needed > self.capacity_bytes {
-            let Some((&tick, &id)) = self.recency.iter().next() else {
+            let Some((tick, id)) = self.victim() else {
                 break;
             };
             self.recency.remove(&tick);
@@ -123,8 +130,8 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
             }
             self.bump(id);
             // Restore the capacity invariant if the refreshed payload grew.
-            self.evict_for(0);
-            return InsertOutcome::AlreadyCached;
+            let evicted = self.evict_for(0);
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.capacity_bytes == 0 {
@@ -179,8 +186,27 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
         self.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+        self.capacity_bytes = capacity_bytes;
+        // Shrinking below occupancy evicts least-recently-used sets first.
+        self.evict_for(0)
+    }
+
+    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+        // LRU's next victim is the least recently used set; report its
+        // estimated profit (Eq. 6) since LRU keeps no rate estimate.
+        let (_, id) = self.victim()?;
+        self.entries
+            .by_id(id)
+            .map(|e| Profit::estimated(e.cost, e.size_bytes))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {
@@ -303,7 +329,7 @@ mod tests {
         let mut cache = LruCache::new(500);
         insert(&mut cache, "a", 100, 1);
         let outcome = insert(&mut cache, "a", 200, 2);
-        assert_eq!(outcome, InsertOutcome::AlreadyCached);
+        assert_eq!(outcome, InsertOutcome::already_cached());
         assert_eq!(cache.used_bytes(), 200);
         assert_eq!(cache.len(), 1);
     }

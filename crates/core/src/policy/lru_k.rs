@@ -21,6 +21,7 @@ use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
+use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
 
 /// Configuration for [`LruKCache`].
@@ -130,15 +131,19 @@ impl<V: CachePayload> LruKCache<V> {
         }
     }
 
+    /// The entry LRU-K would evict next (greatest backward K-distance).
+    /// Single source of truth for `evict_for` and `min_cached_profit`.
+    fn victim(&self) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| Self::victim_rank(e, self.config.k))
+            .map(|(id, _)| id)
+    }
+
     fn evict_for(&mut self, needed: u64, now: Timestamp) -> Vec<QueryKey> {
         let mut evicted = Vec::new();
         while self.used_bytes + needed > self.config.capacity_bytes {
-            let victim: Option<EntryId> = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| Self::victim_rank(e, self.config.k))
-                .map(|(id, _)| id);
-            let Some(id) = victim else { break };
+            let Some(id) = self.victim() else { break };
             if let Some(entry) = self.entries.remove(id) {
                 self.used_bytes -= entry.size_bytes;
                 self.stats.record_eviction(entry.size_bytes);
@@ -181,13 +186,21 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
 
     fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
         if let Some(entry) = self.entries.get_mut(key) {
-            entry.history.record(now);
+            // Same-timestamp dedupe as below: a retried logical reference
+            // may already be in the history via a promoted retained one.
+            if entry.history.last_reference() != Some(now) {
+                entry.history.record(now);
+            }
             let cost = entry.cost;
             self.stats.record_hit(cost);
             return self.entries.get(key).map(|e| &e.value);
         }
         if let Some(retained) = self.retained.get_mut(key) {
-            retained.history.record(now);
+            // Skip duplicate timestamps: a single-flight waiter retrying after
+            // an abandoned flight re-issues the same logical reference.
+            if retained.history.last_reference() != Some(now) {
+                retained.history.record(now);
+            }
         }
         None
     }
@@ -207,11 +220,13 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
             entry.value = value;
             entry.cost = cost;
             entry.size_bytes = size_bytes;
-            entry.history.record(now);
+            if entry.history.last_reference() != Some(now) {
+                entry.history.record(now);
+            }
             self.used_bytes = self.used_bytes - old + size_bytes;
             // Restore the capacity invariant if the refreshed payload grew.
-            self.evict_for(0, now);
-            return InsertOutcome::AlreadyCached;
+            let evicted = self.evict_for(0, now);
+            return InsertOutcome::AlreadyCached { evicted };
         }
 
         if self.config.capacity_bytes == 0 {
@@ -276,8 +291,27 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
         self.config.capacity_bytes
     }
 
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
+        self.config.capacity_bytes = capacity_bytes;
+        // Shrinking below occupancy evicts by greatest backward K-distance,
+        // retaining the victims' histories like any other eviction.
+        self.evict_for(0, now)
+    }
+
+    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+        // LRU-K's next victim is the greatest-backward-K-distance set; report
+        // its estimated profit (Eq. 6) since LRU-K ignores cost and size.
+        self.victim()
+            .and_then(|id| self.entries.by_id(id))
+            .map(|e| Profit::estimated(e.cost, e.size_bytes))
+    }
+
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_coalesced(cost);
     }
 
     fn clear(&mut self) {
@@ -380,6 +414,24 @@ mod tests {
         };
         assert_eq!(entry_samples, 1);
         assert!(cache.contains(&key("a")));
+    }
+
+    #[test]
+    fn duplicate_timestamp_misses_record_once_in_retained_history() {
+        // A single-flight waiter retrying after an abandoned flight re-issues
+        // the same logical reference; the retained history must count it once.
+        let mut cache = LruKCache::with_capacity(100, 4);
+        insert(&mut cache, "a", 100, 1);
+        insert(&mut cache, "b", 100, 2); // evicts a, retains its history
+        assert!(cache.get(&key("a"), ts(5)).is_none());
+        assert!(cache.get(&key("a"), ts(5)).is_none()); // the retry
+        let samples = cache
+            .retained
+            .get(&key("a"))
+            .unwrap()
+            .history
+            .sample_count();
+        assert_eq!(samples, 2, "insert-time + one miss, not two");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::fmt;
 use crate::clock::Timestamp;
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
 
 /// Why an offered retrieved set was not admitted.
@@ -55,8 +56,16 @@ impl fmt::Display for RejectReason {
 /// The result of offering a retrieved set to the cache.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InsertOutcome {
-    /// The set was already cached; its metadata was refreshed.
-    AlreadyCached,
+    /// The set was already cached; its payload, cost and metadata were
+    /// refreshed in place.  If the refreshed payload *grew*, restoring the
+    /// capacity invariant may have evicted other sets: `evicted` lists their
+    /// keys, exactly as [`InsertOutcome::Admitted`] does, so observers
+    /// mirroring cache contents never miss a removal.
+    AlreadyCached {
+        /// Keys of the retrieved sets evicted because the refreshed payload
+        /// grew (usually empty).
+        evicted: Vec<QueryKey>,
+    },
     /// The set was admitted.  `evicted` lists the keys that were removed to
     /// make room (empty if the set fit in free space).
     Admitted {
@@ -68,12 +77,19 @@ pub enum InsertOutcome {
 }
 
 impl InsertOutcome {
+    /// An `AlreadyCached` outcome with no evictions (the common refresh case).
+    pub fn already_cached() -> Self {
+        InsertOutcome::AlreadyCached {
+            evicted: Vec::new(),
+        }
+    }
+
     /// Whether the set ended up cached (either newly admitted or already
     /// present).
     pub fn is_cached(&self) -> bool {
         matches!(
             self,
-            InsertOutcome::Admitted { .. } | InsertOutcome::AlreadyCached
+            InsertOutcome::Admitted { .. } | InsertOutcome::AlreadyCached { .. }
         )
     }
 
@@ -82,12 +98,14 @@ impl InsertOutcome {
         matches!(self, InsertOutcome::Admitted { .. })
     }
 
-    /// The keys evicted by this call (empty unless newly admitted with
-    /// evictions).
+    /// The keys evicted by this call (by a new admission, or by a refresh
+    /// whose payload grew).
     pub fn evicted(&self) -> &[QueryKey] {
         match self {
-            InsertOutcome::Admitted { evicted } => evicted,
-            _ => &[],
+            InsertOutcome::Admitted { evicted } | InsertOutcome::AlreadyCached { evicted } => {
+                evicted
+            }
+            InsertOutcome::Rejected(_) => &[],
         }
     }
 }
@@ -95,7 +113,12 @@ impl InsertOutcome {
 impl fmt::Display for InsertOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InsertOutcome::AlreadyCached => f.write_str("already cached"),
+            InsertOutcome::AlreadyCached { evicted } if evicted.is_empty() => {
+                f.write_str("already cached")
+            }
+            InsertOutcome::AlreadyCached { evicted } => {
+                write!(f, "already cached, evicted {}", evicted.len())
+            }
             InsertOutcome::Admitted { evicted } if evicted.is_empty() => f.write_str("admitted"),
             InsertOutcome::Admitted { evicted } => {
                 write!(f, "admitted, evicted {}", evicted.len())
@@ -157,8 +180,76 @@ pub trait QueryCache<V: CachePayload> {
     /// Total cache capacity in bytes.
     fn capacity_bytes(&self) -> u64;
 
+    /// Changes the cache capacity to `capacity_bytes`, returning the keys of
+    /// any sets evicted to satisfy the new bound.
+    ///
+    /// Growing (or shrinking into free space) never evicts.  Shrinking below
+    /// the current occupancy evicts sets using the policy's own victim
+    /// selection — lowest profit first for LNC-R/LNC-RA, least recently used
+    /// for LRU, and so on — until `used_bytes() <= capacity_bytes`.  The
+    /// evictions are real: they are counted in the eviction statistics and
+    /// (where the policy supports it) the victims' reference information is
+    /// retained, exactly as if an oversized insert had displaced them.  `now`
+    /// is the logical time at which victim profits are evaluated.
+    ///
+    /// This is the primitive the concurrent engine's capacity rebalancer uses
+    /// to move bytes between shards.
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey>;
+
+    /// The profit of the set the policy would evict next, or `None` when the
+    /// cache is empty.
+    ///
+    /// For LNC-R/LNC-RA this is the paper's marginal profit `λ·c/s` of the
+    /// lowest-profit cached set; the baseline policies report the estimated
+    /// profit `c/s` (Eq. 6) of their current victim.  The engine's capacity
+    /// rebalancer reads this as the *marginal loss* of shrinking a shard: a
+    /// shard whose next victim is nearly worthless gives up almost nothing.
+    fn min_cached_profit(&self, now: Timestamp) -> Option<Profit>;
+
+    /// The highest profit among sets the policy recently denied residency
+    /// (evicted or rejected) but still remembers, or `None` when the policy
+    /// does not retain such information.
+    ///
+    /// LNC-RA's §2.4 retained reference information makes this exact: it is
+    /// the `λ·c/s` of the most valuable set the cache turned away, i.e. the
+    /// *marginal gain* of giving the cache more capacity.  The engine's
+    /// rebalancer grows a shard when its marginal gain exceeds another
+    /// shard's marginal loss.  Policies without retained information return
+    /// `None` (the default) and the rebalancer falls back to
+    /// rejection/eviction pressure.
+    fn max_retained_profit(&self, _now: Timestamp) -> Option<Profit> {
+        None
+    }
+
+    /// The aggregate profit (Eq. 5: `Σλc / Σs`) of the sets this cache would
+    /// evict to shrink by `bytes` — what a capacity donation of that size
+    /// would actually cost.  `None` (the default) when the policy cannot
+    /// price a shrink; the engine's rebalancer then falls back to
+    /// [`QueryCache::min_cached_profit`].
+    fn shrink_loss(&self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
+        None
+    }
+
+    /// The aggregate profit (Eq. 5) of the most valuable denied-residency
+    /// sets that would fit into `bytes` of additional capacity — what a
+    /// capacity grant of that size could plausibly win back.  `None` (the
+    /// default) when the policy retains no such information; the engine's
+    /// rebalancer then falls back to rejection/eviction pressure.
+    fn grow_gain(&self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
+        None
+    }
+
     /// Accumulated reference / cost statistics.
     fn stats(&self) -> &CacheStats;
+
+    /// Records one query reference that was satisfied by *coalescing* onto
+    /// another session's in-flight execution of the same query (the
+    /// concurrent engine's single-flight path — the one reference the policy
+    /// cannot observe through `get`/`insert`).  Cache contents are untouched;
+    /// the statistics count the reference as hit-equivalent at the leader's
+    /// observed cost, keeping the documented
+    /// `references == hits + coalesced + misses` protocol intact.
+    fn record_coalesced_reference(&mut self, cost: ExecutionCost);
 
     /// An owned snapshot of the accumulated statistics.
     ///
@@ -204,10 +295,17 @@ mod tests {
         assert!(admitted.is_admitted());
         assert_eq!(admitted.evicted().len(), 1);
 
-        let already = InsertOutcome::AlreadyCached;
+        let already = InsertOutcome::already_cached();
         assert!(already.is_cached());
         assert!(!already.is_admitted());
         assert!(already.evicted().is_empty());
+
+        let grown = InsertOutcome::AlreadyCached {
+            evicted: vec![QueryKey::new("displaced")],
+        };
+        assert!(grown.is_cached());
+        assert!(!grown.is_admitted());
+        assert_eq!(grown.evicted().len(), 1);
 
         let rejected = InsertOutcome::Rejected(RejectReason::AdmissionTest);
         assert!(!rejected.is_cached());

@@ -103,11 +103,19 @@ impl RetainedStore {
     }
 
     /// Records a reference to a non-cached retrieved set, if its information
-    /// is retained.  Returns `true` if a retained history was updated.
+    /// is retained.  Returns `true` if information for the key is retained.
+    ///
+    /// A reference carrying the same timestamp as the most recent recorded
+    /// one is **not** recorded again: one logical reference may reach the
+    /// cache twice at the same logical time (a single-flight waiter retrying
+    /// after an abandoned flight re-enters the lookup path), and double
+    /// counting it would inflate the λ estimate of Eq. 3.
     pub fn record_reference(&mut self, key: &QueryKey, now: Timestamp) -> bool {
         match self.entries.get_mut(key) {
             Some(info) => {
-                info.history.record(now);
+                if info.history.last_reference() != Some(now) {
+                    info.history.record(now);
+                }
                 true
             }
             None => false,
@@ -202,6 +210,36 @@ mod tests {
                 .history
                 .sample_count(),
             2
+        );
+    }
+
+    #[test]
+    fn duplicate_timestamp_references_are_recorded_once() {
+        // A single-flight waiter retrying after an abandoned flight re-enters
+        // the lookup path with the same logical timestamp; the retained
+        // history must not count that logical reference twice.
+        let mut store = RetainedStore::new(16);
+        store.insert(info("q1", 100, 50.0, &[10], 4), ts(10));
+        assert!(store.record_reference(&QueryKey::new("q1"), ts(20)));
+        assert!(store.record_reference(&QueryKey::new("q1"), ts(20)));
+        assert_eq!(
+            store
+                .get(&QueryKey::new("q1"))
+                .unwrap()
+                .history
+                .sample_count(),
+            2,
+            "the second same-timestamp record must be a no-op"
+        );
+        // A later reference still counts.
+        assert!(store.record_reference(&QueryKey::new("q1"), ts(30)));
+        assert_eq!(
+            store
+                .get(&QueryKey::new("q1"))
+                .unwrap()
+                .history
+                .sample_count(),
+            3
         );
     }
 

@@ -1,0 +1,22 @@
+//! Extension figure: static `total/N` vs profit-rebalanced shard capacity,
+//! swept over shards × cache fraction on a skewed TPC-D trace.
+//!
+//! Run with `cargo run --release -p watchman-sim --bin fig8_shard_rebalance`.
+//! Pass `--quick` for a shortened run suitable for CI smoke testing.
+
+use watchman_sim::{ExperimentScale, ShardRebalanceExperiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick(4_000)
+    } else {
+        ExperimentScale::paper()
+    };
+    println!(
+        "Shard capacity sweep (scale: {} queries, skewed TPC-D trace)\n",
+        scale.query_count
+    );
+    let experiment = ShardRebalanceExperiment::run(scale);
+    print!("{}", experiment.render());
+}

@@ -7,6 +7,7 @@
 use watchman_sim::{
     BufferHintExperiment, CostSavingsExperiment, ExperimentScale, FragmentationExperiment,
     ImpactOfKExperiment, InfiniteCacheExperiment, OptimalityExperiment, PolicyZooExperiment,
+    ShardRebalanceExperiment,
 };
 
 fn main() {
@@ -49,4 +50,7 @@ fn main() {
 
     let optimality = OptimalityExperiment::run(scale, &[0.01, 0.05]);
     print!("{}", optimality.render());
+
+    let shard_sweep = ShardRebalanceExperiment::run(scale);
+    print!("{}", shard_sweep.render());
 }

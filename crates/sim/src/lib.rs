@@ -32,10 +32,11 @@ pub mod workload;
 
 pub use experiments::{
     BufferHintExperiment, CostSavingsExperiment, FragmentationExperiment, ImpactOfKExperiment,
-    InfiniteCacheExperiment, OptimalityExperiment, PolicyZooExperiment,
+    InfiniteCacheExperiment, OptimalityExperiment, PolicyZooExperiment, ShardRebalanceExperiment,
 };
 pub use policy_kind::{BoxedCache, PolicyKind, SimPayload};
 pub use runner::{
-    replay_trace, replay_trace_engine, run_infinite, run_policy, run_policy_sharded, RunResult,
+    replay_trace, replay_trace_engine, run_infinite, run_policy, run_policy_sharded,
+    run_policy_sharded_with, RunResult,
 };
 pub use workload::{ExperimentScale, Workload};

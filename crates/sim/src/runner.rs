@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use watchman_core::clock::Timestamp;
-use watchman_core::engine::Watchman;
+use watchman_core::engine::{RebalanceConfig, Watchman};
 use watchman_core::key::QueryKey;
 use watchman_core::metrics::{CacheStats, FragmentationTracker};
 use watchman_core::policy::QueryCache;
@@ -37,6 +37,12 @@ pub struct RunResult {
     pub rejections: u64,
     /// Number of evictions.
     pub evictions: u64,
+    /// Number of shards the capacity was partitioned across (1 for bare
+    /// policy replays).
+    pub shards: usize,
+    /// Number of capacity transfers the engine's rebalancer performed
+    /// (0 when rebalancing is disabled).
+    pub rebalances: u64,
 }
 
 impl RunResult {
@@ -59,6 +65,8 @@ impl RunResult {
             admissions: stats.admissions,
             rejections: stats.rejections,
             evictions: stats.evictions,
+            shards: 1,
+            rebalances: 0,
         }
     }
 }
@@ -120,13 +128,16 @@ pub fn replay_trace_engine(
         });
         fragmentation.record(engine.used_bytes(), engine.capacity_bytes());
     }
-    RunResult::from_stats(
+    let mut result = RunResult::from_stats(
         engine.policy().label(),
         engine.capacity_bytes(),
         cache_fraction,
         &engine.stats(),
         &fragmentation,
-    )
+    );
+    result.shards = engine.shard_count();
+    result.rebalances = engine.rebalance_count();
+    result
 }
 
 /// Builds a one-shard engine for `kind` at `cache_fraction` of the trace's
@@ -145,12 +156,32 @@ pub fn run_policy_sharded(
     cache_fraction: f64,
     shards: usize,
 ) -> RunResult {
+    run_policy_sharded_with(trace, kind, cache_fraction, shards, None)
+}
+
+/// Like [`run_policy_sharded`], but optionally enabling the engine's
+/// profit-aware capacity rebalancing between shards.
+///
+/// This is the runner the static-vs-rebalanced shard sweep uses: the same
+/// trace replayed at the same shard count, once with the static `total/N`
+/// split (`rebalance: None`) and once with capacity following per-shard
+/// profit (`rebalance: Some(..)`).
+pub fn run_policy_sharded_with(
+    trace: &Trace,
+    kind: PolicyKind,
+    cache_fraction: f64,
+    shards: usize,
+    rebalance: Option<RebalanceConfig>,
+) -> RunResult {
     let capacity = (trace.database_bytes as f64 * cache_fraction).round() as u64;
-    let engine: Watchman<SizedPayload> = Watchman::builder()
+    let mut builder = Watchman::builder()
         .shards(shards)
         .policy(kind)
-        .capacity_bytes(capacity)
-        .build();
+        .capacity_bytes(capacity);
+    if let Some(config) = rebalance {
+        builder = builder.rebalance(config);
+    }
+    let engine: Watchman<SizedPayload> = builder.build();
     replay_trace_engine(trace, &engine, cache_fraction)
 }
 

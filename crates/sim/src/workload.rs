@@ -76,6 +76,31 @@ impl Workload {
         Workload { benchmark, trace }
     }
 
+    /// Builds a *skewed* TPC-D workload instead of the paper's uniform
+    /// template selection: a few dozen hot drill-down summaries dominate the
+    /// references, against a stream of one-off detail queries.
+    ///
+    /// Most references go to Q10 (24 distinct instances, a few KB each) and
+    /// Q1 (61 tiny instances); the bulk of the remainder goes to the
+    /// never-repeating low-summarization templates Q13/Q16.  With so few
+    /// distinct hot keys, the engine's signature hashing lands *unequal
+    /// slices of the hot working set* on different shards — exactly the
+    /// keyspace skew that starves a static `total/N` capacity split and that
+    /// profit-aware rebalancing is designed to repair.  (A smooth popularity
+    /// skew over thousands of keys would not do this: hashing would average
+    /// it out across shards.)
+    pub fn tpcd_skewed(scale: ExperimentScale) -> Workload {
+        let benchmark = tpcd::benchmark();
+        let mut weights = vec![0.5; benchmark.template_count()];
+        weights[9] = 40.0; // Q10: 24 hot instances, ~3 KB results
+        weights[0] = 10.0; // Q1: 61 hot instances, tiny results
+        weights[12] = 30.0; // Q13: one-off detail queries (churn)
+        weights[15] = 10.0; // Q16: one-off detail queries (churn)
+        let config = scale.trace_config().with_weights(weights);
+        let trace = TraceGenerator::new(&benchmark, config).generate();
+        Workload { benchmark, trace }
+    }
+
     /// Builds the 14-relation buffer-experiment workload at the given scale.
     pub fn buffer_experiment(scale: ExperimentScale) -> Workload {
         let benchmark = synthetic::benchmark();

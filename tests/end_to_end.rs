@@ -156,9 +156,14 @@ fn engine_serves_concurrent_sessions() {
     });
 
     let snapshot = engine.stats_snapshot();
-    // Every reference was either recorded by a shard (hit or executed miss)
-    // or coalesced into another session's in-flight execution.
-    assert_eq!(snapshot.total.references + snapshot.coalesced_misses, 400);
+    // One-call-per-reference protocol: every lookup is recorded as a hit, an
+    // executed miss, or a coalesced wait on another session's execution.
+    assert_eq!(snapshot.total.references, 400);
+    assert_eq!(
+        snapshot.total.references,
+        snapshot.total.hits + snapshot.total.coalesced + snapshot.total.misses()
+    );
+    assert_eq!(snapshot.coalesced_misses, snapshot.total.coalesced);
     assert!(
         snapshot.total.hits > 0,
         "concurrent sessions must share cached results"

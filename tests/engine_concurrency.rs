@@ -67,16 +67,120 @@ fn single_flight_executes_each_miss_exactly_once() {
     let snapshot = engine.stats_snapshot();
     let total_lookups = (THREADS * KEYS * ROUNDS) as u64;
     assert_eq!(
-        snapshot.total.references + snapshot.coalesced_misses,
-        total_lookups,
-        "every lookup is a shard reference or a coalesced wait"
+        snapshot.total.references, total_lookups,
+        "every lookup records exactly one reference (hit, miss or coalesced)"
+    );
+    assert_eq!(
+        snapshot.total.references,
+        snapshot.total.hits + snapshot.total.misses() + snapshot.total.coalesced,
+        "references must partition into hits, misses and coalesced waits"
+    );
+    assert_eq!(
+        snapshot.coalesced_misses, snapshot.total.coalesced,
+        "engine counter and stats counter must agree"
     );
     assert_eq!(
         snapshot.total.misses(),
         KEYS as u64,
         "one recorded miss per key"
     );
+    // Coalesced references are hit-equivalent: they saved the leader's cost,
+    // so the saved-cost accumulator must cover them.
+    assert!(snapshot.total.saved_cost <= snapshot.total.total_cost + 1e-9);
     assert_eq!(snapshot.entries, KEYS);
+}
+
+/// Rebalancing under real thread pressure: sessions hammer a small sharded
+/// cache while an aggressive rebalancer moves capacity between shards, and a
+/// monitor thread snapshots the engine throughout.  Conservation
+/// (Σ per-shard capacity == configured total) and occupancy
+/// (used ≤ capacity per shard) must hold in every snapshot.
+#[test]
+fn rebalancing_conserves_capacity_under_concurrent_traffic() {
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: usize = 3_000;
+    const TOTAL: u64 = 100_000;
+
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(8)
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(TOTAL)
+        .rebalance(
+            RebalanceConfig::new()
+                .with_interval(64)
+                .with_min_shard_fraction(0.25)
+                .with_step_fraction(0.1),
+        )
+        .build();
+    let done = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let engine = engine.clone();
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // A skewed keyspace: a small hot set plus a one-off tail.
+                    let hot = (i % 7) + thread;
+                    let name = if i % 3 == 0 {
+                        format!("tail-{thread}-{i}")
+                    } else {
+                        format!("hot-{hot}")
+                    };
+                    let now = Timestamp::from_micros((thread * OPS_PER_THREAD + i + 1) as u64);
+                    engine.get_or_execute(&QueryKey::new(name), now, || {
+                        (
+                            SizedPayload::new(500 + (i as u64 % 11) * 400),
+                            ExecutionCost::from_blocks(10 + (i as u64 % 5) * 10_000),
+                        )
+                    });
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Monitor: the invariants must hold in every mid-flight snapshot.
+        let engine = engine.clone();
+        let done = Arc::clone(&done);
+        scope.spawn(move || {
+            let mut checks = 0u64;
+            while done.load(Ordering::SeqCst) < THREADS as u64 {
+                let snapshot = engine.stats_snapshot();
+                assert_eq!(
+                    snapshot.per_shard_capacity.iter().sum::<u64>(),
+                    TOTAL,
+                    "capacity not conserved mid-rebalance"
+                );
+                for (shard, (&used, &capacity)) in snapshot
+                    .per_shard_used
+                    .iter()
+                    .zip(&snapshot.per_shard_capacity)
+                    .enumerate()
+                {
+                    assert!(
+                        used <= capacity,
+                        "shard {shard} occupancy {used} exceeds capacity {capacity}"
+                    );
+                }
+                checks += 1;
+            }
+            assert!(checks > 0);
+        });
+    });
+
+    let snapshot = engine.stats_snapshot();
+    assert_eq!(snapshot.per_shard_capacity.iter().sum::<u64>(), TOTAL);
+    assert_eq!(snapshot.capacity_bytes, TOTAL);
+    assert_eq!(
+        snapshot.total.references,
+        (THREADS * OPS_PER_THREAD) as u64,
+        "one recorded reference per lookup, coalesced included"
+    );
+    let floor = (0.25 * (TOTAL / 8) as f64) as u64;
+    assert!(
+        snapshot.per_shard_capacity.iter().all(|&c| c >= floor),
+        "floor violated: {:?}",
+        snapshot.per_shard_capacity
+    );
 }
 
 /// Replays a synthetic operation sequence through a sharded engine and an
@@ -155,5 +259,51 @@ proptest! {
         }
         prop_assert_eq!(&summed, &snapshot.total);
         prop_assert!(engine.used_bytes() <= engine.capacity_bytes());
+    }
+
+    #[test]
+    fn rebalancing_replay_upholds_conservation_and_occupancy(
+        ops in proptest::collection::vec(op_strategy(), 50..250),
+        shards in 2usize..9,
+    ) {
+        // Small capacity + aggressive rebalancing: capacity moves while the
+        // replay runs, and after every operation Σ capacity == total and
+        // used ≤ capacity per shard.
+        let capacity = 40_000u64;
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(shards)
+            .policy(PolicyKind::LncRa { k: 4 })
+            .capacity_bytes(capacity)
+            .rebalance(
+                RebalanceConfig::new()
+                    .with_interval(16)
+                    .with_min_shard_fraction(0.25)
+                    .with_step_fraction(0.2),
+            )
+            .build();
+        let mut now = 0u64;
+        for &(query, size, cost, advance) in &ops {
+            now += advance;
+            let key = QueryKey::new(format!("prop-query-{query}"));
+            engine.get_or_execute(&key, Timestamp::from_micros(now), || {
+                (SizedPayload::new(size), ExecutionCost::from_blocks(cost))
+            });
+            let snapshot = engine.stats_snapshot();
+            prop_assert_eq!(
+                snapshot.per_shard_capacity.iter().sum::<u64>(),
+                capacity,
+                "conservation violated after {} rebalances",
+                snapshot.rebalances
+            );
+            for shard in 0..shards {
+                prop_assert!(
+                    snapshot.per_shard_used[shard] <= snapshot.per_shard_capacity[shard],
+                    "shard {} occupancy {} exceeds its capacity {}",
+                    shard,
+                    snapshot.per_shard_used[shard],
+                    snapshot.per_shard_capacity[shard]
+                );
+            }
+        }
     }
 }
