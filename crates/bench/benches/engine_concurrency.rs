@@ -1,5 +1,6 @@
-//! Multi-threaded get-heavy benchmark: the sharded engine against the
-//! single-mutex configuration the deprecated `SharedCache` wrapper used.
+//! Multi-threaded get-heavy benchmark: the sharded engine against a 1-shard
+//! configuration (one big mutex — what the long-removed `SharedCache`
+//! wrapper used to be).
 //!
 //! Each measurement spawns `THREADS` sessions that hammer a pre-warmed
 //! engine with lookups (all hits after warm-up — the contention-bound

@@ -7,9 +7,14 @@
 //! * [`Watchman`] — a builder-configured facade that hash-partitions the
 //!   keyspace by query signature across N per-shard policy instances and
 //!   shares payloads as `Arc<V>`;
-//! * [`Watchman::get_or_execute`] — the session entry point, with
-//!   **single-flight** deduplication so concurrent misses on the same query
-//!   execute the warehouse query exactly once;
+//! * [`Watchman::get_or_execute`] / [`Watchman::get_or_execute_async`] —
+//!   the session entry points, with **single-flight** deduplication so
+//!   concurrent misses on the same query execute the warehouse query exactly
+//!   once.  Both front doors drive one poll-based implementation
+//!   ([`LookupFuture`]): the async one suspends waiting sessions as futures
+//!   on the engine's [`Runtime`](crate::runtime::Runtime) (a waiting session
+//!   costs a waker, not a parked OS thread), the sync one is a
+//!   [`block_on`](crate::runtime::block_on) shim over the same code;
 //! * [`PolicyKind`] — the one construction path for every replacement /
 //!   admission policy, shared by the engine, the simulator and the examples;
 //! * [`CacheEvent`] / [`CacheObserver`] — the lifecycle event stream that
@@ -17,8 +22,19 @@
 //!   and the buffer manager's p₀-redundancy hints subscribe to;
 //! * [`RebalanceConfig`] — optional profit-aware capacity rebalancing that
 //!   moves bytes from capacity-rich to capacity-starved shards on skewed
-//!   keyspaces (the per-shard split is a static `total/N` otherwise);
+//!   keyspaces (the per-shard split is a static `total/N` otherwise).
+//!   Passes run on a **background runtime task** every
+//!   [`RebalanceConfig::period`] — never on a session's request path — and
+//!   the task stops when the engine is dropped;
 //! * [`StatsSnapshot`] — owned, aggregated statistics across shards.
+//!
+//! ## Failure handling
+//!
+//! If a single-flight leader's fetch panics, the flight is *abandoned*:
+//! exactly one waiter is woken to take over leadership (no thundering herd,
+//! no lost wakeup — a cancelled candidate passes the wake along), the other
+//! waiters keep sleeping until the new leader completes the same flight
+//! cell, and the panic is re-raised on the original leader's session.
 //!
 //! ## Quick start
 //!
@@ -52,7 +68,9 @@ mod watchman;
 pub use events::{CacheEvent, CacheObserver, EventCounters};
 pub use policy_kind::PolicyKind;
 pub use rebalance::{RebalanceConfig, RebalanceOutcome};
-pub use watchman::{KeyNormalizer, Lookup, LookupSource, StatsSnapshot, Watchman, WatchmanBuilder};
+pub use watchman::{
+    KeyNormalizer, Lookup, LookupFuture, LookupSource, StatsSnapshot, Watchman, WatchmanBuilder,
+};
 
 #[cfg(test)]
 mod tests {
@@ -293,7 +311,7 @@ mod tests {
             .capacity_bytes(TOTAL)
             .rebalance(
                 RebalanceConfig::new()
-                    .with_interval(u64::MAX) // driven manually below
+                    .manual() // driven explicitly below
                     .with_min_shard_fraction(0.25)
                     .with_step_fraction(0.1),
             )
@@ -479,8 +497,16 @@ mod tests {
                 let engine = engine.clone();
                 let attempts = Arc::clone(&attempts);
                 scope.spawn(move || {
-                    // Give the doomed leader time to claim the flight.
-                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    // Join only once the doomed leader has really claimed the
+                    // flight (a fixed sleep is racy on a loaded box).
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    while attempts.load(Ordering::SeqCst) == 0 {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "leader never started its fetch"
+                        );
+                        std::thread::yield_now();
+                    }
                     let lookup = engine.get_or_execute(&key("fragile"), ts(2), || {
                         attempts.fetch_add(1, Ordering::SeqCst);
                         (SizedPayload::new(64), ExecutionCost::from_blocks(100))
@@ -513,6 +539,326 @@ mod tests {
         assert_eq!(engine.used_bytes(), 0);
         // Statistics survive a clear.
         assert_eq!(engine.stats().references, 1);
+    }
+
+    #[test]
+    fn async_lookup_round_trip() {
+        use crate::runtime::block_on;
+        let engine = engine(4, 1 << 20);
+        let first = block_on(engine.get_or_execute_async(&key("q"), ts(1), || {
+            (SizedPayload::new(128), ExecutionCost::from_blocks(1_000))
+        }));
+        assert_eq!(first.source, LookupSource::Executed);
+        assert!(first.outcome.as_ref().is_some_and(|o| o.is_admitted()));
+        let again = block_on(
+            engine.get_or_execute_async(&key("q"), ts(2), || unreachable!("served from cache")),
+        );
+        assert_eq!(again.source, LookupSource::Hit);
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    fn sync_and_async_paths_yield_identical_snapshots() {
+        // One deterministic single-session op sequence, replayed through both
+        // front doors on fresh engines: the poll-based implementation is
+        // shared, so every counter must match exactly.
+        use crate::runtime::block_on;
+        let sync_engine = engine(4, 40_000);
+        let async_engine = engine(4, 40_000);
+        for i in 0..400u64 {
+            let name = format!("q{}", i % 37);
+            let k = key(&name);
+            let now = ts(i * 1_000 + 1);
+            let size = 100 + (i % 9) * 150;
+            let cost = ExecutionCost::from_blocks(500 + (i % 13) * 900);
+            sync_engine.get_or_execute(&k, now, || (SizedPayload::new(size), cost));
+            block_on(
+                async_engine.get_or_execute_async(&k, now, move || (SizedPayload::new(size), cost)),
+            );
+        }
+        assert_eq!(sync_engine.stats_snapshot(), async_engine.stats_snapshot());
+    }
+
+    #[test]
+    fn async_leader_panic_hands_the_flight_to_a_waiter() {
+        // The async-path regression for the takeover protocol: the leader's
+        // spawned fetch is killed mid-flight (panics), exactly one waiter
+        // takes over the same flight cell, and the panic is re-raised on the
+        // leader's session.
+        use crate::runtime::block_on;
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .runtime_workers(2)
+            .build();
+        let attempts = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let engine = engine.clone();
+                let attempts = Arc::clone(&attempts);
+                scope.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        block_on(
+                            engine.get_or_execute_async(&key("fragile"), ts(1), move || {
+                                attempts.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                panic!("warehouse connection lost");
+                            }),
+                        )
+                    }));
+                    assert!(result.is_err(), "leader session must re-raise the panic");
+                });
+            }
+            {
+                let engine = engine.clone();
+                let attempts = Arc::clone(&attempts);
+                scope.spawn(move || {
+                    // Join only once the doomed leader has really claimed the
+                    // flight (a fixed sleep is racy on a loaded box).
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    while attempts.load(Ordering::SeqCst) == 0 {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "leader never started its fetch"
+                        );
+                        std::thread::yield_now();
+                    }
+                    let lookup =
+                        block_on(
+                            engine.get_or_execute_async(&key("fragile"), ts(2), move || {
+                                attempts.fetch_add(1, Ordering::SeqCst);
+                                (SizedPayload::new(64), ExecutionCost::from_blocks(100))
+                            }),
+                        );
+                    assert_eq!(lookup.value.size_bytes(), 64);
+                    assert_eq!(lookup.source, LookupSource::Executed);
+                });
+            }
+        });
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            2,
+            "exactly one waiter must take over after abandonment"
+        );
+        assert!(engine.contains(&key("fragile")));
+    }
+
+    #[test]
+    fn takeover_after_post_insert_panic_serves_the_cached_value() {
+        // The leader's fetch succeeds and the insert lands, then a user
+        // observer panics during the emit (still inside the leader's
+        // completion).  The flight is abandoned — but the value IS cached,
+        // so the woken waiter must be served a hit instead of re-running
+        // the multi-second warehouse query.
+        struct PanicOnAdmit;
+        impl CacheObserver for PanicOnAdmit {
+            fn on_cache_event(&self, event: &CacheEvent) {
+                if matches!(event, CacheEvent::Admitted { .. }) {
+                    panic!("observer failed");
+                }
+            }
+        }
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .observer(Arc::new(PanicOnAdmit))
+            .build();
+        let fetches = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let engine = engine.clone();
+                let fetches = Arc::clone(&fetches);
+                scope.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.get_or_execute(&key("observed"), ts(1), || {
+                            fetches.fetch_add(1, Ordering::SeqCst);
+                            // Keep the flight open so the waiter joins it.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            (SizedPayload::new(128), ExecutionCost::from_blocks(1_000))
+                        })
+                    }));
+                    assert!(result.is_err(), "the observer panic must propagate");
+                });
+            }
+            {
+                let engine = engine.clone();
+                let fetches = Arc::clone(&fetches);
+                scope.spawn(move || {
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    while fetches.load(Ordering::SeqCst) == 0 {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "leader never started its fetch"
+                        );
+                        std::thread::yield_now();
+                    }
+                    let lookup = engine.get_or_execute(&key("observed"), ts(2), || {
+                        fetches.fetch_add(1, Ordering::SeqCst);
+                        (SizedPayload::new(999), ExecutionCost::from_blocks(1))
+                    });
+                    assert_eq!(
+                        lookup.source,
+                        LookupSource::Hit,
+                        "the waiter must be served the already-cached value"
+                    );
+                    assert_eq!(lookup.value.size_bytes(), 128);
+                });
+            }
+        });
+        assert_eq!(
+            fetches.load(Ordering::SeqCst),
+            1,
+            "the cached value must not be re-fetched"
+        );
+        assert!(engine.contains(&key("observed")));
+        assert_eq!(
+            engine.inflight_entries(),
+            0,
+            "the abandoned cell is retired"
+        );
+    }
+
+    #[test]
+    fn abandoned_flight_with_no_waiters_is_retired() {
+        // Regression: a panicking fetch on a key nobody else ever requests
+        // used to leave its (dead) flight cell — and the boxed panic
+        // payload — in the shard's in-flight table forever.
+        use crate::runtime::block_on;
+        let engine = engine(2, 1 << 20);
+
+        // Sync path: the leader panics with no waiters registered.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.get_or_execute(&key("doomed-sync"), ts(1), || {
+                panic!("warehouse connection lost")
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            engine.inflight_entries(),
+            0,
+            "sync panic must not leak an in-flight cell"
+        );
+
+        // Async path: same, with the fetch on a runtime worker.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            block_on(
+                engine.get_or_execute_async(&key("doomed-async"), ts(2), || {
+                    panic!("warehouse connection lost")
+                }),
+            )
+        }));
+        assert!(result.is_err());
+        // The leader session observes the panic the moment the payload is
+        // set; the fetch task's retirement of the entry races a hair behind.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while engine.inflight_entries() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "async panic must not leak an in-flight cell"
+            );
+            std::thread::yield_now();
+        }
+
+        // The keys are usable again afterwards (fresh flights).
+        let lookup = engine.get_or_execute(&key("doomed-sync"), ts(3), || {
+            (SizedPayload::new(32), ExecutionCost::from_blocks(10))
+        });
+        assert_eq!(lookup.source, LookupSource::Executed);
+        assert_eq!(engine.inflight_entries(), 0);
+    }
+
+    #[test]
+    fn rebalance_passes_never_run_on_a_session_thread() {
+        use crate::runtime::Runtime;
+        let runtime = Arc::new(Runtime::with_workers(1));
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(4)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(10_000)
+            .runtime(Arc::clone(&runtime))
+            .rebalance(
+                RebalanceConfig::new()
+                    .with_period(std::time::Duration::from_millis(2))
+                    .with_min_shard_fraction(0.25)
+                    .with_step_fraction(0.1),
+            )
+            .build();
+        // Hammer the request path from this (session) thread while the
+        // background task runs passes on the runtime worker.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut i = 0u64;
+        while engine.rebalance_passes() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background task never ran a pass"
+            );
+            i += 1;
+            engine.get_or_execute(&key(&format!("q{}", i % 50)), ts(i + 1), || {
+                (SizedPayload::new(400), ExecutionCost::from_blocks(1_000))
+            });
+        }
+        let session_thread = std::thread::current().id();
+        let pass_threads = engine.rebalance_pass_threads();
+        assert!(!pass_threads.is_empty());
+        assert!(
+            pass_threads.iter().all(|&id| id != session_thread),
+            "a rebalance pass ran on the session thread"
+        );
+    }
+
+    #[test]
+    fn manual_rebalancing_runs_no_passes_from_the_request_path() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(4)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(10_000)
+            .rebalance(RebalanceConfig::new().manual())
+            .build();
+        for i in 0..2_000u64 {
+            engine.get_or_execute(&key(&format!("q{}", i % 60)), ts(i + 1), || {
+                (SizedPayload::new(300), ExecutionCost::from_blocks(500))
+            });
+        }
+        assert_eq!(
+            engine.rebalance_passes(),
+            0,
+            "no request-path trigger may remain"
+        );
+        engine.rebalance_now(ts(3_000));
+        assert_eq!(engine.rebalance_passes(), 1, "explicit passes still work");
+    }
+
+    #[test]
+    fn background_rebalancer_stops_when_the_engine_drops() {
+        use crate::runtime::Runtime;
+        // A shared runtime that outlives the engine: the engine's background
+        // task must exit promptly once the engine is dropped.
+        let runtime = Arc::new(Runtime::with_workers(1));
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(2)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(10_000)
+            .runtime(Arc::clone(&runtime))
+            .rebalance(RebalanceConfig::new().with_period(std::time::Duration::from_millis(5)))
+            .build();
+        assert_eq!(runtime.alive_tasks(), 1, "background task spawned");
+        // Let it run at least one pass so we know it was really alive.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while engine.rebalance_passes() == 0 {
+            assert!(std::time::Instant::now() < deadline, "task never ran");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(engine);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while runtime.alive_tasks() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background task survived the engine it belongs to"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     #[test]

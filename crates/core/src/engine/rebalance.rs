@@ -8,8 +8,10 @@
 //!
 //! WATCHMAN's own premise (paper §2) says cache space should follow *profit*
 //! `λ·c/s`, so the engine can be configured to apply the same idea one level
-//! up: every [`RebalanceConfig::interval`] operations it prices, for every
-//! shard, what donating one step of capacity would cost
+//! up: on every pass of its **background rebalance task** (scheduled every
+//! [`RebalanceConfig::period`] on the engine's runtime — never on a session's
+//! request path) it prices, for every shard, what donating one step of
+//! capacity would cost
 //! ([`QueryCache::shrink_loss`]: the aggregate Eq. 5 profit of the victims
 //! the shard's own policy would pick) and what receiving one step could win
 //! back ([`QueryCache::grow_gain`]: the aggregate profit of the densest
@@ -62,9 +64,13 @@ use crate::profit::Profit;
 /// [`grow_gain`]: crate::policy::QueryCache::grow_gain
 #[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceConfig {
-    /// Run a rebalance pass every this many engine operations
-    /// (`get` / `insert` / `get_or_execute` calls).  Clamped to at least 1.
-    pub interval: u64,
+    /// How often the engine's background task runs a rebalance pass.
+    /// Clamped to at least one millisecond.  `None` disables the background
+    /// task entirely: passes then run only when a driver explicitly calls
+    /// [`rebalance_now`](crate::engine::Watchman::rebalance_now) — the mode
+    /// deterministic replays (the simulator's shard sweep) use.  Passes
+    /// never run on a session's request path in either mode.
+    pub period: Option<std::time::Duration>,
     /// The fraction of a shard's fair share (`total/N`) below which its
     /// capacity never drops.  Clamped to `0.0..=1.0`.  A floor of 1.0
     /// disables rebalancing entirely; 0.0 allows a shard to shrink to zero.
@@ -80,19 +86,27 @@ pub struct RebalanceConfig {
 }
 
 impl RebalanceConfig {
-    /// The default: rebalance every 512 operations, floor at 50% of the fair
+    /// The default: a background pass every 50 ms, floor at 50% of the fair
     /// share, move 5% of one fair share per step.
     pub fn new() -> Self {
         RebalanceConfig {
-            interval: 512,
+            period: Some(std::time::Duration::from_millis(50)),
             min_shard_fraction: 0.5,
             step_fraction: 0.05,
         }
     }
 
-    /// Returns the configuration with a different pass interval.
-    pub fn with_interval(mut self, interval: u64) -> Self {
-        self.interval = interval;
+    /// Returns the configuration with a different background-pass period.
+    pub fn with_period(mut self, period: std::time::Duration) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Disables the background task: passes run only when the driver calls
+    /// [`rebalance_now`](crate::engine::Watchman::rebalance_now) explicitly.
+    /// Deterministic replays (the simulator) schedule passes this way.
+    pub fn manual(mut self) -> Self {
+        self.period = None;
         self
     }
 
@@ -111,7 +125,9 @@ impl RebalanceConfig {
     /// The configuration with out-of-range values clamped into their
     /// documented domains (applied once at engine build time).
     pub(crate) fn sanitized(mut self) -> Self {
-        self.interval = self.interval.max(1);
+        self.period = self
+            .period
+            .map(|period| period.max(std::time::Duration::from_millis(1)));
         self.min_shard_fraction = if self.min_shard_fraction.is_finite() {
             self.min_shard_fraction.clamp(0.0, 1.0)
         } else {
@@ -321,20 +337,21 @@ mod tests {
     #[test]
     fn config_sanitization_clamps_domains() {
         let config = RebalanceConfig {
-            interval: 0,
+            period: Some(std::time::Duration::ZERO),
             min_shard_fraction: -3.0,
             step_fraction: 42.0,
         }
         .sanitized();
-        assert_eq!(config.interval, 1);
+        assert_eq!(config.period, Some(std::time::Duration::from_millis(1)));
         assert_eq!(config.min_shard_fraction, 0.0);
         assert_eq!(config.step_fraction, 1.0);
         let nan = RebalanceConfig {
-            interval: 7,
+            period: None,
             min_shard_fraction: f64::NAN,
             step_fraction: f64::NAN,
         }
         .sanitized();
+        assert_eq!(nan.period, None, "manual mode survives sanitization");
         assert_eq!(nan.min_shard_fraction, 0.5);
         assert_eq!(nan.step_fraction, 0.05);
     }

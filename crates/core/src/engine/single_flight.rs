@@ -1,96 +1,418 @@
-//! Single-flight deduplication of concurrent cache misses.
+//! Single-flight deduplication of concurrent cache misses, poll-based.
 //!
 //! When several sessions miss on the same query at once, only one of them —
 //! the *leader* — should execute the warehouse query; the others wait for
 //! the leader's result instead of issuing redundant multi-second scans.
-//! [`Flight`] is the synchronization cell for one in-flight execution: the
-//! leader publishes its result through [`Flight::complete`], waiters block in
-//! [`Flight::wait`], and if the leader's fetch panics the flight is
-//! [abandoned](Flight::abandon) so that one waiter can take over as the new
-//! leader rather than blocking forever.
+//! [`Flight`] is the synchronization cell for one in-flight execution.  It
+//! is a *future-style* cell: waiters suspend by registering a [`Waker`]
+//! through [`Flight::poll_wait`] instead of blocking an OS thread on a
+//! condvar, so thousands of coalesced sessions cost thousands of wakers, not
+//! thousands of parked threads.
+//!
+//! ## The abandonment / takeover protocol
+//!
+//! If the leader's fetch panics the flight is [abandoned](Flight::abandon).
+//! Abandonment wakes **exactly one** waiter — the takeover candidate — and
+//! leaves the rest registered:
+//!
+//! * no thundering herd: one candidate re-executes; the others keep
+//!   sleeping until the new leader completes the *same* flight cell;
+//! * no lost wakeup: if the candidate is cancelled before it can take over
+//!   (its future is dropped), [`Flight::forget_waiter`] wakes the next
+//!   waiter in line; when the *last* waiter gives up (or none was
+//!   registered at the failure), the engine retires the cell from its
+//!   in-flight table — panicking keys that are never re-requested must not
+//!   leak cells — and the next arrival for the key starts a fresh flight.
+//!
+//! Takeover reuses the cell in place ([`Flight::poll_wait`] returns
+//! [`FlightOutcome::TakeOver`] after atomically flipping the state back to
+//! pending), so waiters registered before the failure never need to migrate
+//! to a new cell.
+//!
+//! The original leader's *session* is woken too — not as a takeover
+//! candidate but to observe the failure: the engine stores the fetch's
+//! panic payload in the cell ([`Flight::set_panic`]) and the leader session
+//! re-raises it ([`Flight::poll_leader`]), preserving the synchronous API's
+//! panic-propagation contract through the async path.
 
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::any::Any;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
 
+use crate::policy::InsertOutcome;
 use crate::value::ExecutionCost;
 
 /// The observable state of one in-flight execution.
-#[derive(Debug)]
 enum FlightState<V> {
-    /// The leader is still executing the query.
-    Pending,
+    /// A leader is executing the query; waiters are registered by id.
+    Pending {
+        /// The suspended waiter sessions, in registration order.
+        waiters: Vec<(u64, Waker)>,
+        /// The leader session's waker, when the fetch runs elsewhere (the
+        /// async path spawns it on the runtime).
+        leader: Option<Waker>,
+    },
+    /// The leader failed; one waiter has been woken to take over.
+    Abandoned {
+        /// Waiters still suspended, awaiting the takeover leader's result.
+        waiters: Vec<(u64, Waker)>,
+    },
     /// The leader published its result.
     Done(Arc<V>, ExecutionCost),
-    /// The leader failed (its fetch panicked); a waiter must re-execute.
-    Abandoned,
 }
 
-/// What a waiter observes when its flight finishes.
+impl<V> std::fmt::Debug for FlightState<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlightState::Pending { waiters, leader } => f
+                .debug_struct("Pending")
+                .field("waiters", &waiters.len())
+                .field("leader", &leader.is_some())
+                .finish(),
+            FlightState::Abandoned { waiters } => f
+                .debug_struct("Abandoned")
+                .field("waiters", &waiters.len())
+                .finish(),
+            FlightState::Done(_, cost) => f.debug_tuple("Done").field(cost).finish(),
+        }
+    }
+}
+
+/// What a waiter observes when its poll completes.
 #[derive(Debug)]
 pub enum FlightOutcome<V> {
     /// The leader produced this value at this cost.
     Done(Arc<V>, ExecutionCost),
-    /// The leader abandoned the flight; the caller should retry (and may
-    /// become the new leader).
-    Abandoned,
+    /// The previous leader failed and this waiter won the takeover race:
+    /// the flight is pending again and the caller **is now the leader** —
+    /// it must execute the query and complete (or abandon) this same cell.
+    TakeOver,
+}
+
+/// What the leader's session observes when its poll completes (async path,
+/// where the fetch itself runs on the runtime).
+#[derive(Debug)]
+pub enum LeaderOutcome<V> {
+    /// The spawned fetch completed the flight with this value and cost.
+    Done(Arc<V>, ExecutionCost),
+    /// The spawned fetch panicked; the payload (if any) should be re-raised
+    /// on the session so the async path propagates panics exactly like the
+    /// synchronous one.
+    Failed(Option<Box<dyn Any + Send>>),
+}
+
+/// A waiter's registration handle on a [`Flight`].
+///
+/// Create one per waiting session with [`WaiterSlot::new`]; pass it to every
+/// [`Flight::poll_wait`] and hand it to [`Flight::forget_waiter`] if the
+/// session gives up (drops its future) while the flight is unresolved.
+#[derive(Debug, Default)]
+pub struct WaiterSlot {
+    id: Option<u64>,
+}
+
+impl WaiterSlot {
+    /// A slot not yet registered on any flight.
+    pub fn new() -> Self {
+        WaiterSlot { id: None }
+    }
 }
 
 /// The synchronization cell for one in-flight query execution.
-#[derive(Debug)]
 pub struct Flight<V> {
     state: Mutex<FlightState<V>>,
-    finished: Condvar,
+    /// Monotonic waiter-id source.
+    next_waiter: std::sync::atomic::AtomicU64,
+    /// Monotonic leadership-generation source: each session that leads this
+    /// cell (the original leader and every takeover) draws an epoch, so a
+    /// failed fetch's panic is re-raised on *its own* session even after a
+    /// takeover leader has completed the flight.
+    next_epoch: std::sync::atomic::AtomicU64,
+    /// The admission outcome of the leader's insert, for the leader session
+    /// to take (async path; the sync path returns it directly).
+    outcome: Mutex<Option<InsertOutcome>>,
+    /// The panic payloads of failed fetches, each tagged with the leadership
+    /// epoch whose session must re-raise it (successive takeovers can fail
+    /// too, so there may briefly be more than one).
+    panic_payload: Mutex<Vec<(u64, Box<dyn Any + Send>)>>,
+}
+
+impl<V> std::fmt::Debug for Flight<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flight")
+            .field("state", &*self.lock())
+            .finish()
+    }
 }
 
 impl<V> Flight<V> {
-    /// Creates a pending flight.
+    /// Creates a pending flight with no registered waiters.
     pub fn new() -> Self {
         Flight {
-            state: Mutex::new(FlightState::Pending),
-            finished: Condvar::new(),
+            state: Mutex::new(FlightState::Pending {
+                waiters: Vec::new(),
+                leader: None,
+            }),
+            next_waiter: std::sync::atomic::AtomicU64::new(0),
+            next_epoch: std::sync::atomic::AtomicU64::new(0),
+            outcome: Mutex::new(None),
+            panic_payload: Mutex::new(Vec::new()),
         }
     }
 
+    /// Draws a fresh leadership epoch.  Called by each session that starts
+    /// (or takes over) an execution on this cell, before spawning its fetch.
+    pub fn new_leader_epoch(&self) -> u64 {
+        self.next_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1
+    }
+
     fn lock(&self) -> MutexGuard<'_, FlightState<V>> {
-        // The engine never panics while holding this lock except in the
-        // leader's fetch, which is guarded by abandonment; recovering from
-        // poisoning keeps waiters alive in that case.
+        // The engine never panics while holding this lock (fetches run
+        // outside it); recovering from poisoning keeps waiters alive even if
+        // that invariant is ever broken.
         self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Publishes the leader's result and wakes all waiters.
+    /// Publishes the leader's result and wakes the leader session and every
+    /// waiter.
     pub fn complete(&self, value: Arc<V>, cost: ExecutionCost) {
-        *self.lock() = FlightState::Done(value, cost);
-        self.finished.notify_all();
-    }
-
-    /// Marks the flight as failed and wakes all waiters so one can retry.
-    pub fn abandon(&self) {
         let mut state = self.lock();
-        if matches!(*state, FlightState::Pending) {
-            *state = FlightState::Abandoned;
-            self.finished.notify_all();
+        let previous = std::mem::replace(&mut *state, FlightState::Done(value, cost));
+        drop(state);
+        match previous {
+            FlightState::Pending { waiters, leader } => {
+                for (_, waker) in waiters {
+                    waker.wake();
+                }
+                if let Some(leader) = leader {
+                    leader.wake();
+                }
+            }
+            FlightState::Abandoned { waiters } => {
+                for (_, waker) in waiters {
+                    waker.wake();
+                }
+            }
+            FlightState::Done(..) => {}
         }
     }
 
-    /// Blocks until the flight finishes.
-    pub fn wait(&self) -> FlightOutcome<V> {
+    /// Marks the flight as failed and wakes **exactly one** waiter to take
+    /// over leadership (plus the original leader session, so it can observe
+    /// the failure).  Returns the number of waiters still registered after
+    /// the wake — **including** the woken candidate's claim on the cell, so
+    /// when it is zero (nobody waiting at all) the engine retires the cell
+    /// from its in-flight table instead of leaking it.
+    ///
+    /// Abandoning an already-abandoned flight wakes one more waiter (used
+    /// when a takeover candidate is cancelled before it could lead); a
+    /// completed flight is left untouched.
+    pub fn abandon(&self) -> usize {
         let mut state = self.lock();
-        loop {
-            match &*state {
-                FlightState::Pending => {
-                    state = self
-                        .finished
-                        .wait(state)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match &mut *state {
+            FlightState::Pending { waiters, leader } => {
+                let leader = leader.take();
+                let (invested, candidate) = pop_candidate(waiters);
+                let waiters = std::mem::take(waiters);
+                *state = FlightState::Abandoned { waiters };
+                drop(state);
+                if let Some(candidate) = candidate {
+                    candidate.wake();
                 }
-                FlightState::Done(value, cost) => {
-                    return FlightOutcome::Done(Arc::clone(value), *cost)
+                if let Some(leader) = leader {
+                    leader.wake();
                 }
-                FlightState::Abandoned => return FlightOutcome::Abandoned,
+                invested
+            }
+            FlightState::Abandoned { waiters } => {
+                let (invested, candidate) = pop_candidate(waiters);
+                drop(state);
+                if let Some(candidate) = candidate {
+                    candidate.wake();
+                }
+                invested
+            }
+            FlightState::Done(..) => 0,
+        }
+    }
+
+    /// Polls the flight as a waiter.
+    ///
+    /// Returns [`FlightOutcome::Done`] once the leader completes, or
+    /// [`FlightOutcome::TakeOver`] if the leader failed and this waiter is
+    /// first to observe it — the state is atomically reset to pending and
+    /// the caller becomes the new leader.  Otherwise registers (or refreshes)
+    /// `slot`'s waker and suspends.
+    pub fn poll_wait(&self, slot: &mut WaiterSlot, cx: &mut Context<'_>) -> Poll<FlightOutcome<V>> {
+        let mut state = self.lock();
+        match &mut *state {
+            FlightState::Done(value, cost) => {
+                let outcome = FlightOutcome::Done(Arc::clone(value), *cost);
+                drop(state);
+                self.deregister(slot);
+                Poll::Ready(outcome)
+            }
+            FlightState::Abandoned { waiters } => {
+                // First poller after the failure wins the takeover race; the
+                // rest of the waiters stay registered on this same cell.
+                if let Some(id) = slot.id.take() {
+                    waiters.retain(|(waiter, _)| *waiter != id);
+                }
+                let waiters = std::mem::take(waiters);
+                *state = FlightState::Pending {
+                    waiters,
+                    leader: None,
+                };
+                Poll::Ready(FlightOutcome::TakeOver)
+            }
+            FlightState::Pending { waiters, .. } => {
+                match slot.id {
+                    Some(id) => {
+                        if let Some(entry) = waiters.iter_mut().find(|(waiter, _)| *waiter == id) {
+                            // Waker::clone_from skips the clone when both
+                            // wakers would wake the same task.
+                            entry.1.clone_from(cx.waker());
+                        } else {
+                            // Re-registering after a wake consumed the entry.
+                            waiters.push((id, cx.waker().clone()));
+                        }
+                    }
+                    None => {
+                        let id = self
+                            .next_waiter
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            + 1;
+                        slot.id = Some(id);
+                        waiters.push((id, cx.waker().clone()));
+                    }
+                }
+                Poll::Pending
             }
         }
+    }
+
+    /// Polls the flight as the leader *session* of leadership generation
+    /// `epoch`, while its fetch runs elsewhere (the async path spawns the
+    /// fetch on the runtime).
+    ///
+    /// The epoch check matters after a failure: a takeover leader may have
+    /// completed (or re-failed) the cell before the original session gets to
+    /// poll, so each session re-raises only the panic tagged with *its own*
+    /// generation and otherwise reports whatever the cell's current state
+    /// says.
+    pub fn poll_leader(&self, epoch: u64, cx: &mut Context<'_>) -> Poll<LeaderOutcome<V>> {
+        // Own-generation failure wins over any later state: the session that
+        // spawned the failed fetch must observe the failure even if a
+        // takeover has already completed the flight with a fresh value.
+        if let Some(payload) = self.take_panic_for(epoch) {
+            return Poll::Ready(LeaderOutcome::Failed(Some(payload)));
+        }
+        let mut state = self.lock();
+        match &mut *state {
+            FlightState::Done(value, cost) => {
+                Poll::Ready(LeaderOutcome::Done(Arc::clone(value), *cost))
+            }
+            FlightState::Abandoned { .. } => {
+                // This generation's fetch failed without recording a payload
+                // (it should always record one; be defensive).
+                Poll::Ready(LeaderOutcome::Failed(None))
+            }
+            FlightState::Pending { leader, .. } => {
+                *leader = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Removes a cancelled waiter's registration (its future was dropped
+    /// before the flight resolved).
+    ///
+    /// If the flight is currently abandoned, the cancelled waiter may have
+    /// been the woken takeover candidate, so the next waiter in line is
+    /// woken — at worst a spurious wake, never a lost takeover.  Returns
+    /// `true` when the flight is abandoned with **no** waiter left to take
+    /// it over: the caller (the engine) should then retire the cell from
+    /// its in-flight table so never-re-requested panicking keys do not
+    /// accumulate dead cells.
+    pub fn forget_waiter(&self, slot: &mut WaiterSlot) -> bool {
+        let Some(id) = slot.id.take() else {
+            return false;
+        };
+        let mut state = self.lock();
+        match &mut *state {
+            FlightState::Pending { waiters, .. } => {
+                waiters.retain(|(waiter, _)| *waiter != id);
+                false
+            }
+            FlightState::Abandoned { waiters } => {
+                waiters.retain(|(waiter, _)| *waiter != id);
+                if waiters.is_empty() {
+                    return true;
+                }
+                let candidate = waiters[0].1.clone();
+                drop(state);
+                candidate.wake();
+                false
+            }
+            FlightState::Done(..) => false,
+        }
+    }
+
+    fn deregister(&self, slot: &mut WaiterSlot) {
+        if let Some(id) = slot.id.take() {
+            let mut state = self.lock();
+            if let FlightState::Pending { waiters, .. } | FlightState::Abandoned { waiters } =
+                &mut *state
+            {
+                waiters.retain(|(waiter, _)| *waiter != id);
+            }
+        }
+    }
+
+    /// Stores the admission outcome of the leader's insert for the leader
+    /// session to collect (async path).
+    pub fn set_outcome(&self, outcome: InsertOutcome) {
+        *self
+            .outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
+    }
+
+    /// Takes the stored admission outcome, if any.
+    pub fn take_outcome(&self) -> Option<InsertOutcome> {
+        self.outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+    }
+
+    /// Stores a failed fetch's panic payload for the leader session of
+    /// generation `epoch` to re-raise.  Call **before** [`Flight::abandon`]
+    /// so the leader observes the payload when its abandonment wake arrives.
+    pub fn set_panic(&self, epoch: u64, payload: Box<dyn Any + Send>) {
+        self.panic_payload
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push((epoch, payload));
+    }
+
+    fn take_panic_for(&self, epoch: u64) -> Option<Box<dyn Any + Send>> {
+        let mut payloads = self
+            .panic_payload
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let index = payloads.iter().position(|(e, _)| *e == epoch)?;
+        Some(payloads.swap_remove(index).1)
+    }
+
+    /// Whether the flight has completed.
+    #[cfg(test)]
+    pub fn is_done(&self) -> bool {
+        matches!(*self.lock(), FlightState::Done(..))
     }
 }
 
@@ -100,46 +422,226 @@ impl<V> Default for Flight<V> {
     }
 }
 
+/// Pops the first registered waiter as the takeover candidate, FIFO.
+/// Returns the number of waiters that were invested in the cell (the woken
+/// candidate keeps its claim, so it counts) plus the candidate's waker.
+fn pop_candidate(waiters: &mut Vec<(u64, Waker)>) -> (usize, Option<Waker>) {
+    let invested = waiters.len();
+    let candidate = if waiters.is_empty() {
+        None
+    } else {
+        Some(waiters.remove(0).1)
+    };
+    (invested, candidate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::task::Wake;
+
+    /// A waker that counts how many times it is woken.
+    struct CountingWake {
+        wakes: AtomicU64,
+    }
+
+    impl CountingWake {
+        fn new() -> Arc<Self> {
+            Arc::new(CountingWake {
+                wakes: AtomicU64::new(0),
+            })
+        }
+
+        fn count(&self) -> u64 {
+            self.wakes.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.wakes.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.wakes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn register(flight: &Flight<u64>, wake: &Arc<CountingWake>) -> WaiterSlot {
+        let waker = Waker::from(Arc::clone(wake));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = WaiterSlot::new();
+        assert!(flight.poll_wait(&mut slot, &mut cx).is_pending());
+        slot
+    }
 
     #[test]
-    fn waiters_receive_the_leaders_result() {
-        let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let flight = Arc::clone(&flight);
-            handles.push(std::thread::spawn(move || match flight.wait() {
-                FlightOutcome::Done(value, cost) => (*value, cost.value()),
-                FlightOutcome::Abandoned => panic!("flight must complete"),
-            }));
-        }
-        std::thread::sleep(Duration::from_millis(10));
+    fn complete_wakes_every_waiter_and_delivers_the_value() {
+        let flight: Flight<u64> = Flight::new();
+        let wakes: Vec<_> = (0..4).map(|_| CountingWake::new()).collect();
+        let mut slots: Vec<_> = wakes.iter().map(|w| register(&flight, w)).collect();
+
         flight.complete(Arc::new(99), ExecutionCost::from_blocks(5));
-        for handle in handles {
-            assert_eq!(handle.join().unwrap(), (99, 5.0));
+        for wake in &wakes {
+            assert_eq!(wake.count(), 1, "every waiter woken exactly once");
+        }
+        for (slot, wake) in slots.iter_mut().zip(&wakes) {
+            let waker = Waker::from(Arc::clone(wake));
+            let mut cx = Context::from_waker(&waker);
+            match flight.poll_wait(slot, &mut cx) {
+                Poll::Ready(FlightOutcome::Done(value, cost)) => {
+                    assert_eq!(*value, 99);
+                    assert_eq!(cost.value(), 5.0);
+                }
+                other => panic!("expected Done, got {other:?}"),
+            }
         }
     }
 
     #[test]
-    fn abandonment_wakes_waiters() {
-        let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
-        let waiter = {
-            let flight = Arc::clone(&flight);
-            std::thread::spawn(move || matches!(flight.wait(), FlightOutcome::Abandoned))
-        };
-        std::thread::sleep(Duration::from_millis(10));
+    fn abandonment_wakes_exactly_one_waiter() {
+        let flight: Flight<u64> = Flight::new();
+        let wakes: Vec<_> = (0..5).map(|_| CountingWake::new()).collect();
+        let _slots: Vec<_> = wakes.iter().map(|w| register(&flight, w)).collect();
+
+        let invested = flight.abandon();
+        assert_eq!(invested, 5, "all five waiters still have a claim");
+        let woken: u64 = wakes.iter().map(|w| w.count()).sum();
+        assert_eq!(woken, 1, "no thundering herd: exactly one waiter woken");
+        // The candidate is the earliest registrant (FIFO).
+        assert_eq!(wakes[0].count(), 1);
+    }
+
+    #[test]
+    fn first_poller_after_abandonment_takes_over_and_the_rest_stay() {
+        let flight: Flight<u64> = Flight::new();
+        let candidate_wake = CountingWake::new();
+        let bystander_wake = CountingWake::new();
+        let mut candidate = register(&flight, &candidate_wake);
+        let mut bystander = register(&flight, &bystander_wake);
+
         flight.abandon();
-        assert!(waiter.join().unwrap(), "waiter must observe abandonment");
+        let waker = Waker::from(Arc::clone(&candidate_wake));
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(
+            flight.poll_wait(&mut candidate, &mut cx),
+            Poll::Ready(FlightOutcome::TakeOver)
+        ));
+
+        // The new leader completes the same cell; the bystander (never
+        // re-registered, never woken in between) now observes Done.
+        flight.complete(Arc::new(7), ExecutionCost::from_blocks(1));
+        assert!(bystander_wake.count() >= 1, "bystander woken on completion");
+        let waker = Waker::from(Arc::clone(&bystander_wake));
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(
+            flight.poll_wait(&mut bystander, &mut cx),
+            Poll::Ready(FlightOutcome::Done(value, _)) if *value == 7
+        ));
+    }
+
+    #[test]
+    fn cancelled_candidate_hands_the_wake_to_the_next_waiter() {
+        let flight: Flight<u64> = Flight::new();
+        let first = CountingWake::new();
+        let second = CountingWake::new();
+        let mut first_slot = register(&flight, &first);
+        let _second_slot = register(&flight, &second);
+
+        flight.abandon();
+        assert_eq!(first.count(), 1, "first waiter is the candidate");
+        assert_eq!(second.count(), 0);
+
+        // The candidate's session is cancelled before it could poll: its
+        // future's drop handler forgets the registration, which must pass
+        // the takeover wake along.
+        flight.forget_waiter(&mut first_slot);
+        assert_eq!(second.count(), 1, "next waiter woken — no lost wakeup");
     }
 
     #[test]
     fn abandon_after_complete_is_a_no_op() {
         let flight: Flight<u64> = Flight::new();
         flight.complete(Arc::new(1), ExecutionCost::from_blocks(1));
+        assert_eq!(flight.abandon(), 0);
+        assert!(flight.is_done());
+    }
+
+    #[test]
+    fn leader_poll_observes_completion_and_failure() {
+        let flight: Flight<u64> = Flight::new();
+        let epoch = flight.new_leader_epoch();
+        let wake = CountingWake::new();
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        assert!(flight.poll_leader(epoch, &mut cx).is_pending());
+
+        flight.set_panic(epoch, Box::new("boom"));
         flight.abandon();
-        assert!(matches!(flight.wait(), FlightOutcome::Done(..)));
+        assert_eq!(wake.count(), 1, "leader session woken on abandonment");
+        match flight.poll_leader(epoch, &mut cx) {
+            Poll::Ready(LeaderOutcome::Failed(Some(payload))) => {
+                assert_eq!(*payload.downcast::<&str>().unwrap(), "boom");
+            }
+            other => panic!("expected Failed with payload, got {other:?}"),
+        }
+
+        let done: Flight<u64> = Flight::new();
+        let epoch = done.new_leader_epoch();
+        done.set_outcome(InsertOutcome::already_cached());
+        done.complete(Arc::new(3), ExecutionCost::from_blocks(2));
+        match done.poll_leader(epoch, &mut cx) {
+            Poll::Ready(LeaderOutcome::Done(value, _)) => assert_eq!(*value, 3),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(done.take_outcome().is_some());
+        assert!(done.take_outcome().is_none(), "outcome taken once");
+    }
+
+    #[test]
+    fn own_generation_failure_wins_over_a_takeover_completion() {
+        // The race the epoch exists for: leader A's fetch fails, waiter B
+        // takes over and completes before A polls.  A must still observe its
+        // own failure, and B's result must not be misread as A's.
+        let flight: Flight<u64> = Flight::new();
+        let epoch_a = flight.new_leader_epoch();
+        flight.set_panic(epoch_a, Box::new("a failed"));
+        flight.abandon();
+
+        // B takes over (fresh epoch) and completes the same cell.
+        let epoch_b = flight.new_leader_epoch();
+        flight.complete(Arc::new(11), ExecutionCost::from_blocks(4));
+
+        let wake = CountingWake::new();
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        // A polls late: its own generation's panic, not B's value.
+        match flight.poll_leader(epoch_a, &mut cx) {
+            Poll::Ready(LeaderOutcome::Failed(Some(payload))) => {
+                assert_eq!(*payload.downcast::<&str>().unwrap(), "a failed");
+            }
+            other => panic!("A must observe its own failure, got {other:?}"),
+        }
+        // B polls: the completed value.
+        match flight.poll_leader(epoch_b, &mut cx) {
+            Poll::Ready(LeaderOutcome::Done(value, _)) => assert_eq!(*value, 11),
+            other => panic!("B must observe its completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_waiter_abandonment_leaves_the_cell_takeover_able() {
+        let flight: Flight<u64> = Flight::new();
+        assert_eq!(flight.abandon(), 0);
+        // A session arriving later joins the abandoned cell and immediately
+        // becomes the new leader.
+        let wake = CountingWake::new();
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = WaiterSlot::new();
+        assert!(matches!(
+            flight.poll_wait(&mut slot, &mut cx),
+            Poll::Ready(FlightOutcome::TakeOver)
+        ));
     }
 }

@@ -1,18 +1,24 @@
 //! The sharded concurrent cache engine.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 use crate::clock::Timestamp;
 use crate::coherence::DependencyIndex;
 use crate::engine::events::{CacheEvent, CacheObserver};
 use crate::engine::policy_kind::PolicyKind;
 use crate::engine::rebalance::{plan_transfer, RebalanceConfig, RebalanceOutcome, ShardSignal};
-use crate::engine::single_flight::{Flight, FlightOutcome};
+use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache};
+use crate::runtime::{Runtime, Sleep};
 use crate::value::{CachePayload, ExecutionCost};
 
 /// Pluggable key normalization applied to every key entering the engine.
@@ -138,7 +144,7 @@ impl<V> Shard<V> {
 }
 
 /// The rebalancer's mutable bookkeeping, behind one mutex that also
-/// serializes passes — a session that finds it busy simply skips its turn.
+/// serializes passes.
 struct RebalancePassState {
     /// Per-shard cumulative pressure (rejections + evictions) observed at
     /// the previous pass.
@@ -164,9 +170,71 @@ struct RebalancePassState {
 
 struct RebalancerState {
     config: RebalanceConfig,
-    ops: AtomicU64,
     rebalances: AtomicU64,
+    /// Passes run (including ones that moved nothing), for observability and
+    /// for the no-pass-on-request-path tests.
+    passes: AtomicU64,
     pass: Mutex<RebalancePassState>,
+    /// Thread identities of every pass, recorded in unit tests to prove that
+    /// passes never run on a session thread.
+    #[cfg(test)]
+    pass_threads: Mutex<Vec<std::thread::ThreadId>>,
+}
+
+/// A one-shot signal the engine fires at drop to stop its background
+/// rebalance task, even when the task lives on a *shared* runtime that
+/// outlives the engine.
+#[derive(Default)]
+struct ShutdownCell {
+    fired: AtomicBool,
+    waker: Mutex<Option<Waker>>,
+}
+
+impl ShutdownCell {
+    fn register(&self, waker: &Waker) {
+        *self
+            .waker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(waker.clone());
+    }
+
+    fn fire(&self) {
+        self.fired.store(true, Ordering::Release);
+        let waker = self
+            .waker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+/// Where the engine's runtime comes from: an externally shared one, or a
+/// lazily created owned pool (no threads are spawned until the first async
+/// leader or background task needs them — purely synchronous, hit-heavy
+/// usage never pays for a pool).
+struct RuntimeSlot {
+    external: Option<Arc<Runtime>>,
+    workers: usize,
+    own: OnceLock<Arc<Runtime>>,
+}
+
+impl RuntimeSlot {
+    fn get(&self) -> Arc<Runtime> {
+        match &self.external {
+            Some(runtime) => Arc::clone(runtime),
+            None => Arc::clone(
+                self.own
+                    .get_or_init(|| Arc::new(Runtime::with_workers(self.workers))),
+            ),
+        }
+    }
 }
 
 struct Inner<V> {
@@ -177,6 +245,22 @@ struct Inner<V> {
     total_capacity_bytes: u64,
     coalesced_misses: AtomicU64,
     rebalancer: Option<RebalancerState>,
+    runtime: RuntimeSlot,
+    /// The latest logical timestamp any operation carried, in microseconds.
+    /// The background rebalance task evaluates victim profits "now", and the
+    /// engine's notion of now is whatever the sessions last said it was.
+    latest_now: AtomicU64,
+    /// Fired on drop so the background rebalance task exits promptly even on
+    /// a shared runtime.
+    rebalance_shutdown: OnceLock<Arc<ShutdownCell>>,
+}
+
+impl<V> Drop for Inner<V> {
+    fn drop(&mut self) {
+        if let Some(cell) = self.rebalance_shutdown.get() {
+            cell.fire();
+        }
+    }
 }
 
 /// Configures and builds a [`Watchman`] engine.
@@ -200,6 +284,8 @@ pub struct WatchmanBuilder<V> {
     normalizer: KeyNormalizer,
     observers: Vec<Arc<dyn CacheObserver>>,
     rebalance: Option<RebalanceConfig>,
+    runtime: Option<Arc<Runtime>>,
+    runtime_workers: usize,
     _payload: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -212,6 +298,8 @@ impl<V> std::fmt::Debug for WatchmanBuilder<V> {
             .field("normalizer", &self.normalizer)
             .field("observers", &self.observers.len())
             .field("rebalance", &self.rebalance)
+            .field("runtime", &self.runtime.is_some())
+            .field("runtime_workers", &self.runtime_workers)
             .finish()
     }
 }
@@ -225,6 +313,8 @@ impl<V> Default for WatchmanBuilder<V> {
             normalizer: KeyNormalizer::Exact,
             observers: Vec::new(),
             rebalance: None,
+            runtime: None,
+            runtime_workers: 2,
             _payload: std::marker::PhantomData,
         }
     }
@@ -274,10 +364,31 @@ impl<V> WatchmanBuilder<V> {
     /// Enables profit-aware capacity rebalancing between shards.
     ///
     /// Without this, every shard keeps its static `total/N` split for the
-    /// engine's lifetime.  See [`RebalanceConfig`] for the profit signal and
-    /// pass mechanics.
+    /// engine's lifetime.  Passes run on a background runtime task every
+    /// [`RebalanceConfig::period`] (never on a session's request path); a
+    /// `manual()` config leaves scheduling to explicit
+    /// [`Watchman::rebalance_now`] calls.  See [`RebalanceConfig`] for the
+    /// profit signal and pass mechanics.
     pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
         self.rebalance = Some(config.sanitized());
+        self
+    }
+
+    /// Shares an externally owned [`Runtime`] instead of letting the engine
+    /// lazily create its own pool.  Several engines may share one runtime;
+    /// each engine's background task still stops when *its* engine is
+    /// dropped.
+    pub fn runtime(mut self, runtime: Arc<Runtime>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Sets the worker count of the engine's own lazily created runtime
+    /// (ignored when [`WatchmanBuilder::runtime`] supplies one).  Each
+    /// in-flight fetch occupies a worker for its duration, so this is the
+    /// engine's execution multiprogramming level.  Defaults to 2.
+    pub fn runtime_workers(mut self, workers: usize) -> Self {
+        self.runtime_workers = workers.max(1);
         self
     }
 
@@ -317,10 +428,10 @@ impl<V> WatchmanBuilder<V> {
                 }
             })
             .collect();
-        let rebalancer = self.rebalance.map(|config| RebalancerState {
-            config,
-            ops: AtomicU64::new(0),
+        let rebalancer = self.rebalance.as_ref().map(|config| RebalancerState {
+            config: config.clone(),
             rebalances: AtomicU64::new(0),
+            passes: AtomicU64::new(0),
             pass: Mutex::new(RebalancePassState {
                 last_pressure: vec![0; shard_count],
                 smoothed_gain: vec![0.0; shard_count],
@@ -328,8 +439,10 @@ impl<V> WatchmanBuilder<V> {
                 pass_index: 0,
                 last_transfer: None,
             }),
+            #[cfg(test)]
+            pass_threads: Mutex::new(Vec::new()),
         });
-        Watchman {
+        let engine = Watchman {
             inner: Arc::new(Inner {
                 shards,
                 observers: self.observers,
@@ -338,8 +451,23 @@ impl<V> WatchmanBuilder<V> {
                 total_capacity_bytes: self.capacity_bytes,
                 coalesced_misses: AtomicU64::new(0),
                 rebalancer,
+                runtime: RuntimeSlot {
+                    external: self.runtime,
+                    workers: self.runtime_workers,
+                    own: OnceLock::new(),
+                },
+                latest_now: AtomicU64::new(0),
+                rebalance_shutdown: OnceLock::new(),
             }),
+        };
+        if let Some(period) = self
+            .rebalance
+            .and_then(|config| config.period)
+            .filter(|_| shard_count >= 2)
+        {
+            engine.spawn_background_rebalancer(period);
         }
+        engine
     }
 }
 
@@ -352,9 +480,13 @@ impl<V> WatchmanBuilder<V> {
 /// * the keyspace is hash-partitioned by query signature across N shards,
 ///   each an independent [`PolicyKind`] instance behind its own lock;
 /// * payloads are shared as `Arc<V>`, so hits never copy retrieved sets;
-/// * [`Watchman::get_or_execute`] deduplicates concurrent misses on the same
-///   query (*single-flight*): one session executes the warehouse query, the
-///   rest wait for its result;
+/// * [`Watchman::get_or_execute`] / [`Watchman::get_or_execute_async`]
+///   deduplicate concurrent misses on the same query (*single-flight*):
+///   exactly one session executes the warehouse query, the rest share its
+///   result.  Both entry points drive the **same poll-based implementation**;
+///   the synchronous one is a [`block_on`](crate::runtime::block_on) shim,
+///   the asynchronous one suspends waiting sessions as futures on the
+///   engine's [`Runtime`] instead of parking OS threads;
 /// * admissions, rejections, evictions and invalidations are published to
 ///   [`CacheObserver`]s, which the coherence index and the buffer manager's
 ///   p₀-hint machinery subscribe to;
@@ -425,12 +557,29 @@ where
         self.inner.shards.len()
     }
 
+    /// The runtime the engine spawns fetches and background tasks on.
+    ///
+    /// Lazily created on first use unless [`WatchmanBuilder::runtime`]
+    /// supplied a shared one.  Applications can spawn their own session
+    /// tasks here so sessions and fetches share one worker pool.
+    pub fn runtime(&self) -> Arc<Runtime> {
+        self.inner.runtime.get()
+    }
+
     fn shard_index(&self, key: &QueryKey) -> usize {
         // Mix the signature before reduction: FNV's low bits correlate with
         // short key suffixes, and the paper's signature index already uses
         // the raw value.
         let mixed = key.signature().value().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mixed >> 32) as usize) % self.inner.shards.len()
+    }
+
+    /// Folds an operation's logical timestamp into the engine's notion of
+    /// "now" (used by background rebalance passes).
+    fn observe_now(&self, now: Timestamp) {
+        self.inner
+            .latest_now
+            .fetch_max(now.as_micros(), Ordering::Relaxed);
     }
 
     fn emit(&self, events: Vec<CacheEvent>) {
@@ -489,48 +638,56 @@ where
         }
     }
 
-    /// Counts one engine operation toward the rebalance interval, running a
-    /// rebalance pass when the interval elapses.  Must be called with **no
-    /// shard lock held**.
-    fn tick(&self, now: Timestamp) {
-        let Some(rb) = &self.inner.rebalancer else {
-            return;
+    /// Spawns the background rebalance task on the engine's runtime.  The
+    /// task holds only weak references, so it never keeps the engine (or a
+    /// shared runtime) alive; the engine's drop fires its shutdown cell.
+    fn spawn_background_rebalancer(&self, period: Duration) {
+        let cell = Arc::new(ShutdownCell::default());
+        self.inner
+            .rebalance_shutdown
+            .set(Arc::clone(&cell))
+            .ok()
+            .expect("background rebalancer spawned once");
+        let runtime = self.runtime();
+        let task = RebalanceTask {
+            engine: Arc::downgrade(&self.inner),
+            shutdown: cell,
+            runtime: runtime.inner_handle(),
+            sleep: runtime.sleep(period),
+            period,
         };
-        if self.inner.shards.len() < 2 {
-            return;
-        }
-        let ops = rb.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        if ops % rb.config.interval == 0 {
-            self.rebalance_pass(now, false);
-        }
+        runtime.spawn(task);
     }
 
-    /// Runs one rebalance pass immediately, regardless of the operation
-    /// counter, and returns what it did (or `None` when rebalancing is not
-    /// configured, another pass is in flight, or the shard signals do not
-    /// justify a move).  Exposed for deterministic tests and drivers that
-    /// prefer explicit scheduling over the operation-count trigger.
+    /// Runs one rebalance pass immediately and returns what it did (or
+    /// `None` when rebalancing is not configured or the shard signals do not
+    /// justify a move).
+    ///
+    /// This is the *driver-scheduled* entry point: deterministic replays
+    /// (the simulator's shard sweep) and tests call it explicitly instead of
+    /// configuring a background period.  Sessions never trigger passes —
+    /// `get`/`insert`/`get_or_execute` carry no rebalancing work at all.
     pub fn rebalance_now(&self, now: Timestamp) -> Option<RebalanceOutcome> {
-        self.rebalance_pass(now, true)
+        self.rebalance_pass(now)
     }
 
-    fn rebalance_pass(&self, now: Timestamp, block: bool) -> Option<RebalanceOutcome> {
+    fn rebalance_pass(&self, now: Timestamp) -> Option<RebalanceOutcome> {
         let rb = self.inner.rebalancer.as_ref()?;
         if self.inner.shards.len() < 2 {
             return None;
         }
-        // The pass state mutex serializes passes; an op-triggered pass that
-        // finds it busy skips its turn rather than queueing behind it.
-        let mut pass = if block {
-            rb.pass
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-        } else {
-            match rb.pass.try_lock() {
-                Ok(guard) => guard,
-                Err(_) => return None,
-            }
-        };
+        // The pass state mutex serializes passes (the background task and
+        // any driver-scheduled calls).
+        let mut pass = rb
+            .pass
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        rb.passes.fetch_add(1, Ordering::Relaxed);
+        #[cfg(test)]
+        rb.pass_threads
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(std::thread::current().id());
 
         let total = self.inner.total_capacity_bytes;
         let floor = rb.config.floor_bytes(total, self.inner.shards.len());
@@ -632,7 +789,7 @@ where
     /// [`Watchman::get_or_execute`], which additionally deduplicates
     /// concurrent executions.
     pub fn get(&self, key: &QueryKey, now: Timestamp) -> Option<Arc<V>> {
-        self.tick(now);
+        self.observe_now(now);
         let key = self.inner.normalizer.apply(key);
         let index = self.shard_index(&key);
         let mut shard = self.inner.shards[index].lock();
@@ -658,7 +815,7 @@ where
         cost: ExecutionCost,
         now: Timestamp,
     ) -> InsertOutcome {
-        self.tick(now);
+        self.observe_now(now);
         let key = self.inner.normalizer.apply(&key);
         let index = self.shard_index(&key);
         let size_bytes = value.size_bytes();
@@ -676,100 +833,152 @@ where
     /// set and its observed cost, offers it for admission, and returns it.
     ///
     /// Concurrent misses on the same query are **single-flight**: exactly one
-    /// session runs `fetch` (outside any lock), the others block until its
-    /// result is available and share it without executing.  If the leader's
-    /// `fetch` panics, one waiter takes over as the new leader.
+    /// session runs `fetch` (outside any lock), the others wait for its
+    /// result and share it without executing.  If the leader's `fetch`
+    /// panics, exactly one waiter is woken to take over as the new leader
+    /// and the panic propagates out of the leader's call.
+    ///
+    /// This is the synchronous front door: a
+    /// [`block_on`](crate::runtime::block_on) shim over the same poll-based
+    /// implementation [`Watchman::get_or_execute_async`] returns, with the
+    /// one difference that the leader's `fetch` runs *inline on the calling
+    /// thread* (so `fetch` needs no `Send + 'static` bounds and a
+    /// single-threaded replay is fully deterministic).
     pub fn get_or_execute<F>(&self, key: &QueryKey, now: Timestamp, fetch: F) -> Lookup<V>
     where
-        F: FnOnce() -> (V, ExecutionCost),
+        F: FnOnce() -> (V, ExecutionCost) + Unpin,
     {
-        self.tick(now);
+        self.observe_now(now);
         let key = self.inner.normalizer.apply(key);
-        let index = self.shard_index(&key);
-        let shard = &self.inner.shards[index];
-        let mut fetch = Some(fetch);
-        loop {
-            // Fast path: hit, or join an existing flight.
-            let flight = {
-                let mut state = shard.lock();
-                if let Some(value) = state.cache.get(&key, now) {
-                    return Lookup {
-                        value: Arc::clone(value),
-                        source: LookupSource::Hit,
-                        outcome: None,
-                    };
-                }
-                match state.inflight.get(&key) {
-                    Some(flight) => FlightRole::Waiter(Arc::clone(flight)),
-                    None => {
-                        let flight = Arc::new(Flight::new());
-                        state.inflight.insert(key.clone(), Arc::clone(&flight));
-                        FlightRole::Leader(flight)
-                    }
-                }
-            };
-
-            match flight {
-                FlightRole::Waiter(flight) => match flight.wait() {
-                    FlightOutcome::Done(value, cost) => {
-                        // A coalesced wait is still one logical reference
-                        // (one-call-per-reference protocol): account it as
-                        // hit-equivalent at the leader's observed cost so
-                        // CSR/HR denominators cover every reference.
-                        {
-                            let mut state = self.inner.shards[index].lock();
-                            state.cache.record_coalesced_reference(cost);
-                        }
-                        self.inner.coalesced_misses.fetch_add(1, Ordering::Relaxed);
-                        return Lookup {
-                            value,
-                            source: LookupSource::Coalesced,
-                            outcome: None,
-                        };
-                    }
-                    // The leader failed; loop back and try to become the
-                    // new leader (or hit the cache if someone else already
-                    // repaired it).
-                    FlightOutcome::Abandoned => continue,
-                },
-                FlightRole::Leader(flight) => {
-                    let guard = AbandonGuard {
-                        shard,
-                        key: &key,
-                        flight: &flight,
-                    };
-                    let (value, cost) = (fetch.take().expect("leader runs fetch once"))();
-                    let value = Arc::new(value);
-                    let outcome = {
-                        let mut state = shard.lock();
-                        let outcome =
-                            state
-                                .cache
-                                .insert(key.clone(), Arc::clone(&value), cost, now);
-                        state.inflight.remove(&key);
-                        // Emitted under the shard lock: observers see this
-                        // shard's events in cache order.
-                        if !self.inner.observers.is_empty() {
-                            self.emit(Self::insert_events(
-                                &key,
-                                value.size_bytes(),
-                                cost,
-                                &outcome,
-                                index,
-                            ));
-                        }
-                        outcome
-                    };
-                    flight.complete(Arc::clone(&value), cost);
-                    std::mem::forget(guard);
-                    return Lookup {
-                        value,
-                        source: LookupSource::Executed,
-                        outcome: Some(outcome),
-                    };
-                }
+        let shard = self.shard_index(&key);
+        // Hit fast path: the engine's hottest operation needs none of the
+        // future machinery (engine clone, waker, pinning).  This is exactly
+        // the check the future's Start state performs; on a miss the Start
+        // state repeats the `get`, which is stat-neutral (misses are
+        // recorded at insert, and retained-reference records deduplicate on
+        // the timestamp), so both front doors stay byte-identical.
+        {
+            let mut state = self.inner.shards[shard].lock();
+            if let Some(value) = state.cache.get(&key, now) {
+                return Lookup {
+                    value: Arc::clone(value),
+                    source: LookupSource::Hit,
+                    outcome: None,
+                };
             }
         }
+        crate::runtime::block_on(LookupFuture {
+            engine: self.clone(),
+            key,
+            shard: Some(shard),
+            now,
+            driver: FetchDriver::Inline(Some(fetch)),
+            state: LookupState::Start,
+        })
+    }
+
+    /// The asynchronous front door: like [`Watchman::get_or_execute`], but
+    /// returns a [`LookupFuture`] and runs the leader's `fetch` on the
+    /// engine's [`Runtime`], so a waiting session suspends (a registered
+    /// waker) instead of blocking an OS thread.
+    ///
+    /// Thousands of sessions can wait on slow warehouse queries while the
+    /// thread count stays at the runtime's worker-pool size.  The future is
+    /// lazy (nothing happens until it is polled) and cancellation-safe:
+    /// dropping it deregisters the session's waker, and if the session had
+    /// been woken to take over an abandoned flight, the wake is passed to
+    /// the next waiter.
+    ///
+    /// A panicking `fetch` is re-raised on the leader session when it awaits
+    /// the result, mirroring the synchronous contract; one waiter takes over
+    /// the execution.
+    pub fn get_or_execute_async<F>(
+        &self,
+        key: &QueryKey,
+        now: Timestamp,
+        fetch: F,
+    ) -> LookupFuture<V, F>
+    where
+        F: FnOnce() -> (V, ExecutionCost) + Send + 'static,
+    {
+        let mut fetch = Some(fetch);
+        let spawner: SpawnFetch<V> = Box::new(move |engine, key, shard, now, flight, epoch| {
+            let fetch = fetch.take().expect("spawner invoked once");
+            let weak = Arc::downgrade(&engine.inner);
+            engine.runtime().spawn(async move {
+                run_spawned_fetch(weak, key, shard, now, flight, epoch, fetch);
+            });
+        });
+        LookupFuture {
+            engine: self.clone(),
+            key: self.inner.normalizer.apply(key),
+            shard: None,
+            now,
+            driver: FetchDriver::Spawn(Some(spawner)),
+            state: LookupState::Start,
+        }
+    }
+
+    /// Abandons `flight` after a failed fetch and, when no waiter holds a
+    /// takeover claim on it, retires its entry from the shard's in-flight
+    /// table — without this, a panicking key that is never re-requested
+    /// would leak its cell (and panic payload) forever.
+    ///
+    /// Runs under the shard lock so the zero-waiter check and the removal
+    /// are atomic against new sessions joining the flight; no other path
+    /// acquires these two locks in the reverse order.  A racer that already
+    /// cloned the cell's `Arc` but has not polled yet can still take the
+    /// orphaned cell over and complete it (its `finish_leader_insert` then
+    /// finds no matching entry and removes nothing) — the worst case is one
+    /// duplicate execution, the same window the in-flight table has always
+    /// had around abandonment.
+    fn abandon_flight(&self, key: &QueryKey, shard_index: usize, flight: &Arc<Flight<V>>) {
+        let mut state = self.inner.shards[shard_index].lock();
+        if flight.abandon() == 0
+            && state
+                .inflight
+                .get(key)
+                .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+        {
+            state.inflight.remove(key);
+        }
+    }
+
+    /// Completes a leader's execution: offers the value for admission,
+    /// retires the in-flight entry, and publishes the resulting events.
+    fn finish_leader_insert(
+        &self,
+        key: &QueryKey,
+        shard_index: usize,
+        flight: &Arc<Flight<V>>,
+        value: Arc<V>,
+        cost: ExecutionCost,
+        now: Timestamp,
+    ) -> InsertOutcome {
+        let size_bytes = value.size_bytes();
+        let mut state = self.inner.shards[shard_index].lock();
+        let outcome = state.cache.insert(key.clone(), value, cost, now);
+        // Retire the in-flight entry only if it is still ours (defensive:
+        // completion is the only remover, so it always is).
+        if state
+            .inflight
+            .get(key)
+            .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+        {
+            state.inflight.remove(key);
+        }
+        // Emitted under the shard lock: observers see this shard's events in
+        // cache order.
+        if !self.inner.observers.is_empty() {
+            self.emit(Self::insert_events(
+                key,
+                size_bytes,
+                cost,
+                &outcome,
+                shard_index,
+            ));
+        }
+        outcome
     }
 
     /// Removes the retrieved set for `key` because a warehouse update made it
@@ -847,6 +1056,19 @@ where
             .rebalancer
             .as_ref()
             .map_or(0, |rb| rb.rebalances.load(Ordering::Relaxed))
+    }
+
+    /// Number of rebalance passes run, including ones that moved nothing.
+    ///
+    /// With a background period configured this grows over wall-clock time;
+    /// in `manual()` mode it counts [`Watchman::rebalance_now`] calls.  It
+    /// never grows from session operations — passes do not run on the
+    /// request path.
+    pub fn rebalance_passes(&self) -> u64 {
+        self.inner
+            .rebalancer
+            .as_ref()
+            .map_or(0, |rb| rb.passes.load(Ordering::Relaxed))
     }
 
     /// Fraction of capacity currently in use.
@@ -928,24 +1150,464 @@ where
                 .map_or(0, |rb| rb.rebalances.load(Ordering::Relaxed)),
         }
     }
+
+    /// Number of in-flight single-flight cells across all shards (test
+    /// instrumentation for the abandoned-cell retirement guarantee).
+    #[cfg(test)]
+    pub(crate) fn inflight_entries(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| shard.lock().inflight.len())
+            .sum()
+    }
+
+    /// Thread identities of every rebalance pass (test instrumentation for
+    /// the no-pass-on-a-session-thread guarantee).
+    #[cfg(test)]
+    pub(crate) fn rebalance_pass_threads(&self) -> Vec<std::thread::ThreadId> {
+        self.inner.rebalancer.as_ref().map_or(Vec::new(), |rb| {
+            rb.pass_threads
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone()
+        })
+    }
 }
 
-enum FlightRole<V> {
-    Leader(Arc<Flight<V>>),
-    Waiter(Arc<Flight<V>>),
+/// The boxed hook an async lookup uses to launch its fetch on the runtime.
+/// Boxing happens in [`Watchman::get_or_execute_async`], where the
+/// `Send + 'static` bounds are available; the future itself stays a single
+/// non-virtual implementation shared with the synchronous path.
+type SpawnFetch<V> =
+    Box<dyn FnMut(&Watchman<V>, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64) + Send>;
+
+/// Runs a spawned leader fetch to completion on a runtime worker: executes
+/// the closure, admits the result, and completes (or, on panic, abandons)
+/// the flight.  Holds only a weak engine reference so a task queued behind a
+/// long fetch never keeps a dropped engine alive.
+fn run_spawned_fetch<V, F>(
+    engine: Weak<Inner<V>>,
+    key: QueryKey,
+    shard: usize,
+    now: Timestamp,
+    flight: Arc<Flight<V>>,
+    epoch: u64,
+    fetch: F,
+) where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnOnce() -> (V, ExecutionCost),
+{
+    // The completion stage (insert + observer emit) runs under its own
+    // catch_unwind for the same reason the inline path keeps its guard armed
+    // through it: a panic in user observer code must abandon the flight, not
+    // strand the waiters on a cell that never resolves.
+    let result = catch_unwind(AssertUnwindSafe(fetch)).and_then(|(value, cost)| {
+        let value = Arc::new(value);
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inner) = engine.upgrade() {
+                let engine = Watchman { inner };
+                let outcome = engine.finish_leader_insert(
+                    &key,
+                    shard,
+                    &flight,
+                    Arc::clone(&value),
+                    cost,
+                    now,
+                );
+                flight.set_outcome(outcome);
+            }
+            (value, cost)
+        }))
+    });
+    match result {
+        Ok((value, cost)) => flight.complete(value, cost),
+        Err(payload) => {
+            // Payload first, then abandon: the leader session must observe
+            // the payload when its abandonment wake arrives.
+            flight.set_panic(epoch, payload);
+            match engine.upgrade() {
+                Some(inner) => Watchman { inner }.abandon_flight(&key, shard, &flight),
+                // Engine gone: there is no table left to retire from.
+                None => {
+                    flight.abandon();
+                }
+            }
+        }
+    }
 }
 
-/// Abandons the leader's flight if its fetch panics, so waiters are not
-/// stranded on a flight that will never complete.
-struct AbandonGuard<'a, V> {
-    shard: &'a Shard<V>,
+/// How a [`LookupFuture`]'s leader runs its fetch: inline on the polling
+/// thread (synchronous front door) or spawned onto the runtime (async front
+/// door).  Everything else — hit, coalesce, abandonment, takeover — is the
+/// same code.
+enum FetchDriver<V, F> {
+    Inline(Option<F>),
+    Spawn(Option<SpawnFetch<V>>),
+}
+
+enum LookupState<V> {
+    Start,
+    Waiting {
+        flight: Arc<Flight<V>>,
+        slot: WaiterSlot,
+        /// `Some(epoch)` when this session is the leader of that leadership
+        /// generation, awaiting its own spawned fetch; `None` for a
+        /// coalescing waiter.
+        leading: Option<u64>,
+    },
+    Finished,
+}
+
+/// What one poll step decided, lifted out of the state borrow so the state
+/// machine can transition freely.
+enum Step<V> {
+    Return(Lookup<V>),
+    BecomeWaiter(Arc<Flight<V>>),
+    Lead(Arc<Flight<V>>),
+    /// Won the takeover race on an abandoned flight: re-check the cache
+    /// before re-executing (the failed leader may have panicked *after* its
+    /// insert succeeded — e.g. in a user observer — leaving the value
+    /// cached), then lead.
+    TakeOver(Arc<Flight<V>>),
+    Suspend,
+    LeaderFailed(Option<Box<dyn std::any::Any + Send>>),
+}
+
+/// The future returned by [`Watchman::get_or_execute_async`] (and driven by
+/// [`block_on`](crate::runtime::block_on) inside the synchronous
+/// [`Watchman::get_or_execute`]).
+///
+/// Lazy: nothing happens until first poll.  Cancellation-safe: dropping it
+/// deregisters this session's waker from the flight it waits on; a dropped
+/// takeover candidate passes its wake to the next waiter.
+pub struct LookupFuture<V, F> {
+    engine: Watchman<V>,
+    /// The normalized key.
+    key: QueryKey,
+    /// Shard index, resolved on first poll.
+    shard: Option<usize>,
+    now: Timestamp,
+    driver: FetchDriver<V, F>,
+    state: LookupState<V>,
+}
+
+impl<V, F> std::fmt::Debug for LookupFuture<V, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LookupFuture")
+            .field("key", &self.key)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V, F> Future for LookupFuture<V, F>
+where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnOnce() -> (V, ExecutionCost) + Unpin,
+{
+    type Output = Lookup<V>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Lookup<V>> {
+        // All fields are Unpin (`F` by bound — every ordinary closure is),
+        // so plain projection is safe without unsafe code.
+        let this = self.get_mut();
+        loop {
+            let step = match &mut this.state {
+                LookupState::Finished => panic!("LookupFuture polled after completion"),
+                LookupState::Start => {
+                    this.engine.observe_now(this.now);
+                    let shard_index = *this
+                        .shard
+                        .get_or_insert_with(|| this.engine.shard_index(&this.key));
+                    let mut state = this.engine.inner.shards[shard_index].lock();
+                    if let Some(value) = state.cache.get(&this.key, this.now) {
+                        Step::Return(Lookup {
+                            value: Arc::clone(value),
+                            source: LookupSource::Hit,
+                            outcome: None,
+                        })
+                    } else {
+                        match state.inflight.get(&this.key) {
+                            Some(flight) => Step::BecomeWaiter(Arc::clone(flight)),
+                            None => {
+                                let flight = Arc::new(Flight::new());
+                                state.inflight.insert(this.key.clone(), Arc::clone(&flight));
+                                Step::Lead(flight)
+                            }
+                        }
+                    }
+                }
+                LookupState::Waiting {
+                    flight,
+                    slot: _,
+                    leading: Some(epoch),
+                } => match flight.poll_leader(*epoch, cx) {
+                    Poll::Pending => Step::Suspend,
+                    Poll::Ready(LeaderOutcome::Done(value, _cost)) => {
+                        let outcome = flight.take_outcome();
+                        Step::Return(Lookup {
+                            value,
+                            source: LookupSource::Executed,
+                            outcome,
+                        })
+                    }
+                    Poll::Ready(LeaderOutcome::Failed(payload)) => Step::LeaderFailed(payload),
+                },
+                LookupState::Waiting {
+                    flight,
+                    slot,
+                    leading: None,
+                } => match flight.poll_wait(slot, cx) {
+                    Poll::Pending => Step::Suspend,
+                    Poll::Ready(FlightOutcome::Done(value, cost)) => {
+                        // A coalesced wait is still one logical reference
+                        // (one-call-per-reference protocol): account it as
+                        // hit-equivalent at the leader's observed cost so
+                        // CSR/HR denominators cover every reference.
+                        let shard_index = this.shard.expect("set before waiting");
+                        {
+                            let mut state = this.engine.inner.shards[shard_index].lock();
+                            state.cache.record_coalesced_reference(cost);
+                        }
+                        this.engine
+                            .inner
+                            .coalesced_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                        Step::Return(Lookup {
+                            value,
+                            source: LookupSource::Coalesced,
+                            outcome: None,
+                        })
+                    }
+                    // The previous leader failed and this session won the
+                    // takeover race: it is the leader now, on the same
+                    // flight cell, with its own (still unconsumed) fetch.
+                    Poll::Ready(FlightOutcome::TakeOver) => Step::TakeOver(Arc::clone(flight)),
+                },
+            };
+
+            // Resolve a takeover into a hit or real leadership before the
+            // state transition below.
+            let step = match step {
+                Step::TakeOver(flight) => {
+                    let shard_index = this.shard.expect("set before waiting");
+                    let cached = {
+                        let mut state = this.engine.inner.shards[shard_index].lock();
+                        state.cache.get(&this.key, this.now).map(Arc::clone)
+                    };
+                    match cached {
+                        // The value landed before the old leader failed (a
+                        // panic in its post-insert observer emit): serve the
+                        // hit instead of re-running a multi-second fetch,
+                        // and pass leadership along — the next candidate
+                        // repeats this check, and the last abandonment
+                        // retires the cell.
+                        Some(value) => {
+                            this.engine.abandon_flight(&this.key, shard_index, &flight);
+                            Step::Return(Lookup {
+                                value,
+                                source: LookupSource::Hit,
+                                outcome: None,
+                            })
+                        }
+                        None => Step::Lead(flight),
+                    }
+                }
+                other => other,
+            };
+
+            match step {
+                Step::TakeOver(_) => unreachable!("resolved into Return or Lead above"),
+                Step::Suspend => return Poll::Pending,
+                Step::Return(lookup) => {
+                    this.state = LookupState::Finished;
+                    return Poll::Ready(lookup);
+                }
+                Step::BecomeWaiter(flight) => {
+                    this.state = LookupState::Waiting {
+                        flight,
+                        slot: WaiterSlot::new(),
+                        leading: None,
+                    };
+                    // Loop: poll the flight, registering our waker.
+                }
+                Step::LeaderFailed(payload) => {
+                    this.state = LookupState::Finished;
+                    match payload {
+                        // Re-raise the fetch's panic on the leader session,
+                        // mirroring the synchronous contract.
+                        Some(payload) => std::panic::resume_unwind(payload),
+                        None => panic!("single-flight leader fetch failed"),
+                    }
+                }
+                Step::Lead(flight) => {
+                    let shard_index = this.shard.expect("set before leading");
+                    match &mut this.driver {
+                        FetchDriver::Inline(fetch) => {
+                            let fetch = fetch.take().expect("leader consumes its fetch once");
+                            // The guard stays armed through the fetch AND the
+                            // completion (insert + observer emit): a panic
+                            // anywhere before `complete` — including user
+                            // observer code — must wake exactly one waiter to
+                            // take over this same flight cell (retiring the
+                            // cell when nobody waits) instead of stranding
+                            // the waiters on a flight that never resolves.
+                            // The panic itself propagates to the caller.
+                            let guard = AbandonGuard {
+                                engine: &this.engine,
+                                key: &this.key,
+                                shard_index,
+                                flight: &flight,
+                            };
+                            let (value, cost) = fetch();
+                            let value = Arc::new(value);
+                            let outcome = this.engine.finish_leader_insert(
+                                &this.key,
+                                shard_index,
+                                &flight,
+                                Arc::clone(&value),
+                                cost,
+                                this.now,
+                            );
+                            flight.complete(Arc::clone(&value), cost);
+                            std::mem::forget(guard);
+                            this.state = LookupState::Finished;
+                            return Poll::Ready(Lookup {
+                                value,
+                                source: LookupSource::Executed,
+                                outcome: Some(outcome),
+                            });
+                        }
+                        FetchDriver::Spawn(spawner) => {
+                            let mut spawner =
+                                spawner.take().expect("leader consumes its fetch once");
+                            let epoch = flight.new_leader_epoch();
+                            spawner(
+                                &this.engine,
+                                this.key.clone(),
+                                shard_index,
+                                this.now,
+                                Arc::clone(&flight),
+                                epoch,
+                            );
+                            this.state = LookupState::Waiting {
+                                flight,
+                                slot: WaiterSlot::new(),
+                                leading: Some(epoch),
+                            };
+                            // Loop: poll as leader, registering our waker.
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V, F> Drop for LookupFuture<V, F> {
+    fn drop(&mut self) {
+        // A cancelled waiter must deregister; if it had been woken to take
+        // over an abandoned flight, forget_waiter passes the wake along so
+        // no takeover is lost, and if it was the *last* waiter of an
+        // abandoned flight, the cell is retired from the in-flight table.
+        // (A cancelled *leader* needs nothing: its spawned fetch completes
+        // the flight for the remaining waiters.)
+        if let LookupState::Waiting {
+            flight,
+            slot,
+            leading: None,
+        } = &mut self.state
+        {
+            let shard_index = self.shard.expect("set before waiting");
+            // Shard lock first, then the flight's lock inside forget_waiter —
+            // the same order abandon_flight uses.
+            let mut state = self.engine.inner.shards[shard_index].lock();
+            if flight.forget_waiter(slot)
+                && state
+                    .inflight
+                    .get(&self.key)
+                    .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+            {
+                state.inflight.remove(&self.key);
+            }
+        }
+    }
+}
+
+/// Abandons the leader's flight if its inline fetch panics, so waiters are
+/// not stranded on a flight that will never complete.  Exactly one waiter is
+/// woken to take over leadership of the same cell; with no waiters at all
+/// the cell is retired from the in-flight table (see
+/// [`Watchman::abandon_flight`]).
+struct AbandonGuard<'a, V>
+where
+    V: CachePayload + Send + Sync + 'static,
+{
+    engine: &'a Watchman<V>,
     key: &'a QueryKey,
+    shard_index: usize,
     flight: &'a Arc<Flight<V>>,
 }
 
-impl<V> Drop for AbandonGuard<'_, V> {
+impl<V> Drop for AbandonGuard<'_, V>
+where
+    V: CachePayload + Send + Sync + 'static,
+{
     fn drop(&mut self) {
-        self.shard.lock().inflight.remove(self.key);
-        self.flight.abandon();
+        self.engine
+            .abandon_flight(self.key, self.shard_index, self.flight);
+    }
+}
+
+/// The background task that runs rebalance passes every `period`.
+///
+/// Holds only weak references: it never keeps the engine alive, and exits
+/// when the engine is dropped (the shutdown cell fires), when the runtime
+/// goes away, or when the engine is gone at wake time.
+struct RebalanceTask<V> {
+    engine: Weak<Inner<V>>,
+    shutdown: Arc<ShutdownCell>,
+    runtime: Weak<crate::runtime::RuntimeInner>,
+    sleep: Sleep,
+    period: Duration,
+}
+
+impl<V> Future for RebalanceTask<V>
+where
+    V: CachePayload + Send + Sync + 'static,
+{
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        loop {
+            // Register before checking: a fire between check and suspend
+            // must not be lost.
+            this.shutdown.register(cx.waker());
+            if this.shutdown.is_fired() {
+                return Poll::Ready(());
+            }
+            match Pin::new(&mut this.sleep).poll(cx) {
+                Poll::Pending => return Poll::Pending,
+                Poll::Ready(()) => {
+                    if this.shutdown.is_fired() {
+                        return Poll::Ready(());
+                    }
+                    let Some(inner) = this.engine.upgrade() else {
+                        return Poll::Ready(());
+                    };
+                    let engine = Watchman { inner };
+                    let now =
+                        Timestamp::from_micros(engine.inner.latest_now.load(Ordering::Relaxed));
+                    engine.rebalance_pass(now);
+                    drop(engine);
+                    if this.runtime.upgrade().is_none() {
+                        return Poll::Ready(());
+                    }
+                    this.sleep = Sleep::until(this.runtime.clone(), Instant::now() + this.period);
+                }
+            }
+        }
     }
 }

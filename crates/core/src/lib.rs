@@ -68,7 +68,8 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`engine`] | **The concurrent engine**: sharded [`Watchman`](engine::Watchman) facade, single-flight misses, [`PolicyKind`](engine::PolicyKind), [`CacheEvent`](engine::CacheEvent) observers, [`StatsSnapshot`](engine::StatsSnapshot) |
+//! | [`engine`] | **The concurrent engine**: sharded [`Watchman`](engine::Watchman) facade, poll-based single-flight misses (sync + async front doors), [`PolicyKind`](engine::PolicyKind), [`CacheEvent`](engine::CacheEvent) observers, [`StatsSnapshot`](engine::StatsSnapshot) |
+//! | [`runtime`] | Hand-rolled async [`Runtime`](runtime::Runtime): worker pool, task queue, timers, [`block_on`](runtime::block_on) |
 //! | [`key`] | Query IDs, signatures, delimiter compression (paper §3) |
 //! | [`value`] | [`CachePayload`](value::CachePayload), retrieved sets, execution costs |
 //! | [`clock`] | Logical timestamps and clock sources |
@@ -80,7 +81,6 @@
 //! | [`equivalence`] | Canonical query matching, pluggable into the engine as a [`KeyNormalizer`](engine::KeyNormalizer) (§6) |
 //! | [`metrics`] | Cost savings ratio, hit ratio, fragmentation (§4.1) |
 //! | [`theory`] | LNC\* and the exact knapsack oracle (§2.3) |
-//! | [`concurrent`] | Deprecated single-mutex wrapper, now a shim over a 1-shard engine |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -88,7 +88,6 @@
 
 pub mod clock;
 pub mod coherence;
-pub mod concurrent;
 pub mod engine;
 pub mod equivalence;
 pub mod history;
@@ -98,6 +97,7 @@ pub mod metrics;
 pub mod policy;
 pub mod profit;
 pub mod retained;
+pub mod runtime;
 pub mod theory;
 pub mod value;
 
@@ -108,7 +108,7 @@ pub mod prelude {
         invalidate_affected, DependencyIndex, DependencyObserver, InvalidationReport,
     };
     pub use crate::engine::{
-        CacheEvent, CacheObserver, KeyNormalizer, Lookup, LookupSource, PolicyKind,
+        CacheEvent, CacheObserver, KeyNormalizer, Lookup, LookupFuture, LookupSource, PolicyKind,
         RebalanceConfig, RebalanceOutcome, StatsSnapshot, Watchman,
     };
     pub use crate::history::ReferenceHistory;
@@ -122,6 +122,7 @@ pub mod prelude {
     pub use crate::policy::lru_k::{LruKCache, LruKConfig};
     pub use crate::policy::{InsertOutcome, QueryCache, RejectReason};
     pub use crate::profit::Profit;
+    pub use crate::runtime::{block_on, JoinError, JoinHandle, Runtime};
     pub use crate::value::{CachePayload, Datum, ExecutionCost, RetrievedSet, Row, SizedPayload};
 }
 

@@ -1,0 +1,630 @@
+//! A small hand-rolled async runtime for the engine's execution layer.
+//!
+//! Warehouse queries take seconds, so the cache manager must never serialize
+//! sessions behind one another's executions (paper §3).  The poll-based
+//! engine ([`Watchman::get_or_execute_async`]) suspends waiting sessions as
+//! futures instead of parking OS threads; *something* has to poll those
+//! futures, and the build environment is offline (no tokio), so this module
+//! provides the minimal executor the engine needs:
+//!
+//! * [`Runtime`] — a configurable pool of worker threads sharing one injector
+//!   queue of tasks, plus a timer heap for [`Runtime::sleep`];
+//! * [`Runtime::spawn`] — submits any `Future` and returns a [`JoinHandle`]
+//!   (itself a future) for its output;
+//! * [`block_on`] — drives any future to completion on the calling thread,
+//!   parking between polls.  This is the bridge the synchronous engine entry
+//!   points use: `get_or_execute` is literally `block_on(get_or_execute_async
+//!   (..))`.
+//!
+//! ## Scheduling model and its limits
+//!
+//! The runtime is deliberately simple — a global FIFO run queue under one
+//! mutex, no work stealing, no per-worker queues, no IO reactor:
+//!
+//! * **FIFO fairness, no priorities.**  Tasks are polled in wake order.  A
+//!   task that wakes itself in a loop cannot starve others (it goes to the
+//!   back of the queue), but there is no notion of priority.
+//! * **Blocking closures occupy a worker.**  The engine's fetch closures are
+//!   *blocking* by design (they model multi-second warehouse scans), and each
+//!   one occupies a worker thread for its duration.  Size the pool to the
+//!   number of concurrent executions you want to allow, exactly like the
+//!   paper sizes its multiprogramming level; waiting *sessions* cost nothing
+//!   either way because they suspend instead of holding threads.
+//! * **Timers are best-effort.**  [`Sleep`] deadlines are checked by workers
+//!   between tasks; a pool whose every worker is stuck in a long blocking
+//!   fetch fires timers late.  Fine for the engine's background maintenance
+//!   (rebalance passes), unsuitable for high-resolution timing.
+//! * **Shutdown is prompt, not graceful-drain.**  Dropping the [`Runtime`]
+//!   wakes every worker, stops polling, drops all pending tasks (their
+//!   [`JoinHandle`]s resolve to [`JoinError::Cancelled`]) and joins the
+//!   workers.  In-flight polls finish; suspended tasks never run again.
+//!
+//! The single-mutex design caps scalability far below a production executor,
+//! but the engine's hot paths (hits) never touch the runtime at all — only
+//! misses and background maintenance do, and those are dominated by the
+//! multi-second fetches themselves.
+//!
+//! [`Watchman::get_or_execute_async`]: crate::engine::Watchman::get_or_execute_async
+
+mod task;
+mod timer;
+
+pub use task::{JoinError, JoinHandle};
+pub use timer::Sleep;
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use task::{RunnableTask, TaskFuture};
+use timer::TimerEntry;
+
+/// The state workers coordinate through, behind [`RuntimeInner::state`].
+struct SchedulerState {
+    /// Tasks ready to be polled, in wake order.
+    ready: VecDeque<Arc<RunnableTask>>,
+    /// Pending [`Sleep`] registrations, earliest deadline first.
+    timers: BinaryHeap<TimerEntry>,
+    /// Every task ever spawned and possibly still alive (pruned lazily on
+    /// spawn).  Shutdown must reach tasks that are suspended with their
+    /// waker held *outside* the scheduler — neither the ready queue nor the
+    /// timer heap references those — so their `JoinHandle`s still resolve
+    /// to [`JoinError::Cancelled`] instead of hanging forever.
+    tasks: Vec<Weak<RunnableTask>>,
+    /// Set by [`Runtime::drop`]; workers exit once they observe it.
+    shutdown: bool,
+}
+
+/// The shared core of a [`Runtime`]; workers and task wakers hold it via
+/// `Arc`/`Weak` so dropping the `Runtime` handle is what initiates shutdown.
+pub(crate) struct RuntimeInner {
+    state: Mutex<SchedulerState>,
+    /// Signaled when a task becomes ready, a timer is registered, or
+    /// shutdown begins.
+    wakeup: Condvar,
+    /// Tasks spawned and not yet finished (completed, panicked or dropped).
+    alive: AtomicUsize,
+    /// Monotonic tie-breaker for timer-heap entries.
+    timer_seq: AtomicUsize,
+    /// Lock-free mirror of [`SchedulerState::shutdown`], readable from a
+    /// task's own poll epilogue (which must not take the scheduler lock on
+    /// every `Pending`): a task polled *during* shutdown drops its future
+    /// itself, closing the race with [`Runtime::drop`]'s cancel sweep.
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+impl RuntimeInner {
+    /// Whether shutdown has begun (lock-free; see the field docs).
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl RuntimeInner {
+    fn lock(&self) -> MutexGuard<'_, SchedulerState> {
+        // Worker panics are caught per-task (see TaskFuture::poll), so the
+        // scheduler lock is only ever poisoned by a bug in the runtime
+        // itself; recovering keeps the other workers alive regardless.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues a task for polling.  Called from task wakers.
+    pub(crate) fn schedule(&self, task: Arc<RunnableTask>) {
+        let mut state = self.lock();
+        if state.shutdown {
+            return;
+        }
+        state.ready.push_back(task);
+        drop(state);
+        self.wakeup.notify_one();
+    }
+
+    /// Registers a timer; the waker fires at (or shortly after) `deadline`.
+    pub(crate) fn register_timer(&self, deadline: Instant, waker: Waker) {
+        let seq = self.timer_seq.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.lock();
+        if state.shutdown {
+            // Resolve immediately rather than strand the sleeper: the waker
+            // re-polls the task, which observes the runtime shutting down.
+            drop(state);
+            waker.wake();
+            return;
+        }
+        let is_earliest = state
+            .timers
+            .peek()
+            .is_none_or(|earliest| deadline < earliest.deadline);
+        state.timers.push(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        });
+        drop(state);
+        if is_earliest {
+            // A worker may be waiting with a later (or no) timeout; it must
+            // recompute its wait against the new earliest deadline.
+            self.wakeup.notify_one();
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let task = {
+                let mut state = self.lock();
+                loop {
+                    // Fire due timers first so a busy ready queue cannot
+                    // starve the timer heap indefinitely.
+                    let now = Instant::now();
+                    let mut due = Vec::new();
+                    while state
+                        .timers
+                        .peek()
+                        .is_some_and(|entry| entry.deadline <= now)
+                    {
+                        due.push(state.timers.pop().expect("peeked entry").waker);
+                    }
+                    if !due.is_empty() {
+                        // Wake outside the lock: waking re-enters schedule().
+                        drop(state);
+                        for waker in due {
+                            waker.wake();
+                        }
+                        state = self.lock();
+                        continue;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    if let Some(task) = state.ready.pop_front() {
+                        break task;
+                    }
+                    state = match state.timers.peek() {
+                        Some(entry) => {
+                            let timeout = entry.deadline.saturating_duration_since(now);
+                            self.wakeup
+                                .wait_timeout(state, timeout)
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .0
+                        }
+                        None => self
+                            .wakeup
+                            .wait(state)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                    };
+                }
+            };
+            task.run();
+        }
+    }
+}
+
+/// A hand-rolled multi-threaded executor (see the [module docs](self)).
+///
+/// Dropping the runtime shuts it down: workers are woken, pending tasks are
+/// dropped (their [`JoinHandle`]s resolve to [`JoinError::Cancelled`]) and
+/// the worker threads are joined.
+///
+/// ```
+/// use watchman_core::runtime::{block_on, Runtime};
+///
+/// let runtime = Runtime::with_workers(2);
+/// let handle = runtime.spawn(async { 6 * 7 });
+/// assert_eq!(block_on(handle).unwrap(), 42);
+/// ```
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers.len())
+            .field("alive_tasks", &self.alive_tasks())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with one worker per available CPU core (clamped to
+    /// at most 8 — the engine's fetches are disk-bound, not CPU-bound).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        Self::with_workers(workers)
+    }
+
+    /// Creates a runtime with exactly `workers` worker threads (at least 1).
+    ///
+    /// One worker yields a deterministic, strictly FIFO executor — useful for
+    /// reproducible tests.  Each blocking fetch occupies a worker for its
+    /// duration, so size the pool like a multiprogramming level.
+    pub fn with_workers(workers: usize) -> Self {
+        let inner = Arc::new(RuntimeInner {
+            state: Mutex::new(SchedulerState {
+                ready: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                tasks: Vec::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            alive: AtomicUsize::new(0),
+            timer_seq: AtomicUsize::new(0),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("watchman-runtime-{index}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// Submits a future for execution and returns a [`JoinHandle`] (itself a
+    /// future) for its output.
+    ///
+    /// Dropping the handle detaches the task; it keeps running.  If the task
+    /// panics, the panic is caught by the worker and surfaced through the
+    /// handle as [`JoinError::Panicked`].
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let (task, handle) = TaskFuture::package(future, Arc::downgrade(&self.inner));
+        self.inner.alive.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut state = self.inner.lock();
+            // Lazy pruning keeps the registry proportional to live tasks.
+            if state.tasks.len() >= 32 && state.tasks.len() >= 2 * self.alive_tasks() {
+                state.tasks.retain(|task| task.strong_count() > 0);
+            }
+            state.tasks.push(Arc::downgrade(&task));
+        }
+        self.inner.schedule(task);
+        handle
+    }
+
+    /// Returns a future that resolves once `duration` has elapsed.
+    ///
+    /// Timers are checked by workers between tasks, so resolution is
+    /// best-effort (see the module docs).  If the runtime shuts down first,
+    /// the sleep resolves immediately so the sleeping task can observe the
+    /// shutdown instead of being stranded.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        Sleep::until(Arc::downgrade(&self.inner), Instant::now() + duration)
+    }
+
+    /// The number of spawned tasks that have not yet finished (completed,
+    /// panicked, or been dropped at shutdown).  Suspended tasks count.
+    pub fn alive_tasks(&self) -> usize {
+        self.inner.alive.load(Ordering::Acquire)
+    }
+
+    /// The number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn inner_handle(&self) -> Weak<RuntimeInner> {
+        Arc::downgrade(&self.inner)
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Atomic flag first: a task whose poll is in progress right now
+        // observes it in its poll epilogue and drops its own future.
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let tasks = {
+            let mut state = self.inner.lock();
+            state.shutdown = true;
+            // Drop every pending task and timer now, inside the drop of the
+            // collections: JoinHandles observe Cancelled, and task futures
+            // release whatever they captured.
+            state.ready.clear();
+            state.timers.clear();
+            std::mem::take(&mut state.tasks)
+        };
+        self.inner.wakeup.notify_all();
+        // Cancel tasks suspended on *external* wakers too (the clears above
+        // cannot reach them).  try_cancel never blocks: a task whose future
+        // mutex is held is being polled at this instant — possibly by THIS
+        // very thread, when the runtime's last reference is released inside
+        // a task — and that poll's epilogue sees the shutdown flag and drops
+        // the future itself.
+        for task in &tasks {
+            if let Some(task) = task.upgrade() {
+                task.try_cancel();
+            }
+        }
+        let current = std::thread::current().id();
+        for worker in self.workers.drain(..) {
+            // If the last external reference to an engine (and with it this
+            // runtime) is dropped *inside* a task, this drop runs on a worker
+            // thread; joining it would deadlock on itself, so detach it.
+            if worker.thread().id() != current {
+                let _ = worker.join();
+            }
+        }
+        // Second sweep, after the join: the first one may have lost a race
+        // with a poll that started before the flag was set.  Every other
+        // worker has exited now, so the only mutex try_cancel can still miss
+        // is one held by a poll below us on this very stack — and that
+        // poll's epilogue (same thread, flag already stored) cleans up.
+        for task in tasks {
+            if let Some(task) = task.upgrade() {
+                task.try_cancel();
+            }
+        }
+    }
+}
+
+/// Drives `future` to completion on the calling thread, parking between
+/// polls.
+///
+/// This is the bridge between the synchronous world and the poll-based
+/// engine: it needs no runtime of its own (any inner `spawn`s use whatever
+/// runtime created them), so it works for futures that are neither `Send`
+/// nor `'static`.
+///
+/// ```
+/// use watchman_core::runtime::block_on;
+///
+/// assert_eq!(block_on(async { 2 + 2 }), 4);
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct Parker {
+        notified: Mutex<bool>,
+        wakeup: Condvar,
+    }
+    impl std::task::Wake for Parker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            *self
+                .notified
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = true;
+            self.wakeup.notify_one();
+        }
+    }
+    thread_local! {
+        // One parker per thread, reused across calls: the synchronous engine
+        // entry points block_on every lookup, and allocating a fresh waker
+        // per hit would show up on the hot path.  Stale wakes from a
+        // previous call at worst cause one spurious re-poll, which the loop
+        // tolerates.
+        static PARKER: Arc<Parker> = Arc::new(Parker {
+            notified: Mutex::new(false),
+            wakeup: Condvar::new(),
+        });
+    }
+    PARKER.with(|parker| {
+        let waker = Waker::from(Arc::clone(parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = std::pin::pin!(future);
+        loop {
+            if let Poll::Ready(output) = future.as_mut().poll(&mut cx) {
+                return output;
+            }
+            let mut notified = parker
+                .notified
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            while !*notified {
+                notified = parker
+                    .wakeup
+                    .wait(notified)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            *notified = false;
+        }
+    })
+}
+
+/// Yields once: returns `Pending` on the first poll (re-waking immediately)
+/// and `Ready` on the second.  Lets cooperative tasks give the FIFO queue a
+/// turn; also exercises re-scheduling in tests.
+pub fn yield_now() -> impl Future<Output = ()> {
+    struct YieldNow {
+        yielded: bool,
+    }
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow { yielded: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn block_on_drives_plain_futures() {
+        assert_eq!(block_on(async { 1 + 2 }), 3);
+        assert_eq!(block_on(yield_now()), ());
+    }
+
+    #[test]
+    fn spawned_tasks_complete_and_join() {
+        let runtime = Runtime::with_workers(2);
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| runtime.spawn(async move { i * i }))
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(block_on(handle).unwrap(), (i * i) as u64);
+        }
+        assert_eq!(runtime.alive_tasks(), 0);
+    }
+
+    #[test]
+    fn tasks_wake_across_threads() {
+        // A task suspends on a hand-rolled one-shot signal completed from a
+        // plain OS thread: the waker must carry across threads.
+        struct Signal {
+            fired: Mutex<Option<u64>>,
+            waker: Mutex<Option<Waker>>,
+        }
+        struct WaitFor(Arc<Signal>);
+        impl Future for WaitFor {
+            type Output = u64;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
+                *self.0.waker.lock().unwrap() = Some(cx.waker().clone());
+                match *self.0.fired.lock().unwrap() {
+                    Some(value) => Poll::Ready(value),
+                    None => Poll::Pending,
+                }
+            }
+        }
+        let runtime = Runtime::with_workers(1);
+        let signal = Arc::new(Signal {
+            fired: Mutex::new(None),
+            waker: Mutex::new(None),
+        });
+        let handle = runtime.spawn(WaitFor(Arc::clone(&signal)));
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            *signal.fired.lock().unwrap() = Some(7);
+            if let Some(waker) = signal.waker.lock().unwrap().take() {
+                waker.wake();
+            }
+        });
+        assert_eq!(block_on(handle).unwrap(), 7);
+    }
+
+    #[test]
+    fn panicking_task_reports_through_its_handle_and_spares_the_worker() {
+        let runtime = Runtime::with_workers(1);
+        let doomed = runtime.spawn(async { panic!("fetch failed") });
+        assert_eq!(block_on(doomed).unwrap_err(), JoinError::Panicked);
+        // The single worker survived the panic and still runs tasks.
+        let ok = runtime.spawn(async { "alive" });
+        assert_eq!(block_on(ok).unwrap(), "alive");
+    }
+
+    #[test]
+    fn sleep_orders_by_deadline() {
+        let runtime = Arc::new(Runtime::with_workers(2));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (label, millis) in [("slow", 40u64), ("fast", 5), ("mid", 20)] {
+            let order = Arc::clone(&order);
+            let sleep = runtime.sleep(Duration::from_millis(millis));
+            handles.push(runtime.spawn(async move {
+                sleep.await;
+                order.lock().unwrap().push(label);
+            }));
+        }
+        for handle in handles {
+            block_on(handle).unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["fast", "mid", "slow"]);
+    }
+
+    #[test]
+    fn dropping_the_runtime_cancels_pending_tasks() {
+        let runtime = Runtime::with_workers(1);
+        // A task that sleeps far longer than the test: it must be cancelled,
+        // not waited for.
+        let sleep = runtime.sleep(Duration::from_secs(3600));
+        let parked = runtime.spawn(async move {
+            sleep.await;
+            42
+        });
+        // Give the worker a moment to suspend the task on its timer.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(runtime.alive_tasks(), 1);
+        drop(runtime);
+        assert_eq!(block_on(parked).unwrap_err(), JoinError::Cancelled);
+    }
+
+    #[test]
+    fn dropping_the_runtime_cancels_tasks_suspended_on_external_wakers() {
+        // A task parked on a waker the scheduler does not own (no ready-queue
+        // or timer-heap reference): shutdown must still cancel it, or its
+        // JoinHandle would hang forever.
+        struct Never(Arc<Mutex<Option<Waker>>>);
+        impl Future for Never {
+            type Output = u64;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
+                *self.0.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let runtime = Runtime::with_workers(1);
+        let external = Arc::new(Mutex::new(None));
+        let handle = runtime.spawn(Never(Arc::clone(&external)));
+        // Wait until the task has suspended (its waker is parked outside).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while external.lock().unwrap().is_none() {
+            assert!(Instant::now() < deadline, "task never suspended");
+            std::thread::yield_now();
+        }
+        drop(runtime);
+        assert_eq!(block_on(handle).unwrap_err(), JoinError::Cancelled);
+        // The externally held waker is now stale; waking it is harmless.
+        external.lock().unwrap().take().unwrap().wake();
+    }
+
+    #[test]
+    fn dropping_a_join_handle_detaches_the_task() {
+        let runtime = Runtime::with_workers(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            drop(runtime.spawn(async move {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ran.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "detached task never ran");
+            std::thread::yield_now();
+        }
+        assert_eq!(runtime.alive_tasks(), 0);
+    }
+
+    #[test]
+    fn single_worker_runs_tasks_fifo() {
+        let runtime = Runtime::with_workers(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let order = Arc::clone(&order);
+            handles.push(runtime.spawn(async move {
+                order.lock().unwrap().push(i);
+            }));
+        }
+        for handle in handles {
+            block_on(handle).unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+}

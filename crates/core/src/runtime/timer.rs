@@ -1,0 +1,86 @@
+//! The runtime's timer heap and the [`Sleep`] future.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Weak;
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+use super::RuntimeInner;
+
+/// One pending sleep registration in the scheduler's timer heap.
+pub(crate) struct TimerEntry {
+    pub(crate) deadline: Instant,
+    /// Registration order, breaking deadline ties FIFO.
+    pub(crate) seq: usize,
+    pub(crate) waker: Waker,
+}
+
+// BinaryHeap is a max-heap; invert the ordering so the *earliest* deadline
+// surfaces first.
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+/// A future that resolves once its deadline passes (see
+/// [`Runtime::sleep`](super::Runtime::sleep)).
+///
+/// If the owning runtime is dropped first, the sleep resolves immediately so
+/// a sleeping task can observe the shutdown instead of being stranded — a
+/// periodic background task should therefore re-check its own shutdown
+/// signal after every await.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    runtime: Weak<RuntimeInner>,
+}
+
+impl Sleep {
+    pub(crate) fn until(runtime: Weak<RuntimeInner>, deadline: Instant) -> Self {
+        Sleep { deadline, runtime }
+    }
+
+    /// The instant this sleep resolves at.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        match self.runtime.upgrade() {
+            // Re-registering on every poll is safe: a stale entry for a
+            // task that was woken early just causes one spurious wake.
+            Some(runtime) => {
+                runtime.register_timer(self.deadline, cx.waker().clone());
+                Poll::Pending
+            }
+            // Runtime gone: resolve rather than strand the sleeper.
+            None => Poll::Ready(()),
+        }
+    }
+}

@@ -1,5 +1,8 @@
 //! Extension figure: static `total/N` vs profit-rebalanced shard capacity,
-//! swept over shards × cache fraction on a skewed TPC-D trace.
+//! swept over shards × cache fraction as a benchmark × policy matrix —
+//! skewed TPC-D and skewed Set Query with LNC-RA (exact gain/loss signal
+//! from §2.4 retained information), plus GreedyDual-Size as the
+//! pressure-only fallback row.
 //!
 //! Run with `cargo run --release -p watchman-sim --bin fig8_shard_rebalance`.
 //! Pass `--quick` for a shortened run suitable for CI smoke testing.
@@ -14,9 +17,11 @@ fn main() {
         ExperimentScale::paper()
     };
     println!(
-        "Shard capacity sweep (scale: {} queries, skewed TPC-D trace)\n",
+        "Shard capacity sweep matrix (scale: {} queries per trace)\n",
         scale.query_count
     );
-    let experiment = ShardRebalanceExperiment::run(scale);
-    print!("{}", experiment.render());
+    for experiment in ShardRebalanceExperiment::run_matrix(scale) {
+        print!("{}", experiment.render());
+        println!();
+    }
 }

@@ -1,5 +1,17 @@
 //! Trace replay: drive a cache (bare policy or concurrent engine) with a
 //! workload trace and collect the paper's performance metrics.
+//!
+//! Three engine drivers exist:
+//!
+//! * [`replay_trace_engine`] — one session, synchronous
+//!   [`Watchman::get_or_execute`]; fully deterministic.
+//! * [`replay_trace_engine_async`] — one session, the asynchronous
+//!   [`Watchman::get_or_execute_async`] path driven to completion per
+//!   record; deterministic, and byte-identical to the synchronous replay
+//!   (the two front doors share one implementation).
+//! * [`replay_trace_engine_concurrent`] — N session tasks on the engine's
+//!   runtime, replaying disjoint slices of the trace concurrently; exercises
+//!   coalescing and contention, so per-run metrics vary with scheduling.
 
 use serde::{Deserialize, Serialize};
 use watchman_core::clock::Timestamp;
@@ -7,10 +19,18 @@ use watchman_core::engine::{RebalanceConfig, Watchman};
 use watchman_core::key::QueryKey;
 use watchman_core::metrics::{CacheStats, FragmentationTracker};
 use watchman_core::policy::QueryCache;
+use watchman_core::runtime::block_on;
 use watchman_core::value::{ExecutionCost, SizedPayload};
 use watchman_trace::Trace;
 
 use crate::policy_kind::{BoxedCache, PolicyKind};
+
+/// How often the deterministic replay drivers schedule a rebalance pass
+/// ([`Watchman::rebalance_now`]), in trace records.  The engine itself never
+/// runs passes on the request path; a wall-clock background task would make
+/// replays nondeterministic, so the drivers schedule passes explicitly — the
+/// logical-time analogue of the background period.
+pub const REBALANCE_EVERY_RECORDS: u64 = 128;
 
 /// The metrics of one (trace, policy, cache size) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,29 +131,152 @@ pub fn replay_trace(
 /// Replays `trace` through a concurrent [`Watchman`] engine using
 /// [`Watchman::get_or_execute`] — the same protocol a live multiuser front
 /// end runs, here driven by one session.
+///
+/// Every [`REBALANCE_EVERY_RECORDS`] records the driver schedules one
+/// rebalance pass ([`Watchman::rebalance_now`]); a no-op unless the engine
+/// was built with rebalancing enabled.
 pub fn replay_trace_engine(
     trace: &Trace,
     engine: &Watchman<SizedPayload>,
     cache_fraction: f64,
 ) -> RunResult {
+    replay_records(
+        trace,
+        engine,
+        cache_fraction,
+        |engine, key, now, size, cost| {
+            engine.get_or_execute(key, now, || {
+                (SizedPayload::new(size), ExecutionCost::from_blocks(cost))
+            });
+        },
+    )
+}
+
+/// Like [`replay_trace_engine`], but drives the **asynchronous** front door
+/// ([`Watchman::get_or_execute_async`]) to completion for each record.
+///
+/// One session awaiting each lookup in turn is still fully deterministic —
+/// the leader's fetch runs on the engine's runtime, but the driver does not
+/// proceed until it lands — so this replay yields a byte-identical
+/// [`RunResult`] (and engine `StatsSnapshot`) to the synchronous one: the
+/// two front doors share a single miss/coalesce/abandon implementation.
+pub fn replay_trace_engine_async(
+    trace: &Trace,
+    engine: &Watchman<SizedPayload>,
+    cache_fraction: f64,
+) -> RunResult {
+    replay_records(
+        trace,
+        engine,
+        cache_fraction,
+        |engine, key, now, size, cost| {
+            block_on(engine.get_or_execute_async(key, now, move || {
+                (SizedPayload::new(size), ExecutionCost::from_blocks(cost))
+            }));
+        },
+    )
+}
+
+/// The shared single-session replay loop: only the per-record lookup call
+/// differs between the sync and async drivers, and keeping everything else
+/// (timestamps, driver-scheduled rebalance passes, fragmentation sampling)
+/// in one place is what guarantees the two stay byte-identical.
+fn replay_records<F>(
+    trace: &Trace,
+    engine: &Watchman<SizedPayload>,
+    cache_fraction: f64,
+    mut lookup: F,
+) -> RunResult
+where
+    F: FnMut(&Watchman<SizedPayload>, &QueryKey, Timestamp, u64, u64),
+{
     let mut fragmentation = FragmentationTracker::new();
-    for record in trace.iter() {
+    for (index, record) in trace.iter().enumerate() {
         let now = Timestamp::from_micros(record.timestamp_us);
         let key = QueryKey::from_raw_query(&record.query_text);
-        engine.get_or_execute(&key, now, || {
-            (
-                SizedPayload::new(record.result_bytes),
-                ExecutionCost::from_blocks(record.cost_blocks),
-            )
-        });
+        lookup(engine, &key, now, record.result_bytes, record.cost_blocks);
+        if (index as u64 + 1).is_multiple_of(REBALANCE_EVERY_RECORDS) {
+            engine.rebalance_now(now);
+        }
         fragmentation.record(engine.used_bytes(), engine.capacity_bytes());
     }
+    engine_result(engine, cache_fraction, &fragmentation)
+}
+
+/// Replays `trace` through the engine with `sessions` concurrent session
+/// tasks on the engine's own runtime — the multiuser deployment of paper §3
+/// driven end to end through [`Watchman::get_or_execute_async`].
+///
+/// Records are dealt round-robin across sessions; each session awaits its
+/// lookups in trace order, so sessions race on the shared cache exactly like
+/// live front-end sessions would (coalesced references included).  Aggregate
+/// counters still balance (`references == trace.len()`), but eviction
+/// decisions depend on interleaving, so per-run metrics are not
+/// deterministic.  Occupancy is sampled once per session batch rather than
+/// per reference; the fragmentation figures are therefore coarse.
+pub fn replay_trace_engine_concurrent(
+    trace: &Trace,
+    engine: &Watchman<SizedPayload>,
+    sessions: usize,
+    cache_fraction: f64,
+) -> RunResult {
+    let sessions = sessions.max(1);
+    let runtime = engine.runtime();
+    let mut fragmentation = FragmentationTracker::new();
+    let handles: Vec<_> = (0..sessions)
+        .map(|session| {
+            let engine = engine.clone();
+            // Each session owns its slice of the trace (round-robin deal).
+            let records: Vec<(u64, String, u64, u64)> = trace
+                .iter()
+                .skip(session)
+                .step_by(sessions)
+                .map(|r| {
+                    (
+                        r.timestamp_us,
+                        r.query_text.clone(),
+                        r.result_bytes,
+                        r.cost_blocks,
+                    )
+                })
+                .collect();
+            runtime.spawn(async move {
+                for (timestamp_us, query_text, result_bytes, cost_blocks) in records {
+                    let key = QueryKey::from_raw_query(&query_text);
+                    engine
+                        .get_or_execute_async(
+                            &key,
+                            Timestamp::from_micros(timestamp_us),
+                            move || {
+                                (
+                                    SizedPayload::new(result_bytes),
+                                    ExecutionCost::from_blocks(cost_blocks),
+                                )
+                            },
+                        )
+                        .await;
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        block_on(handle).expect("session task completed");
+        fragmentation.record(engine.used_bytes(), engine.capacity_bytes());
+    }
+    engine_result(engine, cache_fraction, &fragmentation)
+}
+
+fn engine_result(
+    engine: &Watchman<SizedPayload>,
+    cache_fraction: f64,
+    fragmentation: &FragmentationTracker,
+) -> RunResult {
     let mut result = RunResult::from_stats(
         engine.policy().label(),
         engine.capacity_bytes(),
         cache_fraction,
         &engine.stats(),
-        &fragmentation,
+        fragmentation,
     );
     result.shards = engine.shard_count();
     result.rebalances = engine.rebalance_count();
@@ -165,7 +308,10 @@ pub fn run_policy_sharded(
 /// This is the runner the static-vs-rebalanced shard sweep uses: the same
 /// trace replayed at the same shard count, once with the static `total/N`
 /// split (`rebalance: None`) and once with capacity following per-shard
-/// profit (`rebalance: Some(..)`).
+/// profit (`rebalance: Some(..)`).  The config is forced into `manual()`
+/// mode and passes are driver-scheduled every [`REBALANCE_EVERY_RECORDS`]
+/// records: a wall-clock background task would make the replay
+/// nondeterministic.
 pub fn run_policy_sharded_with(
     trace: &Trace,
     kind: PolicyKind,
@@ -179,7 +325,7 @@ pub fn run_policy_sharded_with(
         .policy(kind)
         .capacity_bytes(capacity);
     if let Some(config) = rebalance {
-        builder = builder.rebalance(config);
+        builder = builder.rebalance(config.manual());
     }
     let engine: Watchman<SizedPayload> = builder.build();
     replay_trace_engine(trace, &engine, cache_fraction)
@@ -269,6 +415,54 @@ mod tests {
         assert_eq!(via_engine.evictions, via_policy.evictions);
         assert!((via_engine.cost_savings_ratio - via_policy.cost_savings_ratio).abs() < 1e-12);
         assert!((via_engine.hit_ratio - via_policy.hit_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_replay_is_byte_identical_to_sync_replay() {
+        // Acceptance criterion: the sync and async front doors share one
+        // miss/coalesce/abandon implementation, so a deterministic
+        // single-session TPC-D replay must yield identical snapshots.
+        let trace = quick_trace(1_500, 9);
+        let capacity = (trace.database_bytes as f64 * 0.01).round() as u64;
+        let build = || -> watchman_core::engine::Watchman<SizedPayload> {
+            watchman_core::engine::Watchman::builder()
+                .shards(4)
+                .policy(PolicyKind::LNC_RA)
+                .capacity_bytes(capacity)
+                .build()
+        };
+        let sync_engine = build();
+        let async_engine = build();
+        let via_sync = replay_trace_engine(&trace, &sync_engine, 0.01);
+        let via_async = replay_trace_engine_async(&trace, &async_engine, 0.01);
+        assert_eq!(via_sync, via_async, "RunResults must match field for field");
+        assert_eq!(
+            sync_engine.stats_snapshot(),
+            async_engine.stats_snapshot(),
+            "engine snapshots must be identical"
+        );
+    }
+
+    #[test]
+    fn concurrent_replay_accounts_for_every_reference() {
+        let trace = quick_trace(1_200, 10);
+        let capacity = (trace.database_bytes as f64 * 0.01).round() as u64;
+        let engine: watchman_core::engine::Watchman<SizedPayload> =
+            watchman_core::engine::Watchman::builder()
+                .shards(4)
+                .policy(PolicyKind::LNC_RA)
+                .capacity_bytes(capacity)
+                .runtime_workers(3)
+                .build();
+        let result = replay_trace_engine_concurrent(&trace, &engine, 4, 0.01);
+        assert_eq!(result.references, trace.len() as u64);
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(
+            snapshot.total.references,
+            snapshot.total.hits + snapshot.total.coalesced + snapshot.total.misses(),
+            "references partition into hits, coalesced waits and misses"
+        );
+        assert!(engine.used_bytes() <= engine.capacity_bytes());
     }
 
     #[test]

@@ -101,6 +101,30 @@ impl Workload {
         Workload { benchmark, trace }
     }
 
+    /// Builds a *skewed* Set Query workload, the Set Query analogue of
+    /// [`Workload::tpcd_skewed`]: a few dozen hot report queries dominate
+    /// the references against a stream of one-off detail queries.
+    ///
+    /// Most references go to SQ5 (60 distinct full-scan report instances)
+    /// and SQ6A (160 join reports with multi-KB retrieved sets) — the
+    /// expensive summaries everyone re-runs, and large enough to contend for
+    /// cache space; the bulk of the remainder goes to the never-repeating
+    /// low-summarization templates SQ7P1 and SQ4B.  As with the TPC-D
+    /// variant, hashing so few distinct hot keys lands unequal slices of the
+    /// hot working set on different shards — the keyspace skew a static
+    /// `total/N` capacity split cannot absorb.
+    pub fn set_query_skewed(scale: ExperimentScale) -> Workload {
+        let benchmark = setquery::benchmark();
+        let mut weights = vec![0.5; benchmark.template_count()];
+        weights[7] = 30.0; // SQ5: 60 hot instances, expensive scan reports
+        weights[8] = 20.0; // SQ6A: 160 hot instances, costly joins, KB-sized
+        weights[10] = 20.0; // SQ7P1: one-off large projections (churn)
+        weights[6] = 20.0; // SQ4B: one-off detail queries (churn)
+        let config = scale.trace_config().with_weights(weights);
+        let trace = TraceGenerator::new(&benchmark, config).generate();
+        Workload { benchmark, trace }
+    }
+
     /// Builds the 14-relation buffer-experiment workload at the given scale.
     pub fn buffer_experiment(scale: ExperimentScale) -> Workload {
         let benchmark = synthetic::benchmark();

@@ -56,8 +56,14 @@
 //! assert_eq!(hit.source, LookupSource::Hit);
 //! ```
 //!
+//! Sessions that should *suspend* instead of blocking threads while a
+//! multi-second warehouse query executes can use the asynchronous front door,
+//! [`get_or_execute_async`](watchman_core::engine::Watchman::get_or_execute_async),
+//! backed by the hand-rolled [`runtime`](watchman_core::runtime) — see the
+//! `async_sessions` example.
+//!
 //! See the `examples/` directory for complete programs: `quickstart`,
-//! `drill_down`, `buffer_hints` and `policy_comparison`.
+//! `drill_down`, `buffer_hints`, `policy_comparison` and `async_sessions`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -76,7 +82,8 @@ pub mod prelude {
     };
     pub use watchman_core::prelude::*;
     pub use watchman_sim::{
-        replay_trace, replay_trace_engine, run_infinite, run_policy, run_policy_sharded,
+        replay_trace, replay_trace_engine, replay_trace_engine_async,
+        replay_trace_engine_concurrent, run_infinite, run_policy, run_policy_sharded,
         ExperimentScale, RunResult, Workload,
     };
     pub use watchman_trace::{Trace, TraceConfig, TraceGenerator, TraceRecord, TraceStats};

@@ -173,20 +173,60 @@ fn engine_serves_concurrent_sessions() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shared_cache_shim_still_works() {
-    use watchman::core::concurrent::SharedCache;
-    let shared: SharedCache<SizedPayload> = SharedCache::lnc_ra(1 << 20);
-    let key = QueryKey::new("legacy-query");
-    let now = Timestamp::from_secs(1);
-    let value = shared.get_or_insert_with(&key, now, || {
-        (SizedPayload::new(64), ExecutionCost::from_blocks(100))
-    });
-    assert_eq!(value.size_bytes(), 64);
-    assert!(shared.contains(&key));
+fn async_engine_serves_suspended_sessions_end_to_end() {
+    // The async front door against real executor results: session tasks on
+    // the engine's runtime await lookups whose fetches execute warehouse
+    // queries, and the aggregate accounting still balances.
+    let benchmark = watchman::warehouse::tpcd::benchmark();
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(4)
+        .policy(PolicyKind::LNC_RA)
+        .capacity_bytes(8 << 20)
+        .runtime_workers(2)
+        .build();
+    let runtime = engine.runtime();
+    let clock = std::sync::Arc::new(ManualClock::new());
+
+    let handles: Vec<_> = (0..4u16)
+        .map(|session| {
+            let engine = engine.clone();
+            let clock = std::sync::Arc::clone(&clock);
+            let benchmark = benchmark.clone();
+            runtime.spawn(async move {
+                let executor = QueryExecutor::new(&benchmark);
+                for i in 0..100u64 {
+                    let instance =
+                        QueryInstance::new(TemplateId(((session as u64 + i) % 13) as u16), i % 11);
+                    let now = clock.advance(500);
+                    let key = executor.query_key(instance);
+                    // The fetch runs on a runtime worker, so it owns its own
+                    // benchmark copy (the closure must be Send + 'static).
+                    let fetch_benchmark = benchmark.clone();
+                    let lookup = engine
+                        .get_or_execute_async(&key, now, move || {
+                            let executor = QueryExecutor::new(&fetch_benchmark);
+                            let result = executor.execute(instance);
+                            (SizedPayload::new(result.declared_result_bytes), result.cost)
+                        })
+                        .await;
+                    assert!(lookup.value.size_bytes() > 0);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        block_on(handle).expect("session task completed");
+    }
+
+    let snapshot = engine.stats_snapshot();
+    assert_eq!(snapshot.total.references, 400);
     assert_eq!(
-        shared.engine().shard_count(),
-        1,
-        "shim runs a one-shard engine"
+        snapshot.total.references,
+        snapshot.total.hits + snapshot.total.coalesced + snapshot.total.misses()
     );
+    assert!(
+        snapshot.total.hits > 0,
+        "sessions must share cached results"
+    );
+    assert!(engine.used_bytes() <= engine.capacity_bytes());
 }

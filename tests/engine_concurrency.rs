@@ -91,7 +91,8 @@ fn single_flight_executes_each_miss_exactly_once() {
 }
 
 /// Rebalancing under real thread pressure: sessions hammer a small sharded
-/// cache while an aggressive rebalancer moves capacity between shards, and a
+/// cache while the engine's **background runtime task** moves capacity
+/// between shards (passes every 2 ms — never on a session thread), and a
 /// monitor thread snapshots the engine throughout.  Conservation
 /// (Σ per-shard capacity == configured total) and occupancy
 /// (used ≤ capacity per shard) must hold in every snapshot.
@@ -107,7 +108,7 @@ fn rebalancing_conserves_capacity_under_concurrent_traffic() {
         .capacity_bytes(TOTAL)
         .rebalance(
             RebalanceConfig::new()
-                .with_interval(64)
+                .with_period(std::time::Duration::from_millis(2))
                 .with_min_shard_fraction(0.25)
                 .with_step_fraction(0.1),
         )
@@ -266,9 +267,10 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 50..250),
         shards in 2usize..9,
     ) {
-        // Small capacity + aggressive rebalancing: capacity moves while the
-        // replay runs, and after every operation Σ capacity == total and
-        // used ≤ capacity per shard.
+        // Small capacity + aggressive rebalancing (driver-scheduled every 16
+        // ops, the deterministic analogue of the background task): capacity
+        // moves while the replay runs, and after every operation
+        // Σ capacity == total and used ≤ capacity per shard.
         let capacity = 40_000u64;
         let engine: Watchman<SizedPayload> = Watchman::builder()
             .shards(shards)
@@ -276,18 +278,21 @@ proptest! {
             .capacity_bytes(capacity)
             .rebalance(
                 RebalanceConfig::new()
-                    .with_interval(16)
+                    .manual()
                     .with_min_shard_fraction(0.25)
                     .with_step_fraction(0.2),
             )
             .build();
         let mut now = 0u64;
-        for &(query, size, cost, advance) in &ops {
+        for (i, &(query, size, cost, advance)) in ops.iter().enumerate() {
             now += advance;
             let key = QueryKey::new(format!("prop-query-{query}"));
             engine.get_or_execute(&key, Timestamp::from_micros(now), || {
                 (SizedPayload::new(size), ExecutionCost::from_blocks(cost))
             });
+            if i % 16 == 15 {
+                engine.rebalance_now(Timestamp::from_micros(now));
+            }
             let snapshot = engine.stats_snapshot();
             prop_assert_eq!(
                 snapshot.per_shard_capacity.iter().sum::<u64>(),
