@@ -186,7 +186,7 @@ impl ShardSignal {
     /// Reads the signal from a locked shard cache, pricing a transfer of
     /// `step_bytes`.
     pub fn observe<V>(
-        cache: &dyn QueryCache<V>,
+        cache: &mut dyn QueryCache<V>,
         last_pressure: u64,
         step_bytes: u64,
         now: crate::clock::Timestamp,

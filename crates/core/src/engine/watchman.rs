@@ -702,9 +702,9 @@ where
         let mut signals = Vec::with_capacity(self.inner.shards.len());
         let mut cumulative = Vec::with_capacity(self.inner.shards.len());
         for (i, shard) in self.inner.shards.iter().enumerate() {
-            let state = shard.lock();
+            let mut state = shard.lock();
             let mut signal =
-                ShardSignal::observe(state.cache.as_ref(), pass.last_pressure[i], step, now);
+                ShardSignal::observe(state.cache.as_mut(), pass.last_pressure[i], step, now);
             cumulative.push(pass.last_pressure[i] + signal.pressure);
             pass.smoothed_loss[i] =
                 (1.0 - SMOOTHING) * pass.smoothed_loss[i] + SMOOTHING * signal.loss.value();

@@ -23,6 +23,13 @@ impl EntryId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds an id from a raw slot index, for tests that exercise index
+    /// structures without a backing store.
+    #[cfg(test)]
+    pub(crate) fn from_index_for_tests(index: usize) -> Self {
+        EntryId(index)
+    }
 }
 
 /// Trait implemented by policy entry types so the store can maintain its

@@ -1,0 +1,293 @@
+//! Differential property tests: indexed victim selection vs. the scan/sort
+//! reference implementations.
+//!
+//! Every policy keeps its pre-index victim selection — the O(n)-per-victim
+//! scan (or, for LNC, the O(n log n) sort of Figure 1) — under `#[cfg(test)]`
+//! as an oracle.  These properties replay random admit / reference / remove /
+//! shrink traces against the real (index-driven) caches and assert, at every
+//! step, that the index would pick *identical victim sequences* for a spread
+//! of space demands, and that the capacity-planning signals
+//! (`min_cached_profit`, `shrink_loss`, `grow_gain`) are value-identical.
+//! Shrinks additionally check the *actual* eviction sequence end to end
+//! against the oracle's plan, including a final shrink-to-zero drain of the
+//! whole cache.
+//!
+//! The traces deliberately hammer the corners that break incremental
+//! indexes: same-key refreshes that change sizes and priorities, removals
+//! (invalidation does not evict), evictions of freshly admitted entries,
+//! slot reuse after removal, and repeated decisions at both advancing and
+//! unchanged timestamps.
+
+use proptest::prelude::*;
+
+use crate::clock::Timestamp;
+use crate::key::QueryKey;
+use crate::policy::gds::GreedyDualSizeCache;
+use crate::policy::lcs::LcsCache;
+use crate::policy::lfu::LfuCache;
+use crate::policy::lnc::{LncCache, LncConfig};
+use crate::policy::lru::LruCache;
+use crate::policy::lru_k::LruKCache;
+use crate::policy::QueryCache;
+use crate::value::{ExecutionCost, SizedPayload};
+
+/// One step of a generated trace.
+#[derive(Debug, Clone)]
+struct Op {
+    /// Action selector: 0 = remove, 1 = shrink-and-regrow, else reference
+    /// (get, insert on miss).
+    action: u8,
+    /// Which query (small id space so that repetitions occur).
+    query: u8,
+    /// Retrieved-set size in bytes.
+    size: u64,
+    /// Execution cost in block reads.
+    cost: u64,
+    /// Logical time increment before the operation (0 = reuse the previous
+    /// timestamp, exercising the same-epoch paths).
+    advance_us: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..12, 0u8..24, 1u64..2_000, 1u64..20_000, 0u64..2_000_000).prop_map(
+        |(action, query, size, cost, advance_us)| Op {
+            action,
+            query,
+            size,
+            cost,
+            advance_us,
+        },
+    )
+}
+
+fn query_key(op: &Op) -> QueryKey {
+    QueryKey::new(format!("diff-query-{}", op.query))
+}
+
+/// The space demands to probe victim plans with after each step: almost
+/// nothing, barely one victim, a partial drain, everything, more than
+/// everything.
+fn needed_probes(used: u64, capacity: u64) -> [u64; 5] {
+    let free = capacity.saturating_sub(used);
+    [
+        1,
+        free + 1,
+        free + used / 2,
+        free + used,
+        free + used + 1_000,
+    ]
+}
+
+/// Drives one policy through a trace, checking the provided oracles after
+/// every step.
+///
+/// * `plans(cache, needed, now)` must return the `(indexed, reference)`
+///   victim plans for an incoming demand of `needed` bytes;
+/// * `shrink_plan(cache, new_capacity, now)` must return the oracle's
+///   predicted eviction sequence for a shrink to `new_capacity`;
+/// * `signals(cache, now)` hosts per-policy signal equivalence checks.
+fn run_differential<C, P, S, X>(mut cache: C, ops: &[Op], plans: P, shrink_plan: S, signals: X)
+where
+    C: QueryCache<SizedPayload>,
+    P: Fn(&mut C, u64, Timestamp) -> (Vec<QueryKey>, Vec<QueryKey>),
+    S: Fn(&mut C, u64, Timestamp) -> Vec<QueryKey>,
+    X: Fn(&mut C, Timestamp),
+{
+    let mut now = 0u64;
+    for op in ops {
+        now += op.advance_us;
+        let ts = Timestamp::from_micros(now.max(1));
+        let key = query_key(op);
+        match op.action {
+            0 => {
+                cache.remove(&key);
+            }
+            1 => {
+                // Shrink to half the occupancy: the oracle predicts the exact
+                // eviction sequence; then grow back so the trace continues.
+                let capacity = cache.capacity_bytes();
+                let target = cache.used_bytes() / 2;
+                let expected = shrink_plan(&mut cache, target, ts);
+                let evicted = cache.set_capacity_bytes(target, ts);
+                assert_eq!(
+                    evicted,
+                    expected,
+                    "{}: shrink eviction sequence diverged from the scan oracle",
+                    cache.name()
+                );
+                cache.set_capacity_bytes(capacity, ts);
+            }
+            _ => {
+                if cache.get(&key, ts).is_none() {
+                    cache.insert(
+                        key,
+                        SizedPayload::new(op.size),
+                        ExecutionCost::from_blocks(op.cost),
+                        ts,
+                    );
+                }
+            }
+        }
+
+        for needed in needed_probes(cache.used_bytes(), cache.capacity_bytes()) {
+            let (indexed, reference) = plans(&mut cache, needed, ts);
+            assert_eq!(
+                indexed,
+                reference,
+                "{}: victim plan diverged for needed={needed}",
+                cache.name()
+            );
+        }
+        signals(&mut cache, ts);
+    }
+
+    // Final end-to-end drain: shrinking to zero must evict every cached set
+    // in exactly the oracle's order.
+    let ts = Timestamp::from_micros(now.max(1) + 1);
+    let expected = shrink_plan(&mut cache, 0, ts);
+    let evicted = cache.set_capacity_bytes(0, ts);
+    assert_eq!(
+        evicted,
+        expected,
+        "{}: full-drain eviction sequence diverged from the scan oracle",
+        cache.name()
+    );
+    assert_eq!(cache.used_bytes(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lru_index_matches_scan_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+    ) {
+        run_differential(
+            LruCache::<SizedPayload>::new(capacity),
+            &ops,
+            |cache, needed, _| {
+                (cache.indexed_victim_plan(needed), cache.reference_victim_plan(needed))
+            },
+            |cache, target, _| cache.reference_victim_plan(cache.capacity_bytes() - target),
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn lru_k_index_matches_scan_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+    ) {
+        run_differential(
+            LruKCache::<SizedPayload>::with_capacity(capacity, 3),
+            &ops,
+            |cache, needed, _| {
+                (cache.indexed_victim_plan(needed), cache.reference_victim_plan(needed))
+            },
+            |cache, target, _| cache.reference_victim_plan(cache.capacity_bytes() - target),
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn lfu_index_matches_scan_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+    ) {
+        run_differential(
+            LfuCache::<SizedPayload>::new(capacity),
+            &ops,
+            |cache, needed, _| {
+                (cache.indexed_victim_plan(needed), cache.reference_victim_plan(needed))
+            },
+            |cache, target, _| cache.reference_victim_plan(cache.capacity_bytes() - target),
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn lcs_index_matches_scan_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+    ) {
+        run_differential(
+            LcsCache::<SizedPayload>::new(capacity),
+            &ops,
+            |cache, needed, _| {
+                (cache.indexed_victim_plan(needed), cache.reference_victim_plan(needed))
+            },
+            |cache, target, _| cache.reference_victim_plan(cache.capacity_bytes() - target),
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn gds_index_matches_scan_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+    ) {
+        run_differential(
+            GreedyDualSizeCache::<SizedPayload>::new(capacity),
+            &ops,
+            |cache, needed, _| {
+                (cache.indexed_victim_plan(needed), cache.reference_victim_plan(needed))
+            },
+            |cache, target, _| cache.reference_victim_plan(cache.capacity_bytes() - target),
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn lnc_ranking_matches_sort_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 2_000u64..40_000,
+        admission in 0u8..2,
+    ) {
+        let config = if admission == 1 {
+            LncConfig::lnc_ra(capacity)
+        } else {
+            LncConfig::lnc_r(capacity)
+        };
+        run_differential(
+            LncCache::<SizedPayload>::new(config),
+            &ops,
+            |cache, needed, now| {
+                let reference = cache
+                    .select_victims_reference(needed, now)
+                    .map(|ids| cache.keys_of(&ids))
+                    .unwrap_or_default();
+                let indexed = cache
+                    .select_victims(needed, now)
+                    .map(|ids| cache.keys_of(&ids))
+                    .unwrap_or_default();
+                (indexed, reference)
+            },
+            |cache, target, now| {
+                let used = cache.used_bytes();
+                if used <= target {
+                    return Vec::new();
+                }
+                let ids = cache
+                    .select_victims_reference(used - target, now)
+                    .expect("evicting everything frees the overshoot");
+                cache.keys_of(&ids)
+            },
+            |cache, now| {
+                // The capacity-planning signals must be value-identical to
+                // their scan/sort references.
+                let fast = QueryCache::min_cached_profit(cache, now);
+                let scan = LncCache::min_cached_profit(cache, now);
+                assert_eq!(fast, scan, "min_cached_profit fast path diverged");
+                for bytes in [1u64, 500, cache.capacity_bytes() / 2, cache.capacity_bytes()] {
+                    let loss_ref = cache.shrink_loss_reference(bytes, now);
+                    let loss = QueryCache::shrink_loss(cache, bytes, now);
+                    assert_eq!(loss, loss_ref, "shrink_loss diverged for {bytes} bytes");
+                    let gain_ref = cache.grow_gain_reference(bytes, now);
+                    let gain = QueryCache::grow_gain(cache, bytes, now);
+                    assert_eq!(gain, gain_ref, "grow_gain diverged for {bytes} bytes");
+                }
+            },
+        );
+    }
+}

@@ -11,11 +11,17 @@
 //! `L + c/s`.  The inflation term plays the role that the sliding-window
 //! reference-rate estimate plays in LNC-R: it ages sets that have not been
 //! referenced recently.
+//!
+//! Credits are indexed in an [`OrdIndex`] (the exact-deletion form of the
+//! min-heap Cao & Irani manage their cache with), so the victim is the index
+//! head and every hit, admission and eviction costs O(log n) — the original
+//! implementation of this module re-scanned all entries per eviction.
 
 use crate::clock::Timestamp;
 use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::policy::index::{OrdF64, OrdIndex, VictimIndexed};
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
 use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
@@ -37,10 +43,12 @@ impl<V> KeyedEntry for GdsEntry<V> {
 }
 
 /// A retrieved-set cache with GreedyDual-Size replacement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GreedyDualSizeCache<V> {
     capacity_bytes: u64,
     entries: EntryStore<GdsEntry<V>>,
+    /// Victim index over credits; the victim is [`OrdIndex::min`].
+    credits: OrdIndex<OrdF64>,
     /// The global inflation value `L`.
     inflation: f64,
     used_bytes: u64,
@@ -53,6 +61,7 @@ impl<V: CachePayload> GreedyDualSizeCache<V> {
         GreedyDualSizeCache {
             capacity_bytes,
             entries: EntryStore::new(),
+            credits: OrdIndex::new(),
             inflation: 0.0,
             used_bytes: 0,
             stats: CacheStats::new(),
@@ -69,30 +78,83 @@ impl<V: CachePayload> GreedyDualSizeCache<V> {
         self.inflation + Profit::estimated(cost, size_bytes).value()
     }
 
-    /// The entry GreedyDual-Size would evict next (smallest credit `H`) and
-    /// its credit.  Single source of truth for `evict_for` and
-    /// `min_cached_profit`.
-    fn victim(&self) -> Option<(EntryId, f64)> {
-        self.entries
-            .iter()
-            .map(|(id, e)| (id, e.credit))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+    /// Re-keys `id` to its freshly restored credit `L + c/s`.
+    fn restore_credit(&mut self, id: EntryId) {
+        let inflation = self.inflation;
+        if let Some(entry) = self.entries.by_id_mut(id) {
+            let old = entry.credit;
+            entry.credit = inflation + Profit::estimated(entry.cost, entry.size_bytes).value();
+            let new = entry.credit;
+            self.credits.update(OrdF64(old), OrdF64(new), id);
+        }
     }
 
-    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
-        let mut evicted = Vec::new();
-        while self.used_bytes + needed > self.capacity_bytes {
-            let Some((id, credit)) = self.victim() else {
+    /// The entry GreedyDual-Size would evict next (smallest credit `H`) and
+    /// its credit.  Single source of truth for `evict_one` and
+    /// `min_cached_profit`.
+    fn victim(&self) -> Option<(EntryId, f64)> {
+        self.credits.min().map(|(credit, id)| (id, credit.0))
+    }
+
+    /// The eviction order the pre-index implementation derived by scanning.
+    /// Kept as the differential-test oracle.  (Inflation updates do not
+    /// change the relative credit order mid-loop, so the plan is pure.)
+    #[cfg(test)]
+    pub(crate) fn reference_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut excluded = std::collections::HashSet::new();
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        while used + needed > self.capacity_bytes {
+            let Some((id, entry)) = self
+                .entries
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .min_by(|a, b| a.1.credit.total_cmp(&b.1.credit))
+            else {
                 break;
             };
-            self.inflation = self.inflation.max(credit);
-            if let Some(entry) = self.entries.remove(id) {
-                self.used_bytes -= entry.size_bytes;
-                self.stats.record_eviction(entry.size_bytes);
-                evicted.push(entry.key);
-            }
+            excluded.insert(id);
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
         }
-        evicted
+        plan
+    }
+
+    /// The eviction order the index would produce, without mutating.
+    #[cfg(test)]
+    pub(crate) fn indexed_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        for (_, id) in self.credits.iter() {
+            if used + needed <= self.capacity_bytes {
+                break;
+            }
+            let entry = self.entries.by_id(id).expect("indexed entry is cached");
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+}
+
+impl<V: CachePayload> VictimIndexed for GreedyDualSizeCache<V> {
+    fn occupied_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn evict_one(&mut self, _now: Timestamp) -> Option<QueryKey> {
+        let (credit, id) = self.credits.min()?;
+        self.credits.remove(credit, id);
+        // Evicting the smallest-credit set raises the global inflation `L`.
+        self.inflation = self.inflation.max(credit.0);
+        let entry = self.entries.remove(id)?;
+        self.used_bytes -= entry.size_bytes;
+        self.stats.record_eviction(entry.size_bytes);
+        Some(entry.key)
     }
 }
 
@@ -102,14 +164,15 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
     }
 
     fn get(&mut self, key: &QueryKey, _now: Timestamp) -> Option<&V> {
-        let inflation = self.inflation;
-        if let Some(entry) = self.entries.get_mut(key) {
-            entry.credit = inflation + Profit::estimated(entry.cost, entry.size_bytes).value();
-            let cost = entry.cost;
-            self.stats.record_hit(cost);
-            return self.entries.get(key).map(|e| &e.value);
+        match self.entries.find(key) {
+            Some(id) => {
+                self.restore_credit(id);
+                let cost = self.entries.by_id(id).map(|e| e.cost).unwrap_or_default();
+                self.stats.record_hit(cost);
+                self.entries.by_id(id).map(|e| &e.value)
+            }
+            None => None,
         }
-        None
     }
 
     fn insert(
@@ -117,23 +180,22 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
         key: QueryKey,
         value: V,
         cost: ExecutionCost,
-        _now: Timestamp,
+        now: Timestamp,
     ) -> InsertOutcome {
         let size_bytes = value.size_bytes();
         self.stats.record_miss(cost);
 
-        if let Some(entry) = self.entries.get_mut(&key) {
-            let old = entry.size_bytes;
-            entry.value = value;
-            entry.cost = cost;
-            entry.size_bytes = size_bytes;
-            self.used_bytes = self.used_bytes - old + size_bytes;
-            let credit = self.fresh_credit(cost, size_bytes);
-            if let Some(entry) = self.entries.get_mut(&key) {
-                entry.credit = credit;
+        if let Some(id) = self.entries.find(&key) {
+            if let Some(entry) = self.entries.by_id_mut(id) {
+                let old = entry.size_bytes;
+                entry.value = value;
+                entry.cost = cost;
+                entry.size_bytes = size_bytes;
+                self.used_bytes = self.used_bytes - old + size_bytes;
             }
+            self.restore_credit(id);
             // Restore the capacity invariant if the refreshed payload grew.
-            let evicted = self.evict_for(0);
+            let evicted = self.evict_for(0, now);
             return InsertOutcome::AlreadyCached { evicted };
         }
 
@@ -146,23 +208,26 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
             return InsertOutcome::Rejected(RejectReason::TooLarge);
         }
 
-        let evicted = self.evict_for(size_bytes);
+        let evicted = self.evict_for(size_bytes, now);
         let credit = self.fresh_credit(cost, size_bytes);
-        self.entries.insert(GdsEntry {
+        let id = self.entries.insert(GdsEntry {
             key,
             value,
             size_bytes,
             cost,
             credit,
         });
+        self.credits.insert(OrdF64(credit), id);
         self.used_bytes += size_bytes;
         self.stats.record_admission(true);
         InsertOutcome::Admitted { evicted }
     }
 
     fn remove(&mut self, key: &QueryKey) -> bool {
-        match self.entries.remove_by_key(key) {
-            Some(entry) => {
+        match self.entries.find(key) {
+            Some(id) => {
+                let entry = self.entries.remove(id).expect("found entry is live");
+                self.credits.remove(OrdF64(entry.credit), id);
                 self.used_bytes -= entry.size_bytes;
                 true
             }
@@ -186,14 +251,14 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
         self.capacity_bytes
     }
 
-    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
         self.capacity_bytes = capacity_bytes;
         // Shrinking below occupancy evicts the smallest-credit sets first,
         // inflating `L` exactly as demand-driven evictions do.
-        self.evict_for(0)
+        self.evict_for(0, now)
     }
 
-    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         // GDS's next victim is the smallest-credit set; report its estimated
         // profit `c/s` (the non-inflated part of its credit).
         self.victim()
@@ -211,6 +276,7 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.credits.clear();
         self.used_bytes = 0;
         self.inflation = 0.0;
     }

@@ -1,0 +1,215 @@
+//! Incrementally maintained victim indexes shared by the cache policies.
+//!
+//! Before this module existed every policy re-derived its eviction victim by
+//! scanning (or sorting) the whole cache on each admission, so an admission
+//! under pressure cost O(n) *per victim* and a rebalancer pass polling
+//! [`min_cached_profit`](crate::policy::QueryCache::min_cached_profit) cost
+//! O(shards · n).  The policies now keep a priority index next to their
+//! [`EntryStore`](crate::index::EntryStore) and update it on every reference,
+//! admission, refresh and removal, which makes victim selection O(log n) —
+//! the heap-managed replacement of GreedyDual-Size (Cao & Irani '97) and the
+//! priority-queue LNC-R implementation sketched in the paper's §3.
+//!
+//! Two pieces live here:
+//!
+//! * [`OrdIndex`] — an ordered victim index (a B-tree set of
+//!   `(priority key, entry id)` pairs).  A B-tree with *exact* deletion is
+//!   used instead of the textbook lazy-deletion binary heap: the policies
+//!   always know an entry's current key when it changes or leaves, so stale
+//!   heap items (and the rebuild sweeps they eventually force) never need to
+//!   exist, and peeking the victim does not have to mutate the structure to
+//!   drain tombstones.  Every operation is O(log n).
+//! * [`VictimIndexed`] — the shared eviction loop over such an index.  The
+//!   per-policy `evict_for` loops were byte-for-byte clones of each other
+//!   except for the single line that picked (and unlinked) the victim; the
+//!   trait keeps that line per-policy ([`VictimIndexed::evict_one`]) and
+//!   shares the loop.
+//!
+//! Tie-breaking is part of the policies' observable behaviour (deterministic
+//! trace replays are asserted byte-identical), so the index encodes the tie
+//! rules the old scans had: a scan with `Iterator::min_by_key` returned the
+//! *first* minimal entry in slot order — [`OrdIndex::min`] with the
+//! [`EntryId`] as the final key component returns the same entry — and
+//! `Iterator::max_by_key` returned the *last* maximal one, which
+//! [`OrdIndex::max`] reproduces likewise.
+//!
+//! LNC-R/LNC-RA cannot use a statically keyed index — its profit
+//! `λᵢ(now)·cᵢ/sᵢ` re-evaluates the reference rate at every decision point,
+//! and two sets' profits can cross as `now` advances — so it maintains an
+//! epoch-cached ranking instead; see [`crate::policy::lnc`].
+
+use std::collections::BTreeSet;
+
+use crate::clock::Timestamp;
+use crate::index::EntryId;
+use crate::key::QueryKey;
+
+/// A totally ordered `f64` wrapper (IEEE-754 `total_cmp` order), used to key
+/// victim indexes by floating-point priorities such as the GreedyDual-Size
+/// credit `H`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // The same comparison the old O(n) scan used (`f64::total_cmp`), so
+        // victim order is unchanged down to NaN/signed-zero corner cases.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// An ordered victim index: the policy's eviction priority for every cached
+/// entry, kept in a B-tree set of `(key, id)` pairs.
+///
+/// The policy owns the key discipline: it must [`remove`](OrdIndex::remove)
+/// an entry's *current* key before mutating state the key derives from, and
+/// re-[`insert`](OrdIndex::insert) the new key afterwards (or call
+/// [`update`](OrdIndex::update)).  Violations are caught by the debug
+/// assertions on removal.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OrdIndex<K: Ord + Copy> {
+    set: BTreeSet<(K, EntryId)>,
+}
+
+impl<K: Ord + Copy> OrdIndex<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        OrdIndex {
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Number of indexed entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Adds an entry under its current priority key.
+    pub fn insert(&mut self, key: K, id: EntryId) {
+        let fresh = self.set.insert((key, id));
+        debug_assert!(fresh, "victim index already holds this (key, id) pair");
+    }
+
+    /// Removes an entry by its current priority key.
+    pub fn remove(&mut self, key: K, id: EntryId) {
+        let found = self.set.remove(&(key, id));
+        debug_assert!(found, "victim index lost track of an entry's key");
+    }
+
+    /// Re-keys an entry whose priority changed.
+    pub fn update(&mut self, old_key: K, new_key: K, id: EntryId) {
+        self.remove(old_key, id);
+        self.insert(new_key, id);
+    }
+
+    /// The entry with the smallest key; ties resolve to the smallest
+    /// [`EntryId`] (the first match of the old slot-order scan).
+    pub fn min(&self) -> Option<(K, EntryId)> {
+        self.set.first().copied()
+    }
+
+    /// The entry with the largest key; ties resolve to the largest
+    /// [`EntryId`] (the last match of the old slot-order scan).
+    pub fn max(&self) -> Option<(K, EntryId)> {
+        self.set.last().copied()
+    }
+
+    /// Iterates `(key, id)` pairs in ascending key order (used by the
+    /// differential tests' non-mutating victim plans).
+    #[cfg(test)]
+    pub fn iter(&self) -> impl Iterator<Item = (K, EntryId)> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+}
+
+/// The shared eviction loop of the index-driven policies.
+///
+/// Implementors provide [`evict_one`](VictimIndexed::evict_one) — unlink the
+/// single next victim from the entry store *and* the index, retain whatever
+/// reference information the policy keeps, update byte accounting and the
+/// eviction statistics, and return the victim's key — and inherit the loop
+/// that frees space for `needed` incoming bytes.
+pub(crate) trait VictimIndexed {
+    /// Bytes currently occupied by cached sets.
+    fn occupied_bytes(&self) -> u64;
+
+    /// The capacity the loop must shrink under.
+    fn limit_bytes(&self) -> u64;
+
+    /// Evicts the policy's next victim, returning its key, or `None` when
+    /// the cache is empty.  `now` is the logical time of the eviction (used
+    /// by policies that retain victims' reference histories).
+    fn evict_one(&mut self, now: Timestamp) -> Option<QueryKey>;
+
+    /// Evicts victims until `needed` more bytes fit within the capacity.
+    ///
+    /// This is the loop every policy used to duplicate: it terminates when
+    /// the invariant `occupied + needed <= capacity` is restored or the
+    /// cache runs out of victims (the caller has already rejected sets that
+    /// can never fit).
+    fn evict_for(&mut self, needed: u64, now: Timestamp) -> Vec<QueryKey> {
+        let mut evicted = Vec::new();
+        while self.occupied_bytes() + needed > self.limit_bytes() {
+            let Some(key) = self.evict_one(now) else {
+                break;
+            };
+            evicted.push(key);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: usize) -> EntryId {
+        EntryId::from_index_for_tests(n)
+    }
+
+    #[test]
+    fn min_and_max_respect_tie_order() {
+        let mut index: OrdIndex<u64> = OrdIndex::new();
+        index.insert(5, id(3));
+        index.insert(5, id(1));
+        index.insert(9, id(2));
+        index.insert(9, id(7));
+        // Smallest key, then smallest id — the first slot-order match.
+        assert_eq!(index.min(), Some((5, id(1))));
+        // Largest key, then largest id — the last slot-order match.
+        assert_eq!(index.max(), Some((9, id(7))));
+    }
+
+    #[test]
+    fn update_rekeys_in_place() {
+        let mut index: OrdIndex<u64> = OrdIndex::new();
+        index.insert(1, id(0));
+        index.insert(2, id(1));
+        index.update(1, 10, id(0));
+        assert_eq!(index.min(), Some((2, id(1))));
+        assert_eq!(index.max(), Some((10, id(0))));
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn ord_f64_is_total() {
+        let mut keys = [OrdF64(2.0), OrdF64(-1.0), OrdF64(0.0), OrdF64(2.0)];
+        keys.sort();
+        assert_eq!(keys[0], OrdF64(-1.0));
+        assert_eq!(keys[3], OrdF64(2.0));
+    }
+}

@@ -6,11 +6,17 @@
 //! frees room for many small (and typically expensive-to-recompute)
 //! aggregate results.  LCS uses size information but — unlike LNC-R — neither
 //! reference rates nor execution costs.
+//!
+//! Entries live in a size-ordered [`OrdIndex`] (largest last, recency as the
+//! tie-break), so victim selection and eviction are O(log n).
+
+use std::cmp::Reverse;
 
 use crate::clock::Timestamp;
 use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::policy::index::{OrdIndex, VictimIndexed};
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
 use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
@@ -24,6 +30,15 @@ struct LcsEntry<V> {
     last_used: Timestamp,
 }
 
+impl<V> LcsEntry<V> {
+    /// The victim-index key: the *maximum* of this key is the victim —
+    /// largest set first, ties broken by *least* recent use (hence the
+    /// reversed timestamp).
+    fn rank(&self) -> (u64, Reverse<Timestamp>) {
+        (self.size_bytes, Reverse(self.last_used))
+    }
+}
+
 impl<V> KeyedEntry for LcsEntry<V> {
     fn key(&self) -> &QueryKey {
         &self.key
@@ -31,10 +46,12 @@ impl<V> KeyedEntry for LcsEntry<V> {
 }
 
 /// A retrieved-set cache that always evicts the largest cached set first.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LcsCache<V> {
     capacity_bytes: u64,
     entries: EntryStore<LcsEntry<V>>,
+    /// Size-ordered victim index; the victim is [`OrdIndex::max`].
+    sizes: OrdIndex<(u64, Reverse<Timestamp>)>,
     used_bytes: u64,
     stats: CacheStats,
 }
@@ -45,32 +62,76 @@ impl<V: CachePayload> LcsCache<V> {
         LcsCache {
             capacity_bytes,
             entries: EntryStore::new(),
+            sizes: OrdIndex::new(),
             used_bytes: 0,
             stats: CacheStats::new(),
         }
     }
 
     /// The entry LCS would evict next: largest first, ties broken by least
-    /// recent use.  Single source of truth for `evict_for` and
+    /// recent use.  Single source of truth for `evict_one` and
     /// `min_cached_profit`.
     fn victim(&self) -> Option<EntryId> {
-        self.entries
-            .iter()
-            .max_by_key(|(_, e)| (e.size_bytes, std::cmp::Reverse(e.last_used)))
-            .map(|(id, _)| id)
+        self.sizes.max().map(|(_, id)| id)
     }
 
-    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
-        let mut evicted = Vec::new();
-        while self.used_bytes + needed > self.capacity_bytes {
-            let Some(id) = self.victim() else { break };
-            if let Some(entry) = self.entries.remove(id) {
-                self.used_bytes -= entry.size_bytes;
-                self.stats.record_eviction(entry.size_bytes);
-                evicted.push(entry.key);
-            }
+    /// The eviction order the pre-index implementation derived by scanning.
+    /// Kept as the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn reference_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut excluded = std::collections::HashSet::new();
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        while used + needed > self.capacity_bytes {
+            let Some((id, entry)) = self
+                .entries
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .max_by_key(|(_, e)| (e.size_bytes, Reverse(e.last_used)))
+            else {
+                break;
+            };
+            excluded.insert(id);
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
         }
-        evicted
+        plan
+    }
+
+    /// The eviction order the index would produce, without mutating.
+    #[cfg(test)]
+    pub(crate) fn indexed_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        let descending: Vec<EntryId> = self.sizes.iter().map(|(_, id)| id).collect();
+        for id in descending.into_iter().rev() {
+            if used + needed <= self.capacity_bytes {
+                break;
+            }
+            let entry = self.entries.by_id(id).expect("indexed entry is cached");
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+}
+
+impl<V: CachePayload> VictimIndexed for LcsCache<V> {
+    fn occupied_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn evict_one(&mut self, _now: Timestamp) -> Option<QueryKey> {
+        let (rank, id) = self.sizes.max()?;
+        self.sizes.remove(rank, id);
+        let entry = self.entries.remove(id)?;
+        self.used_bytes -= entry.size_bytes;
+        self.stats.record_eviction(entry.size_bytes);
+        Some(entry.key)
     }
 }
 
@@ -80,13 +141,20 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
     }
 
     fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
-        if let Some(entry) = self.entries.get_mut(key) {
-            entry.last_used = now;
-            let cost = entry.cost;
-            self.stats.record_hit(cost);
-            return self.entries.get(key).map(|e| &e.value);
+        match self.entries.find(key) {
+            Some(id) => {
+                if let Some(entry) = self.entries.by_id_mut(id) {
+                    let old = entry.rank();
+                    entry.last_used = now;
+                    let new = entry.rank();
+                    self.sizes.update(old, new, id);
+                }
+                let cost = self.entries.by_id(id).map(|e| e.cost).unwrap_or_default();
+                self.stats.record_hit(cost);
+                self.entries.by_id(id).map(|e| &e.value)
+            }
+            None => None,
         }
-        None
     }
 
     fn insert(
@@ -99,15 +167,20 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
         let size_bytes = value.size_bytes();
         self.stats.record_miss(cost);
 
-        if let Some(entry) = self.entries.get_mut(&key) {
-            let old = entry.size_bytes;
-            entry.value = value;
-            entry.cost = cost;
-            entry.size_bytes = size_bytes;
-            entry.last_used = now;
-            self.used_bytes = self.used_bytes - old + size_bytes;
+        if let Some(id) = self.entries.find(&key) {
+            if let Some(entry) = self.entries.by_id_mut(id) {
+                let old_rank = entry.rank();
+                let old = entry.size_bytes;
+                entry.value = value;
+                entry.cost = cost;
+                entry.size_bytes = size_bytes;
+                entry.last_used = now;
+                let new_rank = entry.rank();
+                self.used_bytes = self.used_bytes - old + size_bytes;
+                self.sizes.update(old_rank, new_rank, id);
+            }
             // Restore the capacity invariant if the refreshed payload grew.
-            let evicted = self.evict_for(0);
+            let evicted = self.evict_for(0, now);
             return InsertOutcome::AlreadyCached { evicted };
         }
 
@@ -120,22 +193,27 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
             return InsertOutcome::Rejected(RejectReason::TooLarge);
         }
 
-        let evicted = self.evict_for(size_bytes);
-        self.entries.insert(LcsEntry {
+        let evicted = self.evict_for(size_bytes, now);
+        let entry = LcsEntry {
             key,
             value,
             size_bytes,
             cost,
             last_used: now,
-        });
+        };
+        let rank = entry.rank();
+        let id = self.entries.insert(entry);
+        self.sizes.insert(rank, id);
         self.used_bytes += size_bytes;
         self.stats.record_admission(true);
         InsertOutcome::Admitted { evicted }
     }
 
     fn remove(&mut self, key: &QueryKey) -> bool {
-        match self.entries.remove_by_key(key) {
-            Some(entry) => {
+        match self.entries.find(key) {
+            Some(id) => {
+                let entry = self.entries.remove(id).expect("found entry is live");
+                self.sizes.remove(entry.rank(), id);
                 self.used_bytes -= entry.size_bytes;
                 true
             }
@@ -159,13 +237,13 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
         self.capacity_bytes
     }
 
-    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
         self.capacity_bytes = capacity_bytes;
         // Shrinking below occupancy evicts the largest sets first.
-        self.evict_for(0)
+        self.evict_for(0, now)
     }
 
-    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         // LCS's next victim is the largest set; report its estimated profit
         // (Eq. 6) since LCS keeps no rate estimate.
         self.victim()
@@ -183,6 +261,7 @@ impl<V: CachePayload> QueryCache<V> for LcsCache<V> {
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.sizes.clear();
         self.used_bytes = 0;
     }
 

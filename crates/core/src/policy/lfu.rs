@@ -5,11 +5,17 @@
 //! least-recent use.  Like LRU, LFU ignores retrieved-set sizes and query
 //! execution costs, but unlike LRU it is not fooled by long scans of
 //! never-repeated queries.
+//!
+//! Entries are bucketed by their `(reference count, last use)` pair in an
+//! [`OrdIndex`] — the flattened form of the classic LFU frequency-bucket
+//! scheme — so the victim is the head of the index and every admission,
+//! hit and eviction maintains it in O(log n).
 
 use crate::clock::Timestamp;
 use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::policy::index::{OrdIndex, VictimIndexed};
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
 use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
@@ -24,6 +30,13 @@ struct LfuEntry<V> {
     last_used: Timestamp,
 }
 
+impl<V> LfuEntry<V> {
+    /// The victim-index key: fewest references first, then least recent use.
+    fn rank(&self) -> (u64, Timestamp) {
+        (self.references, self.last_used)
+    }
+}
+
 impl<V> KeyedEntry for LfuEntry<V> {
     fn key(&self) -> &QueryKey {
         &self.key
@@ -31,10 +44,12 @@ impl<V> KeyedEntry for LfuEntry<V> {
 }
 
 /// A retrieved-set cache with least-frequently-used replacement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LfuCache<V> {
     capacity_bytes: u64,
     entries: EntryStore<LfuEntry<V>>,
+    /// Victim index over `(references, last_used)` frequency buckets.
+    frequency: OrdIndex<(u64, Timestamp)>,
     used_bytes: u64,
     stats: CacheStats,
 }
@@ -45,32 +60,86 @@ impl<V: CachePayload> LfuCache<V> {
         LfuCache {
             capacity_bytes,
             entries: EntryStore::new(),
+            frequency: OrdIndex::new(),
             used_bytes: 0,
             stats: CacheStats::new(),
         }
     }
 
     /// The entry LFU would evict next: fewest references, ties broken by
-    /// least-recent use.  Single source of truth for `evict_for` and
+    /// least-recent use.  Single source of truth for `evict_one` and
     /// `min_cached_profit`.
     fn victim(&self) -> Option<EntryId> {
-        self.entries
-            .iter()
-            .min_by_key(|(_, e)| (e.references, e.last_used))
-            .map(|(id, _)| id)
+        self.frequency.min().map(|(_, id)| id)
     }
 
-    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
-        let mut evicted = Vec::new();
-        while self.used_bytes + needed > self.capacity_bytes {
-            let Some(id) = self.victim() else { break };
-            if let Some(entry) = self.entries.remove(id) {
-                self.used_bytes -= entry.size_bytes;
-                self.stats.record_eviction(entry.size_bytes);
-                evicted.push(entry.key);
-            }
+    /// Records one use of `id` at `now`, re-keying its index position.
+    fn touch(&mut self, id: EntryId, now: Timestamp) {
+        if let Some(entry) = self.entries.by_id_mut(id) {
+            let old = entry.rank();
+            entry.references += 1;
+            entry.last_used = now;
+            let new = entry.rank();
+            self.frequency.update(old, new, id);
         }
-        evicted
+    }
+
+    /// The eviction order the pre-index implementation derived by scanning.
+    /// Kept as the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn reference_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut excluded = std::collections::HashSet::new();
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        while used + needed > self.capacity_bytes {
+            let Some((id, entry)) = self
+                .entries
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .min_by_key(|(_, e)| (e.references, e.last_used))
+            else {
+                break;
+            };
+            excluded.insert(id);
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+
+    /// The eviction order the index would produce, without mutating.
+    #[cfg(test)]
+    pub(crate) fn indexed_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        for (_, id) in self.frequency.iter() {
+            if used + needed <= self.capacity_bytes {
+                break;
+            }
+            let entry = self.entries.by_id(id).expect("indexed entry is cached");
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+}
+
+impl<V: CachePayload> VictimIndexed for LfuCache<V> {
+    fn occupied_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn evict_one(&mut self, _now: Timestamp) -> Option<QueryKey> {
+        let (rank, id) = self.frequency.min()?;
+        self.frequency.remove(rank, id);
+        let entry = self.entries.remove(id)?;
+        self.used_bytes -= entry.size_bytes;
+        self.stats.record_eviction(entry.size_bytes);
+        Some(entry.key)
     }
 }
 
@@ -80,14 +149,15 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
     }
 
     fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
-        if let Some(entry) = self.entries.get_mut(key) {
-            entry.references += 1;
-            entry.last_used = now;
-            let cost = entry.cost;
-            self.stats.record_hit(cost);
-            return self.entries.get(key).map(|e| &e.value);
+        match self.entries.find(key) {
+            Some(id) => {
+                self.touch(id, now);
+                let cost = self.entries.by_id(id).map(|e| e.cost).unwrap_or_default();
+                self.stats.record_hit(cost);
+                self.entries.by_id(id).map(|e| &e.value)
+            }
+            None => None,
         }
-        None
     }
 
     fn insert(
@@ -100,16 +170,17 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
         let size_bytes = value.size_bytes();
         self.stats.record_miss(cost);
 
-        if let Some(entry) = self.entries.get_mut(&key) {
-            let old = entry.size_bytes;
-            entry.value = value;
-            entry.cost = cost;
-            entry.size_bytes = size_bytes;
-            entry.references += 1;
-            entry.last_used = now;
-            self.used_bytes = self.used_bytes - old + size_bytes;
+        if let Some(id) = self.entries.find(&key) {
+            if let Some(entry) = self.entries.by_id_mut(id) {
+                let old = entry.size_bytes;
+                entry.value = value;
+                entry.cost = cost;
+                entry.size_bytes = size_bytes;
+                self.used_bytes = self.used_bytes - old + size_bytes;
+            }
+            self.touch(id, now);
             // Restore the capacity invariant if the refreshed payload grew.
-            let evicted = self.evict_for(0);
+            let evicted = self.evict_for(0, now);
             return InsertOutcome::AlreadyCached { evicted };
         }
 
@@ -122,23 +193,28 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
             return InsertOutcome::Rejected(RejectReason::TooLarge);
         }
 
-        let evicted = self.evict_for(size_bytes);
-        self.entries.insert(LfuEntry {
+        let evicted = self.evict_for(size_bytes, now);
+        let entry = LfuEntry {
             key,
             value,
             size_bytes,
             cost,
             references: 1,
             last_used: now,
-        });
+        };
+        let rank = entry.rank();
+        let id = self.entries.insert(entry);
+        self.frequency.insert(rank, id);
         self.used_bytes += size_bytes;
         self.stats.record_admission(true);
         InsertOutcome::Admitted { evicted }
     }
 
     fn remove(&mut self, key: &QueryKey) -> bool {
-        match self.entries.remove_by_key(key) {
-            Some(entry) => {
+        match self.entries.find(key) {
+            Some(id) => {
+                let entry = self.entries.remove(id).expect("found entry is live");
+                self.frequency.remove(entry.rank(), id);
                 self.used_bytes -= entry.size_bytes;
                 true
             }
@@ -162,13 +238,13 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
         self.capacity_bytes
     }
 
-    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
         self.capacity_bytes = capacity_bytes;
         // Shrinking below occupancy evicts least-frequently-used sets first.
-        self.evict_for(0)
+        self.evict_for(0, now)
     }
 
-    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         // LFU's next victim is the least-referenced set; report its estimated
         // profit (Eq. 6) since LFU keeps no rate estimate.
         self.victim()
@@ -186,6 +262,7 @@ impl<V: CachePayload> QueryCache<V> for LfuCache<V> {
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.frequency.clear();
         self.used_bytes = 0;
     }
 

@@ -12,6 +12,25 @@
 //! [`LncCache`] implements all three: the admission algorithm can be turned
 //! off in [`LncConfig`] to obtain plain LNC-R, which then admits every set
 //! that fits (like a buffer manager would).
+//!
+//! # The victim ranking
+//!
+//! The paper's §3 sketches a priority-queue implementation of LNC-R, but an
+//! exact profit order cannot live in a statically keyed index: the rate
+//! estimate `λᵢ = K/(now − t_K)` (Eq. 3) re-evaluates at every decision
+//! point, and the profits of two untouched sets can *cross* as `now`
+//! advances (their profit curves are hyperbolas with different poles).  The
+//! cache therefore keeps a [`VictimRanking`] — the two-level eviction order
+//! of Figure 1 (per-sample-count groups, ascending profit within each
+//! group) — as an *epoch-cached* structure: it remembers the full order
+//! scored at the last decision's timestamp and, on the next decision,
+//! re-scores entries in the cached order and repairs the handful of
+//! positions that actually changed (profits shift together, so the cached
+//! order is nearly sorted) instead of re-deriving the order from scratch.
+//! Decisions at an unchanged timestamp reuse the ranking outright.  This
+//! keeps victim order bit-identical to the reference sort (asserted by the
+//! differential property tests) while removing the per-eviction
+//! O(n log n) sort and its allocations.
 
 use crate::clock::Timestamp;
 use crate::history::ReferenceHistory;
@@ -93,6 +112,10 @@ struct LncEntry<V> {
     size_bytes: u64,
     cost: ExecutionCost,
     history: ReferenceHistory,
+    /// Admission sequence number; distinguishes this entry from a later one
+    /// reusing the same [`EntryId`] slot, so stale ranking items are
+    /// detected exactly.
+    seq: u64,
 }
 
 impl<V> LncEntry<V> {
@@ -110,12 +133,107 @@ impl<V> KeyedEntry for LncEntry<V> {
     }
 }
 
+/// One cached set's position data inside the [`VictimRanking`].
+#[derive(Debug, Clone, Copy)]
+struct RankedSet {
+    /// Number of retained reference samples — the Figure 1 group: fewer
+    /// samples evict first.
+    samples: usize,
+    /// Profit `λ·c/s` scored at the ranking's epoch.
+    profit: Profit,
+    id: EntryId,
+    /// The entry's admission sequence (stale-item detection).
+    seq: u64,
+    size_bytes: u64,
+}
+
+impl RankedSet {
+    /// The eviction order: ascending `(samples, profit)`, slot order for
+    /// exact ties — precisely the order of the reference stable sort.
+    fn rank(&self) -> (usize, Profit, EntryId) {
+        (self.samples, self.profit, self.id)
+    }
+}
+
+/// The epoch-cached LNC-R eviction order (see the module docs).
+///
+/// `ranked` holds every cached set in ascending `(samples, profit, id)`
+/// order *as scored at `epoch`*, possibly interleaved with stale items whose
+/// entries have since been evicted or re-admitted (detected by sequence
+/// mismatch and compacted on the next rescore).  `incoming` lists sets
+/// admitted since the last rescore; `dirty` records whether any score input
+/// (a reference history, a refreshed payload, membership) changed.
+#[derive(Debug, Clone, Default)]
+struct VictimRanking {
+    ranked: Vec<RankedSet>,
+    incoming: Vec<(EntryId, u64)>,
+    epoch: Option<Timestamp>,
+    dirty: bool,
+}
+
+/// When a rescore finds more than this many out-of-place sets it stops
+/// repairing (each repair shifts a slice) and falls back to a full sort.
+const REPAIR_BUDGET: usize = 48;
+
+impl VictimRanking {
+    /// Whether the scores of the *ranked* entries are exact for decisions at
+    /// `now` (sets admitted since the last rescore may still sit in
+    /// `incoming`; they carry their own scores on demand).
+    fn scores_current(&self, now: Timestamp) -> bool {
+        self.epoch == Some(now) && !self.dirty
+    }
+
+    /// Whether the cached order is exactly the full eviction order at `now`.
+    fn is_current(&self, now: Timestamp) -> bool {
+        self.scores_current(now) && self.incoming.is_empty()
+    }
+
+    /// Marks the scores stale (membership is unchanged).
+    fn touch(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Registers a newly admitted entry.  The ranked order and its scores
+    /// stay valid; the newcomer waits in `incoming` until the next rescore.
+    fn admit(&mut self, id: EntryId, seq: u64) {
+        self.incoming.push((id, seq));
+    }
+
+    /// Unlinks an eviction that removed exactly the first `victims.len()`
+    /// ranked sets (victim selections are always ranking prefixes), keeping
+    /// the survivors' scores current.  Falls back to marking the ranking
+    /// dirty if the removal does not line up with the prefix.
+    fn evict_prefix(&mut self, victims: &[EntryId], now: Timestamp) {
+        let prefix_current = self.scores_current(now)
+            && victims.len() <= self.ranked.len()
+            && self
+                .ranked
+                .iter()
+                .zip(victims)
+                .all(|(item, &id)| item.id == id);
+        if prefix_current {
+            self.ranked.drain(..victims.len());
+        } else {
+            self.touch();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.ranked.clear();
+        self.incoming.clear();
+        self.epoch = None;
+        self.dirty = false;
+    }
+}
+
 /// The LNC-R / LNC-RA retrieved-set cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LncCache<V> {
     config: LncConfig,
     entries: EntryStore<LncEntry<V>>,
     retained: RetainedStore,
+    ranking: VictimRanking,
+    next_seq: u64,
     used_bytes: u64,
     stats: CacheStats,
 }
@@ -128,6 +246,8 @@ impl<V: CachePayload> LncCache<V> {
             config,
             entries: EntryStore::new(),
             retained: RetainedStore::new(max_retained),
+            ranking: VictimRanking::default(),
+            next_seq: 0,
             used_bytes: 0,
             stats: CacheStats::new(),
         }
@@ -182,7 +302,70 @@ impl<V: CachePayload> LncCache<V> {
     pub fn remove(&mut self, key: &QueryKey) -> Option<V> {
         let entry = self.entries.remove_by_key(key)?;
         self.used_bytes -= entry.size_bytes;
+        self.ranking.touch();
         Some(entry.value)
+    }
+
+    /// Brings the victim ranking up to date for decisions at time `now`.
+    ///
+    /// Compacts stale items, folds in newly admitted sets, re-scores every
+    /// cached set's profit at `now` in the cached order and repairs the
+    /// order where profits crossed since the previous epoch.  A clean
+    /// ranking at the same timestamp returns immediately.
+    fn rescore(&mut self, now: Timestamp) {
+        if self.ranking.is_current(now) {
+            return;
+        }
+        let ranking = &mut self.ranking;
+        ranking
+            .ranked
+            .extend(ranking.incoming.drain(..).map(|(id, seq)| RankedSet {
+                samples: 0,
+                profit: Profit::ZERO,
+                id,
+                seq,
+                size_bytes: 0,
+            }));
+        let entries = &self.entries;
+        ranking
+            .ranked
+            .retain_mut(|item| match entries.by_id(item.id) {
+                Some(entry) if entry.seq == item.seq => {
+                    item.samples = entry.history.sample_count();
+                    item.profit = entry.profit(now);
+                    item.size_bytes = entry.size_bytes;
+                    true
+                }
+                _ => false,
+            });
+        debug_assert_eq!(ranking.ranked.len(), self.entries.len());
+
+        // The previous epoch's order is a near-sorted permutation of the
+        // order at `now`: repair the few crossings by binary insertion, or
+        // give up and sort when the epochs are too far apart.  Either path
+        // ends in the unique ascending `(samples, profit, id)` order — the
+        // reference order of a stable sort over slot-ordered entries.
+        let ranked = &mut ranking.ranked;
+        let mut out_of_place = 0usize;
+        let mut i = 1;
+        while i < ranked.len() {
+            if ranked[i - 1].rank() <= ranked[i].rank() {
+                i += 1;
+                continue;
+            }
+            out_of_place += 1;
+            if out_of_place > REPAIR_BUDGET {
+                ranked.sort_unstable_by_key(RankedSet::rank);
+                break;
+            }
+            let moved = ranked[i].rank();
+            let pos = ranked[..i].partition_point(|r| r.rank() <= moved);
+            ranked[pos..=i].rotate_right(1);
+            i += 1;
+        }
+
+        ranking.epoch = Some(now);
+        ranking.dirty = false;
     }
 
     /// Selects replacement candidates to free at least `needed` bytes
@@ -192,10 +375,48 @@ impl<V: CachePayload> LncCache<V> {
     /// (1, 2, …, K); within each group they are ordered by ascending profit;
     /// the groups are concatenated in order of increasing sample count and
     /// the minimal prefix whose sizes sum to at least `needed` is returned.
+    /// The prefix is read off the maintained [`VictimRanking`].
     ///
     /// Returns `None` if even evicting every cached set would not free
     /// `needed` bytes.
-    fn select_victims(&self, needed: u64, now: Timestamp) -> Option<Vec<EntryId>> {
+    pub(crate) fn select_victims(&mut self, needed: u64, now: Timestamp) -> Option<Vec<EntryId>> {
+        if needed == 0 {
+            return Some(Vec::new());
+        }
+        // The occupancy counter is maintained on every admission and
+        // removal; re-deriving it by summing all entry sizes (as this check
+        // originally did) was an O(n) walk per eviction for a number the
+        // cache already knows.
+        debug_assert_eq!(
+            self.used_bytes,
+            self.entries.iter().map(|(_, e)| e.size_bytes).sum::<u64>(),
+            "maintained occupancy diverged from entry sizes"
+        );
+        if self.used_bytes < needed {
+            return None;
+        }
+        self.rescore(now);
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for item in &self.ranking.ranked {
+            if freed >= needed {
+                break;
+            }
+            victims.push(item.id);
+            freed += item.size_bytes;
+        }
+        Some(victims)
+    }
+
+    /// The reference victim selection this module shipped with — an O(n)
+    /// collect plus an O(n log n) stable sort per decision — kept verbatim
+    /// as the differential-test oracle for the ranking-based path.
+    #[cfg(test)]
+    pub(crate) fn select_victims_reference(
+        &self,
+        needed: u64,
+        now: Timestamp,
+    ) -> Option<Vec<EntryId>> {
         if needed == 0 {
             return Some(Vec::new());
         }
@@ -222,9 +443,70 @@ impl<V: CachePayload> LncCache<V> {
         Some(victims)
     }
 
+    /// The keys of the given cached entries, in order (differential tests
+    /// translate victim-id plans into the key sequences evictions report).
+    #[cfg(test)]
+    pub(crate) fn keys_of(&self, ids: &[EntryId]) -> Vec<QueryKey> {
+        ids.iter()
+            .filter_map(|&id| self.entries.by_id(id).map(|e| e.key.clone()))
+            .collect()
+    }
+
+    /// [`QueryCache::shrink_loss`] computed over the reference victim
+    /// selection — the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn shrink_loss_reference(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+        let free = self.config.capacity_bytes.saturating_sub(self.used_bytes);
+        if bytes <= free || self.entries.is_empty() {
+            return Some(Profit::ZERO);
+        }
+        let needed = (bytes - free).min(self.used_bytes);
+        let victims = self.select_victims_reference(needed, now)?;
+        Some(Profit::of_list(victims.iter().filter_map(|&id| {
+            self.entries
+                .by_id(id)
+                .map(|e| (e.history.rate(now).unwrap_or(0.0), e.cost, e.size_bytes))
+        })))
+    }
+
+    /// [`QueryCache::grow_gain`] computed by independently collecting and
+    /// sorting the retained entries — the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn grow_gain_reference(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+        if bytes == 0 || self.retained.is_empty() {
+            return Some(Profit::ZERO);
+        }
+        let mut candidates: Vec<(Profit, u64, f64, ExecutionCost, u64)> = self
+            .retained
+            .iter()
+            .map(|info| {
+                (
+                    info.profit(now),
+                    info.key.signature().value(),
+                    info.history.rate(now).unwrap_or(0.0),
+                    info.cost,
+                    info.size_bytes,
+                )
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut free = bytes;
+        let mut packed = Vec::new();
+        for (_, _, rate, cost, size) in candidates {
+            if size <= free {
+                free -= size;
+                packed.push((rate, cost, size));
+            }
+        }
+        Some(Profit::of_list(packed))
+    }
+
     /// Evicts the given entries, retaining their reference information when
     /// configured to do so.  Returns the evicted keys.
     fn evict(&mut self, victims: Vec<EntryId>, now: Timestamp) -> Vec<QueryKey> {
+        // Victim selections are prefixes of the ranking, so the survivors'
+        // order and scores stay current through the eviction.
+        self.ranking.evict_prefix(&victims, now);
         let mut evicted = Vec::with_capacity(victims.len());
         for id in victims {
             if let Some(entry) = self.entries.remove(id) {
@@ -253,7 +535,10 @@ impl<V: CachePayload> LncCache<V> {
         if !self.config.retain_reference_info || self.retained.is_empty() {
             return;
         }
-        if let Some(min_profit) = self.min_cached_profit(now) {
+        // Read the threshold through the trait impl: right after an
+        // admission the ranking's scores are still current, so the minimum
+        // comes from the group heads instead of a full profit scan.
+        if let Some(min_profit) = QueryCache::min_cached_profit(self, now) {
             self.retained.purge_below(min_profit, now);
         }
     }
@@ -312,13 +597,17 @@ impl<V: CachePayload> LncCache<V> {
         evicted: Vec<QueryKey>,
         now: Timestamp,
     ) -> InsertOutcome {
-        self.entries.insert(LncEntry {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = self.entries.insert(LncEntry {
             key,
             value,
             size_bytes,
             cost,
             history,
+            seq,
         });
+        self.ranking.admit(id, seq);
         self.used_bytes += size_bytes;
         self.stats.record_admission(true);
         debug_assert!(self.used_bytes <= self.config.capacity_bytes);
@@ -342,10 +631,15 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
             // after an abandoned flight re-issues the same logical
             // reference, and its first pass may already sit in the history
             // via promoted retained information (§2.4).
+            let mut touched = false;
             if entry.history.last_reference() != Some(now) {
                 entry.history.record(now);
+                touched = true;
             }
             let cost = entry.cost;
+            if touched {
+                self.ranking.touch();
+            }
             self.stats.record_hit(cost);
             // Re-borrow immutably for the return value.
             return self.entries.get(key).map(|e| &e.value);
@@ -377,6 +671,7 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
             if entry.history.last_reference() != Some(now) {
                 entry.history.record(now);
             }
+            self.ranking.touch();
             self.used_bytes = self.used_bytes - old_size + size_bytes;
             // If the refreshed payload grew, restore the capacity invariant by
             // evicting the lowest-profit sets (possibly the refreshed one).
@@ -498,15 +793,52 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
         }
     }
 
-    fn min_cached_profit(&self, now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, now: Timestamp) -> Option<Profit> {
+        // A ranking with current scores answers from its group heads: within
+        // a sample-count group profits ascend, so the minimum over the
+        // ranked sets is the smallest group head — O(groups · log n) — plus
+        // a direct score of the handful of sets admitted since the last
+        // rescore.  This is the path the post-admission §2.4 purge and the
+        // engine's rebalancer hit.
+        if self.ranking.scores_current(now) {
+            debug_assert_eq!(
+                self.ranking.ranked.len() + self.ranking.incoming.len(),
+                self.entries.len(),
+                "a current ranking must cover the cache exactly"
+            );
+            let ranked = &self.ranking.ranked;
+            let mut min: Option<Profit> = None;
+            let mut consider = |profit: Profit| {
+                min = Some(match min {
+                    Some(m) if m <= profit => m,
+                    _ => profit,
+                });
+            };
+            let mut i = 0;
+            while i < ranked.len() {
+                let head = ranked[i];
+                consider(head.profit);
+                i += ranked[i..].partition_point(|r| r.samples == head.samples);
+            }
+            for &(id, seq) in &self.ranking.incoming {
+                if let Some(entry) = self.entries.by_id(id) {
+                    if entry.seq == seq {
+                        consider(entry.profit(now));
+                    }
+                }
+            }
+            return min;
+        }
+        // Otherwise fall back to the Eq. 2 scan — cheaper than forcing a
+        // full rescore just to read one aggregate.
         LncCache::min_cached_profit(self, now)
     }
 
-    fn max_retained_profit(&self, now: Timestamp) -> Option<Profit> {
+    fn max_retained_profit(&mut self, now: Timestamp) -> Option<Profit> {
         self.retained.iter().map(|info| info.profit(now)).max()
     }
 
-    fn shrink_loss(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+    fn shrink_loss(&mut self, bytes: u64, now: Timestamp) -> Option<Profit> {
         // Shrinking into free space costs nothing.
         let free = self.config.capacity_bytes.saturating_sub(self.used_bytes);
         if bytes <= free || self.entries.is_empty() {
@@ -522,31 +854,22 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
         })))
     }
 
-    fn grow_gain(&self, bytes: u64, now: Timestamp) -> Option<Profit> {
+    fn grow_gain(&mut self, bytes: u64, now: Timestamp) -> Option<Profit> {
         if bytes == 0 || self.retained.is_empty() {
             return Some(Profit::ZERO);
         }
         // Greedily pack the most profitable retained (denied-residency) sets
         // into the hypothetical extra capacity.
-        let mut candidates: Vec<(Profit, ExecutionCost, u64, f64)> = self
-            .retained
-            .iter()
-            .map(|info| {
-                (
-                    info.profit(now),
-                    info.cost,
-                    info.size_bytes,
-                    info.history.rate(now).unwrap_or(0.0),
-                )
-            })
-            .collect();
-        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
         let mut free = bytes;
         let mut packed = Vec::new();
-        for (_, cost, size, rate) in candidates {
-            if size <= free {
-                free -= size;
-                packed.push((rate, cost, size));
+        for info in self.retained.ranked_by_profit_desc(now) {
+            if info.size_bytes <= free {
+                free -= info.size_bytes;
+                packed.push((
+                    info.history.rate(now).unwrap_or(0.0),
+                    info.cost,
+                    info.size_bytes,
+                ));
             }
         }
         Some(Profit::of_list(packed))
@@ -563,6 +886,7 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
     fn clear(&mut self) {
         self.entries.clear();
         self.retained.clear();
+        self.ranking.clear();
         self.used_bytes = 0;
     }
 
@@ -895,16 +1219,16 @@ mod tests {
             "the contender must be retained"
         );
 
-        let gain = QueryCache::grow_gain(&cache, 400, ts(12)).unwrap();
+        let gain = QueryCache::grow_gain(&mut cache, 400, ts(12)).unwrap();
         assert!(
             gain > Profit::ZERO,
             "a retained denied set must make extra capacity valuable"
         );
         // The retained set does not fit a 10-byte grant → no gain.
-        let none = QueryCache::grow_gain(&cache, 10, ts(12)).unwrap();
+        let none = QueryCache::grow_gain(&mut cache, 10, ts(12)).unwrap();
         assert_eq!(none, Profit::ZERO);
         // Shrink loss prices the would-be victims.
-        let loss = QueryCache::shrink_loss(&cache, 200, ts(12)).unwrap();
+        let loss = QueryCache::shrink_loss(&mut cache, 200, ts(12)).unwrap();
         assert!(loss > Profit::ZERO);
     }
 
@@ -917,5 +1241,25 @@ mod tests {
         let min = cache.min_cached_profit(now).unwrap();
         assert_eq!(min, cache.profit_of(&key("low"), now).unwrap());
         assert!(min < cache.profit_of(&key("high"), now).unwrap());
+    }
+
+    #[test]
+    fn ranking_fast_path_matches_scan_after_rescore() {
+        let mut cache = LncCache::lnc_r(2_000);
+        for i in 0..12u64 {
+            let name = format!("q{i}");
+            reference(&mut cache, &name, 150, 10.0 + i as f64 * 37.0, i + 1);
+            if i % 3 == 0 {
+                cache.get(&key(&name), ts(40 + i));
+            }
+        }
+        let now = ts(100);
+        // Force a rescore through the victim-selection path, then compare
+        // the group-head fast path against the plain scan.
+        let _ = cache.select_victims(1, now);
+        assert!(cache.ranking.is_current(now));
+        let fast = QueryCache::min_cached_profit(&mut cache, now);
+        let scan = LncCache::min_cached_profit(&cache, now);
+        assert_eq!(fast, scan);
     }
 }

@@ -5,13 +5,16 @@
 //! until the newcomer fits.  Reference rate, size-relative value and
 //! execution cost play no role in the decision, which is exactly why LRU
 //! underperforms on decision-support workloads (paper §4.2).
-
-use std::collections::BTreeMap;
+//!
+//! Recency is tracked with a monotone tick per reference and an
+//! [`OrdIndex`] keyed by that tick, so victim selection, eviction and
+//! [`min_cached_profit`](QueryCache::min_cached_profit) are all O(log n).
 
 use crate::clock::Timestamp;
 use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::policy::index::{OrdIndex, VictimIndexed};
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
 use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
@@ -33,12 +36,12 @@ impl<V> KeyedEntry for LruEntry<V> {
 }
 
 /// A retrieved-set cache with least-recently-used replacement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LruCache<V> {
     capacity_bytes: u64,
     entries: EntryStore<LruEntry<V>>,
-    /// tick → entry id, ordered oldest first.
-    recency: BTreeMap<u64, EntryId>,
+    /// Victim index keyed by recency tick, oldest first.
+    recency: OrdIndex<u64>,
     next_tick: u64,
     used_bytes: u64,
     stats: CacheStats,
@@ -50,7 +53,7 @@ impl<V: CachePayload> LruCache<V> {
         LruCache {
             capacity_bytes,
             entries: EntryStore::new(),
-            recency: BTreeMap::new(),
+            recency: OrdIndex::new(),
             next_tick: 0,
             used_bytes: 0,
             stats: CacheStats::new(),
@@ -63,33 +66,74 @@ impl<V: CachePayload> LruCache<V> {
         if let Some(entry) = self.entries.by_id_mut(id) {
             let old = entry.tick;
             entry.tick = tick;
-            self.recency.remove(&old);
-            self.recency.insert(tick, id);
+            self.recency.update(old, tick, id);
         }
     }
 
     /// The entry LRU would evict next (the oldest recency tick).  Single
-    /// source of truth for `evict_for` and `min_cached_profit`.
+    /// source of truth for `evict_one` and `min_cached_profit`.
     fn victim(&self) -> Option<(u64, EntryId)> {
-        self.recency.iter().next().map(|(&tick, &id)| (tick, id))
+        self.recency.min()
     }
 
-    /// Evicts least-recently-used entries until at least `needed` bytes are
-    /// free.  Returns the evicted keys.
-    fn evict_for(&mut self, needed: u64) -> Vec<QueryKey> {
-        let mut evicted = Vec::new();
-        while self.used_bytes + needed > self.capacity_bytes {
-            let Some((tick, id)) = self.victim() else {
+    /// The eviction order the pre-index implementation derived by scanning:
+    /// repeatedly pick the oldest-tick entry until `needed` bytes fit.
+    /// Kept as the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn reference_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut excluded = std::collections::HashSet::new();
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        while used + needed > self.capacity_bytes {
+            let Some((id, entry)) = self
+                .entries
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .min_by_key(|(_, e)| e.tick)
+            else {
                 break;
             };
-            self.recency.remove(&tick);
-            if let Some(entry) = self.entries.remove(id) {
-                self.used_bytes -= entry.size_bytes;
-                self.stats.record_eviction(entry.size_bytes);
-                evicted.push(entry.key);
-            }
+            excluded.insert(id);
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
         }
-        evicted
+        plan
+    }
+
+    /// The eviction order the index would produce for `needed` incoming
+    /// bytes, without mutating the cache.
+    #[cfg(test)]
+    pub(crate) fn indexed_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        for (_, id) in self.recency.iter() {
+            if used + needed <= self.capacity_bytes {
+                break;
+            }
+            let entry = self.entries.by_id(id).expect("indexed entry is cached");
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+}
+
+impl<V: CachePayload> VictimIndexed for LruCache<V> {
+    fn occupied_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn evict_one(&mut self, _now: Timestamp) -> Option<QueryKey> {
+        let (tick, id) = self.victim()?;
+        self.recency.remove(tick, id);
+        let entry = self.entries.remove(id)?;
+        self.used_bytes -= entry.size_bytes;
+        self.stats.record_eviction(entry.size_bytes);
+        Some(entry.key)
     }
 }
 
@@ -115,7 +159,7 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
         key: QueryKey,
         value: V,
         cost: ExecutionCost,
-        _now: Timestamp,
+        now: Timestamp,
     ) -> InsertOutcome {
         let size_bytes = value.size_bytes();
         self.stats.record_miss(cost);
@@ -130,7 +174,7 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
             }
             self.bump(id);
             // Restore the capacity invariant if the refreshed payload grew.
-            let evicted = self.evict_for(0);
+            let evicted = self.evict_for(0, now);
             return InsertOutcome::AlreadyCached { evicted };
         }
 
@@ -143,7 +187,7 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
             return InsertOutcome::Rejected(RejectReason::TooLarge);
         }
 
-        let evicted = self.evict_for(size_bytes);
+        let evicted = self.evict_for(size_bytes, now);
         let tick = self.next_tick;
         self.next_tick += 1;
         let id = self.entries.insert(LruEntry {
@@ -160,9 +204,10 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
     }
 
     fn remove(&mut self, key: &QueryKey) -> bool {
-        match self.entries.remove_by_key(key) {
-            Some(entry) => {
-                self.recency.remove(&entry.tick);
+        match self.entries.find(key) {
+            Some(id) => {
+                let entry = self.entries.remove(id).expect("found entry is live");
+                self.recency.remove(entry.tick, id);
                 self.used_bytes -= entry.size_bytes;
                 true
             }
@@ -186,13 +231,13 @@ impl<V: CachePayload> QueryCache<V> for LruCache<V> {
         self.capacity_bytes
     }
 
-    fn set_capacity_bytes(&mut self, capacity_bytes: u64, _now: Timestamp) -> Vec<QueryKey> {
+    fn set_capacity_bytes(&mut self, capacity_bytes: u64, now: Timestamp) -> Vec<QueryKey> {
         self.capacity_bytes = capacity_bytes;
         // Shrinking below occupancy evicts least-recently-used sets first.
-        self.evict_for(0)
+        self.evict_for(0, now)
     }
 
-    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         // LRU's next victim is the least recently used set; report its
         // estimated profit (Eq. 6) since LRU keeps no rate estimate.
         let (_, id) = self.victim()?;

@@ -12,6 +12,10 @@
 //! Following the original LRU-K design (and paper §2.4), reference history is
 //! retained for a configurable period after eviction so a re-referenced set
 //! does not restart with an empty history.
+//!
+//! The backward-K-distance rank of every entry is kept in an [`OrdIndex`]
+//! and re-keyed on each reference, so victim selection is O(log n) instead
+//! of the former full scan per eviction.
 
 use std::collections::HashMap;
 
@@ -20,6 +24,7 @@ use crate::history::ReferenceHistory;
 use crate::index::{EntryId, EntryStore, KeyedEntry};
 use crate::key::QueryKey;
 use crate::metrics::CacheStats;
+use crate::policy::index::{OrdIndex, VictimIndexed};
 use crate::policy::{InsertOutcome, QueryCache, RejectReason};
 use crate::profit::Profit;
 use crate::value::{CachePayload, ExecutionCost};
@@ -73,10 +78,13 @@ struct RetainedHistory {
 }
 
 /// A retrieved-set cache with LRU-K replacement.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LruKCache<V> {
     config: LruKConfig,
     entries: EntryStore<LruKEntry<V>>,
+    /// Victim index over backward-K-distance ranks; the victim is
+    /// [`OrdIndex::min`].
+    distance: OrdIndex<(bool, u64)>,
     retained: HashMap<QueryKey, RetainedHistory>,
     used_bytes: u64,
     stats: CacheStats,
@@ -88,6 +96,7 @@ impl<V: CachePayload> LruKCache<V> {
         LruKCache {
             config,
             entries: EntryStore::new(),
+            distance: OrdIndex::new(),
             retained: HashMap::new(),
             used_bytes: 0,
             stats: CacheStats::new(),
@@ -131,27 +140,66 @@ impl<V: CachePayload> LruKCache<V> {
         }
     }
 
-    /// The entry LRU-K would evict next (greatest backward K-distance).
-    /// Single source of truth for `evict_for` and `min_cached_profit`.
-    fn victim(&self) -> Option<EntryId> {
-        self.entries
-            .iter()
-            .min_by_key(|(_, e)| Self::victim_rank(e, self.config.k))
-            .map(|(id, _)| id)
-    }
-
-    fn evict_for(&mut self, needed: u64, now: Timestamp) -> Vec<QueryKey> {
-        let mut evicted = Vec::new();
-        while self.used_bytes + needed > self.config.capacity_bytes {
-            let Some(id) = self.victim() else { break };
-            if let Some(entry) = self.entries.remove(id) {
-                self.used_bytes -= entry.size_bytes;
-                self.stats.record_eviction(entry.size_bytes);
-                self.retain_history(entry.key.clone(), entry.history, now);
-                evicted.push(entry.key);
+    /// Records a reference for `id` at `now` (skipping duplicate
+    /// timestamps), re-keying its index position.
+    fn touch(&mut self, id: EntryId, now: Timestamp) {
+        let k = self.config.k;
+        if let Some(entry) = self.entries.by_id_mut(id) {
+            if entry.history.last_reference() == Some(now) {
+                return;
+            }
+            let old = Self::victim_rank(entry, k);
+            entry.history.record(now);
+            let new = Self::victim_rank(entry, k);
+            if old != new {
+                self.distance.update(old, new, id);
             }
         }
-        evicted
+    }
+
+    /// The entry LRU-K would evict next (greatest backward K-distance).
+    /// Single source of truth for `evict_one` and `min_cached_profit`.
+    fn victim(&self) -> Option<EntryId> {
+        self.distance.min().map(|(_, id)| id)
+    }
+
+    /// The eviction order the pre-index implementation derived by scanning.
+    /// Kept as the differential-test oracle.
+    #[cfg(test)]
+    pub(crate) fn reference_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut excluded = std::collections::HashSet::new();
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        while used + needed > self.config.capacity_bytes {
+            let Some((id, entry)) = self
+                .entries
+                .iter()
+                .filter(|(id, _)| !excluded.contains(id))
+                .min_by_key(|(_, e)| Self::victim_rank(e, self.config.k))
+            else {
+                break;
+            };
+            excluded.insert(id);
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
+    }
+
+    /// The eviction order the index would produce, without mutating.
+    #[cfg(test)]
+    pub(crate) fn indexed_victim_plan(&self, needed: u64) -> Vec<QueryKey> {
+        let mut used = self.used_bytes;
+        let mut plan = Vec::new();
+        for (_, id) in self.distance.iter() {
+            if used + needed <= self.config.capacity_bytes {
+                break;
+            }
+            let entry = self.entries.by_id(id).expect("indexed entry is cached");
+            used -= entry.size_bytes;
+            plan.push(entry.key.clone());
+        }
+        plan
     }
 
     fn retain_history(&mut self, key: QueryKey, history: ReferenceHistory, now: Timestamp) {
@@ -179,21 +227,40 @@ impl<V: CachePayload> LruKCache<V> {
     }
 }
 
+impl<V: CachePayload> VictimIndexed for LruKCache<V> {
+    fn occupied_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.config.capacity_bytes
+    }
+
+    fn evict_one(&mut self, now: Timestamp) -> Option<QueryKey> {
+        let (rank, id) = self.distance.min()?;
+        self.distance.remove(rank, id);
+        let entry = self.entries.remove(id)?;
+        self.used_bytes -= entry.size_bytes;
+        self.stats.record_eviction(entry.size_bytes);
+        self.retain_history(entry.key.clone(), entry.history, now);
+        Some(entry.key)
+    }
+}
+
 impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
     fn name(&self) -> &'static str {
         "LRU-K"
     }
 
     fn get(&mut self, key: &QueryKey, now: Timestamp) -> Option<&V> {
-        if let Some(entry) = self.entries.get_mut(key) {
-            // Same-timestamp dedupe as below: a retried logical reference
-            // may already be in the history via a promoted retained one.
-            if entry.history.last_reference() != Some(now) {
-                entry.history.record(now);
-            }
-            let cost = entry.cost;
+        if let Some(id) = self.entries.find(key) {
+            // Same-timestamp dedupe happens in `touch`: a retried logical
+            // reference may already be in the history via a promoted
+            // retained one.
+            self.touch(id, now);
+            let cost = self.entries.by_id(id).map(|e| e.cost).unwrap_or_default();
             self.stats.record_hit(cost);
-            return self.entries.get(key).map(|e| &e.value);
+            return self.entries.by_id(id).map(|e| &e.value);
         }
         if let Some(retained) = self.retained.get_mut(key) {
             // Skip duplicate timestamps: a single-flight waiter retrying after
@@ -215,15 +282,15 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
         let size_bytes = value.size_bytes();
         self.stats.record_miss(cost);
 
-        if let Some(entry) = self.entries.get_mut(&key) {
-            let old = entry.size_bytes;
-            entry.value = value;
-            entry.cost = cost;
-            entry.size_bytes = size_bytes;
-            if entry.history.last_reference() != Some(now) {
-                entry.history.record(now);
+        if let Some(id) = self.entries.find(&key) {
+            if let Some(entry) = self.entries.by_id_mut(id) {
+                let old = entry.size_bytes;
+                entry.value = value;
+                entry.cost = cost;
+                entry.size_bytes = size_bytes;
+                self.used_bytes = self.used_bytes - old + size_bytes;
             }
-            self.used_bytes = self.used_bytes - old + size_bytes;
+            self.touch(id, now);
             // Restore the capacity invariant if the refreshed payload grew.
             let evicted = self.evict_for(0, now);
             return InsertOutcome::AlreadyCached { evicted };
@@ -250,21 +317,27 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
         };
 
         let evicted = self.evict_for(size_bytes, now);
-        self.entries.insert(LruKEntry {
+        let entry = LruKEntry {
             key,
             value,
             size_bytes,
             cost,
             history,
-        });
+        };
+        let rank = Self::victim_rank(&entry, self.config.k);
+        let id = self.entries.insert(entry);
+        self.distance.insert(rank, id);
         self.used_bytes += size_bytes;
         self.stats.record_admission(true);
         InsertOutcome::Admitted { evicted }
     }
 
     fn remove(&mut self, key: &QueryKey) -> bool {
-        match self.entries.remove_by_key(key) {
-            Some(entry) => {
+        match self.entries.find(key) {
+            Some(id) => {
+                let entry = self.entries.remove(id).expect("found entry is live");
+                self.distance
+                    .remove(Self::victim_rank(&entry, self.config.k), id);
                 // Invalidation discards reference history: the update that
                 // triggered it may have changed the set entirely.
                 self.retained.remove(key);
@@ -298,7 +371,7 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
         self.evict_for(0, now)
     }
 
-    fn min_cached_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn min_cached_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         // LRU-K's next victim is the greatest-backward-K-distance set; report
         // its estimated profit (Eq. 6) since LRU-K ignores cost and size.
         self.victim()
@@ -316,6 +389,7 @@ impl<V: CachePayload> QueryCache<V> for LruKCache<V> {
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.distance.clear();
         self.retained.clear();
         self.used_bytes = 0;
     }

@@ -15,13 +15,47 @@
 //! decides whether to admit it (possibly evicting other sets) or reject it.
 //! Both calls take an explicit logical [`Timestamp`] so that trace replay is
 //! deterministic.
+//!
+//! # Per-operation complexity
+//!
+//! Every policy maintains an incremental victim index (see [`index`] and the
+//! epoch-cached ranking in [`lnc`]) instead of re-scanning the cache per
+//! eviction, with `n` cached sets and `v` victims per decision:
+//!
+//! | policy | admit | hit | evict (total) | `min_cached_profit` | shrink by `b` |
+//! |---|---|---|---|---|---|
+//! | LRU | O(log n) | O(log n) | O(v log n) | O(log n) | O(v log n) |
+//! | LRU-K | O(log n) | O(log n) | O(v log n) | O(log n) | O(v log n) |
+//! | LFU | O(log n) | O(log n) | O(v log n) | O(log n) | O(v log n) |
+//! | LCS | O(log n) | O(log n) | O(v log n) | O(log n) | O(v log n) |
+//! | GreedyDual-Size | O(log n) | O(log n) | O(v log n) | O(log n) | O(v log n) |
+//! | LNC-R / LNC-RA | O(1)¹ | O(1)¹ | O(n + v)¹ | O(groups · log n)² | O(n + v)¹ |
+//!
+//! ¹ LNC profits re-evaluate the Eq. 3 rate at the decision's `now`, and the
+//! profits of two untouched sets can cross as time advances, so an exact
+//! decision at a *new* timestamp must re-score all n profits; the epoch
+//! cache makes that one near-sorted repair pass (amortized O(n), worst case
+//! O(n log n) when the order drifted far) instead of a fresh sort plus
+//! allocation, reuses the order outright for decisions at an unchanged
+//! timestamp, and keeps admissions and hits constant-time (they only mark
+//! the cache dirty).  ² With a current ranking; falls back to the O(n) scan
+//! otherwise.
+//!
+//! The per-policy scan implementations these indexes replaced are retained
+//! under `#[cfg(test)]` as differential-test oracles: the `differential`
+//! module (test builds only) holds the property suite asserting identical
+//! victim sequences and signal values on random traces.
 
 pub mod gds;
+pub(crate) mod index;
 pub mod lcs;
 pub mod lfu;
 pub mod lnc;
 pub mod lru;
 pub mod lru_k;
+
+#[cfg(test)]
+mod differential;
 
 use std::fmt;
 
@@ -204,7 +238,12 @@ pub trait QueryCache<V: CachePayload> {
     /// profit `c/s` (Eq. 6) of their current victim.  The engine's capacity
     /// rebalancer reads this as the *marginal loss* of shrinking a shard: a
     /// shard whose next victim is nearly worthless gives up almost nothing.
-    fn min_cached_profit(&self, now: Timestamp) -> Option<Profit>;
+    ///
+    /// Takes `&mut self` (as do the other capacity-planning signals below):
+    /// the answer is read off the policy's victim index, and consulting the
+    /// index may lazily re-score or compact it.  The cache contents and
+    /// statistics are never changed.
+    fn min_cached_profit(&mut self, now: Timestamp) -> Option<Profit>;
 
     /// The highest profit among sets the policy recently denied residency
     /// (evicted or rejected) but still remembers, or `None` when the policy
@@ -217,7 +256,7 @@ pub trait QueryCache<V: CachePayload> {
     /// shard's marginal loss.  Policies without retained information return
     /// `None` (the default) and the rebalancer falls back to
     /// rejection/eviction pressure.
-    fn max_retained_profit(&self, _now: Timestamp) -> Option<Profit> {
+    fn max_retained_profit(&mut self, _now: Timestamp) -> Option<Profit> {
         None
     }
 
@@ -226,7 +265,7 @@ pub trait QueryCache<V: CachePayload> {
     /// would actually cost.  `None` (the default) when the policy cannot
     /// price a shrink; the engine's rebalancer then falls back to
     /// [`QueryCache::min_cached_profit`].
-    fn shrink_loss(&self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
+    fn shrink_loss(&mut self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
         None
     }
 
@@ -235,7 +274,7 @@ pub trait QueryCache<V: CachePayload> {
     /// capacity grant of that size could plausibly win back.  `None` (the
     /// default) when the policy retains no such information; the engine's
     /// rebalancer then falls back to rejection/eviction pressure.
-    fn grow_gain(&self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
+    fn grow_gain(&mut self, _bytes: u64, _now: Timestamp) -> Option<Profit> {
         None
     }
 

@@ -55,7 +55,7 @@ impl RetainedInfo {
 }
 
 /// The side table of retained reference information.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RetainedStore {
     entries: HashMap<QueryKey, RetainedInfo>,
     /// Hard safety bound on the number of retained entries; the profit-based
@@ -123,13 +123,15 @@ impl RetainedStore {
     }
 
     /// Inserts or replaces retained information.  If the store is at its hard
-    /// bound, the entry with the lowest profit is dropped first.
+    /// bound, the entry with the lowest profit is dropped first (ties broken
+    /// by key signature, so displacement is deterministic rather than
+    /// following hash-map iteration order).
     pub fn insert(&mut self, info: RetainedInfo, now: Timestamp) {
         if !self.entries.contains_key(&info.key) && self.entries.len() >= self.max_entries {
             if let Some(worst) = self
                 .entries
                 .values()
-                .min_by_key(|i| i.profit(now))
+                .min_by_key(|i| (i.profit(now), i.key.signature().value()))
                 .map(|i| i.key.clone())
             {
                 // Only displace an existing entry if the newcomer is at least
@@ -173,6 +175,24 @@ impl RetainedStore {
     /// Iterates over retained entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &RetainedInfo> {
         self.entries.values()
+    }
+
+    /// Retained entries ranked by descending profit at `now`, ties broken by
+    /// key signature.
+    ///
+    /// This is the lookup discipline shared by the capacity-planning signals
+    /// ([`QueryCache::grow_gain`](crate::policy::QueryCache::grow_gain)
+    /// greedily packs this order): callers no longer sort hash-map iteration
+    /// output themselves, which made tie outcomes depend on the map's seed.
+    pub fn ranked_by_profit_desc(&self, now: Timestamp) -> Vec<&RetainedInfo> {
+        let mut ranked: Vec<&RetainedInfo> = self.entries.values().collect();
+        ranked.sort_unstable_by_key(|info| {
+            (
+                std::cmp::Reverse(info.profit(now)),
+                info.key.signature().value(),
+            )
+        });
+        ranked
     }
 }
 
