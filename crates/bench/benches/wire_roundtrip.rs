@@ -1,0 +1,125 @@
+//! Wire-protocol cost: frame codec throughput and loopback round trips.
+//!
+//! Two questions about the networked front end:
+//!
+//! * **Codec** — how many GET request/response frames per second can one
+//!   core encode and decode?  This bounds a session thread's parse
+//!   overhead; it should sit far above any realistic per-connection rate.
+//! * **Loopback RTT** — what does a *served* cache hit cost end to end
+//!   (socket, framing, session thread, shard lock) at pipeline depths 1,
+//!   8 and 64?  Deep pipelines amortize the round trip, which is how the
+//!   load generator reaches engine-limited throughput from few
+//!   connections.
+//!
+//! Run with `--quick` for a CI-sized smoke pass.
+
+use std::time::{Duration, Instant};
+
+use watchman_core::engine::PolicyKind;
+use watchman_server::wire::{self, GetRequest, Request};
+use watchman_server::{serve, Client, ServerConfig};
+
+fn sample_request() -> Request {
+    Request::Get(GetRequest {
+        key: "SELECT l_returnflag, sum(l_extendedprice) FROM lineitem WHERE l_shipdate <= 1995 \
+              GROUP BY l_returnflag"
+            .to_owned(),
+        timestamp_us: 123_456_789,
+        result_bytes: 3_072,
+        cost_blocks: 41_000,
+        fetch_delay_us: 0,
+        deadline_hint_us: 0,
+        payload_prefix_cap: 0,
+    })
+}
+
+fn bench_codec(rounds: u64) {
+    let request = sample_request();
+    let start = Instant::now();
+    let mut decoded = 0u64;
+    for id in 0..rounds {
+        let body = wire::encode_request(id, &request);
+        let (back_id, _back) = wire::decode_request(&body).expect("round trip");
+        assert_eq!(back_id, id);
+        decoded += 1;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "codec: {decoded} GET encode+decode round trips in {elapsed:.2?} \
+         ({:.0} frames/s)",
+        decoded as f64 / elapsed.as_secs_f64()
+    );
+}
+
+fn bench_loopback(rounds: u64) {
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 4,
+        policy: PolicyKind::LNC_RA,
+        capacity_bytes: 16 << 20,
+        runtime_workers: 2,
+        rebalance: None,
+    })
+    .expect("bench server binds");
+    let mut client = Client::connect(server.addr().to_string()).expect("bench client");
+
+    // Prime one hot key: everything after this is the served-hit path.
+    let hot =
+        |timestamp_us: u64| GetRequest::metrics_only("SELECT hot FROM t", timestamp_us, 512, 9_000);
+    client.get(hot(1)).expect("prime");
+
+    println!(
+        "\n{:>10} {:>14} {:>16} {:>14}",
+        "pipeline", "batches", "wall", "served hits/s"
+    );
+    for pipeline in [1usize, 8, 64] {
+        let batches = (rounds as usize / pipeline).max(8);
+        let start = Instant::now();
+        for batch_index in 0..batches {
+            let batch: Vec<GetRequest> = (0..pipeline)
+                .map(|i| hot((batch_index * pipeline + i + 2) as u64))
+                .collect();
+            let responses = client.get_many(batch).expect("hit batch");
+            debug_assert_eq!(responses.len(), pipeline);
+        }
+        let elapsed = start.elapsed();
+        let served = (batches * pipeline) as f64;
+        println!(
+            "{:>10} {:>14} {:>16.2?} {:>14.0}",
+            pipeline,
+            batches,
+            elapsed,
+            served / elapsed.as_secs_f64()
+        );
+    }
+
+    let snapshot = server.engine().stats_snapshot();
+    assert!(
+        snapshot.total.hits > 0,
+        "the loopback rounds must be served hits"
+    );
+    server.join();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds: u64 = if quick { 20_000 } else { 500_000 };
+    let loopback_rounds: u64 = if quick { 2_000 } else { 50_000 };
+    println!("wire_roundtrip: codec rounds {rounds}, loopback rounds {loopback_rounds}\n");
+    bench_codec(rounds);
+    bench_loopback(loopback_rounds);
+    // The codec must never be the bottleneck of a session thread; fail the
+    // bench loudly if it regresses below a floor even CI machines clear.
+    let floor_start = Instant::now();
+    let request = sample_request();
+    for id in 0..10_000u64 {
+        let body = wire::encode_request(id, &request);
+        std::hint::black_box(wire::decode_request(&body).expect("round trip"));
+    }
+    let per_frame = floor_start.elapsed() / 10_000;
+    assert!(
+        per_frame < Duration::from_micros(50),
+        "codec regressed: {per_frame:?} per frame"
+    );
+    println!("\ndone");
+}

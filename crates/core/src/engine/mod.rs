@@ -882,4 +882,106 @@ mod tests {
         assert_eq!(shard_engine.used_bytes(), raw.used_bytes());
         assert_eq!(shard_engine.len(), raw.len());
     }
+
+    #[test]
+    fn stats_snapshot_round_trips_through_json() {
+        // The server's STATS opcode ships snapshots as JSON; every counter
+        // (including the float cost accumulators, which print in shortest
+        // round-trip form) must survive the trip bit-for-bit.
+        let engine = engine(4, 4_000);
+        for i in 0..300u64 {
+            let k = key(&format!("q{}", i % 17));
+            let now = ts(i * 1_000 + 1);
+            if engine.get(&k, now).is_none() {
+                engine.insert(
+                    k,
+                    SizedPayload::new(100 + (i % 5) * 37),
+                    ExecutionCost::from_block_reads(250.5 + i as f64 * 0.875),
+                    now,
+                );
+            }
+        }
+        let snapshot = engine.stats_snapshot();
+        assert!(snapshot.total.total_cost > 0.0);
+        let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+        let back: StatsSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(snapshot, back, "JSON round trip must be exact");
+    }
+
+    #[test]
+    fn peek_leaves_stats_and_policy_state_untouched() {
+        // For every policy: peek returns the payload but records nothing —
+        // the snapshot (references, hits, cost accumulators) stays
+        // byte-identical no matter how often the admin path probes.
+        for kind in [
+            PolicyKind::LNC_RA,
+            PolicyKind::LNC_R,
+            PolicyKind::Lru,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::Lfu,
+            PolicyKind::Lcs,
+            PolicyKind::GreedyDualSize,
+        ] {
+            let engine: Watchman<SizedPayload> = Watchman::builder()
+                .shards(2)
+                .policy(kind)
+                .capacity_bytes(1 << 20)
+                .build();
+            for i in 0..20u64 {
+                engine.insert(
+                    key(&format!("q{i}")),
+                    SizedPayload::new(200),
+                    ExecutionCost::from_blocks(1_000 + i),
+                    ts(i + 1),
+                );
+            }
+            let before = engine.stats_snapshot();
+            for _ in 0..50 {
+                assert!(engine.peek(&key("q3")).is_some(), "{kind}: q3 is cached");
+                assert!(engine.peek(&key("absent")).is_none());
+            }
+            assert_eq!(
+                engine.stats_snapshot(),
+                before,
+                "{kind}: peek must not mutate statistics"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_does_not_refresh_recency() {
+        // LRU with room for exactly two sets: A is older than B, so the next
+        // admission must evict A — even after A was peeked many times.  A
+        // `get` in peek's place would have bumped A and evicted B instead.
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::Lru)
+            .capacity_bytes(200)
+            .build();
+        engine.insert(
+            key("a"),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(10),
+            ts(1),
+        );
+        engine.insert(
+            key("b"),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(10),
+            ts(2),
+        );
+        for i in 0..25 {
+            assert!(engine.peek(&key("a")).is_some());
+            assert!(ts(i).as_micros() < u64::MAX);
+        }
+        let outcome = engine.insert(
+            key("c"),
+            SizedPayload::new(100),
+            ExecutionCost::from_blocks(10),
+            ts(3),
+        );
+        assert_eq!(outcome.evicted(), &[key("a")], "peeking must not protect a");
+        assert!(engine.contains(&key("b")));
+        assert!(engine.peek(&key("a")).is_none());
+    }
 }

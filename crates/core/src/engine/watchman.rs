@@ -9,6 +9,8 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 use crate::clock::Timestamp;
 use crate::coherence::DependencyIndex;
 use crate::engine::events::{CacheEvent, CacheObserver};
@@ -88,7 +90,12 @@ pub struct Lookup<V> {
 /// The snapshot is *atomic*: every shard is locked for the duration of the
 /// read, so the per-shard capacities always sum to the configured total even
 /// while a rebalance pass is moving bytes between shards.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Snapshots are serde-serializable: the server's `STATS` opcode, the
+/// benchmark reports and the load generator all exchange this one schema
+/// (JSON round-trips are exact — every counter is an integer and the float
+/// accumulators print in shortest round-trip form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Counters summed across every shard.
     pub total: CacheStats,
@@ -1007,6 +1014,21 @@ where
         relation: &str,
     ) -> crate::coherence::InvalidationReport {
         crate::coherence::invalidate_affected(index, relation, |key| self.invalidate(key))
+    }
+
+    /// Looks up `key` **without** recording a query reference: no recency or
+    /// frequency update, no reference-history sample, no statistics
+    /// mutation.  Returns the cached payload if resident.
+    ///
+    /// This is the *admin* probe (the server's `PEEK` opcode, diagnostics,
+    /// tests): unlike [`Watchman::get`], observing the cache this way leaves
+    /// the replacement policy's state and the [`StatsSnapshot`] byte-for-byte
+    /// unchanged, so monitoring never perturbs replay-visible behavior.
+    pub fn peek(&self, key: &QueryKey) -> Option<Arc<V>> {
+        let key = self.inner.normalizer.apply(key);
+        let index = self.shard_index(&key);
+        let shard = self.inner.shards[index].lock();
+        shard.cache.peek(&key).map(Arc::clone)
     }
 
     /// Whether a retrieved set for `key` is currently cached.

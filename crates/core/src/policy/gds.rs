@@ -235,6 +235,10 @@ impl<V: CachePayload> QueryCache<V> for GreedyDualSizeCache<V> {
         }
     }
 
+    fn peek(&self, key: &QueryKey) -> Option<&V> {
+        self.entries.get(key).map(|entry| &entry.value)
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }

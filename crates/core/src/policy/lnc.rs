@@ -758,6 +758,10 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
         LncCache::remove(self, key).is_some()
     }
 
+    fn peek(&self, key: &QueryKey) -> Option<&V> {
+        self.entries.get(key).map(|entry| &entry.value)
+    }
+
     fn contains(&self, key: &QueryKey) -> bool {
         self.entries.contains(key)
     }

@@ -197,6 +197,16 @@ pub trait QueryCache<V: CachePayload> {
     /// reference information.
     fn remove(&mut self, key: &QueryKey) -> bool;
 
+    /// Returns the cached retrieved set for `key` **without** recording a
+    /// reference: no recency/frequency update, no reference-history sample,
+    /// no statistics mutation.
+    ///
+    /// This is the non-mutating *admin* probe behind
+    /// [`Watchman::peek`](crate::engine::Watchman::peek): monitoring and
+    /// diagnostics can observe the cache without perturbing replay-visible
+    /// policy state.  Use [`QueryCache::get`] for real query references.
+    fn peek(&self, key: &QueryKey) -> Option<&V>;
+
     /// Whether a retrieved set for `key` is currently cached.
     fn contains(&self, key: &QueryKey) -> bool;
 

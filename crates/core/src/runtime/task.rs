@@ -120,6 +120,26 @@ pub(crate) struct TaskFuture<F: Future> {
     future: Pin<Box<F>>,
     slot: Arc<JoinSlot<F::Output>>,
     runtime: Weak<RuntimeInner>,
+    /// Whether this task has already settled (result delivered, alive
+    /// counter decremented).  Guards against the `Drop` that follows a
+    /// completed poll double-decrementing.
+    settled: bool,
+}
+
+impl<F: Future> TaskFuture<F> {
+    /// Delivers the task's result exactly once.  The alive counter is
+    /// decremented *before* the join slot resolves: a thread that returns
+    /// from joining this task must never observe it still counted alive.
+    fn settle(&mut self, result: Result<F::Output, JoinError>) {
+        if self.settled {
+            return;
+        }
+        self.settled = true;
+        if let Some(runtime) = self.runtime.upgrade() {
+            runtime.alive.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.slot.finish(result);
+    }
 }
 
 impl<F: Future> TaskFuture<F> {
@@ -140,6 +160,7 @@ impl<F: Future> TaskFuture<F> {
             future: Box::pin(future),
             slot: Arc::clone(&slot),
             runtime: runtime.clone(),
+            settled: false,
         };
         let runnable = Arc::new(RunnableTask {
             future: Mutex::new(Some(Box::pin(task))),
@@ -160,11 +181,11 @@ impl<F: Future> Future for TaskFuture<F> {
         match catch_unwind(AssertUnwindSafe(|| future.poll(cx))) {
             Ok(Poll::Pending) => Poll::Pending,
             Ok(Poll::Ready(output)) => {
-                this.slot.finish(Ok(output));
+                this.settle(Ok(output));
                 Poll::Ready(())
             }
             Err(_panic) => {
-                this.slot.finish(Err(JoinError::Panicked));
+                this.settle(Err(JoinError::Panicked));
                 Poll::Ready(())
             }
         }
@@ -173,12 +194,10 @@ impl<F: Future> Future for TaskFuture<F> {
 
 impl<F: Future> Drop for TaskFuture<F> {
     fn drop(&mut self) {
-        // If the slot is still pending the task never completed: the runtime
-        // shut down with the task queued or suspended.
-        self.slot.finish(Err(JoinError::Cancelled));
-        if let Some(runtime) = self.runtime.upgrade() {
-            runtime.alive.fetch_sub(1, Ordering::AcqRel);
-        }
+        // If the task never settled it never completed: the runtime shut
+        // down with the task queued or suspended.  `settle` is a no-op after
+        // a completed poll already delivered the real result.
+        self.settle(Err(JoinError::Cancelled));
     }
 }
 

@@ -1,0 +1,233 @@
+//! `loadgen` — drives the simulator's workloads against a `watchmand`
+//! server over real sockets, from N concurrent client connections, and
+//! reports cost savings ratio and client-observed latency.
+//!
+//! ```text
+//! loadgen (--addr HOST:PORT | --spawn) [--workload tpcd_skewed|set_query_skewed|tpcd]
+//!         [--clients N] [--queries N] [--pipeline N] [--fetch-delay-us N]
+//!         [--cache-fraction F] [--quick] [--shutdown]
+//! ```
+//!
+//! `--spawn` starts a `watchmand` in-process on an ephemeral loopback port
+//! (what CI smokes); `--shutdown` sends the `SHUTDOWN` opcode when done so
+//! a backgrounded `watchmand` exits cleanly.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use watchman_server::{serve, Client, LoadOptions, ServerConfig};
+use watchman_sim::{run_result_from_snapshot, ExperimentScale, Workload};
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    workload: String,
+    clients: usize,
+    queries: usize,
+    pipeline: usize,
+    fetch_delay_us: u32,
+    cache_fraction: f64,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: None,
+            spawn: false,
+            workload: "tpcd_skewed".to_owned(),
+            clients: 4,
+            queries: 4_000,
+            pipeline: 8,
+            fetch_delay_us: 0,
+            cache_fraction: 0.01,
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --spawn)\n\
+         \x20              [--workload tpcd_skewed|set_query_skewed|tpcd] [--clients N]\n\
+         \x20              [--queries N] [--pipeline N] [--fetch-delay-us N]\n\
+         \x20              [--cache-fraction F] [--quick] [--shutdown]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args::default();
+    let mut quick = false;
+    let mut explicit_clients = None;
+    let mut explicit_queries = None;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = Some(iter.next().ok_or_else(usage)?.clone()),
+            "--spawn" => args.spawn = true,
+            "--workload" => args.workload = iter.next().ok_or_else(usage)?.clone(),
+            "--clients" => {
+                explicit_clients = Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
+            "--queries" => {
+                explicit_queries = Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
+            "--pipeline" => {
+                args.pipeline = iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--fetch-delay-us" => {
+                args.fetch_delay_us = iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--cache-fraction" => {
+                args.cache_fraction = iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--quick" => quick = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("loadgen: unknown flag {other}");
+                return Err(usage());
+            }
+        }
+    }
+    // --quick shrinks the *defaults* only; explicit --clients/--queries win
+    // regardless of flag order.
+    if quick {
+        args.queries = 600;
+        args.clients = 4;
+    }
+    if let Some(clients) = explicit_clients {
+        args.clients = clients;
+    }
+    if let Some(queries) = explicit_queries {
+        args.queries = queries;
+    }
+    if args.addr.is_none() && !args.spawn {
+        eprintln!("loadgen: need --addr or --spawn");
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+
+    let workload = match args.workload.as_str() {
+        "tpcd_skewed" => Workload::tpcd_skewed(ExperimentScale::quick(args.queries)),
+        "set_query_skewed" => Workload::set_query_skewed(ExperimentScale::quick(args.queries)),
+        "tpcd" => Workload::tpcd(ExperimentScale::quick(args.queries)),
+        other => {
+            eprintln!("loadgen: unknown workload {other}");
+            return usage();
+        }
+    };
+    let capacity = (workload.database_bytes() as f64 * args.cache_fraction).round() as u64;
+
+    // --spawn: an in-process watchmand on an ephemeral loopback port (the
+    // exact server the standalone binary runs).
+    let spawned = if args.spawn {
+        match serve(ServerConfig {
+            capacity_bytes: capacity,
+            ..ServerConfig::default()
+        }) {
+            Ok(handle) => Some(handle),
+            Err(err) => {
+                eprintln!("loadgen: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &spawned) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => unreachable!("validated in parse_args"),
+    };
+
+    println!(
+        "loadgen: {} queries of {} over {} clients (pipeline {}) against {addr}",
+        workload.trace.len(),
+        args.workload,
+        args.clients,
+        args.pipeline
+    );
+
+    let options = LoadOptions {
+        clients: args.clients,
+        pipeline: args.pipeline,
+        fetch_delay_us: args.fetch_delay_us,
+        payload_prefix_cap: 0,
+    };
+    let report = match watchman_server::run_load(&addr, &workload.trace, &options) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut client = match Client::connect_with_retries(&addr, 5, Duration::from_millis(50)) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match client.stats() {
+        Ok(snapshot) => snapshot,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_result_from_snapshot(
+        format!("{} over wire", args.workload),
+        capacity,
+        args.cache_fraction,
+        &snapshot,
+    );
+
+    println!(
+        "  csr {:.4}  hr {:.4}  refs {}  hits {}  coalesced {}  misses {}",
+        result.cost_savings_ratio,
+        result.hit_ratio,
+        snapshot.total.references,
+        snapshot.total.hits,
+        snapshot.total.coalesced,
+        snapshot.total.misses(),
+    );
+    println!(
+        "  throughput {:.0} q/s  batch latency mean {:.0} us  p50 {} us  p95 {} us  p99 {} us",
+        report.throughput_qps(),
+        report.latency_mean_us(),
+        report.latency_quantile_us(0.50),
+        report.latency_quantile_us(0.95),
+        report.latency_quantile_us(0.99),
+    );
+
+    // Sanity: every reference must be accounted exactly once.
+    if snapshot.total.references
+        != snapshot.total.hits + snapshot.total.coalesced + snapshot.total.misses()
+    {
+        eprintln!("loadgen: reference accounting violated");
+        return ExitCode::FAILURE;
+    }
+
+    if args.shutdown {
+        if let Err(err) = client.shutdown_server() {
+            eprintln!("loadgen: shutdown failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: server drained");
+    }
+    if let Some(handle) = spawned {
+        handle.join();
+    }
+    ExitCode::SUCCESS
+}

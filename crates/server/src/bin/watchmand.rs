@@ -1,0 +1,127 @@
+//! `watchmand` — the WATCHMAN cache server.
+//!
+//! Binds a TCP listener and serves the wire protocol until a client sends
+//! `SHUTDOWN` (the `loadgen --shutdown` flag does, and so does
+//! `Client::shutdown_server`).
+//!
+//! ```text
+//! watchmand [--addr HOST:PORT] [--shards N] [--capacity-bytes N]
+//!           [--policy lnc-ra|lnc-r|lru|lru-k|lfu|lcs|gds] [--k N]
+//!           [--workers N] [--rebalance-ms N]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use watchman_core::engine::{PolicyKind, RebalanceConfig};
+use watchman_server::{serve, ServerConfig};
+
+fn parse_policy(name: &str, k: usize) -> Option<PolicyKind> {
+    Some(match name {
+        "lnc-ra" => PolicyKind::LncRa { k },
+        "lnc-r" => PolicyKind::LncR { k },
+        "lru" => PolicyKind::Lru,
+        "lru-k" => PolicyKind::LruK { k },
+        "lfu" => PolicyKind::Lfu,
+        "lcs" => PolicyKind::Lcs,
+        "gds" => PolicyKind::GreedyDualSize,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: watchmand [--addr HOST:PORT] [--shards N] [--capacity-bytes N]\n\
+         \x20                [--policy lnc-ra|lnc-r|lru|lru-k|lfu|lcs|gds] [--k N]\n\
+         \x20                [--workers N] [--rebalance-ms N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4817".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut policy_name = "lnc-ra".to_owned();
+    let mut k = 4usize;
+    let mut rebalance_ms: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |flag: &str| -> Option<String> {
+            let value = iter.next().cloned();
+            if value.is_none() {
+                eprintln!("watchmand: {flag} needs a value");
+            }
+            value
+        };
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Some(v) => config.addr = v,
+                None => return usage(),
+            },
+            "--shards" => match value("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) => config.shards = v,
+                None => return usage(),
+            },
+            "--capacity-bytes" => match value("--capacity-bytes").and_then(|v| v.parse().ok()) {
+                Some(v) => config.capacity_bytes = v,
+                None => return usage(),
+            },
+            "--policy" => match value("--policy") {
+                Some(v) => policy_name = v,
+                None => return usage(),
+            },
+            "--k" => match value("--k").and_then(|v| v.parse().ok()) {
+                Some(v) => k = v,
+                None => return usage(),
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => config.runtime_workers = v,
+                None => return usage(),
+            },
+            "--rebalance-ms" => match value("--rebalance-ms").and_then(|v| v.parse().ok()) {
+                Some(v) => rebalance_ms = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("watchmand: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let Some(policy) = parse_policy(&policy_name, k) else {
+        eprintln!("watchmand: unknown policy {policy_name}");
+        return usage();
+    };
+    config.policy = policy;
+    if let Some(ms) = rebalance_ms {
+        config.rebalance =
+            Some(RebalanceConfig::new().with_period(Duration::from_millis(ms.max(1))));
+    }
+
+    let shards = config.shards;
+    let capacity = config.capacity_bytes;
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("watchmand: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "watchmand listening on {} ({policy_name}, {shards} shards, {capacity} bytes)",
+        handle.addr()
+    );
+    // Serve until a client sends SHUTDOWN.
+    handle.wait();
+    println!("watchmand: drained, exiting");
+    ExitCode::SUCCESS
+}

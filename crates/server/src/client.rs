@@ -1,0 +1,337 @@
+//! `watchman_client`: the typed client for the WATCHMAN wire protocol.
+//!
+//! [`Client`] speaks the [`crate::wire`] protocol over one TCP connection:
+//!
+//! * **Typed calls** — [`Client::get`], [`Client::get_many`],
+//!   [`Client::peek`], [`Client::stats`], [`Client::invalidate_relation`],
+//!   [`Client::rebalance_now`], [`Client::shutdown_server`];
+//! * **Pipelining** — [`Client::get_many`] writes every request frame
+//!   before reading the first response, so a batch pays one round trip
+//!   instead of one per query (the server answers a connection's requests
+//!   strictly in order);
+//! * **Reconnect** — a call that fails with a socket error transparently
+//!   re-establishes the connection (including the handshake) and retries
+//!   once, but only for requests whose replay is safe (`GET` — answered as
+//!   a hit after a lost response — `PEEK`, `STATS`, `SHUTDOWN`).
+//!   `REBALANCE_NOW` and `INVALIDATE` are **not** replayed: a lost
+//!   response there surfaces as an error so the caller decides.  A retried
+//!   `GET` is *visible* in the server's statistics as one extra reference,
+//!   which is why deterministic replays run over loopback where
+//!   connections do not drop.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use watchman_core::engine::StatsSnapshot;
+
+use crate::wire::{self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Establishing the TCP connection failed.
+    Connect {
+        /// The address that could not be reached.
+        addr: String,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+    /// A wire-level failure: socket error, malformed frame, version
+    /// mismatch.
+    Wire(WireError),
+    /// The server answered the request with an error response.
+    Server {
+        /// The server's failure description.
+        message: String,
+    },
+    /// The server answered with a well-formed response of the wrong kind
+    /// (a protocol bug on one side or the other).
+    UnexpectedResponse {
+        /// What the call was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect { addr, source } => {
+                write!(f, "cannot connect to {addr}: {source}")
+            }
+            ClientError::Wire(err) => write!(f, "wire error: {err}"),
+            ClientError::Server { message } => write!(f, "server error: {message}"),
+            ClientError::UnexpectedResponse { expected } => {
+                write!(
+                    f,
+                    "server sent a response of the wrong kind (expected {expected})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect { source, .. } => Some(source),
+            ClientError::Wire(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Wire(err)
+    }
+}
+
+/// A connection to a `watchmand` server.
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+    next_id: u64,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("connected", &self.stream.is_some())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl Into<String>) -> Result<Client, ClientError> {
+        let mut client = Client {
+            addr: addr.into(),
+            stream: None,
+            next_id: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Like [`Client::connect`], but retries with a fixed backoff — the
+    /// load generator (and CI) use this to ride out a `watchmand` that is
+    /// still starting up.
+    pub fn connect_with_retries(
+        addr: impl Into<String>,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<Client, ClientError> {
+        let addr = addr.into();
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+            }
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let mut stream =
+                TcpStream::connect(&self.addr).map_err(|source| ClientError::Connect {
+                    addr: self.addr.clone(),
+                    source,
+                })?;
+            let _ = stream.set_nodelay(true);
+            wire::write_frame(&mut stream, &wire::encode_hello()).map_err(WireError::Io)?;
+            stream.flush().map_err(WireError::Io)?;
+            let body = wire::read_frame(&mut stream)?.ok_or(WireError::Truncated {
+                context: "server hello",
+            })?;
+            let peer = wire::decode_hello(&body)?;
+            if peer != wire::VERSION {
+                return Err(ClientError::Wire(WireError::UnsupportedVersion { peer }));
+            }
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Whether a lost-response retry of `request` is safe.  A retried `GET`
+    /// is answered as a hit, `PEEK`/`STATS` read nothing, and a second
+    /// `SHUTDOWN` is a no-op — but `REBALANCE_NOW` moves capacity *again*
+    /// and `INVALIDATE` reports different counts on replay, so those
+    /// surface the connection error to the caller instead.
+    fn retry_safe(request: &Request) -> bool {
+        matches!(
+            request,
+            Request::Get(_) | Request::Peek { .. } | Request::Stats | Request::Shutdown
+        )
+    }
+
+    /// Sends `requests` pipelined and returns the responses in request
+    /// order.  On a socket error the connection is re-established and the
+    /// whole batch retried once — but only when every request in the batch
+    /// is [`retry_safe`](Self::retry_safe); a lost response to a
+    /// non-idempotent admin request is reported, never replayed.
+    fn call_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let retryable = requests.iter().all(Self::retry_safe);
+        for attempt in 0..2 {
+            match self.try_call_batch(requests) {
+                // A socket error or an EOF mid-protocol both mean the
+                // connection is gone (a server that closed on us shows up
+                // as a truncated response stream): reconnect (with
+                // handshake) and retry the batch once.
+                Err(ClientError::Wire(WireError::Io(_) | WireError::Truncated { .. }))
+                    if attempt == 0 && retryable =>
+                {
+                    self.stream = None;
+                }
+                other => return other,
+            }
+        }
+        unreachable!("second attempt always returns")
+    }
+
+    fn try_call_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let first_id = self.next_id;
+        self.next_id += requests.len() as u64;
+        let stream = self.ensure_connected()?;
+        // Pipelining: every request frame goes out before the first
+        // response is read.
+        for (offset, request) in requests.iter().enumerate() {
+            let body = wire::encode_request(first_id + offset as u64, request);
+            wire::write_frame(stream, &body).map_err(WireError::Io)?;
+        }
+        stream.flush().map_err(WireError::Io)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for offset in 0..requests.len() {
+            let body = wire::read_frame(stream)?.ok_or(WireError::Truncated {
+                context: "response frame",
+            })?;
+            let (id, response) = wire::decode_response(&body)?;
+            let expected = first_id + offset as u64;
+            if id != expected {
+                return Err(ClientError::Wire(WireError::Protocol(format!(
+                    "response id {id} does not match request id {expected}"
+                ))));
+            }
+            responses.push(response);
+        }
+        Ok(responses)
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, ClientError> {
+        let mut responses = self.call_batch(std::slice::from_ref(&request))?;
+        let response = responses.pop().expect("one response per request");
+        match response {
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Looks up one query, executing it server-side on a miss.
+    pub fn get(&mut self, request: GetRequest) -> Result<GetResponse, ClientError> {
+        match self.call(Request::Get(request))? {
+            Response::Get(response) => Ok(response),
+            _ => Err(ClientError::UnexpectedResponse { expected: "GET" }),
+        }
+    }
+
+    /// Looks up a batch of queries **pipelined**: all request frames are
+    /// written before the first response is read, so the batch pays one
+    /// round trip.  Responses come back in request order.
+    pub fn get_many(&mut self, requests: Vec<GetRequest>) -> Result<Vec<GetResponse>, ClientError> {
+        let wrapped: Vec<Request> = requests.into_iter().map(Request::Get).collect();
+        self.call_batch(&wrapped)?
+            .into_iter()
+            .map(|response| match response {
+                Response::Get(response) => Ok(response),
+                Response::Error { message } => Err(ClientError::Server { message }),
+                _ => Err(ClientError::UnexpectedResponse { expected: "GET" }),
+            })
+            .collect()
+    }
+
+    /// Non-mutating probe: returns the cached set's size, or `None` when the
+    /// query is not resident.  Never perturbs policy state or statistics.
+    pub fn peek(&mut self, key: impl Into<String>) -> Result<Option<u64>, ClientError> {
+        match self.call(Request::Peek { key: key.into() })? {
+            Response::Peek {
+                cached: true,
+                size_bytes,
+            } => Ok(Some(size_bytes)),
+            Response::Peek { cached: false, .. } => Ok(None),
+            _ => Err(ClientError::UnexpectedResponse { expected: "PEEK" }),
+        }
+    }
+
+    /// Fetches the engine's full statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse { expected: "STATS" }),
+        }
+    }
+
+    /// Invalidates every cached set depending on `relation`; returns
+    /// `(affected, invalidated)` counts.
+    pub fn invalidate_relation(
+        &mut self,
+        relation: impl Into<String>,
+    ) -> Result<(u32, u32), ClientError> {
+        match self.call(Request::Invalidate {
+            relation: relation.into(),
+        })? {
+            Response::Invalidate {
+                affected,
+                invalidated,
+            } => Ok((affected, invalidated)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "INVALIDATE",
+            }),
+        }
+    }
+
+    /// Runs one rebalance pass at the given logical time.
+    pub fn rebalance_now(
+        &mut self,
+        timestamp_us: u64,
+    ) -> Result<Option<RebalanceSummary>, ClientError> {
+        match self.call(Request::RebalanceNow { timestamp_us })? {
+            Response::RebalanceNow(outcome) => Ok(outcome),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "REBALANCE_NOW",
+            }),
+        }
+    }
+
+    /// Runs `f` on the underlying stream.  Test support: lets integration
+    /// tests corrupt their own connection to exercise the reconnect path.
+    #[doc(hidden)]
+    pub fn with_raw_stream<R>(
+        &mut self,
+        f: impl FnOnce(&mut TcpStream) -> R,
+    ) -> Result<R, ClientError> {
+        let stream = self.ensure_connected()?;
+        Ok(f(stream))
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "SHUTDOWN",
+            }),
+        }
+    }
+}

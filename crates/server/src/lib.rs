@@ -1,0 +1,45 @@
+//! # watchman-server
+//!
+//! WATCHMAN over the wire: the networked front end of the reproduction.
+//!
+//! The paper frames WATCHMAN as a cache manager for a *shared* data
+//! warehouse — many analyst sessions hitting one service concurrently.  This
+//! crate turns the in-process [`Watchman`](watchman_core::engine::Watchman)
+//! engine into that service:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary protocol (frame
+//!   format and versioning rules are specified in its module docs);
+//! * [`server`] — `watchmand`: an accept loop over `std::net` that hands
+//!   each connection to a session thread; lookups run through
+//!   [`get_or_execute_async`](watchman_core::engine::Watchman::get_or_execute_async)
+//!   on the engine's hand-rolled runtime, so hits never touch the runtime
+//!   and concurrent misses on one query coalesce **across connections**
+//!   into a single execution;
+//! * [`client`] — a typed client with pipelining and transparent
+//!   reconnect;
+//! * [`replay`] — the simulator's replay drivers over real sockets: a
+//!   deterministic single-session replay whose final
+//!   [`StatsSnapshot`](watchman_core::engine::StatsSnapshot) is
+//!   byte-identical to the in-process replay of the same trace, and the
+//!   concurrent load driver behind the `loadgen` binary.
+//!
+//! Two binaries ship with the crate: `watchmand` (the server) and `loadgen`
+//! (drives the simulator's workloads over sockets from N concurrent
+//! clients, reporting CSR and latency).  See the repository README for the
+//! quickstart.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod replay;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use replay::{replay_trace_wire, run_load, LoadOptions, LoadReport};
+pub use server::{serve, ServerConfig, ServerError, ServerHandle, ServerPayload};
+pub use wire::{
+    GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError, WireSource,
+};

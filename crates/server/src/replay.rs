@@ -1,0 +1,228 @@
+//! Wire-backed trace replay: the simulator's drivers, over real sockets.
+//!
+//! [`replay_trace_wire`] is the network twin of
+//! [`watchman_sim::replay_trace_engine_async`]: one connection replays a
+//! deterministic trace record by record (pipelined in
+//! [`REBALANCE_EVERY_RECORDS`]-sized batches, which the server answers in
+//! order), schedules a rebalance pass at exactly the same points the
+//! in-process drivers do, and returns the server engine's final
+//! [`StatsSnapshot`] — byte-identical to the in-process replay of the same
+//! trace on the same engine configuration, which is the end-to-end proof
+//! that the wire adds no replay-visible semantics.
+//!
+//! [`run_load`] is the concurrent driver underneath the `loadgen` binary: N
+//! client connections replay disjoint slices of a trace against one server,
+//! measuring client-observed latency.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use watchman_core::engine::StatsSnapshot;
+use watchman_sim::REBALANCE_EVERY_RECORDS;
+use watchman_trace::Trace;
+
+use crate::client::{Client, ClientError};
+use crate::wire::{GetRequest, WireSource};
+
+/// Replays `trace` through `client` with the deterministic protocol of the
+/// in-process drivers (one session, in trace order, a rebalance pass every
+/// [`REBALANCE_EVERY_RECORDS`] records) and returns the server's final
+/// snapshot.
+pub fn replay_trace_wire(client: &mut Client, trace: &Trace) -> Result<StatsSnapshot, ClientError> {
+    let chunk_len = REBALANCE_EVERY_RECORDS as usize;
+    for chunk in trace.records.chunks(chunk_len) {
+        let batch: Vec<GetRequest> = chunk
+            .iter()
+            .map(|record| {
+                GetRequest::metrics_only(
+                    record.query_text.clone(),
+                    record.timestamp_us,
+                    record.result_bytes,
+                    record.cost_blocks,
+                )
+            })
+            .collect();
+        client.get_many(batch)?;
+        if chunk.len() == chunk_len {
+            // Same schedule as `replay_records`: a pass after every full
+            // 128-record batch, at the last record's logical time.
+            let now = chunk.last().expect("non-empty chunk").timestamp_us;
+            client.rebalance_now(now)?;
+        }
+    }
+    client.stats()
+}
+
+/// What one [`run_load`] run measured, aggregated across clients.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Number of client connections.
+    pub clients: usize,
+    /// Total requests sent.
+    pub requests: u64,
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that led an execution.
+    pub executed: u64,
+    /// Requests coalesced onto another connection's execution.
+    pub coalesced: u64,
+    /// Client-observed round-trip samples in microseconds (one per
+    /// pipelined batch; with `pipeline == 1`, one per request).
+    pub batch_latencies_us: Vec<u64>,
+    /// Requests per latency sample (the pipeline depth).
+    pub pipeline: usize,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.batch_latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.batch_latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Mean latency sample in microseconds.
+    pub fn latency_mean_us(&self) -> f64 {
+        if self.batch_latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.batch_latencies_us.iter().sum::<u64>() as f64 / self.batch_latencies_us.len() as f64
+    }
+}
+
+/// Options for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Number of concurrent client connections.
+    pub clients: usize,
+    /// Requests per pipelined batch (1 = one round trip per request).
+    pub pipeline: usize,
+    /// Simulated execution time attached to every request, in microseconds.
+    pub fetch_delay_us: u32,
+    /// Payload bytes each response carries back (0 = metrics only).
+    pub payload_prefix_cap: u32,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 4,
+            pipeline: 8,
+            fetch_delay_us: 0,
+            payload_prefix_cap: 0,
+        }
+    }
+}
+
+/// Drives `trace` against the server at `addr` from `options.clients`
+/// concurrent connections (records dealt round-robin, like the in-process
+/// concurrent replay), measuring client-observed latency.
+///
+/// Connections race on the shared server cache exactly like live analyst
+/// sessions: concurrent misses on one query coalesce *across connections*
+/// into a single execution, which the per-request sources in the report
+/// make visible.
+pub fn run_load(
+    addr: &str,
+    trace: &Trace,
+    options: &LoadOptions,
+) -> Result<LoadReport, ClientError> {
+    let clients = options.clients.max(1);
+    let pipeline = options.pipeline.max(1);
+    let shared_error: Arc<Mutex<Option<ClientError>>> = Arc::new(Mutex::new(None));
+    let started = Instant::now();
+    let mut per_client: Vec<(u64, u64, u64, Vec<u64>)> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_index in 0..clients {
+            let shared_error = Arc::clone(&shared_error);
+            // Each connection owns its round-robin slice of the trace.
+            let records: Vec<GetRequest> = trace
+                .iter()
+                .skip(client_index)
+                .step_by(clients)
+                .map(|record| GetRequest {
+                    key: record.query_text.clone(),
+                    timestamp_us: record.timestamp_us,
+                    result_bytes: record.result_bytes,
+                    cost_blocks: record.cost_blocks,
+                    fetch_delay_us: options.fetch_delay_us,
+                    deadline_hint_us: 0,
+                    payload_prefix_cap: options.payload_prefix_cap,
+                })
+                .collect();
+            handles.push(scope.spawn(move || {
+                let run = || -> Result<(u64, u64, u64, Vec<u64>), ClientError> {
+                    let mut client =
+                        Client::connect_with_retries(addr, 20, Duration::from_millis(50))?;
+                    let (mut hits, mut executed, mut coalesced) = (0u64, 0u64, 0u64);
+                    let mut latencies = Vec::with_capacity(records.len() / pipeline + 1);
+                    for batch in records.chunks(pipeline) {
+                        let sent = Instant::now();
+                        let responses = client.get_many(batch.to_vec())?;
+                        latencies
+                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        for response in responses {
+                            match response.source {
+                                WireSource::Hit => hits += 1,
+                                WireSource::Executed => executed += 1,
+                                WireSource::Coalesced => coalesced += 1,
+                            }
+                        }
+                    }
+                    Ok((hits, executed, coalesced, latencies))
+                };
+                match run() {
+                    Ok(result) => Some(result),
+                    Err(err) => {
+                        shared_error.lock().unwrap().get_or_insert(err);
+                        None
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            if let Some(result) = handle.join().expect("client thread") {
+                per_client.push(result);
+            }
+        }
+    });
+    if let Some(err) = shared_error.lock().unwrap().take() {
+        return Err(err);
+    }
+    let wall = started.elapsed();
+    let mut report = LoadReport {
+        clients,
+        requests: trace.len() as u64,
+        hits: 0,
+        executed: 0,
+        coalesced: 0,
+        batch_latencies_us: Vec::new(),
+        pipeline,
+        wall,
+    };
+    for (hits, executed, coalesced, latencies) in per_client {
+        report.hits += hits;
+        report.executed += executed;
+        report.coalesced += coalesced;
+        report.batch_latencies_us.extend(latencies);
+    }
+    Ok(report)
+}

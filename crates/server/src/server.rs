@@ -1,0 +1,593 @@
+//! `watchmand`: the WATCHMAN cache server.
+//!
+//! The server front end exposes one shared [`Watchman`] engine to many
+//! network clients — the multiuser deployment of paper §3, with the network
+//! in place of in-process linkage:
+//!
+//! * a `std::net` **accept loop** on its own thread hands each connection to
+//!   a session thread;
+//! * session threads decode request frames ([`crate::wire`]) and execute
+//!   lookups through [`Watchman::get_or_execute_async`] on the engine's
+//!   hand-rolled runtime: **hits never touch the runtime**, and misses
+//!   coalesce across *connections* through the engine's single-flight cells
+//!   (two clients missing on the same query execute it once);
+//! * admin opcodes (`STATS`, `PEEK`, `INVALIDATE`, `REBALANCE_NOW`,
+//!   `SHUTDOWN`) map onto the engine's snapshot, non-mutating probe,
+//!   coherence and rebalancing entry points.
+//!
+//! ## Failure isolation
+//!
+//! A malformed or truncated frame fails **its own connection only**: the
+//! session thread closes the socket and every other session keeps running.
+//! Request handling is wrapped in `catch_unwind`, so an internal panic
+//! surfaces as an error *response* on that connection instead of taking a
+//! thread (or the server) down.
+//!
+//! ## Shutdown
+//!
+//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) drains: the listener stops
+//! accepting, session threads finish the request they are on and exit at
+//! their next idle tick, and [`ServerHandle::join`] returns once all of them
+//! are gone.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use watchman_core::clock::Timestamp;
+use watchman_core::coherence::DependencyObserver;
+use watchman_core::engine::{LookupSource, PolicyKind, RebalanceConfig, Watchman};
+use watchman_core::key::QueryKey;
+use watchman_core::runtime::block_on;
+use watchman_core::value::{CachePayload, ExecutionCost};
+
+use crate::wire::{
+    self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError, WireSource,
+};
+
+/// Hard cap on the retrieved-set size a single `GET` may declare; larger
+/// requests are answered with an error instead of materializing the payload
+/// (defensive: a corrupt or hostile `result_bytes` must not OOM the server).
+pub const MAX_RESULT_BYTES: u64 = 64 << 20;
+
+/// How often an idle session thread wakes to check for shutdown.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+/// The payload type the server caches: real bytes, deterministically
+/// synthesized from the query signature (the simulated warehouse's stand-in
+/// for a materialized retrieved set).
+pub type ServerPayload = Bytes;
+
+/// Configures [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Number of engine shards.
+    pub shards: usize,
+    /// Replacement/admission policy of every shard.
+    pub policy: PolicyKind,
+    /// Total cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Worker count of the engine runtime — the execution multiprogramming
+    /// level (each in-flight miss occupies a worker for its duration).
+    pub runtime_workers: usize,
+    /// Optional profit-aware capacity rebalancing between shards.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 4,
+            policy: PolicyKind::LNC_RA,
+            capacity_bytes: 64 << 20,
+            runtime_workers: 4,
+            rebalance: None,
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding the listening socket failed.
+    Bind {
+        /// The address that could not be bound.
+        addr: String,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+type RelationResolver = fn(&QueryKey) -> Vec<String>;
+
+/// Extracts the base relations a query reads with a FROM-clause heuristic:
+/// the identifiers between `FROM` and the next clause keyword, uppercased.
+/// Good enough for the synthetic warehouse's templates; a real front end
+/// would consult its query plans (the engine takes any resolver).
+fn resolve_relations(key: &QueryKey) -> Vec<String> {
+    let mut relations = Vec::new();
+    let mut in_from = false;
+    for token in key.text().split('\u{1}') {
+        if token.eq_ignore_ascii_case("from") {
+            in_from = true;
+            continue;
+        }
+        if in_from {
+            if matches!(
+                token.to_ascii_uppercase().as_str(),
+                "WHERE" | "GROUP" | "ORDER" | "HAVING" | "LIMIT" | "JOIN" | "ON"
+            ) {
+                break;
+            }
+            let name: String = token
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .to_ascii_uppercase();
+            if !name.is_empty() {
+                relations.push(name);
+            }
+        }
+    }
+    relations
+}
+
+/// The state every session thread shares.
+struct Shared {
+    engine: Watchman<ServerPayload>,
+    deps: Arc<DependencyObserver<RelationResolver>>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Initiates drain: stop accepting, let session threads finish and exit.
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // The accept loop blocks in `accept`; a throwaway connection
+            // wakes it so it can observe the flag.  A wildcard bind address
+            // (0.0.0.0 / ::) is not connectable on every platform, so aim
+            // the wake-up at the matching loopback address instead.
+            let mut target = self.addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(match target.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&target, Duration::from_millis(500));
+        }
+    }
+}
+
+/// A handle to a running server.
+///
+/// Dropping the handle shuts the server down and waits for it to drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the ephemeral port
+    /// resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle to the served engine — tests and embedders can inspect (or
+    /// pre-warm) the cache the network clients see.
+    pub fn engine(&self) -> Watchman<ServerPayload> {
+        self.shared.engine.clone()
+    }
+
+    /// Initiates shutdown without waiting (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Shuts down and waits for the accept loop and every session thread to
+    /// drain.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Blocks until the server exits on its own (a client `SHUTDOWN`
+    /// opcode), without initiating shutdown from this side.
+    pub fn wait(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Builds the engine, binds the listener and starts the accept loop.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let deps: Arc<DependencyObserver<RelationResolver>> = Arc::new(DependencyObserver::new(
+        resolve_relations as RelationResolver,
+    ));
+    let mut builder = Watchman::builder()
+        .shards(config.shards)
+        .policy(config.policy)
+        .capacity_bytes(config.capacity_bytes)
+        .runtime_workers(config.runtime_workers)
+        .observer(deps.clone());
+    if let Some(rebalance) = config.rebalance {
+        builder = builder.rebalance(rebalance);
+    }
+    let engine: Watchman<ServerPayload> = builder.build();
+
+    let listener = TcpListener::bind(&config.addr).map_err(|source| ServerError::Bind {
+        addr: config.addr.clone(),
+        source,
+    })?;
+    let addr = listener.local_addr().map_err(|source| ServerError::Bind {
+        addr: config.addr.clone(),
+        source,
+    })?;
+    let shared = Arc::new(Shared {
+        engine,
+        deps,
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let thread = thread::Builder::new()
+        .name("watchmand-accept".to_owned())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        shared,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                sessions.retain(|session| !session.is_finished());
+                let shared = Arc::clone(&shared);
+                let session = thread::Builder::new()
+                    .name("watchmand-session".to_owned())
+                    .spawn(move || serve_connection(stream, shared))
+                    .expect("spawn session thread");
+                sessions.push(session);
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => thread::sleep(IDLE_TICK),
+        }
+    }
+    drop(listener);
+    // Drain: every session finishes its in-flight request and exits at its
+    // next idle tick.
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+/// How long a drain waits for a frame that has *started* arriving before
+/// giving the connection up.  Bounds [`ServerHandle::join`]: a client
+/// stalled mid-frame (one byte of a length prefix, then silence) must not
+/// hold the whole server's shutdown hostage.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Reads one frame, tolerating read-timeout ticks.  While no byte of the
+/// frame has arrived, a shutdown request resolves to `Ok(None)` (idle
+/// close); once a frame has started, the read is allowed to finish — but
+/// only for [`DRAIN_GRACE`] past the shutdown request, so a connection
+/// stalled mid-frame cannot block the drain forever.
+fn read_frame_idle(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, WireError> {
+    // Set when shutdown is first observed with a frame in progress.
+    let mut drain_deadline: Option<Instant> = None;
+    let mut check_stop = |started: bool| -> bool {
+        if !stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        if !started {
+            return true;
+        }
+        let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+        Instant::now() >= deadline
+    };
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        if check_stop(filled > 0) {
+            return Ok(None);
+        }
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    context: "frame header",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(err) => return Err(WireError::Io(err)),
+        }
+    }
+    let declared = u32::from_le_bytes(header);
+    if declared > wire::MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { declared });
+    }
+    let mut body = vec![0u8; declared as usize];
+    let mut filled = 0;
+    while filled < body.len() {
+        if check_stop(true) {
+            return Ok(None);
+        }
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    context: "frame body",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(err) => return Err(WireError::Io(err)),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// One session: handshake, then a request/response loop until the client
+/// hangs up, a frame fails to decode, or the server drains.
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_TICK));
+
+    // Handshake: expect the client hello, always answer with ours (so a
+    // version-mismatched client learns what this server speaks), then bail
+    // on mismatch.
+    let client_version = match read_frame_idle(&mut stream, &shared.shutdown) {
+        Ok(Some(body)) => match wire::decode_hello(&body) {
+            Ok(version) => version,
+            Err(_) => return, // malformed handshake: fail this connection only
+        },
+        _ => return,
+    };
+    if wire::write_frame(&mut stream, &wire::encode_hello()).is_err() {
+        return;
+    }
+    if client_version != wire::VERSION {
+        return;
+    }
+
+    loop {
+        let body = match read_frame_idle(&mut stream, &shared.shutdown) {
+            Ok(Some(body)) => body,
+            // Clean close, drain, or a malformed/truncated frame: this
+            // connection ends; every other connection keeps running.
+            Ok(None) | Err(_) => return,
+        };
+        let (request_id, response, shutdown_after) = match wire::decode_request(&body) {
+            Ok((request_id, request)) => {
+                let shutdown_after = matches!(request, Request::Shutdown);
+                // A panic anywhere in request handling (engine internals, a
+                // user observer) must fail the request, not the thread.
+                let response = catch_unwind(AssertUnwindSafe(|| handle_request(&shared, request)))
+                    .unwrap_or_else(|_| Response::Error {
+                        message: "internal panic while handling request".to_owned(),
+                    });
+                (request_id, response, shutdown_after)
+            }
+            // A well-formed frame with an unknown opcode is answered, not
+            // fatal: newer clients degrade gracefully.
+            Err(WireError::UnknownOpcode { opcode, request_id }) => (
+                request_id,
+                Response::Error {
+                    message: format!("unknown opcode {opcode}"),
+                },
+                false,
+            ),
+            // Any other decode failure means the stream is corrupt.
+            Err(_) => return,
+        };
+        let Ok(encoded) = wire::encode_response(request_id, &response) else {
+            return;
+        };
+        if wire::write_frame(&mut stream, &encoded).is_err() || stream.flush().is_err() {
+            return;
+        }
+        if shutdown_after {
+            shared.request_shutdown();
+            return;
+        }
+    }
+}
+
+/// Deterministic payload bytes for a simulated execution: the query
+/// signature repeated to the declared length, so replays materialize
+/// identical bytes on every run.
+fn synthesize_payload(signature: u64, len: u64) -> Bytes {
+    let pattern = signature.to_le_bytes();
+    let len = len as usize;
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let take = pattern.len().min(len - data.len());
+        data.extend_from_slice(&pattern[..take]);
+    }
+    Bytes::from(data)
+}
+
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Get(get) => handle_get(shared, get),
+        Request::Peek { key } => {
+            let key = QueryKey::from_raw_query(&key);
+            match shared.engine.peek(&key) {
+                Some(value) => Response::Peek {
+                    cached: true,
+                    size_bytes: value.size_bytes(),
+                },
+                None => Response::Peek {
+                    cached: false,
+                    size_bytes: 0,
+                },
+            }
+        }
+        Request::Stats => Response::Stats(shared.engine.stats_snapshot()),
+        Request::Invalidate { relation } => {
+            let report = shared.deps.apply_update(&shared.engine, &relation);
+            Response::Invalidate {
+                affected: report.affected.len() as u32,
+                invalidated: report.invalidated.len() as u32,
+            }
+        }
+        Request::RebalanceNow { timestamp_us } => {
+            let outcome = shared
+                .engine
+                .rebalance_now(Timestamp::from_micros(timestamp_us));
+            Response::RebalanceNow(outcome.map(|outcome| RebalanceSummary {
+                donor: outcome.donor as u32,
+                recipient: outcome.recipient as u32,
+                moved_bytes: outcome.moved_bytes,
+                evicted: outcome.evicted.len() as u32,
+            }))
+        }
+        Request::Shutdown => Response::Shutdown,
+    }
+}
+
+fn handle_get(shared: &Shared, get: GetRequest) -> Response {
+    if get.result_bytes > MAX_RESULT_BYTES {
+        return Response::Error {
+            message: format!(
+                "result_bytes {} exceeds the {MAX_RESULT_BYTES}-byte limit",
+                get.result_bytes
+            ),
+        };
+    }
+    let started = Instant::now();
+    let key = QueryKey::from_raw_query(&get.key);
+    let now = Timestamp::from_micros(get.timestamp_us);
+    let signature = key.signature().value();
+    let result_bytes = get.result_bytes;
+    let cost_blocks = get.cost_blocks;
+    let fetch_delay = Duration::from_micros(u64::from(get.fetch_delay_us));
+    // Misses execute on the engine runtime (single-flight across every
+    // connection); hits are answered under the shard lock without touching
+    // the runtime at all.
+    let lookup = block_on(shared.engine.get_or_execute_async(&key, now, move || {
+        if !fetch_delay.is_zero() {
+            thread::sleep(fetch_delay);
+        }
+        (
+            synthesize_payload(signature, result_bytes),
+            ExecutionCost::from_blocks(cost_blocks),
+        )
+    }));
+    let service_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let source = match lookup.source {
+        LookupSource::Hit => WireSource::Hit,
+        LookupSource::Executed => WireSource::Executed,
+        LookupSource::Coalesced => WireSource::Coalesced,
+    };
+    let full_len = lookup.value.size_bytes();
+    // Clamp to MAX_PREFIX_BYTES: the cached set may legally be bigger than
+    // a wire frame, but the response must always fit one.
+    let prefix_len =
+        (get.payload_prefix_cap.min(wire::MAX_PREFIX_BYTES) as usize).min(lookup.value.len());
+    Response::Get(GetResponse {
+        source,
+        cost_blocks: get.cost_blocks as f64,
+        full_len,
+        prefix: lookup.value[..prefix_len].to_vec(),
+        service_us,
+        deadline_exceeded: get.deadline_hint_us != 0 && service_us > get.deadline_hint_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_resolver_reads_the_from_clause() {
+        let key = QueryKey::from_raw_query(
+            "SELECT sum(l_price) FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+        );
+        assert_eq!(resolve_relations(&key), vec!["LINEITEM", "ORDERS"]);
+        let no_from = QueryKey::from_raw_query("SELECT 1");
+        assert!(resolve_relations(&no_from).is_empty());
+    }
+
+    #[test]
+    fn synthesized_payloads_are_deterministic_and_sized() {
+        let a = synthesize_payload(0xDEAD_BEEF, 20);
+        let b = synthesize_payload(0xDEAD_BEEF, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(synthesize_payload(1, 0).len(), 0);
+        assert_eq!(synthesize_payload(1, 3).len(), 3);
+    }
+}

@@ -1,0 +1,918 @@
+//! The WATCHMAN wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on a connection is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 LE | body: length bytes  |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `length` counts only the body and must not exceed
+//! [`MAX_FRAME_BYTES`]; a larger prefix is treated as a malformed stream
+//! and fails the connection.  All integers are little-endian; strings are a
+//! `u32` byte length followed by UTF-8 bytes; floats travel as their IEEE-754
+//! bit pattern in a `u64`.
+//!
+//! ## Handshake
+//!
+//! The first frame in each direction is a **hello**:
+//!
+//! ```text
+//! body = magic: [u8; 4] = b"WMAN" | version: u16
+//! ```
+//!
+//! The client sends its hello first; the server answers with its own.  A
+//! server that does not speak the client's version replies with its hello
+//! (carrying the version it *does* speak) and closes the connection, so old
+//! clients fail with a precise [`WireError::UnsupportedVersion`] instead of
+//! a decode error.  Version negotiation is exact-match: [`VERSION`] bumps on
+//! any incompatible change to the framing or the opcode payloads below.
+//!
+//! ## Requests
+//!
+//! ```text
+//! body = request_id: u64 | opcode: u8 | payload
+//! ```
+//!
+//! | opcode | name | payload |
+//! |---|---|---|
+//! | 1 | `GET` | key string, `timestamp_us: u64`, `result_bytes: u64`, `cost_blocks: u64`, `fetch_delay_us: u32`, `deadline_hint_us: u64`, `payload_prefix_cap: u32` |
+//! | 2 | `PEEK` | key string |
+//! | 3 | `STATS` | (empty) |
+//! | 4 | `INVALIDATE` | relation string |
+//! | 5 | `REBALANCE_NOW` | `timestamp_us: u64` |
+//! | 6 | `SHUTDOWN` | (empty) |
+//!
+//! `GET` carries the replay protocol of the simulator: the key is the raw
+//! query text, and `result_bytes`/`cost_blocks` describe what executing the
+//! query against the warehouse would produce (on a miss the server
+//! "executes" by materializing a payload of that size, sleeping
+//! `fetch_delay_us` to stand in for the scan).  `deadline_hint_us` is a
+//! service-time budget: the server reports (but does not enforce) whether
+//! servicing exceeded it.  `payload_prefix_cap` bounds how many payload
+//! bytes the response carries back — metrics-only callers send 0.
+//!
+//! ## Responses
+//!
+//! ```text
+//! body = request_id: u64 | status: u8 (0 = ok, 1 = error) | payload
+//! ```
+//!
+//! An error payload is a message string.  Ok payloads per opcode:
+//!
+//! | request | ok payload |
+//! |---|---|
+//! | `GET` | `source: u8` (0 hit, 1 executed, 2 coalesced), `cost_blocks: f64`, `full_len: u64`, prefix bytes (`u32` length + bytes), `service_us: u64`, `deadline_exceeded: u8` |
+//! | `PEEK` | `cached: u8`, `size_bytes: u64` |
+//! | `STATS` | JSON-encoded [`StatsSnapshot`] string |
+//! | `INVALIDATE` | `affected: u32`, `invalidated: u32` |
+//! | `REBALANCE_NOW` | `moved: u8`; if 1: `donor: u32`, `recipient: u32`, `moved_bytes: u64`, `evicted: u32` |
+//! | `SHUTDOWN` | (empty) |
+//!
+//! ## Error handling rules
+//!
+//! Decoding is *defensive*: every read is bounds-checked and a frame that
+//! cannot be decoded (bad magic, truncated payload, invalid UTF-8, trailing
+//! garbage) fails **that connection only** — the server closes it and keeps
+//! serving every other connection.  A *well-formed* frame with an opcode the
+//! server does not know gets an error **response** instead (the request id
+//! is decoded before the opcode precisely so this is possible), which is
+//! what lets newer clients degrade gracefully against older servers.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use watchman_core::engine::StatsSnapshot;
+
+/// The handshake magic: identifies a WATCHMAN wire connection.
+pub const MAGIC: [u8; 4] = *b"WMAN";
+
+/// The protocol version this build speaks (exact-match negotiation).
+pub const VERSION: u16 = 1;
+
+/// Hard upper bound on a frame body; larger length prefixes are treated as
+/// stream corruption and fail the connection.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Hard cap on the payload prefix a `GET` response carries, regardless of
+/// the request's `payload_prefix_cap`: a cached set can be larger than a
+/// frame (the server caps declared results at its own limit, not at
+/// [`MAX_FRAME_BYTES`]), and a response must always fit one frame.
+pub const MAX_PREFIX_BYTES: u32 = MAX_FRAME_BYTES - 1024;
+
+/// Everything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying socket error.
+    Io(io::Error),
+    /// The peer's length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The declared body length.
+        declared: u32,
+    },
+    /// The stream ended inside a frame, or a payload field ran past the end
+    /// of its frame body.
+    Truncated {
+        /// Which decode step hit the end of the data.
+        context: &'static str,
+    },
+    /// The handshake did not start with [`MAGIC`].
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// The version the peer offered (or answered with).
+        peer: u16,
+    },
+    /// A well-formed frame carried an opcode this build does not know.
+    /// Carries the request id so a server can still address its error
+    /// response.
+    UnknownOpcode {
+        /// The unknown opcode byte.
+        opcode: u8,
+        /// The request id decoded before the opcode.
+        request_id: u64,
+    },
+    /// An enum byte (status, lookup source, …) held an undefined value.
+    InvalidEnum {
+        /// Which field held the undefined value.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// A frame body had bytes left over after its payload was fully decoded.
+    TrailingBytes,
+    /// The peer violated the request/response protocol (e.g. a response id
+    /// that matches no outstanding request, or an unparsable STATS body).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(err) => write!(f, "socket error: {err}"),
+            WireError::FrameTooLarge { declared } => write!(
+                f,
+                "frame length {declared} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ),
+            WireError::Truncated { context } => {
+                write!(f, "truncated frame while reading {context}")
+            }
+            WireError::BadMagic => f.write_str("handshake does not start with the WMAN magic"),
+            WireError::UnsupportedVersion { peer } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {peer}, this build speaks {VERSION}"
+                )
+            }
+            WireError::UnknownOpcode { opcode, .. } => write!(f, "unknown opcode {opcode}"),
+            WireError::InvalidEnum { field, value } => {
+                write!(f, "invalid value {value} for {field}")
+            }
+            WireError::InvalidUtf8 => f.write_str("string field is not valid UTF-8"),
+            WireError::TrailingBytes => f.write_str("frame has trailing bytes after its payload"),
+            WireError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(err: io::Error) -> Self {
+        WireError::Io(err)
+    }
+}
+
+/// One `GET` request: the replay protocol of the simulator carried over the
+/// wire (see the [module docs](self) for field semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetRequest {
+    /// Raw query text; the server derives the cache key with
+    /// [`QueryKey::from_raw_query`](watchman_core::key::QueryKey::from_raw_query).
+    pub key: String,
+    /// Logical timestamp of the reference in microseconds.
+    pub timestamp_us: u64,
+    /// Size of the retrieved set executing the query would produce.
+    pub result_bytes: u64,
+    /// Execution cost of the query in logical block reads.
+    pub cost_blocks: u64,
+    /// Simulated execution time of a miss, in microseconds (the stand-in
+    /// for a multi-second warehouse scan; 0 for deterministic replays).
+    pub fetch_delay_us: u32,
+    /// Service-time budget in microseconds; 0 means none.  Advisory: the
+    /// response reports whether it was exceeded.
+    pub deadline_hint_us: u64,
+    /// Maximum number of payload bytes to return (0 = metrics only).  The
+    /// server additionally clamps this to [`MAX_PREFIX_BYTES`] so the
+    /// response always fits one frame.
+    pub payload_prefix_cap: u32,
+}
+
+impl GetRequest {
+    /// A metrics-only request (no payload bytes back, no simulated delay,
+    /// no deadline) — what deterministic replays send.
+    pub fn metrics_only(
+        key: impl Into<String>,
+        timestamp_us: u64,
+        result_bytes: u64,
+        cost_blocks: u64,
+    ) -> Self {
+        GetRequest {
+            key: key.into(),
+            timestamp_us,
+            result_bytes,
+            cost_blocks,
+            fetch_delay_us: 0,
+            deadline_hint_us: 0,
+            payload_prefix_cap: 0,
+        }
+    }
+}
+
+/// A decoded request frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Look up a query, executing on a miss (single-flight across every
+    /// connection).
+    Get(GetRequest),
+    /// Non-mutating admin probe: is this query cached, and how large is it?
+    Peek {
+        /// Raw query text of the probed key.
+        key: String,
+    },
+    /// Fetch the engine's full [`StatsSnapshot`].
+    Stats,
+    /// Invalidate every cached set that depends on a base relation.
+    Invalidate {
+        /// The updated base relation (case-insensitive match).
+        relation: String,
+    },
+    /// Run one capacity-rebalance pass immediately.
+    RebalanceNow {
+        /// Logical time at which victim profits are evaluated.
+        timestamp_us: u64,
+    },
+    /// Stop accepting connections, drain in-flight requests, exit.
+    Shutdown,
+}
+
+/// Where a [`Response::Get`] value came from (mirror of
+/// [`LookupSource`](watchman_core::engine::LookupSource)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSource {
+    /// Served from cache.
+    Hit,
+    /// This request led the execution.
+    Executed,
+    /// Coalesced onto another connection's in-flight execution.
+    Coalesced,
+}
+
+impl fmt::Display for WireSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireSource::Hit => f.write_str("hit"),
+            WireSource::Executed => f.write_str("executed"),
+            WireSource::Coalesced => f.write_str("coalesced"),
+        }
+    }
+}
+
+/// The per-request result of a `GET`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetResponse {
+    /// How the value was obtained.
+    pub source: WireSource,
+    /// Execution cost of the query in block reads.
+    pub cost_blocks: f64,
+    /// Full size of the retrieved set in bytes.
+    pub full_len: u64,
+    /// The first `min(full_len, payload_prefix_cap)` payload bytes.
+    pub prefix: Vec<u8>,
+    /// Server-side service time in microseconds.
+    pub service_us: u64,
+    /// Whether `service_us` exceeded the request's `deadline_hint_us`.
+    pub deadline_exceeded: bool,
+}
+
+/// The outcome of a `REBALANCE_NOW` pass that moved capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceSummary {
+    /// The shard that gave up capacity.
+    pub donor: u32,
+    /// The shard that received it.
+    pub recipient: u32,
+    /// Bytes moved.
+    pub moved_bytes: u64,
+    /// Number of sets the donor evicted to shrink.
+    pub evicted: u32,
+}
+
+/// A decoded response frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Get`].
+    Get(GetResponse),
+    /// Answer to [`Request::Peek`].
+    Peek {
+        /// Whether the key is cached.
+        cached: bool,
+        /// Size of the cached set (0 when absent).
+        size_bytes: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Answer to [`Request::Invalidate`].
+    Invalidate {
+        /// Sets that were registered as depending on the relation.
+        affected: u32,
+        /// Sets that were actually resident and removed.
+        invalidated: u32,
+    },
+    /// Answer to [`Request::RebalanceNow`]: `None` when the pass moved
+    /// nothing.
+    RebalanceNow(Option<RebalanceSummary>),
+    /// Answer to [`Request::Shutdown`].
+    Shutdown,
+    /// The server failed the request (unknown opcode, internal panic, …).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(body)?;
+    Ok(())
+}
+
+/// Reads one frame body, enforcing [`MAX_FRAME_BYTES`].
+///
+/// Returns `Ok(None)` on a clean EOF *between* frames; EOF inside a frame is
+/// a [`WireError::Truncated`] error.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(reader, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let declared = u32::from_le_bytes(header);
+    if declared > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { declared });
+    }
+    let mut body = vec![0u8; declared as usize];
+    reader.read_exact(&mut body).map_err(|err| {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                context: "frame body",
+            }
+        } else {
+            WireError::Io(err)
+        }
+    })?;
+    Ok(Some(body))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// `read_exact`, except a clean EOF before the *first* byte is reported as
+/// [`ReadOutcome::Eof`] instead of an error.  EOF after a partial read is a
+/// truncation error.
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    context: "frame header",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(WireError::Io(err)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+// ---------------------------------------------------------------------------
+// Body encoding / decoding
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked cursor over a frame body.
+struct BodyReader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        BodyReader { body, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or(WireError::Truncated { context })?;
+        let slice = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn bytes(&mut self, context: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.u32(context)? as usize;
+        Ok(self.take(len, context)?.to_vec())
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, WireError> {
+        String::from_utf8(self.bytes(context)?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.body.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+const OP_GET: u8 = 1;
+const OP_PEEK: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_INVALIDATE: u8 = 4;
+const OP_REBALANCE_NOW: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+/// Encodes the handshake hello body.
+pub fn encode_hello() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, VERSION);
+    out
+}
+
+/// Decodes a handshake hello body, returning the peer's version.
+///
+/// The caller decides how to treat a version mismatch ([`VERSION`] is
+/// exact-match; see the module docs) — this only validates the magic and the
+/// frame shape.
+pub fn decode_hello(body: &[u8]) -> Result<u16, WireError> {
+    let mut reader = BodyReader::new(body);
+    if reader.take(4, "hello magic")? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = reader.u16("hello version")?;
+    reader.finish()?;
+    Ok(version)
+}
+
+/// Encodes a request frame body.
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u64(&mut out, request_id);
+    match request {
+        Request::Get(get) => {
+            put_u8(&mut out, OP_GET);
+            put_str(&mut out, &get.key);
+            put_u64(&mut out, get.timestamp_us);
+            put_u64(&mut out, get.result_bytes);
+            put_u64(&mut out, get.cost_blocks);
+            put_u32(&mut out, get.fetch_delay_us);
+            put_u64(&mut out, get.deadline_hint_us);
+            put_u32(&mut out, get.payload_prefix_cap);
+        }
+        Request::Peek { key } => {
+            put_u8(&mut out, OP_PEEK);
+            put_str(&mut out, key);
+        }
+        Request::Stats => put_u8(&mut out, OP_STATS),
+        Request::Invalidate { relation } => {
+            put_u8(&mut out, OP_INVALIDATE);
+            put_str(&mut out, relation);
+        }
+        Request::RebalanceNow { timestamp_us } => {
+            put_u8(&mut out, OP_REBALANCE_NOW);
+            put_u64(&mut out, *timestamp_us);
+        }
+        Request::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request frame body into `(request_id, request)`.
+pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
+    let mut reader = BodyReader::new(body);
+    let request_id = reader.u64("request id")?;
+    let opcode = reader.u8("opcode")?;
+    let request = match opcode {
+        OP_GET => Request::Get(GetRequest {
+            key: reader.string("GET key")?,
+            timestamp_us: reader.u64("GET timestamp")?,
+            result_bytes: reader.u64("GET result bytes")?,
+            cost_blocks: reader.u64("GET cost")?,
+            fetch_delay_us: reader.u32("GET fetch delay")?,
+            deadline_hint_us: reader.u64("GET deadline hint")?,
+            payload_prefix_cap: reader.u32("GET prefix cap")?,
+        }),
+        OP_PEEK => Request::Peek {
+            key: reader.string("PEEK key")?,
+        },
+        OP_STATS => Request::Stats,
+        OP_INVALIDATE => Request::Invalidate {
+            relation: reader.string("INVALIDATE relation")?,
+        },
+        OP_REBALANCE_NOW => Request::RebalanceNow {
+            timestamp_us: reader.u64("REBALANCE_NOW timestamp")?,
+        },
+        OP_SHUTDOWN => Request::Shutdown,
+        opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
+    };
+    reader.finish()?;
+    Ok((request_id, request))
+}
+
+/// Encodes a response frame body.
+///
+/// The only fallible case is `STATS` (its snapshot travels as JSON, which
+/// cannot represent non-finite floats); everything else always encodes.
+pub fn encode_response(request_id: u64, response: &Response) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(64);
+    put_u64(&mut out, request_id);
+    match response {
+        Response::Error { message } => {
+            put_u8(&mut out, STATUS_ERROR);
+            put_str(&mut out, message);
+            return Ok(out);
+        }
+        _ => put_u8(&mut out, STATUS_OK),
+    }
+    match response {
+        Response::Get(get) => {
+            put_u8(&mut out, OP_GET);
+            let source = match get.source {
+                WireSource::Hit => 0,
+                WireSource::Executed => 1,
+                WireSource::Coalesced => 2,
+            };
+            put_u8(&mut out, source);
+            put_f64(&mut out, get.cost_blocks);
+            put_u64(&mut out, get.full_len);
+            put_bytes(&mut out, &get.prefix);
+            put_u64(&mut out, get.service_us);
+            put_u8(&mut out, u8::from(get.deadline_exceeded));
+        }
+        Response::Peek { cached, size_bytes } => {
+            put_u8(&mut out, OP_PEEK);
+            put_u8(&mut out, u8::from(*cached));
+            put_u64(&mut out, *size_bytes);
+        }
+        Response::Stats(snapshot) => {
+            put_u8(&mut out, OP_STATS);
+            let json = serde_json::to_string(snapshot)
+                .map_err(|err| WireError::Protocol(format!("snapshot serialization: {err}")))?;
+            put_str(&mut out, &json);
+        }
+        Response::Invalidate {
+            affected,
+            invalidated,
+        } => {
+            put_u8(&mut out, OP_INVALIDATE);
+            put_u32(&mut out, *affected);
+            put_u32(&mut out, *invalidated);
+        }
+        Response::RebalanceNow(outcome) => {
+            put_u8(&mut out, OP_REBALANCE_NOW);
+            match outcome {
+                None => put_u8(&mut out, 0),
+                Some(summary) => {
+                    put_u8(&mut out, 1);
+                    put_u32(&mut out, summary.donor);
+                    put_u32(&mut out, summary.recipient);
+                    put_u64(&mut out, summary.moved_bytes);
+                    put_u32(&mut out, summary.evicted);
+                }
+            }
+        }
+        Response::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
+        Response::Error { .. } => unreachable!("handled above"),
+    }
+    Ok(out)
+}
+
+/// Decodes a response frame body into `(request_id, response)`.
+pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut reader = BodyReader::new(body);
+    let request_id = reader.u64("response id")?;
+    let status = reader.u8("status")?;
+    let response = match status {
+        STATUS_ERROR => Response::Error {
+            message: reader.string("error message")?,
+        },
+        STATUS_OK => {
+            let opcode = reader.u8("response opcode")?;
+            match opcode {
+                OP_GET => {
+                    let source = match reader.u8("GET source")? {
+                        0 => WireSource::Hit,
+                        1 => WireSource::Executed,
+                        2 => WireSource::Coalesced,
+                        value => {
+                            return Err(WireError::InvalidEnum {
+                                field: "lookup source",
+                                value,
+                            })
+                        }
+                    };
+                    Response::Get(GetResponse {
+                        source,
+                        cost_blocks: reader.f64("GET cost")?,
+                        full_len: reader.u64("GET full length")?,
+                        prefix: reader.bytes("GET prefix")?,
+                        service_us: reader.u64("GET service time")?,
+                        deadline_exceeded: reader.u8("GET deadline flag")? != 0,
+                    })
+                }
+                OP_PEEK => Response::Peek {
+                    cached: reader.u8("PEEK cached")? != 0,
+                    size_bytes: reader.u64("PEEK size")?,
+                },
+                OP_STATS => {
+                    let json = reader.string("STATS body")?;
+                    let snapshot: StatsSnapshot = serde_json::from_str(&json)
+                        .map_err(|err| WireError::Protocol(format!("snapshot parse: {err}")))?;
+                    Response::Stats(snapshot)
+                }
+                OP_INVALIDATE => Response::Invalidate {
+                    affected: reader.u32("INVALIDATE affected")?,
+                    invalidated: reader.u32("INVALIDATE invalidated")?,
+                },
+                OP_REBALANCE_NOW => match reader.u8("REBALANCE_NOW moved")? {
+                    0 => Response::RebalanceNow(None),
+                    1 => Response::RebalanceNow(Some(RebalanceSummary {
+                        donor: reader.u32("REBALANCE_NOW donor")?,
+                        recipient: reader.u32("REBALANCE_NOW recipient")?,
+                        moved_bytes: reader.u64("REBALANCE_NOW bytes")?,
+                        evicted: reader.u32("REBALANCE_NOW evicted")?,
+                    })),
+                    value => {
+                        return Err(WireError::InvalidEnum {
+                            field: "rebalance moved flag",
+                            value,
+                        })
+                    }
+                },
+                OP_SHUTDOWN => Response::Shutdown,
+                opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
+            }
+        }
+        value => {
+            return Err(WireError::InvalidEnum {
+                field: "response status",
+                value,
+            })
+        }
+    };
+    reader.finish()?;
+    Ok((request_id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let body = encode_request(7, &request);
+        let (id, back) = decode_request(&body).expect("request decodes");
+        assert_eq!(id, 7);
+        assert_eq!(back, request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let body = encode_response(9, &response).expect("response encodes");
+        let (id, back) = decode_response(&body).expect("response decodes");
+        assert_eq!(id, 9);
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_magic() {
+        let hello = encode_hello();
+        assert_eq!(decode_hello(&hello).unwrap(), VERSION);
+        let mut bad = hello.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_hello(&bad), Err(WireError::BadMagic)));
+        assert!(matches!(
+            decode_hello(&hello[..3]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Get(GetRequest {
+            key: "SELECT sum(x) FROM t".to_owned(),
+            timestamp_us: 123_456,
+            result_bytes: 4_096,
+            cost_blocks: 9_000,
+            fetch_delay_us: 1_500,
+            deadline_hint_us: 50_000,
+            payload_prefix_cap: 64,
+        }));
+        round_trip_request(Request::Peek {
+            key: "q".to_owned(),
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Invalidate {
+            relation: "LINEITEM".to_owned(),
+        });
+        round_trip_request(Request::RebalanceNow { timestamp_us: 42 });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Get(GetResponse {
+            source: WireSource::Coalesced,
+            cost_blocks: 1234.5,
+            full_len: 99,
+            prefix: vec![1, 2, 3],
+            service_us: 777,
+            deadline_exceeded: true,
+        }));
+        round_trip_response(Response::Peek {
+            cached: true,
+            size_bytes: 512,
+        });
+        round_trip_response(Response::Invalidate {
+            affected: 3,
+            invalidated: 2,
+        });
+        round_trip_response(Response::RebalanceNow(None));
+        round_trip_response(Response::RebalanceNow(Some(RebalanceSummary {
+            donor: 0,
+            recipient: 3,
+            moved_bytes: 4_096,
+            evicted: 2,
+        })));
+        round_trip_response(Response::Shutdown);
+        round_trip_response(Response::Error {
+            message: "boom".to_owned(),
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let body = encode_request(
+            1,
+            &Request::Peek {
+                key: "abc".to_owned(),
+            },
+        );
+        for cut in 0..body.len() {
+            let result = decode_request(&body[..cut]);
+            assert!(
+                matches!(result, Err(WireError::Truncated { .. })),
+                "cut at {cut} must report truncation, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = encode_request(1, &Request::Stats);
+        body.push(0xFF);
+        assert!(matches!(
+            decode_request(&body),
+            Err(WireError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_carries_the_request_id() {
+        let mut body = Vec::new();
+        put_u64(&mut body, 55);
+        put_u8(&mut body, 200);
+        match decode_request(&body) {
+            Err(WireError::UnknownOpcode { opcode, request_id }) => {
+                assert_eq!(opcode, 200);
+                assert_eq!(request_id, 55);
+            }
+            other => panic!("expected UnknownOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_the_stream() {
+        let mut stream: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        let mut reader: &[u8] = &buffer;
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_truncation() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        buffer.truncate(6); // header + 2 of 5 body bytes
+        let mut reader: &[u8] = &buffer;
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

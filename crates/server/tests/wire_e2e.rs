@@ -1,0 +1,445 @@
+//! End-to-end tests of the networked front end over loopback.
+//!
+//! The acceptance proofs of the server subsystem live here:
+//!
+//! * a multi-client **storm** showing cross-connection miss coalescing with
+//!   exactly-once execution per missed key;
+//! * the **wire-backed deterministic replay** whose final `StatsSnapshot`
+//!   is byte-identical to the in-process async replay of the same trace;
+//! * **failure isolation**: malformed and truncated frames fail their own
+//!   connection only, and internal errors surface as error responses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use watchman_core::engine::{PolicyKind, RebalanceConfig, Watchman};
+use watchman_core::value::SizedPayload;
+use watchman_server::wire::{self, Request, Response};
+use watchman_server::{
+    replay_trace_wire, serve, Client, ClientError, GetRequest, ServerConfig, WireSource,
+};
+use watchman_sim::{replay_trace_engine_async, ExperimentScale, Workload};
+
+fn test_server(capacity_bytes: u64, shards: usize) -> watchman_server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards,
+        policy: PolicyKind::LNC_RA,
+        capacity_bytes,
+        runtime_workers: 4,
+        rebalance: None,
+    })
+    .expect("server binds on loopback")
+}
+
+#[test]
+fn storm_executes_each_missed_key_exactly_once_across_connections() {
+    const CLIENTS: usize = 8;
+    const KEYS: usize = 12;
+    let server = test_server(64 << 20, 4);
+    let addr = server.addr().to_string();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    let mut per_client: Vec<Vec<WireSource>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                // All clients sweep the same keys in the same order, with a
+                // multi-millisecond simulated execution: concurrent misses
+                // on one key must coalesce across connections.
+                barrier.wait();
+                let mut sources = Vec::with_capacity(KEYS);
+                for key_index in 0..KEYS {
+                    let response = client
+                        .get(GetRequest {
+                            key: format!("SELECT storm FROM relation{key_index}"),
+                            timestamp_us: (key_index as u64 + 1) * 1_000,
+                            result_bytes: 2_048,
+                            cost_blocks: 900,
+                            fetch_delay_us: 3_000,
+                            deadline_hint_us: 0,
+                            payload_prefix_cap: 16,
+                        })
+                        .expect("storm get");
+                    assert_eq!(response.full_len, 2_048);
+                    assert_eq!(response.prefix.len(), 16, "prefix cap honored");
+                    sources.push(response.source);
+                }
+                sources
+            }));
+        }
+        for handle in handles {
+            per_client.push(handle.join().expect("storm client"));
+        }
+    });
+
+    let executed: usize = per_client
+        .iter()
+        .flatten()
+        .filter(|source| **source == WireSource::Executed)
+        .count();
+    assert_eq!(
+        executed, KEYS,
+        "leader count must equal the distinct missed keys (exactly-once fetch)"
+    );
+
+    let snapshot = server.engine().stats_snapshot();
+    assert_eq!(snapshot.total.references, (CLIENTS * KEYS) as u64);
+    assert_eq!(snapshot.total.misses(), KEYS as u64);
+    assert_eq!(
+        snapshot.total.references,
+        snapshot.total.hits + snapshot.total.coalesced + snapshot.total.misses(),
+        "references partition into hits, coalesced waits and misses"
+    );
+    let coalesced: usize = per_client
+        .iter()
+        .flatten()
+        .filter(|source| **source == WireSource::Coalesced)
+        .count();
+    assert_eq!(coalesced as u64, snapshot.total.coalesced);
+    assert_eq!(snapshot.coalesced_misses, snapshot.total.coalesced);
+    // The barrier releases every client onto the same key at once while the
+    // leader's simulated scan takes milliseconds: misses MUST have coalesced
+    // across connections (this is the cross-connection single-flight proof).
+    assert!(
+        snapshot.total.coalesced > 0,
+        "no cross-connection coalescing observed"
+    );
+    server.join();
+}
+
+#[test]
+fn wire_replay_is_byte_identical_to_in_process_async_replay() {
+    // The same deterministic TPC-D trace, the same engine configuration:
+    // one replayed in process through the async front door, one replayed
+    // over loopback through the wire protocol.  The final snapshots must
+    // match byte for byte — the wire adds no replay-visible semantics.
+    let workload = Workload::tpcd(ExperimentScale::quick(1_500));
+    let trace = &workload.trace;
+    let cache_fraction = 0.01;
+    let capacity = (trace.database_bytes as f64 * cache_fraction).round() as u64;
+    let rebalance = RebalanceConfig::new().manual();
+
+    let in_process: Watchman<SizedPayload> = Watchman::builder()
+        .shards(4)
+        .policy(PolicyKind::LNC_RA)
+        .capacity_bytes(capacity)
+        .rebalance(rebalance.clone())
+        .build();
+    replay_trace_engine_async(trace, &in_process, cache_fraction);
+    let expected = in_process.stats_snapshot();
+
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 4,
+        policy: PolicyKind::LNC_RA,
+        capacity_bytes: capacity,
+        runtime_workers: 2,
+        rebalance: Some(rebalance),
+    })
+    .expect("server binds");
+    let mut client = Client::connect(server.addr().to_string()).expect("client connects");
+    let over_wire = replay_trace_wire(&mut client, trace).expect("wire replay");
+
+    assert_eq!(
+        expected, over_wire,
+        "wire replay snapshot must be byte-identical to the in-process replay"
+    );
+    assert!(expected.rebalances > 0, "the replay exercised rebalancing");
+    server.join();
+}
+
+#[test]
+fn malformed_frames_fail_their_connection_only() {
+    let server = test_server(1 << 20, 2);
+    let addr = server.addr();
+
+    // A healthy client before, throughout and after the vandalism.
+    let mut healthy = Client::connect(addr.to_string()).expect("healthy client");
+    healthy
+        .get(GetRequest::metrics_only("SELECT a FROM t", 1_000, 128, 100))
+        .expect("healthy get");
+
+    // Vandal 1: oversized length prefix after a valid handshake.
+    {
+        let mut vandal = TcpStream::connect(addr).expect("vandal connects");
+        wire::write_frame(&mut vandal, &wire::encode_hello()).unwrap();
+        let hello = wire::read_frame(&mut vandal)
+            .unwrap()
+            .expect("server hello");
+        assert_eq!(wire::decode_hello(&hello).unwrap(), wire::VERSION);
+        vandal.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        vandal.flush().unwrap();
+        // The server must close this connection.
+        let mut buf = [0u8; 16];
+        vandal
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(vandal.read(&mut buf).unwrap_or(0), 0, "connection closed");
+    }
+
+    // Vandal 2: a truncated frame (declares 64 bytes, sends 3, hangs up).
+    {
+        let mut vandal = TcpStream::connect(addr).expect("vandal connects");
+        wire::write_frame(&mut vandal, &wire::encode_hello()).unwrap();
+        let _ = wire::read_frame(&mut vandal).unwrap();
+        vandal.write_all(&64u32.to_le_bytes()).unwrap();
+        vandal.write_all(&[1, 2, 3]).unwrap();
+        vandal.flush().unwrap();
+        drop(vandal);
+    }
+
+    // Vandal 3: garbage instead of a handshake.
+    {
+        let mut vandal = TcpStream::connect(addr).expect("vandal connects");
+        vandal.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        vandal.flush().unwrap();
+        drop(vandal);
+    }
+
+    // The healthy connection (and new ones) must be unaffected.
+    let response = healthy
+        .get(GetRequest::metrics_only("SELECT a FROM t", 2_000, 128, 100))
+        .expect("healthy get after vandalism");
+    assert_eq!(response.source, WireSource::Hit);
+    let mut fresh = Client::connect(addr.to_string()).expect("fresh client");
+    assert!(fresh.stats().expect("stats").total.references >= 2);
+    server.join();
+}
+
+#[test]
+fn unknown_opcode_gets_an_error_response_and_the_connection_survives() {
+    let server = test_server(1 << 20, 1);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    wire::write_frame(&mut stream, &wire::encode_hello()).unwrap();
+    let _ = wire::read_frame(&mut stream)
+        .unwrap()
+        .expect("server hello");
+
+    // A well-formed frame with an opcode from the future.
+    let mut body = Vec::new();
+    body.extend_from_slice(&7u64.to_le_bytes());
+    body.push(250);
+    wire::write_frame(&mut stream, &body).unwrap();
+    stream.flush().unwrap();
+    let reply = wire::read_frame(&mut stream).unwrap().expect("error reply");
+    let (id, response) = wire::decode_response(&reply).expect("decodes");
+    assert_eq!(id, 7);
+    assert!(
+        matches!(response, Response::Error { ref message } if message.contains("unknown opcode")),
+        "got {response:?}"
+    );
+
+    // Same connection still serves real requests.
+    wire::write_frame(&mut stream, &wire::encode_request(8, &Request::Stats)).unwrap();
+    stream.flush().unwrap();
+    let reply = wire::read_frame(&mut stream).unwrap().expect("stats reply");
+    let (id, response) = wire::decode_response(&reply).expect("decodes");
+    assert_eq!(id, 8);
+    assert!(matches!(response, Response::Stats(_)));
+    server.join();
+}
+
+#[test]
+fn version_mismatch_is_answered_with_the_server_hello_then_closed() {
+    let server = test_server(1 << 20, 1);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut hello = wire::encode_hello();
+    // Claim a protocol version from the future.
+    hello[4] = 0xEE;
+    hello[5] = 0xEE;
+    wire::write_frame(&mut stream, &hello).unwrap();
+    stream.flush().unwrap();
+    let reply = wire::read_frame(&mut stream)
+        .unwrap()
+        .expect("server hello");
+    assert_eq!(
+        wire::decode_hello(&reply).unwrap(),
+        wire::VERSION,
+        "the server advertises the version it speaks"
+    );
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    assert_eq!(stream.read(&mut buf).unwrap_or(0), 0, "then closes");
+    server.join();
+}
+
+#[test]
+fn admin_opcodes_peek_without_perturbing_and_invalidate_by_relation() {
+    let server = test_server(1 << 20, 2);
+    let mut client = Client::connect(server.addr().to_string()).expect("client");
+
+    let query = "SELECT sum(l_price) FROM lineitem WHERE l_year = 1995";
+    client
+        .get(GetRequest::metrics_only(query, 1_000, 512, 4_000))
+        .expect("prime the cache");
+
+    let before = client.stats().expect("stats before");
+    for _ in 0..10 {
+        assert_eq!(client.peek(query).expect("peek"), Some(512));
+        assert_eq!(client.peek("SELECT nothing FROM nowhere").unwrap(), None);
+    }
+    let after = client.stats().expect("stats after");
+    assert_eq!(before, after, "PEEK must not perturb the snapshot");
+
+    // A warehouse update lands on LINEITEM: the dependent set is gone.
+    let (affected, invalidated) = client.invalidate_relation("LINEITEM").expect("invalidate");
+    assert_eq!((affected, invalidated), (1, 1));
+    assert_eq!(client.peek(query).expect("peek after invalidate"), None);
+    server.join();
+}
+
+#[test]
+fn deadline_hint_is_reported() {
+    let server = test_server(1 << 20, 1);
+    let mut client = Client::connect(server.addr().to_string()).expect("client");
+    let response = client
+        .get(GetRequest {
+            key: "SELECT slow FROM t".to_owned(),
+            timestamp_us: 1_000,
+            result_bytes: 64,
+            cost_blocks: 100,
+            fetch_delay_us: 5_000,
+            deadline_hint_us: 1, // 1 us budget: a 5 ms fetch must exceed it
+            payload_prefix_cap: 0,
+        })
+        .expect("get");
+    assert_eq!(response.source, WireSource::Executed);
+    assert!(response.deadline_exceeded);
+    assert!(response.service_us >= 5_000);
+
+    // A generous budget is not exceeded on the hit path.
+    let hit = client
+        .get(GetRequest {
+            key: "SELECT slow FROM t".to_owned(),
+            timestamp_us: 2_000,
+            result_bytes: 64,
+            cost_blocks: 100,
+            fetch_delay_us: 0,
+            deadline_hint_us: 10_000_000,
+            payload_prefix_cap: 0,
+        })
+        .expect("get");
+    assert_eq!(hit.source, WireSource::Hit);
+    assert!(!hit.deadline_exceeded);
+    server.join();
+}
+
+#[test]
+fn oversized_result_bytes_is_refused_with_an_error_response() {
+    let server = test_server(1 << 20, 1);
+    let mut client = Client::connect(server.addr().to_string()).expect("client");
+    let err = client
+        .get(GetRequest::metrics_only(
+            "SELECT huge FROM t",
+            1_000,
+            u64::MAX,
+            100,
+        ))
+        .expect_err("oversized result must be refused");
+    assert!(
+        matches!(err, ClientError::Server { ref message } if message.contains("result_bytes")),
+        "got {err}"
+    );
+    // The connection survives the refusal.
+    client
+        .get(GetRequest::metrics_only(
+            "SELECT ok FROM t",
+            2_000,
+            128,
+            100,
+        ))
+        .expect("get after refusal");
+    server.join();
+}
+
+#[test]
+fn shutdown_opcode_drains_the_server() {
+    let server = test_server(1 << 20, 1);
+    let addr = server.addr();
+    let mut client = Client::connect(addr.to_string()).expect("client");
+    client
+        .get(GetRequest::metrics_only("SELECT x FROM t", 1_000, 64, 10))
+        .expect("get");
+    client.shutdown_server().expect("shutdown acknowledged");
+    // The accept loop and session threads must drain promptly.
+    server.wait();
+    // New connections are refused once the listener is gone (allow a beat
+    // for the OS to tear the socket down).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(addr.to_string()) {
+            Err(_) => break,
+            Ok(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(_) => panic!("server still accepting after drain"),
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_despite_a_connection_stalled_mid_frame() {
+    // A client that handshakes, sends ONE byte of a length prefix, and then
+    // stalls with the socket open must not hold the drain hostage: the
+    // session thread gives the in-flight frame a bounded grace window.
+    let server = test_server(1 << 20, 1);
+    let addr = server.addr();
+    let mut staller = TcpStream::connect(addr).expect("staller connects");
+    wire::write_frame(&mut staller, &wire::encode_hello()).unwrap();
+    let _ = wire::read_frame(&mut staller)
+        .unwrap()
+        .expect("server hello");
+    staller.write_all(&[0x01]).unwrap();
+    staller.flush().unwrap();
+
+    let mut admin = Client::connect(addr.to_string()).expect("admin");
+    admin.shutdown_server().expect("shutdown acknowledged");
+
+    // Join on a watchdog: the drain must finish despite the stalled frame.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.wait();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("drain must not hang on a connection stalled mid-frame");
+    drop(staller);
+}
+
+#[test]
+fn client_reconnects_transparently_after_a_server_side_drop() {
+    // Two servers on the same port is not portable; instead, kill the
+    // client's socket from underneath it by dropping the server's side:
+    // shutting down only the *stream* is not exposed, so simulate the drop
+    // by closing the client's own stream via a poisoned call — simplest
+    // robust approximation: connect, force-close the underlying socket by
+    // replacing the client, and verify a fresh call still succeeds through
+    // the reconnect path.
+    let server = test_server(1 << 20, 1);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(addr).expect("client");
+    client
+        .get(GetRequest::metrics_only("SELECT r FROM t", 1_000, 64, 10))
+        .expect("first get");
+    // Vandalize our own connection: send a garbage length prefix so the
+    // server closes it, then observe the next call heal via reconnect.
+    client
+        .with_raw_stream(|stream| stream.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]))
+        .expect("reach the raw stream")
+        .expect("write the garbage prefix");
+    let response = client
+        .get(GetRequest::metrics_only("SELECT r FROM t", 2_000, 64, 10))
+        .expect("get after reconnect");
+    assert_eq!(response.source, WireSource::Hit);
+    server.join();
+}

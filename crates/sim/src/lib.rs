@@ -37,7 +37,7 @@ pub use experiments::{
 pub use policy_kind::{BoxedCache, PolicyKind, SimPayload};
 pub use runner::{
     replay_trace, replay_trace_engine, replay_trace_engine_async, replay_trace_engine_concurrent,
-    run_infinite, run_policy, run_policy_sharded, run_policy_sharded_with, RunResult,
-    REBALANCE_EVERY_RECORDS,
+    run_infinite, run_policy, run_policy_sharded, run_policy_sharded_with,
+    run_result_from_snapshot, RunResult, REBALANCE_EVERY_RECORDS,
 };
 pub use workload::{ExperimentScale, Workload};

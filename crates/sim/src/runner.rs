@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 use watchman_core::clock::Timestamp;
-use watchman_core::engine::{RebalanceConfig, Watchman};
+use watchman_core::engine::{RebalanceConfig, StatsSnapshot, Watchman};
 use watchman_core::key::QueryKey;
 use watchman_core::metrics::{CacheStats, FragmentationTracker};
 use watchman_core::policy::QueryCache;
@@ -281,6 +281,37 @@ fn engine_result(
     result.shards = engine.shard_count();
     result.rebalances = engine.rebalance_count();
     result
+}
+
+/// Builds a [`RunResult`] from an engine [`StatsSnapshot`] — the
+/// constructor remote drivers use when the engine lives in another process
+/// (the server crate's wire-backed replay and load generator fetch a
+/// snapshot over the `STATS` opcode and report it in the same schema the
+/// in-process sweeps print).
+///
+/// Occupancy is not sampled per reference over the wire, so the
+/// fragmentation fields are zero.
+pub fn run_result_from_snapshot(
+    policy: String,
+    capacity_bytes: u64,
+    cache_fraction: f64,
+    snapshot: &StatsSnapshot,
+) -> RunResult {
+    RunResult {
+        policy,
+        capacity_bytes,
+        cache_fraction,
+        cost_savings_ratio: snapshot.total.cost_savings_ratio(),
+        hit_ratio: snapshot.total.hit_ratio(),
+        avg_used_fraction: 0.0,
+        min_used_fraction: 0.0,
+        references: snapshot.total.references,
+        admissions: snapshot.total.admissions,
+        rejections: snapshot.total.rejections,
+        evictions: snapshot.total.evictions,
+        shards: snapshot.per_shard.len(),
+        rebalances: snapshot.rebalances,
+    }
 }
 
 /// Builds a one-shard engine for `kind` at `cache_fraction` of the trace's

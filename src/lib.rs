@@ -19,6 +19,10 @@
 //!   with p₀-redundancy hints, subscribable to engine cache events.
 //! * [`sim`] ([`watchman_sim`]) — the experiment harness reproducing the
 //!   paper's Figures 2–7 and the extension ablations.
+//! * [`server`] ([`watchman_server`]) — the networked front end: the
+//!   versioned wire protocol, the `watchmand` cache server (misses coalesce
+//!   across client connections), a typed pipelining client and the
+//!   `loadgen` load generator.
 //!
 //! ## Quick start
 //!
@@ -63,7 +67,8 @@
 //! `async_sessions` example.
 //!
 //! See the `examples/` directory for complete programs: `quickstart`,
-//! `drill_down`, `buffer_hints`, `policy_comparison` and `async_sessions`.
+//! `drill_down`, `buffer_hints`, `policy_comparison`, `async_sessions` and
+//! `wire_sessions` (the cache served over TCP).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -71,6 +76,7 @@
 
 pub use watchman_buffer as buffer;
 pub use watchman_core as core;
+pub use watchman_server as server;
 pub use watchman_sim as sim;
 pub use watchman_trace as trace;
 pub use watchman_warehouse as warehouse;
@@ -81,6 +87,7 @@ pub mod prelude {
         BufferPool, BufferStats, QueryReferenceTracker, RedundancyHintObserver,
     };
     pub use watchman_core::prelude::*;
+    pub use watchman_server::{serve, Client, GetRequest, LoadOptions, ServerConfig, ServerHandle};
     pub use watchman_sim::{
         replay_trace, replay_trace_engine, replay_trace_engine_async,
         replay_trace_engine_concurrent, run_infinite, run_policy, run_policy_sharded,
