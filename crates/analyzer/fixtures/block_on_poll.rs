@@ -1,0 +1,17 @@
+//! Seeded violation for `block-on-in-poll`.  This file is a lint fixture,
+//! never compiled.  The violating call MUST stay on line 14 — a lexer test
+//! pins the reported line number.
+
+pub fn warm_up(engine: &Engine) {
+    // Legal: block_on outside any poll body.
+    let _ = block_on(engine.get_async());
+}
+
+impl Future for BadLookup {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // Illegal: parks the runtime worker inside a poll.
+        let _ = block_on(self.inner.get_async());
+        Poll::Ready(())
+    }
+}

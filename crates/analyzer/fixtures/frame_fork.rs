@@ -1,0 +1,5 @@
+//! Seeded violation for `frame-size-consistency`: a forked copy of the
+//! wire frame cap, drifted from wire.rs.  This file is a lint fixture,
+//! never compiled.
+
+pub const MAX_FRAME_BYTES: u32 = 8 << 20;

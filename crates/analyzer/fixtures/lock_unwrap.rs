@@ -1,0 +1,12 @@
+//! Seeded violation for `lock-result-unwrap`: unwrapping a lock result in
+//! a server session path.  This file is a lint fixture, never compiled.
+
+pub fn handle_session(sessions: &SessionMap) {
+    let mut guard = sessions.lock().unwrap();
+    guard.touch();
+    let table = sessions.registry.read().expect("registry poisoned");
+    drop(table);
+    // Legal: unwrap on a non-lock result.
+    let parsed: u32 = "7".parse().unwrap();
+    let _ = parsed;
+}

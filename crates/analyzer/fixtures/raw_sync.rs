@@ -1,0 +1,11 @@
+//! Seeded violation for `raw-sync-primitive`: raw std::sync lock types
+//! outside the sync layer.  This file is a lint fixture, never compiled.
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar};
+use std::sync::atomic::AtomicU64; // legal: atomics carry no lock order
+
+pub struct Bad {
+    state: Mutex<u64>,
+    wakeup: Condvar,
+    counter: Arc<AtomicU64>,
+}

@@ -1,0 +1,934 @@
+//! Token-level repo-invariant lints for the WATCHMAN workspace.
+//!
+//! The type system cannot see every rule this repo lives by: "route all
+//! locking through `watchman_core::sync`" compiles fine when violated,
+//! "every policy must implement the rebalance signal methods" compiles fine
+//! when violated (the trait has defaults that silently disable rebalancing),
+//! and the wire-protocol size caps are plain constants someone can fork.
+//! This crate enforces those invariants as a CI gate.
+//!
+//! It is deliberately **not** built on `syn` or rustc internals: the
+//! container this repo builds in is offline, and the rules only need token
+//! streams, not types.  [`lex`] strips comments, strings, char literals and
+//! lifetimes and yields `(identifier | literal | punctuation)` tokens with
+//! line numbers; the rules in [`analyze`] pattern-match those streams.
+//!
+//! The rules:
+//!
+//! 1. **`raw-sync-primitive`** — no `std::sync::{Mutex, RwLock, Condvar}`
+//!    outside `crates/core/src/sync.rs`.  Raw primitives bypass the
+//!    poison-recovery policy and the `lock-graph` deadlock instrumentation.
+//!    (`Arc`, atomics, `Once*` and `Barrier` are fine: they carry no
+//!    lock-ordering obligations.)
+//! 2. **`lock-result-unwrap`** — no `.lock().unwrap()` / `.read().expect()`
+//!    etc. in `crates/server/src`: one panicked session must not cascade
+//!    poison panics across every other session sharing the map.  The sync
+//!    layer's poison-transparent guards make the unwrap unnecessary.
+//! 3. **`block-on-in-poll`** — no `block_on` inside a `poll*` body: a
+//!    nested `block_on` on a runtime worker parks the worker's OS thread,
+//!    and with one worker per core a handful of such tasks deadlock the
+//!    whole runtime.
+//! 4. **`policy-signal-coverage`** — every `QueryCache` impl under
+//!    `policy/` must define the signal-method set the engine's replacement
+//!    and rebalance loops drive (`min_cached_profit`, `set_capacity_bytes`,
+//!    `peek`, `record_coalesced_reference`, `clear`), and every variant of
+//!    `enum PolicyKind` must appear in a `PolicyKind::Variant` dispatch
+//!    path — a variant nobody constructs is an unreachable policy.
+//! 5. **`frame-size-consistency`** — the wire-protocol size caps
+//!    (`MAX_FRAME_BYTES`, `MAX_PREFIX_BYTES`, `MAX_RESULT_BYTES`) must be
+//!    declared exactly once, in their home files, and must satisfy
+//!    `MAX_PREFIX_BYTES < MAX_FRAME_BYTES <= MAX_RESULT_BYTES` — the
+//!    relationships `server.rs` relies on when it clamps payload prefixes.
+//!
+//! Seeded-violation fixtures live in `fixtures/`; the crate's tests assert
+//! each rule fires on its fixture and stays quiet on counter-examples, so a
+//! lexer regression cannot silently turn the gate off.
+
+use std::collections::HashMap;
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric, string, byte or char literal (strings keep no content).
+    Literal,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (empty for string literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes Rust source into a token stream, stripping comments (line, block,
+/// nested block), string literals (plain, raw, byte), char literals and
+/// lifetimes.  Numeric literals keep their text so constant expressions can
+/// be evaluated; string literals become empty [`TokenKind::Literal`] tokens
+/// so nothing inside a string can ever match a rule.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    fn is_ident_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_'
+    }
+    fn is_ident_continue(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_plain_string(bytes, i, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.  After the quote: an identifier
+                // char not followed by a closing quote is a lifetime.
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                if is_ident_start(next) && bytes.get(i + 2) != Some(&b'\'') {
+                    i += 2;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: skip escapes until the closing quote.
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                // A string prefix (r"", b"", br#""#, r#""#) is a literal,
+                // not an identifier.
+                let next = bytes.get(i).copied().unwrap_or(0);
+                let is_raw_capable = matches!(text, "r" | "br" | "rb");
+                let is_plain_byte = text == "b" && next == b'"';
+                if (is_raw_capable && (next == b'"' || next == b'#')) || is_plain_byte {
+                    i = if next == b'"' && !text.contains('r') {
+                        skip_plain_string(bytes, i, &mut line)
+                    } else {
+                        skip_raw_string(bytes, i, &mut line)
+                    };
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: text.to_owned(),
+                        line,
+                    });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (is_ident_continue(bytes[i])) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_plain_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string from the first `#` or `"` after the `r`/`br` prefix;
+/// returns the index past the closing delimiter.
+fn skip_raw_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start;
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // not actually a raw string; resynchronize
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|b| **b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The rule's stable identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed source tree: `(repo-relative path, tokens)` per file.
+pub struct FileSet {
+    files: Vec<(String, Vec<Token>)>,
+}
+
+impl FileSet {
+    /// Builds a file set from raw sources.
+    pub fn from_sources(sources: &[(String, String)]) -> Self {
+        FileSet {
+            files: sources
+                .iter()
+                .map(|(path, source)| (path.clone(), lex(source)))
+                .collect(),
+        }
+    }
+}
+
+/// Runs every rule over the file set.
+pub fn analyze(set: &FileSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, tokens) in &set.files {
+        rule_raw_sync(path, tokens, &mut findings);
+        rule_lock_result_unwrap(path, tokens, &mut findings);
+        rule_block_on_in_poll(path, tokens, &mut findings);
+        rule_policy_signal_coverage(path, tokens, set, &mut findings);
+    }
+    rule_frame_size_consistency(set, &mut findings);
+    findings
+}
+
+/// The sync-layer home file: the one place raw primitives are legal.
+const SYNC_LAYER: &str = "crates/core/src/sync.rs";
+
+/// Rule 1: `std::sync::{Mutex, RwLock, Condvar}` outside the sync layer.
+fn rule_raw_sync(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if path.ends_with(SYNC_LAYER) {
+        return;
+    }
+    let banned = ["Mutex", "RwLock", "Condvar"];
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_std_sync = tokens[i].is_ident("std")
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("sync")
+            && tokens[i + 4].is_punct(':')
+            && tokens[i + 5].is_punct(':');
+        if !is_std_sync {
+            i += 1;
+            continue;
+        }
+        // Path continues after `std::sync::` — either one segment or a
+        // use-group `{...}`.
+        let mut j = i + 6;
+        if tokens[j].is_punct('{') {
+            let mut depth = 1;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1 && banned.iter().any(|b| tokens[j].is_ident(b)) {
+                    findings.push(Finding {
+                        file: path.to_owned(),
+                        line: tokens[j].line,
+                        rule: "raw-sync-primitive",
+                        message: format!(
+                            "raw std::sync::{} bypasses the poison policy and lock-graph \
+                             instrumentation; use watchman_core::sync::{}",
+                            tokens[j].text, tokens[j].text
+                        ),
+                    });
+                }
+                j += 1;
+            }
+        } else if banned.iter().any(|b| tokens[j].is_ident(b)) {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: tokens[j].line,
+                rule: "raw-sync-primitive",
+                message: format!(
+                    "raw std::sync::{} bypasses the poison policy and lock-graph \
+                     instrumentation; use watchman_core::sync::{}",
+                    tokens[j].text, tokens[j].text
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+/// Rule 2: `.lock().unwrap()` (and `read`/`write`/`expect` variants) in the
+/// server's session paths.
+fn rule_lock_result_unwrap(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !path.contains("server/src") {
+        return;
+    }
+    for window in tokens.windows(6) {
+        let acquires = window[0].is_punct('.')
+            && (window[1].is_ident("lock")
+                || window[1].is_ident("read")
+                || window[1].is_ident("write"))
+            && window[2].is_punct('(')
+            && window[3].is_punct(')');
+        let unwraps = window[4].is_punct('.')
+            && (window[5].is_ident("unwrap") || window[5].is_ident("expect"));
+        if acquires && unwraps {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: window[5].line,
+                rule: "lock-result-unwrap",
+                message: format!(
+                    ".{}().{}() cascades one session's poison panic into every session \
+                     sharing the lock; the sync layer's guards recover instead",
+                    window[1].text, window[5].text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 3: `block_on` inside a `poll*` function body.
+fn rule_block_on_in_poll(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].text.starts_with("poll") {
+            // Find the body's opening brace (return types in this repo never
+            // contain a top-level `{`).
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= tokens.len() || tokens[j].is_punct(';') {
+                i = j.max(i + 1);
+                continue; // trait method signature without a body
+            }
+            let mut depth = 1;
+            let mut k = j + 1;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                } else if tokens[k].is_ident("block_on") {
+                    findings.push(Finding {
+                        file: path.to_owned(),
+                        line: tokens[k].line,
+                        rule: "block-on-in-poll",
+                        message: format!(
+                            "block_on inside `{}` parks a runtime worker thread inside a \
+                             poll; enough of these deadlock the whole runtime",
+                            tokens[i + 1].text
+                        ),
+                    });
+                }
+                k += 1;
+            }
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The signal methods the engine's replacement and rebalance loops drive.
+/// `QueryCache` gives several of them no-op defaults, so forgetting one
+/// compiles clean and silently degrades the policy.
+const REQUIRED_SIGNALS: [&str; 5] = [
+    "min_cached_profit",
+    "set_capacity_bytes",
+    "peek",
+    "record_coalesced_reference",
+    "clear",
+];
+
+/// Rule 4: policy impls define the signal-method set; `PolicyKind` variants
+/// are all dispatched somewhere.
+fn rule_policy_signal_coverage(
+    path: &str,
+    tokens: &[Token],
+    set: &FileSet,
+    findings: &mut Vec<Finding>,
+) {
+    // Part 1: files implementing `QueryCache<…> for …` under policy/.
+    if path.contains("policy/") {
+        let mut is_impl = false;
+        let mut impl_line = 0;
+        for (i, token) in tokens.iter().enumerate() {
+            if token.is_ident("QueryCache")
+                && tokens[i + 1..].iter().take(20).any(|t| t.is_ident("for"))
+            {
+                is_impl = true;
+                impl_line = token.line;
+                break;
+            }
+        }
+        if is_impl {
+            for method in REQUIRED_SIGNALS {
+                let defines = tokens
+                    .windows(2)
+                    .any(|w| w[0].is_ident("fn") && w[1].is_ident(method));
+                if !defines {
+                    findings.push(Finding {
+                        file: path.to_owned(),
+                        line: impl_line,
+                        rule: "policy-signal-coverage",
+                        message: format!(
+                            "QueryCache impl does not define `fn {method}` — the trait \
+                             default silently disables this replacement/rebalance signal"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Part 2: every `enum PolicyKind` variant must appear in a
+    // `PolicyKind::Variant` dispatch path somewhere in the tree.
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident("PolicyKind") {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 1;
+            let mut k = j + 1;
+            let mut variants: Vec<(String, u32)> = Vec::new();
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && tokens[k].kind == TokenKind::Ident
+                    && tokens
+                        .get(k + 1)
+                        .is_some_and(|t| t.is_punct(',') || t.is_punct('{') || t.is_punct('}'))
+                {
+                    variants.push((tokens[k].text.clone(), tokens[k].line));
+                }
+                k += 1;
+            }
+            for (variant, line) in variants {
+                let dispatched = set.files.iter().any(|(_, file_tokens)| {
+                    file_tokens.windows(4).any(|w| {
+                        w[0].is_ident("PolicyKind")
+                            && w[1].is_punct(':')
+                            && w[2].is_punct(':')
+                            && w[3].is_ident(&variant)
+                    })
+                });
+                if !dispatched {
+                    findings.push(Finding {
+                        file: path.to_owned(),
+                        line,
+                        rule: "policy-signal-coverage",
+                        message: format!(
+                            "PolicyKind::{variant} is never constructed via a \
+                             PolicyKind::{variant} path — an undispatchable policy arm"
+                        ),
+                    });
+                }
+            }
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The wire-protocol size caps and their home files.
+const FRAME_CONSTS: [(&str, &str); 3] = [
+    ("MAX_FRAME_BYTES", "wire.rs"),
+    ("MAX_PREFIX_BYTES", "wire.rs"),
+    ("MAX_RESULT_BYTES", "server.rs"),
+];
+
+/// A cap declaration: (file, line, initializer tokens).
+type CapDecl = (String, u32, Vec<Token>);
+
+/// Rule 5: the size caps are single-sourced and mutually consistent.
+fn rule_frame_size_consistency(set: &FileSet, findings: &mut Vec<Finding>) {
+    // Collect every `const NAME … = <expr> ;` declaration of a cap.
+    let mut decls: HashMap<&'static str, Vec<CapDecl>> = HashMap::new();
+    for (path, tokens) in &set.files {
+        for i in 0..tokens.len() {
+            if !tokens[i].is_ident("const") {
+                continue;
+            }
+            let Some(name_token) = tokens.get(i + 1) else {
+                continue;
+            };
+            let Some((name, _)) = FRAME_CONSTS
+                .iter()
+                .find(|(name, _)| name_token.is_ident(name))
+            else {
+                continue;
+            };
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('=') {
+                j += 1;
+            }
+            let start = j + 1;
+            let mut end = start;
+            while end < tokens.len() && !tokens[end].is_punct(';') {
+                end += 1;
+            }
+            decls.entry(name).or_default().push((
+                path.clone(),
+                name_token.line,
+                tokens[start..end].to_vec(),
+            ));
+        }
+    }
+
+    let mut values: HashMap<&'static str, u64> = HashMap::new();
+    for (name, home) in FRAME_CONSTS {
+        let Some(sites) = decls.get(name) else {
+            continue; // fixture trees may not contain the real constants
+        };
+        for (path, line, expr) in sites {
+            if !path.ends_with(home) {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: *line,
+                    rule: "frame-size-consistency",
+                    message: format!(
+                        "{name} redeclared outside its home file ({home}); forked size \
+                         caps drift apart and desynchronize peers"
+                    ),
+                });
+            } else if let Some(value) = eval_const_expr(expr, &values) {
+                values.insert(name, value);
+            }
+        }
+    }
+
+    let consistent = |a: Option<&u64>, b: Option<&u64>| match (a, b) {
+        (Some(a), Some(b)) => a < b,
+        _ => true, // a cap we could not evaluate is not a finding
+    };
+    if !consistent(
+        values.get("MAX_PREFIX_BYTES"),
+        values.get("MAX_FRAME_BYTES"),
+    ) {
+        findings.push(Finding {
+            file: "crates/server/src/wire.rs".to_owned(),
+            line: 0,
+            rule: "frame-size-consistency",
+            message: format!(
+                "MAX_PREFIX_BYTES ({}) must stay strictly below MAX_FRAME_BYTES ({}): a \
+                 prefix-sized payload plus headers must fit one frame",
+                values["MAX_PREFIX_BYTES"], values["MAX_FRAME_BYTES"]
+            ),
+        });
+    }
+    if let (Some(frame), Some(result)) = (
+        values.get("MAX_FRAME_BYTES"),
+        values.get("MAX_RESULT_BYTES"),
+    ) {
+        if *frame > *result {
+            findings.push(Finding {
+                file: "crates/server/src/server.rs".to_owned(),
+                line: 0,
+                rule: "frame-size-consistency",
+                message: format!(
+                    "MAX_RESULT_BYTES ({result}) below MAX_FRAME_BYTES ({frame}): the \
+                     server would admit results it can never frame"
+                ),
+            });
+        }
+    }
+}
+
+/// Evaluates a constant expression over `u64` with the operators the cap
+/// declarations use (`<<`, `+`, `-`, `*`, parentheses, named references).
+/// Returns `None` for anything it does not understand.
+fn eval_const_expr(tokens: &[Token], env: &HashMap<&'static str, u64>) -> Option<u64> {
+    struct Parser<'a> {
+        tokens: &'a [Token],
+        pos: usize,
+        env: &'a HashMap<&'static str, u64>,
+    }
+    impl Parser<'_> {
+        fn peek(&self) -> Option<&Token> {
+            self.tokens.get(self.pos)
+        }
+        fn shift(&mut self) -> Option<u64> {
+            // Lowest precedence in these expressions: `<<`.
+            let mut value = self.additive()?;
+            while self.peek().is_some_and(|t| t.is_punct('<'))
+                && self
+                    .tokens
+                    .get(self.pos + 1)
+                    .is_some_and(|t| t.is_punct('<'))
+            {
+                self.pos += 2;
+                let rhs = self.additive()?;
+                value = value.checked_shl(u32::try_from(rhs).ok()?)?;
+            }
+            Some(value)
+        }
+        fn additive(&mut self) -> Option<u64> {
+            let mut value = self.multiplicative()?;
+            loop {
+                if self.peek().is_some_and(|t| t.is_punct('+')) {
+                    self.pos += 1;
+                    value = value.checked_add(self.multiplicative()?)?;
+                } else if self.peek().is_some_and(|t| t.is_punct('-')) {
+                    self.pos += 1;
+                    value = value.checked_sub(self.multiplicative()?)?;
+                } else {
+                    return Some(value);
+                }
+            }
+        }
+        fn multiplicative(&mut self) -> Option<u64> {
+            let mut value = self.atom()?;
+            while self.peek().is_some_and(|t| t.is_punct('*')) {
+                self.pos += 1;
+                value = value.checked_mul(self.atom()?)?;
+            }
+            Some(value)
+        }
+        fn atom(&mut self) -> Option<u64> {
+            let token = self.peek()?.clone();
+            if token.is_punct('(') {
+                self.pos += 1;
+                let value = self.shift()?;
+                if !self.peek()?.is_punct(')') {
+                    return None;
+                }
+                self.pos += 1;
+                return Some(value);
+            }
+            self.pos += 1;
+            match token.kind {
+                TokenKind::Literal => {
+                    // `1_024` and `16u32` both parse; `_` separators drop
+                    // out and a type suffix terminates the digits.
+                    let digits: String = token
+                        .text
+                        .chars()
+                        .filter(|c| *c != '_')
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect();
+                    if digits.is_empty() {
+                        None
+                    } else {
+                        digits.parse().ok()
+                    }
+                }
+                TokenKind::Ident => self.env.get(token.text.as_str()).copied(),
+                TokenKind::Punct => None,
+            }
+        }
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        env,
+    };
+    let value = parser.shift()?;
+    // Trailing tokens we do not model (casts, generics) poison the result:
+    // better no value than a wrong one.
+    (parser.pos == tokens.len()).then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_one(path: &str, source: &str) -> Vec<Finding> {
+        analyze(&FileSet::from_sources(&[(
+            path.to_owned(),
+            source.to_owned(),
+        )]))
+    }
+
+    fn fixture(name: &str) -> String {
+        let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    }
+
+    #[test]
+    fn lexer_strips_comments_strings_and_lifetimes() {
+        let tokens = lex(concat!(
+            "// std::sync::Mutex in a comment\n",
+            "/* std::sync::Mutex /* nested */ in a block */\n",
+            "let s = \"std::sync::Mutex in a string\";\n",
+            "let r = r#\"std::sync::Mutex raw \" quote\"#;\n",
+            "let c: char = ':'; let l: &'static str = \"x\";\n",
+            "fn generic<'a>(x: &'a u8) {}\n",
+        ));
+        assert!(
+            !tokens.iter().any(|t| t.is_ident("Mutex")),
+            "nothing inside comments or strings may surface as an identifier"
+        );
+        assert!(tokens.iter().any(|t| t.is_ident("generic")));
+    }
+
+    #[test]
+    fn lexer_tracks_lines() {
+        let tokens = lex("a\nb\n\nc");
+        let lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_sync_fixture_fires_and_sync_layer_is_exempt() {
+        let source = fixture("raw_sync.rs");
+        let findings = analyze_one("crates/server/src/bad.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "raw-sync-primitive")
+            .collect();
+        assert!(hits.len() >= 2, "expected both seeded uses: {findings:?}");
+        // The same source inside the sync layer itself is legal.
+        let exempt = analyze_one(SYNC_LAYER, &source);
+        assert!(exempt.iter().all(|f| f.rule != "raw-sync-primitive"));
+    }
+
+    #[test]
+    fn raw_sync_allows_arc_and_atomics() {
+        let findings = analyze_one(
+            "crates/core/src/metrics.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\n\
+             use std::sync::{Barrier, OnceLock};\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn lock_unwrap_fixture_fires_only_in_server_paths() {
+        let source = fixture("lock_unwrap.rs");
+        let findings = analyze_one("crates/server/src/session.rs", &source);
+        assert!(
+            findings.iter().any(|f| f.rule == "lock-result-unwrap"),
+            "{findings:?}"
+        );
+        let elsewhere = analyze_one("crates/sim/src/table.rs", &source);
+        assert!(elsewhere.iter().all(|f| f.rule != "lock-result-unwrap"));
+    }
+
+    #[test]
+    fn block_on_fixture_fires_inside_poll_only() {
+        let source = fixture("block_on_poll.rs");
+        let findings = analyze_one("crates/core/src/runtime/fut.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "block-on-in-poll")
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        // The fixture also calls block_on OUTSIDE a poll body; only the
+        // inside use may fire, and the line number must point at it.
+        assert_eq!(hits[0].line, 14, "{hits:?}");
+    }
+
+    #[test]
+    fn policy_fixture_reports_missing_signals_and_orphan_variants() {
+        let source = fixture("policy_gap.rs");
+        let findings = analyze_one("crates/core/src/policy/gap.rs", &source);
+        let missing: Vec<_> = findings
+            .iter()
+            .filter(|f| f.message.contains("does not define"))
+            .collect();
+        assert!(
+            missing
+                .iter()
+                .any(|f| f.message.contains("record_coalesced_reference")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("PolicyKind::Orphan")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn frame_const_fixture_reports_forked_caps() {
+        let source = fixture("frame_fork.rs");
+        let findings = analyze_one("crates/client/src/client.rs", &source);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "frame-size-consistency" && f.message.contains("redeclared")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn frame_consts_in_home_files_must_be_ordered() {
+        let wire = "pub const MAX_FRAME_BYTES: u32 = 16 << 20;\n\
+                    pub const MAX_PREFIX_BYTES: u32 = MAX_FRAME_BYTES + 1024;\n";
+        let findings = analyze_one("crates/server/src/wire.rs", wire);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "frame-size-consistency" && f.message.contains("strictly below")),
+            "{findings:?}"
+        );
+        let good = "pub const MAX_FRAME_BYTES: u32 = 16 << 20;\n\
+                    pub const MAX_PREFIX_BYTES: u32 = MAX_FRAME_BYTES - 1024;\n";
+        assert!(analyze_one("crates/server/src/wire.rs", good).is_empty());
+    }
+
+    #[test]
+    fn const_expr_evaluator_handles_the_cap_grammar() {
+        let env = HashMap::from([("MAX_FRAME_BYTES", 16_u64 << 20)]);
+        let eval = |src: &str| eval_const_expr(&lex(src), &env);
+        assert_eq!(eval("16 << 20"), Some(16 << 20));
+        assert_eq!(eval("64 << 20"), Some(64 << 20));
+        assert_eq!(eval("MAX_FRAME_BYTES - 1024"), Some((16 << 20) - 1024));
+        assert_eq!(eval("(4 + 12) << 20"), Some(16 << 20));
+        assert_eq!(eval("2 * 8 << 20"), Some(16 << 20));
+        assert_eq!(eval("1_024"), Some(1024));
+        assert_eq!(eval("16u32"), Some(16));
+        assert_eq!(eval("SOME_UNKNOWN"), None);
+    }
+
+    #[test]
+    fn clean_sources_produce_no_findings() {
+        let findings = analyze_one(
+            "crates/core/src/engine/watchman.rs",
+            "use crate::sync::{Mutex, MutexGuard};\n\
+             fn lookup(&self) { let state = self.state.lock(); drop(state); }\n\
+             fn poll_ready(&mut self, cx: &mut Context<'_>) -> Poll<()> { Poll::Ready(()) }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

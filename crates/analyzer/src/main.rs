@@ -1,0 +1,90 @@
+//! The workspace lint gate: walks every crate's `src/` tree, runs the
+//! repo-invariant rules in [`watchman_analyzer::analyze`], prints findings
+//! and exits 1 if there are any.
+//!
+//! Usage: `cargo run -p watchman-analyzer -- --root .`
+
+use watchman_analyzer::{analyze, FileSet};
+
+fn main() {
+    let mut root = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = args.next().unwrap_or_else(|| {
+                    eprintln!("--root requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let root_path = std::path::Path::new(&root);
+    // The facade's src/ plus every crate's src/: lint the code that ships,
+    // not fixtures, benches or generated target/ output.
+    let mut src_dirs: Vec<std::path::PathBuf> = vec![root_path.join("src")];
+    if let Ok(crates) = std::fs::read_dir(root_path.join("crates")) {
+        for entry in crates.flatten() {
+            src_dirs.push(entry.path().join("src"));
+        }
+    }
+    for dir in src_dirs {
+        collect_sources(&dir, root_path, &mut sources);
+    }
+    if sources.is_empty() {
+        eprintln!("no Rust sources under {root}; wrong --root?");
+        std::process::exit(2);
+    }
+
+    let findings = analyze(&FileSet::from_sources(&sources));
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "analyzer: {} files scanned, {} findings",
+        sources.len(),
+        findings.len()
+    );
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Recursively collects `.rs` sources under `dir`, recording repo-relative
+/// forward-slash paths (the rules dispatch on them).
+fn collect_sources(
+    dir: &std::path::Path,
+    root: &std::path::Path,
+    sources: &mut Vec<(String, String)>,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|entry| entry.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_sources(&path, root, sources);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            match std::fs::read_to_string(&path) {
+                Ok(source) => sources.push((rel, source)),
+                Err(error) => {
+                    eprintln!("skipping unreadable {rel}: {error}");
+                }
+            }
+        }
+    }
+}

@@ -375,7 +375,85 @@ fn ops_for(entries: usize, quick: bool) -> u64 {
     }
 }
 
-fn eviction_pressure_report(quick: bool) {
+/// How far below a committed reference rate a re-run may land before the
+/// guard fails.  Generous on purpose: CI runners vary several-fold in
+/// absolute throughput, and the guard's job is to catch *structural*
+/// regressions — above all, debugging instrumentation (the `lock-graph`
+/// feature) accidentally compiled into the default build — not to chase
+/// scheduler noise.
+const REFERENCE_TOLERANCE: f64 = 3.0;
+
+/// Parses `(policy, entries, admissions_per_sec)` rows out of a previously
+/// committed `BENCH_policy_ops.json` (the format this bench writes).  Only
+/// the `results` section is read; the scan baselines are measured with
+/// different op counts and are not comparable across runs.
+fn parse_reference(json: &str) -> Vec<(String, usize, f64)> {
+    // The bench writes one result object per line; a row is complete when
+    // all three fields appear on it.
+    fn scalar<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+    let mut rows = Vec::new();
+    for line in json.lines() {
+        if line.trim_start().starts_with("\"scan_baselines\"") {
+            break;
+        }
+        let policy = line
+            .find("\"policy\": \"")
+            .map(|i| &line[i + "\"policy\": \"".len()..])
+            .and_then(|rest| rest.split('"').next());
+        if let (Some(policy), Some(Ok(entries)), Some(Ok(rate))) = (
+            policy,
+            scalar(line, "\"entries\": ").map(str::parse::<usize>),
+            scalar(line, "\"admissions_per_sec\": ").map(str::parse::<f64>),
+        ) {
+            rows.push((policy.to_owned(), entries, rate));
+        }
+    }
+    rows
+}
+
+/// The PR 6 bench guard: with instrumentation compiled out, the measured
+/// admissions/sec must stay within [`REFERENCE_TOLERANCE`] of the committed
+/// reference for every (policy, entries) cell both runs cover.
+fn assert_against_reference(ref_path: &str, results: &[PressureResult]) {
+    let json = std::fs::read_to_string(ref_path)
+        .unwrap_or_else(|error| panic!("cannot read reference {ref_path}: {error}"));
+    let reference = parse_reference(&json);
+    assert!(
+        !reference.is_empty(),
+        "reference {ref_path} contains no results — wrong file?"
+    );
+    println!("\nbench guard vs {ref_path} (tolerance {REFERENCE_TOLERANCE}x):");
+    let mut compared = 0;
+    for (policy, entries, ref_rate) in &reference {
+        let Some(current) = results
+            .iter()
+            .find(|r| &r.policy == policy && r.entries == *entries)
+        else {
+            continue; // quick runs skip the 100k tier
+        };
+        compared += 1;
+        let factor = current.admissions_per_sec / ref_rate;
+        println!("{policy:>34} @{entries}: {factor:>6.2}x of reference");
+        assert!(
+            factor * REFERENCE_TOLERANCE >= 1.0,
+            "{policy} at {entries} entries regressed to {:.0} admissions/sec \
+             ({factor:.2}x of the committed {ref_rate:.0}) — is debugging \
+             instrumentation compiled into the default build?",
+            current.admissions_per_sec
+        );
+    }
+    assert!(
+        compared > 0,
+        "no comparable cells between run and reference"
+    );
+    println!("bench guard passed: {compared} cells within tolerance");
+}
+
+fn eviction_pressure_report(quick: bool, assert_ref: Option<&str>) {
     let sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
     let mut results = Vec::new();
     let mut baselines = Vec::new();
@@ -485,10 +563,20 @@ fn eviction_pressure_report(quick: bool) {
         Ok(()) => println!("wrote {path}"),
         Err(error) => println!("could not write {path}: {error}"),
     }
+
+    if let Some(ref_path) = assert_ref {
+        assert_against_reference(ref_path, &results);
+    }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let assert_ref = args.iter().position(|a| a == "--assert-ref").map(|i| {
+        args.get(i + 1)
+            .expect("--assert-ref requires a reference JSON path")
+            .clone()
+    });
     benches();
-    eviction_pressure_report(quick);
+    eviction_pressure_report(quick, assert_ref.as_deref());
 }

@@ -11,10 +11,11 @@
 //! buffer manager moves them to the end of its LRU chain.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use watchman_core::engine::{CacheEvent, CacheObserver};
 use watchman_core::key::{QueryKey, Signature};
+use watchman_core::sync::{Mutex, MutexGuard};
 use watchman_warehouse::PageId;
 
 use crate::pool::BufferPool;
@@ -169,9 +170,7 @@ where
     }
 
     fn lock_state(&self) -> MutexGuard<'_, HintState> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.state.lock()
     }
 
     /// Records that `query` read every page in `pages` (call on every cache
@@ -208,11 +207,7 @@ where
                         .redundant_pages(&pages, self.threshold, |sig| cached.contains(&sig))
                 };
                 if !hint.is_empty() {
-                    let mut pool = self
-                        .pool
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    pool.demote(&hint);
+                    self.pool.lock().demote(&hint);
                 }
             }
             CacheEvent::Evicted { key, .. } | CacheEvent::Invalidated { key, .. } => {
@@ -353,7 +348,7 @@ mod tests {
         // The query executes: its pages enter the pool and the tracker.
         let key = QueryKey::new("q1");
         {
-            let mut pool = pool.lock().unwrap();
+            let mut pool = pool.lock();
             for &p in &pages {
                 pool.access(p);
             }
@@ -369,7 +364,7 @@ mod tests {
             Timestamp::from_secs(1),
         );
         assert_eq!(observer.cached_queries(), 1);
-        assert_eq!(pool.lock().unwrap().stats().demotions, 2);
+        assert_eq!(pool.lock().stats().demotions, 2);
 
         // Invalidation clears the mirrored signature.
         assert!(engine.invalidate(&key));

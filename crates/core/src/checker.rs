@@ -1,0 +1,1024 @@
+//! A loom-lite deterministic interleaving explorer for the engine's
+//! concurrency state machines.
+//!
+//! PRs 3–5 each shipped at least one race that was found only by staring at
+//! the code (the `JoinHandle` alive-counter race, the zero-waiter cell leak,
+//! the self-deadlocking `Runtime::drop`).  Stress tests shake some of those
+//! out, but a stress test samples schedules at random; the bugs above lived
+//! in *specific* interleavings a loaded box may never produce.  This module
+//! takes the systematic route, in the spirit of loom/CHESS: run a small
+//! multi-thread model under a **controlled scheduler** that permits exactly
+//! one thread to run between *yield points*, enumerate every reachable
+//! schedule by depth-first replay, and assert the model's invariants on each
+//! one.
+//!
+//! ## How it works
+//!
+//! * A model ([`Model`]) instantiates fresh shared state plus a closure per
+//!   model thread.  Threads are real OS threads, but they only execute while
+//!   holding the scheduler's token; every instrumented operation on the
+//!   [`Ctl`] handle ([`Ctl::point`], [`Ctl::lock`], [`Ctl::wait_flag`], …)
+//!   hands the token back.
+//! * At each decision point the scheduler computes the *eligible* threads
+//!   (ready, or blocked on a lock that is now free / a flag that is now
+//!   set), consults the schedule script, and grants the token.  Replaying a
+//!   choice prefix and then always taking the first eligible thread makes
+//!   runs deterministic, so the explorer can enumerate schedules
+//!   depth-first: each run records how many options every decision point
+//!   had, and every untaken option becomes a new prefix to explore.
+//! * **Deadlocks are detected, not suffered**: a state where unfinished
+//!   threads exist but none is eligible is reported with every thread's
+//!   block reason.  A thread blocked forever on a wake flag that nobody
+//!   will set is precisely a *lost wakeup*, and is labelled as such.
+//! * Model threads assert invariants inline (plus a finale check after all
+//!   threads finish); panics are caught and reported with the offending
+//!   schedule.
+//!
+//! Virtual locks ([`Ctl::lock`]) only *model* blocking — the scheduler
+//! never actually deadlocks the process.  Because exactly one model thread
+//! runs at a time, models may also drive **real** engine types (the
+//! single-flight model below runs the production [`Flight`] cell) and
+//! explore their API-level interleavings safely.
+//!
+//! The three state machines this repo most needs checked ship as built-in
+//! models: [`models::SingleFlightModel`] (leader panic → takeover →
+//! forget_waiter), [`models::RuntimeDropModel`] (`Runtime::drop` vs a
+//! worker mid-poll) and [`models::RebalanceModel`] (two-lock capacity
+//! transfer vs an atomic stats snapshot).  `cargo run -p watchman-core
+//! --bin checker` explores all three; see `CONCURRENCY.md`.
+//!
+//! [`Flight`]: crate::engine::single_flight::Flight
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+
+/// Why a parked model thread cannot run right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    /// Waiting on a virtual lock currently held by another thread.
+    Lock(u64),
+    /// Waiting for a wake flag to be set.
+    Flag(u64),
+}
+
+/// A model thread's scheduling status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked at a yield point, eligible to run.
+    Ready,
+    /// Currently holding the token.
+    Running,
+    /// Parked, not eligible until the blocking resource frees up.
+    Blocked(BlockReason),
+    /// Returned (or unwound).
+    Finished,
+}
+
+/// The scheduler's shared state: one instance per schedule run.
+struct CtlState {
+    status: Vec<Status>,
+    /// The thread currently allowed to run, if any.
+    token: Option<usize>,
+    /// Virtual lock table: lock id → holding thread.
+    holders: HashMap<u64, usize>,
+    /// Wake flags (edge state persists until explicitly cleared).
+    flags: HashMap<u64, bool>,
+    /// A model thread panicked with this message.
+    failure: Option<String>,
+    /// Tear-down: parked threads unwind instead of waiting for a token.
+    abort: bool,
+}
+
+struct Controller {
+    state: Mutex<CtlState>,
+    changed: Condvar,
+}
+
+/// The panic payload used to unwind parked model threads at tear-down.
+struct AbortToken;
+
+impl Controller {
+    fn new(threads: usize) -> Self {
+        Controller {
+            state: Mutex::new(CtlState {
+                // Threads start as Running and park themselves at their
+                // startup pause; the scheduler's "everyone parked" wait
+                // therefore also covers thread startup.
+                status: vec![Status::Running; threads],
+                token: None,
+                holders: HashMap::new(),
+                flags: HashMap::new(),
+                failure: None,
+                abort: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Parks thread `me` with the status `classify` derives from current
+    /// state, then blocks until the scheduler grants it the token.
+    fn pause(&self, me: usize, classify: impl Fn(&CtlState) -> Status) {
+        let mut state = self.state.lock();
+        debug_assert_eq!(state.status[me], Status::Running);
+        state.token = None;
+        let parked_as = classify(&state);
+        state.status[me] = parked_as;
+        self.changed.notify_all();
+        loop {
+            if state.abort {
+                drop(state);
+                std::panic::panic_any(AbortToken);
+            }
+            if state.token == Some(me) {
+                state.status[me] = Status::Running;
+                return;
+            }
+            state = self.changed.wait(state);
+        }
+    }
+
+    fn set_flag_raw(&self, flag: u64) {
+        self.state.lock().flags.insert(flag, true);
+        // No notify needed: flags are only consulted by the scheduler at
+        // decision points, which the setter's own pause/finish triggers.
+    }
+
+    /// Marks `me` finished (normally or by panic) and releases the token.
+    fn finish(&self, me: usize, panic_message: Option<String>) {
+        let mut state = self.state.lock();
+        if state.token == Some(me) {
+            state.token = None;
+        }
+        state.status[me] = Status::Finished;
+        if let Some(message) = panic_message {
+            state.failure.get_or_insert(message);
+        }
+        self.changed.notify_all();
+    }
+}
+
+/// A model thread's handle to the controlled scheduler.  Every method that
+/// can interleave with other threads is a *yield point*: the token goes back
+/// to the scheduler and the thread parks until rescheduled.
+pub struct Ctl {
+    controller: Arc<Controller>,
+    id: usize,
+}
+
+impl Ctl {
+    /// A plain interleaving point: any eligible thread may run next.
+    pub fn point(&self) {
+        self.controller.pause(self.id, |_| Status::Ready);
+    }
+
+    /// Acquires a virtual lock, blocking (in model time) while another
+    /// thread holds it.  One yield point per acquisition.
+    pub fn lock(&self, lock: u64) {
+        loop {
+            self.controller.pause(self.id, |state| {
+                if state.holders.contains_key(&lock) {
+                    Status::Blocked(BlockReason::Lock(lock))
+                } else {
+                    Status::Ready
+                }
+            });
+            let mut state = self.controller.state.lock();
+            if let std::collections::hash_map::Entry::Vacant(entry) = state.holders.entry(lock) {
+                entry.insert(self.id);
+                return;
+            }
+            // The scheduler only grants the token when the lock is free, so
+            // this retry is unreachable; loop anyway rather than trust it.
+        }
+    }
+
+    /// Acquires a virtual lock only if it is free right now (one yield
+    /// point either way).  Mirrors `Mutex::try_lock`.
+    pub fn try_lock(&self, lock: u64) -> bool {
+        self.controller.pause(self.id, |_| Status::Ready);
+        let mut state = self.controller.state.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = state.holders.entry(lock) {
+            slot.insert(self.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a virtual lock this thread holds.
+    pub fn unlock(&self, lock: u64) {
+        let mut state = self.controller.state.lock();
+        let holder = state.holders.remove(&lock);
+        assert_eq!(holder, Some(self.id), "unlock of a lock not held");
+    }
+
+    /// Sets a wake flag (typically called from a model waker).
+    pub fn set_flag(&self, flag: u64) {
+        self.controller.set_flag_raw(flag);
+    }
+
+    /// Clears a wake flag (re-arming before a poll, like a real waker slot).
+    pub fn clear_flag(&self, flag: u64) {
+        self.controller.state.lock().flags.insert(flag, false);
+    }
+
+    /// Reads a wake flag without yielding.
+    pub fn flag(&self, flag: u64) -> bool {
+        *self
+            .controller
+            .state
+            .lock()
+            .flags
+            .get(&flag)
+            .unwrap_or(&false)
+    }
+
+    /// Blocks (in model time) until the flag is set.  A thread parked here
+    /// when no live thread will ever set the flag is a **lost wakeup**; the
+    /// scheduler reports it as such.
+    pub fn wait_flag(&self, flag: u64) {
+        loop {
+            self.controller.pause(self.id, |state| {
+                if *state.flags.get(&flag).unwrap_or(&false) {
+                    Status::Ready
+                } else {
+                    Status::Blocked(BlockReason::Flag(flag))
+                }
+            });
+            if self.flag(flag) {
+                return;
+            }
+        }
+    }
+
+    /// A `std::task::Waker` that sets `flag` when woken — the bridge for
+    /// models that drive real poll-based engine types.
+    pub fn flag_waker(&self, flag: u64) -> std::task::Waker {
+        struct FlagWaker {
+            controller: Arc<Controller>,
+            flag: u64,
+        }
+        impl std::task::Wake for FlagWaker {
+            fn wake(self: Arc<Self>) {
+                self.controller.set_flag_raw(self.flag);
+            }
+            fn wake_by_ref(self: &Arc<Self>) {
+                self.controller.set_flag_raw(self.flag);
+            }
+        }
+        std::task::Waker::from(Arc::new(FlagWaker {
+            controller: Arc::clone(&self.controller),
+            flag,
+        }))
+    }
+}
+
+/// One instantiation of a model: fresh shared state baked into per-thread
+/// closures, plus a finale invariant check run after every thread finishes.
+/// A model thread body: runs to completion under the controlled scheduler.
+pub type ThreadBody = Box<dyn FnOnce(&Ctl) + Send>;
+
+/// One instantiation of a model: fresh shared state baked into per-thread
+/// closures, plus a finale invariant check run after every thread finishes.
+pub struct ModelRun {
+    /// One closure per model thread, executed under the controlled scheduler.
+    pub threads: Vec<ThreadBody>,
+    /// Checked after all threads finish; `Err` fails the schedule.
+    pub finale: Box<dyn FnOnce() -> Result<(), String> + Send>,
+}
+
+/// A concurrency state machine the explorer can enumerate.
+pub trait Model {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// Creates fresh state and threads for one schedule run.
+    fn instantiate(&self) -> ModelRun;
+}
+
+/// How a single scheduled run ended.
+enum RunOutcome {
+    /// All threads finished and the finale check passed.
+    Passed,
+    /// Invariant violation or deadlock, with a description.
+    Violated(String),
+}
+
+struct RunResult {
+    outcome: RunOutcome,
+    /// The eligible-set index taken at each decision point.
+    choices: Vec<usize>,
+    /// The eligible-set size at each decision point.
+    options: Vec<usize>,
+}
+
+/// Safety valve against non-terminating models.
+const MAX_STEPS: usize = 100_000;
+
+thread_local! {
+    /// Set inside model threads so the quiet panic hook knows their panics
+    /// are caught and reported by the explorer, not genuine crashes.
+    static IN_MODEL_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Model panics (invariant asserts, abort-token unwinds) are caught and
+/// folded into the exploration report; without this, every violating
+/// schedule would also spray a stack trace on stderr.  The hook delegates
+/// non-checker panics to whatever hook was installed before.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL_THREAD.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs one schedule: replay `prefix`, then always take the first eligible
+/// thread, recording every decision point's option count.
+fn run_schedule(model: &dyn Model, prefix: &[usize]) -> RunResult {
+    install_quiet_panic_hook();
+    let run = model.instantiate();
+    let thread_count = run.threads.len();
+    let controller = Arc::new(Controller::new(thread_count));
+    let mut choices = Vec::new();
+    let mut options = Vec::new();
+    let mut outcome = None;
+
+    std::thread::scope(|scope| {
+        for (id, body) in run.threads.into_iter().enumerate() {
+            let ctl = Ctl {
+                controller: Arc::clone(&controller),
+                id,
+            };
+            scope.spawn(move || {
+                IN_MODEL_THREAD.with(|flag| flag.set(true));
+                // Every thread starts parked: wait for the first grant.
+                ctl.controller.pause(id, |_| Status::Ready);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctl)));
+                let message = match result {
+                    Ok(()) => None,
+                    Err(payload) if payload.is::<AbortToken>() => None,
+                    Err(payload) => Some(describe_panic(payload.as_ref())),
+                };
+                ctl.controller.finish(id, message);
+            });
+        }
+
+        let scheduler_outcome = loop {
+            let mut state = controller.state.lock();
+            // Wait until the token is free and nobody is running.
+            while state.token.is_some() || state.status.contains(&Status::Running) {
+                state = controller.changed.wait(state);
+            }
+            if let Some(failure) = state.failure.take() {
+                break RunOutcome::Violated(format!("model thread panicked: {failure}"));
+            }
+            let unfinished = state
+                .status
+                .iter()
+                .filter(|status| **status != Status::Finished)
+                .count();
+            if unfinished == 0 {
+                break match (run.finale)() {
+                    Ok(()) => RunOutcome::Passed,
+                    Err(message) => RunOutcome::Violated(format!("finale check failed: {message}")),
+                };
+            }
+            let eligible: Vec<usize> = state
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(id, status)| match status {
+                    Status::Ready => Some(id),
+                    Status::Blocked(BlockReason::Lock(lock)) => {
+                        (!state.holders.contains_key(lock)).then_some(id)
+                    }
+                    Status::Blocked(BlockReason::Flag(flag)) => state
+                        .flags
+                        .get(flag)
+                        .copied()
+                        .unwrap_or(false)
+                        .then_some(id),
+                    Status::Running | Status::Finished => None,
+                })
+                .collect();
+            if eligible.is_empty() {
+                break RunOutcome::Violated(describe_deadlock(&state));
+            }
+            if choices.len() >= MAX_STEPS {
+                break RunOutcome::Violated(format!(
+                    "schedule exceeded {MAX_STEPS} steps without terminating"
+                ));
+            }
+            let step = choices.len();
+            let pick = if step < prefix.len() {
+                assert!(
+                    prefix[step] < eligible.len(),
+                    "non-deterministic model: replay prefix no longer fits"
+                );
+                prefix[step]
+            } else {
+                0
+            };
+            choices.push(pick);
+            options.push(eligible.len());
+            state.token = Some(eligible[pick]);
+            drop(state);
+            controller.changed.notify_all();
+        };
+
+        // Tear down: release any threads still parked (deadlock, panic) so
+        // the scope can join them.
+        {
+            let mut state = controller.state.lock();
+            state.abort = true;
+        }
+        controller.changed.notify_all();
+        outcome = Some(scheduler_outcome);
+    });
+
+    RunResult {
+        outcome: outcome.expect("scheduler loop always sets an outcome"),
+        choices,
+        options,
+    }
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn describe_deadlock(state: &CtlState) -> String {
+    let mut parts = Vec::new();
+    let mut lost_wakeup = false;
+    for (id, status) in state.status.iter().enumerate() {
+        match status {
+            Status::Blocked(BlockReason::Lock(lock)) => {
+                let holder = state.holders.get(lock);
+                parts.push(format!(
+                    "thread {id} blocked on lock #{lock} (held by {})",
+                    holder.map_or_else(|| "nobody".to_owned(), |h| format!("thread {h}"))
+                ));
+            }
+            Status::Blocked(BlockReason::Flag(flag)) => {
+                lost_wakeup = true;
+                parts.push(format!(
+                    "thread {id} waiting on wake flag #{flag} that no live thread will set \
+                     (lost wakeup)"
+                ));
+            }
+            Status::Ready | Status::Running => {
+                parts.push(format!("thread {id} unexpectedly {status:?}"));
+            }
+            Status::Finished => {}
+        }
+    }
+    let kind = if lost_wakeup {
+        "lost wakeup / deadlock"
+    } else {
+        "deadlock"
+    };
+    format!("{kind}: {}", parts.join("; "))
+}
+
+/// The result of exploring one model's schedule space.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The model's name.
+    pub name: &'static str,
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Every violation found, as `(schedule, description)`; the schedule is
+    /// the choice list to replay it.
+    pub violations: Vec<(Vec<usize>, String)>,
+    /// Whether the whole schedule space was enumerated (false = the limit
+    /// cut exploration short).
+    pub exhausted: bool,
+}
+
+impl Exploration {
+    /// A one-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} schedules ({}), {} violations",
+            self.name,
+            self.schedules,
+            if self.exhausted {
+                "exhaustive"
+            } else {
+                "bounded"
+            },
+            self.violations.len()
+        )
+    }
+}
+
+/// Depth-first schedule enumeration with replay, bounded by `limit` runs.
+///
+/// Every run records the eligible-set size at each decision point; each
+/// untaken option spawns a new prefix.  With a deterministic model this
+/// enumerates distinct schedules without repetition, exactly once each.
+pub fn explore(model: &dyn Model, limit: usize) -> Exploration {
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut schedules = 0;
+    let mut violations = Vec::new();
+    let mut exhausted = true;
+    while let Some(prefix) = pending.pop() {
+        if schedules >= limit {
+            exhausted = false;
+            break;
+        }
+        let result = run_schedule(model, &prefix);
+        schedules += 1;
+        if let RunOutcome::Violated(message) = result.outcome {
+            violations.push((result.choices.clone(), message));
+        }
+        // Queue the untaken branches discovered beyond the replayed prefix,
+        // deepest first so the DFS finishes subtrees before moving on.
+        for step in (prefix.len()..result.options.len()).rev() {
+            for alternative in 1..result.options[step] {
+                let mut branch = result.choices[..step].to_vec();
+                branch.push(alternative);
+                pending.push(branch);
+            }
+        }
+    }
+    Exploration {
+        name: model.name(),
+        schedules,
+        violations,
+        exhausted,
+    }
+}
+
+pub mod models {
+    //! The built-in models: the three state machines PRs 3–5 shipped with
+    //! hand-found races, plus a deliberately broken lock-order model that
+    //! proves the explorer actually detects deadlocks.
+
+    use super::{Ctl, Model, ModelRun};
+    use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
+    use crate::sync::Mutex;
+    use crate::value::ExecutionCost;
+    use std::sync::Arc;
+    use std::task::{Context, Poll};
+
+    /// Model 1: the single-flight abandonment / takeover protocol, driving
+    /// the **real** [`Flight`] cell.
+    ///
+    /// Thread 0 is the original leader: its fetch fails, so it records the
+    /// panic payload, abandons the flight, and then polls as the leader
+    /// session expecting to observe its own failure.  Thread 1 is a loyal
+    /// waiter: it polls until the flight resolves, and if it wins the
+    /// takeover race it completes the flight itself.  Thread 2 is a flaky
+    /// waiter: the first time it suspends it gives up (`forget_waiter`),
+    /// exercising the candidate-cancellation path that must pass the
+    /// takeover wake along rather than lose it.
+    ///
+    /// Invariants: no schedule deadlocks (in particular, no registered
+    /// waiter sleeps through the abandonment — a lost wakeup parks thread 1
+    /// forever and the scheduler reports it), and the cell always ends
+    /// `Done` with the takeover value.
+    pub struct SingleFlightModel;
+
+    /// The value the takeover leader publishes.
+    const TAKEOVER_VALUE: u64 = 42;
+    /// Wake flags: one per session.
+    const FLAG_LEADER: u64 = 100;
+    const FLAG_LOYAL: u64 = 101;
+    const FLAG_FLAKY: u64 = 102;
+
+    /// Polls `flight` as a waiter until it resolves; completes the flight
+    /// when this session wins the takeover race.  Returns the observed value.
+    fn drive_waiter(ctl: &Ctl, flight: &Flight<u64>, flag: u64, flaky: bool) -> Option<u64> {
+        let waker = ctl.flag_waker(flag);
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = WaiterSlot::new();
+        let mut first_suspension = true;
+        loop {
+            ctl.clear_flag(flag);
+            ctl.point();
+            match flight.poll_wait(&mut slot, &mut cx) {
+                Poll::Ready(FlightOutcome::Done(value, _)) => return Some(*value),
+                Poll::Ready(FlightOutcome::TakeOver) => {
+                    // This session is the new leader: execute and publish.
+                    ctl.point();
+                    flight.complete(Arc::new(TAKEOVER_VALUE), ExecutionCost::from_blocks(1));
+                    return Some(TAKEOVER_VALUE);
+                }
+                Poll::Pending if flaky && first_suspension => {
+                    // Cancelled session: its future is dropped while the
+                    // flight is unresolved.
+                    ctl.point();
+                    flight.forget_waiter(&mut slot);
+                    return None;
+                }
+                Poll::Pending => {
+                    first_suspension = false;
+                    ctl.wait_flag(flag);
+                }
+            }
+        }
+    }
+
+    impl Model for SingleFlightModel {
+        fn name(&self) -> &'static str {
+            "single-flight leader panic / takeover / forget_waiter"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            let flight: Arc<Flight<u64>> = Arc::new(Flight::new());
+            let observed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+            let leader = {
+                let flight = Arc::clone(&flight);
+                Box::new(move |ctl: &Ctl| {
+                    let epoch = flight.new_leader_epoch();
+                    ctl.point();
+                    // The fetch fails: record the payload, then abandon.
+                    flight.set_panic(epoch, Box::new("fetch failed"));
+                    ctl.point();
+                    flight.abandon();
+                    // The leader session observes its own generation's
+                    // failure, even if a takeover already completed the cell.
+                    let waker = ctl.flag_waker(FLAG_LEADER);
+                    let mut cx = Context::from_waker(&waker);
+                    loop {
+                        ctl.clear_flag(FLAG_LEADER);
+                        ctl.point();
+                        match flight.poll_leader(epoch, &mut cx) {
+                            Poll::Ready(LeaderOutcome::Failed(payload)) => {
+                                assert!(
+                                    payload.is_some(),
+                                    "leader session must observe its recorded panic payload"
+                                );
+                                return;
+                            }
+                            Poll::Ready(LeaderOutcome::Done(..)) => {
+                                panic!("leader session must observe its own failure, not Done")
+                            }
+                            Poll::Pending => ctl.wait_flag(FLAG_LEADER),
+                        }
+                    }
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            let loyal = {
+                let flight = Arc::clone(&flight);
+                let observed = Arc::clone(&observed);
+                Box::new(move |ctl: &Ctl| {
+                    let value = drive_waiter(ctl, &flight, FLAG_LOYAL, false)
+                        .expect("loyal waiter always resolves");
+                    observed.lock().push(value);
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            let flaky = {
+                let flight = Arc::clone(&flight);
+                let observed = Arc::clone(&observed);
+                Box::new(move |ctl: &Ctl| {
+                    if let Some(value) = drive_waiter(ctl, &flight, FLAG_FLAKY, true) {
+                        observed.lock().push(value);
+                    }
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            ModelRun {
+                threads: vec![leader, loyal, flaky],
+                finale: Box::new(move || {
+                    let observed = observed.lock();
+                    if observed.iter().any(|value| *value != TAKEOVER_VALUE) {
+                        return Err(format!(
+                            "a waiter observed a value other than the takeover's: {observed:?}"
+                        ));
+                    }
+                    if observed.is_empty() {
+                        return Err("no session ever observed the completed flight".to_owned());
+                    }
+                    Ok(())
+                }),
+            }
+        }
+    }
+
+    /// Model 2: `Runtime::drop` versus a worker mid-poll, mirrored with
+    /// checker primitives (the real runtime's threads cannot be scheduled
+    /// from outside, so the model re-implements the exact protocol of
+    /// `Runtime::drop` + `RunnableTask::run`'s shutdown epilogue:
+    /// atomic-flag-first, lock-clear-sweep, non-blocking `try_cancel`,
+    /// join, second sweep).
+    ///
+    /// Task A is being polled by the worker when shutdown starts; task B is
+    /// suspended on an external waker.  Invariant: both tasks settle
+    /// exactly once (a task settled twice double-decrements the alive
+    /// counter; a task never settled leaves its `JoinHandle` hanging
+    /// forever — both are the PR 3 bug classes).
+    pub struct RuntimeDropModel;
+
+    /// Virtual locks: the scheduler state and each task's future slot.
+    const LOCK_SCHED: u64 = 0;
+    const LOCK_FUT_A: u64 = 1;
+    const LOCK_FUT_B: u64 = 2;
+    /// Wake flag: the worker thread exited (models `join`).
+    const FLAG_WORKER_DONE: u64 = 200;
+
+    /// The mirrored runtime state (plain data; real mutual exclusion is
+    /// provided by the controlled scheduler's virtual locks).
+    #[derive(Default)]
+    struct DropState {
+        shutdown_flag: bool,
+        /// `Some` while the task's future exists; dropping it settles.
+        future: [bool; 2],
+        /// Times each task settled (must end exactly 1 each).
+        settled: [u32; 2],
+    }
+
+    impl DropState {
+        fn cancel(&mut self, task: usize) {
+            if self.future[task] {
+                self.future[task] = false;
+                self.settled[task] += 1;
+            }
+        }
+    }
+
+    impl Model for RuntimeDropModel {
+        fn name(&self) -> &'static str {
+            "Runtime::drop vs in-flight task poll"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            let state = Arc::new(Mutex::new(DropState {
+                shutdown_flag: false,
+                future: [true, true],
+                settled: [0, 0],
+            }));
+
+            let dropper = {
+                let state = Arc::clone(&state);
+                Box::new(move |ctl: &Ctl| {
+                    // Runtime::drop, step by step.
+                    state.lock().shutdown_flag = true; // atomic flag first
+                    ctl.point();
+                    ctl.lock(LOCK_SCHED); // clear queues under the lock
+                    ctl.unlock(LOCK_SCHED);
+                    // First try_cancel sweep: non-blocking on purpose.
+                    for lock in [LOCK_FUT_A, LOCK_FUT_B] {
+                        if ctl.try_lock(lock) {
+                            state.lock().cancel((lock - LOCK_FUT_A) as usize);
+                            ctl.unlock(lock);
+                        }
+                    }
+                    // Join the worker.
+                    ctl.wait_flag(FLAG_WORKER_DONE);
+                    // Second sweep, after the join.
+                    for lock in [LOCK_FUT_A, LOCK_FUT_B] {
+                        if ctl.try_lock(lock) {
+                            state.lock().cancel((lock - LOCK_FUT_A) as usize);
+                            ctl.unlock(lock);
+                        }
+                    }
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            let worker = {
+                let state = Arc::clone(&state);
+                Box::new(move |ctl: &Ctl| {
+                    // RunnableTask::run for task A: hold the future-slot
+                    // lock across the poll.
+                    ctl.lock(LOCK_FUT_A);
+                    ctl.point(); // the poll itself (returns Pending)
+                    let shutting_down = state.lock().shutdown_flag;
+                    if shutting_down {
+                        // The poll epilogue: the cancel sweep could not take
+                        // our future mutex, so drop the future here.
+                        state.lock().cancel(0);
+                    }
+                    ctl.unlock(LOCK_FUT_A);
+                    ctl.point();
+                    ctl.set_flag(FLAG_WORKER_DONE); // worker exits
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            ModelRun {
+                threads: vec![dropper, worker],
+                finale: Box::new(move || {
+                    let state = state.lock();
+                    for (task, count) in state.settled.iter().enumerate() {
+                        if *count != 1 {
+                            return Err(format!(
+                                "task {task} settled {count} times (expected exactly once): \
+                                 0 = hung JoinHandle, 2+ = double-settled alive counter"
+                            ));
+                        }
+                    }
+                    Ok(())
+                }),
+            }
+        }
+    }
+
+    /// Model 3: the rebalancer's two-lock capacity transfer versus a
+    /// concurrent all-shard stats snapshot, mirrored with checker
+    /// primitives.  Both sides follow the index-order discipline the engine
+    /// documents (`CONCURRENCY.md`); the invariant is Σ-capacity
+    /// conservation — the snapshot must never observe capacity mid-flight
+    /// (the transfer happens under both shard locks), and the total must
+    /// still sum after every schedule.
+    pub struct RebalanceModel;
+
+    const LOCK_SHARD_0: u64 = 10;
+    const LOCK_SHARD_1: u64 = 11;
+    const TOTAL_CAPACITY: u64 = 100;
+
+    struct RebalanceState {
+        capacity: [u64; 2],
+        snapshots: Vec<u64>,
+    }
+
+    impl Model for RebalanceModel {
+        fn name(&self) -> &'static str {
+            "rebalance two-lock transfer vs stats snapshot"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            let state = Arc::new(Mutex::new(RebalanceState {
+                capacity: [60, 40],
+                snapshots: Vec::new(),
+            }));
+
+            let rebalancer = {
+                let state = Arc::clone(&state);
+                Box::new(move |ctl: &Ctl| {
+                    // Observe phase: one shard lock at a time.
+                    ctl.lock(LOCK_SHARD_0);
+                    let donor_has = state.lock().capacity[0];
+                    ctl.unlock(LOCK_SHARD_0);
+                    ctl.lock(LOCK_SHARD_1);
+                    let _recipient_has = state.lock().capacity[1];
+                    ctl.unlock(LOCK_SHARD_1);
+                    // Transfer phase: both locks, in index order, donor
+                    // shrinks and recipient grows under the pair.
+                    let step = donor_has.min(10);
+                    ctl.lock(LOCK_SHARD_0);
+                    ctl.lock(LOCK_SHARD_1);
+                    {
+                        let mut state = state.lock();
+                        state.capacity[0] -= step;
+                        ctl.point(); // snapshot must NOT observe this window
+                        state.capacity[1] += step;
+                    }
+                    ctl.unlock(LOCK_SHARD_1);
+                    ctl.unlock(LOCK_SHARD_0);
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            let snapshotter = {
+                let state = Arc::clone(&state);
+                Box::new(move |ctl: &Ctl| {
+                    // stats_snapshot: all shard locks, in index order, held
+                    // simultaneously.
+                    ctl.lock(LOCK_SHARD_0);
+                    let first = state.lock().capacity[0];
+                    ctl.point();
+                    ctl.lock(LOCK_SHARD_1);
+                    let second = state.lock().capacity[1];
+                    let total = first + second;
+                    ctl.unlock(LOCK_SHARD_1);
+                    ctl.unlock(LOCK_SHARD_0);
+                    assert_eq!(
+                        total, TOTAL_CAPACITY,
+                        "snapshot observed a capacity transfer mid-flight"
+                    );
+                    state.lock().snapshots.push(total);
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            ModelRun {
+                threads: vec![rebalancer, snapshotter],
+                finale: Box::new(move || {
+                    let state = state.lock();
+                    let total: u64 = state.capacity.iter().sum();
+                    if total != TOTAL_CAPACITY {
+                        return Err(format!(
+                            "capacity not conserved: {:?} sums to {total}, expected \
+                             {TOTAL_CAPACITY}",
+                            state.capacity
+                        ));
+                    }
+                    Ok(())
+                }),
+            }
+        }
+    }
+
+    /// A deliberately broken variant — two threads taking the two shard
+    /// locks in **opposite** order — used to prove the explorer actually
+    /// finds deadlocks (a checker that reports "0 violations" on everything
+    /// is indistinguishable from one that checks nothing).
+    pub struct InvertedLockOrderModel;
+
+    impl Model for InvertedLockOrderModel {
+        fn name(&self) -> &'static str {
+            "inverted lock order (deadlock expected)"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            let forward = Box::new(move |ctl: &Ctl| {
+                ctl.lock(LOCK_SHARD_0);
+                ctl.point();
+                ctl.lock(LOCK_SHARD_1);
+                ctl.unlock(LOCK_SHARD_1);
+                ctl.unlock(LOCK_SHARD_0);
+            }) as Box<dyn FnOnce(&Ctl) + Send>;
+            let backward = Box::new(move |ctl: &Ctl| {
+                ctl.lock(LOCK_SHARD_1);
+                ctl.point();
+                ctl.lock(LOCK_SHARD_0);
+                ctl.unlock(LOCK_SHARD_0);
+                ctl.unlock(LOCK_SHARD_1);
+            }) as Box<dyn FnOnce(&Ctl) + Send>;
+            ModelRun {
+                threads: vec![forward, backward],
+                finale: Box::new(|| Ok(())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::models::{
+        InvertedLockOrderModel, RebalanceModel, RuntimeDropModel, SingleFlightModel,
+    };
+    use super::*;
+
+    #[test]
+    fn single_flight_model_is_clean() {
+        let exploration = explore(&SingleFlightModel, 400);
+        assert!(exploration.schedules > 10, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn runtime_drop_model_is_clean_and_exhaustive() {
+        let exploration = explore(&RuntimeDropModel, 5_000);
+        assert!(exploration.exhausted, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn rebalance_model_is_clean_and_exhaustive() {
+        let exploration = explore(&RebalanceModel, 5_000);
+        assert!(exploration.exhausted, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn explorer_detects_the_seeded_deadlock() {
+        let exploration = explore(&InvertedLockOrderModel, 1_000);
+        assert!(
+            exploration
+                .violations
+                .iter()
+                .any(|(_, message)| message.contains("deadlock")),
+            "the inverted-order model must deadlock on some schedule: {}",
+            exploration.summary()
+        );
+    }
+
+    #[test]
+    fn replaying_a_violation_schedule_reproduces_it() {
+        let exploration = explore(&InvertedLockOrderModel, 1_000);
+        let (schedule, _) = exploration.violations.first().expect("deadlock found");
+        // Replaying the recorded choices must hit the same violation.
+        let replay = run_schedule(&InvertedLockOrderModel, schedule);
+        assert!(matches!(replay.outcome, RunOutcome::Violated(_)));
+    }
+}

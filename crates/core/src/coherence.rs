@@ -12,8 +12,8 @@
 //! index returns exactly the keys whose retrieved sets must be invalidated
 //! (dropped and recomputed on next reference) or refreshed incrementally.
 
+use crate::sync::{Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
 
 use crate::engine::{CacheEvent, CacheObserver};
 use crate::key::QueryKey;
@@ -210,10 +210,8 @@ where
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, DependencyIndex> {
-        self.index
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> MutexGuard<'_, DependencyIndex> {
+        self.index.lock()
     }
 
     /// Runs a closure with access to the tracked index.

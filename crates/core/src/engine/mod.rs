@@ -62,7 +62,7 @@
 mod events;
 mod policy_kind;
 mod rebalance;
-mod single_flight;
+pub(crate) mod single_flight;
 mod watchman;
 
 pub use events::{CacheEvent, CacheObserver, EventCounters};

@@ -36,7 +36,9 @@
 //! panic-propagation contract through the async path.
 
 use std::any::Any;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+
+use crate::sync::{Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 
 use crate::policy::InsertOutcome;
@@ -170,11 +172,9 @@ impl<V> Flight<V> {
 
     fn lock(&self) -> MutexGuard<'_, FlightState<V>> {
         // The engine never panics while holding this lock (fetches run
-        // outside it); recovering from poisoning keeps waiters alive even if
-        // that invariant is ever broken.
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        // outside it); the sync layer's poison recovery keeps waiters alive
+        // even if that invariant is ever broken.
+        self.state.lock()
     }
 
     /// Publishes the leader's result and wakes the leader session and every
@@ -376,35 +376,23 @@ impl<V> Flight<V> {
     /// Stores the admission outcome of the leader's insert for the leader
     /// session to collect (async path).
     pub fn set_outcome(&self, outcome: InsertOutcome) {
-        *self
-            .outcome
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
+        *self.outcome.lock() = Some(outcome);
     }
 
     /// Takes the stored admission outcome, if any.
     pub fn take_outcome(&self) -> Option<InsertOutcome> {
-        self.outcome
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .take()
+        self.outcome.lock().take()
     }
 
     /// Stores a failed fetch's panic payload for the leader session of
     /// generation `epoch` to re-raise.  Call **before** [`Flight::abandon`]
     /// so the leader observes the payload when its abandonment wake arrives.
     pub fn set_panic(&self, epoch: u64, payload: Box<dyn Any + Send>) {
-        self.panic_payload
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push((epoch, payload));
+        self.panic_payload.lock().push((epoch, payload));
     }
 
     fn take_panic_for(&self, epoch: u64) -> Option<Box<dyn Any + Send>> {
-        let mut payloads = self
-            .panic_payload
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut payloads = self.panic_payload.lock();
         let index = payloads.iter().position(|(e, _)| *e == epoch)?;
         Some(payloads.swap_remove(index).1)
     }

@@ -5,7 +5,7 @@ use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
@@ -21,6 +21,7 @@ use crate::key::QueryKey;
 use crate::metrics::CacheStats;
 use crate::policy::{InsertOutcome, QueryCache};
 use crate::runtime::{Runtime, Sleep};
+use crate::sync::{Mutex, MutexGuard};
 use crate::value::{CachePayload, ExecutionCost};
 
 /// Pluggable key normalization applied to every key entering the engine.
@@ -144,9 +145,7 @@ struct Shard<V> {
 
 impl<V> Shard<V> {
     fn lock(&self) -> MutexGuard<'_, ShardState<V>> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.state.lock()
     }
 }
 
@@ -199,19 +198,12 @@ struct ShutdownCell {
 
 impl ShutdownCell {
     fn register(&self, waker: &Waker) {
-        *self
-            .waker
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(waker.clone());
+        *self.waker.lock() = Some(waker.clone());
     }
 
     fn fire(&self) {
         self.fired.store(true, Ordering::Release);
-        let waker = self
-            .waker
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .take();
+        let waker = self.waker.lock().take();
         if let Some(waker) = waker {
             waker.wake();
         }
@@ -428,10 +420,16 @@ impl<V> WatchmanBuilder<V> {
                 // Distribute the division remainder so capacities sum exactly.
                 let capacity = base + u64::from((i as u64) < remainder);
                 Shard {
-                    state: Mutex::new(ShardState {
-                        cache: self.policy.build::<Arc<V>>(capacity),
-                        inflight: HashMap::new(),
-                    }),
+                    // The shard index is the lock's declared rank: whenever
+                    // two shard locks nest (rebalance transfers, atomic
+                    // snapshots) they must be acquired in index order.
+                    state: Mutex::with_rank(
+                        u32::try_from(i).unwrap_or(u32::MAX),
+                        ShardState {
+                            cache: self.policy.build::<Arc<V>>(capacity),
+                            inflight: HashMap::new(),
+                        },
+                    ),
                 }
             })
             .collect();
@@ -685,16 +683,10 @@ where
         }
         // The pass state mutex serializes passes (the background task and
         // any driver-scheduled calls).
-        let mut pass = rb
-            .pass
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut pass = rb.pass.lock();
         rb.passes.fetch_add(1, Ordering::Relaxed);
         #[cfg(test)]
-        rb.pass_threads
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push(std::thread::current().id());
+        rb.pass_threads.lock().push(std::thread::current().id());
 
         let total = self.inner.total_capacity_bytes;
         let floor = rb.config.floor_bytes(total, self.inner.shards.len());
@@ -1188,12 +1180,10 @@ where
     /// the no-pass-on-a-session-thread guarantee).
     #[cfg(test)]
     pub(crate) fn rebalance_pass_threads(&self) -> Vec<std::thread::ThreadId> {
-        self.inner.rebalancer.as_ref().map_or(Vec::new(), |rb| {
-            rb.pass_threads
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .clone()
-        })
+        self.inner
+            .rebalancer
+            .as_ref()
+            .map_or(Vec::new(), |rb| rb.pass_threads.lock().clone())
     }
 }
 

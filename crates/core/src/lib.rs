@@ -86,6 +86,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod checker;
 pub mod clock;
 pub mod coherence;
 pub mod engine;
@@ -98,6 +99,7 @@ pub mod policy;
 pub mod profit;
 pub mod retained;
 pub mod runtime;
+pub mod sync;
 pub mod theory;
 pub mod value;
 

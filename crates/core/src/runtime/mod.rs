@@ -56,9 +56,11 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
+
+use crate::sync::{Condvar, Mutex, MutexGuard};
 
 use task::{RunnableTask, TaskFuture};
 use timer::TimerEntry;
@@ -108,10 +110,8 @@ impl RuntimeInner {
     fn lock(&self) -> MutexGuard<'_, SchedulerState> {
         // Worker panics are caught per-task (see TaskFuture::poll), so the
         // scheduler lock is only ever poisoned by a bug in the runtime
-        // itself; recovering keeps the other workers alive regardless.
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        // itself; the sync layer recovers and keeps the workers alive.
+        self.state.lock()
     }
 
     /// Enqueues a task for polling.  Called from task wakers.
@@ -187,15 +187,9 @@ impl RuntimeInner {
                     state = match state.timers.peek() {
                         Some(entry) => {
                             let timeout = entry.deadline.saturating_duration_since(now);
-                            self.wakeup
-                                .wait_timeout(state, timeout)
-                                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                .0
+                            self.wakeup.wait_timeout(state, timeout).0
                         }
-                        None => self
-                            .wakeup
-                            .wait(state)
-                            .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                        None => self.wakeup.wait(state),
                     };
                 }
             };
@@ -398,10 +392,7 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
             self.wake_by_ref();
         }
         fn wake_by_ref(self: &Arc<Self>) {
-            *self
-                .notified
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner()) = true;
+            *self.notified.lock() = true;
             self.wakeup.notify_one();
         }
     }
@@ -424,15 +415,9 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
             if let Poll::Ready(output) = future.as_mut().poll(&mut cx) {
                 return output;
             }
-            let mut notified = parker
-                .notified
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut notified = parker.notified.lock();
             while !*notified {
-                notified = parker
-                    .wakeup
-                    .wait(notified)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                notified = parker.wakeup.wait(notified);
             }
             *notified = false;
         }
@@ -496,8 +481,8 @@ mod tests {
         impl Future for WaitFor {
             type Output = u64;
             fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
-                *self.0.waker.lock().unwrap() = Some(cx.waker().clone());
-                match *self.0.fired.lock().unwrap() {
+                *self.0.waker.lock() = Some(cx.waker().clone());
+                match *self.0.fired.lock() {
                     Some(value) => Poll::Ready(value),
                     None => Poll::Pending,
                 }
@@ -511,8 +496,8 @@ mod tests {
         let handle = runtime.spawn(WaitFor(Arc::clone(&signal)));
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            *signal.fired.lock().unwrap() = Some(7);
-            if let Some(waker) = signal.waker.lock().unwrap().take() {
+            *signal.fired.lock() = Some(7);
+            if let Some(waker) = signal.waker.lock().take() {
                 waker.wake();
             }
         });
@@ -539,13 +524,13 @@ mod tests {
             let sleep = runtime.sleep(Duration::from_millis(millis));
             handles.push(runtime.spawn(async move {
                 sleep.await;
-                order.lock().unwrap().push(label);
+                order.lock().push(label);
             }));
         }
         for handle in handles {
             block_on(handle).unwrap();
         }
-        assert_eq!(*order.lock().unwrap(), vec!["fast", "mid", "slow"]);
+        assert_eq!(*order.lock(), vec!["fast", "mid", "slow"]);
     }
 
     #[test]
@@ -574,7 +559,7 @@ mod tests {
         impl Future for Never {
             type Output = u64;
             fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u64> {
-                *self.0.lock().unwrap() = Some(cx.waker().clone());
+                *self.0.lock() = Some(cx.waker().clone());
                 Poll::Pending
             }
         }
@@ -583,14 +568,14 @@ mod tests {
         let handle = runtime.spawn(Never(Arc::clone(&external)));
         // Wait until the task has suspended (its waker is parked outside).
         let deadline = Instant::now() + Duration::from_secs(5);
-        while external.lock().unwrap().is_none() {
+        while external.lock().is_none() {
             assert!(Instant::now() < deadline, "task never suspended");
             std::thread::yield_now();
         }
         drop(runtime);
         assert_eq!(block_on(handle).unwrap_err(), JoinError::Cancelled);
         // The externally held waker is now stale; waking it is harmless.
-        external.lock().unwrap().take().unwrap().wake();
+        external.lock().take().unwrap().wake();
     }
 
     #[test]
@@ -619,12 +604,12 @@ mod tests {
         for i in 0..8 {
             let order = Arc::clone(&order);
             handles.push(runtime.spawn(async move {
-                order.lock().unwrap().push(i);
+                order.lock().push(i);
             }));
         }
         for handle in handles {
             block_on(handle).unwrap();
         }
-        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
     }
 }

@@ -8,8 +8,10 @@ use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
+
+use crate::sync::Mutex;
 
 use super::RuntimeInner;
 
@@ -49,10 +51,7 @@ impl<T> JoinSlot<T> {
     /// Stores the task's result, unless one is already stored: completion
     /// wins over the `Drop`-reported cancellation that follows it.
     fn finish(&self, result: Result<T, JoinError>) {
-        let mut slot = self
-            .result
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut slot = self.result.lock();
         if !matches!(&*slot, JoinSlotState::Pending(_)) {
             return;
         }
@@ -88,11 +87,7 @@ impl<T> Future for JoinHandle<T> {
     type Output = Result<T, JoinError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut slot = self
-            .slot
-            .result
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut slot = self.slot.result.lock();
         match &mut *slot {
             JoinSlotState::Pending(waker) => {
                 *waker = Some(cx.waker().clone());
@@ -220,13 +215,16 @@ impl RunnableTask {
         self.queued.store(false, Ordering::Release);
         let waker = Waker::from(Arc::clone(&self));
         let mut cx = Context::from_waker(&waker);
-        let mut slot = self
-            .future
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut slot = self.future.lock();
         let Some(future) = slot.as_mut() else {
             return; // completed earlier; a stale waker re-queued it
         };
+        // Lock-held-across-poll check: the worker may hold the task's own
+        // future-slot mutex (taken just above, hence the one exemption) but
+        // nothing else — an engine lock pinned across a suspension point
+        // would serialize every session sharing it behind this task.
+        #[cfg(feature = "lock-graph")]
+        crate::sync::note_task_poll(1);
         // TaskFuture::poll never unwinds (it catches user panics), so the
         // worker thread survives any task.
         if future.as_mut().poll(&mut cx).is_ready() {
@@ -250,7 +248,7 @@ impl RunnableTask {
     /// cleanup itself (see [`RunnableTask::run`]); a no-op if the task
     /// already completed.
     pub(crate) fn try_cancel(&self) {
-        if let Ok(mut slot) = self.future.try_lock() {
+        if let Some(mut slot) = self.future.try_lock() {
             *slot = None;
         }
     }

@@ -1,0 +1,148 @@
+//! Lock-order graph assertions over busy engine scenarios.
+//!
+//! These tests only exist under `--features lock-graph`: every
+//! `watchman_core::sync` lock acquisition records (held class → acquired
+//! class) edges into a global graph, and after driving the engine through
+//! its concurrent paths the suite asserts the graph is **acyclic** (no
+//! potential deadlock), **rank-disciplined** (same-class locks — the shard
+//! vector — only ever nest in index order) and free of locks held across
+//! task polls.  CI runs `cargo test --features lock-graph` so any future
+//! code path that inverts an acquisition order fails the build with both
+//! witness stacks in the panic message.
+
+#![cfg(feature = "lock-graph")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use watchman_core::clock::Timestamp;
+use watchman_core::engine::{PolicyKind, RebalanceConfig, Watchman};
+use watchman_core::key::QueryKey;
+use watchman_core::runtime::block_on;
+use watchman_core::sync::lock_graph;
+use watchman_core::value::{CachePayload, ExecutionCost, SizedPayload};
+
+/// The whole-engine scenario: concurrent sessions (sync and async),
+/// coalesced misses, manual rebalance passes and atomic snapshots, all in
+/// one process.  The graph this paints must be clean, and it must actually
+/// contain edges — an empty graph would mean the instrumentation is off.
+#[test]
+fn busy_engine_keeps_the_lock_graph_acyclic() {
+    const THREADS: usize = 4;
+    const OPS: usize = 400;
+
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(4)
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(80_000)
+        .rebalance(
+            RebalanceConfig::new()
+                .manual()
+                .with_min_shard_fraction(0.25)
+                .with_step_fraction(0.2),
+        )
+        .build();
+    let clock = Arc::new(AtomicU64::new(1));
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let engine = engine.clone();
+            let clock = Arc::clone(&clock);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let now = Timestamp::from_micros(clock.fetch_add(7, Ordering::Relaxed));
+                    // A hot set shared across threads (coalescing + hits)
+                    // plus a cold tail (admissions + evictions).
+                    let name = if i % 3 == 0 {
+                        format!("tail-{thread}-{i}")
+                    } else {
+                        format!("hot-{}", i % 5)
+                    };
+                    let key = QueryKey::new(name);
+                    if i % 2 == 0 {
+                        engine.get_or_execute(&key, now, || {
+                            (SizedPayload::new(900), ExecutionCost::from_blocks(40))
+                        });
+                    } else {
+                        let handle = engine.runtime().spawn(engine.get_or_execute_async(
+                            &key,
+                            now,
+                            move || (SizedPayload::new(900), ExecutionCost::from_blocks(40)),
+                        ));
+                        let lookup = block_on(handle).expect("async lookup completes");
+                        assert!(lookup.value.size_bytes() > 0);
+                    }
+                    if i % 64 == 63 {
+                        engine.rebalance_now(now);
+                    }
+                    if i % 97 == 96 {
+                        let snapshot = engine.stats_snapshot();
+                        assert_eq!(snapshot.per_shard_capacity.iter().sum::<u64>(), 80_000);
+                    }
+                }
+            });
+        }
+    });
+    engine.clear();
+
+    let report = lock_graph::report();
+    assert!(
+        !report.edges.is_empty(),
+        "no lock-order edges recorded — is the instrumentation compiled in?"
+    );
+    lock_graph::assert_clean();
+}
+
+/// Regression pin for the rebalancer's two-lock transfer: donor and
+/// recipient shard locks must be acquired in **index order** (the shard
+/// index is the lock's declared rank).  If someone reorders the transfer to
+/// lock donor-then-recipient, a donor with the higher index produces a rank
+/// violation here, with the offending stack in the failure message.
+#[test]
+fn rebalancer_two_lock_transfer_keeps_index_order() {
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(4)
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(40_000)
+        .rebalance(
+            RebalanceConfig::new()
+                .manual()
+                .with_min_shard_fraction(0.25)
+                .with_step_fraction(0.2),
+        )
+        .build();
+
+    // Skew the load so shard pressures diverge, then run manual passes
+    // until a transfer actually happens (each moves capacity donor →
+    // recipient under both shard locks).
+    let mut now_us = 1u64;
+    let mut transfers = 0;
+    for round in 0..64 {
+        for i in 0..200 {
+            now_us += 11;
+            let key = QueryKey::new(format!("skew-{}-{}", round, i % 23));
+            engine.get_or_execute(&key, Timestamp::from_micros(now_us), || {
+                (SizedPayload::new(1_400), ExecutionCost::from_blocks(60))
+            });
+        }
+        engine.rebalance_now(Timestamp::from_micros(now_us));
+        transfers = engine.rebalance_count();
+        if transfers > 0 {
+            break;
+        }
+    }
+    assert!(transfers > 0, "workload never provoked a capacity transfer");
+
+    let report = lock_graph::report();
+    assert!(
+        report.ranked_nestings > 0,
+        "no ranked same-class nesting recorded: the two-lock transfer path \
+         did not run under instrumentation"
+    );
+    assert!(
+        report.rank_violations.is_empty(),
+        "shard locks nested out of index order:\n{}",
+        report.describe()
+    );
+    lock_graph::assert_clean();
+}

@@ -14,9 +14,11 @@
 //! client connections replay disjoint slices of a trace against one server,
 //! measuring client-observed latency.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
 use std::thread;
 use std::time::{Duration, Instant};
+use watchman_core::sync::Mutex;
 
 use watchman_core::engine::StatsSnapshot;
 use watchman_sim::REBALANCE_EVERY_RECORDS;
@@ -192,7 +194,10 @@ pub fn run_load(
                 match run() {
                     Ok(result) => Some(result),
                     Err(err) => {
-                        shared_error.lock().unwrap().get_or_insert(err);
+                        // Sync-layer lock: recovers from poisoning instead of
+                        // letting one panicked client thread cascade unwrap
+                        // panics across every other client.
+                        shared_error.lock().get_or_insert(err);
                         None
                     }
                 }
@@ -204,7 +209,7 @@ pub fn run_load(
             }
         }
     });
-    if let Some(err) = shared_error.lock().unwrap().take() {
+    if let Some(err) = shared_error.lock().take() {
         return Err(err);
     }
     let wall = started.elapsed();

@@ -13,13 +13,14 @@
 //! buffer's LRU into MRU and the hit ratio collapses.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use watchman_buffer::{BufferPool, RedundancyHintObserver};
 use watchman_core::clock::Timestamp;
 use watchman_core::engine::Watchman;
 use watchman_core::key::QueryKey;
+use watchman_core::sync::Mutex;
 use watchman_core::value::{ExecutionCost, SizedPayload};
 
 use crate::policy_kind::PolicyKind;
@@ -151,7 +152,7 @@ impl BufferHintExperiment {
             // remember which query touched which page.
             let pages = workload.benchmark.page_accesses(record.instance);
             {
-                let mut pool = pool.lock().unwrap();
+                let mut pool = pool.lock();
                 for &page in &pages {
                     pool.access(page);
                 }
@@ -169,7 +170,7 @@ impl BufferHintExperiment {
             );
         }
 
-        let pool = pool.lock().unwrap();
+        let pool = pool.lock();
         BufferHintPoint {
             threshold: threshold.unwrap_or(f64::NAN),
             buffer_hit_ratio: pool.stats().hit_ratio(),

@@ -8,8 +8,9 @@
 //!
 //! Run with: `cargo run --release --example buffer_hints`
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use watchman::core::sync::Mutex;
 use watchman::prelude::*;
 use watchman::warehouse::synthetic;
 use watchman_trace::{TraceConfig, TraceGenerator};
@@ -93,7 +94,7 @@ fn run_with_hints(benchmark: &Benchmark, trace: &Trace, p0: Option<f64>) -> (f64
         // Miss: the query runs against the warehouse and touches its pages.
         let pages = benchmark.page_accesses(record.instance);
         {
-            let mut pool = pool.lock().unwrap();
+            let mut pool = pool.lock();
             for &page in &pages {
                 pool.access(page);
             }
@@ -111,6 +112,6 @@ fn run_with_hints(benchmark: &Benchmark, trace: &Trace, p0: Option<f64>) -> (f64
             now,
         );
     }
-    let pool = pool.lock().unwrap();
+    let pool = pool.lock();
     (pool.stats().hit_ratio(), pool.stats().demotions)
 }
