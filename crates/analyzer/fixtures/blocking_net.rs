@@ -1,0 +1,22 @@
+//! Seeded violation for `blocking-net-in-session`: blocking std::net
+//! sockets and timeout-poll loops in a server session path.  This file is
+//! a lint fixture, never compiled.
+use std::net::TcpListener;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub fn serve_session(listener: TcpListener) {
+    let (stream, peer): (TcpStream, SocketAddr) = listener.accept().unwrap();
+    // The deleted idle tick: poll a blocking read on a 25 ms timeout.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    let _ = peer;
+}
+
+mod tests {
+    // Exempt: a unit test playing the blocking *peer* of an async endpoint.
+    fn blocking_peer() {
+        let _client = std::net::TcpStream::connect("127.0.0.1:0").unwrap();
+    }
+}

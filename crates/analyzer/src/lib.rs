@@ -39,6 +39,14 @@
 //!    declared exactly once, in their home files, and must satisfy
 //!    `MAX_PREFIX_BYTES < MAX_FRAME_BYTES <= MAX_RESULT_BYTES` — the
 //!    relationships `server.rs` relies on when it clamps payload prefixes.
+//! 6. **`blocking-net-in-session`** — no `std::net::TcpStream` /
+//!    `std::net::TcpListener` and no `set_read_timeout`-style socket
+//!    polling in the server crate's session paths.  Sessions are tasks on
+//!    the IO reactor: one blocking read parks a whole worker thread, and a
+//!    read-timeout poll loop is the 25 ms idle tick this refactor deleted.
+//!    The blocking `Client` (`client.rs`) and the CLI binaries under
+//!    `src/bin/` are the deliberate exceptions; `std::net::SocketAddr` and
+//!    friends carry no blocking IO and stay legal everywhere.
 //!
 //! Seeded-violation fixtures live in `fixtures/`; the crate's tests assert
 //! each rule fires on its fixture and stays quiet on counter-examples, so a
@@ -321,6 +329,7 @@ pub fn analyze(set: &FileSet) -> Vec<Finding> {
         rule_raw_sync(path, tokens, &mut findings);
         rule_lock_result_unwrap(path, tokens, &mut findings);
         rule_block_on_in_poll(path, tokens, &mut findings);
+        rule_blocking_net_in_session(path, tokens, &mut findings);
         rule_policy_signal_coverage(path, tokens, set, &mut findings);
     }
     rule_frame_size_consistency(set, &mut findings);
@@ -460,6 +469,114 @@ fn rule_block_on_in_poll(path: &str, tokens: &[Token], findings: &mut Vec<Findin
             i += 1;
         }
     }
+}
+
+/// Rule 6: blocking `std::net` sockets and read-timeout polling in the
+/// server crate's session paths.  The session stack runs as tasks on the
+/// runtime's epoll reactor (`watchman_core::runtime::net`); a blocking
+/// socket in those paths pins an OS thread per connection, which is exactly
+/// the architecture the reactor refactor removed.  `client.rs` (the
+/// blocking wire client, the one sanctioned `std::net` site) and the CLI
+/// binaries under `src/bin/` are exempt.
+fn rule_blocking_net_in_session(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !path.contains("server/src") || path.ends_with("client.rs") || path.contains("/bin/") {
+        return;
+    }
+    // Inline `mod tests` bodies are exempt: a unit test playing the *peer*
+    // of an async endpoint legitimately holds a blocking socket, and tests
+    // never run on the reactor's worker pool.
+    let tokens = strip_test_modules(tokens);
+    let tokens = tokens.as_slice();
+    let banned_types = ["TcpStream", "TcpListener"];
+    let report = |findings: &mut Vec<Finding>, line: u32, what: &str| {
+        findings.push(Finding {
+            file: path.to_owned(),
+            line,
+            rule: "blocking-net-in-session",
+            message: format!(
+                "{what} blocks an OS thread per connection; session paths must use the \
+                 reactor-driven watchman_core::runtime::net wrappers (client.rs and \
+                 src/bin/ are the sanctioned blocking sites)"
+            ),
+        });
+    };
+    for token in tokens {
+        if token.is_ident("set_read_timeout") || token.is_ident("set_write_timeout") {
+            report(
+                findings,
+                token.line,
+                &format!("`{}` (timeout-poll loop on a blocking socket)", token.text),
+            );
+        }
+    }
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_std_net = tokens[i].is_ident("std")
+            && tokens[i + 1].is_punct(':')
+            && tokens[i + 2].is_punct(':')
+            && tokens[i + 3].is_ident("net")
+            && tokens[i + 4].is_punct(':')
+            && tokens[i + 5].is_punct(':');
+        if !is_std_net {
+            i += 1;
+            continue;
+        }
+        // Path continues after `std::net::` — one segment or a use-group.
+        let mut j = i + 6;
+        if tokens[j].is_punct('{') {
+            let mut depth = 1;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1 && banned_types.iter().any(|b| tokens[j].is_ident(b)) {
+                    report(
+                        findings,
+                        tokens[j].line,
+                        &format!("std::net::{}", tokens[j].text),
+                    );
+                }
+                j += 1;
+            }
+        } else if banned_types.iter().any(|b| tokens[j].is_ident(b)) {
+            report(
+                findings,
+                tokens[j].line,
+                &format!("std::net::{}", tokens[j].text),
+            );
+        }
+        i = j;
+    }
+}
+
+/// Returns the token stream with every `mod tests { … }` body removed
+/// (brace-matched, so nested modules inside the test module go with it).
+fn strip_test_modules(tokens: &[Token]) -> Vec<Token> {
+    let mut kept = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        let starts_test_module = tokens[i].is_ident("mod")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("tests"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('{'));
+        if starts_test_module {
+            let mut depth = 1;
+            i += 3;
+            while i < tokens.len() && depth > 0 {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+        } else {
+            kept.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    kept
 }
 
 /// The signal methods the engine's replacement and rebalance loops drive.
@@ -855,6 +972,42 @@ mod tests {
         // The fixture also calls block_on OUTSIDE a poll body; only the
         // inside use may fire, and the line number must point at it.
         assert_eq!(hits[0].line, 14, "{hits:?}");
+    }
+
+    #[test]
+    fn blocking_net_fixture_fires_in_session_paths_only() {
+        let source = fixture("blocking_net.rs");
+        let findings = analyze_one("crates/server/src/session.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "blocking-net-in-session")
+            .collect();
+        // Two std::net types (one direct, one in a use-group) plus the
+        // set_read_timeout poll; the SocketAddr in the same use-group and
+        // the blocking peer inside `mod tests` are both legal.
+        assert_eq!(hits.len(), 3, "{findings:?}");
+        assert!(
+            hits.iter().any(|f| f.message.contains("set_read_timeout")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter()
+                .all(|f| !f.message.contains("std::net::SocketAddr")),
+            "{hits:?}"
+        );
+        // The blocking client and the CLI binaries are sanctioned sites,
+        // and the rule has no opinion outside the server crate.
+        for exempt in [
+            "crates/server/src/client.rs",
+            "crates/server/src/bin/loadgen.rs",
+            "crates/sim/src/driver.rs",
+        ] {
+            let findings = analyze_one(exempt, &source);
+            assert!(
+                findings.iter().all(|f| f.rule != "blocking-net-in-session"),
+                "{exempt}: {findings:?}"
+            );
+        }
     }
 
     #[test]

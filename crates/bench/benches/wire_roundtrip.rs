@@ -6,10 +6,16 @@
 //!   core encode and decode?  This bounds a session thread's parse
 //!   overhead; it should sit far above any realistic per-connection rate.
 //! * **Loopback RTT** — what does a *served* cache hit cost end to end
-//!   (socket, framing, session thread, shard lock) at pipeline depths 1,
+//!   (socket, framing, session task, shard lock) at pipeline depths 1,
 //!   8 and 64?  Deep pipelines amortize the round trip, which is how the
 //!   load generator reaches engine-limited throughput from few
 //!   connections.
+//! * **Connection scaling** — what happens when connections stop being
+//!   threads?  A 64-connection trace replay (the workload the
+//!   thread-per-connection server was last measured on) pins latency
+//!   against the recorded baseline, and a 512-connection storm records the
+//!   session-vs-thread counts the task refactor exists for.  The report is
+//!   written to `BENCH_connection_scaling.json` at the workspace root.
 //!
 //! Run with `--quick` for a CI-sized smoke pass.
 
@@ -17,7 +23,8 @@ use std::time::{Duration, Instant};
 
 use watchman_core::engine::PolicyKind;
 use watchman_server::wire::{self, GetRequest, Request};
-use watchman_server::{serve, Client, ServerConfig};
+use watchman_server::{run_connection_storm, run_load, serve, Client, LoadOptions, ServerConfig};
+use watchman_sim::{ExperimentScale, Workload};
 
 fn sample_request() -> Request {
     Request::Get(GetRequest {
@@ -101,6 +108,128 @@ fn bench_loopback(rounds: u64) {
     server.join();
 }
 
+/// The thread-per-connection server's last measured p99, in microseconds,
+/// for exactly the replay row below (`tpcd_skewed`, 64 clients, pipeline 1,
+/// 12 800 queries, loopback, 1-core container) — recorded immediately
+/// before the reactor refactor landed.
+const THREAD_PER_CONN_P99_US: u64 = 5_430;
+/// Tolerance over the baseline: same-box reruns of the blocking server
+/// jittered ~1.5x on the shared 1-core CI container, so the gate trips at
+/// 3x — loose enough to ignore noise, tight enough to catch the reactor
+/// adding a polling tick or a lost-wakeup stall to every round trip.
+const P99_TOLERANCE: u64 = 3;
+
+fn bench_connection_scaling(quick: bool) {
+    let queries = if quick { 3_200 } else { 12_800 };
+    let storm_connections = if quick { 128 } else { 512 };
+    let storm_rounds = 4;
+
+    // Row 1: the baseline's exact workload — 64 unpipelined connections
+    // replaying the skewed TPC-D trace, capacity at 1% of the database
+    // (what `loadgen --spawn` builds).
+    let workload = Workload::tpcd_skewed(ExperimentScale::quick(queries));
+    let capacity = (workload.database_bytes() as f64 * 0.01).round() as u64;
+    let replay_server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        capacity_bytes: capacity,
+        ..ServerConfig::default()
+    })
+    .expect("replay server binds");
+    let replay_addr = replay_server.addr().to_string();
+    let options = LoadOptions {
+        clients: 64,
+        pipeline: 1,
+        fetch_delay_us: 0,
+        payload_prefix_cap: 0,
+    };
+    let replay = run_load(&replay_addr, &workload.trace, &options).expect("64-connection replay");
+    replay_server.join();
+    let replay_p99 = replay.latency_quantile_us(0.99);
+    println!(
+        "\nconnection scaling: 64-conn replay p50 {} us  p95 {} us  p99 {} us \
+         ({:.0} q/s; thread-per-connection baseline p99 {} us)",
+        replay.latency_quantile_us(0.50),
+        replay.latency_quantile_us(0.95),
+        replay_p99,
+        replay.throughput_qps(),
+        THREAD_PER_CONN_P99_US,
+    );
+
+    // Row 2: the storm — connections far past any sane thread count, with
+    // the server's SERVER_INFO sampled while all of them are open.
+    let storm_server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        capacity_bytes: capacity,
+        ..ServerConfig::default()
+    })
+    .expect("storm server binds");
+    let storm = run_connection_storm(
+        &storm_server.addr().to_string(),
+        storm_connections,
+        storm_rounds,
+    )
+    .expect("connection storm");
+    storm_server.join();
+    println!(
+        "connection scaling: {}-conn storm p50 {} us  p99 {} us  wall {:.2} s  \
+         ({} sessions on {} server threads)",
+        storm.connections,
+        storm.latency_quantile_us(0.50),
+        storm.latency_quantile_us(0.99),
+        storm.wall.as_secs_f64(),
+        storm.server_sessions,
+        storm.server_threads,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"wire_roundtrip/connection_scaling\",\n  \"quick\": {quick},\n  \
+         \"baseline\": {{\"mode\": \"thread-per-connection\", \"connections\": 64, \
+         \"pipeline\": 1, \"queries\": 12800, \"p99_us\": {THREAD_PER_CONN_P99_US}}},\n  \
+         \"rows\": [\n    \
+         {{\"mode\": \"replay\", \"connections\": 64, \"pipeline\": 1, \"queries\": {queries}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"throughput_qps\": {:.1}}},\n    \
+         {{\"mode\": \"storm\", \"connections\": {}, \"rounds\": {storm_rounds}, \
+         \"sessions\": {}, \"server_threads\": {}, \"runtime_workers\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"wall_ms\": {:.1}}}\n  ],\n  \
+         \"gate\": {{\"p99_us_observed\": {replay_p99}, \"p99_us_max\": {}}}\n}}\n",
+        replay.latency_quantile_us(0.50),
+        replay.latency_quantile_us(0.95),
+        replay_p99,
+        replay.throughput_qps(),
+        storm.connections,
+        storm.server_sessions,
+        storm.server_threads,
+        storm.server_workers,
+        storm.latency_quantile_us(0.50),
+        storm.latency_quantile_us(0.99),
+        storm.wall.as_secs_f64() * 1_000.0,
+        THREAD_PER_CONN_P99_US * P99_TOLERANCE,
+    );
+    // Cargo runs benches with the package directory as CWD; anchor the
+    // report at the workspace root next to BENCH_policy_ops.json.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_connection_scaling.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => println!("could not write {path}: {error}"),
+    }
+
+    assert!(
+        storm.server_sessions >= storm.connections as u32,
+        "storm sessions ({}) below its connection count ({})",
+        storm.server_sessions,
+        storm.connections
+    );
+    assert!(
+        replay_p99 <= THREAD_PER_CONN_P99_US * P99_TOLERANCE,
+        "64-connection p99 regressed past the thread-per-connection server: \
+         {replay_p99} us observed vs {} us baseline (x{P99_TOLERANCE} tolerance)",
+        THREAD_PER_CONN_P99_US,
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let rounds: u64 = if quick { 20_000 } else { 500_000 };
@@ -108,6 +237,7 @@ fn main() {
     println!("wire_roundtrip: codec rounds {rounds}, loopback rounds {loopback_rounds}\n");
     bench_codec(rounds);
     bench_loopback(loopback_rounds);
+    bench_connection_scaling(quick);
     // The codec must never be the bottleneck of a session thread; fail the
     // bench loudly if it regresses below a floor even CI machines clear.
     let floor_start = Instant::now();

@@ -15,14 +15,20 @@
 //! real models are trusted.
 
 use watchman_core::checker::models::{
-    InvertedLockOrderModel, RebalanceModel, RuntimeDropModel, SingleFlightModel,
+    InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
+    SingleFlightModel,
 };
 use watchman_core::checker::{explore, Model};
 
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
     let budget = if quick { 150 } else { 1_500 };
-    let models: [&dyn Model; 3] = [&SingleFlightModel, &RuntimeDropModel, &RebalanceModel];
+    let models: [&dyn Model; 4] = [
+        &SingleFlightModel,
+        &RuntimeDropModel,
+        &RebalanceModel,
+        &ReactorRegistrationModel,
+    ];
 
     let mut total_schedules = 0;
     let mut failed = false;

@@ -40,12 +40,15 @@
 //! single-flight model below runs the production [`Flight`] cell) and
 //! explore their API-level interleavings safely.
 //!
-//! The three state machines this repo most needs checked ship as built-in
+//! The state machines this repo most needs checked ship as built-in
 //! models: [`models::SingleFlightModel`] (leader panic → takeover →
 //! forget_waiter), [`models::RuntimeDropModel`] (`Runtime::drop` vs a
-//! worker mid-poll) and [`models::RebalanceModel`] (two-lock capacity
-//! transfer vs an atomic stats snapshot).  `cargo run -p watchman-core
-//! --bin checker` explores all three; see `CONCURRENCY.md`.
+//! worker mid-poll), [`models::RebalanceModel`] (two-lock capacity
+//! transfer vs an atomic stats snapshot) and
+//! [`models::ReactorRegistrationModel`] (IO-reactor event delivery vs a
+//! cancelled task dropping its registration, against the real `ReadyCell`).
+//! `cargo run -p watchman-core --bin checker` explores all four; see
+//! `CONCURRENCY.md`.
 //!
 //! [`Flight`]: crate::engine::single_flight::Flight
 
@@ -567,7 +570,7 @@ pub mod models {
     //! hand-found races, plus a deliberately broken lock-order model that
     //! proves the explorer actually detects deadlocks.
 
-    use super::{Ctl, Model, ModelRun};
+    use super::{Ctl, Model, ModelRun, ThreadBody};
     use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
     use crate::sync::Mutex;
     use crate::value::ExecutionCost;
@@ -923,6 +926,160 @@ pub mod models {
         }
     }
 
+    /// Model 4: reactor event delivery versus registration drop, driving
+    /// the **real** [`ReadyCell`](crate::runtime::reactor::ReadyCell) from
+    /// the IO reactor.
+    ///
+    /// Thread 0 is a session task's read future running the exact net-wrapper
+    /// loop: `poll_ready` → non-blocking syscall → tick-checked
+    /// `clear_ready` on `WouldBlock`, parking on a waker between edges.  It
+    /// tolerates one suspension; if it suspends a *second* time (a spurious
+    /// readable edge with no data, e.g. `EPOLLRDHUP`) the task is cancelled —
+    /// its future drops, which deregisters the token from the table.  Thread
+    /// 1 is the reactor thread delivering two edge events for that token —
+    /// one spurious, one carrying data — each time cloning the cell `Arc`
+    /// out of the (virtually locked) registration table and calling
+    /// `set_ready` strictly after releasing it.
+    ///
+    /// The schedule space covers exactly the windows `reactor.rs` documents:
+    /// an event landing between the syscall and the `clear_ready` (the tick
+    /// mismatch must keep the cell ready — losing that edge parks the task
+    /// forever and the scheduler reports the lost wakeup), and the
+    /// deregister-while-ready race where the reactor has cloned the cell,
+    /// the task drops the registration, and `set_ready` then wakes a stale
+    /// waker on an orphaned cell (harmless by construction).  Invariants: no
+    /// schedule deadlocks, the task either reads exactly once or is
+    /// cancelled, and the registration is always gone at the end.
+    pub struct ReactorRegistrationModel;
+
+    /// Virtual lock guarding the model's one-entry registration table.
+    const LOCK_TABLE: u64 = 20;
+    /// Wake flag for the IO task's readiness waker.
+    const FLAG_IO: u64 = 300;
+
+    /// How the model's session task ended.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum IoOutcome {
+        /// The read completed and the future resolved.
+        Read,
+        /// The task was cancelled after a second spurious suspension.
+        Cancelled,
+    }
+
+    impl Model for ReactorRegistrationModel {
+        fn name(&self) -> &'static str {
+            "reactor event delivery vs registration drop (deregister-while-ready)"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            use crate::runtime::reactor::{Dir, ReadyCell};
+
+            // The registration table entry (`Reactor::registrations` has one
+            // relevant token here); `None` means deregistered.
+            let table: Arc<Mutex<Option<Arc<ReadyCell>>>> =
+                Arc::new(Mutex::new(Some(Arc::new(ReadyCell::new()))));
+            // Whether the peer's bytes have arrived (what the non-blocking
+            // read syscall would observe).
+            let data = Arc::new(Mutex::new(false));
+            let outcome: Arc<Mutex<Option<IoOutcome>>> = Arc::new(Mutex::new(None));
+
+            let io_task = {
+                let table = Arc::clone(&table);
+                let data = Arc::clone(&data);
+                let outcome = Arc::clone(&outcome);
+                Box::new(move |ctl: &Ctl| {
+                    let cell = table.lock().clone().expect("registration starts live");
+                    let waker = ctl.flag_waker(FLAG_IO);
+                    let mut cx = Context::from_waker(&waker);
+                    let mut suspensions = 0u32;
+                    let finished = loop {
+                        ctl.clear_flag(FLAG_IO);
+                        ctl.point();
+                        match cell.poll_ready(Dir::Read, &mut cx) {
+                            Poll::Ready(tick) => {
+                                // The non-blocking read attempt.
+                                ctl.point();
+                                if *data.lock() {
+                                    break IoOutcome::Read;
+                                }
+                                // WouldBlock: clear with the observed tick.
+                                // If an event landed since, this must no-op
+                                // and the loop retries instead of parking.
+                                cell.clear_ready(Dir::Read, tick);
+                            }
+                            Poll::Pending if suspensions >= 1 => {
+                                // A second data-less suspension: the session
+                                // is cancelled and its future drops.
+                                break IoOutcome::Cancelled;
+                            }
+                            Poll::Pending => {
+                                suspensions += 1;
+                                ctl.wait_flag(FLAG_IO);
+                            }
+                        }
+                    };
+                    // Registration::drop — remove the table entry.  The
+                    // reactor may already hold a clone of the cell.
+                    ctl.lock(LOCK_TABLE);
+                    let registration = table.lock().take();
+                    ctl.unlock(LOCK_TABLE);
+                    assert!(
+                        registration.is_some(),
+                        "nothing else deregisters this token"
+                    );
+                    *outcome.lock() = Some(finished);
+                }) as ThreadBody
+            };
+
+            let reactor = {
+                let table = Arc::clone(&table);
+                let data = Arc::clone(&data);
+                Box::new(move |ctl: &Ctl| {
+                    // Two edge events for the token: a spurious readable
+                    // edge (no data behind it), then the real one.
+                    for event in 0..2u32 {
+                        if event == 1 {
+                            *data.lock() = true;
+                            ctl.point();
+                        }
+                        // Clone out under the table lock, deliver after
+                        // dropping it — the deregistration window.
+                        ctl.lock(LOCK_TABLE);
+                        let cell = table.lock().clone();
+                        ctl.unlock(LOCK_TABLE);
+                        if let Some(cell) = cell {
+                            ctl.point();
+                            // May target an orphaned cell by now; must stay
+                            // a harmless stale wake either way.
+                            cell.set_ready(true, false);
+                        }
+                    }
+                }) as ThreadBody
+            };
+
+            ModelRun {
+                threads: vec![io_task, reactor],
+                finale: Box::new(move || {
+                    if table.lock().is_some() {
+                        return Err(
+                            "registration still in the table after the task ended".to_owned()
+                        );
+                    }
+                    match *outcome.lock() {
+                        Some(IoOutcome::Read) => {
+                            if !*data.lock() {
+                                return Err("task read before the data arrived".to_owned());
+                            }
+                            Ok(())
+                        }
+                        Some(IoOutcome::Cancelled) => Ok(()),
+                        None => Err("task neither read nor was cancelled".to_owned()),
+                    }
+                }),
+            }
+        }
+    }
+
     /// A deliberately broken variant — two threads taking the two shard
     /// locks in **opposite** order — used to prove the explorer actually
     /// finds deadlocks (a checker that reports "0 violations" on everything
@@ -960,7 +1117,8 @@ pub mod models {
 #[cfg(test)]
 mod tests {
     use super::models::{
-        InvertedLockOrderModel, RebalanceModel, RuntimeDropModel, SingleFlightModel,
+        InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
+        SingleFlightModel,
     };
     use super::*;
 
@@ -992,6 +1150,18 @@ mod tests {
     fn rebalance_model_is_clean_and_exhaustive() {
         let exploration = explore(&RebalanceModel, 5_000);
         assert!(exploration.exhausted, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn reactor_registration_model_is_clean() {
+        let exploration = explore(&ReactorRegistrationModel, 5_000);
+        assert!(exploration.schedules > 10, "{}", exploration.summary());
         assert!(
             exploration.violations.is_empty(),
             "{}\nfirst violation: {:?}",

@@ -69,7 +69,8 @@ pub use events::{CacheEvent, CacheObserver, EventCounters};
 pub use policy_kind::PolicyKind;
 pub use rebalance::{RebalanceConfig, RebalanceOutcome};
 pub use watchman::{
-    KeyNormalizer, Lookup, LookupFuture, LookupSource, StatsSnapshot, Watchman, WatchmanBuilder,
+    DeadlineLookup, KeyNormalizer, Lookup, LookupFuture, LookupSource, LookupTimedOut,
+    StatsSnapshot, Watchman, WatchmanBuilder,
 };
 
 #[cfg(test)]
@@ -767,6 +768,178 @@ mod tests {
         });
         assert_eq!(lookup.source, LookupSource::Executed);
         assert_eq!(engine.inflight_entries(), 0);
+    }
+
+    #[test]
+    fn cancelled_leader_fetch_is_never_invoked() {
+        // Regression for the abandoned-fetch work leak: a session that
+        // claims single-flight leadership and is then dropped (connection
+        // torn down, deadline elapsed) before its spawned fetch gets a
+        // worker used to run the multi-second warehouse query to
+        // completion anyway.  Now the fetch task observes the cancellation
+        // flag, never invokes the closure, and retires the flight cell.
+        use crate::runtime::Runtime;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::atomic::AtomicBool;
+        use std::task::{Context, Waker};
+
+        let runtime = Arc::new(Runtime::with_workers(1));
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .runtime(Arc::clone(&runtime))
+            .build();
+
+        // Occupy the only worker so the spawned fetch task stays queued.
+        let gate_started = Arc::new(AtomicBool::new(false));
+        let gate_release = Arc::new(AtomicBool::new(false));
+        let gate = {
+            let started = Arc::clone(&gate_started);
+            let release = Arc::clone(&gate_release);
+            runtime.spawn(async move {
+                started.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !gate_started.load(Ordering::SeqCst) {
+            assert!(std::time::Instant::now() < deadline, "gate never ran");
+            std::thread::yield_now();
+        }
+
+        // Claim leadership (one poll spawns the fetch task), then abandon
+        // the session.  The closure would hang forever if it ever ran; the
+        // counter proves it never does.
+        let executed = Arc::new(AtomicU64::new(0));
+        {
+            let executed = Arc::clone(&executed);
+            let mut lookup = engine.get_or_execute_async(&key("abandoned"), ts(1), move || {
+                executed.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            });
+            let waker = Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            assert!(
+                Pin::new(&mut lookup).poll(&mut cx).is_pending(),
+                "leader suspends on its spawned fetch"
+            );
+            assert_eq!(engine.inflight_entries(), 1, "leadership claimed");
+            // Dropping the future here is the cancellation.
+        }
+
+        gate_release.store(true, Ordering::SeqCst);
+        crate::runtime::block_on(gate).unwrap();
+        // The fetch task (now scheduled) must observe the cancellation,
+        // skip the closure and retire the cell.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.inflight_entries() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cancelled flight cell never retired"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            0,
+            "cancelled fetch must never be invoked"
+        );
+
+        // The key starts a fresh flight afterwards.
+        let lookup = engine.get_or_execute(&key("abandoned"), ts(2), || {
+            (SizedPayload::new(16), ExecutionCost::from_blocks(5))
+        });
+        assert_eq!(lookup.source, LookupSource::Executed);
+    }
+
+    #[test]
+    fn timed_out_waiter_resolves_err_while_the_leader_completes() {
+        // A coalescing session with a deadline gives up without disturbing
+        // the leader: the lookup resolves Err(LookupTimedOut), the waiter
+        // deregisters, and the leader's result still lands in the cache.
+        use crate::runtime::block_on;
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .runtime_workers(2)
+            .build();
+        let started = Arc::new(AtomicU64::new(0));
+        let finish = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let engine = engine.clone();
+                let started = Arc::clone(&started);
+                let finish = Arc::clone(&finish);
+                scope.spawn(move || {
+                    let lookup =
+                        block_on(engine.get_or_execute_async(&key("slow"), ts(1), move || {
+                            started.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open until the waiter timed out.
+                            let deadline =
+                                std::time::Instant::now() + std::time::Duration::from_secs(10);
+                            while finish.load(Ordering::SeqCst) == 0 {
+                                assert!(std::time::Instant::now() < deadline);
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            (SizedPayload::new(64), ExecutionCost::from_blocks(100))
+                        }));
+                    assert_eq!(lookup.source, LookupSource::Executed);
+                });
+            }
+            {
+                let engine = engine.clone();
+                let started = Arc::clone(&started);
+                let finish = Arc::clone(&finish);
+                scope.spawn(move || {
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    while started.load(Ordering::SeqCst) == 0 {
+                        assert!(std::time::Instant::now() < deadline, "leader never started");
+                        std::thread::yield_now();
+                    }
+                    let result = block_on(engine.get_or_execute_async_with_timeout(
+                        &key("slow"),
+                        ts(2),
+                        std::time::Duration::from_millis(30),
+                        || unreachable!("the waiter coalesces; its fetch never runs"),
+                    ));
+                    assert_eq!(result.unwrap_err(), LookupTimedOut);
+                    // Only now let the leader's fetch finish.
+                    finish.store(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(started.load(Ordering::SeqCst), 1, "exactly one execution");
+        assert!(engine.contains(&key("slow")), "leader's result is cached");
+        assert_eq!(engine.inflight_entries(), 0);
+    }
+
+    #[test]
+    fn deadline_lookup_resolves_ok_when_the_fetch_beats_the_timeout() {
+        use crate::runtime::block_on;
+        let engine = engine(2, 1 << 20);
+        let lookup = block_on(engine.get_or_execute_async_with_timeout(
+            &key("fast"),
+            ts(1),
+            std::time::Duration::from_secs(30),
+            || (SizedPayload::new(32), ExecutionCost::from_blocks(10)),
+        ))
+        .expect("well within the deadline");
+        assert_eq!(lookup.source, LookupSource::Executed);
+        let hit = block_on(engine.get_or_execute_async_with_timeout(
+            &key("fast"),
+            ts(2),
+            std::time::Duration::from_secs(30),
+            || unreachable!("cached"),
+        ))
+        .expect("hits resolve immediately");
+        assert_eq!(hit.source, LookupSource::Hit);
     }
 
     #[test]

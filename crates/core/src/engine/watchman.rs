@@ -873,6 +873,7 @@ where
             now,
             driver: FetchDriver::Inline(Some(fetch)),
             state: LookupState::Start,
+            leader_cancel: None,
         })
     }
 
@@ -886,7 +887,12 @@ where
     /// lazy (nothing happens until it is polled) and cancellation-safe:
     /// dropping it deregisters the session's waker, and if the session had
     /// been woken to take over an abandoned flight, the wake is passed to
-    /// the next waiter.
+    /// the next waiter.  Dropping a *leader* whose spawned fetch has not
+    /// started yet cancels the execution entirely: the fetch closure is
+    /// never invoked, and the flight is abandoned so a still-interested
+    /// waiter takes leadership over with its own fetch (with no waiters the
+    /// cell is retired).  A fetch already running is past cancellation —
+    /// it completes the flight for any remaining waiters.
     ///
     /// A panicking `fetch` is re-raised on the leader session when it awaits
     /// the result, mirroring the synchronous contract; one waiter takes over
@@ -901,13 +907,14 @@ where
         F: FnOnce() -> (V, ExecutionCost) + Send + 'static,
     {
         let mut fetch = Some(fetch);
-        let spawner: SpawnFetch<V> = Box::new(move |engine, key, shard, now, flight, epoch| {
-            let fetch = fetch.take().expect("spawner invoked once");
-            let weak = Arc::downgrade(&engine.inner);
-            engine.runtime().spawn(async move {
-                run_spawned_fetch(weak, key, shard, now, flight, epoch, fetch);
+        let spawner: SpawnFetch<V> =
+            Box::new(move |engine, key, shard, now, flight, epoch, cancelled| {
+                let fetch = fetch.take().expect("spawner invoked once");
+                let weak = Arc::downgrade(&engine.inner);
+                engine.runtime().spawn(async move {
+                    run_spawned_fetch(weak, key, shard, now, flight, epoch, cancelled, fetch);
+                });
             });
-        });
         LookupFuture {
             engine: self.clone(),
             key: self.inner.normalizer.apply(key),
@@ -915,6 +922,33 @@ where
             now,
             driver: FetchDriver::Spawn(Some(spawner)),
             state: LookupState::Start,
+            leader_cancel: None,
+        }
+    }
+
+    /// Like [`Watchman::get_or_execute_async`], but the lookup gives up once
+    /// `timeout` has elapsed (measured from this call), resolving to
+    /// `Err(`[`LookupTimedOut`]`)`.
+    ///
+    /// A timed-out lookup behaves exactly like a dropped [`LookupFuture`]:
+    /// a waiter deregisters (passing along any takeover claim), and a leader
+    /// whose spawned fetch has not started yet cancels it — the closure is
+    /// never invoked and leadership moves to a remaining waiter.  A fetch
+    /// already running finishes and its result still lands in the cache for
+    /// future sessions; only *this* session stops waiting for it.
+    pub fn get_or_execute_async_with_timeout<F>(
+        &self,
+        key: &QueryKey,
+        now: Timestamp,
+        timeout: Duration,
+        fetch: F,
+    ) -> DeadlineLookup<V, F>
+    where
+        F: FnOnce() -> (V, ExecutionCost) + Send + 'static,
+    {
+        DeadlineLookup {
+            lookup: Some(self.get_or_execute_async(key, now, fetch)),
+            deadline: self.runtime().sleep(timeout),
         }
     }
 
@@ -1190,14 +1224,20 @@ where
 /// The boxed hook an async lookup uses to launch its fetch on the runtime.
 /// Boxing happens in [`Watchman::get_or_execute_async`], where the
 /// `Send + 'static` bounds are available; the future itself stays a single
-/// non-virtual implementation shared with the synchronous path.
-type SpawnFetch<V> =
-    Box<dyn FnMut(&Watchman<V>, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64) + Send>;
+/// non-virtual implementation shared with the synchronous path.  The final
+/// `Arc<AtomicBool>` is the leader session's cancellation flag: set when the
+/// session's future is dropped, checked by the spawned task before it
+/// invokes the fetch.
+type SpawnFetch<V> = Box<
+    dyn FnMut(&Watchman<V>, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64, Arc<AtomicBool>)
+        + Send,
+>;
 
 /// Runs a spawned leader fetch to completion on a runtime worker: executes
 /// the closure, admits the result, and completes (or, on panic, abandons)
 /// the flight.  Holds only a weak engine reference so a task queued behind a
 /// long fetch never keeps a dropped engine alive.
+#[allow(clippy::too_many_arguments)]
 fn run_spawned_fetch<V, F>(
     engine: Weak<Inner<V>>,
     key: QueryKey,
@@ -1205,11 +1245,28 @@ fn run_spawned_fetch<V, F>(
     now: Timestamp,
     flight: Arc<Flight<V>>,
     epoch: u64,
+    cancelled: Arc<AtomicBool>,
     fetch: F,
 ) where
     V: CachePayload + Send + Sync + 'static,
     F: FnOnce() -> (V, ExecutionCost),
 {
+    // Cooperative cancellation point: the leader session dropped its future
+    // (deadline elapsed, connection torn down) before this task got a
+    // worker.  The fetch closure is never invoked; abandoning the flight
+    // wakes one still-interested waiter to take leadership over with its
+    // own fetch — and with no waiters, retires the cell so the next arrival
+    // starts fresh.  No panic payload is stored: the only session that
+    // would re-raise it is the one that was dropped.
+    if cancelled.load(Ordering::Acquire) {
+        match engine.upgrade() {
+            Some(inner) => Watchman { inner }.abandon_flight(&key, shard, &flight),
+            None => {
+                flight.abandon();
+            }
+        }
+        return;
+    }
     // The completion stage (insert + observer emit) runs under its own
     // catch_unwind for the same reason the inline path keeps its guard armed
     // through it: a panic in user observer code must abandon the flight, not
@@ -1302,6 +1359,10 @@ pub struct LookupFuture<V, F> {
     now: Timestamp,
     driver: FetchDriver<V, F>,
     state: LookupState<V>,
+    /// Set once this session spawns a leader fetch; flipped by `Drop` so a
+    /// fetch task that has not started yet observes the cancellation and
+    /// never invokes the closure.
+    leader_cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<V, F> std::fmt::Debug for LookupFuture<V, F> {
@@ -1495,6 +1556,8 @@ where
                             let mut spawner =
                                 spawner.take().expect("leader consumes its fetch once");
                             let epoch = flight.new_leader_epoch();
+                            let cancel = Arc::new(AtomicBool::new(false));
+                            this.leader_cancel = Some(Arc::clone(&cancel));
                             spawner(
                                 &this.engine,
                                 this.key.clone(),
@@ -1502,6 +1565,7 @@ where
                                 this.now,
                                 Arc::clone(&flight),
                                 epoch,
+                                cancel,
                             );
                             this.state = LookupState::Waiting {
                                 flight,
@@ -1519,12 +1583,19 @@ where
 
 impl<V, F> Drop for LookupFuture<V, F> {
     fn drop(&mut self) {
+        // A cancelled *leader* flips its cancellation flag: a spawned fetch
+        // task that has not started yet observes it, skips the closure
+        // entirely and abandons the flight (leadership moves to a waiter; a
+        // waiterless cell is retired).  A fetch already running is past the
+        // check and completes the flight for the remaining waiters — either
+        // way nobody is stranded.
+        if let Some(cancel) = &self.leader_cancel {
+            cancel.store(true, Ordering::Release);
+        }
         // A cancelled waiter must deregister; if it had been woken to take
         // over an abandoned flight, forget_waiter passes the wake along so
         // no takeover is lost, and if it was the *last* waiter of an
         // abandoned flight, the cell is retired from the in-flight table.
-        // (A cancelled *leader* needs nothing: its spawned fetch completes
-        // the flight for the remaining waiters.)
         if let LookupState::Waiting {
             flight,
             slot,
@@ -1569,6 +1640,70 @@ where
     fn drop(&mut self) {
         self.engine
             .abandon_flight(self.key, self.shard_index, self.flight);
+    }
+}
+
+/// The error a [`DeadlineLookup`] resolves to when its timeout elapses
+/// before the lookup completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupTimedOut;
+
+impl std::fmt::Display for LookupTimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("lookup deadline elapsed before the query completed")
+    }
+}
+
+impl std::error::Error for LookupTimedOut {}
+
+/// The future returned by [`Watchman::get_or_execute_async_with_timeout`]:
+/// a [`LookupFuture`] raced against a [`Sleep`] deadline.
+///
+/// Resolves to `Ok(`[`Lookup`]`)` if the lookup completes first, or
+/// `Err(`[`LookupTimedOut`]`)` once the deadline fires — at which point the
+/// inner lookup is dropped, which deregisters a waiter (handing along any
+/// takeover claim) or cancels a leader whose fetch has not started yet.
+pub struct DeadlineLookup<V, F> {
+    /// `None` after the deadline fired (the drop *is* the cancellation).
+    lookup: Option<LookupFuture<V, F>>,
+    deadline: Sleep,
+}
+
+impl<V, F> std::fmt::Debug for DeadlineLookup<V, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeadlineLookup")
+            .field("lookup", &self.lookup)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V, F> Future for DeadlineLookup<V, F>
+where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnOnce() -> (V, ExecutionCost) + Unpin,
+{
+    type Output = Result<Lookup<V>, LookupTimedOut>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let Some(lookup) = this.lookup.as_mut() else {
+            panic!("DeadlineLookup polled after completion");
+        };
+        // Lookup first: a result that is ready when the deadline fires in
+        // the same poll round still wins (the work was already done).
+        if let Poll::Ready(lookup) = Pin::new(lookup).poll(cx) {
+            this.lookup = None;
+            return Poll::Ready(Ok(lookup));
+        }
+        match Pin::new(&mut this.deadline).poll(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(()) => {
+                // Dropping the lookup is the cancellation: waiter wakers
+                // deregister, an unstarted leader fetch is skipped.
+                this.lookup = None;
+                Poll::Ready(Err(LookupTimedOut))
+            }
+        }
     }
 }
 

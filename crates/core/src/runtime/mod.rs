@@ -19,11 +19,23 @@
 //! ## Scheduling model and its limits
 //!
 //! The runtime is deliberately simple — a global FIFO run queue under one
-//! mutex, no work stealing, no per-worker queues, no IO reactor:
+//! mutex, no work stealing, no per-worker queues:
 //!
 //! * **FIFO fairness, no priorities.**  Tasks are polled in wake order.  A
 //!   task that wakes itself in a loop cannot starve others (it goes to the
 //!   back of the queue), but there is no notion of priority.
+//! * **IO readiness comes from a reactor thread.**  The first
+//!   [`net::TcpListener`]/[`net::TcpStream`] registration lazily starts one
+//!   dedicated reactor thread parked in `epoll_wait`; sockets are
+//!   registered edge-triggered and IO futures park per-direction wakers in
+//!   a readiness cell the reactor flips on events (the full wakeup
+//!   protocol, including the tick scheme that makes edge-triggered clears
+//!   race-free, is documented in `reactor.rs` and `CONCURRENCY.md`).
+//!   Runtimes that never touch the network never pay for the thread.
+//!   Waking a task from the reactor is just a ready-queue push: IO-bound
+//!   sessions are ordinary tasks, scheduled FIFO with everything else, so
+//!   thousands of idle connections cost two parked wakers each — not
+//!   threads.
 //! * **Blocking closures occupy a worker.**  The engine's fetch closures are
 //!   *blocking* by design (they model multi-second warehouse scans), and each
 //!   one occupies a worker thread for its duration.  Size the pool to the
@@ -35,9 +47,12 @@
 //!   fetch fires timers late.  Fine for the engine's background maintenance
 //!   (rebalance passes), unsuitable for high-resolution timing.
 //! * **Shutdown is prompt, not graceful-drain.**  Dropping the [`Runtime`]
-//!   wakes every worker, stops polling, drops all pending tasks (their
-//!   [`JoinHandle`]s resolve to [`JoinError::Cancelled`]) and joins the
-//!   workers.  In-flight polls finish; suspended tasks never run again.
+//!   (or calling [`Runtime::shutdown`] on a shared handle) stops the
+//!   reactor, wakes every worker, stops polling, drops all pending tasks
+//!   (their [`JoinHandle`]s resolve to [`JoinError::Cancelled`]) and joins
+//!   the workers.  In-flight polls finish; suspended tasks never run again.
+//!   Callers that want a graceful drain (the networked server) signal their
+//!   tasks first and call `shutdown` only after a grace period.
 //!
 //! The single-mutex design caps scalability far below a production executor,
 //! but the engine's hot paths (hits) never touch the runtime at all — only
@@ -46,6 +61,8 @@
 //!
 //! [`Watchman::get_or_execute_async`]: crate::engine::Watchman::get_or_execute_async
 
+pub mod net;
+pub(crate) mod reactor;
 mod task;
 mod timer;
 
@@ -213,13 +230,25 @@ impl RuntimeInner {
 /// ```
 pub struct Runtime {
     inner: Arc<RuntimeInner>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Behind a mutex so [`Runtime::shutdown`] can join through `&self`
+    /// (the runtime is shared via `Arc` between the engine and the server).
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The configured pool size ([`Runtime::worker_count`] must stay
+    /// meaningful after shutdown drains the join handles).
+    worker_total: usize,
+    /// The IO reactor, started lazily by the first socket registration.
+    reactor: Mutex<Option<ReactorHandle>>,
+}
+
+struct ReactorHandle {
+    reactor: Arc<reactor::Reactor>,
+    thread: std::thread::JoinHandle<()>,
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_total)
             .field("alive_tasks", &self.alive_tasks())
             .finish()
     }
@@ -251,7 +280,8 @@ impl Runtime {
             timer_seq: AtomicUsize::new(0),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
-        let workers = (0..workers.max(1))
+        let worker_total = workers.max(1);
+        let workers = (0..worker_total)
             .map(|index| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -260,7 +290,12 @@ impl Runtime {
                     .expect("spawn runtime worker")
             })
             .collect();
-        Runtime { inner, workers }
+        Runtime {
+            inner,
+            workers: Mutex::new(workers),
+            worker_total,
+            reactor: Mutex::new(None),
+        }
     }
 
     /// Submits a future for execution and returns a [`JoinHandle`] (itself a
@@ -278,6 +313,14 @@ impl Runtime {
         self.inner.alive.fetch_add(1, Ordering::AcqRel);
         {
             let mut state = self.inner.lock();
+            if state.shutdown {
+                // Spawning after shutdown: drop the task instead of queueing
+                // it into a scheduler that will never poll it.  TaskFuture's
+                // drop settles the handle to Cancelled and decrements alive.
+                drop(state);
+                drop(task);
+                return handle;
+            }
             // Lazy pruning keeps the registry proportional to live tasks.
             if state.tasks.len() >= 32 && state.tasks.len() >= 2 * self.alive_tasks() {
                 state.tasks.retain(|task| task.strong_count() > 0);
@@ -306,22 +349,36 @@ impl Runtime {
 
     /// The number of worker threads.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.worker_total
     }
 
     pub(crate) fn inner_handle(&self) -> Weak<RuntimeInner> {
         Arc::downgrade(&self.inner)
     }
-}
 
-impl Default for Runtime {
-    fn default() -> Self {
-        Self::new()
+    /// The runtime's IO reactor, starting its thread on first use.
+    pub(crate) fn reactor(&self) -> std::io::Result<Arc<reactor::Reactor>> {
+        let mut slot = self.reactor.lock();
+        if let Some(handle) = slot.as_ref() {
+            return Ok(Arc::clone(&handle.reactor));
+        }
+        let (reactor, thread) = reactor::Reactor::start()?;
+        *slot = Some(ReactorHandle {
+            reactor: Arc::clone(&reactor),
+            thread,
+        });
+        Ok(reactor)
     }
-}
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
+    /// Shuts the runtime down through a shared handle: stops the reactor,
+    /// wakes every worker, drops all pending tasks (their [`JoinHandle`]s
+    /// resolve to [`JoinError::Cancelled`]) and joins the worker threads.
+    ///
+    /// Idempotent — later calls (including the one from `Drop`) are no-ops.
+    /// This exists for callers that share the runtime via `Arc` (the server
+    /// shares it with the engine) and need to force-cancel outstanding tasks
+    /// without being the last owner.
+    pub fn shutdown(&self) {
         // Atomic flag first: a task whose poll is in progress right now
         // observes it in its poll epilogue and drops its own future.
         self.inner.shutdown.store(true, Ordering::SeqCst);
@@ -336,6 +393,13 @@ impl Drop for Runtime {
             std::mem::take(&mut state.tasks)
         };
         self.inner.wakeup.notify_all();
+        // Stop the reactor before cancelling tasks: no new readiness events
+        // will arrive while IO futures are being dropped.
+        let reactor = self.reactor.lock().take();
+        if let Some(handle) = reactor {
+            handle.reactor.initiate_shutdown();
+            let _ = handle.thread.join();
+        }
         // Cancel tasks suspended on *external* wakers too (the clears above
         // cannot reach them).  try_cancel never blocks: a task whose future
         // mutex is held is being polled at this instant — possibly by THIS
@@ -348,7 +412,8 @@ impl Drop for Runtime {
             }
         }
         let current = std::thread::current().id();
-        for worker in self.workers.drain(..) {
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for worker in workers {
             // If the last external reference to an engine (and with it this
             // runtime) is dropped *inside* a task, this drop runs on a worker
             // thread; joining it would deadlock on itself, so detach it.
@@ -366,6 +431,18 @@ impl Drop for Runtime {
                 task.try_cancel();
             }
         }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 

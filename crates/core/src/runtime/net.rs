@@ -1,0 +1,265 @@
+//! Non-blocking TCP wrappers over the runtime's IO [reactor](super::reactor).
+//!
+//! [`TcpListener`] and [`TcpStream`] wrap their `std::net` counterparts in
+//! non-blocking mode, registered edge-triggered with the owning runtime's
+//! reactor.  Their `poll_*` methods follow the reactor's tick protocol
+//! (attempt the syscall while the readiness cell says ready; on
+//! `WouldBlock`, clear the observed tick and suspend), and the `async`
+//! convenience methods wrap those polls so protocol code can be written as
+//! plain `async fn` state machines.
+//!
+//! A stream is driven by **one task at a time** per direction — the wrapper
+//! stores a single waker per direction, exactly like the rest of this
+//! runtime's primitives.  The networked front end's sessions are strictly
+//! sequential (read a frame, serve it, write the response), so this is all
+//! they need.
+//!
+//! Accepted sockets register with the listener's reactor; a stream created
+//! from an arbitrary `std::net::TcpStream` (a client side, a test harness)
+//! registers via [`TcpStream::from_std`] with any [`Runtime`].
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::os::fd::AsRawFd;
+use std::task::{ready, Context, Poll};
+
+use super::reactor::{Dir, Registration};
+use super::Runtime;
+
+/// A TCP listener whose `accept` is readiness-driven instead of blocking a
+/// thread.
+pub struct TcpListener {
+    // Declared before the socket so deregistration runs while the fd is
+    // still open (fields drop in declaration order).
+    registration: Registration,
+    std: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds a listener and registers it with `runtime`'s reactor (starting
+    /// the reactor thread on first use).
+    pub fn bind(runtime: &Runtime, addr: &str) -> io::Result<TcpListener> {
+        let std = std::net::TcpListener::bind(addr)?;
+        std.set_nonblocking(true)?;
+        let registration = runtime.reactor()?.register(std.as_raw_fd())?;
+        Ok(TcpListener { registration, std })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.std.local_addr()
+    }
+
+    /// Polls for an inbound connection; the accepted stream is registered
+    /// with the same reactor.
+    pub fn poll_accept(&self, cx: &mut Context<'_>) -> Poll<io::Result<(TcpStream, SocketAddr)>> {
+        loop {
+            let tick = ready!(self.registration.cell().poll_ready(Dir::Read, cx));
+            match self.std.accept() {
+                Ok((stream, peer)) => {
+                    let stream = TcpStream::register(self.registration.reactor(), stream)?;
+                    return Poll::Ready(Ok((stream, peer)));
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    self.registration.cell().clear_ready(Dir::Read, tick);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Poll::Ready(Err(error)),
+            }
+        }
+    }
+
+    /// Accepts one inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|cx| self.poll_accept(cx)).await
+    }
+}
+
+/// A non-blocking TCP stream driven by the reactor.
+pub struct TcpStream {
+    // Field order matters: deregister before the fd closes.
+    registration: Registration,
+    std: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Converts a connected `std` stream (e.g. from a blocking
+    /// `connect`) into a reactor-driven one.
+    pub fn from_std(runtime: &Runtime, std: std::net::TcpStream) -> io::Result<TcpStream> {
+        let reactor = runtime.reactor()?;
+        Self::register(&reactor, std)
+    }
+
+    fn register(
+        reactor: &std::sync::Arc<super::reactor::Reactor>,
+        std: std::net::TcpStream,
+    ) -> io::Result<TcpStream> {
+        std.set_nonblocking(true)?;
+        let registration = reactor.register(std.as_raw_fd())?;
+        Ok(TcpStream { registration, std })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.std.peer_addr()
+    }
+
+    /// Disables (or re-enables) Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.std.set_nodelay(nodelay)
+    }
+
+    /// Polls one non-blocking read into `buf`; `Ok(0)` is end-of-stream.
+    pub fn poll_read(&self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        loop {
+            let tick = ready!(self.registration.cell().poll_ready(Dir::Read, cx));
+            match (&self.std).read(buf) {
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    self.registration.cell().clear_ready(Dir::Read, tick);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                result => return Poll::Ready(result),
+            }
+        }
+    }
+
+    /// Polls one non-blocking write of `buf`.
+    pub fn poll_write(&self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        loop {
+            let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
+            match (&self.std).write(buf) {
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    self.registration.cell().clear_ready(Dir::Write, tick);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                result => return Poll::Ready(result),
+            }
+        }
+    }
+
+    /// Reads some bytes into `buf`; resolves with 0 at end-of-stream.
+    pub async fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        poll_fn(|cx| self.poll_read(cx, buf)).await
+    }
+
+    /// Fills `buf` completely, failing with [`io::ErrorKind::UnexpectedEof`]
+    /// if the stream ends first.
+    pub async fn read_exact(&self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.read(&mut buf[filled..]).await? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed mid-read",
+                    ))
+                }
+                n => filled += n,
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes all of `buf`.
+    pub async fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            match poll_fn(|cx| self.poll_write(cx, &buf[written..])).await? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream refused further bytes",
+                    ))
+                }
+                n => written += n,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+    use std::sync::Arc;
+
+    #[test]
+    fn async_accept_read_write_round_trip() {
+        let runtime = Runtime::with_workers(2);
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        // Server task: accept one connection, echo 4 bytes doubled.
+        let server = runtime.spawn(async move {
+            let (stream, _peer) = listener.accept().await.expect("accept");
+            let mut buf = [0u8; 4];
+            stream.read_exact(&mut buf).await.expect("read");
+            let doubled: Vec<u8> = buf.iter().map(|b| b * 2).collect();
+            stream.write_all(&doubled).await.expect("write");
+        });
+
+        // Client side: a *blocking* std stream is enough to drive it.
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(&[1, 2, 3, 4]).expect("send");
+        let mut echoed = [0u8; 4];
+        client.read_exact(&mut echoed).expect("recv");
+        assert_eq!(echoed, [2, 4, 6, 8]);
+        block_on(server).expect("server task");
+    }
+
+    #[test]
+    fn read_resolves_zero_on_peer_close() {
+        let runtime = Runtime::with_workers(1);
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = runtime.spawn(async move {
+            let (stream, _) = listener.accept().await.expect("accept");
+            let mut buf = [0u8; 16];
+            stream.read(&mut buf).await.expect("read")
+        });
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        drop(client); // immediate close: the async read must observe EOF
+        assert_eq!(block_on(server).expect("server task"), 0);
+    }
+
+    #[test]
+    fn many_concurrent_sessions_on_two_workers() {
+        // 32 echo sessions over 2 workers: sessions are tasks, not threads.
+        let runtime = Arc::new(Runtime::with_workers(2));
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let accept_runtime = Arc::clone(&runtime);
+        let acceptor = runtime.spawn(async move {
+            let mut sessions = Vec::new();
+            for _ in 0..32 {
+                let (stream, _) = listener.accept().await.expect("accept");
+                sessions.push(accept_runtime.spawn(async move {
+                    let mut buf = [0u8; 8];
+                    stream.read_exact(&mut buf).await.expect("read");
+                    stream.write_all(&buf).await.expect("write");
+                }));
+            }
+            for session in sessions {
+                session.await.expect("session");
+            }
+        });
+        let clients: Vec<_> = (0..32u8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = std::net::TcpStream::connect(addr).expect("connect");
+                    let payload = [i; 8];
+                    client.write_all(&payload).expect("send");
+                    let mut echoed = [0u8; 8];
+                    client.read_exact(&mut echoed).expect("recv");
+                    assert_eq!(echoed, payload);
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        block_on(acceptor).expect("acceptor");
+    }
+}

@@ -93,6 +93,95 @@ fn busy_engine_keeps_the_lock_graph_acyclic() {
     lock_graph::assert_clean();
 }
 
+/// The IO reactor's two lock classes — the registration table and the
+/// per-registration readiness cells — are documented as **leaves** of the
+/// lock hierarchy (`CONCURRENCY.md`): they may be acquired while a task's
+/// future-slot lock is held (every net poll runs inside a task poll), but
+/// nothing may be acquired while *they* are held.  This scenario drives
+/// real sockets through the reactor with engine lookups inside the session
+/// tasks, so the graph contains reactor, scheduler and shard classes
+/// together, then asserts reactor classes only ever appear as edge
+/// *targets* and the combined graph stays acyclic.
+#[test]
+fn reactor_locks_stay_leaves_of_the_hierarchy() {
+    use watchman_core::runtime::net::TcpListener;
+    use watchman_core::runtime::Runtime;
+
+    const CONNECTIONS: usize = 8;
+
+    let runtime = Arc::new(Runtime::with_workers(2));
+    let engine: Watchman<SizedPayload> = Watchman::builder()
+        .shards(2)
+        .policy(PolicyKind::LncRa { k: 4 })
+        .capacity_bytes(40_000)
+        .runtime(Arc::clone(&runtime))
+        .build();
+    let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+
+    // The accept task spawns one echo session per connection; each session
+    // resolves its 8-byte request through the engine (shard locks, flight
+    // cells, scheduler — the full hierarchy above the reactor's leaves).
+    let accept_task = {
+        let runtime_for_sessions = Arc::clone(&runtime);
+        let engine = engine.clone();
+        runtime.spawn(async move {
+            let mut sessions = Vec::new();
+            for _ in 0..CONNECTIONS {
+                let (stream, _peer) = listener.accept().await.expect("accept");
+                let engine = engine.clone();
+                sessions.push(runtime_for_sessions.spawn(async move {
+                    let mut request = [0u8; 8];
+                    stream.read_exact(&mut request).await.expect("read request");
+                    let key = QueryKey::new(format!("conn-{}", request[0] % 4));
+                    let now = Timestamp::from_micros(u64::from(request[0]) + 1);
+                    let lookup = engine
+                        .get_or_execute_async(&key, now, || {
+                            (SizedPayload::new(700), ExecutionCost::from_blocks(25))
+                        })
+                        .await;
+                    assert!(lookup.value.size_bytes() > 0);
+                    stream.write_all(&request).await.expect("write response");
+                }));
+            }
+            for session in sessions {
+                session.await.expect("session completes");
+            }
+        })
+    };
+
+    std::thread::scope(|scope| {
+        for conn in 0..CONNECTIONS {
+            scope.spawn(move || {
+                use std::io::{Read, Write};
+                let mut stream = std::net::TcpStream::connect(addr).expect("client connects");
+                let request = [conn as u8; 8];
+                stream.write_all(&request).expect("client writes");
+                let mut response = [0u8; 8];
+                stream.read_exact(&mut response).expect("client reads echo");
+                assert_eq!(response, request);
+            });
+        }
+    });
+    block_on(accept_task).expect("accept task completes");
+
+    let report = lock_graph::report();
+    let reactor_class = |label: &str| label.contains("runtime/reactor.rs");
+    assert!(
+        report.edges.iter().any(|edge| reactor_class(&edge.to)),
+        "no edge into a reactor lock class was recorded — did the IO path \
+         run under instrumentation?\n{}",
+        report.describe()
+    );
+    assert!(
+        report.edges.iter().all(|edge| !reactor_class(&edge.from)),
+        "a reactor lock was held while acquiring another lock — the \
+         registration table and readiness cells must stay leaf classes:\n{}",
+        report.describe()
+    );
+    lock_graph::assert_clean();
+}
+
 /// Regression pin for the rebalancer's two-lock transfer: donor and
 /// recipient shard locks must be acquired in **index order** (the shard
 /// index is the lock's declared rank).  If someone reorders the transfer to

@@ -5,17 +5,23 @@
 //! ```text
 //! loadgen (--addr HOST:PORT | --spawn) [--workload tpcd_skewed|set_query_skewed|tpcd]
 //!         [--clients N] [--queries N] [--pipeline N] [--fetch-delay-us N]
-//!         [--cache-fraction F] [--quick] [--shutdown]
+//!         [--cache-fraction F] [--connections N] [--rounds N] [--quick] [--shutdown]
 //! ```
 //!
 //! `--spawn` starts a `watchmand` in-process on an ephemeral loopback port
 //! (what CI smokes); `--shutdown` sends the `SHUTDOWN` opcode when done so
 //! a backgrounded `watchmand` exits cleanly.
+//!
+//! `--connections N` switches to the **connection storm**: N simultaneously
+//! open connections (256, 1 000, …) each send `--rounds` requests, and the
+//! server's `SERVER_INFO` is sampled while all of them are open.  The run
+//! *fails* if the server's thread count scales with the connection count —
+//! the proof that sessions are tasks on the IO reactor, not threads.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use watchman_server::{serve, Client, LoadOptions, ServerConfig};
+use watchman_server::{run_connection_storm, serve, Client, LoadOptions, ServerConfig};
 use watchman_sim::{run_result_from_snapshot, ExperimentScale, Workload};
 
 struct Args {
@@ -27,6 +33,8 @@ struct Args {
     pipeline: usize,
     fetch_delay_us: u32,
     cache_fraction: f64,
+    connections: usize,
+    rounds: usize,
     shutdown: bool,
 }
 
@@ -41,6 +49,8 @@ impl Default for Args {
             pipeline: 8,
             fetch_delay_us: 0,
             cache_fraction: 0.01,
+            connections: 0,
+            rounds: 4,
             shutdown: false,
         }
     }
@@ -51,7 +61,8 @@ fn usage() -> ExitCode {
         "usage: loadgen (--addr HOST:PORT | --spawn)\n\
          \x20              [--workload tpcd_skewed|set_query_skewed|tpcd] [--clients N]\n\
          \x20              [--queries N] [--pipeline N] [--fetch-delay-us N]\n\
-         \x20              [--cache-fraction F] [--quick] [--shutdown]"
+         \x20              [--cache-fraction F] [--connections N] [--rounds N]\n\
+         \x20              [--quick] [--shutdown]"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +72,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut quick = false;
     let mut explicit_clients = None;
     let mut explicit_queries = None;
+    let mut explicit_rounds = None;
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = raw.iter();
     while let Some(flag) = iter.next() {
@@ -83,6 +95,12 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--cache-fraction" => {
                 args.cache_fraction = iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
             }
+            "--connections" => {
+                args.connections = iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
+            "--rounds" => {
+                explicit_rounds = Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
             "--quick" => quick = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(usage()),
@@ -97,6 +115,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     if quick {
         args.queries = 600;
         args.clients = 4;
+        args.rounds = 2;
     }
     if let Some(clients) = explicit_clients {
         args.clients = clients;
@@ -104,11 +123,83 @@ fn parse_args() -> Result<Args, ExitCode> {
     if let Some(queries) = explicit_queries {
         args.queries = queries;
     }
+    if let Some(rounds) = explicit_rounds {
+        args.rounds = rounds;
+    }
     if args.addr.is_none() && !args.spawn {
         eprintln!("loadgen: need --addr or --spawn");
         return Err(usage());
     }
     Ok(args)
+}
+
+/// Ceiling on the server-side thread count a storm tolerates, however many
+/// connections it opens.  Workers + reactor + supervisor + client-side
+/// storm machinery (under `--spawn` the server shares the process) stay
+/// comfortably below this; a thread-per-session server blows through it by
+/// an order of magnitude at 256 connections.
+const MAX_STORM_THREADS: u32 = 32;
+
+fn run_storm(addr: &str, connections: usize, rounds: usize, shutdown: bool) -> ExitCode {
+    println!(
+        "loadgen: storm of {connections} concurrent connections ({rounds} rounds) against {addr}"
+    );
+    let report = match run_connection_storm(addr, connections, rounds) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  sessions {} (storm {})  server threads {}  runtime workers {}",
+        report.server_sessions, report.connections, report.server_threads, report.server_workers,
+    );
+    println!(
+        "  latency p50 {} us  p95 {} us  p99 {} us  wall {:.2} s",
+        report.latency_quantile_us(0.50),
+        report.latency_quantile_us(0.95),
+        report.latency_quantile_us(0.99),
+        report.wall.as_secs_f64(),
+    );
+
+    // The point of the storm: sessions are tasks, not threads.
+    if report.server_sessions < report.connections as u32 {
+        eprintln!(
+            "loadgen: server saw {} sessions, expected at least the {} storm connections",
+            report.server_sessions, report.connections
+        );
+        return ExitCode::FAILURE;
+    }
+    // threads == 0 means procfs is unavailable; the session-count proof
+    // above still holds there, so only the thread bound is skipped.
+    if report.server_threads > MAX_STORM_THREADS {
+        eprintln!(
+            "loadgen: {} server threads for {} connections — sessions are costing threads",
+            report.server_threads, report.connections
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "loadgen: thread count is bounded by the pool, not the connection count ({} threads / {} sessions)",
+        report.server_threads, report.server_sessions
+    );
+
+    if shutdown {
+        let mut client = match Client::connect_with_retries(addr, 5, Duration::from_millis(50)) {
+            Ok(client) => client,
+            Err(err) => {
+                eprintln!("loadgen: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = client.shutdown_server() {
+            eprintln!("loadgen: shutdown failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: server drained");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -149,6 +240,15 @@ fn main() -> ExitCode {
         (None, Some(handle)) => handle.addr().to_string(),
         (None, None) => unreachable!("validated in parse_args"),
     };
+
+    // --connections: the high-concurrency storm instead of the trace replay.
+    if args.connections > 0 {
+        let code = run_storm(&addr, args.connections, args.rounds, args.shutdown);
+        if let Some(handle) = spawned {
+            handle.join();
+        }
+        return code;
+    }
 
     println!(
         "loadgen: {} queries of {} over {} clients (pipeline {}) against {addr}",

@@ -88,6 +88,29 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Blocking connect plus version handshake, returning the raw handshaken
+/// stream.  [`Client`] builds on this; the connection-storm driver uses it
+/// directly and then hands the stream to the async runtime
+/// (`TcpStream::from_std`), which is why it is the **only** place outside
+/// [`Client`] that touches blocking `std::net` in this crate.
+pub fn connect_handshaken(addr: &str) -> Result<TcpStream, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|source| ClientError::Connect {
+        addr: addr.to_owned(),
+        source,
+    })?;
+    let _ = stream.set_nodelay(true);
+    wire::write_frame(&mut stream, &wire::encode_hello()).map_err(WireError::Io)?;
+    stream.flush().map_err(WireError::Io)?;
+    let body = wire::read_frame(&mut stream)?.ok_or(WireError::Truncated {
+        context: "server hello",
+    })?;
+    let peer = wire::decode_hello(&body)?;
+    if peer != wire::VERSION {
+        return Err(ClientError::Wire(WireError::UnsupportedVersion { peer }));
+    }
+    Ok(stream)
+}
+
 /// A connection to a `watchmand` server.
 pub struct Client {
     addr: String,
@@ -145,22 +168,7 @@ impl Client {
 
     fn ensure_connected(&mut self) -> Result<&mut TcpStream, ClientError> {
         if self.stream.is_none() {
-            let mut stream =
-                TcpStream::connect(&self.addr).map_err(|source| ClientError::Connect {
-                    addr: self.addr.clone(),
-                    source,
-                })?;
-            let _ = stream.set_nodelay(true);
-            wire::write_frame(&mut stream, &wire::encode_hello()).map_err(WireError::Io)?;
-            stream.flush().map_err(WireError::Io)?;
-            let body = wire::read_frame(&mut stream)?.ok_or(WireError::Truncated {
-                context: "server hello",
-            })?;
-            let peer = wire::decode_hello(&body)?;
-            if peer != wire::VERSION {
-                return Err(ClientError::Wire(WireError::UnsupportedVersion { peer }));
-            }
-            self.stream = Some(stream);
+            self.stream = Some(connect_handshaken(&self.addr)?);
         }
         Ok(self.stream.as_mut().expect("just connected"))
     }
@@ -173,7 +181,11 @@ impl Client {
     fn retry_safe(request: &Request) -> bool {
         matches!(
             request,
-            Request::Get(_) | Request::Peek { .. } | Request::Stats | Request::Shutdown
+            Request::Get(_)
+                | Request::Peek { .. }
+                | Request::Stats
+                | Request::Shutdown
+                | Request::ServerInfo
         )
     }
 
@@ -310,6 +322,22 @@ impl Client {
             Response::RebalanceNow(outcome) => Ok(outcome),
             _ => Err(ClientError::UnexpectedResponse {
                 expected: "REBALANCE_NOW",
+            }),
+        }
+    }
+
+    /// Fetches the server's execution-stack shape: OS thread count, runtime
+    /// worker count, and live session count.  The load generator uses this
+    /// to assert that 1 000 connections do **not** cost 1 000 threads.
+    pub fn server_info(&mut self) -> Result<(u32, u32, u32), ClientError> {
+        match self.call(Request::ServerInfo)? {
+            Response::ServerInfo {
+                threads,
+                workers,
+                sessions,
+            } => Ok((threads, workers, sessions)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "SERVER_INFO",
             }),
         }
     }

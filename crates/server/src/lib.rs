@@ -9,12 +9,13 @@
 //!
 //! * [`wire`] — the versioned, length-prefixed binary protocol (frame
 //!   format and versioning rules are specified in its module docs);
-//! * [`server`] — `watchmand`: an accept loop over `std::net` that hands
-//!   each connection to a session thread; lookups run through
-//!   [`get_or_execute_async`](watchman_core::engine::Watchman::get_or_execute_async)
-//!   on the engine's hand-rolled runtime, so hits never touch the runtime
-//!   and concurrent misses on one query coalesce **across connections**
-//!   into a single execution;
+//! * [`server`] — `watchmand`: an accept *task* on the engine's runtime
+//!   spawns one session *task* per connection over the runtime's epoll
+//!   reactor (sessions are parked futures, not threads); lookups run
+//!   through
+//!   [`get_or_execute_async`](watchman_core::engine::Watchman::get_or_execute_async),
+//!   so hits never suspend and concurrent misses on one query coalesce
+//!   **across connections** into a single execution;
 //! * [`client`] — a typed client with pipelining and transparent
 //!   reconnect;
 //! * [`replay`] — the simulator's replay drivers over real sockets: a
@@ -38,7 +39,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use replay::{replay_trace_wire, run_load, LoadOptions, LoadReport};
+pub use replay::{
+    replay_trace_wire, run_connection_storm, run_load, LoadOptions, LoadReport, StormReport,
+};
 pub use server::{serve, ServerConfig, ServerError, ServerHandle, ServerPayload};
 pub use wire::{
     GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError, WireSource,

@@ -13,19 +13,32 @@
 //! [`run_load`] is the concurrent driver underneath the `loadgen` binary: N
 //! client connections replay disjoint slices of a trace against one server,
 //! measuring client-observed latency.
+//!
+//! [`run_connection_storm`] is the high-concurrency variant: hundreds to
+//! thousands of **simultaneously open** connections, each driven by an
+//! async task on a small client-side runtime (the client cannot afford a
+//! thread per connection any more than the server can).  While every
+//! connection is still open it snapshots the server's `SERVER_INFO`, which
+//! is what proves server sessions are tasks: the reported thread count
+//! stays bounded by the worker pool while the session count matches the
+//! storm size.
 
+use std::future::poll_fn;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-
+use std::task::{Context, Poll, Waker};
 use std::thread;
 use std::time::{Duration, Instant};
 use watchman_core::sync::Mutex;
 
 use watchman_core::engine::StatsSnapshot;
+use watchman_core::runtime::net::TcpStream;
+use watchman_core::runtime::{block_on, Runtime};
 use watchman_sim::REBALANCE_EVERY_RECORDS;
 use watchman_trace::Trace;
 
-use crate::client::{Client, ClientError};
-use crate::wire::{GetRequest, WireSource};
+use crate::client::{connect_handshaken, Client, ClientError};
+use crate::wire::{self, GetRequest, Request, Response, WireError, WireSource};
 
 /// Replays `trace` through `client` with the deterministic protocol of the
 /// in-process drivers (one session, in trace order, a rebalance pass every
@@ -230,4 +243,203 @@ pub fn run_load(
         report.batch_latencies_us.extend(latencies);
     }
     Ok(report)
+}
+
+/// What one [`run_connection_storm`] run measured.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Connections held open simultaneously.
+    pub connections: usize,
+    /// Requests each connection sent.
+    pub rounds: usize,
+    /// Per-request round-trip samples in microseconds, across every
+    /// connection.
+    pub latencies_us: Vec<u64>,
+    /// The server process's OS thread count, sampled over `SERVER_INFO`
+    /// while every storm connection was still open (0 when the platform
+    /// cannot report it).
+    pub server_threads: u32,
+    /// The server runtime's worker count, from the same sample.
+    pub server_workers: u32,
+    /// The server's live session count from the same sample — the storm
+    /// connections plus the sampling connection itself.
+    pub server_sessions: u32,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+}
+
+impl StormReport {
+    /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// A one-shot release gate: storm tasks finish their rounds, report done,
+/// and park here with their connection **still open** until the driver has
+/// sampled `SERVER_INFO`.
+struct ReleaseGate {
+    fired: AtomicBool,
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl ReleaseGate {
+    fn poll_wait(&self, cx: &mut Context<'_>) -> Poll<()> {
+        if self.fired.load(Ordering::SeqCst) {
+            return Poll::Ready(());
+        }
+        let mut wakers = self.wakers.lock();
+        if self.fired.load(Ordering::SeqCst) {
+            return Poll::Ready(());
+        }
+        wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+
+    fn fire(&self) {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let woken: Vec<Waker> = std::mem::take(&mut *self.wakers.lock());
+        for waker in woken {
+            waker.wake();
+        }
+    }
+}
+
+/// How many client-side runtime workers drive a storm.  The point of the
+/// exercise: a handful of tasks' worth of threads on each side, regardless
+/// of the connection count.
+const STORM_WORKERS: usize = 4;
+
+/// Holds `connections` connections open against the server at `addr`
+/// simultaneously, sends `rounds` metrics-only `GET`s on each (all
+/// connections sweep the same per-round key, so round N misses once and
+/// coalesces/hits everywhere else), samples the server's `SERVER_INFO`
+/// while every connection is still open, and only then lets go.
+///
+/// Client-side the connections are async tasks on a [`STORM_WORKERS`]-wide
+/// runtime; connects and handshakes are done upfront (blocking, one at a
+/// time) so the async phase measures steady-state request traffic.
+pub fn run_connection_storm(
+    addr: &str,
+    connections: usize,
+    rounds: usize,
+) -> Result<StormReport, ClientError> {
+    let connections = connections.max(1);
+    let rounds = rounds.max(1);
+    let runtime = Arc::new(Runtime::with_workers(STORM_WORKERS));
+    let started = Instant::now();
+
+    // Phase 1: blocking connect + handshake, one connection at a time, then
+    // hand each stream to the reactor.
+    let mut streams = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let std_stream = connect_handshaken(addr)?;
+        let stream = TcpStream::from_std(&runtime, std_stream)
+            .map_err(|err| ClientError::Wire(WireError::Io(err)))?;
+        streams.push(stream);
+    }
+
+    // Phase 2: one task per connection.
+    let done = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(ReleaseGate {
+        fired: AtomicBool::new(false),
+        wakers: Mutex::new(Vec::new()),
+    });
+    let first_error: Arc<Mutex<Option<ClientError>>> = Arc::new(Mutex::new(None));
+    let mut tasks = Vec::with_capacity(connections);
+    for stream in streams {
+        let done = Arc::clone(&done);
+        let gate = Arc::clone(&gate);
+        let first_error = Arc::clone(&first_error);
+        tasks.push(runtime.spawn(async move {
+            let run = async {
+                let mut latencies = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let request = Request::Get(GetRequest::metrics_only(
+                        format!("SELECT storm_round{round} FROM stormload"),
+                        (round as u64 + 1) * 1_000,
+                        1_024,
+                        500,
+                    ));
+                    let body = wire::encode_request(round as u64, &request);
+                    let sent = Instant::now();
+                    wire::write_frame_async(&stream, &body).await?;
+                    let reply =
+                        wire::read_frame_async(&stream)
+                            .await?
+                            .ok_or(WireError::Truncated {
+                                context: "response frame",
+                            })?;
+                    let (id, response) = wire::decode_response(&reply)?;
+                    if id != round as u64 {
+                        return Err(WireError::Protocol(format!(
+                            "response id {id} does not match request id {round}"
+                        )));
+                    }
+                    if let Response::Error { message } = response {
+                        return Err(WireError::Protocol(format!("server error: {message}")));
+                    }
+                    latencies.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                }
+                Ok::<Vec<u64>, WireError>(latencies)
+            };
+            let result = run.await;
+            // Done is reported on the error path too, or the driver would
+            // wait for a connection that will never finish.
+            done.fetch_add(1, Ordering::SeqCst);
+            let latencies = match result {
+                Ok(latencies) => Some(latencies),
+                Err(err) => {
+                    first_error.lock().get_or_insert(ClientError::Wire(err));
+                    None
+                }
+            };
+            // Park with the connection open until SERVER_INFO is sampled.
+            poll_fn(|cx| gate.poll_wait(cx)).await;
+            latencies
+        }));
+    }
+
+    // Phase 3: wait for every connection to finish its rounds, then sample
+    // the server's shape while all of them are still open.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while done.load(Ordering::SeqCst) < connections {
+        if Instant::now() >= deadline {
+            gate.fire();
+            return Err(ClientError::Server {
+                message: "connection storm timed out waiting for rounds".to_owned(),
+            });
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    let info = Client::connect(addr).and_then(|mut admin| admin.server_info());
+    gate.fire();
+
+    let mut latencies_us = Vec::with_capacity(connections * rounds);
+    for task in tasks {
+        if let Ok(Some(latencies)) = block_on(task) {
+            latencies_us.extend(latencies);
+        }
+    }
+    if let Some(err) = first_error.lock().take() {
+        return Err(err);
+    }
+    let (server_threads, server_workers, server_sessions) = info?;
+    Ok(StormReport {
+        connections,
+        rounds,
+        latencies_us,
+        server_threads,
+        server_workers,
+        server_sessions,
+        wall: started.elapsed(),
+    })
 }

@@ -4,38 +4,44 @@
 //! network clients — the multiuser deployment of paper §3, with the network
 //! in place of in-process linkage:
 //!
-//! * a `std::net` **accept loop** on its own thread hands each connection to
-//!   a session thread;
-//! * session threads decode request frames ([`crate::wire`]) and execute
-//!   lookups through [`Watchman::get_or_execute_async`] on the engine's
-//!   hand-rolled runtime: **hits never touch the runtime**, and misses
+//! * an **accept task** on the engine's runtime awaits readiness on the
+//!   listening socket and spawns one **session task** per connection —
+//!   sessions are tasks, not threads, so a thousand idle connections cost
+//!   a thousand parked futures, not a thousand stacks;
+//! * session tasks decode request frames ([`crate::wire`]) over the
+//!   runtime's reactor-driven streams and execute lookups through
+//!   [`Watchman::get_or_execute_async`]: **hits never suspend**, and misses
 //!   coalesce across *connections* through the engine's single-flight cells
 //!   (two clients missing on the same query execute it once);
 //! * admin opcodes (`STATS`, `PEEK`, `INVALIDATE`, `REBALANCE_NOW`,
-//!   `SHUTDOWN`) map onto the engine's snapshot, non-mutating probe,
-//!   coherence and rebalancing entry points.
+//!   `SHUTDOWN`, `SERVER_INFO`) map onto the engine's snapshot,
+//!   non-mutating probe, coherence, rebalancing and introspection entry
+//!   points.
 //!
 //! ## Failure isolation
 //!
 //! A malformed or truncated frame fails **its own connection only**: the
-//! session thread closes the socket and every other session keeps running.
-//! Request handling is wrapped in `catch_unwind`, so an internal panic
-//! surfaces as an error *response* on that connection instead of taking a
-//! thread (or the server) down.
+//! session task closes the socket and every other session keeps running.
+//! Each request's handling future is polled under `catch_unwind`, so an
+//! internal panic surfaces as an error *response* on that connection
+//! instead of taking a worker (or the server) down.
 //!
 //! ## Shutdown
 //!
-//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) drains: the listener stops
-//! accepting, session threads finish the request they are on and exit at
-//! their next idle tick, and [`ServerHandle::join`] returns once all of them
-//! are gone.
+//! `SHUTDOWN` (or [`ServerHandle::shutdown`]) fires a shutdown signal that
+//! every parked task observes through its registered waker — there is no
+//! polling tick.  Idle sessions close at their next frame boundary; a
+//! session mid-frame or mid-request gets [`DRAIN_GRACE`] to finish, after
+//! which the supervisor cancels the remaining tasks by shutting the runtime
+//! down.  [`ServerHandle::join`] returns once the drain completes.
 
 use std::fmt;
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -44,20 +50,32 @@ use watchman_core::clock::Timestamp;
 use watchman_core::coherence::DependencyObserver;
 use watchman_core::engine::{LookupSource, PolicyKind, RebalanceConfig, Watchman};
 use watchman_core::key::QueryKey;
-use watchman_core::runtime::block_on;
+use watchman_core::runtime::net::{TcpListener, TcpStream};
+use watchman_core::runtime::{block_on, Runtime};
+use watchman_core::sync::Mutex;
 use watchman_core::value::{CachePayload, ExecutionCost};
 
 use crate::wire::{
     self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError, WireSource,
 };
 
+use std::future::{poll_fn, Future};
+
 /// Hard cap on the retrieved-set size a single `GET` may declare; larger
 /// requests are answered with an error instead of materializing the payload
 /// (defensive: a corrupt or hostile `result_bytes` must not OOM the server).
 pub const MAX_RESULT_BYTES: u64 = 64 << 20;
 
-/// How often an idle session thread wakes to check for shutdown.
-const IDLE_TICK: Duration = Duration::from_millis(25);
+/// Back-off before retrying a failed `accept` (EMFILE, transient network
+/// errors) so the accept task does not spin.
+const ACCEPT_RETRY_TICK: Duration = Duration::from_millis(25);
+
+/// How long a drain waits for in-flight sessions (a frame mid-arrival, a
+/// request mid-execution) before the supervisor cancels the stragglers.
+/// Bounds [`ServerHandle::join`]: a client stalled mid-frame (one byte of a
+/// length prefix, then silence) must not hold the whole server's shutdown
+/// hostage.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
 
 /// The payload type the server caches: real bytes, deterministically
 /// synthesized from the query signature (the simulated warehouse's stand-in
@@ -78,6 +96,8 @@ pub struct ServerConfig {
     pub capacity_bytes: u64,
     /// Worker count of the engine runtime — the execution multiprogramming
     /// level (each in-flight miss occupies a worker for its duration).
+    /// Session tasks share this pool; they suspend while waiting on the
+    /// network, so idle connections occupy no worker.
     pub runtime_workers: usize,
     /// Optional profit-aware capacity rebalancing between shards.
     pub rebalance: Option<RebalanceConfig>,
@@ -158,31 +178,117 @@ fn resolve_relations(key: &QueryKey) -> Vec<String> {
     relations
 }
 
-/// The state every session thread shares.
+/// Waker bookkeeping of [`ShutdownSignal`]: one slot per long-lived waiter
+/// (the accept task, the supervisor, every session), so re-polling replaces
+/// the waiter's waker in place instead of growing a list without bound.
+struct ShutdownWakers {
+    slots: Vec<Option<Waker>>,
+    free: Vec<usize>,
+}
+
+/// A one-shot broadcast: tasks park on [`poll_wait`](Self::poll_wait) and
+/// every registered waker fires exactly once when [`fire`](Self::fire) is
+/// called.  This replaces the old 25 ms idle tick — an idle session wakes
+/// because the signal wakes it, not because it polled a flag on a timer.
+struct ShutdownSignal {
+    fired: AtomicBool,
+    wakers: Mutex<ShutdownWakers>,
+}
+
+impl ShutdownSignal {
+    fn new() -> Self {
+        ShutdownSignal {
+            fired: AtomicBool::new(false),
+            wakers: Mutex::new(ShutdownWakers {
+                slots: Vec::new(),
+                free: Vec::new(),
+            }),
+        }
+    }
+
+    fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Claims a waker slot for one long-lived waiter.
+    fn register_slot(&self) -> usize {
+        let mut wakers = self.wakers.lock();
+        match wakers.free.pop() {
+            Some(slot) => slot,
+            None => {
+                wakers.slots.push(None);
+                wakers.slots.len() - 1
+            }
+        }
+    }
+
+    fn release_slot(&self, slot: usize) {
+        let mut wakers = self.wakers.lock();
+        wakers.slots[slot] = None;
+        wakers.free.push(slot);
+    }
+
+    /// Resolves once the signal has fired; otherwise parks the caller's
+    /// waker in its slot.  The fired re-check under the lock closes the race
+    /// with a concurrent [`fire`](Self::fire) (fire takes the same lock to
+    /// drain the slots, so a waker registered under the lock is never lost).
+    fn poll_wait(&self, slot: usize, cx: &mut Context<'_>) -> Poll<()> {
+        if self.fired() {
+            return Poll::Ready(());
+        }
+        let mut wakers = self.wakers.lock();
+        if self.fired() {
+            return Poll::Ready(());
+        }
+        let entry = &mut wakers.slots[slot];
+        match entry {
+            Some(existing) if existing.will_wake(cx.waker()) => {}
+            _ => *entry = Some(cx.waker().clone()),
+        }
+        Poll::Pending
+    }
+
+    /// Fires the signal (idempotent) and wakes every parked waiter.  Wakes
+    /// run after the lock drops.
+    fn fire(&self) {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let woken: Vec<Waker> = {
+            let mut wakers = self.wakers.lock();
+            wakers.slots.iter_mut().filter_map(Option::take).collect()
+        };
+        for waker in woken {
+            waker.wake();
+        }
+    }
+}
+
+/// The state every session task shares.
 struct Shared {
     engine: Watchman<ServerPayload>,
+    runtime: Arc<Runtime>,
     deps: Arc<DependencyObserver<RelationResolver>>,
-    shutdown: AtomicBool,
+    shutdown: ShutdownSignal,
+    /// Live session count; the supervisor drains until it reaches zero.
+    sessions: AtomicUsize,
+    workers: usize,
     addr: SocketAddr,
 }
 
-impl Shared {
-    /// Initiates drain: stop accepting, let session threads finish and exit.
-    fn request_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // The accept loop blocks in `accept`; a throwaway connection
-            // wakes it so it can observe the flag.  A wildcard bind address
-            // (0.0.0.0 / ::) is not connectable on every platform, so aim
-            // the wake-up at the matching loopback address instead.
-            let mut target = self.addr;
-            if target.ip().is_unspecified() {
-                target.set_ip(match target.ip() {
-                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-                });
-            }
-            let _ = TcpStream::connect_timeout(&target, Duration::from_millis(500));
-        }
+/// Owns one session's slice of the shared bookkeeping (the live-session
+/// count and its shutdown waker slot).  Dropping the guard releases both —
+/// including when the session task is *cancelled* rather than run to
+/// completion, since cancelling a task drops its future.
+struct SessionGuard {
+    shared: Arc<Shared>,
+    slot: usize,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.shared.shutdown.release_slot(self.slot);
+        self.shared.sessions.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -217,10 +323,10 @@ impl ServerHandle {
 
     /// Initiates shutdown without waiting (idempotent).
     pub fn shutdown(&self) {
-        self.shared.request_shutdown();
+        self.shared.shutdown.fire();
     }
 
-    /// Shuts down and waits for the accept loop and every session thread to
+    /// Shuts down and waits for the accept task and every session task to
     /// drain.
     pub fn join(mut self) {
         self.shutdown();
@@ -247,7 +353,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Builds the engine, binds the listener and starts the accept loop.
+/// Builds the engine, binds the listener, spawns the accept task on the
+/// engine's runtime and the supervisor thread that drains on shutdown.
 pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let deps: Arc<DependencyObserver<RelationResolver>> = Arc::new(DependencyObserver::new(
         resolve_relations as RelationResolver,
@@ -262,27 +369,39 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         builder = builder.rebalance(rebalance);
     }
     let engine: Watchman<ServerPayload> = builder.build();
+    let runtime = engine.runtime();
 
-    let listener = TcpListener::bind(&config.addr).map_err(|source| ServerError::Bind {
-        addr: config.addr.clone(),
-        source,
-    })?;
+    // The listener registers with the runtime's reactor at bind time (this
+    // also starts the reactor thread on first use).
+    let listener =
+        TcpListener::bind(&runtime, &config.addr).map_err(|source| ServerError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
     let addr = listener.local_addr().map_err(|source| ServerError::Bind {
         addr: config.addr.clone(),
         source,
     })?;
     let shared = Arc::new(Shared {
         engine,
+        runtime: Arc::clone(&runtime),
         deps,
-        shutdown: AtomicBool::new(false),
+        shutdown: ShutdownSignal::new(),
+        sessions: AtomicUsize::new(0),
+        workers: config.runtime_workers.max(1),
         addr,
     });
 
+    let accept_slot = shared.shutdown.register_slot();
     let accept_shared = Arc::clone(&shared);
+    drop(runtime.spawn(accept_task(listener, accept_shared, accept_slot)));
+
+    let supervisor_slot = shared.shutdown.register_slot();
+    let supervisor_shared = Arc::clone(&shared);
     let thread = thread::Builder::new()
-        .name("watchmand-accept".to_owned())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .expect("spawn accept thread");
+        .name("watchmand-supervisor".to_owned())
+        .spawn(move || supervise(supervisor_shared, supervisor_slot))
+        .expect("spawn supervisor thread");
 
     Ok(ServerHandle {
         shared,
@@ -290,83 +409,106 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut sessions: Vec<thread::JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                sessions.retain(|session| !session.is_finished());
-                let shared = Arc::clone(&shared);
-                let session = thread::Builder::new()
-                    .name("watchmand-session".to_owned())
-                    .spawn(move || serve_connection(stream, shared))
-                    .expect("spawn session thread");
-                sessions.push(session);
-            }
-            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
-            Err(_) => thread::sleep(IDLE_TICK),
-        }
+/// The supervisor: parks until the shutdown signal fires, gives in-flight
+/// sessions [`DRAIN_GRACE`] to finish, then cancels whatever remains (a
+/// connection stalled mid-frame, a fetch still executing) by shutting the
+/// runtime down.  Runs on its own OS thread because it outlives the worker
+/// pool it tears down.
+fn supervise(shared: Arc<Shared>, slot: usize) {
+    block_on(poll_fn(|cx| shared.shutdown.poll_wait(slot, cx)));
+    let deadline = Instant::now() + DRAIN_GRACE;
+    while shared.sessions.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
     }
-    drop(listener);
-    // Drain: every session finishes its in-flight request and exits at its
-    // next idle tick.
-    for session in sessions {
-        let _ = session.join();
-    }
+    // Cancels the accept task (closing the listening socket) and any
+    // straggler sessions, stops the reactor, joins the workers.
+    shared.runtime.shutdown();
 }
 
-/// How long a drain waits for a frame that has *started* arriving before
-/// giving the connection up.  Bounds [`ServerHandle::join`]: a client
-/// stalled mid-frame (one byte of a length prefix, then silence) must not
-/// hold the whole server's shutdown hostage.
-const DRAIN_GRACE: Duration = Duration::from_secs(1);
+/// The accept task: awaits readiness on the listening socket, spawning one
+/// detached session task per connection, until the shutdown signal fires.
+/// Dropping the listener on exit closes the listening socket, so new
+/// connections are refused as soon as the drain starts.
+async fn accept_task(listener: TcpListener, shared: Arc<Shared>, slot: usize) {
+    loop {
+        // Shutdown wins over a pending connection: once draining, the
+        // backlog dies with the listener.
+        let accepted = poll_fn(|cx| {
+            if shared.shutdown.poll_wait(slot, cx).is_ready() {
+                return Poll::Ready(None);
+            }
+            listener.poll_accept(cx).map(Some)
+        })
+        .await;
+        match accepted {
+            None => break,
+            Some(Ok((stream, _peer))) => {
+                let session_slot = shared.shutdown.register_slot();
+                shared.sessions.fetch_add(1, Ordering::SeqCst);
+                // The guard travels *inside* the spawned future: if the
+                // runtime drops the task without polling it (a shutdown
+                // race), dropping the future still releases the count and
+                // the slot.
+                let guard = SessionGuard {
+                    shared: Arc::clone(&shared),
+                    slot: session_slot,
+                };
+                drop(shared.runtime.spawn(serve_session(stream, guard)));
+            }
+            Some(Err(_)) if shared.shutdown.fired() => break,
+            Some(Err(_)) => {
+                // Transient accept failure (EMFILE under a connection
+                // storm): back off instead of spinning.
+                shared.runtime.sleep(ACCEPT_RETRY_TICK).await;
+            }
+        }
+    }
+    shared.shutdown.release_slot(slot);
+}
 
-/// Reads one frame, tolerating read-timeout ticks.  While no byte of the
-/// frame has arrived, a shutdown request resolves to `Ok(None)` (idle
-/// close); once a frame has started, the read is allowed to finish — but
-/// only for [`DRAIN_GRACE`] past the shutdown request, so a connection
-/// stalled mid-frame cannot block the drain forever.
-fn read_frame_idle(
-    stream: &mut TcpStream,
-    stop: &AtomicBool,
+/// Reads one frame, racing the shutdown signal **only while the frame has
+/// not started**: available bytes always win over shutdown, and once the
+/// first header byte is in, the read runs to completion (the supervisor's
+/// grace window bounds a peer that stalls mid-frame).  Returns `Ok(None)`
+/// for both a clean peer close and an idle drain.
+async fn read_frame_or_drain(
+    stream: &TcpStream,
+    shared: &Shared,
+    slot: usize,
 ) -> Result<Option<Vec<u8>>, WireError> {
-    // Set when shutdown is first observed with a frame in progress.
-    let mut drain_deadline: Option<Instant> = None;
-    let mut check_stop = |started: bool| -> bool {
-        if !stop.load(Ordering::SeqCst) {
-            return false;
-        }
-        if !started {
-            return true;
-        }
-        let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
-        Instant::now() >= deadline
-    };
+    enum Start {
+        Drained,
+        Eof,
+        Bytes(usize),
+    }
     let mut header = [0u8; 4];
-    let mut filled = 0;
-    while filled < header.len() {
-        if check_stop(filled > 0) {
-            return Ok(None);
+    let start = poll_fn(|cx| match stream.poll_read(cx, &mut header) {
+        Poll::Ready(Ok(0)) => Poll::Ready(Ok(Start::Eof)),
+        Poll::Ready(Ok(n)) => Poll::Ready(Ok(Start::Bytes(n))),
+        Poll::Ready(Err(error)) => Poll::Ready(Err(error)),
+        Poll::Pending => {
+            if shared.shutdown.poll_wait(slot, cx).is_ready() {
+                Poll::Ready(Ok(Start::Drained))
+            } else {
+                Poll::Pending
+            }
         }
-        match stream.read(&mut header[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
+    })
+    .await
+    .map_err(WireError::Io)?;
+    let mut filled = match start {
+        Start::Drained | Start::Eof => return Ok(None),
+        Start::Bytes(n) => n,
+    };
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]).await {
             Ok(0) => {
                 return Err(WireError::Truncated {
                     context: "frame header",
                 })
             }
             Ok(n) => filled += n,
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(err) => return Err(WireError::Io(err)),
+            Err(error) => return Err(WireError::Io(error)),
         }
     }
     let declared = u32::from_le_bytes(header);
@@ -374,48 +516,58 @@ fn read_frame_idle(
         return Err(WireError::FrameTooLarge { declared });
     }
     let mut body = vec![0u8; declared as usize];
-    let mut filled = 0;
-    while filled < body.len() {
-        if check_stop(true) {
-            return Ok(None);
-        }
-        match stream.read(&mut body[filled..]) {
-            Ok(0) => {
-                return Err(WireError::Truncated {
-                    context: "frame body",
-                })
+    stream.read_exact(&mut body).await.map_err(|err| {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                context: "frame body",
             }
-            Ok(n) => filled += n,
-            Err(err)
-                if matches!(
-                    err.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(err) => return Err(WireError::Io(err)),
+        } else {
+            WireError::Io(err)
         }
-    }
+    })?;
     Ok(Some(body))
 }
 
+/// Polls `future` to completion with every poll wrapped in `catch_unwind`:
+/// the async analogue of running a request handler inside `catch_unwind`.
+/// A panic anywhere in handling (engine internals, a user observer, a
+/// leader panic resumed in a waiter) resolves to `Err` instead of killing
+/// the session task.
+async fn catch_task_panic<F: Future>(future: F) -> Result<F::Output, ()> {
+    let mut future = Box::pin(future);
+    poll_fn(
+        move |cx| match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(cx))) {
+            Ok(Poll::Ready(output)) => Poll::Ready(Ok(output)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(_) => Poll::Ready(Err(())),
+        },
+    )
+    .await
+}
+
 /// One session: handshake, then a request/response loop until the client
-/// hangs up, a frame fails to decode, or the server drains.
-fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+/// hangs up, a frame fails to decode, or the server drains.  Requests on a
+/// connection are handled strictly in order (pipelined clients rely on
+/// response order), so the session is a plain sequential `async` loop.
+async fn serve_session(stream: TcpStream, guard: SessionGuard) {
+    let shared = Arc::clone(&guard.shared);
+    let slot = guard.slot;
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_TICK));
 
     // Handshake: expect the client hello, always answer with ours (so a
     // version-mismatched client learns what this server speaks), then bail
     // on mismatch.
-    let client_version = match read_frame_idle(&mut stream, &shared.shutdown) {
+    let client_version = match read_frame_or_drain(&stream, &shared, slot).await {
         Ok(Some(body)) => match wire::decode_hello(&body) {
             Ok(version) => version,
             Err(_) => return, // malformed handshake: fail this connection only
         },
         _ => return,
     };
-    if wire::write_frame(&mut stream, &wire::encode_hello()).is_err() {
+    if wire::write_frame_async(&stream, &wire::encode_hello())
+        .await
+        .is_err()
+    {
         return;
     }
     if client_version != wire::VERSION {
@@ -423,7 +575,7 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 
     loop {
-        let body = match read_frame_idle(&mut stream, &shared.shutdown) {
+        let body = match read_frame_or_drain(&stream, &shared, slot).await {
             Ok(Some(body)) => body,
             // Clean close, drain, or a malformed/truncated frame: this
             // connection ends; every other connection keeps running.
@@ -432,12 +584,12 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         let (request_id, response, shutdown_after) = match wire::decode_request(&body) {
             Ok((request_id, request)) => {
                 let shutdown_after = matches!(request, Request::Shutdown);
-                // A panic anywhere in request handling (engine internals, a
-                // user observer) must fail the request, not the thread.
-                let response = catch_unwind(AssertUnwindSafe(|| handle_request(&shared, request)))
-                    .unwrap_or_else(|_| Response::Error {
+                let response = match catch_task_panic(handle_request(&shared, request)).await {
+                    Ok(response) => response,
+                    Err(()) => Response::Error {
                         message: "internal panic while handling request".to_owned(),
-                    });
+                    },
+                };
                 (request_id, response, shutdown_after)
             }
             // A well-formed frame with an unknown opcode is answered, not
@@ -455,11 +607,11 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         let Ok(encoded) = wire::encode_response(request_id, &response) else {
             return;
         };
-        if wire::write_frame(&mut stream, &encoded).is_err() || stream.flush().is_err() {
+        if wire::write_frame_async(&stream, &encoded).await.is_err() {
             return;
         }
         if shutdown_after {
-            shared.request_shutdown();
+            shared.shutdown.fire();
             return;
         }
     }
@@ -479,9 +631,23 @@ fn synthesize_payload(signature: u64, len: u64) -> Bytes {
     Bytes::from(data)
 }
 
-fn handle_request(shared: &Shared, request: Request) -> Response {
+/// The OS thread count of this process, from `/proc/self/status`.  `None`
+/// where procfs is unavailable — the `SERVER_INFO` response reports 0 then.
+fn process_thread_count() -> Option<u32> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_thread_count(&status)
+}
+
+fn parse_thread_count(status: &str) -> Option<u32> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+async fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
-        Request::Get(get) => handle_get(shared, get),
+        Request::Get(get) => handle_get(shared, get).await,
         Request::Peek { key } => {
             let key = QueryKey::from_raw_query(&key);
             match shared.engine.peek(&key) {
@@ -515,10 +681,15 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             }))
         }
         Request::Shutdown => Response::Shutdown,
+        Request::ServerInfo => Response::ServerInfo {
+            threads: process_thread_count().unwrap_or(0),
+            workers: shared.workers as u32,
+            sessions: shared.sessions.load(Ordering::SeqCst) as u32,
+        },
     }
 }
 
-fn handle_get(shared: &Shared, get: GetRequest) -> Response {
+async fn handle_get(shared: &Shared, get: GetRequest) -> Response {
     if get.result_bytes > MAX_RESULT_BYTES {
         return Response::Error {
             message: format!(
@@ -535,17 +706,20 @@ fn handle_get(shared: &Shared, get: GetRequest) -> Response {
     let cost_blocks = get.cost_blocks;
     let fetch_delay = Duration::from_micros(u64::from(get.fetch_delay_us));
     // Misses execute on the engine runtime (single-flight across every
-    // connection); hits are answered under the shard lock without touching
-    // the runtime at all.
-    let lookup = block_on(shared.engine.get_or_execute_async(&key, now, move || {
-        if !fetch_delay.is_zero() {
-            thread::sleep(fetch_delay);
-        }
-        (
-            synthesize_payload(signature, result_bytes),
-            ExecutionCost::from_blocks(cost_blocks),
-        )
-    }));
+    // connection); hits resolve on the first poll without suspending the
+    // session at all.
+    let lookup = shared
+        .engine
+        .get_or_execute_async(&key, now, move || {
+            if !fetch_delay.is_zero() {
+                thread::sleep(fetch_delay);
+            }
+            (
+                synthesize_payload(signature, result_bytes),
+                ExecutionCost::from_blocks(cost_blocks),
+            )
+        })
+        .await;
     let service_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     let source = match lookup.source {
         LookupSource::Hit => WireSource::Hit,
@@ -589,5 +763,50 @@ mod tests {
         assert_eq!(a.len(), 20);
         assert_eq!(synthesize_payload(1, 0).len(), 0);
         assert_eq!(synthesize_payload(1, 3).len(), 3);
+    }
+
+    #[test]
+    fn thread_count_parses_proc_status() {
+        let status = "Name:\twatchmand\nThreads:\t7\nVmPeak:\t  123 kB\n";
+        assert_eq!(parse_thread_count(status), Some(7));
+        assert_eq!(parse_thread_count("no such field"), None);
+        // The live procfs read reports at least this thread on Linux.
+        if let Some(threads) = process_thread_count() {
+            assert!(threads >= 1);
+        }
+    }
+
+    #[test]
+    fn shutdown_signal_wakes_slots_exactly_once_and_recycles_them() {
+        use std::task::Wake;
+
+        struct Flag(AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let signal = ShutdownSignal::new();
+        let a = signal.register_slot();
+        let b = signal.register_slot();
+        assert_ne!(a, b);
+
+        let flag = Arc::new(Flag(AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        assert!(signal.poll_wait(a, &mut cx).is_pending());
+        // Re-polling replaces the parked waker in place: no growth.
+        assert!(signal.poll_wait(a, &mut cx).is_pending());
+
+        signal.fire();
+        assert!(flag.0.load(Ordering::SeqCst), "parked waker fired");
+        assert!(signal.poll_wait(a, &mut cx).is_ready());
+        assert!(signal.poll_wait(b, &mut cx).is_ready());
+
+        // Released slots are recycled, not leaked.
+        signal.release_slot(a);
+        let c = signal.register_slot();
+        assert_eq!(c, a);
     }
 }

@@ -43,6 +43,7 @@
 //! | 4 | `INVALIDATE` | relation string |
 //! | 5 | `REBALANCE_NOW` | `timestamp_us: u64` |
 //! | 6 | `SHUTDOWN` | (empty) |
+//! | 7 | `SERVER_INFO` | (empty) |
 //!
 //! `GET` carries the replay protocol of the simulator: the key is the raw
 //! query text, and `result_bytes`/`cost_blocks` describe what executing the
@@ -69,6 +70,7 @@
 //! | `INVALIDATE` | `affected: u32`, `invalidated: u32` |
 //! | `REBALANCE_NOW` | `moved: u8`; if 1: `donor: u32`, `recipient: u32`, `moved_bytes: u64`, `evicted: u32` |
 //! | `SHUTDOWN` | (empty) |
+//! | `SERVER_INFO` | `threads: u32`, `workers: u32`, `sessions: u32` |
 //!
 //! ## Error handling rules
 //!
@@ -84,6 +86,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use watchman_core::engine::StatsSnapshot;
+use watchman_core::runtime::net::TcpStream as NetStream;
 
 /// The handshake magic: identifies a WATCHMAN wire connection.
 pub const MAGIC: [u8; 4] = *b"WMAN";
@@ -264,6 +267,10 @@ pub enum Request {
     },
     /// Stop accepting connections, drain in-flight requests, exit.
     Shutdown,
+    /// Report the server process's execution-stack shape (thread count,
+    /// runtime workers, live sessions).  Load tests use this to prove
+    /// sessions are tasks, not threads.
+    ServerInfo,
 }
 
 /// Where a [`Response::Get`] value came from (mirror of
@@ -344,6 +351,16 @@ pub enum Response {
     RebalanceNow(Option<RebalanceSummary>),
     /// Answer to [`Request::Shutdown`].
     Shutdown,
+    /// Answer to [`Request::ServerInfo`].
+    ServerInfo {
+        /// OS threads in the server process (from `/proc/self/status`;
+        /// 0 when the platform cannot report it).
+        threads: u32,
+        /// Worker threads in the engine's runtime pool.
+        workers: u32,
+        /// Sessions (connections) currently live.
+        sessions: u32,
+    },
     /// The server failed the request (unknown opcode, internal panic, …).
     Error {
         /// Human-readable failure description.
@@ -380,6 +397,54 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> 
     }
     let mut body = vec![0u8; declared as usize];
     reader.read_exact(&mut body).map_err(|err| {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                context: "frame body",
+            }
+        } else {
+            WireError::Io(err)
+        }
+    })?;
+    Ok(Some(body))
+}
+
+/// Writes one frame to a reactor-driven stream (async twin of
+/// [`write_frame`]).  The length prefix and body go out as one buffer so a
+/// frame is a single `write_all` from the runtime's point of view.
+pub async fn write_frame_async(stream: &NetStream, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
+    let mut buffer = Vec::with_capacity(4 + body.len());
+    buffer.extend_from_slice(&len.to_le_bytes());
+    buffer.extend_from_slice(body);
+    stream.write_all(&buffer).await
+}
+
+/// Reads one frame body from a reactor-driven stream (async twin of
+/// [`read_frame`]): `Ok(None)` on a clean EOF *between* frames, a
+/// [`WireError::Truncated`] on EOF inside one, [`MAX_FRAME_BYTES`] enforced
+/// before the body is allocated.
+pub async fn read_frame_async(stream: &NetStream) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]).await {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    context: "frame header",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(err) => return Err(WireError::Io(err)),
+        }
+    }
+    let declared = u32::from_le_bytes(header);
+    if declared > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { declared });
+    }
+    let mut body = vec![0u8; declared as usize];
+    stream.read_exact(&mut body).await.map_err(|err| {
         if err.kind() == io::ErrorKind::UnexpectedEof {
             WireError::Truncated {
                 context: "frame body",
@@ -522,6 +587,7 @@ const OP_STATS: u8 = 3;
 const OP_INVALIDATE: u8 = 4;
 const OP_REBALANCE_NOW: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
+const OP_SERVER_INFO: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -578,6 +644,7 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
             put_u64(&mut out, *timestamp_us);
         }
         Request::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
+        Request::ServerInfo => put_u8(&mut out, OP_SERVER_INFO),
     }
     out
 }
@@ -608,6 +675,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
             timestamp_us: reader.u64("REBALANCE_NOW timestamp")?,
         },
         OP_SHUTDOWN => Request::Shutdown,
+        OP_SERVER_INFO => Request::ServerInfo,
         opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
     };
     reader.finish()?;
@@ -677,6 +745,16 @@ pub fn encode_response(request_id: u64, response: &Response) -> Result<Vec<u8>, 
             }
         }
         Response::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
+        Response::ServerInfo {
+            threads,
+            workers,
+            sessions,
+        } => {
+            put_u8(&mut out, OP_SERVER_INFO);
+            put_u32(&mut out, *threads);
+            put_u32(&mut out, *workers);
+            put_u32(&mut out, *sessions);
+        }
         Response::Error { .. } => unreachable!("handled above"),
     }
     Ok(out)
@@ -745,6 +823,11 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                     }
                 },
                 OP_SHUTDOWN => Response::Shutdown,
+                OP_SERVER_INFO => Response::ServerInfo {
+                    threads: reader.u32("SERVER_INFO threads")?,
+                    workers: reader.u32("SERVER_INFO workers")?,
+                    sessions: reader.u32("SERVER_INFO sessions")?,
+                },
                 opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
             }
         }
@@ -810,6 +893,7 @@ mod tests {
         });
         round_trip_request(Request::RebalanceNow { timestamp_us: 42 });
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::ServerInfo);
     }
 
     #[test]
@@ -838,6 +922,11 @@ mod tests {
             evicted: 2,
         })));
         round_trip_response(Response::Shutdown);
+        round_trip_response(Response::ServerInfo {
+            threads: 6,
+            workers: 4,
+            sessions: 1024,
+        });
         round_trip_response(Response::Error {
             message: "boom".to_owned(),
         });
@@ -913,6 +1002,69 @@ mod tests {
         assert!(matches!(
             read_frame(&mut reader),
             Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn async_frames_interoperate_with_the_blocking_codec() {
+        use std::io::Write as _;
+        use watchman_core::runtime::net::TcpListener as NetListener;
+        use watchman_core::runtime::{block_on, Runtime};
+
+        let runtime = Runtime::with_workers(2);
+        let listener = NetListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        // Async side: read two frames (the second empty), echo the first
+        // back reversed, then observe the clean EOF.
+        let server = runtime.spawn(async move {
+            let (stream, _) = listener.accept().await.expect("accept");
+            let first = read_frame_async(&stream)
+                .await
+                .expect("first frame")
+                .expect("not eof");
+            let second = read_frame_async(&stream)
+                .await
+                .expect("second frame")
+                .expect("not eof");
+            assert_eq!(second, b"");
+            let reversed: Vec<u8> = first.iter().rev().copied().collect();
+            write_frame_async(&stream, &reversed).await.expect("write");
+            assert!(
+                read_frame_async(&stream).await.expect("eof").is_none(),
+                "peer close between frames is a clean EOF"
+            );
+        });
+
+        // Blocking side: the existing sync codec on a std stream.
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        write_frame(&mut client, b"watchman").unwrap();
+        write_frame(&mut client, b"").unwrap();
+        client.flush().unwrap();
+        let echoed = read_frame(&mut client).unwrap().expect("reply");
+        assert_eq!(echoed, b"namhctaw");
+        drop(client);
+        block_on(server).expect("server task");
+    }
+
+    #[test]
+    fn async_oversized_prefix_fails_before_allocating() {
+        use std::io::Write as _;
+        use watchman_core::runtime::net::TcpListener as NetListener;
+        use watchman_core::runtime::{block_on, Runtime};
+
+        let runtime = Runtime::with_workers(1);
+        let listener = NetListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = runtime.spawn(async move {
+            let (stream, _) = listener.accept().await.expect("accept");
+            read_frame_async(&stream).await
+        });
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        assert!(matches!(
+            block_on(server).expect("server task"),
+            Err(WireError::FrameTooLarge { .. })
         ));
     }
 }
