@@ -47,6 +47,15 @@
 //!    The blocking `Client` (`client.rs`) and the CLI binaries under
 //!    `src/bin/` are the deliberate exceptions; `std::net::SocketAddr` and
 //!    friends carry no blocking IO and stay legal everywhere.
+//! 7. **`unbuffered-frame-write-in-session`** — no `write_frame` /
+//!    `write_frame_async` in the server crate's session paths.  Those
+//!    helpers issue one write syscall per frame; the session loop stages
+//!    responses into a `wire::FrameWriter` and flushes the whole burst as
+//!    one vectored write, which is where the pipelined-throughput win
+//!    lives — a single per-frame write sneaking back in silently undoes
+//!    it.  `wire.rs` (the helpers' home), the lockstep clients
+//!    (`client.rs`, `replay.rs` — one request in flight, nothing to
+//!    coalesce) and the CLI binaries under `src/bin/` are exempt.
 //!
 //! Seeded-violation fixtures live in `fixtures/`; the crate's tests assert
 //! each rule fires on its fixture and stays quiet on counter-examples, so a
@@ -330,6 +339,7 @@ pub fn analyze(set: &FileSet) -> Vec<Finding> {
         rule_lock_result_unwrap(path, tokens, &mut findings);
         rule_block_on_in_poll(path, tokens, &mut findings);
         rule_blocking_net_in_session(path, tokens, &mut findings);
+        rule_unbuffered_frame_write_in_session(path, tokens, &mut findings);
         rule_policy_signal_coverage(path, tokens, set, &mut findings);
     }
     rule_frame_size_consistency(set, &mut findings);
@@ -548,6 +558,48 @@ fn rule_blocking_net_in_session(path: &str, tokens: &[Token], findings: &mut Vec
             );
         }
         i = j;
+    }
+}
+
+/// Rule 7: per-frame `write_frame` / `write_frame_async` calls in the
+/// server crate's session paths.  The session loop writes through a
+/// `wire::FrameWriter` — responses staged per burst, flushed as one
+/// vectored write — and the pipelined-throughput numbers in
+/// `BENCH_connection_scaling.json` gate on the syscalls-per-frame that
+/// buys.  A per-frame write helper reintroduced into a session path
+/// silently reverts to one syscall per response.  Exempt: `wire.rs` (where
+/// the helpers live), the lockstep clients `client.rs` and `replay.rs`
+/// (one request in flight at a time — there is never a burst to coalesce),
+/// the CLI binaries under `src/bin/`, and inline `mod tests` peers.
+fn rule_unbuffered_frame_write_in_session(
+    path: &str,
+    tokens: &[Token],
+    findings: &mut Vec<Finding>,
+) {
+    if !path.contains("server/src")
+        || path.ends_with("wire.rs")
+        || path.ends_with("client.rs")
+        || path.ends_with("replay.rs")
+        || path.contains("/bin/")
+    {
+        return;
+    }
+    let tokens = strip_test_modules(tokens);
+    for token in &tokens {
+        if token.is_ident("write_frame") || token.is_ident("write_frame_async") {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: token.line,
+                rule: "unbuffered-frame-write-in-session",
+                message: format!(
+                    "`{}` issues one write syscall per frame; session paths stage \
+                     responses into wire::FrameWriter and flush each burst as a single \
+                     vectored write (wire.rs, client.rs, replay.rs and src/bin/ are the \
+                     sanctioned per-frame sites)",
+                    token.text
+                ),
+            });
+        }
     }
 }
 
@@ -1005,6 +1057,41 @@ mod tests {
             let findings = analyze_one(exempt, &source);
             assert!(
                 findings.iter().all(|f| f.rule != "blocking-net-in-session"),
+                "{exempt}: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbuffered_write_fixture_fires_in_session_paths_only() {
+        let source = fixture("unbuffered_write.rs");
+        let findings = analyze_one("crates/server/src/server.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "unbuffered-frame-write-in-session")
+            .collect();
+        // The async session write and the sync fallback; the per-frame
+        // write inside `mod tests` (a test playing the peer) is legal.
+        assert_eq!(hits.len(), 2, "{findings:?}");
+        assert!(
+            hits.iter().any(|f| f.message.contains("write_frame_async")),
+            "{hits:?}"
+        );
+        // The helpers' home file, the lockstep clients and the CLI
+        // binaries are sanctioned per-frame sites, and the rule has no
+        // opinion outside the server crate.
+        for exempt in [
+            "crates/server/src/wire.rs",
+            "crates/server/src/client.rs",
+            "crates/server/src/replay.rs",
+            "crates/server/src/bin/loadgen.rs",
+            "crates/sim/src/driver.rs",
+        ] {
+            let findings = analyze_one(exempt, &source);
+            assert!(
+                findings
+                    .iter()
+                    .all(|f| f.rule != "unbuffered-frame-write-in-session"),
                 "{exempt}: {findings:?}"
             );
         }

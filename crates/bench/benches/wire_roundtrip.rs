@@ -19,12 +19,63 @@
 //!
 //! Run with `--quick` for a CI-sized smoke pass.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use watchman_core::engine::PolicyKind;
+use watchman_core::runtime::net::stats as net_stats;
 use watchman_server::wire::{self, GetRequest, Request};
 use watchman_server::{run_connection_storm, run_load, serve, Client, LoadOptions, ServerConfig};
 use watchman_sim::{ExperimentScale, Workload};
+
+/// Counts every heap allocation in the process so the loopback table can
+/// report *allocations per served frame* — the number the reusable
+/// session buffers exist to shrink.  Deallocations are free passes-through;
+/// reallocs count (they may move the block, which is the cost we care
+/// about).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System` unchanged; the counter is a
+// relaxed atomic with no allocation of its own, so the allocator contract
+// (including no reentrancy) is exactly `System`'s.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One measured loopback pipeline depth: served-hit throughput plus the
+/// per-frame syscall and allocation costs over the whole process (server
+/// sessions drive the async `TcpStream` counters; the allocator counter
+/// covers both sides of the loopback).
+struct PipelineRow {
+    pipeline: usize,
+    frames: u64,
+    throughput_qps: f64,
+    syscalls_per_frame: f64,
+    allocs_per_frame: f64,
+}
 
 fn sample_request() -> Request {
     Request::Get(GetRequest {
@@ -58,7 +109,7 @@ fn bench_codec(rounds: u64) {
     );
 }
 
-fn bench_loopback(rounds: u64) {
+fn bench_loopback(rounds: u64) -> Vec<PipelineRow> {
     let server = serve(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         shards: 4,
@@ -75,12 +126,15 @@ fn bench_loopback(rounds: u64) {
         |timestamp_us: u64| GetRequest::metrics_only("SELECT hot FROM t", timestamp_us, 512, 9_000);
     client.get(hot(1)).expect("prime");
 
+    let mut rows = Vec::new();
     println!(
-        "\n{:>10} {:>14} {:>16} {:>14}",
-        "pipeline", "batches", "wall", "served hits/s"
+        "\n{:>10} {:>14} {:>16} {:>14} {:>16} {:>14}",
+        "pipeline", "batches", "wall", "served hits/s", "syscalls/frame", "allocs/frame"
     );
     for pipeline in [1usize, 8, 64] {
         let batches = (rounds as usize / pipeline).max(8);
+        let syscalls_before = net_stats::read_syscalls() + net_stats::write_syscalls();
+        let allocs_before = allocation_count();
         let start = Instant::now();
         for batch_index in 0..batches {
             let batch: Vec<GetRequest> = (0..pipeline)
@@ -90,14 +144,26 @@ fn bench_loopback(rounds: u64) {
             debug_assert_eq!(responses.len(), pipeline);
         }
         let elapsed = start.elapsed();
-        let served = (batches * pipeline) as f64;
+        let frames = (batches * pipeline) as u64;
+        let syscalls = net_stats::read_syscalls() + net_stats::write_syscalls() - syscalls_before;
+        let allocs = allocation_count() - allocs_before;
+        let row = PipelineRow {
+            pipeline,
+            frames,
+            throughput_qps: frames as f64 / elapsed.as_secs_f64(),
+            syscalls_per_frame: syscalls as f64 / frames as f64,
+            allocs_per_frame: allocs as f64 / frames as f64,
+        };
         println!(
-            "{:>10} {:>14} {:>16.2?} {:>14.0}",
+            "{:>10} {:>14} {:>16.2?} {:>14.0} {:>16.2} {:>14.2}",
             pipeline,
             batches,
             elapsed,
-            served / elapsed.as_secs_f64()
+            row.throughput_qps,
+            row.syscalls_per_frame,
+            row.allocs_per_frame,
         );
+        rows.push(row);
     }
 
     let snapshot = server.engine().stats_snapshot();
@@ -106,6 +172,7 @@ fn bench_loopback(rounds: u64) {
         "the loopback rounds must be served hits"
     );
     server.join();
+    rows
 }
 
 /// The thread-per-connection server's last measured p99, in microseconds,
@@ -119,7 +186,19 @@ const THREAD_PER_CONN_P99_US: u64 = 5_430;
 /// adding a polling tick or a lost-wakeup stall to every round trip.
 const P99_TOLERANCE: u64 = 3;
 
-fn bench_connection_scaling(quick: bool) {
+/// The unbuffered wire path's measured loopback costs at pipeline depth 64
+/// (`--quick`, this container), recorded immediately before the buffered
+/// `FrameReader`/`FrameWriter` landed: 3.22 syscalls and 12.05 allocations
+/// per served frame (2 reads + 1 write per frame, fresh `Vec`s per body).
+/// The buffered path must beat them by the ratios below.
+const UNBUFFERED_SYSCALLS_PER_FRAME: f64 = 3.22;
+const UNBUFFERED_ALLOCS_PER_FRAME: f64 = 12.05;
+/// Required improvement ratios at pipeline 64 (ISSUE 8 acceptance
+/// criteria): ≥5x fewer syscalls per frame, ≥2x fewer allocations.
+const SYSCALL_IMPROVEMENT_MIN: f64 = 5.0;
+const ALLOC_IMPROVEMENT_MIN: f64 = 2.0;
+
+fn bench_connection_scaling(quick: bool, loopback: &[PipelineRow]) {
     let queries = if quick { 3_200 } else { 12_800 };
     let storm_connections = if quick { 128 } else { 512 };
     let storm_rounds = 4;
@@ -172,26 +251,52 @@ fn bench_connection_scaling(quick: bool) {
     storm_server.join();
     println!(
         "connection scaling: {}-conn storm p50 {} us  p99 {} us  wall {:.2} s  \
-         ({} sessions on {} server threads)",
+         ({} sessions on {} server threads; {} client-side steals, {} parks)",
         storm.connections,
         storm.latency_quantile_us(0.50),
         storm.latency_quantile_us(0.99),
         storm.wall.as_secs_f64(),
         storm.server_sessions,
         storm.server_threads,
+        storm.client_steals,
+        storm.client_parks,
     );
 
+    let pipeline_64 = loopback
+        .iter()
+        .find(|row| row.pipeline == 64)
+        .expect("loopback sweep includes pipeline 64");
+    let loopback_rows: String = loopback
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"mode\": \"loopback\", \"pipeline\": {}, \"frames\": {}, \
+                 \"throughput_qps\": {:.1}, \"syscalls_per_frame\": {:.2}, \
+                 \"allocs_per_frame\": {:.2}}},\n",
+                row.pipeline,
+                row.frames,
+                row.throughput_qps,
+                row.syscalls_per_frame,
+                row.allocs_per_frame
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"wire_roundtrip/connection_scaling\",\n  \"quick\": {quick},\n  \
          \"baseline\": {{\"mode\": \"thread-per-connection\", \"connections\": 64, \
-         \"pipeline\": 1, \"queries\": 12800, \"p99_us\": {THREAD_PER_CONN_P99_US}}},\n  \
-         \"rows\": [\n    \
+         \"pipeline\": 1, \"queries\": 12800, \"p99_us\": {THREAD_PER_CONN_P99_US}, \
+         \"unbuffered_syscalls_per_frame\": {UNBUFFERED_SYSCALLS_PER_FRAME}, \
+         \"unbuffered_allocs_per_frame\": {UNBUFFERED_ALLOCS_PER_FRAME}}},\n  \
+         \"rows\": [\n{loopback_rows}    \
          {{\"mode\": \"replay\", \"connections\": 64, \"pipeline\": 1, \"queries\": {queries}, \
          \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"throughput_qps\": {:.1}}},\n    \
          {{\"mode\": \"storm\", \"connections\": {}, \"rounds\": {storm_rounds}, \
          \"sessions\": {}, \"server_threads\": {}, \"runtime_workers\": {}, \
+         \"client_steals\": {}, \"client_parks\": {}, \
          \"p50_us\": {}, \"p99_us\": {}, \"wall_ms\": {:.1}}}\n  ],\n  \
-         \"gate\": {{\"p99_us_observed\": {replay_p99}, \"p99_us_max\": {}}}\n}}\n",
+         \"gate\": {{\"p99_us_observed\": {replay_p99}, \"p99_us_max\": {}, \
+         \"pipeline64_syscalls_per_frame\": {:.2}, \"pipeline64_syscalls_max\": {:.2}, \
+         \"pipeline64_allocs_per_frame\": {:.2}, \"pipeline64_allocs_max\": {:.2}}}\n}}\n",
         replay.latency_quantile_us(0.50),
         replay.latency_quantile_us(0.95),
         replay_p99,
@@ -200,10 +305,16 @@ fn bench_connection_scaling(quick: bool) {
         storm.server_sessions,
         storm.server_threads,
         storm.server_workers,
+        storm.client_steals,
+        storm.client_parks,
         storm.latency_quantile_us(0.50),
         storm.latency_quantile_us(0.99),
         storm.wall.as_secs_f64() * 1_000.0,
         THREAD_PER_CONN_P99_US * P99_TOLERANCE,
+        pipeline_64.syscalls_per_frame,
+        UNBUFFERED_SYSCALLS_PER_FRAME / SYSCALL_IMPROVEMENT_MIN,
+        pipeline_64.allocs_per_frame,
+        UNBUFFERED_ALLOCS_PER_FRAME / ALLOC_IMPROVEMENT_MIN,
     );
     // Cargo runs benches with the package directory as CWD; anchor the
     // report at the workspace root next to BENCH_policy_ops.json.
@@ -223,10 +334,34 @@ fn bench_connection_scaling(quick: bool) {
         storm.connections
     );
     assert!(
+        storm.client_steals > 0,
+        "storm reported zero client-side steals: {} connection tasks on 4 \
+         workers never redistributed — is the work-stealing path wired in?",
+        storm.connections
+    );
+    assert!(
         replay_p99 <= THREAD_PER_CONN_P99_US * P99_TOLERANCE,
         "64-connection p99 regressed past the thread-per-connection server: \
          {replay_p99} us observed vs {} us baseline (x{P99_TOLERANCE} tolerance)",
         THREAD_PER_CONN_P99_US,
+    );
+    assert!(
+        pipeline_64.syscalls_per_frame <= UNBUFFERED_SYSCALLS_PER_FRAME / SYSCALL_IMPROVEMENT_MIN,
+        "buffered wire path regressed: {:.2} syscalls/frame at pipeline 64, \
+         need <= {:.2} ({}x under the unbuffered baseline of {:.1})",
+        pipeline_64.syscalls_per_frame,
+        UNBUFFERED_SYSCALLS_PER_FRAME / SYSCALL_IMPROVEMENT_MIN,
+        SYSCALL_IMPROVEMENT_MIN,
+        UNBUFFERED_SYSCALLS_PER_FRAME,
+    );
+    assert!(
+        pipeline_64.allocs_per_frame <= UNBUFFERED_ALLOCS_PER_FRAME / ALLOC_IMPROVEMENT_MIN,
+        "buffered wire path regressed: {:.2} allocs/frame at pipeline 64, \
+         need <= {:.2} ({}x under the unbuffered baseline of {:.1})",
+        pipeline_64.allocs_per_frame,
+        UNBUFFERED_ALLOCS_PER_FRAME / ALLOC_IMPROVEMENT_MIN,
+        ALLOC_IMPROVEMENT_MIN,
+        UNBUFFERED_ALLOCS_PER_FRAME,
     );
 }
 
@@ -236,8 +371,8 @@ fn main() {
     let loopback_rounds: u64 = if quick { 2_000 } else { 50_000 };
     println!("wire_roundtrip: codec rounds {rounds}, loopback rounds {loopback_rounds}\n");
     bench_codec(rounds);
-    bench_loopback(loopback_rounds);
-    bench_connection_scaling(quick);
+    let loopback = bench_loopback(loopback_rounds);
+    bench_connection_scaling(quick, &loopback);
     // The codec must never be the bottleneck of a session thread; fail the
     // bench loudly if it regresses below a floor even CI machines clear.
     let floor_start = Instant::now();

@@ -16,18 +16,19 @@
 
 use watchman_core::checker::models::{
     InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
-    SingleFlightModel,
+    SingleFlightModel, WorkStealingQueueModel,
 };
 use watchman_core::checker::{explore, Model};
 
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
     let budget = if quick { 150 } else { 1_500 };
-    let models: [&dyn Model; 4] = [
+    let models: [&dyn Model; 5] = [
         &SingleFlightModel,
         &RuntimeDropModel,
         &RebalanceModel,
         &ReactorRegistrationModel,
+        &WorkStealingQueueModel,
     ];
 
     let mut total_schedules = 0;

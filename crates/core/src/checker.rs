@@ -44,10 +44,13 @@
 //! models: [`models::SingleFlightModel`] (leader panic → takeover →
 //! forget_waiter), [`models::RuntimeDropModel`] (`Runtime::drop` vs a
 //! worker mid-poll), [`models::RebalanceModel`] (two-lock capacity
-//! transfer vs an atomic stats snapshot) and
+//! transfer vs an atomic stats snapshot),
 //! [`models::ReactorRegistrationModel`] (IO-reactor event delivery vs a
-//! cancelled task dropping its registration, against the real `ReadyCell`).
-//! `cargo run -p watchman-core --bin checker` explores all four; see
+//! cancelled task dropping its registration, against the real `ReadyCell`)
+//! and [`models::WorkStealingQueueModel`] (the run-queue push/steal/park
+//! protocol, against the real `RunQueue` — a parked worker nobody wakes
+//! while work sits queued is a lost wakeup).
+//! `cargo run -p watchman-core --bin checker` explores all five; see
 //! `CONCURRENCY.md`.
 //!
 //! [`Flight`]: crate::engine::single_flight::Flight
@@ -566,9 +569,10 @@ pub fn explore(model: &dyn Model, limit: usize) -> Exploration {
 }
 
 pub mod models {
-    //! The built-in models: the three state machines PRs 3–5 shipped with
-    //! hand-found races, plus a deliberately broken lock-order model that
-    //! proves the explorer actually detects deadlocks.
+    //! The built-in models: the state machines earlier PRs shipped with
+    //! hand-found races, the work-stealing run queue's push/steal/park
+    //! protocol, plus a deliberately broken lock-order model that proves
+    //! the explorer actually detects deadlocks.
 
     use super::{Ctl, Model, ModelRun, ThreadBody};
     use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
@@ -1080,6 +1084,166 @@ pub mod models {
         }
     }
 
+    /// Model 5: the work-stealing scheduler's push/steal/park protocol,
+    /// driving the **real** [`RunQueue`](crate::runtime::queue::RunQueue)
+    /// from the runtime.
+    ///
+    /// Two workers and a producer share a `RunQueue<u32>`.  The producer
+    /// submits one item to the injector and one with a worker-0 placement
+    /// hint; each worker runs the exact worker-loop idle protocol —
+    /// pop/steal, then `prepare_park`, then the mandatory *re-scan*, then
+    /// park — with the blocking `park_wait` replaced by a checker wake
+    /// flag.  Real permit grants are mirrored onto the flags atomically
+    /// (within the granting thread's model step), so a schedule where a
+    /// worker parks while an item sits unclaimed and no permit is pending
+    /// is precisely a **lost wakeup**, and the scheduler reports the parked
+    /// thread as such.
+    ///
+    /// The explored windows are the ones `queue.rs` documents: a push
+    /// landing between a worker's `prepare_park` and its re-scan (the
+    /// re-scan must find the item), between the re-scan and the park (the
+    /// idle-list registration must route the permit to the parked worker),
+    /// and a steal racing the victim's own pop (the item must be consumed
+    /// exactly once, by exactly one of them).  Invariants: no deadlocks, no
+    /// item lost or double-consumed, and the queue drains empty.
+    pub struct WorkStealingQueueModel;
+
+    /// Park wake flags, one per model worker.
+    const FLAG_PARK: [u64; 2] = [400, 401];
+    /// The items the producer submits (distinct, so double-consumption is
+    /// visible).
+    const QUEUE_ITEMS: [u32; 2] = [11, 22];
+
+    /// Shared tallies for the queue model.
+    struct QueueModelState {
+        remaining: u32,
+        consumed: Vec<u32>,
+    }
+
+    /// Consumes `item`; when it was the last one, performs the end-of-run
+    /// wake (the real `unpark_all`, mirrored onto both park flags) so
+    /// parked workers can observe completion and exit.
+    fn queue_model_consume(
+        ctl: &Ctl,
+        queue: &crate::runtime::queue::RunQueue<u32>,
+        state: &Mutex<QueueModelState>,
+        item: u32,
+    ) {
+        let drained = {
+            let mut state = state.lock();
+            state.consumed.push(item);
+            state.remaining -= 1;
+            state.remaining == 0
+        };
+        if drained {
+            queue.unpark_all();
+            ctl.set_flag(FLAG_PARK[0]);
+            ctl.set_flag(FLAG_PARK[1]);
+        }
+    }
+
+    impl Model for WorkStealingQueueModel {
+        fn name(&self) -> &'static str {
+            "work-stealing run queue push/steal/park (lost-wakeup hunt)"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            use crate::runtime::queue::{RunQueue, NO_WORKER};
+
+            let queue: Arc<RunQueue<u32>> = Arc::new(RunQueue::new(2));
+            let state = Arc::new(Mutex::new(QueueModelState {
+                remaining: QUEUE_ITEMS.len() as u32,
+                consumed: Vec::new(),
+            }));
+
+            let producer = {
+                let queue = Arc::clone(&queue);
+                Box::new(move |ctl: &Ctl| {
+                    for (index, item) in QUEUE_ITEMS.into_iter().enumerate() {
+                        ctl.point();
+                        // One injector submission, one with a worker hint —
+                        // both unpark paths.  The real push grants permits;
+                        // mirror them onto the checker flags within this
+                        // same model step (no yield between), so flag and
+                        // permit appear together atomically.
+                        let hint = if index == 0 { NO_WORKER } else { 0 };
+                        queue.push_remote(hint, item);
+                        for (worker, flag) in FLAG_PARK.into_iter().enumerate() {
+                            if queue.has_permit(worker) {
+                                ctl.set_flag(flag);
+                            }
+                        }
+                    }
+                }) as ThreadBody
+            };
+
+            let worker = |me: usize| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                Box::new(move |ctl: &Ctl| {
+                    loop {
+                        ctl.point();
+                        if let Some(item) = queue.pop(me).or_else(|| queue.steal(me)) {
+                            queue_model_consume(ctl, &queue, &state, item);
+                            continue;
+                        }
+                        // The worker-loop idle protocol, step for step:
+                        // register as idle FIRST...
+                        ctl.point();
+                        queue.prepare_park(me);
+                        // ...re-scan SECOND (a push that missed the
+                        // registration must be seen here)...
+                        ctl.point();
+                        if let Some(item) = queue.pop(me).or_else(|| queue.steal(me)) {
+                            queue.cancel_park(me);
+                            queue_model_consume(ctl, &queue, &state, item);
+                            continue;
+                        }
+                        if state.lock().remaining == 0 {
+                            queue.cancel_park(me);
+                            return;
+                        }
+                        // ...and only then park.  The blocking park_wait is
+                        // modelled as: consume a pending permit, else wait
+                        // on the mirrored flag — a wait nobody will satisfy
+                        // is reported by the scheduler as a lost wakeup.
+                        ctl.clear_flag(FLAG_PARK[me]);
+                        ctl.point();
+                        if !queue.try_take_permit(me) {
+                            ctl.wait_flag(FLAG_PARK[me]);
+                            let _ = queue.try_take_permit(me);
+                        }
+                    }
+                }) as ThreadBody
+            };
+
+            ModelRun {
+                threads: vec![producer, worker(0), worker(1)],
+                finale: Box::new(move || {
+                    let state = state.lock();
+                    if state.remaining != 0 {
+                        return Err(format!(
+                            "{} items never consumed (lost in the queues)",
+                            state.remaining
+                        ));
+                    }
+                    let mut consumed = state.consumed.clone();
+                    consumed.sort_unstable();
+                    if consumed != QUEUE_ITEMS {
+                        return Err(format!(
+                            "items consumed {consumed:?}, expected {QUEUE_ITEMS:?} \
+                             (lost or double-consumed)"
+                        ));
+                    }
+                    if !queue.drain().is_empty() {
+                        return Err("queue not empty after all items consumed".to_owned());
+                    }
+                    Ok(())
+                }),
+            }
+        }
+    }
+
     /// A deliberately broken variant — two threads taking the two shard
     /// locks in **opposite** order — used to prove the explorer actually
     /// finds deadlocks (a checker that reports "0 violations" on everything
@@ -1118,7 +1282,7 @@ pub mod models {
 mod tests {
     use super::models::{
         InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
-        SingleFlightModel,
+        SingleFlightModel, WorkStealingQueueModel,
     };
     use super::*;
 
@@ -1161,6 +1325,18 @@ mod tests {
     #[test]
     fn reactor_registration_model_is_clean() {
         let exploration = explore(&ReactorRegistrationModel, 5_000);
+        assert!(exploration.schedules > 10, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn work_stealing_queue_model_is_clean() {
+        let exploration = explore(&WorkStealingQueueModel, 4_000);
         assert!(exploration.schedules > 10, "{}", exploration.summary());
         assert!(
             exploration.violations.is_empty(),

@@ -906,21 +906,15 @@ where
     where
         F: FnOnce() -> (V, ExecutionCost) + Send + 'static,
     {
-        let mut fetch = Some(fetch);
-        let spawner: SpawnFetch<V> =
-            Box::new(move |engine, key, shard, now, flight, epoch, cancelled| {
-                let fetch = fetch.take().expect("spawner invoked once");
-                let weak = Arc::downgrade(&engine.inner);
-                engine.runtime().spawn(async move {
-                    run_spawned_fetch(weak, key, shard, now, flight, epoch, cancelled, fetch);
-                });
-            });
         LookupFuture {
             engine: self.clone(),
             key: self.inner.normalizer.apply(key),
             shard: None,
             now,
-            driver: FetchDriver::Spawn(Some(spawner)),
+            driver: FetchDriver::Spawn {
+                fetch: Some(fetch),
+                spawn: spawn_fetch_task::<V, F>,
+            },
             state: LookupState::Start,
             leader_cancel: None,
         }
@@ -1221,17 +1215,42 @@ where
     }
 }
 
-/// The boxed hook an async lookup uses to launch its fetch on the runtime.
-/// Boxing happens in [`Watchman::get_or_execute_async`], where the
-/// `Send + 'static` bounds are available; the future itself stays a single
+/// The hook an async lookup uses to launch its fetch on the runtime: a
+/// plain `fn` pointer, monomorphized in [`Watchman::get_or_execute_async`]
+/// (the one place `F`'s `Send + 'static` bounds are in scope) and stored in
+/// [`FetchDriver::Spawn`] next to the still-unboxed fetch closure.  A hit
+/// therefore resolves without ever touching the allocator for its driver —
+/// only an actual miss, when the leader transition calls this hook, pays
+/// for spawning the fetch task.  The future itself stays a single
 /// non-virtual implementation shared with the synchronous path.  The final
-/// `Arc<AtomicBool>` is the leader session's cancellation flag: set when the
-/// session's future is dropped, checked by the spawned task before it
+/// `Arc<AtomicBool>` is the leader session's cancellation flag: set when
+/// the session's future is dropped, checked by the spawned task before it
 /// invokes the fetch.
-type SpawnFetch<V> = Box<
-    dyn FnMut(&Watchman<V>, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64, Arc<AtomicBool>)
-        + Send,
->;
+type SpawnFetch<V, F> =
+    fn(&Watchman<V>, F, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64, Arc<AtomicBool>);
+
+/// The [`SpawnFetch`] implementation: hands the fetch closure to a task on
+/// the engine's runtime.  Generic so the closure rides along unboxed; the
+/// task future it creates is the miss path's one unavoidable allocation.
+#[allow(clippy::too_many_arguments)]
+fn spawn_fetch_task<V, F>(
+    engine: &Watchman<V>,
+    fetch: F,
+    key: QueryKey,
+    shard: usize,
+    now: Timestamp,
+    flight: Arc<Flight<V>>,
+    epoch: u64,
+    cancelled: Arc<AtomicBool>,
+) where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnOnce() -> (V, ExecutionCost) + Send + 'static,
+{
+    let weak = Arc::downgrade(&engine.inner);
+    engine.runtime().spawn(async move {
+        run_spawned_fetch(weak, key, shard, now, flight, epoch, cancelled, fetch);
+    });
+}
 
 /// Runs a spawned leader fetch to completion on a runtime worker: executes
 /// the closure, admits the result, and completes (or, on panic, abandons)
@@ -1312,7 +1331,10 @@ fn run_spawned_fetch<V, F>(
 /// same code.
 enum FetchDriver<V, F> {
     Inline(Option<F>),
-    Spawn(Option<SpawnFetch<V>>),
+    Spawn {
+        fetch: Option<F>,
+        spawn: SpawnFetch<V, F>,
+    },
 }
 
 enum LookupState<V> {
@@ -1552,14 +1574,15 @@ where
                                 outcome: Some(outcome),
                             });
                         }
-                        FetchDriver::Spawn(spawner) => {
-                            let mut spawner =
-                                spawner.take().expect("leader consumes its fetch once");
+                        FetchDriver::Spawn { fetch, spawn } => {
+                            let fetch = fetch.take().expect("leader consumes its fetch once");
+                            let spawn = *spawn;
                             let epoch = flight.new_leader_epoch();
                             let cancel = Arc::new(AtomicBool::new(false));
                             this.leader_cancel = Some(Arc::clone(&cancel));
-                            spawner(
+                            spawn(
                                 &this.engine,
+                                fetch,
                                 this.key.clone(),
                                 shard_index,
                                 this.now,

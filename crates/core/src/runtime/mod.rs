@@ -16,14 +16,34 @@
 //!   points use: `get_or_execute` is literally `block_on(get_or_execute_async
 //!   (..))`.
 //!
-//! ## Scheduling model and its limits
+//! ## Scheduling model
 //!
-//! The runtime is deliberately simple — a global FIFO run queue under one
-//! mutex, no work stealing, no per-worker queues:
+//! The ready set is **sharded**: each worker owns a local run queue (a FIFO
+//! plus a one-slot LIFO) behind its own mutex, with a global injector for
+//! submissions that carry no placement hint and randomized work stealing to
+//! rebalance load (the data plane lives in `queue.rs`):
 //!
-//! * **FIFO fairness, no priorities.**  Tasks are polled in wake order.  A
-//!   task that wakes itself in a loop cannot starve others (it goes to the
-//!   back of the queue), but there is no notion of priority.
+//! * **Placement follows the wake.**  A wake performed *by* a worker lands
+//!   in that worker's queue — in the LIFO slot when it wakes another task
+//!   (a single-flight leader waking a follower hands it off while its state
+//!   is cache-hot, subject to a streak cap so hand-off chains cannot starve
+//!   the FIFO), or at the FIFO back when a task re-queues itself
+//!   ([`yield_now`] keeps its everything-else-first meaning).  Wakes from
+//!   outside the pool — the IO reactor, external threads — go to the queue
+//!   of the worker that *last polled* the task, so a session keeps
+//!   returning to the same core; fresh spawns with no history go to the
+//!   injector.  With one worker this degenerates to the strict FIFO
+//!   executor the deterministic tests rely on.
+//! * **Stealing bounds imbalance.**  A worker with an empty local queue
+//!   sweeps its siblings in xorshift-randomized order and takes half of the
+//!   first non-empty FIFO it finds, then falls back to the injector; every
+//!   61st pop services the injector first so remote submissions cannot
+//!   starve behind local wake traffic.  An idle worker parks on its own
+//!   permit (no shared condvar, no thundering herd); the
+//!   register-idle → re-scan → park protocol that makes parking race-free
+//!   is documented in `queue.rs`, asserted leaf-level in the lock-order
+//!   graph, and model-checked by the checker's work-stealing model
+//!   (`CONCURRENCY.md`).
 //! * **IO readiness comes from a reactor thread.**  The first
 //!   [`net::TcpListener`]/[`net::TcpStream`] registration lazily starts one
 //!   dedicated reactor thread parked in `epoll_wait`; sockets are
@@ -32,88 +52,104 @@
 //!   protocol, including the tick scheme that makes edge-triggered clears
 //!   race-free, is documented in `reactor.rs` and `CONCURRENCY.md`).
 //!   Runtimes that never touch the network never pay for the thread.
-//!   Waking a task from the reactor is just a ready-queue push: IO-bound
-//!   sessions are ordinary tasks, scheduled FIFO with everything else, so
-//!   thousands of idle connections cost two parked wakers each — not
-//!   threads.
+//!   Waking a task from the reactor is a push onto its last worker's queue:
+//!   IO-bound sessions are ordinary tasks, so thousands of idle connections
+//!   cost two parked wakers each — not threads.
 //! * **Blocking closures occupy a worker.**  The engine's fetch closures are
 //!   *blocking* by design (they model multi-second warehouse scans), and each
 //!   one occupies a worker thread for its duration.  Size the pool to the
 //!   number of concurrent executions you want to allow, exactly like the
 //!   paper sizes its multiprogramming level; waiting *sessions* cost nothing
-//!   either way because they suspend instead of holding threads.
-//! * **Timers are best-effort.**  [`Sleep`] deadlines are checked by workers
-//!   between tasks; a pool whose every worker is stuck in a long blocking
-//!   fetch fires timers late.  Fine for the engine's background maintenance
-//!   (rebalance passes), unsuitable for high-resolution timing.
+//!   either way because they suspend instead of holding threads.  Tasks
+//!   queued behind a blocked worker do not wait for it — a sibling steals
+//!   them.
+//! * **Timers are best-effort.**  [`Sleep`] deadlines live in one global
+//!   heap guarded by an atomic earliest-deadline mirror, so the per-pop
+//!   check is a single load; workers fire due timers between tasks and park
+//!   against the earliest deadline.  A pool whose every worker is stuck in
+//!   a long blocking fetch fires timers late.  Fine for the engine's
+//!   background maintenance (rebalance passes), unsuitable for
+//!   high-resolution timing.
 //! * **Shutdown is prompt, not graceful-drain.**  Dropping the [`Runtime`]
 //!   (or calling [`Runtime::shutdown`] on a shared handle) stops the
-//!   reactor, wakes every worker, stops polling, drops all pending tasks
-//!   (their [`JoinHandle`]s resolve to [`JoinError::Cancelled`]) and joins
-//!   the workers.  In-flight polls finish; suspended tasks never run again.
-//!   Callers that want a graceful drain (the networked server) signal their
-//!   tasks first and call `shutdown` only after a grace period.
+//!   reactor, grants every worker's park permit, stops polling, drops all
+//!   pending tasks (their [`JoinHandle`]s resolve to
+//!   [`JoinError::Cancelled`]) and joins the workers.  In-flight polls
+//!   finish; suspended tasks never run again.  Callers that want a graceful
+//!   drain (the networked server) signal their tasks first and call
+//!   `shutdown` only after a grace period.
 //!
-//! The single-mutex design caps scalability far below a production executor,
-//! but the engine's hot paths (hits) never touch the runtime at all — only
-//! misses and background maintenance do, and those are dominated by the
-//! multi-second fetches themselves.
+//! [`Runtime::scheduler_stats`] exports steal/park counters so load tests
+//! can assert the stealing actually engages.
 //!
 //! [`Watchman::get_or_execute_async`]: crate::engine::Watchman::get_or_execute_async
 
 pub mod net;
+pub(crate) mod queue;
 pub(crate) mod reactor;
 mod task;
 mod timer;
 
+pub use queue::QueueStats;
 pub use task::{JoinError, JoinHandle};
 pub use timer::Sleep;
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::cell::Cell;
+use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
-use crate::sync::{Condvar, Mutex, MutexGuard};
+use crate::sync::{Condvar, Mutex};
 
+use queue::RunQueue;
 use task::{RunnableTask, TaskFuture};
 use timer::TimerEntry;
 
-/// The state workers coordinate through, behind [`RuntimeInner::state`].
-struct SchedulerState {
-    /// Tasks ready to be polled, in wake order.
-    ready: VecDeque<Arc<RunnableTask>>,
-    /// Pending [`Sleep`] registrations, earliest deadline first.
-    timers: BinaryHeap<TimerEntry>,
-    /// Every task ever spawned and possibly still alive (pruned lazily on
-    /// spawn).  Shutdown must reach tasks that are suspended with their
-    /// waker held *outside* the scheduler — neither the ready queue nor the
-    /// timer heap references those — so their `JoinHandle`s still resolve
-    /// to [`JoinError::Cancelled`] instead of hanging forever.
-    tasks: Vec<Weak<RunnableTask>>,
-    /// Set by [`Runtime::drop`]; workers exit once they observe it.
-    shutdown: bool,
+thread_local! {
+    /// Set on worker threads: this thread's worker index plus the address
+    /// of the runtime it belongs to.  `schedule` uses it to route
+    /// worker-origin wakes into the waking worker's own queue.
+    static WORKER_CONTEXT: Cell<Option<(usize, *const ())>> = const { Cell::new(None) };
+    /// The task this thread is polling right now (null between polls), so
+    /// `schedule` can tell a self-wake (requeue at the FIFO back — yield
+    /// semantics) from a wake of another task (LIFO hand-off).
+    static POLLING_TASK: Cell<*const ()> = const { Cell::new(std::ptr::null()) };
 }
 
 /// The shared core of a [`Runtime`]; workers and task wakers hold it via
 /// `Arc`/`Weak` so dropping the `Runtime` handle is what initiates shutdown.
 pub(crate) struct RuntimeInner {
-    state: Mutex<SchedulerState>,
-    /// Signaled when a task becomes ready, a timer is registered, or
-    /// shutdown begins.
-    wakeup: Condvar,
+    /// The sharded, work-stealing ready set (see `queue.rs`).
+    queue: RunQueue<Arc<RunnableTask>>,
+    /// Pending [`Sleep`] registrations, earliest deadline first.  Guarded by
+    /// its own mutex — never held together with any queue lock.
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    /// The earliest timer deadline, as nanoseconds since `epoch`
+    /// (`u64::MAX` = no timers), so the worker loop's per-iteration timer
+    /// check is one atomic load instead of a heap lock.
+    next_timer: AtomicU64,
+    /// The runtime's birth instant; anchors the nanosecond timestamps in
+    /// `next_timer`.
+    epoch: Instant,
+    /// Every task ever spawned and possibly still alive (pruned lazily on
+    /// spawn).  Shutdown must reach tasks that are suspended with their
+    /// waker held *outside* the scheduler — neither the run queues nor the
+    /// timer heap references those — so their `JoinHandle`s still resolve
+    /// to [`JoinError::Cancelled`] instead of hanging forever.
+    tasks: Mutex<Vec<Weak<RunnableTask>>>,
     /// Tasks spawned and not yet finished (completed, panicked or dropped).
     alive: AtomicUsize,
     /// Monotonic tie-breaker for timer-heap entries.
     timer_seq: AtomicUsize,
-    /// Lock-free mirror of [`SchedulerState::shutdown`], readable from a
-    /// task's own poll epilogue (which must not take the scheduler lock on
-    /// every `Pending`): a task polled *during* shutdown drops its future
-    /// itself, closing the race with [`Runtime::drop`]'s cancel sweep.
-    shutdown: std::sync::atomic::AtomicBool,
+    /// Set first by [`Runtime::shutdown`], readable everywhere lock-free: a
+    /// task polled *during* shutdown drops its future itself (poll
+    /// epilogue), closing the race with the cancel sweep; workers exit once
+    /// they observe it.
+    shutdown: AtomicBool,
 }
 
 impl RuntimeInner {
@@ -121,96 +157,150 @@ impl RuntimeInner {
     pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
-}
 
-impl RuntimeInner {
-    fn lock(&self) -> MutexGuard<'_, SchedulerState> {
-        // Worker panics are caught per-task (see TaskFuture::poll), so the
-        // scheduler lock is only ever poisoned by a bug in the runtime
-        // itself; the sync layer recovers and keeps the workers alive.
-        self.state.lock()
+    /// Nanoseconds from the runtime's epoch to `instant`, saturating and
+    /// reserving `u64::MAX` as the "no deadline" sentinel.
+    fn nanos_since_epoch(&self, instant: Instant) -> u64 {
+        let nanos = instant.saturating_duration_since(self.epoch).as_nanos();
+        nanos.min(u128::from(u64::MAX - 1)) as u64
     }
 
-    /// Enqueues a task for polling.  Called from task wakers.
+    /// Enqueues a task for polling.  Called from task wakers; placement
+    /// follows the wake (see the [module docs](self)).
     pub(crate) fn schedule(&self, task: Arc<RunnableTask>) {
-        let mut state = self.lock();
-        if state.shutdown {
+        if self.is_shutting_down() {
+            // Dropping the task here settles its JoinHandle to Cancelled via
+            // TaskFuture's Drop if this was the last reference; otherwise
+            // the shutdown cancel sweep reaches it through the registry.
             return;
         }
-        state.ready.push_back(task);
-        drop(state);
-        self.wakeup.notify_one();
+        let me = std::ptr::from_ref(self).cast::<()>();
+        let worker = WORKER_CONTEXT
+            .with(Cell::get)
+            .and_then(|(index, owner)| (owner == me).then_some(index));
+        match worker {
+            Some(index) => {
+                let self_wake = POLLING_TASK.with(Cell::get) == Arc::as_ptr(&task).cast::<()>();
+                task.set_last_worker(index);
+                if self_wake {
+                    self.queue.push_local_fifo(index, task);
+                } else {
+                    self.queue.push_local_lifo(index, task);
+                }
+            }
+            None => self.queue.push_remote(task.last_worker(), task),
+        }
     }
 
     /// Registers a timer; the waker fires at (or shortly after) `deadline`.
     pub(crate) fn register_timer(&self, deadline: Instant, waker: Waker) {
         let seq = self.timer_seq.fetch_add(1, Ordering::Relaxed);
-        let mut state = self.lock();
-        if state.shutdown {
-            // Resolve immediately rather than strand the sleeper: the waker
-            // re-polls the task, which observes the runtime shutting down.
-            drop(state);
-            waker.wake();
-            return;
-        }
-        let is_earliest = state
-            .timers
-            .peek()
-            .is_none_or(|earliest| deadline < earliest.deadline);
-        state.timers.push(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        });
-        drop(state);
+        let is_earliest = {
+            let mut timers = self.timers.lock();
+            if self.is_shutting_down() {
+                // Resolve immediately rather than strand the sleeper: the
+                // waker re-polls the task, which observes the shutdown.
+                // (Checked under the timer lock so the entry cannot slip in
+                // behind the shutdown sweep's heap clear.)
+                drop(timers);
+                waker.wake();
+                return;
+            }
+            let is_earliest = timers
+                .peek()
+                .is_none_or(|earliest| deadline < earliest.deadline);
+            timers.push(TimerEntry {
+                deadline,
+                seq,
+                waker,
+            });
+            if is_earliest {
+                self.next_timer
+                    .store(self.nanos_since_epoch(deadline), Ordering::Release);
+            }
+            is_earliest
+        };
         if is_earliest {
-            // A worker may be waiting with a later (or no) timeout; it must
-            // recompute its wait against the new earliest deadline.
-            self.wakeup.notify_one();
+            // An idle worker may be parked against a later (or no) deadline;
+            // wake one so it recomputes its park timeout.
+            self.queue.unpark_one();
         }
     }
 
-    fn worker_loop(self: &Arc<Self>) {
+    /// Pops due timers and fires their wakers (outside the heap lock —
+    /// waking re-enters `schedule`).  One atomic load when nothing is due.
+    fn fire_due_timers(&self) {
+        if self.nanos_since_epoch(Instant::now()) < self.next_timer.load(Ordering::Acquire) {
+            return;
+        }
+        let due = {
+            let mut timers = self.timers.lock();
+            let now = Instant::now();
+            let mut due = Vec::new();
+            while timers.peek().is_some_and(|entry| entry.deadline <= now) {
+                due.push(timers.pop().expect("peeked entry").waker);
+            }
+            let next = timers
+                .peek()
+                .map_or(u64::MAX, |entry| self.nanos_since_epoch(entry.deadline));
+            self.next_timer.store(next, Ordering::Release);
+            due
+        };
+        for waker in due {
+            waker.wake();
+        }
+    }
+
+    /// How long a parking worker may sleep before the earliest timer is due.
+    fn park_timeout(&self) -> Option<Duration> {
+        match self.next_timer.load(Ordering::Acquire) {
+            u64::MAX => None,
+            next => {
+                let now = self.nanos_since_epoch(Instant::now());
+                Some(Duration::from_nanos(next.saturating_sub(now)))
+            }
+        }
+    }
+
+    /// Polls `task` with this worker recorded as its placement hint and as
+    /// the thread's current poll (self-wake detection).
+    fn run_task(&self, index: usize, task: Arc<RunnableTask>) {
+        task.set_last_worker(index);
+        POLLING_TASK.with(|current| current.set(Arc::as_ptr(&task).cast::<()>()));
+        task.run();
+        POLLING_TASK.with(|current| current.set(std::ptr::null()));
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        WORKER_CONTEXT.with(|context| {
+            context.set(Some((index, Arc::as_ptr(self).cast::<()>())));
+        });
         loop {
-            let task = {
-                let mut state = self.lock();
-                loop {
-                    // Fire due timers first so a busy ready queue cannot
-                    // starve the timer heap indefinitely.
-                    let now = Instant::now();
-                    let mut due = Vec::new();
-                    while state
-                        .timers
-                        .peek()
-                        .is_some_and(|entry| entry.deadline <= now)
-                    {
-                        due.push(state.timers.pop().expect("peeked entry").waker);
-                    }
-                    if !due.is_empty() {
-                        // Wake outside the lock: waking re-enters schedule().
-                        drop(state);
-                        for waker in due {
-                            waker.wake();
-                        }
-                        state = self.lock();
-                        continue;
-                    }
-                    if state.shutdown {
-                        return;
-                    }
-                    if let Some(task) = state.ready.pop_front() {
-                        break task;
-                    }
-                    state = match state.timers.peek() {
-                        Some(entry) => {
-                            let timeout = entry.deadline.saturating_duration_since(now);
-                            self.wakeup.wait_timeout(state, timeout).0
-                        }
-                        None => self.wakeup.wait(state),
-                    };
-                }
-            };
-            task.run();
+            if self.is_shutting_down() {
+                return;
+            }
+            // Fire due timers first so a busy run queue cannot starve the
+            // timer heap indefinitely (one atomic load when nothing is due).
+            self.fire_due_timers();
+            if let Some(task) = self.queue.pop(index).or_else(|| self.queue.steal(index)) {
+                self.run_task(index, task);
+                continue;
+            }
+            // Going idle: register as a parking candidate FIRST, re-scan
+            // SECOND — the order that makes the park race-free (a push that
+            // missed the registration is seen by this re-scan; a push that
+            // saw it grants the permit; see queue.rs).
+            self.queue.prepare_park(index);
+            if let Some(task) = self.queue.pop(index).or_else(|| self.queue.steal(index)) {
+                self.queue.cancel_park(index);
+                self.run_task(index, task);
+                continue;
+            }
+            if self.is_shutting_down() {
+                self.queue.cancel_park(index);
+                return;
+            }
+            self.queue.park_wait(index, self.park_timeout());
         }
     }
 }
@@ -268,25 +358,23 @@ impl Runtime {
     /// reproducible tests.  Each blocking fetch occupies a worker for its
     /// duration, so size the pool like a multiprogramming level.
     pub fn with_workers(workers: usize) -> Self {
+        let worker_total = workers.max(1);
         let inner = Arc::new(RuntimeInner {
-            state: Mutex::new(SchedulerState {
-                ready: VecDeque::new(),
-                timers: BinaryHeap::new(),
-                tasks: Vec::new(),
-                shutdown: false,
-            }),
-            wakeup: Condvar::new(),
+            queue: RunQueue::new(worker_total),
+            timers: Mutex::new(BinaryHeap::new()),
+            next_timer: AtomicU64::new(u64::MAX),
+            epoch: Instant::now(),
+            tasks: Mutex::new(Vec::new()),
             alive: AtomicUsize::new(0),
             timer_seq: AtomicUsize::new(0),
-            shutdown: std::sync::atomic::AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
         });
-        let worker_total = workers.max(1);
         let workers = (0..worker_total)
             .map(|index| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("watchman-runtime-{index}"))
-                    .spawn(move || inner.worker_loop())
+                    .spawn(move || inner.worker_loop(index))
                     .expect("spawn runtime worker")
             })
             .collect();
@@ -312,20 +400,24 @@ impl Runtime {
         let (task, handle) = TaskFuture::package(future, Arc::downgrade(&self.inner));
         self.inner.alive.fetch_add(1, Ordering::AcqRel);
         {
-            let mut state = self.inner.lock();
-            if state.shutdown {
+            let mut tasks = self.inner.tasks.lock();
+            // Checked under the registry lock: either this registration
+            // lands before shutdown's registry take (and the cancel sweep
+            // reaches it), or the flag — stored before that take — is
+            // visible here and the task is dropped instead of queued.
+            if self.inner.is_shutting_down() {
                 // Spawning after shutdown: drop the task instead of queueing
                 // it into a scheduler that will never poll it.  TaskFuture's
                 // drop settles the handle to Cancelled and decrements alive.
-                drop(state);
+                drop(tasks);
                 drop(task);
                 return handle;
             }
             // Lazy pruning keeps the registry proportional to live tasks.
-            if state.tasks.len() >= 32 && state.tasks.len() >= 2 * self.alive_tasks() {
-                state.tasks.retain(|task| task.strong_count() > 0);
+            if tasks.len() >= 32 && tasks.len() >= 2 * self.alive_tasks() {
+                tasks.retain(|task| task.strong_count() > 0);
             }
-            state.tasks.push(Arc::downgrade(&task));
+            tasks.push(Arc::downgrade(&task));
         }
         self.inner.schedule(task);
         handle
@@ -350,6 +442,12 @@ impl Runtime {
     /// The number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.worker_total
+    }
+
+    /// Scheduler counters: steals and parks since the runtime started.
+    /// Load tests use this to assert work stealing actually engages.
+    pub fn scheduler_stats(&self) -> QueueStats {
+        self.inner.queue.stats()
     }
 
     pub(crate) fn inner_handle(&self) -> Weak<RuntimeInner> {
@@ -382,17 +480,18 @@ impl Runtime {
         // Atomic flag first: a task whose poll is in progress right now
         // observes it in its poll epilogue and drops its own future.
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        let tasks = {
-            let mut state = self.inner.lock();
-            state.shutdown = true;
-            // Drop every pending task and timer now, inside the drop of the
-            // collections: JoinHandles observe Cancelled, and task futures
-            // release whatever they captured.
-            state.ready.clear();
-            state.timers.clear();
-            std::mem::take(&mut state.tasks)
-        };
-        self.inner.wakeup.notify_all();
+        // Drop every queued task and pending timer now: JoinHandles observe
+        // Cancelled (via the registry sweep below), and task futures release
+        // whatever they captured.
+        let drained = self.inner.queue.drain();
+        let cleared_timers = std::mem::take(&mut *self.inner.timers.lock());
+        self.inner.next_timer.store(u64::MAX, Ordering::Release);
+        let tasks = std::mem::take(&mut *self.inner.tasks.lock());
+        drop(drained);
+        drop(cleared_timers);
+        // Grant every park permit — parked or mid-park, no worker sleeps
+        // through the flag.
+        self.inner.queue.unpark_all();
         // Stop the reactor before cancelling tasks: no new readiness events
         // will arrive while IO futures are being dropped.
         let reactor = self.reactor.lock().take();
@@ -589,6 +688,34 @@ mod tests {
         // The single worker survived the panic and still runs tasks.
         let ok = runtime.spawn(async { "alive" });
         assert_eq!(block_on(ok).unwrap(), "alive");
+    }
+
+    #[test]
+    fn an_idle_worker_steals_from_a_blocked_workers_queue() {
+        const FOLLOWERS: usize = 8;
+        let runtime = Arc::new(Runtime::with_workers(2));
+        let runtime_for_task = Arc::clone(&runtime);
+        // The flooder spawns followers from inside its own poll — they land
+        // in its worker's local queue, not the injector — then wedges that
+        // worker in a synchronous sleep.  The followers can only run before
+        // the sleep ends if the other worker raids the blocked one's queue,
+        // so joining them all proves the steal path and the stats pin it.
+        let flooder = runtime.spawn(async move {
+            let followers: Vec<_> = (0..FOLLOWERS)
+                .map(|i| runtime_for_task.spawn(async move { i }))
+                .collect();
+            std::thread::sleep(Duration::from_millis(200));
+            followers
+        });
+        let followers = block_on(flooder).unwrap();
+        for (i, follower) in followers.into_iter().enumerate() {
+            assert_eq!(block_on(follower).unwrap(), i);
+        }
+        let stats = runtime.scheduler_stats();
+        assert!(
+            stats.steals > 0,
+            "the idle worker never stole from the blocked one: {stats:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,37 @@ use std::task::{ready, Context, Poll};
 use super::reactor::{Dir, Registration};
 use super::Runtime;
 
+/// Process-wide counters of the read/write syscalls issued through
+/// [`TcpStream`], kept so benches can report *syscalls per frame* — the
+/// number the buffered wire path exists to shrink.  Counts every attempt
+/// (including ones that return `WouldBlock`), because each attempt is a real
+/// kernel crossing.  Relaxed atomics: the counters are observational only.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static READ_SYSCALLS: AtomicU64 = AtomicU64::new(0);
+    static WRITE_SYSCALLS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn note_read() {
+        READ_SYSCALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn note_write() {
+        WRITE_SYSCALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total read (`recv`) syscalls attempted on any [`super::TcpStream`].
+    pub fn read_syscalls() -> u64 {
+        READ_SYSCALLS.load(Ordering::Relaxed)
+    }
+
+    /// Total write (`send`/`writev`) syscalls attempted on any
+    /// [`super::TcpStream`].
+    pub fn write_syscalls() -> u64 {
+        WRITE_SYSCALLS.load(Ordering::Relaxed)
+    }
+}
+
 /// A TCP listener whose `accept` is readiness-driven instead of blocking a
 /// thread.
 pub struct TcpListener {
@@ -114,6 +145,7 @@ impl TcpStream {
     pub fn poll_read(&self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
         loop {
             let tick = ready!(self.registration.cell().poll_ready(Dir::Read, cx));
+            stats::note_read();
             match (&self.std).read(buf) {
                 Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                     self.registration.cell().clear_ready(Dir::Read, tick);
@@ -128,6 +160,7 @@ impl TcpStream {
     pub fn poll_write(&self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
         loop {
             let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
+            stats::note_write();
             match (&self.std).write(buf) {
                 Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
                     self.registration.cell().clear_ready(Dir::Write, tick);
@@ -136,6 +169,32 @@ impl TcpStream {
                 result => return Poll::Ready(result),
             }
         }
+    }
+
+    /// Polls one non-blocking vectored write of `bufs` (a single `writev`
+    /// syscall covering every slice the kernel accepts in one go).
+    pub fn poll_write_vectored(
+        &self,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        loop {
+            let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
+            stats::note_write();
+            match (&self.std).write_vectored(bufs) {
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    self.registration.cell().clear_ready(Dir::Write, tick);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                result => return Poll::Ready(result),
+            }
+        }
+    }
+
+    /// Writes some bytes from `bufs` with one `writev`; returns the count
+    /// accepted (which may stop mid-slice).
+    pub async fn write_vectored(&self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        poll_fn(|cx| self.poll_write_vectored(cx, bufs)).await
     }
 
     /// Reads some bytes into `buf`; resolves with 0 at end-of-stream.
@@ -177,6 +236,37 @@ impl TcpStream {
         }
         Ok(())
     }
+
+    /// Writes all of `bufs`, coalescing as many slices per `writev` as the
+    /// kernel will take.  Short writes resume from the first unwritten byte.
+    pub async fn write_all_vectored(&self, bufs: &[&[u8]]) -> io::Result<()> {
+        let total: usize = bufs.iter().map(|buf| buf.len()).sum();
+        let mut written = 0usize;
+        while written < total {
+            // Rebuild the slice list from the first unwritten byte: a short
+            // writev may have stopped mid-slice.
+            let mut skip = written;
+            let mut slices = Vec::with_capacity(bufs.len());
+            for buf in bufs {
+                if skip >= buf.len() {
+                    skip -= buf.len();
+                    continue;
+                }
+                slices.push(io::IoSlice::new(&buf[skip..]));
+                skip = 0;
+            }
+            match self.write_vectored(&slices).await? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream refused further bytes",
+                    ))
+                }
+                n => written += n,
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +297,52 @@ mod tests {
         client.read_exact(&mut echoed).expect("recv");
         assert_eq!(echoed, [2, 4, 6, 8]);
         block_on(server).expect("server task");
+    }
+
+    #[test]
+    fn vectored_write_delivers_every_slice_in_order() {
+        let runtime = Runtime::with_workers(1);
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Three uneven slices, including an empty one, pushed with a single
+        // write_all_vectored call; the blocking client must see the exact
+        // concatenation.
+        let server = runtime.spawn(async move {
+            let (stream, _peer) = listener.accept().await.expect("accept");
+            let big = vec![7u8; 9000];
+            let slices: [&[u8]; 4] = [b"head", &[], &big, b"tail"];
+            stream.write_all_vectored(&slices).await.expect("writev");
+        });
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let mut received = Vec::new();
+        client.read_to_end(&mut received).expect("recv");
+        let mut expected = b"head".to_vec();
+        expected.extend(std::iter::repeat_n(7u8, 9000));
+        expected.extend_from_slice(b"tail");
+        assert_eq!(received, expected);
+        block_on(server).expect("server task");
+    }
+
+    #[test]
+    fn syscall_counters_advance_with_traffic() {
+        let reads_before = stats::read_syscalls();
+        let writes_before = stats::write_syscalls();
+        let runtime = Runtime::with_workers(1);
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = runtime.spawn(async move {
+            let (stream, _peer) = listener.accept().await.expect("accept");
+            let mut buf = [0u8; 4];
+            stream.read_exact(&mut buf).await.expect("read");
+            stream.write_all(&buf).await.expect("write");
+        });
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(&[9, 9, 9, 9]).expect("send");
+        let mut echoed = [0u8; 4];
+        client.read_exact(&mut echoed).expect("recv");
+        block_on(server).expect("server task");
+        assert!(stats::read_syscalls() > reads_before);
+        assert!(stats::write_syscalls() > writes_before);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Sharded run queues with work stealing — the scheduler's data plane.
+//!
+//! One global injector queue under one mutex (the previous design) makes
+//! every spawn, wake and pop serialize on the same cache line; at the
+//! connection counts the server targets, workers spend more time queueing
+//! than polling.  This module shards the ready set:
+//!
+//! * **One local queue per worker** — a FIFO [`VecDeque`] plus a one-slot
+//!   LIFO — each behind its *own* mutex.  Wakes performed by a worker land
+//!   in that worker's queue (the task's state is hot in that core's cache);
+//!   the LIFO slot runs the most recently woken task next, which turns a
+//!   leader-wakes-follower chain into a cache-friendly hand-off.  A streak
+//!   cap bounds LIFO hand-offs so a ping-ponging pair cannot starve the
+//!   FIFO behind it.
+//! * **A global injector** for submissions with no usable worker hint
+//!   (fresh spawns from non-worker threads).  Workers poll it when their
+//!   local queue is empty and every [`INJECTOR_INTERVAL`]-th pop regardless,
+//!   so remote submissions cannot starve behind a busy local queue.
+//! * **Randomized stealing** — a worker that finds nothing locally sweeps
+//!   the other workers' queues in xorshift-randomized order and takes half
+//!   of a victim's FIFO in one lock hold (one victim lock at a time; queue
+//!   locks stay leaves of the lock-order graph, see `CONCURRENCY.md`).
+//! * **Permit parkers** — an idle worker parks on its own condvar, not a
+//!   shared one, so a wake targets exactly one sleeper (no thundering
+//!   herd).  The park protocol is the lost-wakeup-sensitive part and is
+//!   verified by the checker's `WorkStealingQueueModel`; the invariant is
+//!   documented on [`RunQueue::prepare_park`].
+//!
+//! The queue is generic over the item type so the checker can drive the
+//! exact production code with plain integers (`RunQueue<u32>`) under its
+//! controlled scheduler.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::sync::{Condvar, Mutex};
+
+/// Consecutive LIFO-slot hand-offs a worker may take before it must service
+/// its FIFO (starvation bound for wake chains).
+const LIFO_STREAK_CAP: u8 = 16;
+
+/// Every this-many pops, a worker services the injector *before* its local
+/// queue, so remote submissions cannot starve behind local wake traffic.
+const INJECTOR_INTERVAL: u32 = 61;
+
+/// The worker-hint value meaning "no usable worker" (submit to the
+/// injector).
+pub(crate) const NO_WORKER: usize = usize::MAX;
+
+/// One worker's private ready set.
+struct LocalSlot<T> {
+    /// The most recently woken task; runs next (subject to the streak cap).
+    lifo: Option<T>,
+    /// Ready tasks in wake order.
+    fifo: VecDeque<T>,
+    /// Consecutive pops served from the LIFO slot.
+    lifo_streak: u8,
+    /// Pop counter driving the injector-interval check.
+    pops: u32,
+}
+
+impl<T> LocalSlot<T> {
+    fn take(&mut self) -> Option<T> {
+        if self.lifo.is_some() && self.lifo_streak < LIFO_STREAK_CAP {
+            self.lifo_streak += 1;
+            return self.lifo.take();
+        }
+        if let Some(item) = self.fifo.pop_front() {
+            self.lifo_streak = 0;
+            return Some(item);
+        }
+        self.lifo_streak = 0;
+        self.lifo.take()
+    }
+}
+
+/// One worker's parking place: a permit the unparker grants and the parker
+/// consumes.  A permit granted before the park makes the park return
+/// immediately — wakes are never lost to the gap between "decided to park"
+/// and "parked".
+struct Parker {
+    permit: Mutex<bool>,
+    wakeup: Condvar,
+}
+
+/// Counters the scheduler exports ([`super::Runtime::scheduler_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Successful steals (one per victim raid, not per task moved).
+    pub steals: u64,
+    /// Times a worker parked with nothing to run.
+    pub parks: u64,
+}
+
+/// The sharded, work-stealing ready set (see the [module docs](self)).
+pub(crate) struct RunQueue<T> {
+    locals: Vec<Mutex<LocalSlot<T>>>,
+    injector: Mutex<VecDeque<T>>,
+    /// Workers currently parked (or about to park), in park order.  The
+    /// park protocol's ordering hinges on this lock — see
+    /// [`RunQueue::prepare_park`].
+    idle: Mutex<Vec<usize>>,
+    parkers: Vec<Parker>,
+    /// Per-worker xorshift state for randomized steal sweeps (atomics, so
+    /// stealing needs no lock on the thief's own queue).
+    rng: Vec<AtomicU64>,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl<T> RunQueue<T> {
+    pub(crate) fn new(workers: usize) -> Self {
+        RunQueue {
+            locals: (0..workers)
+                .map(|_| {
+                    Mutex::new(LocalSlot {
+                        lifo: None,
+                        fifo: VecDeque::new(),
+                        lifo_streak: 0,
+                        pops: 0,
+                    })
+                })
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(Vec::with_capacity(workers)),
+            parkers: (0..workers)
+                .map(|_| Parker {
+                    permit: Mutex::new(false),
+                    wakeup: Condvar::new(),
+                })
+                .collect(),
+            rng: (0..workers)
+                .map(|index| AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)))
+                .collect(),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> QueueStats {
+        QueueStats {
+            steals: self.steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits to the back of `worker`'s FIFO (a worker re-queueing the task
+    /// it is currently polling — yield semantics: everything already queued
+    /// runs first).
+    pub(crate) fn push_local_fifo(&self, worker: usize, item: T) {
+        self.locals[worker].lock().fifo.push_back(item);
+        self.unpark_one();
+    }
+
+    /// Submits to `worker`'s LIFO slot (a worker waking *another* task: run
+    /// it next, its state is hot).  A task already in the slot is demoted to
+    /// the FIFO back.
+    pub(crate) fn push_local_lifo(&self, worker: usize, item: T) {
+        {
+            let mut local = self.locals[worker].lock();
+            if let Some(displaced) = local.lifo.replace(item) {
+                local.fifo.push_back(displaced);
+            }
+        }
+        self.unpark_one();
+    }
+
+    /// Submits from outside the worker pool (reactor, external threads,
+    /// spawns): to `hint`'s FIFO when the task has run on a worker before
+    /// ([`NO_WORKER`] otherwise → the injector), preferring to wake that
+    /// same worker.
+    pub(crate) fn push_remote(&self, hint: usize, item: T) {
+        if hint < self.locals.len() {
+            self.locals[hint].lock().fifo.push_back(item);
+            self.unpark_preferring(hint);
+        } else {
+            self.injector.lock().push_back(item);
+            self.unpark_one();
+        }
+    }
+
+    /// Pops the next item for `worker`: LIFO slot (streak-capped), then
+    /// FIFO, then the injector — except every [`INJECTOR_INTERVAL`]-th pop,
+    /// when the injector is serviced first.
+    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
+        let injector_first = {
+            let mut local = self.locals[worker].lock();
+            local.pops = local.pops.wrapping_add(1);
+            let injector_first = local.pops.is_multiple_of(INJECTOR_INTERVAL);
+            if !injector_first {
+                if let Some(item) = local.take() {
+                    return Some(item);
+                }
+            }
+            injector_first
+        };
+        if let Some(item) = self.injector.lock().pop_front() {
+            return Some(item);
+        }
+        if injector_first {
+            return self.locals[worker].lock().take();
+        }
+        None
+    }
+
+    /// Raids the other workers' queues in xorshift-randomized order, taking
+    /// half of the first non-empty victim's FIFO (and its LIFO slot if the
+    /// FIFO is empty — a task must not strand behind a victim stuck in a
+    /// blocking poll).  One victim lock at a time; the surplus is re-homed
+    /// into the thief's own queue under a *separate*, later lock hold, so
+    /// queue locks never nest.
+    pub(crate) fn steal(&self, worker: usize) -> Option<T> {
+        let n = self.locals.len();
+        if n > 1 {
+            let start = (self.next_random(worker) % n as u64) as usize;
+            for sweep in 0..n {
+                let victim = (start + sweep) % n;
+                if victim == worker {
+                    continue;
+                }
+                let mut loot: VecDeque<T> = {
+                    let mut local = self.locals[victim].lock();
+                    if local.fifo.is_empty() {
+                        local.lifo.take().into_iter().collect()
+                    } else {
+                        let keep = local.fifo.len() / 2;
+                        local.fifo.split_off(keep)
+                    }
+                };
+                if let Some(first) = loot.pop_front() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    if !loot.is_empty() {
+                        self.locals[worker].lock().fifo.extend(loot);
+                    }
+                    return Some(first);
+                }
+            }
+        }
+        self.injector.lock().pop_front()
+    }
+
+    fn next_random(&self, worker: usize) -> u64 {
+        // Per-worker xorshift64; single-threaded per slot, so a plain
+        // load/store pair is enough.
+        let mut x = self.rng[worker].load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng[worker].store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// Registers `worker` as idle.  **Protocol** (verified by the checker's
+    /// `WorkStealingQueueModel`): a worker must `prepare_park`, then re-scan
+    /// ([`pop`](Self::pop)/[`steal`](Self::steal)), and only then
+    /// [`park_wait`](Self::park_wait); a producer pushes first and takes a
+    /// worker off the idle list second.  The idle-list mutex orders the two
+    /// sides: either the producer sees the worker idle (and grants its
+    /// permit, so the park returns immediately), or the worker registered
+    /// *after* the producer's push completed — and its re-scan, which
+    /// happens after registration, observes the pushed item.  Either way
+    /// the wake cannot be lost.
+    pub(crate) fn prepare_park(&self, worker: usize) {
+        let mut idle = self.idle.lock();
+        if !idle.contains(&worker) {
+            idle.push(worker);
+        }
+    }
+
+    /// Deregisters `worker` after its post-registration re-scan found work.
+    /// A permit granted in the meantime is left pending; it costs one
+    /// spurious re-scan on the next park, never a lost wake.
+    pub(crate) fn cancel_park(&self, worker: usize) {
+        self.idle.lock().retain(|idle| *idle != worker);
+    }
+
+    /// Consumes `worker`'s pending permit without blocking, if one was
+    /// granted.  The checker's model uses this in place of the blocking
+    /// [`park_wait`](Self::park_wait).
+    pub(crate) fn try_take_permit(&self, worker: usize) -> bool {
+        let mut permit = self.parkers[worker].permit.lock();
+        std::mem::replace(&mut *permit, false)
+    }
+
+    /// Whether `worker` has a pending permit (checker support: the model's
+    /// producer mirrors real permit grants onto checker wake flags).
+    pub(crate) fn has_permit(&self, worker: usize) -> bool {
+        *self.parkers[worker].permit.lock()
+    }
+
+    /// Parks `worker` until a permit arrives or `timeout` expires (`None` =
+    /// no deadline).  Returns whether a permit was consumed; on timeout the
+    /// worker deregisters itself from the idle list.
+    pub(crate) fn park_wait(&self, worker: usize, timeout: Option<Duration>) -> bool {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let parker = &self.parkers[worker];
+        let granted = {
+            let mut permit = parker.permit.lock();
+            match timeout {
+                None => {
+                    while !*permit {
+                        permit = parker.wakeup.wait(permit);
+                    }
+                }
+                Some(timeout) => {
+                    // One timed wait; a spurious wake just re-scans early.
+                    if !*permit {
+                        permit = parker.wakeup.wait_timeout(permit, timeout).0;
+                    }
+                }
+            }
+            std::mem::replace(&mut *permit, false)
+        };
+        if !granted {
+            // Timed out: the unpark path only grants permits to workers it
+            // removed from the idle list, so deregister ourselves.
+            self.cancel_park(worker);
+        }
+        granted
+    }
+
+    /// Grants `worker`'s permit and wakes it.
+    fn unpark(&self, worker: usize) {
+        {
+            let mut permit = self.parkers[worker].permit.lock();
+            *permit = true;
+        }
+        self.parkers[worker].wakeup.notify_one();
+    }
+
+    /// Wakes one idle worker, if any (also used by the timer path when a
+    /// new earliest deadline needs a parked worker to recompute its
+    /// timeout).
+    pub(crate) fn unpark_one(&self) {
+        let target = self.idle.lock().pop();
+        if let Some(worker) = target {
+            self.unpark(worker);
+        }
+    }
+
+    /// Wakes `worker` if it is idle, else any other idle worker.
+    fn unpark_preferring(&self, worker: usize) {
+        let target = {
+            let mut idle = self.idle.lock();
+            match idle.iter().position(|idle| *idle == worker) {
+                Some(position) => Some(idle.remove(position)),
+                None => idle.pop(),
+            }
+        };
+        if let Some(worker) = target {
+            self.unpark(worker);
+        }
+    }
+
+    /// Grants every worker's permit, parked or not (shutdown: a worker
+    /// between `prepare_park` and `park_wait` must not sleep through it).
+    pub(crate) fn unpark_all(&self) {
+        for worker in 0..self.parkers.len() {
+            self.unpark(worker);
+        }
+    }
+
+    /// Empties every queue, returning the drained items (shutdown).
+    pub(crate) fn drain(&self) -> Vec<T> {
+        let mut drained = Vec::new();
+        for local in &self.locals {
+            let mut local = local.lock();
+            drained.extend(local.lifo.take());
+            drained.extend(local.fifo.drain(..));
+        }
+        drained.extend(self.injector.lock().drain(..));
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_prefers_lifo_then_fifo_then_injector() {
+        let queue: RunQueue<u32> = RunQueue::new(2);
+        queue.push_remote(NO_WORKER, 3);
+        queue.push_local_fifo(0, 2);
+        queue.push_local_lifo(0, 1);
+        assert_eq!(queue.pop(0), Some(1));
+        assert_eq!(queue.pop(0), Some(2));
+        assert_eq!(queue.pop(0), Some(3));
+        assert_eq!(queue.pop(0), None);
+    }
+
+    #[test]
+    fn lifo_streak_cap_lets_the_fifo_through() {
+        let queue: RunQueue<u32> = RunQueue::new(1);
+        queue.push_local_fifo(0, 999);
+        for round in 0..u32::from(LIFO_STREAK_CAP) {
+            queue.push_local_lifo(0, round);
+            assert_eq!(queue.pop(0), Some(round), "hand-off below the cap");
+        }
+        // The cap is reached: the next pop must service the FIFO even
+        // though the LIFO slot is occupied.
+        queue.push_local_lifo(0, 1_000);
+        assert_eq!(queue.pop(0), Some(999));
+        assert_eq!(queue.pop(0), Some(1_000));
+    }
+
+    #[test]
+    fn displaced_lifo_tasks_demote_to_the_fifo() {
+        let queue: RunQueue<u32> = RunQueue::new(1);
+        queue.push_local_lifo(0, 1);
+        queue.push_local_lifo(0, 2);
+        assert_eq!(queue.pop(0), Some(2), "most recent wake runs first");
+        assert_eq!(queue.pop(0), Some(1), "displaced task survives in fifo");
+    }
+
+    #[test]
+    fn injector_interval_services_remote_work_under_local_pressure() {
+        let queue: RunQueue<u32> = RunQueue::new(1);
+        queue.push_remote(NO_WORKER, 7_777);
+        let mut served_remote = 0;
+        for _ in 0..(2 * INJECTOR_INTERVAL) {
+            queue.push_local_fifo(0, 1);
+            if queue.pop(0) == Some(7_777) {
+                served_remote += 1;
+            }
+        }
+        assert_eq!(served_remote, 1, "the injector item broke through");
+    }
+
+    #[test]
+    fn steal_takes_half_of_the_victims_fifo() {
+        let queue: RunQueue<u32> = RunQueue::new(2);
+        for item in 0..8 {
+            queue.push_local_fifo(0, item);
+        }
+        let stolen = queue.steal(1).expect("victim had work");
+        let stats = queue.stats();
+        assert_eq!(stats.steals, 1);
+        // The thief took the back half: one returned, the rest re-homed.
+        let mut thief_side = vec![stolen];
+        while let Some(item) = {
+            let mut local = queue.locals[1].lock();
+            local.fifo.pop_front()
+        } {
+            thief_side.push(item);
+        }
+        assert_eq!(thief_side, vec![4, 5, 6, 7]);
+        // The victim keeps the front half in order.
+        let mut victim_side = Vec::new();
+        while let Some(item) = queue.pop(0) {
+            victim_side.push(item);
+        }
+        assert_eq!(victim_side, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn permits_granted_before_the_park_are_not_lost() {
+        let queue: RunQueue<u32> = RunQueue::new(1);
+        queue.prepare_park(0);
+        // The producer runs completely before the worker parks.
+        queue.push_remote(NO_WORKER, 1);
+        // The permit is pending, so the park returns immediately.
+        assert!(queue.park_wait(0, None));
+        assert_eq!(queue.pop(0), Some(1));
+    }
+
+    #[test]
+    fn park_timeout_deregisters_the_worker() {
+        let queue: RunQueue<u32> = RunQueue::new(1);
+        queue.prepare_park(0);
+        assert!(!queue.park_wait(0, Some(Duration::from_millis(1))));
+        assert!(queue.idle.lock().is_empty(), "timed-out worker left idle");
+        assert_eq!(queue.stats().parks, 1);
+    }
+
+    #[test]
+    fn unpark_preferring_wakes_the_hinted_worker() {
+        let queue: RunQueue<u32> = RunQueue::new(3);
+        queue.prepare_park(0);
+        queue.prepare_park(2);
+        queue.push_remote(2, 9);
+        assert!(queue.try_take_permit(2), "the hinted worker got the permit");
+        assert!(!queue.try_take_permit(0));
+        assert_eq!(queue.pop(2), Some(9));
+    }
+}

@@ -182,6 +182,65 @@ fn reactor_locks_stay_leaves_of_the_hierarchy() {
     lock_graph::assert_clean();
 }
 
+/// The work-stealing run queue's lock classes — the per-worker slot locks,
+/// the injector, the idle list and the park permits (all declared in
+/// `runtime/queue.rs`) — are leaves of the hierarchy, like the reactor's:
+/// a waker fired during a task poll acquires a queue lock while the task's
+/// future-slot lock is held (the expected inbound edge), but no queue lock
+/// is ever held while acquiring anything else.  That discipline is what
+/// lets `steal` raid victims in any order without ranking: each raid holds
+/// exactly one victim lock at a time.  This scenario keeps two workers
+/// busy with timers, yields and cross-task joins, then asserts queue
+/// classes only appear as edge *targets*.
+#[test]
+fn run_queue_locks_stay_leaves_of_the_hierarchy() {
+    use std::time::Duration;
+    use watchman_core::runtime::Runtime;
+
+    const TASKS: usize = 24;
+
+    let runtime = Arc::new(Runtime::with_workers(2));
+    let handles: Vec<_> = (0..TASKS)
+        .map(|i| {
+            let runtime_inner = Arc::clone(&runtime);
+            runtime.spawn(async move {
+                // Timer wakes exercise the unpark path; yields re-queue
+                // from inside a poll (the self-wake FIFO branch); the
+                // chained join wakes a sibling task from whichever worker
+                // completes this one (the LIFO hand-off branch).  Between
+                // them every schedule() branch runs.
+                runtime_inner
+                    .sleep(Duration::from_micros(i as u64 % 7))
+                    .await;
+                watchman_core::runtime::yield_now().await;
+                let sibling = runtime_inner.spawn(async move { i * 2 });
+                assert_eq!(sibling.await.expect("sibling completes"), i * 2);
+                i
+            })
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        assert_eq!(block_on(handle).expect("task completes"), i);
+    }
+    drop(runtime);
+
+    let report = lock_graph::report();
+    let queue_class = |label: &str| label.contains("runtime/queue.rs");
+    assert!(
+        report.edges.iter().any(|edge| queue_class(&edge.to)),
+        "no edge into a run-queue lock class was recorded — did the \
+         scheduler run under instrumentation?\n{}",
+        report.describe()
+    );
+    assert!(
+        report.edges.iter().all(|edge| !queue_class(&edge.from)),
+        "a run-queue lock was held while acquiring another lock — the slot, \
+         injector, idle-list and permit locks must stay leaf classes:\n{}",
+        report.describe()
+    );
+    lock_graph::assert_clean();
+}
+
 /// Regression pin for the rebalancer's two-lock transfer: donor and
 /// recipient shard locks must be acquired in **index order** (the shard
 /// index is the lock's declared rank).  If someone reorders the transfer to

@@ -162,6 +162,10 @@ fn run_storm(addr: &str, connections: usize, rounds: usize, shutdown: bool) -> E
         report.latency_quantile_us(0.99),
         report.wall.as_secs_f64(),
     );
+    println!(
+        "  client scheduler: {} steals, {} parks across the storm",
+        report.client_steals, report.client_parks,
+    );
 
     // The point of the storm: sessions are tasks, not threads.
     if report.server_sessions < report.connections as u32 {

@@ -5,10 +5,11 @@
 //! * **Typed calls** — [`Client::get`], [`Client::get_many`],
 //!   [`Client::peek`], [`Client::stats`], [`Client::invalidate_relation`],
 //!   [`Client::rebalance_now`], [`Client::shutdown_server`];
-//! * **Pipelining** — [`Client::get_many`] writes every request frame
-//!   before reading the first response, so a batch pays one round trip
-//!   instead of one per query (the server answers a connection's requests
-//!   strictly in order);
+//! * **Pipelining** — [`Client::get_many`] encodes every request frame
+//!   into one buffer and sends the batch with a single write before
+//!   reading the first response, so a batch pays one round trip — and one
+//!   syscall on the send side — instead of one per query (the server
+//!   answers a connection's requests strictly in order);
 //! * **Reconnect** — a call that fails with a socket error transparently
 //!   re-establishes the connection (including the handshake) and retries
 //!   once, but only for requests whose replay is safe (`GET` — answered as
@@ -116,6 +117,15 @@ pub struct Client {
     addr: String,
     stream: Option<TcpStream>,
     next_id: u64,
+    /// Staging buffer for outgoing batches: every pipelined request of a
+    /// call is encoded here and sent as one write.  Lives on the client so
+    /// steady-state batches reuse its capacity instead of growing a fresh
+    /// `Vec` per call.
+    encode_buf: Vec<u8>,
+    /// Reused response-body buffer for [`wire::read_frame_into`]: after the
+    /// first response it holds capacity for the connection's largest body,
+    /// so reading a frame costs no allocation.
+    read_buf: Vec<u8>,
 }
 
 impl fmt::Debug for Client {
@@ -134,6 +144,8 @@ impl Client {
             addr: addr.into(),
             stream: None,
             next_id: 0,
+            encode_buf: Vec::new(),
+            read_buf: Vec::new(),
         };
         client.ensure_connected()?;
         Ok(client)
@@ -216,20 +228,33 @@ impl Client {
     fn try_call_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
         let first_id = self.next_id;
         self.next_id += requests.len() as u64;
-        let stream = self.ensure_connected()?;
-        // Pipelining: every request frame goes out before the first
-        // response is read.
+        self.ensure_connected()?;
+        let stream = self
+            .stream
+            .as_mut()
+            .expect("ensure_connected fills the slot");
+        // Pipelining: every request frame is encoded into one contiguous
+        // buffer (length prefixes interleaved in place) and the whole batch
+        // goes out in a single write before the first response is read.
+        let batch = &mut self.encode_buf;
+        batch.clear();
         for (offset, request) in requests.iter().enumerate() {
-            let body = wire::encode_request(first_id + offset as u64, request);
-            wire::write_frame(stream, &body).map_err(WireError::Io)?;
+            batch.extend_from_slice(&[0; 4]);
+            let frame_start = batch.len();
+            wire::encode_request_into(batch, first_id + offset as u64, request);
+            let frame_len = (batch.len() - frame_start) as u32;
+            batch[frame_start - 4..frame_start].copy_from_slice(&frame_len.to_le_bytes());
         }
+        stream.write_all(batch).map_err(WireError::Io)?;
         stream.flush().map_err(WireError::Io)?;
         let mut responses = Vec::with_capacity(requests.len());
         for offset in 0..requests.len() {
-            let body = wire::read_frame(stream)?.ok_or(WireError::Truncated {
-                context: "response frame",
-            })?;
-            let (id, response) = wire::decode_response(&body)?;
+            if !wire::read_frame_into(stream, &mut self.read_buf)? {
+                return Err(ClientError::Wire(WireError::Truncated {
+                    context: "response frame",
+                }));
+            }
+            let (id, response) = wire::decode_response(&self.read_buf)?;
             let expected = first_id + offset as u64;
             if id != expected {
                 return Err(ClientError::Wire(WireError::Protocol(format!(

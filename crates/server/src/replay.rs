@@ -264,6 +264,14 @@ pub struct StormReport {
     /// The server's live session count from the same sample — the storm
     /// connections plus the sampling connection itself.
     pub server_sessions: u32,
+    /// Ready-queue raids on the client-side runtime over the run: the
+    /// work-stealing scheduler redistributing connection tasks across the
+    /// [`STORM_WORKERS`] workers whenever wake placement left one worker
+    /// with a backlog.  Zero would mean the storm never actually exercised
+    /// the steal path.
+    pub client_steals: u64,
+    /// Times a client-side worker parked empty-handed over the run.
+    pub client_parks: u64,
     /// Wall-clock of the whole run.
     pub wall: Duration,
 }
@@ -433,6 +441,7 @@ pub fn run_connection_storm(
         return Err(err);
     }
     let (server_threads, server_workers, server_sessions) = info?;
+    let scheduler = runtime.scheduler_stats();
     Ok(StormReport {
         connections,
         rounds,
@@ -440,6 +449,8 @@ pub fn run_connection_storm(
         server_threads,
         server_workers,
         server_sessions,
+        client_steals: scheduler.steals,
+        client_parks: scheduler.parks,
         wall: started.elapsed(),
     })
 }

@@ -466,66 +466,89 @@ async fn accept_task(listener: TcpListener, shared: Arc<Shared>, slot: usize) {
     shared.shutdown.release_slot(slot);
 }
 
-/// Reads one frame, racing the shutdown signal **only while the frame has
-/// not started**: available bytes always win over shutdown, and once the
-/// first header byte is in, the read runs to completion (the supervisor's
-/// grace window bounds a peer that stalls mid-frame).  Returns `Ok(None)`
-/// for both a clean peer close and an idle drain.
-async fn read_frame_or_drain(
+/// How one `recv` into a session's [`FrameReader`] resolved.
+enum Fill {
+    /// More bytes arrived; the reader may now hold complete frames.
+    Bytes,
+    /// The peer closed the stream.
+    Eof,
+    /// The shutdown signal fired while the session was idle at a frame
+    /// boundary.
+    Drained,
+    /// The socket failed.
+    Failed,
+}
+
+/// Fills the session's read buffer, racing the shutdown signal **only while
+/// no frame bytes are buffered**: available bytes always win over shutdown,
+/// and once a frame has started arriving the fill commits to completing it
+/// (the supervisor's grace window bounds a peer that stalls mid-frame).
+async fn fill_or_drain(
+    reader: &mut wire::FrameReader,
     stream: &TcpStream,
     shared: &Shared,
     slot: usize,
-) -> Result<Option<Vec<u8>>, WireError> {
-    enum Start {
-        Drained,
-        Eof,
-        Bytes(usize),
-    }
-    let mut header = [0u8; 4];
-    let start = poll_fn(|cx| match stream.poll_read(cx, &mut header) {
-        Poll::Ready(Ok(0)) => Poll::Ready(Ok(Start::Eof)),
-        Poll::Ready(Ok(n)) => Poll::Ready(Ok(Start::Bytes(n))),
-        Poll::Ready(Err(error)) => Poll::Ready(Err(error)),
+) -> Fill {
+    let committed = reader.buffered() > 0;
+    poll_fn(|cx| match reader.poll_fill(cx, stream) {
+        Poll::Ready(Ok(0)) => Poll::Ready(Fill::Eof),
+        Poll::Ready(Ok(_)) => Poll::Ready(Fill::Bytes),
+        Poll::Ready(Err(_)) => Poll::Ready(Fill::Failed),
         Poll::Pending => {
-            if shared.shutdown.poll_wait(slot, cx).is_ready() {
-                Poll::Ready(Ok(Start::Drained))
+            if !committed && shared.shutdown.poll_wait(slot, cx).is_ready() {
+                Poll::Ready(Fill::Drained)
             } else {
                 Poll::Pending
             }
         }
     })
     .await
-    .map_err(WireError::Io)?;
-    let mut filled = match start {
-        Start::Drained | Start::Eof => return Ok(None),
-        Start::Bytes(n) => n,
-    };
-    while filled < header.len() {
-        match stream.read(&mut header[filled..]).await {
-            Ok(0) => {
-                return Err(WireError::Truncated {
-                    context: "frame header",
-                })
+}
+
+/// Whether [`await_frame`] left a complete frame at the front of the
+/// session's reader or the session should end.
+enum Awaited {
+    /// `reader.take_frame()` will yield the next request frame.
+    Ready,
+    /// Clean close, drain, IO failure, or a corrupt stream: the session is
+    /// over (staged responses for earlier frames in the burst have been
+    /// flushed best-effort).
+    End,
+}
+
+/// Drives the session's reader until a complete frame is buffered.  Staged
+/// responses are flushed before the session suspends for more bytes — a
+/// pipelined client is waiting on exactly those responses to send its next
+/// burst — and best-effort on the failure paths, so good frames decoded
+/// before in-stream garbage still get their answers.
+async fn await_frame(
+    reader: &mut wire::FrameReader,
+    writer: &mut wire::FrameWriter,
+    stream: &TcpStream,
+    shared: &Shared,
+    slot: usize,
+) -> Awaited {
+    loop {
+        match reader.frame_ready() {
+            Ok(true) => return Awaited::Ready,
+            Ok(false) => {}
+            // Oversized length prefix: the stream is corrupt.  Answer what
+            // was already staged, then fail this connection only.
+            Err(_) => {
+                let _ = writer.flush(stream).await;
+                return Awaited::End;
             }
-            Ok(n) => filled += n,
-            Err(error) => return Err(WireError::Io(error)),
+        }
+        if writer.flush(stream).await.is_err() {
+            return Awaited::End;
+        }
+        match fill_or_drain(reader, stream, shared, slot).await {
+            Fill::Bytes => {}
+            // Clean close between frames, drain, truncation mid-frame, or a
+            // dead socket: nothing is staged (flushed just above), so end.
+            Fill::Eof | Fill::Drained | Fill::Failed => return Awaited::End,
         }
     }
-    let declared = u32::from_le_bytes(header);
-    if declared > wire::MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge { declared });
-    }
-    let mut body = vec![0u8; declared as usize];
-    stream.read_exact(&mut body).await.map_err(|err| {
-        if err.kind() == io::ErrorKind::UnexpectedEof {
-            WireError::Truncated {
-                context: "frame body",
-            }
-        } else {
-            WireError::Io(err)
-        }
-    })?;
-    Ok(Some(body))
 }
 
 /// Polls `future` to completion with every poll wrapped in `catch_unwind`:
@@ -549,25 +572,32 @@ async fn catch_task_panic<F: Future>(future: F) -> Result<F::Output, ()> {
 /// hangs up, a frame fails to decode, or the server drains.  Requests on a
 /// connection are handled strictly in order (pipelined clients rely on
 /// response order), so the session is a plain sequential `async` loop.
+///
+/// IO is buffered on both sides: a [`wire::FrameReader`] drains every
+/// pipelined request a single `recv` delivered, and responses accumulate in
+/// a [`wire::FrameWriter`] that is flushed with one vectored write per burst
+/// — right before the session suspends for more input — instead of one
+/// `send` per frame.
 async fn serve_session(stream: TcpStream, guard: SessionGuard) {
     let shared = Arc::clone(&guard.shared);
     let slot = guard.slot;
     let _ = stream.set_nodelay(true);
+    let mut reader = wire::FrameReader::new();
+    let mut writer = wire::FrameWriter::new();
 
     // Handshake: expect the client hello, always answer with ours (so a
     // version-mismatched client learns what this server speaks), then bail
     // on mismatch.
-    let client_version = match read_frame_or_drain(&stream, &shared, slot).await {
-        Ok(Some(body)) => match wire::decode_hello(&body) {
-            Ok(version) => version,
-            Err(_) => return, // malformed handshake: fail this connection only
-        },
-        _ => return,
+    let client_version = {
+        match await_frame(&mut reader, &mut writer, &stream, &shared, slot).await {
+            Awaited::End => return,
+            Awaited::Ready => match wire::decode_hello(reader.take_frame()) {
+                Ok(version) => version,
+                Err(_) => return, // malformed handshake: fail this connection only
+            },
+        }
     };
-    if wire::write_frame_async(&stream, &wire::encode_hello())
-        .await
-        .is_err()
-    {
+    if writer.stage(&wire::encode_hello()).is_err() || writer.flush(&stream).await.is_err() {
         return;
     }
     if client_version != wire::VERSION {
@@ -575,13 +605,16 @@ async fn serve_session(stream: TcpStream, guard: SessionGuard) {
     }
 
     loop {
-        let body = match read_frame_or_drain(&stream, &shared, slot).await {
-            Ok(Some(body)) => body,
+        match await_frame(&mut reader, &mut writer, &stream, &shared, slot).await {
+            Awaited::Ready => {}
             // Clean close, drain, or a malformed/truncated frame: this
             // connection ends; every other connection keeps running.
-            Ok(None) | Err(_) => return,
-        };
-        let (request_id, response, shutdown_after) = match wire::decode_request(&body) {
+            Awaited::End => return,
+        }
+        // Decode before the handler runs so the borrow of the reader's
+        // buffer ends ahead of the first await point.
+        let decoded = wire::decode_request(reader.take_frame());
+        let (request_id, response, shutdown_after) = match decoded {
             Ok((request_id, request)) => {
                 let shutdown_after = matches!(request, Request::Shutdown);
                 let response = match catch_task_panic(handle_request(&shared, request)).await {
@@ -601,16 +634,20 @@ async fn serve_session(stream: TcpStream, guard: SessionGuard) {
                 },
                 false,
             ),
-            // Any other decode failure means the stream is corrupt.
-            Err(_) => return,
+            // Any other decode failure means the stream is corrupt.  Flush
+            // responses already staged for good frames in this burst, then
+            // give up on the connection.
+            Err(_) => {
+                let _ = writer.flush(&stream).await;
+                return;
+            }
         };
-        let Ok(encoded) = wire::encode_response(request_id, &response) else {
-            return;
-        };
-        if wire::write_frame_async(&stream, &encoded).await.is_err() {
+        if writer.stage_response(request_id, &response).is_err() {
+            let _ = writer.flush(&stream).await;
             return;
         }
         if shutdown_after {
+            let _ = writer.flush(&stream).await;
             shared.shutdown.fire();
             return;
         }

@@ -81,9 +81,23 @@
 //! server does not know gets an error **response** instead (the request id
 //! is decoded before the opcode precisely so this is possible), which is
 //! what lets newer clients degrade gracefully against older servers.
+//!
+//! ## Buffered session IO
+//!
+//! Framing helpers come in two tiers.  The per-frame helpers
+//! ([`read_frame`], [`write_frame`] and their async variants) issue one
+//! syscall per frame — right for lockstep callers with a single request in
+//! flight.  Session hot paths use [`FrameReader`] / [`FrameWriter`]
+//! instead: the reader drains every pipelined frame a single `recv`
+//! returned out of a reusable buffer, and the writer stages each burst's
+//! responses and flushes them as one vectored write.  The analyzer's
+//! `unbuffered-frame-write-in-session` rule keeps the per-frame helpers
+//! out of session paths.
 
 use std::fmt;
+use std::future::poll_fn;
 use std::io::{self, Read, Write};
+use std::task::{ready, Context, Poll};
 
 use watchman_core::engine::StatsSnapshot;
 use watchman_core::runtime::net::TcpStream as NetStream;
@@ -386,17 +400,32 @@ pub fn write_frame(writer: &mut impl Write, body: &[u8]) -> io::Result<()> {
 /// Returns `Ok(None)` on a clean EOF *between* frames; EOF inside a frame is
 /// a [`WireError::Truncated`] error.
 pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut body = Vec::new();
+    Ok(read_frame_into(reader, &mut body)?.then_some(body))
+}
+
+/// Reads one frame body into `buf`, reusing its capacity across calls.
+///
+/// The steady-state twin of [`read_frame`] for callers that read many
+/// frames on one connection: `buf` is cleared and refilled in place, so
+/// once it has grown to the connection's largest body size every further
+/// frame arrives without touching the allocator.  Returns `Ok(true)` with
+/// the body in `buf`, or `Ok(false)` on a clean EOF *between* frames
+/// (`buf` left empty); EOF inside a frame is a [`WireError::Truncated`]
+/// error and [`MAX_FRAME_BYTES`] is enforced before the body is read.
+pub fn read_frame_into(reader: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, WireError> {
+    buf.clear();
     let mut header = [0u8; 4];
     match read_exact_or_eof(reader, &mut header)? {
-        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Eof => return Ok(false),
         ReadOutcome::Full => {}
     }
     let declared = u32::from_le_bytes(header);
     if declared > MAX_FRAME_BYTES {
         return Err(WireError::FrameTooLarge { declared });
     }
-    let mut body = vec![0u8; declared as usize];
-    reader.read_exact(&mut body).map_err(|err| {
+    buf.resize(declared as usize, 0);
+    reader.read_exact(buf).map_err(|err| {
         if err.kind() == io::ErrorKind::UnexpectedEof {
             WireError::Truncated {
                 context: "frame body",
@@ -405,7 +434,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> 
             WireError::Io(err)
         }
     })?;
-    Ok(Some(body))
+    Ok(true)
 }
 
 /// Writes one frame to a reactor-driven stream (async twin of
@@ -480,6 +509,290 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutco
         }
     }
     Ok(ReadOutcome::Full)
+}
+
+// ---------------------------------------------------------------------------
+// Buffered session IO
+// ---------------------------------------------------------------------------
+
+/// How many bytes a [`FrameReader`] asks the socket for per `recv`: enough
+/// that a burst of pipelined metrics-only requests (~100 bytes each) lands
+/// in one syscall at depth 64.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A buffered frame reader: one reusable userspace buffer per session that
+/// drains as many pipelined frames per `recv` as arrived, instead of the
+/// two-plus syscalls per frame the unbuffered [`read_frame_async`] costs
+/// (header `read_exact`, then body).
+///
+/// [`FrameReader::take_frame`] hands the frame body out as a slice into the
+/// buffer — no per-frame allocation — whose borrow ends when the caller is
+/// done decoding; consumed bytes are reclaimed by compaction on the next
+/// fill.  Oversized length prefixes fail from the four buffered header bytes
+/// (no body is ever buffered for them), and EOF inside a frame reports the
+/// same [`WireError::Truncated`] contexts as the unbuffered path, so the
+/// two are drop-in equivalents (a property test pins this).
+///
+/// The split into [`frame_ready`](FrameReader::frame_ready) /
+/// [`take_frame`](FrameReader::take_frame) /
+/// [`poll_fill`](FrameReader::poll_fill) exists for the server's session
+/// loop, which must race its fills against the shutdown signal but commit
+/// to any frame whose bytes have started arriving.
+pub struct FrameReader {
+    /// The reusable buffer; `buf[start..end]` is unconsumed stream data.
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// An empty reader; the buffer grows to its steady state on first use.
+    pub fn new() -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The buffered partial frame's declared body length, once its header's
+    /// four bytes are in.
+    fn declared_len(&self) -> Option<u32> {
+        if self.buffered() < 4 {
+            return None;
+        }
+        Some(u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("four header bytes"),
+        ))
+    }
+
+    /// Whether a complete frame is buffered.  Fails with
+    /// [`WireError::FrameTooLarge`] as soon as the four header bytes declare
+    /// an oversized body — before any of that body is buffered.
+    pub fn frame_ready(&self) -> Result<bool, WireError> {
+        match self.declared_len() {
+            None => Ok(false),
+            Some(declared) if declared > MAX_FRAME_BYTES => {
+                Err(WireError::FrameTooLarge { declared })
+            }
+            Some(declared) => Ok(self.buffered() >= 4 + declared as usize),
+        }
+    }
+
+    /// Consumes the complete frame at the front of the buffer and returns
+    /// its body as a slice (valid until the next call that mutates the
+    /// reader).
+    ///
+    /// # Panics
+    ///
+    /// If no complete frame is buffered ([`FrameReader::frame_ready`] must
+    /// have returned `Ok(true)`).
+    pub fn take_frame(&mut self) -> &[u8] {
+        let declared = self.declared_len().expect("take_frame: header buffered") as usize;
+        let body_start = self.start + 4;
+        let body_end = body_start + declared;
+        assert!(
+            body_end <= self.end,
+            "take_frame called without a complete frame"
+        );
+        self.start = body_end;
+        &self.buf[body_start..body_end]
+    }
+
+    /// Makes room for at least `want` more bytes after `end`, compacting
+    /// consumed bytes to the front before growing.
+    fn ensure_room(&mut self, want: usize) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.buf.len() >= self.end + want {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + want {
+            self.buf.resize(self.end + want, 0);
+        }
+    }
+
+    /// Appends bytes as if a `recv` had returned them — the pure-buffer
+    /// entry the chunking and property tests drive split points through.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.ensure_room(bytes.len().max(1));
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Polls one `recv` into the buffer; `Ok(0)` is end-of-stream.  Sized so
+    /// a visible partial frame's whole body fits in one read.
+    pub fn poll_fill(
+        &mut self,
+        cx: &mut Context<'_>,
+        stream: &NetStream,
+    ) -> Poll<io::Result<usize>> {
+        let want = match self.declared_len() {
+            Some(declared) => {
+                let total = 4 + declared.min(MAX_FRAME_BYTES) as usize;
+                total.saturating_sub(self.buffered()).max(READ_CHUNK)
+            }
+            None => READ_CHUNK,
+        };
+        self.ensure_room(want);
+        let end = self.end;
+        let n = ready!(stream.poll_read(cx, &mut self.buf[end..]))?;
+        self.end += n;
+        Poll::Ready(Ok(n))
+    }
+
+    /// Reads more bytes from the stream into the buffer; `Ok(0)` is
+    /// end-of-stream.
+    pub async fn fill(&mut self, stream: &NetStream) -> io::Result<usize> {
+        poll_fn(|cx| self.poll_fill(cx, stream)).await
+    }
+
+    /// Which decode step an EOF right now would truncate — mirrors the
+    /// contexts [`read_frame_async`] reports.
+    pub fn truncation_context(&self) -> &'static str {
+        if self.buffered() < 4 {
+            "frame header"
+        } else {
+            "frame body"
+        }
+    }
+
+    /// Reads the next frame: the buffered twin of [`read_frame_async`],
+    /// returning `Ok(None)` on a clean EOF *between* frames and
+    /// [`WireError::Truncated`] on EOF inside one.
+    pub async fn next_frame(&mut self, stream: &NetStream) -> Result<Option<&[u8]>, WireError> {
+        loop {
+            if self.frame_ready()? {
+                break;
+            }
+            if self.fill(stream).await? == 0 {
+                return if self.buffered() == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated {
+                        context: self.truncation_context(),
+                    })
+                };
+            }
+        }
+        Ok(Some(self.take_frame()))
+    }
+
+    /// Decodes the next frame against `feed`-supplied bytes only (no
+    /// stream): `Ok(None)` means more bytes are needed.  This is the entry
+    /// the differential tests compare against the unbuffered codec.
+    pub fn try_next_fed_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        if self.frame_ready()? {
+            Ok(Some(self.take_frame()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// A coalescing frame writer: responses for every request decoded in the
+/// same readiness burst are staged into one reusable buffer (frames are
+/// encoded in place via [`encode_response_into`] — no per-frame `Vec`) and
+/// flushed with a single vectored write, collapsing a pipeline-depth-64
+/// burst's 64 `write_all`s into one syscall.
+///
+/// Server sessions must write through this — analyzer rule 7 bans direct
+/// [`write_frame_async`] calls in session paths.
+pub struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl Default for FrameWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameWriter {
+    /// An empty writer; the buffer grows to its steady state on first use.
+    pub fn new() -> Self {
+        FrameWriter { buf: Vec::new() }
+    }
+
+    /// Whether anything is staged and unflushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes staged and not yet flushed.
+    pub fn staged_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Stages one pre-encoded frame body (length prefix added here).
+    pub fn stage(&mut self, body: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(body.len())
+            .ok()
+            .filter(|&len| len <= MAX_FRAME_BYTES)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(body);
+        Ok(())
+    }
+
+    /// Encodes a response frame directly into the staging buffer: the
+    /// length prefix is reserved up front and backfilled once the body's
+    /// size is known.  On encode failure nothing is staged.
+    pub fn stage_response(
+        &mut self,
+        request_id: u64,
+        response: &Response,
+    ) -> Result<(), WireError> {
+        let frame_start = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        if let Err(error) = encode_response_into(&mut self.buf, request_id, response) {
+            self.buf.truncate(frame_start);
+            return Err(error);
+        }
+        let body_len = self.buf.len() - frame_start - 4;
+        let Some(len) = u32::try_from(body_len)
+            .ok()
+            .filter(|&len| len <= MAX_FRAME_BYTES)
+        else {
+            self.buf.truncate(frame_start);
+            return Err(WireError::Protocol(format!(
+                "encoded response ({body_len} bytes) exceeds the frame limit"
+            )));
+        };
+        self.buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+        Ok(())
+    }
+
+    /// Flushes every staged frame with one vectored write and resets the
+    /// buffer (also on error — the connection is failing anyway).
+    pub async fn flush(&mut self, stream: &NetStream) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let result = stream.write_all_vectored(&[&self.buf]).await;
+        self.buf.clear();
+        result
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -618,35 +931,41 @@ pub fn decode_hello(body: &[u8]) -> Result<u16, WireError> {
 /// Encodes a request frame body.
 pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
-    put_u64(&mut out, request_id);
+    encode_request_into(&mut out, request_id, request);
+    out
+}
+
+/// Encodes a request frame body into an existing buffer (appending), so
+/// batched callers can stage many frames without per-frame allocations.
+pub fn encode_request_into(out: &mut Vec<u8>, request_id: u64, request: &Request) {
+    put_u64(out, request_id);
     match request {
         Request::Get(get) => {
-            put_u8(&mut out, OP_GET);
-            put_str(&mut out, &get.key);
-            put_u64(&mut out, get.timestamp_us);
-            put_u64(&mut out, get.result_bytes);
-            put_u64(&mut out, get.cost_blocks);
-            put_u32(&mut out, get.fetch_delay_us);
-            put_u64(&mut out, get.deadline_hint_us);
-            put_u32(&mut out, get.payload_prefix_cap);
+            put_u8(out, OP_GET);
+            put_str(out, &get.key);
+            put_u64(out, get.timestamp_us);
+            put_u64(out, get.result_bytes);
+            put_u64(out, get.cost_blocks);
+            put_u32(out, get.fetch_delay_us);
+            put_u64(out, get.deadline_hint_us);
+            put_u32(out, get.payload_prefix_cap);
         }
         Request::Peek { key } => {
-            put_u8(&mut out, OP_PEEK);
-            put_str(&mut out, key);
+            put_u8(out, OP_PEEK);
+            put_str(out, key);
         }
-        Request::Stats => put_u8(&mut out, OP_STATS),
+        Request::Stats => put_u8(out, OP_STATS),
         Request::Invalidate { relation } => {
-            put_u8(&mut out, OP_INVALIDATE);
-            put_str(&mut out, relation);
+            put_u8(out, OP_INVALIDATE);
+            put_str(out, relation);
         }
         Request::RebalanceNow { timestamp_us } => {
-            put_u8(&mut out, OP_REBALANCE_NOW);
-            put_u64(&mut out, *timestamp_us);
+            put_u8(out, OP_REBALANCE_NOW);
+            put_u64(out, *timestamp_us);
         }
-        Request::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
-        Request::ServerInfo => put_u8(&mut out, OP_SERVER_INFO),
+        Request::Shutdown => put_u8(out, OP_SHUTDOWN),
+        Request::ServerInfo => put_u8(out, OP_SERVER_INFO),
     }
-    out
 }
 
 /// Decodes a request frame body into `(request_id, request)`.
@@ -688,76 +1007,90 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
 /// cannot represent non-finite floats); everything else always encodes.
 pub fn encode_response(request_id: u64, response: &Response) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(64);
-    put_u64(&mut out, request_id);
+    encode_response_into(&mut out, request_id, response)?;
+    Ok(out)
+}
+
+/// Encodes a response frame body into an existing buffer (appending) — the
+/// coalescing [`FrameWriter`] stages every response of a readiness burst
+/// through this without per-frame allocations.  On error the buffer may
+/// hold a partial body; callers that need atomicity truncate (the
+/// `FrameWriter` does).
+pub fn encode_response_into(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    response: &Response,
+) -> Result<(), WireError> {
+    put_u64(out, request_id);
     match response {
         Response::Error { message } => {
-            put_u8(&mut out, STATUS_ERROR);
-            put_str(&mut out, message);
-            return Ok(out);
+            put_u8(out, STATUS_ERROR);
+            put_str(out, message);
+            return Ok(());
         }
-        _ => put_u8(&mut out, STATUS_OK),
+        _ => put_u8(out, STATUS_OK),
     }
     match response {
         Response::Get(get) => {
-            put_u8(&mut out, OP_GET);
+            put_u8(out, OP_GET);
             let source = match get.source {
                 WireSource::Hit => 0,
                 WireSource::Executed => 1,
                 WireSource::Coalesced => 2,
             };
-            put_u8(&mut out, source);
-            put_f64(&mut out, get.cost_blocks);
-            put_u64(&mut out, get.full_len);
-            put_bytes(&mut out, &get.prefix);
-            put_u64(&mut out, get.service_us);
-            put_u8(&mut out, u8::from(get.deadline_exceeded));
+            put_u8(out, source);
+            put_f64(out, get.cost_blocks);
+            put_u64(out, get.full_len);
+            put_bytes(out, &get.prefix);
+            put_u64(out, get.service_us);
+            put_u8(out, u8::from(get.deadline_exceeded));
         }
         Response::Peek { cached, size_bytes } => {
-            put_u8(&mut out, OP_PEEK);
-            put_u8(&mut out, u8::from(*cached));
-            put_u64(&mut out, *size_bytes);
+            put_u8(out, OP_PEEK);
+            put_u8(out, u8::from(*cached));
+            put_u64(out, *size_bytes);
         }
         Response::Stats(snapshot) => {
-            put_u8(&mut out, OP_STATS);
+            put_u8(out, OP_STATS);
             let json = serde_json::to_string(snapshot)
                 .map_err(|err| WireError::Protocol(format!("snapshot serialization: {err}")))?;
-            put_str(&mut out, &json);
+            put_str(out, &json);
         }
         Response::Invalidate {
             affected,
             invalidated,
         } => {
-            put_u8(&mut out, OP_INVALIDATE);
-            put_u32(&mut out, *affected);
-            put_u32(&mut out, *invalidated);
+            put_u8(out, OP_INVALIDATE);
+            put_u32(out, *affected);
+            put_u32(out, *invalidated);
         }
         Response::RebalanceNow(outcome) => {
-            put_u8(&mut out, OP_REBALANCE_NOW);
+            put_u8(out, OP_REBALANCE_NOW);
             match outcome {
-                None => put_u8(&mut out, 0),
+                None => put_u8(out, 0),
                 Some(summary) => {
-                    put_u8(&mut out, 1);
-                    put_u32(&mut out, summary.donor);
-                    put_u32(&mut out, summary.recipient);
-                    put_u64(&mut out, summary.moved_bytes);
-                    put_u32(&mut out, summary.evicted);
+                    put_u8(out, 1);
+                    put_u32(out, summary.donor);
+                    put_u32(out, summary.recipient);
+                    put_u64(out, summary.moved_bytes);
+                    put_u32(out, summary.evicted);
                 }
             }
         }
-        Response::Shutdown => put_u8(&mut out, OP_SHUTDOWN),
+        Response::Shutdown => put_u8(out, OP_SHUTDOWN),
         Response::ServerInfo {
             threads,
             workers,
             sessions,
         } => {
-            put_u8(&mut out, OP_SERVER_INFO);
-            put_u32(&mut out, *threads);
-            put_u32(&mut out, *workers);
-            put_u32(&mut out, *sessions);
+            put_u8(out, OP_SERVER_INFO);
+            put_u32(out, *threads);
+            put_u32(out, *workers);
+            put_u32(out, *sessions);
         }
         Response::Error { .. } => unreachable!("handled above"),
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes a response frame body into `(request_id, response)`.
@@ -845,6 +1178,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn round_trip_request(request: Request) {
         let body = encode_request(7, &request);
@@ -1045,6 +1379,240 @@ mod tests {
         assert_eq!(echoed, b"namhctaw");
         drop(client);
         block_on(server).expect("server task");
+    }
+
+    /// Drains `bytes` through a [`FrameReader`] fed in chunks whose sizes
+    /// `next_chunk` picks, returning the decoded frames plus the terminal
+    /// outcome (`None` = clean EOF) in the same shape as
+    /// [`unbuffered_replay`] so the two can be compared byte for byte.
+    fn buffered_replay(
+        bytes: &[u8],
+        mut next_chunk: impl FnMut() -> usize,
+    ) -> (Vec<Vec<u8>>, Option<String>) {
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut pos = 0;
+        loop {
+            match reader.try_next_fed_frame() {
+                Ok(Some(frame)) => frames.push(frame.to_vec()),
+                Ok(None) => {
+                    if pos == bytes.len() {
+                        if reader.buffered() == 0 {
+                            return (frames, None);
+                        }
+                        let error = WireError::Truncated {
+                            context: reader.truncation_context(),
+                        };
+                        return (frames, Some(format!("{error:?}")));
+                    }
+                    let n = next_chunk().clamp(1, bytes.len() - pos);
+                    reader.feed(&bytes[pos..pos + n]);
+                    pos += n;
+                }
+                Err(error) => return (frames, Some(format!("{error:?}"))),
+            }
+        }
+    }
+
+    /// The reference: the pre-existing unbuffered codec over the same bytes.
+    fn unbuffered_replay(bytes: &[u8]) -> (Vec<Vec<u8>>, Option<String>) {
+        let mut reader: &[u8] = bytes;
+        let mut frames = Vec::new();
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => return (frames, None),
+                Err(error) => return (frames, Some(format!("{error:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_reader_decodes_across_every_chunk_size() {
+        // Several frames including an empty one and a large one, delivered
+        // 1..N bytes at a time: every split point must yield the same
+        // frames and the same clean EOF.
+        let bodies: Vec<Vec<u8>> = vec![
+            b"first".to_vec(),
+            Vec::new(),
+            (0..=255u8).cycle().take(40_000).collect(),
+            b"last".to_vec(),
+        ];
+        let mut stream = Vec::new();
+        for body in &bodies {
+            write_frame(&mut stream, body).unwrap();
+        }
+        for chunk in 1..64 {
+            let (frames, outcome) = buffered_replay(&stream, || chunk);
+            assert_eq!(frames, bodies, "chunk size {chunk}");
+            assert_eq!(outcome, None, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn buffered_reader_reports_oversize_from_the_header_alone() {
+        // An oversized length prefix delivered one byte at a time must fail
+        // exactly like the unbuffered path, without ever buffering a body.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"good").unwrap();
+        stream.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        stream.extend_from_slice(&[0u8; 64]); // body bytes that must not be read
+        let (frames, outcome) = buffered_replay(&stream, || 1);
+        let (expected_frames, expected_outcome) = unbuffered_replay(&stream);
+        assert_eq!(frames, expected_frames);
+        assert_eq!(outcome, expected_outcome);
+        assert!(outcome.unwrap().contains("FrameTooLarge"));
+    }
+
+    proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(192))]
+
+        /// Differential: across random frame sequences, random chunk
+        /// splits, and random corruption (truncation, oversized prefix),
+        /// the buffered reader yields byte-identical frames and the same
+        /// terminal error as the unbuffered codec.
+        #[test]
+        fn buffered_reader_matches_unbuffered_codec(
+            bodies in proptest::collection::vec(
+                proptest::collection::vec(0u8..255, 0..40),
+                0..6,
+            ),
+            chunk_seed in 1u64..u64::MAX,
+            mutation in 0u8..4,
+        ) {
+            let mut stream = Vec::new();
+            for body in &bodies {
+                write_frame(&mut stream, body).unwrap();
+            }
+            match mutation {
+                // 0: clean stream.
+                1 => {
+                    // Truncate somewhere (possibly mid-header, mid-body).
+                    let cut = (chunk_seed as usize) % (stream.len() + 1);
+                    stream.truncate(cut);
+                }
+                2 => {
+                    // Append an oversized length prefix.
+                    stream.extend_from_slice(&(MAX_FRAME_BYTES + 7).to_le_bytes());
+                }
+                3 => {
+                    // Append a partial header (EOF mid-header).
+                    stream.extend_from_slice(&[9, 0]);
+                }
+                _ => {}
+            }
+            // Chunk sizes from a splitmix-style generator, 1..=17 bytes.
+            let mut state = chunk_seed;
+            let next_chunk = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 17) as usize + 1
+            };
+            let (buffered, buffered_outcome) = buffered_replay(&stream, next_chunk);
+            let (unbuffered, unbuffered_outcome) = unbuffered_replay(&stream);
+            prop_assert_eq!(buffered, unbuffered);
+            prop_assert_eq!(buffered_outcome, unbuffered_outcome);
+        }
+    }
+
+    #[test]
+    fn buffered_reader_drains_sockets_and_sees_clean_eof() {
+        use std::io::Write as _;
+        use watchman_core::runtime::net::TcpListener as NetListener;
+        use watchman_core::runtime::{block_on, Runtime};
+
+        let runtime = Runtime::with_workers(2);
+        let listener = NetListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        let server = runtime.spawn(async move {
+            let (stream, _) = listener.accept().await.expect("accept");
+            let mut reader = FrameReader::new();
+            let mut frames = Vec::new();
+            while let Some(frame) = reader.next_frame(&stream).await.expect("frame") {
+                frames.push(frame.to_vec());
+            }
+            frames
+        });
+
+        // Dribble three frames a byte at a time: the buffered reader must
+        // reassemble them exactly and then observe the clean EOF.
+        let mut stream_bytes = Vec::new();
+        write_frame(&mut stream_bytes, b"alpha").unwrap();
+        write_frame(&mut stream_bytes, b"").unwrap();
+        write_frame(&mut stream_bytes, b"gamma").unwrap();
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        for byte in &stream_bytes {
+            client.write_all(std::slice::from_ref(byte)).unwrap();
+            client.flush().unwrap();
+        }
+        drop(client);
+        let frames = block_on(server).expect("server task");
+        assert_eq!(
+            frames,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]
+        );
+    }
+
+    #[test]
+    fn frame_writer_coalesces_frames_the_blocking_codec_reads() {
+        use watchman_core::runtime::net::TcpListener as NetListener;
+        use watchman_core::runtime::{block_on, Runtime};
+
+        let runtime = Runtime::with_workers(1);
+        let listener = NetListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        let server = runtime.spawn(async move {
+            let (stream, _) = listener.accept().await.expect("accept");
+            let mut writer = FrameWriter::new();
+            writer.stage(&encode_hello()).expect("stage hello");
+            for id in 0..3u64 {
+                writer
+                    .stage_response(
+                        id,
+                        &Response::Peek {
+                            cached: id % 2 == 0,
+                            size_bytes: id * 100,
+                        },
+                    )
+                    .expect("stage response");
+            }
+            assert!(!writer.is_empty());
+            writer.flush(&stream).await.expect("flush burst");
+            assert!(writer.is_empty(), "flush resets the staging buffer");
+        });
+
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let hello = read_frame(&mut client).unwrap().expect("hello frame");
+        assert_eq!(decode_hello(&hello).unwrap(), VERSION);
+        for id in 0..3u64 {
+            let body = read_frame(&mut client).unwrap().expect("response frame");
+            let (got_id, response) = decode_response(&body).expect("decodes");
+            assert_eq!(got_id, id);
+            assert_eq!(
+                response,
+                Response::Peek {
+                    cached: id % 2 == 0,
+                    size_bytes: id * 100,
+                }
+            );
+        }
+        block_on(server).expect("server task");
+    }
+
+    #[test]
+    fn frame_writer_rejects_oversized_bodies_without_staging() {
+        let mut writer = FrameWriter::new();
+        let oversized = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        assert!(writer.stage(&oversized).is_err());
+        assert!(
+            writer.is_empty(),
+            "failed stage must not leave bytes behind"
+        );
+        writer.stage(b"ok").expect("normal frame stages");
+        assert_eq!(writer.staged_bytes(), 4 + 2);
     }
 
     #[test]

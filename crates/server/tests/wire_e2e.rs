@@ -273,6 +273,61 @@ fn version_mismatch_is_answered_with_the_server_hello_then_closed() {
 }
 
 #[test]
+fn get_many_batches_into_one_write_and_matches_ids_in_request_order() {
+    // The client encodes a pipelined batch into one contiguous buffer and
+    // sends it with a single write; the server's buffered reader drains the
+    // whole burst from as few recvs.  Distinguishable responses prove the
+    // request-id bookkeeping: response k must answer request k (the client
+    // itself errors on any id mismatch, so a success here is the proof).
+    const BATCH: usize = 64;
+    let server = test_server(64 << 20, 2);
+    let mut client = Client::connect(server.addr().to_string()).expect("client");
+    let requests: Vec<GetRequest> = (0..BATCH)
+        .map(|k| {
+            GetRequest::metrics_only(
+                format!("SELECT batch{k} FROM t"),
+                (k as u64 + 1) * 1_000,
+                // Unique size per key: the response for request k is
+                // identifiable by its full_len.
+                100 + k as u64,
+                10,
+            )
+        })
+        .collect();
+    let responses = client.get_many(requests).expect("pipelined batch");
+    assert_eq!(responses.len(), BATCH);
+    for (k, response) in responses.iter().enumerate() {
+        assert_eq!(
+            response.full_len,
+            100 + k as u64,
+            "response {k} answers a different request"
+        );
+        assert_eq!(response.source, WireSource::Executed);
+    }
+    // A second sweep is all hits, still in order.
+    let again: Vec<GetRequest> = (0..BATCH)
+        .map(|k| {
+            GetRequest::metrics_only(
+                format!("SELECT batch{k} FROM t"),
+                (BATCH + k) as u64 * 1_000,
+                100 + k as u64,
+                10,
+            )
+        })
+        .collect();
+    for (k, response) in client
+        .get_many(again)
+        .expect("hit sweep")
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(response.full_len, 100 + k as u64);
+        assert_eq!(response.source, WireSource::Hit);
+    }
+    server.join();
+}
+
+#[test]
 fn admin_opcodes_peek_without_perturbing_and_invalidate_by_relation() {
     let server = test_server(1 << 20, 2);
     let mut client = Client::connect(server.addr().to_string()).expect("client");
