@@ -1,0 +1,46 @@
+//! Seeded violations for the `fallible-unwrap-in-session` rule: session
+//! code unwrapping the Results of fallible fetch and IO calls instead of
+//! routing the failure into the retry/stale-serve/shed pipeline.
+//!
+//! Not compiled — lexed by the analyzer's tests.
+
+async fn serve_session(stream: NetStream, shared: Arc<Shared>) {
+    let mut reader = wire::FrameReader::new();
+    // VIOLATION: an async frame read that panics the session task on EOF.
+    let frame = reader.next_frame(&stream).await.unwrap();
+    let (id, request) = wire::decode_request(frame).unwrap_or_default();
+    // VIOLATION: a fetch whose terminal error should become a stale serve
+    // or a client-visible ERROR frame, never a panic.
+    let (value, source) = shared
+        .engine
+        .try_get_or_execute_async(&key, now, |_| fetch(&request))
+        .await
+        .expect("fetch");
+    let body = wire::encode_response(id, &value);
+    writer.stage(&body).ok();
+    // VIOLATION: the blocking write variant is just as fallible.
+    wire::write_frame(&mut sync_stream, &body).unwrap();
+}
+
+fn legal_shapes(stream: &mut impl Write, header: [u8; 4]) -> Result<u32, WireError> {
+    // Legal: `?`-propagation is exactly what the rule wants to see.
+    stream.write_all(&header)?;
+    stream.flush()?;
+    // Legal: infallible conversions are not fetch/IO Results.
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_peer_may_unwrap() {
+        // Legal: a unit test playing the peer crashes loudly on purpose.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut stream, b"request").unwrap();
+        let reply = wire::read_frame(&mut stream).unwrap().expect("reply");
+        assert_eq!(reply, b"request");
+    }
+}

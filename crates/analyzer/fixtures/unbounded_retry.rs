@@ -1,0 +1,41 @@
+//! Seeded violation for the `unbounded-retry-loop` rule: a reconnect loop
+//! with no visible retry budget, next to the bounded shape the rule wants.
+//!
+//! Not compiled — lexed by the analyzer's tests.
+
+fn hammer_until_up(addr: &str) -> Client {
+    // VIOLATION: a dead server keeps this client spinning forever — there
+    // is no attempt counter, no budget, no deadline in sight.
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(_) => thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn bounded_reconnect(addr: &str, policy: &RetryPolicy) -> Result<Client, ClientError> {
+    // Legal: the loop carries a visible budget and bails when it runs out.
+    let budget = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(error) if attempt >= budget => return Err(error),
+            Err(_) => thread::sleep(policy.backoff(attempt, 0)),
+        }
+    }
+}
+
+fn accept_loop(listener: &NetListener) {
+    // Legal: an accept loop is unbounded by design — `accept` is serving,
+    // not retrying.
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => continue,
+        };
+        spawn_session(stream, peer);
+    }
+}

@@ -29,11 +29,13 @@
 //!    and with one worker per core a handful of such tasks deadlock the
 //!    whole runtime.
 //! 4. **`policy-signal-coverage`** — every `QueryCache` impl under
-//!    `policy/` must define the signal-method set the engine's replacement
-//!    and rebalance loops drive (`min_cached_profit`, `set_capacity_bytes`,
-//!    `peek`, `record_coalesced_reference`, `clear`), and every variant of
-//!    `enum PolicyKind` must appear in a `PolicyKind::Variant` dispatch
-//!    path — a variant nobody constructs is an unreachable policy.
+//!    `policy/` must define the signal-method set the engine's replacement,
+//!    rebalance and failure loops drive (`min_cached_profit`,
+//!    `set_capacity_bytes`, `peek`, `record_coalesced_reference`,
+//!    `record_error_reference`, `record_stale_reference`, `clear`), and
+//!    every variant of `enum PolicyKind` must appear in a
+//!    `PolicyKind::Variant` dispatch path — a variant nobody constructs is
+//!    an unreachable policy.
 //! 5. **`frame-size-consistency`** — the wire-protocol size caps
 //!    (`MAX_FRAME_BYTES`, `MAX_PREFIX_BYTES`, `MAX_RESULT_BYTES`) must be
 //!    declared exactly once, in their home files, and must satisfy
@@ -44,7 +46,9 @@
 //!    polling in the server crate's session paths.  Sessions are tasks on
 //!    the IO reactor: one blocking read parks a whole worker thread, and a
 //!    read-timeout poll loop is the 25 ms idle tick this refactor deleted.
-//!    The blocking `Client` (`client.rs`) and the CLI binaries under
+//!    The blocking `Client` (`client.rs`), the load drivers that hold such
+//!    clients on dedicated threads (`replay.rs` — a read deadline there is
+//!    chaos stall detection, not an idle tick) and the CLI binaries under
 //!    `src/bin/` are the deliberate exceptions; `std::net::SocketAddr` and
 //!    friends carry no blocking IO and stay legal everywhere.
 //! 7. **`unbuffered-frame-write-in-session`** — no `write_frame` /
@@ -56,6 +60,20 @@
 //!    it.  `wire.rs` (the helpers' home), the lockstep clients
 //!    (`client.rs`, `replay.rs` — one request in flight, nothing to
 //!    coalesce) and the CLI binaries under `src/bin/` are exempt.
+//! 8. **`fallible-unwrap-in-session`** — no `.unwrap()` / `.expect()` on
+//!    the fallible fetch/IO calls (`read_frame*`, `write_frame*`,
+//!    `next_frame`, `flush`, `read_exact`, `write_all`, `connect*`,
+//!    `accept`, `try_get_or_execute*`, `stage`) in the server crate's
+//!    session paths.  The failure-domain engineering routes every fetch/IO
+//!    error into the retry → stale-serve → shed pipeline; an unwrap turns a
+//!    recoverable fault into a dead session.  The CLI binaries under
+//!    `src/bin/` (where a crash *is* the error report) and inline
+//!    `mod tests` peers are exempt.
+//! 9. **`unbounded-retry-loop`** — no `loop { … connect … }` without a
+//!    visible retry budget (`attempt`/`attempts`/`budget`/`retries`/
+//!    `deadline` or a `max_*` bound) in the server crate.  A reconnect loop
+//!    with no bound turns one dead server into a client spinning forever;
+//!    bounded attempts with capped backoff are the `RetryPolicy` contract.
 //!
 //! Seeded-violation fixtures live in `fixtures/`; the crate's tests assert
 //! each rule fires on its fixture and stays quiet on counter-examples, so a
@@ -340,6 +358,8 @@ pub fn analyze(set: &FileSet) -> Vec<Finding> {
         rule_block_on_in_poll(path, tokens, &mut findings);
         rule_blocking_net_in_session(path, tokens, &mut findings);
         rule_unbuffered_frame_write_in_session(path, tokens, &mut findings);
+        rule_fallible_unwrap_in_session(path, tokens, &mut findings);
+        rule_unbounded_retry_loop(path, tokens, &mut findings);
         rule_policy_signal_coverage(path, tokens, set, &mut findings);
     }
     rule_frame_size_consistency(set, &mut findings);
@@ -486,10 +506,16 @@ fn rule_block_on_in_poll(path: &str, tokens: &[Token], findings: &mut Vec<Findin
 /// runtime's epoll reactor (`watchman_core::runtime::net`); a blocking
 /// socket in those paths pins an OS thread per connection, which is exactly
 /// the architecture the reactor refactor removed.  `client.rs` (the
-/// blocking wire client, the one sanctioned `std::net` site) and the CLI
-/// binaries under `src/bin/` are exempt.
+/// blocking wire client, the one sanctioned `std::net` site), `replay.rs`
+/// (load drivers holding blocking clients on dedicated threads — the chaos
+/// driver's read deadline is stall detection, not an idle-tick poll) and
+/// the CLI binaries under `src/bin/` are exempt.
 fn rule_blocking_net_in_session(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
-    if !path.contains("server/src") || path.ends_with("client.rs") || path.contains("/bin/") {
+    if !path.contains("server/src")
+        || path.ends_with("client.rs")
+        || path.ends_with("replay.rs")
+        || path.contains("/bin/")
+    {
         return;
     }
     // Inline `mod tests` bodies are exempt: a unit test playing the *peer*
@@ -631,14 +657,163 @@ fn strip_test_modules(tokens: &[Token]) -> Vec<Token> {
     kept
 }
 
+/// The fallible fetch/IO call names rule 8 guards: each returns a `Result`
+/// (or `Option` over one) whose failure the session layer must route into
+/// the degradation pipeline — retry, stale serve, shed — rather than crash
+/// on.  Infallible conversions like `try_into()` are deliberately absent.
+const FALLIBLE_CALLS: [&str; 15] = [
+    "accept",
+    "connect",
+    "connect_handshaken",
+    "connect_with_retries",
+    "flush",
+    "next_frame",
+    "read_exact",
+    "read_frame",
+    "read_frame_async",
+    "stage",
+    "try_get_or_execute",
+    "try_get_or_execute_async",
+    "write_all",
+    "write_frame",
+    "write_frame_async",
+];
+
+/// Rule 8: `.unwrap()` / `.expect()` on a fallible fetch or IO call in the
+/// server crate's session paths.  One flaky peer or one failed fetch must
+/// degrade (retry, stale serve, shed) — never panic the session task it
+/// happened on.  The CLI binaries under `src/bin/` are exempt (for a CLI a
+/// crash is the error report), as are inline `mod tests` bodies.
+fn rule_fallible_unwrap_in_session(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !path.contains("server/src") || path.contains("/bin/") {
+        return;
+    }
+    let tokens = strip_test_modules(tokens);
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let is_call =
+            FALLIBLE_CALLS.iter().any(|c| tokens[i].is_ident(c)) && tokens[i + 1].is_punct('(');
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        let call = tokens[i].text.clone();
+        // Skip the paren-matched argument list (this also skips `fn accept(…)`
+        // signatures: what follows a signature is `->` or `{`, never `.`).
+        let mut depth = 1;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        // An `.await` between the call and the unwrap is still the same sin.
+        if j + 1 < tokens.len() && tokens[j].is_punct('.') && tokens[j + 1].is_ident("await") {
+            j += 2;
+        }
+        let unwraps = j + 1 < tokens.len()
+            && tokens[j].is_punct('.')
+            && (tokens[j + 1].is_ident("unwrap") || tokens[j + 1].is_ident("expect"));
+        if unwraps {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: tokens[j + 1].line,
+                rule: "fallible-unwrap-in-session",
+                message: format!(
+                    "`{call}(…).{}()` turns a recoverable fetch/IO failure into a dead \
+                     session; route the error into the retry/stale-serve/shed pipeline \
+                     (src/bin/ CLIs and tests are the sanctioned crash sites)",
+                    tokens[j + 1].text
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+/// Identifiers that signal a connection attempt inside a loop body.
+const CONNECTISH: [&str; 5] = [
+    "connect",
+    "connect_handshaken",
+    "connect_with_retries",
+    "ensure_connected",
+    "reconnect",
+];
+
+/// Whether a token names a visible retry budget.
+fn is_budget_ident(token: &Token) -> bool {
+    token.kind == TokenKind::Ident
+        && (matches!(
+            token.text.as_str(),
+            "attempt" | "attempts" | "budget" | "retries" | "deadline"
+        ) || token.text.starts_with("max_"))
+}
+
+/// Rule 9: a `loop` that attempts connections with no visible retry budget
+/// in the server crate.  Accept loops are legitimately unbounded (`accept`
+/// is not connect-ish); a *reconnect* loop without a bound hammers a dead
+/// server forever instead of surfacing the failure after a bounded,
+/// backed-off budget the way the `RetryPolicy`-driven paths do.
+fn rule_unbounded_retry_loop(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !path.contains("server/src") || path.contains("/bin/") {
+        return;
+    }
+    let tokens = strip_test_modules(tokens);
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_ident("loop") && tokens[i + 1].is_punct('{')) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1;
+        let mut j = i + 2;
+        let mut connect_site: Option<(String, u32)> = None;
+        let mut has_budget = false;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth -= 1;
+            } else if connect_site.is_none() && CONNECTISH.iter().any(|c| tokens[j].is_ident(c)) {
+                connect_site = Some((tokens[j].text.clone(), tokens[j].line));
+            } else if is_budget_ident(&tokens[j]) {
+                has_budget = true;
+            }
+            j += 1;
+        }
+        if let Some((call, line)) = connect_site {
+            if !has_budget {
+                findings.push(Finding {
+                    file: path.to_owned(),
+                    line,
+                    rule: "unbounded-retry-loop",
+                    message: format!(
+                        "`loop` retries `{call}` with no visible budget (attempt/attempts/\
+                         budget/retries/deadline or a max_* bound): one dead server becomes \
+                         a client spinning forever; bound the loop with RetryPolicy-style \
+                         capped attempts"
+                    ),
+                });
+            }
+        }
+        // Step past the keyword only: nested loops are analyzed on their own.
+        i += 1;
+    }
+}
+
 /// The signal methods the engine's replacement and rebalance loops drive.
 /// `QueryCache` gives several of them no-op defaults, so forgetting one
 /// compiles clean and silently degrades the policy.
-const REQUIRED_SIGNALS: [&str; 5] = [
+const REQUIRED_SIGNALS: [&str; 7] = [
     "min_cached_profit",
     "set_capacity_bytes",
     "peek",
     "record_coalesced_reference",
+    "record_error_reference",
+    "record_stale_reference",
     "clear",
 ];
 
@@ -1047,10 +1222,12 @@ mod tests {
                 .all(|f| !f.message.contains("std::net::SocketAddr")),
             "{hits:?}"
         );
-        // The blocking client and the CLI binaries are sanctioned sites,
-        // and the rule has no opinion outside the server crate.
+        // The blocking client, the load drivers and the CLI binaries are
+        // sanctioned sites, and the rule has no opinion outside the server
+        // crate.
         for exempt in [
             "crates/server/src/client.rs",
+            "crates/server/src/replay.rs",
             "crates/server/src/bin/loadgen.rs",
             "crates/sim/src/driver.rs",
         ] {
@@ -1098,6 +1275,67 @@ mod tests {
     }
 
     #[test]
+    fn fallible_unwrap_fixture_fires_in_session_paths_only() {
+        let source = fixture("fallible_unwrap.rs");
+        let findings = analyze_one("crates/server/src/server.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "fallible-unwrap-in-session")
+            .collect();
+        // The async frame read, the awaited fetch and the blocking frame
+        // write; the `?`-propagation, the `.ok()`, the try_into().unwrap()
+        // and the whole `mod tests` peer are all legal.
+        assert_eq!(hits.len(), 3, "{findings:?}");
+        assert!(
+            hits.iter()
+                .any(|f| f.message.contains("try_get_or_execute_async")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|f| f.message.contains("next_frame")),
+            "{hits:?}"
+        );
+        // The CLI binaries are sanctioned crash sites, and the rule has no
+        // opinion outside the server crate.
+        for exempt in [
+            "crates/server/src/bin/watchmand.rs",
+            "crates/sim/src/driver.rs",
+        ] {
+            let findings = analyze_one(exempt, &source);
+            assert!(
+                findings
+                    .iter()
+                    .all(|f| f.rule != "fallible-unwrap-in-session"),
+                "{exempt}: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_retry_fixture_fires_on_the_budgetless_loop_only() {
+        let source = fixture("unbounded_retry.rs");
+        let findings = analyze_one("crates/server/src/client.rs", &source);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "unbounded-retry-loop")
+            .collect();
+        // Only the budgetless reconnect loop: the bounded loop carries
+        // `attempt`/`budget`, and the accept loop is unbounded by design.
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert!(hits[0].message.contains("connect"), "{hits:?}");
+        for exempt in [
+            "crates/server/src/bin/loadgen.rs",
+            "crates/sim/src/driver.rs",
+        ] {
+            let findings = analyze_one(exempt, &source);
+            assert!(
+                findings.iter().all(|f| f.rule != "unbounded-retry-loop"),
+                "{exempt}: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
     fn policy_fixture_reports_missing_signals_and_orphan_variants() {
         let source = fixture("policy_gap.rs");
         let findings = analyze_one("crates/core/src/policy/gap.rs", &source);
@@ -1111,6 +1349,15 @@ mod tests {
                 .any(|f| f.message.contains("record_coalesced_reference")),
             "{findings:?}"
         );
+        // The failure-pipeline signals are part of the required set too: a
+        // policy that never hears about error/stale references mis-estimates
+        // every arrival rate under degradation.
+        for signal in ["record_error_reference", "record_stale_reference"] {
+            assert!(
+                missing.iter().any(|f| f.message.contains(signal)),
+                "{signal}: {findings:?}"
+            );
+        }
         assert!(
             findings
                 .iter()

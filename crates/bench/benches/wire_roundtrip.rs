@@ -117,6 +117,7 @@ fn bench_loopback(rounds: u64) -> Vec<PipelineRow> {
         capacity_bytes: 16 << 20,
         runtime_workers: 2,
         rebalance: None,
+        ..ServerConfig::default()
     })
     .expect("bench server binds");
     let mut client = Client::connect(server.addr().to_string()).expect("bench client");

@@ -15,20 +15,21 @@
 //! real models are trusted.
 
 use watchman_core::checker::models::{
-    InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
-    SingleFlightModel, WorkStealingQueueModel,
+    CircuitBreakerModel, InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel,
+    RuntimeDropModel, SingleFlightModel, WorkStealingQueueModel,
 };
 use watchman_core::checker::{explore, Model};
 
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
     let budget = if quick { 150 } else { 1_500 };
-    let models: [&dyn Model; 5] = [
+    let models: [&dyn Model; 6] = [
         &SingleFlightModel,
         &RuntimeDropModel,
         &RebalanceModel,
         &ReactorRegistrationModel,
         &WorkStealingQueueModel,
+        &CircuitBreakerModel,
     ];
 
     let mut total_schedules = 0;

@@ -46,11 +46,13 @@
 //! worker mid-poll), [`models::RebalanceModel`] (two-lock capacity
 //! transfer vs an atomic stats snapshot),
 //! [`models::ReactorRegistrationModel`] (IO-reactor event delivery vs a
-//! cancelled task dropping its registration, against the real `ReadyCell`)
-//! and [`models::WorkStealingQueueModel`] (the run-queue push/steal/park
+//! cancelled task dropping its registration, against the real `ReadyCell`),
+//! [`models::WorkStealingQueueModel`] (the run-queue push/steal/park
 //! protocol, against the real `RunQueue` — a parked worker nobody wakes
-//! while work sits queued is a lost wakeup).
-//! `cargo run -p watchman-core --bin checker` explores all five; see
+//! while work sits queued is a lost wakeup) and
+//! [`models::CircuitBreakerModel`] (the per-shard breaker's trip /
+//! half-open / re-close cycle, against the real `CircuitBreaker`).
+//! `cargo run -p watchman-core --bin checker` explores all six; see
 //! `CONCURRENCY.md`.
 //!
 //! [`Flight`]: crate::engine::single_flight::Flight
@@ -618,6 +620,9 @@ pub mod models {
             ctl.point();
             match flight.poll_wait(&mut slot, &mut cx) {
                 Poll::Ready(FlightOutcome::Done(value, _)) => return Some(*value),
+                Poll::Ready(FlightOutcome::Failed(_)) => {
+                    panic!("this model never fails the flight with a fetch error")
+                }
                 Poll::Ready(FlightOutcome::TakeOver) => {
                     // This session is the new leader: execute and publish.
                     ctl.point();
@@ -674,6 +679,9 @@ pub mod models {
                             }
                             Poll::Ready(LeaderOutcome::Done(..)) => {
                                 panic!("leader session must observe its own failure, not Done")
+                            }
+                            Poll::Ready(LeaderOutcome::Error(_)) => {
+                                panic!("this model never fails the flight with a fetch error")
                             }
                             Poll::Pending => ctl.wait_flag(FLAG_LEADER),
                         }
@@ -1244,6 +1252,162 @@ pub mod models {
         }
     }
 
+    /// Model 6: the per-shard circuit breaker's full transition cycle,
+    /// driving the **real** [`CircuitBreaker`] under the virtual shard lock
+    /// it lives inside in the engine.
+    ///
+    /// Thread 0 is a failing session: two fetch episodes (admit under the
+    /// shard lock, fetch outside it, record the failure back under the
+    /// lock) whose failures trip the breaker.  Thread 1 is a recovering
+    /// session: one early success that may or may not land in the rolling
+    /// window before the trip, then — once the failer is done — probe
+    /// fetches with timestamps past the open interval until the breaker
+    /// re-closes.
+    ///
+    /// Invariants, on every schedule: a refused admit never happens on a
+    /// closed breaker (fast-fail is only for open/half-open states); the
+    /// breaker always trips (the window math is interleaving-independent);
+    /// the recovering session always re-closes it within the probe budget
+    /// (a breaker stuck open past its interval would starve every session
+    /// on the shard); and the final transition count is exactly
+    /// closed → open → half-open → closed.
+    ///
+    /// [`CircuitBreaker`]: crate::engine::CircuitBreaker
+    pub struct CircuitBreakerModel;
+
+    /// The virtual shard lock the breaker lives under.
+    const LOCK_BREAKER_SHARD: u64 = 30;
+    /// Set once the failing session has recorded both failures.
+    const FLAG_FAILER_DONE: u64 = 500;
+    /// The model's open interval, in logical microseconds.
+    const OPEN_FOR_US: u64 = 100;
+
+    impl Model for CircuitBreakerModel {
+        fn name(&self) -> &'static str {
+            "circuit breaker trip / half-open probe / re-close"
+        }
+
+        fn instantiate(&self) -> ModelRun {
+            use crate::clock::Timestamp;
+            use crate::engine::{BreakerConfig, BreakerState, CircuitBreaker};
+
+            let breaker = Arc::new(Mutex::new(CircuitBreaker::new(BreakerConfig {
+                window: 4,
+                failure_threshold: 0.5,
+                min_samples: 2,
+                open_for_us: OPEN_FOR_US,
+                half_open_probes: 2,
+            })));
+
+            let failer = {
+                let breaker = Arc::clone(&breaker);
+                Box::new(move |ctl: &Ctl| {
+                    for ts in [10u64, 20] {
+                        let now = Timestamp::from_micros(ts);
+                        ctl.lock(LOCK_BREAKER_SHARD);
+                        let admitted = breaker.lock().admit(now);
+                        if !admitted {
+                            // Fast-fail is legal only once the trip happened.
+                            assert_ne!(
+                                breaker.lock().state(),
+                                BreakerState::Closed,
+                                "a closed breaker refused a fetch"
+                            );
+                        }
+                        ctl.unlock(LOCK_BREAKER_SHARD);
+                        if admitted {
+                            ctl.point(); // the fetch runs outside the lock
+                            ctl.lock(LOCK_BREAKER_SHARD);
+                            breaker.lock().record_failure(now);
+                            ctl.unlock(LOCK_BREAKER_SHARD);
+                        }
+                        ctl.point();
+                    }
+                    ctl.set_flag(FLAG_FAILER_DONE);
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            let recoverer = {
+                let breaker = Arc::clone(&breaker);
+                Box::new(move |ctl: &Ctl| {
+                    // An early success: recorded if admitted (the window may
+                    // or may not contain it when the trip is evaluated),
+                    // skipped if the breaker already tripped.
+                    let early = Timestamp::from_micros(15);
+                    ctl.lock(LOCK_BREAKER_SHARD);
+                    let admitted = breaker.lock().admit(early);
+                    if !admitted {
+                        assert_ne!(
+                            breaker.lock().state(),
+                            BreakerState::Closed,
+                            "a closed breaker refused a fetch"
+                        );
+                    }
+                    ctl.unlock(LOCK_BREAKER_SHARD);
+                    if admitted {
+                        ctl.point();
+                        ctl.lock(LOCK_BREAKER_SHARD);
+                        breaker.lock().record_success(early);
+                        ctl.unlock(LOCK_BREAKER_SHARD);
+                    }
+
+                    // Recovery: strictly after the failures, with timestamps
+                    // past any reachable `until` (failure times ≤ 20, so
+                    // until ≤ 20 + OPEN_FOR_US < 200).
+                    ctl.wait_flag(FLAG_FAILER_DONE);
+                    for probe in 0..6u64 {
+                        let now = Timestamp::from_micros(200 + probe * 10);
+                        ctl.lock(LOCK_BREAKER_SHARD);
+                        if breaker.lock().state() == BreakerState::Closed {
+                            ctl.unlock(LOCK_BREAKER_SHARD);
+                            return;
+                        }
+                        let admitted = breaker.lock().admit(now);
+                        ctl.unlock(LOCK_BREAKER_SHARD);
+                        ctl.point();
+                        if admitted {
+                            ctl.lock(LOCK_BREAKER_SHARD);
+                            breaker.lock().record_success(now);
+                            ctl.unlock(LOCK_BREAKER_SHARD);
+                            ctl.point();
+                        }
+                    }
+                    let state = breaker.lock().state();
+                    assert_eq!(
+                        state,
+                        BreakerState::Closed,
+                        "breaker never re-closed within the probe budget"
+                    );
+                }) as Box<dyn FnOnce(&Ctl) + Send>
+            };
+
+            ModelRun {
+                threads: vec![failer, recoverer],
+                finale: Box::new(move || {
+                    let breaker = breaker.lock();
+                    if breaker.state() != BreakerState::Closed {
+                        return Err(format!(
+                            "breaker finished {} with {} transitions, expected closed",
+                            breaker.state(),
+                            breaker.transitions()
+                        ));
+                    }
+                    // Half-open is unreachable before the failer finishes
+                    // (every pre-recovery timestamp is inside the open
+                    // interval), so the only legal history is one trip, one
+                    // half-opening, one close.
+                    if breaker.transitions() != 3 {
+                        return Err(format!(
+                            "{} transitions, expected exactly closed → open → half-open → closed",
+                            breaker.transitions()
+                        ));
+                    }
+                    Ok(())
+                }),
+            }
+        }
+    }
+
     /// A deliberately broken variant — two threads taking the two shard
     /// locks in **opposite** order — used to prove the explorer actually
     /// finds deadlocks (a checker that reports "0 violations" on everything
@@ -1281,8 +1445,8 @@ pub mod models {
 #[cfg(test)]
 mod tests {
     use super::models::{
-        InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel, RuntimeDropModel,
-        SingleFlightModel, WorkStealingQueueModel,
+        CircuitBreakerModel, InvertedLockOrderModel, ReactorRegistrationModel, RebalanceModel,
+        RuntimeDropModel, SingleFlightModel, WorkStealingQueueModel,
     };
     use super::*;
 
@@ -1337,6 +1501,18 @@ mod tests {
     #[test]
     fn work_stealing_queue_model_is_clean() {
         let exploration = explore(&WorkStealingQueueModel, 4_000);
+        assert!(exploration.schedules > 10, "{}", exploration.summary());
+        assert!(
+            exploration.violations.is_empty(),
+            "{}\nfirst violation: {:?}",
+            exploration.summary(),
+            exploration.violations.first()
+        );
+    }
+
+    #[test]
+    fn circuit_breaker_model_is_clean() {
+        let exploration = explore(&CircuitBreakerModel, 5_000);
         assert!(exploration.schedules > 10, "{}", exploration.summary());
         assert!(
             exploration.violations.is_empty(),

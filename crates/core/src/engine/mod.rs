@@ -36,6 +36,19 @@
 //! waiters keep sleeping until the new leader completes the same flight
 //! cell, and the panic is re-raised on the original leader's session.
 //!
+//! Expected failures — the warehouse itself erroring out — go through the
+//! *fallible* front doors [`Watchman::try_get_or_execute`] /
+//! [`Watchman::try_get_or_execute_async`], whose fetch closures return
+//! `Result<(V, ExecutionCost), FetchError>`.  A terminal error (retry
+//! budget from [`RetryPolicy`] exhausted, or a fatal error) resolves the
+//! flight for **every** coalesced waiter with one shared
+//! `Arc<FetchError>`, feeds a short-TTL per-key negative cache, and trips
+//! the per-shard [`CircuitBreaker`] once the rolling failure rate crosses
+//! its threshold.  When a [`StalenessPolicy`] is configured and its profit
+//! gate passes, failed lookups are answered from the shard's last-known-good
+//! store as [`LookupSource::Stale`] — accounted separately so degraded
+//! answers never inflate the paper's CSR.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -60,17 +73,22 @@
 //! ```
 
 mod events;
+mod failure;
 mod policy_kind;
 mod rebalance;
 pub(crate) mod single_flight;
 mod watchman;
 
 pub use events::{CacheEvent, CacheObserver, EventCounters};
+pub use failure::{
+    splitmix64, BreakerConfig, BreakerState, CircuitBreaker, FailureConfig, FetchError,
+    LookupError, NegativeCacheConfig, RetryPolicy, StalenessPolicy,
+};
 pub use policy_kind::PolicyKind;
 pub use rebalance::{RebalanceConfig, RebalanceOutcome};
 pub use watchman::{
     DeadlineLookup, KeyNormalizer, Lookup, LookupFuture, LookupSource, LookupTimedOut,
-    StatsSnapshot, Watchman, WatchmanBuilder,
+    StatsSnapshot, TryLookupFuture, Watchman, WatchmanBuilder,
 };
 
 #[cfg(test)]
@@ -1156,5 +1174,377 @@ mod tests {
         assert_eq!(outcome.evicted(), &[key("a")], "peeking must not protect a");
         assert!(engine.contains(&key("b")));
         assert!(engine.peek(&key("a")).is_none());
+    }
+
+    // ---- fallible fetch pipeline -------------------------------------------
+
+    /// A failure config with no retries, breaker, or staleness: errors are
+    /// terminal on the first attempt (negative caching still applies).
+    fn no_retry() -> FailureConfig {
+        FailureConfig {
+            retry: RetryPolicy::none(),
+            ..FailureConfig::default()
+        }
+    }
+
+    fn payload_ok(size: u64, blocks: u64) -> Result<(SizedPayload, ExecutionCost), FetchError> {
+        Ok((SizedPayload::new(size), ExecutionCost::from_blocks(blocks)))
+    }
+
+    #[test]
+    fn try_path_success_is_stat_identical_to_infallible_path() {
+        // The fallible front door with an always-Ok fetch must be
+        // byte-identical to the infallible one: same counters, same
+        // occupancy, same everything the snapshot can see.
+        let plain = engine(4, 40_000);
+        let fallible = engine(4, 40_000);
+        for i in 0..300u64 {
+            let k = key(&format!("q{}", i % 23));
+            let now = ts(i * 1_000 + 1);
+            let size = 100 + (i % 7) * 120;
+            let cost = ExecutionCost::from_blocks(400 + (i % 11) * 800);
+            plain.get_or_execute(&k, now, || (SizedPayload::new(size), cost));
+            fallible
+                .try_get_or_execute(&k, now, || Ok((SizedPayload::new(size), cost)))
+                .expect("fetch never fails");
+        }
+        assert_eq!(plain.stats_snapshot(), fallible.stats_snapshot());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_within_the_budget() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(FailureConfig {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_delay: std::time::Duration::ZERO,
+                    max_delay: std::time::Duration::ZERO,
+                    jitter_seed: 7,
+                },
+                ..FailureConfig::default()
+            })
+            .build();
+        let attempts = AtomicU64::new(0);
+        let lookup = engine
+            .try_get_or_execute(&key("flaky"), ts(1), || {
+                if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(FetchError::transient("warehouse hiccup"))
+                } else {
+                    payload_ok(128, 1_000)
+                }
+            })
+            .expect("third attempt succeeds");
+        assert_eq!(lookup.source, LookupSource::Executed);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.fetch_retries(), 2);
+        let stats = engine.stats();
+        assert_eq!(
+            stats.fetch_errors, 0,
+            "a retried-to-success lookup is a plain miss"
+        );
+        assert_eq!(stats.references, 1);
+    }
+
+    #[test]
+    fn fatal_errors_are_never_retried() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .build();
+        let attempts = AtomicU64::new(0);
+        let err = engine
+            .try_get_or_execute(&key("doomed"), ts(1), || {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                Err::<(SizedPayload, ExecutionCost), _>(FetchError::fatal("relation dropped"))
+            })
+            .expect_err("fatal error surfaces");
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "fatal = no retry");
+        assert!(!err.error.is_retryable());
+        assert!(!err.negative_hit);
+        assert_eq!(engine.fetch_retries(), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.fetch_errors, 1);
+        assert_eq!(stats.references, 1);
+        assert_eq!(stats.misses(), 0, "an errored reference is not a miss");
+    }
+
+    #[test]
+    fn negative_cache_memoizes_terminal_failures() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(no_retry())
+            .build();
+        let invocations = AtomicU64::new(0);
+        let fetch = || {
+            invocations.fetch_add(1, Ordering::SeqCst);
+            Err::<(SizedPayload, ExecutionCost), _>(FetchError::transient("down"))
+        };
+        let first = engine
+            .try_get_or_execute(&key("q"), ts(1), fetch)
+            .expect_err("fetch fails");
+        assert!(!first.negative_hit);
+        // Inside the TTL window: answered from the negative cache, fetch not
+        // invoked, and the memoized error is the *same* Arc.
+        let second = engine
+            .try_get_or_execute(&key("q"), ts(2), fetch)
+            .expect_err("memoized failure");
+        assert!(second.negative_hit);
+        assert!(Arc::ptr_eq(&first.error, &second.error));
+        assert_eq!(invocations.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.negative_hits(), 1);
+        // Past the TTL (default 50ms of logical time): the entry expired and
+        // the fetch runs again.
+        let third = engine
+            .try_get_or_execute(&key("q"), ts(60_000), fetch)
+            .expect_err("fresh failure");
+        assert!(!third.negative_hit);
+        assert_eq!(invocations.load(Ordering::SeqCst), 2);
+        let stats = engine.stats();
+        assert_eq!(stats.fetch_errors, 3, "all three references errored");
+        assert_eq!(stats.references, 3);
+    }
+
+    #[test]
+    fn stale_serving_pays_cost_but_never_saves_it() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(FailureConfig {
+                retry: RetryPolicy::none(),
+                staleness: Some(StalenessPolicy::default()),
+                ..FailureConfig::default()
+            })
+            .build();
+        // Prime: a successful fallible fetch lands the value in the cache
+        // AND the shard's last-known-good store.
+        engine
+            .try_get_or_execute(&key("report"), ts(1), || payload_ok(256, 5_000))
+            .expect("priming fetch succeeds");
+        let saved_after_prime = engine.stats().saved_cost;
+        // Drop the cached copy (clear keeps statistics and the stale store).
+        engine.clear();
+        // The refetch fails: the engine degrades to the last-known-good copy.
+        let lookup = engine
+            .try_get_or_execute(&key("report"), ts(10), || {
+                Err::<(SizedPayload, ExecutionCost), _>(FetchError::transient("down"))
+            })
+            .expect("stale serve");
+        assert_eq!(lookup.source, LookupSource::Stale);
+        assert_eq!(lookup.value.size_bytes(), 256);
+        let stats = engine.stats();
+        assert_eq!(stats.stale_serves, 1);
+        assert_eq!(stats.fetch_errors, 0, "a stale serve is not an error");
+        assert_eq!(
+            stats.saved_cost, saved_after_prime,
+            "stale serves must never inflate the cost-savings ratio"
+        );
+        assert!(
+            stats.total_cost > saved_after_prime,
+            "stale serves pay their cost"
+        );
+        // Invalidation kills the last-known-good copy: wrong data is worse
+        // than no data.
+        engine.invalidate(&key("report"));
+        let err = engine
+            .try_get_or_execute(&key("report"), ts(200_000), || {
+                Err::<(SizedPayload, ExecutionCost), _>(FetchError::transient("still down"))
+            })
+            .expect_err("no stale copy after invalidation");
+        assert!(!err.negative_hit);
+    }
+
+    #[test]
+    fn breaker_opens_sheds_fetches_and_recovers_through_half_open() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(FailureConfig {
+                retry: RetryPolicy::none(),
+                breaker: Some(BreakerConfig {
+                    window: 8,
+                    failure_threshold: 0.5,
+                    min_samples: 2,
+                    open_for_us: 1_000_000,
+                    half_open_probes: 1,
+                }),
+                negative: NegativeCacheConfig {
+                    ttl_us: 1, // effectively off: this test isolates the breaker
+                    max_entries: 1,
+                },
+                ..FailureConfig::default()
+            })
+            .build();
+        let invocations = AtomicU64::new(0);
+        let failing = || {
+            invocations.fetch_add(1, Ordering::SeqCst);
+            Err::<(SizedPayload, ExecutionCost), _>(FetchError::transient("down"))
+        };
+        // Two terminal failures cross min_samples at 100% failure rate: the
+        // breaker opens.
+        engine
+            .try_get_or_execute(&key("a"), ts(10), failing)
+            .unwrap_err();
+        engine
+            .try_get_or_execute(&key("b"), ts(20), failing)
+            .unwrap_err();
+        assert_eq!(invocations.load(Ordering::SeqCst), 2);
+        // Open: the next lookup is refused without invoking the fetch.
+        let refused = engine
+            .try_get_or_execute(&key("c"), ts(30), failing)
+            .expect_err("breaker refuses");
+        assert_eq!(invocations.load(Ordering::SeqCst), 2, "no fetch while open");
+        assert!(refused.error.message().contains("circuit breaker open"));
+        assert!(engine.stats_snapshot().breaker_transitions >= 1);
+        // After open_for_us elapses, the admit IS the half-open probe; its
+        // success closes the breaker again.
+        let recovered = engine
+            .try_get_or_execute(&key("c"), ts(1_100_000), || payload_ok(64, 500))
+            .expect("half-open probe succeeds");
+        assert_eq!(recovered.source, LookupSource::Executed);
+        let snapshot = engine.stats_snapshot();
+        // closed→open, open→half-open, half-open→closed.
+        assert_eq!(snapshot.breaker_transitions, 3);
+        // And the shard serves normally again.
+        let hit = engine
+            .try_get_or_execute(&key("c"), ts(1_200_000), || unreachable!("cached"))
+            .expect("hit");
+        assert_eq!(hit.source, LookupSource::Hit);
+    }
+
+    #[test]
+    fn coalesced_waiters_share_one_error_arc() {
+        use std::sync::mpsc;
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(no_retry())
+            .runtime_workers(2)
+            .build();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let errors: Arc<crate::sync::Mutex<Vec<Arc<FetchError>>>> =
+            Arc::new(crate::sync::Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            {
+                let engine = engine.clone();
+                let errors = Arc::clone(&errors);
+                scope.spawn(move || {
+                    let err = crate::runtime::block_on(engine.try_get_or_execute_async(
+                        &key("shared"),
+                        ts(1),
+                        move || {
+                            started_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            Err::<(SizedPayload, ExecutionCost), _>(FetchError::fatal(
+                                "warehouse gone",
+                            ))
+                        },
+                    ))
+                    .expect_err("leader observes the error");
+                    errors.lock().push(err.error);
+                });
+            }
+            // The leader's fetch has started: the flight is registered, so
+            // every session below either coalesces onto it or (after the
+            // failure) hits the negative cache — both share the same Arc.
+            started_rx.recv().unwrap();
+            for _ in 0..3 {
+                let engine = engine.clone();
+                let errors = Arc::clone(&errors);
+                scope.spawn(move || {
+                    let err = crate::runtime::block_on(engine.try_get_or_execute_async(
+                        &key("shared"),
+                        ts(2),
+                        || unreachable!("waiters never execute"),
+                    ))
+                    .expect_err("waiters observe the shared error");
+                    errors.lock().push(err.error);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            release_tx.send(()).unwrap();
+        });
+        let errors = errors.lock();
+        assert_eq!(errors.len(), 4);
+        assert!(
+            errors.iter().all(|e| Arc::ptr_eq(e, &errors[0])),
+            "one failure, one shared Arc for every session"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.fetch_errors, 4);
+        assert_eq!(stats.references, 4);
+    }
+
+    #[test]
+    fn async_retries_sleep_on_the_runtime_timer() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(1)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(FailureConfig {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_delay: std::time::Duration::from_millis(2),
+                    max_delay: std::time::Duration::from_millis(10),
+                    jitter_seed: 42,
+                },
+                ..FailureConfig::default()
+            })
+            .runtime_workers(2)
+            .build();
+        let attempts = Arc::new(AtomicU64::new(0));
+        let fetch_attempts = Arc::clone(&attempts);
+        let lookup = crate::runtime::block_on(engine.try_get_or_execute_async(
+            &key("flaky-async"),
+            ts(1),
+            move || {
+                if fetch_attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(FetchError::transient("transient"))
+                } else {
+                    payload_ok(64, 700)
+                }
+            },
+        ))
+        .expect("retried to success");
+        assert_eq!(lookup.source, LookupSource::Executed);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.fetch_retries(), 2);
+    }
+
+    #[test]
+    fn failure_counters_round_trip_through_json() {
+        let engine: Watchman<SizedPayload> = Watchman::builder()
+            .shards(2)
+            .policy(PolicyKind::LNC_RA)
+            .capacity_bytes(1 << 20)
+            .failure(no_retry())
+            .build();
+        engine
+            .try_get_or_execute(&key("ok"), ts(1), || payload_ok(100, 900))
+            .expect("success");
+        engine
+            .try_get_or_execute(&key("bad"), ts(2), || {
+                Err::<(SizedPayload, ExecutionCost), _>(FetchError::fatal("boom"))
+            })
+            .unwrap_err();
+        engine
+            .try_get_or_execute(&key("bad"), ts(3), || unreachable!("memoized"))
+            .unwrap_err();
+        let snapshot = engine.stats_snapshot();
+        assert_eq!(snapshot.total.fetch_errors, 2);
+        assert_eq!(snapshot.negative_hits, 1);
+        assert_eq!(snapshot.sheds, 0, "the engine never sheds; servers do");
+        let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+        let back: StatsSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(snapshot, back, "JSON round trip must be exact");
     }
 }

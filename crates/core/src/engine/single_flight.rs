@@ -34,9 +34,21 @@
 //! panic payload in the cell ([`Flight::set_panic`]) and the leader session
 //! re-raises it ([`Flight::poll_leader`]), preserving the synchronous API's
 //! panic-propagation contract through the async path.
+//!
+//! ## Errors are not panics
+//!
+//! A fetch that returns `Err` (the fallible pipeline) resolves the cell
+//! *terminally* through [`Flight::fail`]: unlike abandonment, **every**
+//! waiter is woken at once and observes the same shared
+//! `Arc<FetchError>` — there is nothing to take over, because the leader
+//! already spent its whole retry budget on the query.  The engine retires a
+//! failed cell immediately, so the next reference to the key starts a fresh
+//! flight (or is answered by the negative cache).
 
 use std::any::Any;
 use std::sync::Arc;
+
+use crate::engine::failure::FetchError;
 
 use crate::sync::{Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
@@ -61,6 +73,9 @@ enum FlightState<V> {
     },
     /// The leader published its result.
     Done(Arc<V>, ExecutionCost),
+    /// The leader's fetch failed terminally (error, not panic): retry
+    /// budget exhausted or fatal error.  Every waiter shares the error.
+    Failed(Arc<FetchError>),
 }
 
 impl<V> std::fmt::Debug for FlightState<V> {
@@ -76,6 +91,7 @@ impl<V> std::fmt::Debug for FlightState<V> {
                 .field("waiters", &waiters.len())
                 .finish(),
             FlightState::Done(_, cost) => f.debug_tuple("Done").field(cost).finish(),
+            FlightState::Failed(error) => f.debug_tuple("Failed").field(error).finish(),
         }
     }
 }
@@ -89,6 +105,9 @@ pub enum FlightOutcome<V> {
     /// the flight is pending again and the caller **is now the leader** —
     /// it must execute the query and complete (or abandon) this same cell.
     TakeOver,
+    /// The leader's fetch failed terminally; every waiter observes this
+    /// same shared error.  There is no takeover: the result does not exist.
+    Failed(Arc<FetchError>),
 }
 
 /// What the leader's session observes when its poll completes (async path,
@@ -101,6 +120,9 @@ pub enum LeaderOutcome<V> {
     /// on the session so the async path propagates panics exactly like the
     /// synchronous one.
     Failed(Option<Box<dyn Any + Send>>),
+    /// The spawned fetch failed terminally with a fetch error (fallible
+    /// pipeline); the session surfaces it as a `LookupError`, not a panic.
+    Error(Arc<FetchError>),
 }
 
 /// A waiter's registration handle on a [`Flight`].
@@ -197,7 +219,42 @@ impl<V> Flight<V> {
                     waker.wake();
                 }
             }
-            FlightState::Done(..) => {}
+            FlightState::Done(..) | FlightState::Failed(..) => {}
+        }
+    }
+
+    /// Resolves the flight with a terminal fetch error, waking **every**
+    /// waiter and the leader session at once.  Unlike [`Flight::abandon`]
+    /// there is no takeover candidate: the leader already exhausted its
+    /// retry budget, so each waiter observes the same shared error (and
+    /// decides for itself whether a stale serve applies).  The caller must
+    /// retire the cell from the in-flight table, exactly as it would after
+    /// the last waiter of an abandoned cell gives up.
+    ///
+    /// Failing a completed (or already failed) flight is a no-op.
+    pub fn fail(&self, error: Arc<FetchError>) {
+        let mut state = self.lock();
+        match &mut *state {
+            FlightState::Pending { .. } | FlightState::Abandoned { .. } => {}
+            FlightState::Done(..) | FlightState::Failed(..) => return,
+        }
+        let previous = std::mem::replace(&mut *state, FlightState::Failed(error));
+        drop(state);
+        match previous {
+            FlightState::Pending { waiters, leader } => {
+                for (_, waker) in waiters {
+                    waker.wake();
+                }
+                if let Some(leader) = leader {
+                    leader.wake();
+                }
+            }
+            FlightState::Abandoned { waiters } => {
+                for (_, waker) in waiters {
+                    waker.wake();
+                }
+            }
+            FlightState::Done(..) | FlightState::Failed(..) => unreachable!("checked above"),
         }
     }
 
@@ -236,7 +293,7 @@ impl<V> Flight<V> {
                 }
                 invested
             }
-            FlightState::Done(..) => 0,
+            FlightState::Done(..) | FlightState::Failed(..) => 0,
         }
     }
 
@@ -252,6 +309,12 @@ impl<V> Flight<V> {
         match &mut *state {
             FlightState::Done(value, cost) => {
                 let outcome = FlightOutcome::Done(Arc::clone(value), *cost);
+                drop(state);
+                self.deregister(slot);
+                Poll::Ready(outcome)
+            }
+            FlightState::Failed(error) => {
+                let outcome = FlightOutcome::Failed(Arc::clone(error));
                 drop(state);
                 self.deregister(slot);
                 Poll::Ready(outcome)
@@ -316,6 +379,7 @@ impl<V> Flight<V> {
             FlightState::Done(value, cost) => {
                 Poll::Ready(LeaderOutcome::Done(Arc::clone(value), *cost))
             }
+            FlightState::Failed(error) => Poll::Ready(LeaderOutcome::Error(Arc::clone(error))),
             FlightState::Abandoned { .. } => {
                 // This generation's fetch failed without recording a payload
                 // (it should always record one; be defensive).
@@ -358,7 +422,7 @@ impl<V> Flight<V> {
                 candidate.wake();
                 false
             }
-            FlightState::Done(..) => false,
+            FlightState::Done(..) | FlightState::Failed(..) => false,
         }
     }
 
@@ -615,6 +679,75 @@ mod tests {
             Poll::Ready(LeaderOutcome::Done(value, _)) => assert_eq!(*value, 11),
             other => panic!("B must observe its completion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fail_wakes_every_waiter_with_one_shared_error() {
+        let flight: Flight<u64> = Flight::new();
+        let wakes: Vec<_> = (0..4).map(|_| CountingWake::new()).collect();
+        let mut slots: Vec<_> = wakes.iter().map(|w| register(&flight, w)).collect();
+
+        let error = Arc::new(FetchError::transient("warehouse down"));
+        flight.fail(Arc::clone(&error));
+        for wake in &wakes {
+            assert_eq!(wake.count(), 1, "unlike abandon, fail wakes everyone");
+        }
+        for (slot, wake) in slots.iter_mut().zip(&wakes) {
+            let waker = Waker::from(Arc::clone(wake));
+            let mut cx = Context::from_waker(&waker);
+            match flight.poll_wait(slot, &mut cx) {
+                Poll::Ready(FlightOutcome::Failed(observed)) => {
+                    assert!(
+                        Arc::ptr_eq(&observed, &error),
+                        "the error is shared, not cloned"
+                    );
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+        // Terminal: no takeover, no further abandonment claims.
+        assert_eq!(flight.abandon(), 0);
+    }
+
+    #[test]
+    fn leader_session_observes_the_fetch_error() {
+        let flight: Flight<u64> = Flight::new();
+        let epoch = flight.new_leader_epoch();
+        let wake = CountingWake::new();
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        assert!(flight.poll_leader(epoch, &mut cx).is_pending());
+
+        let error = Arc::new(FetchError::fatal("relation dropped"));
+        flight.fail(Arc::clone(&error));
+        assert_eq!(wake.count(), 1, "leader session woken by fail");
+        match flight.poll_leader(epoch, &mut cx) {
+            Poll::Ready(LeaderOutcome::Error(observed)) => {
+                assert!(Arc::ptr_eq(&observed, &error));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_after_complete_is_a_no_op() {
+        let flight: Flight<u64> = Flight::new();
+        flight.complete(Arc::new(42), ExecutionCost::from_blocks(1));
+        flight.fail(Arc::new(FetchError::transient("late")));
+        assert!(flight.is_done(), "a published result is never clawed back");
+        // And the mirror image: completing a failed flight stays failed for
+        // pollers that raced ahead (the engine retires failed cells, so in
+        // practice nobody completes one).
+        let failed: Flight<u64> = Flight::new();
+        failed.fail(Arc::new(FetchError::transient("down")));
+        let mut slot = WaiterSlot::new();
+        let wake = CountingWake::new();
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        assert!(matches!(
+            failed.poll_wait(&mut slot, &mut cx),
+            Poll::Ready(FlightOutcome::Failed(_))
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The sharded concurrent cache engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
@@ -14,6 +14,9 @@ use serde::{Deserialize, Serialize};
 use crate::clock::Timestamp;
 use crate::coherence::DependencyIndex;
 use crate::engine::events::{CacheEvent, CacheObserver};
+use crate::engine::failure::{
+    CircuitBreaker, FailureConfig, FetchError, LookupError, NegativeCacheConfig, StalenessPolicy,
+};
 use crate::engine::policy_kind::PolicyKind;
 use crate::engine::rebalance::{plan_transfer, RebalanceConfig, RebalanceOutcome, ShardSignal};
 use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
@@ -73,6 +76,11 @@ pub enum LookupSource {
     /// Another session was already executing the same query; this session
     /// waited for its result instead of re-executing.
     Coalesced,
+    /// The fetch failed (or the shard's circuit breaker was open) and the
+    /// engine served the last-known-good value instead.  Stale serves pay
+    /// their cost into `total_cost` but never into `saved_cost`, so they can
+    /// not inflate the paper's cost-savings ratio.
+    Stale,
 }
 
 /// The result of a [`Watchman::get_or_execute`] call.
@@ -120,6 +128,19 @@ pub struct StatsSnapshot {
     pub coalesced_misses: u64,
     /// Number of capacity transfers the rebalancer has performed.
     pub rebalances: u64,
+    /// Number of fetch retries the fallible pipeline issued (attempts beyond
+    /// the first, across every key).
+    pub fetch_retries: u64,
+    /// Number of lookups answered straight from the per-shard negative cache
+    /// (a memoized recent fetch failure) without invoking the fetch closure.
+    pub negative_hits: u64,
+    /// Total circuit-breaker state transitions across shards
+    /// (closed→open, open→half-open, half-open→closed, half-open→open).
+    pub breaker_transitions: u64,
+    /// Requests refused by the server's overload admission gate.  The engine
+    /// itself never sheds — this is always zero in engine-produced snapshots
+    /// and is filled in by `watchmand` before a STATS response is encoded.
+    pub sheds: u64,
 }
 
 impl StatsSnapshot {
@@ -134,9 +155,163 @@ impl StatsSnapshot {
     }
 }
 
+/// A last-known-good value retained for stale serving after its cache entry
+/// is gone (evicted or superseded by a failing refetch).
+struct StaleEntry<V> {
+    value: Arc<V>,
+    cost: ExecutionCost,
+    size_bytes: u64,
+    stored: Timestamp,
+}
+
+/// A memoized fetch failure with an expiry.
+struct NegativeEntry {
+    error: Arc<FetchError>,
+    expires: Timestamp,
+}
+
+/// Per-shard failure-domain state.  Lives *inside* the shard mutex, so it
+/// introduces no new lock class: every breaker/stale/negative operation
+/// happens under the same shard lock that already guards the cache and the
+/// in-flight map (see CONCURRENCY.md).
+struct ShardFailureState<V> {
+    breaker: Option<CircuitBreaker>,
+    stale: HashMap<QueryKey, StaleEntry<V>>,
+    stale_order: VecDeque<QueryKey>,
+    negative: HashMap<QueryKey, NegativeEntry>,
+    negative_order: VecDeque<QueryKey>,
+}
+
+impl<V> ShardFailureState<V> {
+    fn new(breaker: Option<CircuitBreaker>) -> Self {
+        ShardFailureState {
+            breaker,
+            stale: HashMap::new(),
+            stale_order: VecDeque::new(),
+            negative: HashMap::new(),
+            negative_order: VecDeque::new(),
+        }
+    }
+
+    /// Record a last-known-good value.  Bounded FIFO: the oldest first-stored
+    /// key is dropped once the store exceeds the policy's `max_entries`.
+    fn store_stale(
+        &mut self,
+        key: &QueryKey,
+        value: Arc<V>,
+        cost: ExecutionCost,
+        size_bytes: u64,
+        now: Timestamp,
+        policy: &StalenessPolicy,
+    ) {
+        if policy.max_entries == 0 {
+            return;
+        }
+        if self
+            .stale
+            .insert(
+                key.clone(),
+                StaleEntry {
+                    value,
+                    cost,
+                    size_bytes,
+                    stored: now,
+                },
+            )
+            .is_some()
+        {
+            self.stale_order.retain(|k| k != key);
+        }
+        self.stale_order.push_back(key.clone());
+        while self.stale.len() > policy.max_entries {
+            match self.stale_order.pop_front() {
+                Some(evict) => {
+                    self.stale.remove(&evict);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The last-known-good value for `key`, if one exists and the staleness
+    /// policy judges it worth serving at `now`.
+    fn stale_for(
+        &self,
+        key: &QueryKey,
+        now: Timestamp,
+        policy: &StalenessPolicy,
+    ) -> Option<(Arc<V>, ExecutionCost)> {
+        let entry = self.stale.get(key)?;
+        if policy.worth_serving(entry.cost, entry.size_bytes, entry.stored, now) {
+            Some((Arc::clone(&entry.value), entry.cost))
+        } else {
+            None
+        }
+    }
+
+    fn drop_stale(&mut self, key: &QueryKey) {
+        if self.stale.remove(key).is_some() {
+            self.stale_order.retain(|k| k != key);
+        }
+    }
+
+    /// Memoize a terminal fetch failure.  Bounded FIFO like the stale store.
+    fn store_negative(
+        &mut self,
+        key: &QueryKey,
+        error: Arc<FetchError>,
+        now: Timestamp,
+        config: &NegativeCacheConfig,
+    ) {
+        if config.max_entries == 0 || config.ttl_us == 0 {
+            return;
+        }
+        let expires = now.advanced_by(config.ttl_us);
+        if self
+            .negative
+            .insert(key.clone(), NegativeEntry { error, expires })
+            .is_some()
+        {
+            self.negative_order.retain(|k| k != key);
+        }
+        self.negative_order.push_back(key.clone());
+        while self.negative.len() > config.max_entries {
+            match self.negative_order.pop_front() {
+                Some(evict) => {
+                    self.negative.remove(&evict);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The memoized failure for `key` if it has not expired; expired entries
+    /// are removed lazily on the way past.
+    fn fresh_negative(&mut self, key: &QueryKey, now: Timestamp) -> Option<Arc<FetchError>> {
+        match self.negative.get(key) {
+            Some(entry) if now.as_micros() < entry.expires.as_micros() => {
+                Some(Arc::clone(&entry.error))
+            }
+            Some(_) => {
+                self.negative.remove(key);
+                self.negative_order.retain(|k| k != key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn drop_negative(&mut self, key: &QueryKey) {
+        if self.negative.remove(key).is_some() {
+            self.negative_order.retain(|k| k != key);
+        }
+    }
+}
+
 struct ShardState<V> {
     cache: Box<dyn QueryCache<Arc<V>> + Send>,
     inflight: HashMap<QueryKey, Arc<Flight<V>>>,
+    failure: ShardFailureState<V>,
 }
 
 struct Shard<V> {
@@ -243,6 +418,13 @@ struct Inner<V> {
     policy: PolicyKind,
     total_capacity_bytes: u64,
     coalesced_misses: AtomicU64,
+    /// Failure-domain configuration for the fallible fetch pipeline.
+    failure: FailureConfig,
+    /// Fetch retries issued by the fallible pipeline (attempts beyond the
+    /// first), across every key and shard.
+    fetch_retries: AtomicU64,
+    /// Lookups answered straight from a shard's negative cache.
+    negative_hits: AtomicU64,
     rebalancer: Option<RebalancerState>,
     runtime: RuntimeSlot,
     /// The latest logical timestamp any operation carried, in microseconds.
@@ -285,6 +467,7 @@ pub struct WatchmanBuilder<V> {
     rebalance: Option<RebalanceConfig>,
     runtime: Option<Arc<Runtime>>,
     runtime_workers: usize,
+    failure: FailureConfig,
     _payload: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -314,6 +497,7 @@ impl<V> Default for WatchmanBuilder<V> {
             rebalance: None,
             runtime: None,
             runtime_workers: 2,
+            failure: FailureConfig::default(),
             _payload: std::marker::PhantomData,
         }
     }
@@ -391,6 +575,18 @@ impl<V> WatchmanBuilder<V> {
         self
     }
 
+    /// Configures the failure domain of the fallible fetch pipeline
+    /// ([`Watchman::try_get_or_execute`] /
+    /// [`Watchman::try_get_or_execute_async`]): the leader's retry policy,
+    /// the per-shard circuit breaker, the staleness policy that gates
+    /// last-known-good serving, and the negative cache for memoized
+    /// failures.  The default config retries transient errors with seeded
+    /// exponential backoff but enables neither breaker nor stale serving.
+    pub fn failure(mut self, config: FailureConfig) -> Self {
+        self.failure = config;
+        self
+    }
+
     /// Builds the engine.
     ///
     /// The configured capacity is split evenly across shards (any division
@@ -428,6 +624,9 @@ impl<V> WatchmanBuilder<V> {
                         ShardState {
                             cache: self.policy.build::<Arc<V>>(capacity),
                             inflight: HashMap::new(),
+                            failure: ShardFailureState::new(
+                                self.failure.breaker.clone().map(CircuitBreaker::new),
+                            ),
                         },
                     ),
                 }
@@ -455,6 +654,9 @@ impl<V> WatchmanBuilder<V> {
                 policy: self.policy,
                 total_capacity_bytes: self.capacity_bytes,
                 coalesced_misses: AtomicU64::new(0),
+                failure: self.failure,
+                fetch_retries: AtomicU64::new(0),
+                negative_hits: AtomicU64::new(0),
                 rebalancer,
                 runtime: RuntimeSlot {
                     external: self.runtime,
@@ -946,6 +1148,111 @@ where
         }
     }
 
+    /// Like [`Watchman::get_or_execute`], but the fetch is **fallible**: it
+    /// returns `Result<(V, Cost), `[`FetchError`]`>`, and an error — unlike a
+    /// panic — is a first-class outcome of the lookup.
+    ///
+    /// * **Single-flight errors are shared.** A terminal fetch error resolves
+    ///   the flight for *every* coalesced waiter at once; all of them observe
+    ///   the same `Arc<FetchError>` (no per-waiter re-execution, no takeover
+    ///   storm).
+    /// * **Retries.** The leader retries transient errors under the
+    ///   configured [`crate::engine::RetryPolicy`] — bounded attempts,
+    ///   exponential backoff with deterministic seeded jitter, slept on the
+    ///   engine's runtime timer so replays stay byte-identical.
+    /// * **Negative caching.** A terminal failure is memoized per key for a
+    ///   short TTL; lookups inside the window resolve immediately
+    ///   (`negative_hit == true`) without invoking the fetch.
+    /// * **Graceful degradation.** When a [`StalenessPolicy`] is configured,
+    ///   a failed (or breaker-refused) lookup serves the last-known-good
+    ///   value as [`LookupSource::Stale`] — cost-gated by the paper's profit
+    ///   machinery, paid into `total_cost` but never into `saved_cost`, so
+    ///   stale serves cannot inflate the cost-savings ratio.
+    /// * **Circuit breaking.** With a [`crate::engine::BreakerConfig`], a
+    ///   shard whose rolling fetch-failure rate trips the threshold refuses
+    ///   new executions outright (stale-serving when possible) until a
+    ///   half-open probe succeeds.
+    ///
+    /// A **panicking** fetch keeps the infallible contract: the panic
+    /// propagates to this caller and one waiter takes over the execution.
+    pub fn try_get_or_execute<F>(
+        &self,
+        key: &QueryKey,
+        now: Timestamp,
+        fetch: F,
+    ) -> Result<Lookup<V>, LookupError>
+    where
+        F: FnMut() -> Result<(V, ExecutionCost), FetchError> + Unpin,
+    {
+        self.observe_now(now);
+        let key = self.inner.normalizer.apply(key);
+        let shard = self.shard_index(&key);
+        // Hit fast path, identical to the infallible front door.
+        {
+            let mut state = self.inner.shards[shard].lock();
+            if let Some(value) = state.cache.get(&key, now) {
+                return Ok(Lookup {
+                    value: Arc::clone(value),
+                    source: LookupSource::Hit,
+                    outcome: None,
+                });
+            }
+        }
+        crate::runtime::block_on(TryLookupFuture {
+            engine: self.clone(),
+            key,
+            shard: Some(shard),
+            now,
+            driver: TryFetchDriver::Inline(fetch),
+            state: TryLookupState::Start,
+            attempts: 0,
+            leader_cancel: None,
+        })
+    }
+
+    /// The asynchronous fallible front door: like
+    /// [`Watchman::try_get_or_execute`], but returns a [`TryLookupFuture`]
+    /// and runs the leader's fetch (and its retry backoffs) on the engine's
+    /// [`Runtime`], so waiting sessions suspend instead of blocking OS
+    /// threads.  Cancellation behaves exactly like
+    /// [`Watchman::get_or_execute_async`]: dropping the future deregisters a
+    /// waiter, and a leader whose spawned fetch has not started yet cancels
+    /// the execution entirely.
+    pub fn try_get_or_execute_async<F>(
+        &self,
+        key: &QueryKey,
+        now: Timestamp,
+        fetch: F,
+    ) -> TryLookupFuture<V, F>
+    where
+        F: FnMut() -> Result<(V, ExecutionCost), FetchError> + Send + 'static,
+    {
+        TryLookupFuture {
+            engine: self.clone(),
+            key: self.inner.normalizer.apply(key),
+            shard: None,
+            now,
+            driver: TryFetchDriver::Spawn {
+                fetch: Some(fetch),
+                spawn: spawn_try_fetch_task::<V, F>,
+            },
+            state: TryLookupState::Start,
+            attempts: 0,
+            leader_cancel: None,
+        }
+    }
+
+    /// Fetch retries the fallible pipeline has issued (attempts beyond the
+    /// first, across every key and shard).
+    pub fn fetch_retries(&self) -> u64 {
+        self.inner.fetch_retries.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered straight from a shard's negative cache.
+    pub fn negative_hits(&self) -> u64 {
+        self.inner.negative_hits.load(Ordering::Relaxed)
+    }
+
     /// Abandons `flight` after a failed fetch and, when no waiter holds a
     /// takeover claim on it, retires its entry from the shard's in-flight
     /// table — without this, a panicking key that is never re-requested
@@ -982,8 +1289,45 @@ where
         cost: ExecutionCost,
         now: Timestamp,
     ) -> InsertOutcome {
+        self.finish_leader_insert_with(key, shard_index, flight, value, cost, now, false)
+    }
+
+    /// Like [`Watchman::finish_leader_insert`], but a *fallible* leader also
+    /// updates the failure domain under the same shard lock: the breaker
+    /// records a success, a fresh last-known-good copy lands in the stale
+    /// store (when a [`StalenessPolicy`] is configured), and any memoized
+    /// failure for the key is dropped.  The infallible path passes `false`
+    /// and touches none of it, so its behavior is byte-identical to before
+    /// the failure domain existed.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_leader_insert_with(
+        &self,
+        key: &QueryKey,
+        shard_index: usize,
+        flight: &Arc<Flight<V>>,
+        value: Arc<V>,
+        cost: ExecutionCost,
+        now: Timestamp,
+        record_fetch_success: bool,
+    ) -> InsertOutcome {
         let size_bytes = value.size_bytes();
         let mut state = self.inner.shards[shard_index].lock();
+        if record_fetch_success {
+            if let Some(breaker) = state.failure.breaker.as_mut() {
+                breaker.record_success(now);
+            }
+            if let Some(staleness) = &self.inner.failure.staleness {
+                state.failure.store_stale(
+                    key,
+                    Arc::clone(&value),
+                    cost,
+                    size_bytes,
+                    now,
+                    staleness,
+                );
+            }
+            state.failure.drop_negative(key);
+        }
         let outcome = state.cache.insert(key.clone(), value, cost, now);
         // Retire the in-flight entry only if it is still ours (defensive:
         // completion is the only remover, so it always is).
@@ -1008,12 +1352,81 @@ where
         outcome
     }
 
+    /// Resolves a fallible leader's *terminal* fetch failure under the shard
+    /// lock: retires the in-flight entry (so new arrivals start a fresh
+    /// flight instead of joining a doomed one), memoizes the error in the
+    /// negative cache, and feeds the breaker's rolling failure window.  The
+    /// caller fails the flight cell *after* this returns — waking waiters
+    /// only once the negative entry is visible keeps their stale/negative
+    /// consultations consistent.
+    fn fail_leader(
+        &self,
+        key: &QueryKey,
+        shard_index: usize,
+        flight: &Arc<Flight<V>>,
+        error: &Arc<FetchError>,
+        now: Timestamp,
+    ) {
+        let mut state = self.inner.shards[shard_index].lock();
+        if state
+            .inflight
+            .get(key)
+            .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+        {
+            state.inflight.remove(key);
+        }
+        state
+            .failure
+            .store_negative(key, Arc::clone(error), now, &self.inner.failure.negative);
+        if let Some(breaker) = state.failure.breaker.as_mut() {
+            breaker.record_failure(now);
+        }
+    }
+
+    /// Resolves this session's share of a failed lookup: serves the
+    /// last-known-good value when the staleness policy judges it worth it
+    /// (recording a stale reference — cost paid, nothing saved), otherwise
+    /// records an error reference and surfaces the shared error.  Every
+    /// session — leader, coalesced waiter, negative-cache hit — resolves
+    /// through here exactly once, so the extended reference invariant
+    /// `references == hits + coalesced + fetch_errors + stale_serves +
+    /// misses` holds per reference.
+    fn resolve_failed_lookup(
+        &self,
+        key: &QueryKey,
+        shard_index: usize,
+        now: Timestamp,
+        error: Arc<FetchError>,
+        negative_hit: bool,
+    ) -> Result<Lookup<V>, LookupError> {
+        let mut state = self.inner.shards[shard_index].lock();
+        if let Some(staleness) = &self.inner.failure.staleness {
+            if let Some((value, cost)) = state.failure.stale_for(key, now, staleness) {
+                state.cache.record_stale_reference(cost);
+                return Ok(Lookup {
+                    value,
+                    source: LookupSource::Stale,
+                    outcome: None,
+                });
+            }
+        }
+        state.cache.record_error_reference();
+        Err(LookupError {
+            error,
+            negative_hit,
+        })
+    }
+
     /// Removes the retrieved set for `key` because a warehouse update made it
     /// stale.  Returns whether it was resident.
     pub fn invalidate(&self, key: &QueryKey) -> bool {
         let key = self.inner.normalizer.apply(key);
         let index = self.shard_index(&key);
         let mut shard = self.inner.shards[index].lock();
+        // Invalidated data is *wrong*, not merely old: the last-known-good
+        // copy must never be stale-served after an invalidation.
+        shard.failure.drop_stale(&key);
+        shard.failure.drop_negative(&key);
         let removed = shard.cache.remove(&key);
         if removed && !self.inner.observers.is_empty() {
             self.emit(vec![CacheEvent::Invalidated { key, shard: index }]);
@@ -1164,6 +1577,7 @@ where
         let mut used_bytes = 0;
         let mut capacity_bytes = 0;
         let mut entries = 0;
+        let mut breaker_transitions = 0;
         for state in &guards {
             let stats = state.cache.stats_snapshot();
             total.merge(&stats);
@@ -1175,6 +1589,11 @@ where
             used_bytes += used;
             capacity_bytes += capacity;
             entries += state.cache.len();
+            breaker_transitions += state
+                .failure
+                .breaker
+                .as_ref()
+                .map_or(0, CircuitBreaker::transitions);
         }
         StatsSnapshot {
             total,
@@ -1190,6 +1609,10 @@ where
                 .rebalancer
                 .as_ref()
                 .map_or(0, |rb| rb.rebalances.load(Ordering::Relaxed)),
+            fetch_retries: self.inner.fetch_retries.load(Ordering::Relaxed),
+            negative_hits: self.inner.negative_hits.load(Ordering::Relaxed),
+            breaker_transitions,
+            sheds: 0,
         }
     }
 
@@ -1325,6 +1748,147 @@ fn run_spawned_fetch<V, F>(
     }
 }
 
+/// The [`SpawnFetch`] analogue for the fallible pipeline.
+type SpawnTryFetch<V, F> =
+    fn(&Watchman<V>, F, QueryKey, usize, Timestamp, Arc<Flight<V>>, u64, Arc<AtomicBool>);
+
+/// Hands a fallible fetch closure to a task on the engine's runtime.  The
+/// task owns the whole retry loop: backoffs are real `Sleep`s awaited on the
+/// runtime timer, so a retrying leader occupies no worker while it waits.
+#[allow(clippy::too_many_arguments)]
+fn spawn_try_fetch_task<V, F>(
+    engine: &Watchman<V>,
+    fetch: F,
+    key: QueryKey,
+    shard: usize,
+    now: Timestamp,
+    flight: Arc<Flight<V>>,
+    epoch: u64,
+    cancelled: Arc<AtomicBool>,
+) where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnMut() -> Result<(V, ExecutionCost), FetchError> + Send + 'static,
+{
+    let weak = Arc::downgrade(&engine.inner);
+    let runtime = engine.runtime();
+    let timer = runtime.inner_handle();
+    runtime.spawn(run_spawned_try_fetch(
+        weak, timer, key, shard, now, flight, epoch, cancelled, fetch,
+    ));
+}
+
+/// Runs a spawned fallible leader fetch to completion: invokes the closure,
+/// retrying transient errors under the engine's [`RetryPolicy`] (sleeping
+/// the deterministic backoff on the runtime timer), then either admits the
+/// result or resolves the flight with the terminal error for every waiter.
+/// Holds only weak references so a task queued behind a long fetch never
+/// keeps a dropped engine (or runtime) alive.
+#[allow(clippy::too_many_arguments)]
+async fn run_spawned_try_fetch<V, F>(
+    engine: Weak<Inner<V>>,
+    timer: Weak<crate::runtime::RuntimeInner>,
+    key: QueryKey,
+    shard: usize,
+    now: Timestamp,
+    flight: Arc<Flight<V>>,
+    epoch: u64,
+    cancelled: Arc<AtomicBool>,
+    mut fetch: F,
+) where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnMut() -> Result<(V, ExecutionCost), FetchError>,
+{
+    let mut attempt: u32 = 0;
+    loop {
+        // Cooperative cancellation point, re-checked before *every* attempt:
+        // a leader session dropped mid-backoff must not burn further
+        // attempts on a result nobody claims (waiters take the flight over).
+        if cancelled.load(Ordering::Acquire) {
+            match engine.upgrade() {
+                Some(inner) => Watchman { inner }.abandon_flight(&key, shard, &flight),
+                None => {
+                    flight.abandon();
+                }
+            }
+            return;
+        }
+        attempt += 1;
+        let result = catch_unwind(AssertUnwindSafe(&mut fetch));
+        match result {
+            // A panic keeps the infallible contract: payload to the leader
+            // session, flight abandoned so one waiter takes over.
+            Err(payload) => {
+                flight.set_panic(epoch, payload);
+                match engine.upgrade() {
+                    Some(inner) => Watchman { inner }.abandon_flight(&key, shard, &flight),
+                    None => {
+                        flight.abandon();
+                    }
+                }
+                return;
+            }
+            Ok(Ok((value, cost))) => {
+                let value = Arc::new(value);
+                // The completion stage (insert + observer emit) runs under
+                // its own catch_unwind, mirroring `run_spawned_fetch`.
+                let completed = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(inner) = engine.upgrade() {
+                        let engine = Watchman { inner };
+                        let outcome = engine.finish_leader_insert_with(
+                            &key,
+                            shard,
+                            &flight,
+                            Arc::clone(&value),
+                            cost,
+                            now,
+                            true,
+                        );
+                        flight.set_outcome(outcome);
+                    }
+                }));
+                match completed {
+                    Ok(()) => flight.complete(value, cost),
+                    Err(payload) => {
+                        flight.set_panic(epoch, payload);
+                        match engine.upgrade() {
+                            Some(inner) => Watchman { inner }.abandon_flight(&key, shard, &flight),
+                            None => {
+                                flight.abandon();
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            Ok(Err(error)) => {
+                let Some(inner) = engine.upgrade() else {
+                    flight.fail(Arc::new(error));
+                    return;
+                };
+                let handle = Watchman { inner };
+                let retry = handle.inner.failure.retry.clone();
+                if error.is_retryable() && attempt < retry.max_attempts {
+                    handle.inner.fetch_retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = retry.backoff(attempt, key.signature().value());
+                    drop(handle);
+                    if !delay.is_zero() {
+                        Sleep::until(timer.clone(), Instant::now() + delay).await;
+                    }
+                    continue;
+                }
+                // Terminal: memoize, feed the breaker, retire the cell —
+                // then fail the flight so every waiter observes the same
+                // shared error.
+                let error = Arc::new(error);
+                handle.fail_leader(&key, shard, &flight, &error, now);
+                drop(handle);
+                flight.fail(error);
+                return;
+            }
+        }
+    }
+}
+
 /// How a [`LookupFuture`]'s leader runs its fetch: inline on the polling
 /// thread (synchronous front door) or spawned onto the runtime (async front
 /// door).  Everything else — hit, coalesce, abandonment, takeover — is the
@@ -1363,6 +1927,9 @@ enum Step<V> {
     TakeOver(Arc<Flight<V>>),
     Suspend,
     LeaderFailed(Option<Box<dyn std::any::Any + Send>>),
+    /// The awaited flight resolved in a way this session cannot consume
+    /// (a fallible leader failed it); go back to `Start` and look again.
+    Restart,
 }
 
 /// The future returned by [`Watchman::get_or_execute_async`] (and driven by
@@ -1448,6 +2015,12 @@ where
                         })
                     }
                     Poll::Ready(LeaderOutcome::Failed(payload)) => Step::LeaderFailed(payload),
+                    // An infallible leader's fetch returns `(V, Cost)` — it
+                    // can panic but never produce a `FetchError`, so its own
+                    // flight is never `fail()`ed under it.
+                    Poll::Ready(LeaderOutcome::Error(error)) => {
+                        unreachable!("infallible leader observed a fetch error: {error}")
+                    }
                 },
                 LookupState::Waiting {
                     flight,
@@ -1479,6 +2052,13 @@ where
                     // takeover race: it is the leader now, on the same
                     // flight cell, with its own (still unconsumed) fetch.
                     Poll::Ready(FlightOutcome::TakeOver) => Step::TakeOver(Arc::clone(flight)),
+                    // A *fallible* leader (the try_* front doors) resolved
+                    // the shared flight with a fetch error and retired the
+                    // cell.  This infallible session cannot surface an error,
+                    // but it still holds its own unconsumed fetch: start
+                    // over — the retired cell means it will lead a fresh
+                    // flight (or hit the negative-cache-free cache).
+                    Poll::Ready(FlightOutcome::Failed(_)) => Step::Restart,
                 },
             };
 
@@ -1515,6 +2095,10 @@ where
             match step {
                 Step::TakeOver(_) => unreachable!("resolved into Return or Lead above"),
                 Step::Suspend => return Poll::Pending,
+                Step::Restart => {
+                    this.state = LookupState::Start;
+                    // Loop: look the key up afresh.
+                }
                 Step::Return(lookup) => {
                     this.state = LookupState::Finished;
                     return Poll::Ready(lookup);
@@ -1663,6 +2247,422 @@ where
     fn drop(&mut self) {
         self.engine
             .abandon_flight(self.key, self.shard_index, self.flight);
+    }
+}
+
+/// How a [`TryLookupFuture`]'s leader runs its fallible fetch.  Unlike
+/// [`FetchDriver`], the inline closure is stored directly (not as an
+/// `Option`): retries re-invoke it, so it is `FnMut` and never consumed.
+enum TryFetchDriver<V, F> {
+    Inline(F),
+    Spawn {
+        fetch: Option<F>,
+        spawn: SpawnTryFetch<V, F>,
+    },
+}
+
+enum TryLookupState<V> {
+    Start,
+    Waiting {
+        flight: Arc<Flight<V>>,
+        slot: WaiterSlot,
+        /// `Some(epoch)` when this session leads via a spawned fetch task.
+        leading: Option<u64>,
+    },
+    /// An *inline* leader sleeping out a retry backoff on the runtime timer.
+    /// The flight stays pending (this session still leads it); waiters keep
+    /// coalescing onto it while the backoff elapses.
+    Backoff {
+        flight: Arc<Flight<V>>,
+        sleep: Sleep,
+    },
+    Finished,
+}
+
+/// What one fallible poll step decided.
+enum TryStep<V> {
+    Return(Lookup<V>),
+    /// Resolve a failure for *this* session: stale-serve if the staleness
+    /// policy allows, otherwise surface the shared error.
+    Resolve {
+        error: Arc<FetchError>,
+        negative_hit: bool,
+    },
+    BecomeWaiter(Arc<Flight<V>>),
+    Lead(Arc<Flight<V>>),
+    TakeOver(Arc<Flight<V>>),
+    Suspend,
+    LeaderFailed(Option<Box<dyn std::any::Any + Send>>),
+}
+
+/// The future returned by [`Watchman::try_get_or_execute_async`] (and driven
+/// by [`block_on`](crate::runtime::block_on) inside the synchronous
+/// [`Watchman::try_get_or_execute`]).
+///
+/// Resolves to `Ok(`[`Lookup`]`)` — including [`LookupSource::Stale`] serves
+/// — or `Err(`[`LookupError`]`)` carrying the shared `Arc<FetchError>`.
+/// Lazy and cancellation-safe with the same semantics as [`LookupFuture`].
+pub struct TryLookupFuture<V, F> {
+    engine: Watchman<V>,
+    key: QueryKey,
+    shard: Option<usize>,
+    now: Timestamp,
+    driver: TryFetchDriver<V, F>,
+    state: TryLookupState<V>,
+    /// Fetch attempts this session has made as the inline leader of the
+    /// current flight (spawned leaders count inside their task instead).
+    attempts: u32,
+    leader_cancel: Option<Arc<AtomicBool>>,
+}
+
+impl<V, F> std::fmt::Debug for TryLookupFuture<V, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TryLookupFuture")
+            .field("key", &self.key)
+            .field("now", &self.now)
+            .field("attempts", &self.attempts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<V, F> Future for TryLookupFuture<V, F>
+where
+    V: CachePayload + Send + Sync + 'static,
+    F: FnMut() -> Result<(V, ExecutionCost), FetchError> + Unpin,
+{
+    type Output = Result<Lookup<V>, LookupError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            let step = match &mut this.state {
+                TryLookupState::Finished => panic!("TryLookupFuture polled after completion"),
+                TryLookupState::Start => {
+                    this.engine.observe_now(this.now);
+                    let shard_index = *this
+                        .shard
+                        .get_or_insert_with(|| this.engine.shard_index(&this.key));
+                    let mut state = this.engine.inner.shards[shard_index].lock();
+                    if let Some(value) = state.cache.get(&this.key, this.now) {
+                        TryStep::Return(Lookup {
+                            value: Arc::clone(value),
+                            source: LookupSource::Hit,
+                            outcome: None,
+                        })
+                    } else if let Some(flight) = state.inflight.get(&this.key) {
+                        // A live flight wins over a memoized failure: the
+                        // in-flight leader may be retrying its way to a
+                        // success this session can share.
+                        TryStep::BecomeWaiter(Arc::clone(flight))
+                    } else if let Some(error) = state.failure.fresh_negative(&this.key, this.now) {
+                        this.engine
+                            .inner
+                            .negative_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        TryStep::Resolve {
+                            error,
+                            negative_hit: true,
+                        }
+                    } else {
+                        // The breaker's admit() is the half-open probe
+                        // ticket: a refused shard degrades without ever
+                        // invoking the fetch.
+                        let admitted = match state.failure.breaker.as_mut() {
+                            Some(breaker) => breaker.admit(this.now),
+                            None => true,
+                        };
+                        if admitted {
+                            let flight = Arc::new(Flight::new());
+                            state.inflight.insert(this.key.clone(), Arc::clone(&flight));
+                            TryStep::Lead(flight)
+                        } else {
+                            TryStep::Resolve {
+                                error: Arc::new(FetchError::transient(
+                                    "circuit breaker open: fetch refused",
+                                )),
+                                negative_hit: false,
+                            }
+                        }
+                    }
+                }
+                TryLookupState::Waiting {
+                    flight,
+                    slot: _,
+                    leading: Some(epoch),
+                } => match flight.poll_leader(*epoch, cx) {
+                    Poll::Pending => TryStep::Suspend,
+                    Poll::Ready(LeaderOutcome::Done(value, _cost)) => {
+                        let outcome = flight.take_outcome();
+                        TryStep::Return(Lookup {
+                            value,
+                            source: LookupSource::Executed,
+                            outcome,
+                        })
+                    }
+                    Poll::Ready(LeaderOutcome::Failed(payload)) => TryStep::LeaderFailed(payload),
+                    Poll::Ready(LeaderOutcome::Error(error)) => TryStep::Resolve {
+                        error,
+                        negative_hit: false,
+                    },
+                },
+                TryLookupState::Waiting {
+                    flight,
+                    slot,
+                    leading: None,
+                } => match flight.poll_wait(slot, cx) {
+                    Poll::Pending => TryStep::Suspend,
+                    Poll::Ready(FlightOutcome::Done(value, cost)) => {
+                        let shard_index = this.shard.expect("set before waiting");
+                        {
+                            let mut state = this.engine.inner.shards[shard_index].lock();
+                            state.cache.record_coalesced_reference(cost);
+                        }
+                        this.engine
+                            .inner
+                            .coalesced_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                        TryStep::Return(Lookup {
+                            value,
+                            source: LookupSource::Coalesced,
+                            outcome: None,
+                        })
+                    }
+                    Poll::Ready(FlightOutcome::TakeOver) => TryStep::TakeOver(Arc::clone(flight)),
+                    // The leader's terminal error resolved the flight for
+                    // every coalesced waiter at once; all of them share one
+                    // `Arc<FetchError>` (and each resolves its own
+                    // stale-vs-error outcome below).
+                    Poll::Ready(FlightOutcome::Failed(error)) => TryStep::Resolve {
+                        error,
+                        negative_hit: false,
+                    },
+                },
+                TryLookupState::Backoff { flight, sleep } => match Pin::new(sleep).poll(cx) {
+                    Poll::Pending => TryStep::Suspend,
+                    // Backoff elapsed: resume leading the same flight with
+                    // the next attempt.
+                    Poll::Ready(()) => TryStep::Lead(Arc::clone(flight)),
+                },
+            };
+
+            // Resolve a takeover into a hit or fresh leadership, exactly
+            // like the infallible path.
+            let step = match step {
+                TryStep::TakeOver(flight) => {
+                    let shard_index = this.shard.expect("set before waiting");
+                    let cached = {
+                        let mut state = this.engine.inner.shards[shard_index].lock();
+                        state.cache.get(&this.key, this.now).map(Arc::clone)
+                    };
+                    match cached {
+                        Some(value) => {
+                            this.engine.abandon_flight(&this.key, shard_index, &flight);
+                            TryStep::Return(Lookup {
+                                value,
+                                source: LookupSource::Hit,
+                                outcome: None,
+                            })
+                        }
+                        None => {
+                            // Fresh leadership on the taken-over cell: this
+                            // session's own retry budget starts from zero.
+                            this.attempts = 0;
+                            TryStep::Lead(flight)
+                        }
+                    }
+                }
+                other => other,
+            };
+
+            match step {
+                TryStep::TakeOver(_) => unreachable!("resolved into Return or Lead above"),
+                TryStep::Suspend => return Poll::Pending,
+                TryStep::Return(lookup) => {
+                    this.state = TryLookupState::Finished;
+                    return Poll::Ready(Ok(lookup));
+                }
+                TryStep::Resolve {
+                    error,
+                    negative_hit,
+                } => {
+                    let shard_index = this.shard.expect("set before resolving");
+                    this.state = TryLookupState::Finished;
+                    return Poll::Ready(this.engine.resolve_failed_lookup(
+                        &this.key,
+                        shard_index,
+                        this.now,
+                        error,
+                        negative_hit,
+                    ));
+                }
+                TryStep::BecomeWaiter(flight) => {
+                    this.state = TryLookupState::Waiting {
+                        flight,
+                        slot: WaiterSlot::new(),
+                        leading: None,
+                    };
+                }
+                TryStep::LeaderFailed(payload) => {
+                    this.state = TryLookupState::Finished;
+                    match payload {
+                        Some(payload) => std::panic::resume_unwind(payload),
+                        None => panic!("single-flight leader fetch failed"),
+                    }
+                }
+                TryStep::Lead(flight) => {
+                    let shard_index = this.shard.expect("set before leading");
+                    match &mut this.driver {
+                        TryFetchDriver::Inline(fetch) => {
+                            loop {
+                                this.attempts += 1;
+                                // Armed through the fetch and (on success)
+                                // the completion stage: a panic anywhere
+                                // before `complete` hands the flight to a
+                                // waiter, mirroring the infallible path.
+                                let guard = AbandonGuard {
+                                    engine: &this.engine,
+                                    key: &this.key,
+                                    shard_index,
+                                    flight: &flight,
+                                };
+                                match fetch() {
+                                    Ok((value, cost)) => {
+                                        let value = Arc::new(value);
+                                        let outcome = this.engine.finish_leader_insert_with(
+                                            &this.key,
+                                            shard_index,
+                                            &flight,
+                                            Arc::clone(&value),
+                                            cost,
+                                            this.now,
+                                            true,
+                                        );
+                                        flight.complete(Arc::clone(&value), cost);
+                                        std::mem::forget(guard);
+                                        this.state = TryLookupState::Finished;
+                                        return Poll::Ready(Ok(Lookup {
+                                            value,
+                                            source: LookupSource::Executed,
+                                            outcome: Some(outcome),
+                                        }));
+                                    }
+                                    Err(error) => {
+                                        // The error is handled explicitly —
+                                        // the flight must NOT be abandoned.
+                                        std::mem::forget(guard);
+                                        let retry = &this.engine.inner.failure.retry;
+                                        if error.is_retryable()
+                                            && this.attempts < retry.max_attempts
+                                        {
+                                            this.engine
+                                                .inner
+                                                .fetch_retries
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            let delay = retry.backoff(
+                                                this.attempts,
+                                                this.key.signature().value(),
+                                            );
+                                            if delay.is_zero() {
+                                                continue;
+                                            }
+                                            let sleep = this.engine.runtime().sleep(delay);
+                                            this.state = TryLookupState::Backoff { flight, sleep };
+                                            break;
+                                        }
+                                        let error = Arc::new(error);
+                                        this.engine.fail_leader(
+                                            &this.key,
+                                            shard_index,
+                                            &flight,
+                                            &error,
+                                            this.now,
+                                        );
+                                        flight.fail(Arc::clone(&error));
+                                        this.state = TryLookupState::Finished;
+                                        return Poll::Ready(this.engine.resolve_failed_lookup(
+                                            &this.key,
+                                            shard_index,
+                                            this.now,
+                                            error,
+                                            false,
+                                        ));
+                                    }
+                                }
+                            }
+                            // Fell out via `break`: poll the backoff sleep.
+                        }
+                        TryFetchDriver::Spawn { fetch, spawn } => {
+                            let fetch = fetch.take().expect("leader consumes its fetch once");
+                            let spawn = *spawn;
+                            let epoch = flight.new_leader_epoch();
+                            let cancel = Arc::new(AtomicBool::new(false));
+                            this.leader_cancel = Some(Arc::clone(&cancel));
+                            spawn(
+                                &this.engine,
+                                fetch,
+                                this.key.clone(),
+                                shard_index,
+                                this.now,
+                                Arc::clone(&flight),
+                                epoch,
+                                cancel,
+                            );
+                            this.state = TryLookupState::Waiting {
+                                flight,
+                                slot: WaiterSlot::new(),
+                                leading: Some(epoch),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V, F> Drop for TryLookupFuture<V, F> {
+    fn drop(&mut self) {
+        if let Some(cancel) = &self.leader_cancel {
+            cancel.store(true, Ordering::Release);
+        }
+        match &mut self.state {
+            // A cancelled waiter deregisters, passing along any takeover
+            // claim (see LookupFuture's Drop).
+            TryLookupState::Waiting {
+                flight,
+                slot,
+                leading: None,
+            } => {
+                let shard_index = self.shard.expect("set before waiting");
+                let mut state = self.engine.inner.shards[shard_index].lock();
+                if flight.forget_waiter(slot)
+                    && state
+                        .inflight
+                        .get(&self.key)
+                        .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+                {
+                    state.inflight.remove(&self.key);
+                }
+            }
+            // An inline leader dropped mid-backoff still owns a pending
+            // flight: abandon it so a waiter takes leadership over with its
+            // own fetch (a waiterless cell is retired).  Open-coded (rather
+            // than `abandon_flight`) because `Drop` carries no `V` bounds;
+            // same locks, same order.
+            TryLookupState::Backoff { flight, .. } => {
+                let shard_index = self.shard.expect("set before leading");
+                let mut state = self.engine.inner.shards[shard_index].lock();
+                if flight.abandon() == 0
+                    && state
+                        .inflight
+                        .get(&self.key)
+                        .is_some_and(|entry| Arc::ptr_eq(entry, flight))
+                {
+                    state.inflight.remove(&self.key);
+                }
+            }
+            _ => {}
+        }
     }
 }
 

@@ -114,9 +114,10 @@ pub mod prelude {
         invalidate_affected, DependencyIndex, DependencyObserver, InvalidationReport,
     };
     pub use crate::engine::{
-        CacheEvent, CacheObserver, DeadlineLookup, KeyNormalizer, Lookup, LookupFuture,
-        LookupSource, LookupTimedOut, PolicyKind, RebalanceConfig, RebalanceOutcome, StatsSnapshot,
-        Watchman,
+        BreakerConfig, CacheEvent, CacheObserver, DeadlineLookup, FailureConfig, FetchError,
+        KeyNormalizer, Lookup, LookupError, LookupFuture, LookupSource, LookupTimedOut,
+        NegativeCacheConfig, PolicyKind, RebalanceConfig, RebalanceOutcome, RetryPolicy,
+        StalenessPolicy, StatsSnapshot, Watchman,
     };
     pub use crate::history::ReferenceHistory;
     pub use crate::key::{QueryKey, Signature};

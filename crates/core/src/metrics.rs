@@ -21,12 +21,14 @@ use crate::value::ExecutionCost;
 ///
 /// The counting protocol is: every logical query reference results in exactly
 /// one [`record_hit`](CacheStats::record_hit), one
-/// [`record_miss`](CacheStats::record_miss) *or* one
-/// [`record_coalesced`](CacheStats::record_coalesced) call (policies record
-/// hits and misses from their `get`/`insert` implementations; the concurrent
-/// engine records coalesced single-flight references), so
-/// `references = hits + coalesced + misses` and the cost accumulators cover
-/// every reference exactly once.
+/// [`record_miss`](CacheStats::record_miss), one
+/// [`record_coalesced`](CacheStats::record_coalesced), one
+/// [`record_fetch_error`](CacheStats::record_fetch_error) *or* one
+/// [`record_stale`](CacheStats::record_stale) call (policies record hits and
+/// misses from their `get`/`insert` implementations; the concurrent engine
+/// records coalesced, error and stale references), so
+/// `references = hits + coalesced + fetch_errors + stale_serves + misses`
+/// and the cost accumulators cover every reference exactly once.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Total number of query references observed.
@@ -38,6 +40,17 @@ pub struct CacheStats {
     /// a coalesced reference saves its full execution cost; unlike a hit, the
     /// retrieved set was not yet cached when the reference arrived.
     pub coalesced: u64,
+    /// References that ended in a terminal fetch error (retry budget spent
+    /// or fatal error, and no stale serve applied).  An errored reference
+    /// neither paid nor saved execution cost, so it stays out of both CSR
+    /// accumulators — failure must not flatter *or* tank the savings ratio.
+    pub fetch_errors: u64,
+    /// References answered with a last-known-good value after a fetch
+    /// failure or an open circuit breaker.  A stale serve pays its refetch
+    /// cost into `total_cost` but adds **nothing** to `saved_cost`: serving
+    /// possibly-wrong bytes is degradation, and degradation must never
+    /// inflate CSR.
+    pub stale_serves: u64,
     /// Σ cᵢ over all references (the CSR denominator).
     pub total_cost: f64,
     /// Σ cᵢ over references satisfied from cache (the CSR numerator).
@@ -86,6 +99,24 @@ impl CacheStats {
         self.saved_cost += cost.value();
     }
 
+    /// Records a reference that ended in a terminal fetch error.  No cost
+    /// moves: the query was never answered, so there is nothing to pay or
+    /// save — only the reference itself is accounted.
+    pub fn record_fetch_error(&mut self) {
+        self.references += 1;
+        self.fetch_errors += 1;
+    }
+
+    /// Records a reference answered with a stale last-known-good value for a
+    /// set whose refetch cost is `cost`.  The cost lands in the CSR
+    /// denominator (the reference *wanted* a fresh answer of that price) but
+    /// not the numerator: a stale serve is availability, not savings.
+    pub fn record_stale(&mut self, cost: ExecutionCost) {
+        self.references += 1;
+        self.stale_serves += 1;
+        self.total_cost += cost.value();
+    }
+
     /// Records the outcome of an admission attempt.
     pub fn record_admission(&mut self, admitted: bool) {
         self.insertions_offered += 1;
@@ -103,15 +134,18 @@ impl CacheStats {
     }
 
     /// Number of references that missed the cache and paid their execution
-    /// cost (coalesced references neither hit nor paid).
+    /// cost (coalesced references neither hit nor paid; errored references
+    /// paid nothing; stale serves were answered without executing).
     pub fn misses(&self) -> u64 {
-        self.references - self.hits - self.coalesced
+        self.references - self.hits - self.coalesced - self.fetch_errors - self.stale_serves
     }
 
     /// The hit ratio `HR` (Eq. 17); zero when no reference has been observed.
     ///
     /// Coalesced references count as satisfied: they were answered without
-    /// executing the query, exactly like cache hits.
+    /// executing the query, exactly like cache hits.  Stale serves and
+    /// errored references do **not** count as satisfied (they sit in the
+    /// denominator only): HR, like CSR, reports fresh answers.
     pub fn hit_ratio(&self) -> f64 {
         if self.references == 0 {
             0.0
@@ -142,6 +176,8 @@ impl CacheStats {
         self.references += other.references;
         self.hits += other.hits;
         self.coalesced += other.coalesced;
+        self.fetch_errors += other.fetch_errors;
+        self.stale_serves += other.stale_serves;
         self.total_cost += other.total_cost;
         self.saved_cost += other.saved_cost;
         self.insertions_offered += other.insertions_offered;
@@ -317,6 +353,56 @@ mod tests {
         assert_eq!(stats.rejections, 1);
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.bytes_evicted, 192);
+    }
+
+    #[test]
+    fn errors_and_stale_serves_partition_references() {
+        let mut stats = CacheStats::new();
+        stats.record_hit(cost(100.0));
+        stats.record_miss(cost(100.0));
+        stats.record_coalesced(cost(100.0));
+        stats.record_fetch_error();
+        stats.record_stale(cost(100.0));
+        assert_eq!(stats.references, 5);
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(
+            stats.references,
+            stats.hits + stats.coalesced + stats.fetch_errors + stats.stale_serves + stats.misses()
+        );
+        // CSR: hit + coalesced saved 200 of the 400 cost observed (the
+        // errored reference moved no cost; the stale serve paid but saved
+        // nothing).
+        assert!((stats.cost_savings_ratio() - 0.5).abs() < 1e-12);
+        // HR: only fresh answers count — 2 of 5.
+        assert!((stats.hit_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_serves_never_inflate_csr() {
+        let mut stats = CacheStats::new();
+        stats.record_miss(cost(100.0));
+        let before = stats.cost_savings_ratio();
+        stats.record_stale(cost(900.0));
+        assert!(
+            stats.cost_savings_ratio() <= before,
+            "a degraded answer must not look like a saving"
+        );
+        assert_eq!(stats.saved_cost, 0.0);
+        assert!((stats.total_cost - 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_failure_counters() {
+        let mut a = CacheStats::new();
+        a.record_fetch_error();
+        let mut b = CacheStats::new();
+        b.record_stale(cost(3.0));
+        b.record_fetch_error();
+        a.merge(&b);
+        assert_eq!(a.fetch_errors, 2);
+        assert_eq!(a.stale_serves, 1);
+        assert_eq!(a.references, 3);
+        assert_eq!(a.misses(), 0);
     }
 
     #[test]

@@ -887,6 +887,14 @@ impl<V: CachePayload> QueryCache<V> for LncCache<V> {
         self.stats.record_coalesced(cost);
     }
 
+    fn record_error_reference(&mut self) {
+        self.stats.record_fetch_error();
+    }
+
+    fn record_stale_reference(&mut self, cost: ExecutionCost) {
+        self.stats.record_stale(cost);
+    }
+
     fn clear(&mut self) {
         self.entries.clear();
         self.retained.clear();

@@ -300,6 +300,21 @@ pub trait QueryCache<V: CachePayload> {
     /// `references == hits + coalesced + misses` protocol intact.
     fn record_coalesced_reference(&mut self, cost: ExecutionCost);
 
+    /// Records one query reference that ended in a *terminal fetch error*
+    /// (the concurrent engine's fallible pipeline: retry budget exhausted or
+    /// fatal error, no stale serve).  Cache contents are untouched; the
+    /// statistics count the reference with no cost movement, keeping the
+    /// extended `references == hits + coalesced + fetch_errors +
+    /// stale_serves + misses` protocol intact.
+    fn record_error_reference(&mut self);
+
+    /// Records one query reference answered with a *stale* last-known-good
+    /// value after a fetch failure or an open circuit breaker, where `cost`
+    /// is the refetch cost the caller was spared.  Cache contents are
+    /// untouched; the cost enters the CSR denominator but not the numerator
+    /// (degradation must never inflate the savings ratio).
+    fn record_stale_reference(&mut self, cost: ExecutionCost);
+
     /// An owned snapshot of the accumulated statistics.
     ///
     /// Prefer this over [`QueryCache::stats`] when aggregating across several

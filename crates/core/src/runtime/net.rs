@@ -22,10 +22,91 @@ use std::future::poll_fn;
 use std::io::{self, Read, Write};
 use std::net::SocketAddr;
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::task::{ready, Context, Poll};
 
 use super::reactor::{Dir, Registration};
 use super::Runtime;
+
+/// What a [`FaultInjector`] wants done to one IO attempt on a stream.
+///
+/// Faults are applied at the `poll_read`/`poll_write` seam — below the
+/// framing layer, above the socket — so an injected fault is
+/// indistinguishable from the network actually misbehaving: a clamped read
+/// delivers a torn frame, a reset surfaces as `ECONNRESET`, a stall parks
+/// the task exactly like a peer that stopped sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Perform the IO normally.
+    Pass,
+    /// Let at most this many bytes through on this attempt (minimum 1), so
+    /// frames arrive torn across multiple reads/writes.
+    Clamp(usize),
+    /// Fail the attempt with [`io::ErrorKind::ConnectionReset`] and shut the
+    /// socket down, as if the peer sent an RST.
+    Reset,
+    /// Park the attempt forever: return `Poll::Pending` without arming a
+    /// waker.  The task only runs again if something else wakes it (e.g. a
+    /// server-side read deadline evicting the session, or shutdown
+    /// cancelling the task).
+    Stall,
+}
+
+/// A deterministic fault source consulted on every IO attempt of a stream
+/// it is installed on (via [`TcpStream::install_fault_injector`]).
+///
+/// `op` counts *completed* operations in that direction on that stream so
+/// far, so a plan keyed on (connection, operation index) replays the same
+/// fault schedule on every run regardless of poll spuriousness.
+pub trait FaultInjector: Send + Sync {
+    /// Consulted before each read attempt.
+    fn on_read(&self, conn: u64, op: u64) -> FaultAction;
+    /// Consulted before each write attempt.
+    fn on_write(&self, conn: u64, op: u64) -> FaultAction;
+}
+
+/// Per-stream fault-injection state: the installed injector, the stream's
+/// connection id under the injector's schedule, and completed-op counters
+/// per direction.
+struct FaultState {
+    injector: Arc<dyn FaultInjector>,
+    conn: u64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FaultState {
+    fn action(&self, dir: Dir) -> FaultAction {
+        let op = match dir {
+            Dir::Read => self.reads.load(Ordering::Relaxed),
+            Dir::Write => self.writes.load(Ordering::Relaxed),
+        };
+        match dir {
+            Dir::Read => self.injector.on_read(self.conn, op),
+            Dir::Write => self.injector.on_write(self.conn, op),
+        }
+    }
+
+    fn note_completed(&self, dir: Dir) {
+        match dir {
+            Dir::Read => self.reads.fetch_add(1, Ordering::Relaxed),
+            Dir::Write => self.writes.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// A fault that preempts the IO attempt entirely (as opposed to a clamp,
+/// which merely narrows it).
+enum FaultVerdict {
+    Reset,
+    Stall,
+}
+
+/// The error an injected [`FaultAction::Reset`] surfaces as.
+fn injected_reset() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+}
 
 /// Process-wide counters of the read/write syscalls issued through
 /// [`TcpStream`], kept so benches can report *syscalls per frame* — the
@@ -112,6 +193,9 @@ pub struct TcpStream {
     // Field order matters: deregister before the fd closes.
     registration: Registration,
     std: std::net::TcpStream,
+    /// Installed fault injector, if any.  `None` (the default) leaves the
+    /// hot path a single branch.
+    fault: Option<FaultState>,
 }
 
 impl TcpStream {
@@ -128,7 +212,42 @@ impl TcpStream {
     ) -> io::Result<TcpStream> {
         std.set_nonblocking(true)?;
         let registration = reactor.register(std.as_raw_fd())?;
-        Ok(TcpStream { registration, std })
+        Ok(TcpStream {
+            registration,
+            std,
+            fault: None,
+        })
+    }
+
+    /// Installs a [`FaultInjector`] on this stream under connection id
+    /// `conn`.  Every subsequent read/write attempt consults the injector
+    /// first; see [`FaultAction`] for the menu.
+    pub fn install_fault_injector(&mut self, injector: Arc<dyn FaultInjector>, conn: u64) {
+        self.fault = Some(FaultState {
+            injector,
+            conn,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        });
+    }
+
+    /// Resolves the injected action for one attempt in `dir`, translating
+    /// `Reset` into the socket shutdown + error it stands for.  Returns
+    /// `None` when the attempt should proceed (possibly clamped to the
+    /// returned byte budget).
+    fn fault_gate(&self, dir: Dir) -> Result<Option<usize>, FaultVerdict> {
+        let Some(state) = &self.fault else {
+            return Ok(None);
+        };
+        match state.action(dir) {
+            FaultAction::Pass => Ok(None),
+            FaultAction::Clamp(limit) => Ok(Some(limit.max(1))),
+            FaultAction::Reset => {
+                let _ = self.std.shutdown(std::net::Shutdown::Both);
+                Err(FaultVerdict::Reset)
+            }
+            FaultAction::Stall => Err(FaultVerdict::Stall),
+        }
     }
 
     /// The peer's address.
@@ -143,6 +262,15 @@ impl TcpStream {
 
     /// Polls one non-blocking read into `buf`; `Ok(0)` is end-of-stream.
     pub fn poll_read(&self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        let buf = match self.fault_gate(Dir::Read) {
+            Ok(None) => buf,
+            Ok(Some(limit)) => {
+                let take = limit.min(buf.len());
+                &mut buf[..take]
+            }
+            Err(FaultVerdict::Reset) => return Poll::Ready(Err(injected_reset())),
+            Err(FaultVerdict::Stall) => return Poll::Pending,
+        };
         loop {
             let tick = ready!(self.registration.cell().poll_ready(Dir::Read, cx));
             stats::note_read();
@@ -151,13 +279,26 @@ impl TcpStream {
                     self.registration.cell().clear_ready(Dir::Read, tick);
                 }
                 Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
-                result => return Poll::Ready(result),
+                result => {
+                    if result.is_ok() {
+                        if let Some(state) = &self.fault {
+                            state.note_completed(Dir::Read);
+                        }
+                    }
+                    return Poll::Ready(result);
+                }
             }
         }
     }
 
     /// Polls one non-blocking write of `buf`.
     pub fn poll_write(&self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        let buf = match self.fault_gate(Dir::Write) {
+            Ok(None) => buf,
+            Ok(Some(limit)) => &buf[..limit.min(buf.len())],
+            Err(FaultVerdict::Reset) => return Poll::Ready(Err(injected_reset())),
+            Err(FaultVerdict::Stall) => return Poll::Pending,
+        };
         loop {
             let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
             stats::note_write();
@@ -166,7 +307,14 @@ impl TcpStream {
                     self.registration.cell().clear_ready(Dir::Write, tick);
                 }
                 Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
-                result => return Poll::Ready(result),
+                result => {
+                    if result.is_ok() {
+                        if let Some(state) = &self.fault {
+                            state.note_completed(Dir::Write);
+                        }
+                    }
+                    return Poll::Ready(result);
+                }
             }
         }
     }
@@ -178,6 +326,22 @@ impl TcpStream {
         cx: &mut Context<'_>,
         bufs: &[io::IoSlice<'_>],
     ) -> Poll<io::Result<usize>> {
+        // A clamped vectored write degrades to a plain clamped write of the
+        // first non-empty slice — a short `writev` is already legal, so the
+        // framing layer resumes from the torn byte exactly as it would after
+        // a partial kernel write.
+        let clamp = match self.fault_gate(Dir::Write) {
+            Ok(clamp) => clamp,
+            Err(FaultVerdict::Reset) => return Poll::Ready(Err(injected_reset())),
+            Err(FaultVerdict::Stall) => return Poll::Pending,
+        };
+        if let Some(limit) = clamp {
+            let first = bufs.iter().find(|buf| !buf.is_empty());
+            return match first {
+                Some(first) => self.poll_write_clamped(cx, &first[..limit.min(first.len())]),
+                None => self.poll_write_clamped(cx, &[]),
+            };
+        }
         loop {
             let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
             stats::note_write();
@@ -186,7 +350,37 @@ impl TcpStream {
                     self.registration.cell().clear_ready(Dir::Write, tick);
                 }
                 Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
-                result => return Poll::Ready(result),
+                result => {
+                    if result.is_ok() {
+                        if let Some(state) = &self.fault {
+                            state.note_completed(Dir::Write);
+                        }
+                    }
+                    return Poll::Ready(result);
+                }
+            }
+        }
+    }
+
+    /// The syscall half of a fault-clamped write: the gate has already run,
+    /// so this must not consult it again (it would double-count the op).
+    fn poll_write_clamped(&self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        loop {
+            let tick = ready!(self.registration.cell().poll_ready(Dir::Write, cx));
+            stats::note_write();
+            match (&self.std).write(buf) {
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    self.registration.cell().clear_ready(Dir::Write, tick);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                result => {
+                    if result.is_ok() {
+                        if let Some(state) = &self.fault {
+                            state.note_completed(Dir::Write);
+                        }
+                    }
+                    return Poll::Ready(result);
+                }
             }
         }
     }
@@ -358,6 +552,47 @@ mod tests {
         let client = std::net::TcpStream::connect(addr).expect("connect");
         drop(client); // immediate close: the async read must observe EOF
         assert_eq!(block_on(server).expect("server task"), 0);
+    }
+
+    #[test]
+    fn fault_injector_clamps_and_resets_deterministically() {
+        use std::io::Write as _;
+
+        /// Clamps the first `clamp_ops` reads to one byte, then resets.
+        struct Plan {
+            clamp_ops: u64,
+        }
+        impl FaultInjector for Plan {
+            fn on_read(&self, _conn: u64, op: u64) -> FaultAction {
+                if op < self.clamp_ops {
+                    FaultAction::Clamp(1)
+                } else {
+                    FaultAction::Reset
+                }
+            }
+            fn on_write(&self, _conn: u64, _op: u64) -> FaultAction {
+                FaultAction::Pass
+            }
+        }
+
+        let runtime = Runtime::with_workers(1);
+        let listener = TcpListener::bind(&runtime, "127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = runtime.spawn(async move {
+            let (mut stream, _) = listener.accept().await.expect("accept");
+            stream.install_fault_injector(Arc::new(Plan { clamp_ops: 4 }), 0);
+            // Four 1-byte reads deliver the payload torn but intact...
+            let mut buf = [0u8; 4];
+            stream.read_exact(&mut buf).await.expect("clamped reads");
+            // ...and the fifth attempt observes the injected reset.
+            let err = stream.read(&mut [0u8; 4]).await.expect_err("reset");
+            (buf, err.kind())
+        });
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(&[10, 20, 30, 40]).expect("send");
+        let (buf, kind) = block_on(server).expect("server task");
+        assert_eq!(buf, [10, 20, 30, 40]);
+        assert_eq!(kind, io::ErrorKind::ConnectionReset);
     }
 
     #[test]

@@ -17,11 +17,29 @@
 //! server's `SERVER_INFO` is sampled while all of them are open.  The run
 //! *fails* if the server's thread count scales with the connection count —
 //! the proof that sessions are tasks on the IO reactor, not threads.
+//!
+//! `--chaos PLAN` switches to the **fault-injection scorecard** (implies
+//! `--spawn`: the fault plan is installed server-side at bind time).  PLAN
+//! is `empty` or `canonical`, optionally `:SEED`.  Two chaos storms run
+//! against servers configured for degradation (stale serving, breaker,
+//! overload shedding, read deadlines): a fault-free baseline under the
+//! empty plan, then the requested plan.  The run *fails* unless every
+//! client-observed error is explained by the plan, the degradation paths
+//! actually engaged (stale serves and sheds observed), and tail latency
+//! stayed within 3x of the baseline.  The scorecard lands in
+//! `BENCH_fault_injection.json` at the workspace root.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use watchman_server::{run_connection_storm, serve, Client, LoadOptions, ServerConfig};
+use watchman_core::engine::{
+    BreakerConfig, FailureConfig, NegativeCacheConfig, RetryPolicy, StalenessPolicy,
+};
+use watchman_server::{
+    run_chaos_load, run_connection_storm, serve, ChaosOptions, ChaosReport, Client, FaultPlan,
+    LoadOptions, ServerConfig, ServerHandle,
+};
 use watchman_sim::{run_result_from_snapshot, ExperimentScale, Workload};
 
 struct Args {
@@ -35,6 +53,7 @@ struct Args {
     cache_fraction: f64,
     connections: usize,
     rounds: usize,
+    chaos: Option<String>,
     shutdown: bool,
 }
 
@@ -51,6 +70,7 @@ impl Default for Args {
             cache_fraction: 0.01,
             connections: 0,
             rounds: 4,
+            chaos: None,
             shutdown: false,
         }
     }
@@ -62,7 +82,7 @@ fn usage() -> ExitCode {
          \x20              [--workload tpcd_skewed|set_query_skewed|tpcd] [--clients N]\n\
          \x20              [--queries N] [--pipeline N] [--fetch-delay-us N]\n\
          \x20              [--cache-fraction F] [--connections N] [--rounds N]\n\
-         \x20              [--quick] [--shutdown]"
+         \x20              [--chaos empty|canonical[:SEED]] [--quick] [--shutdown]"
     );
     ExitCode::FAILURE
 }
@@ -101,6 +121,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--rounds" => {
                 explicit_rounds = Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
+            "--chaos" => args.chaos = Some(iter.next().ok_or_else(usage)?.clone()),
             "--quick" => quick = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(usage()),
@@ -117,6 +138,11 @@ fn parse_args() -> Result<Args, ExitCode> {
         args.clients = 4;
         args.rounds = 2;
     }
+    if args.chaos.is_some() {
+        // Chaos defaults mirror ChaosOptions; --quick shortens the storm.
+        args.clients = 8;
+        args.rounds = if quick { 80 } else { 200 };
+    }
     if let Some(clients) = explicit_clients {
         args.clients = clients;
     }
@@ -125,6 +151,16 @@ fn parse_args() -> Result<Args, ExitCode> {
     }
     if let Some(rounds) = explicit_rounds {
         args.rounds = rounds;
+    }
+    if args.chaos.is_some() {
+        if args.addr.is_some() {
+            eprintln!(
+                "loadgen: --chaos installs the fault plan server-side; use --spawn, not --addr"
+            );
+            return Err(usage());
+        }
+        // The fault plan must be wired into the server config at bind time.
+        args.spawn = true;
     }
     if args.addr.is_none() && !args.spawn {
         eprintln!("loadgen: need --addr or --spawn");
@@ -206,11 +242,236 @@ fn run_storm(addr: &str, connections: usize, rounds: usize, shutdown: bool) -> E
     ExitCode::SUCCESS
 }
 
+/// Tail-latency budget for a faulted storm, as a multiple of the fault-free
+/// baseline's p99.  Degradation (retries, stale serves, shed-and-retry) may
+/// slow the tail, but not collapse it.
+const CHAOS_P99_BUDGET: f64 = 3.0;
+
+/// Spawns a `watchmand` configured so every degradation path can engage:
+/// a capacity far below the keyspace footprint (refetches — and therefore
+/// stale serving of doomed keys — require eviction pressure), stale serving
+/// and the circuit breaker enabled, a small admission gate so concurrent
+/// executions trip overload shedding, and a read deadline that evicts
+/// stalled sessions.
+fn chaos_server(plan: Arc<FaultPlan>, options: &ChaosOptions) -> Result<ServerHandle, ExitCode> {
+    let footprint = options.keyspace as u64 * options.result_bytes;
+    serve(ServerConfig {
+        capacity_bytes: footprint / 4,
+        failure: FailureConfig {
+            retry: RetryPolicy::default(),
+            breaker: Some(BreakerConfig::default()),
+            staleness: Some(StalenessPolicy {
+                max_entries: options.keyspace * 4,
+                min_cost_per_byte: 0.0,
+                max_age_us: None,
+            }),
+            negative: NegativeCacheConfig::default(),
+        },
+        max_inflight: 4,
+        read_deadline: Some(Duration::from_millis(250)),
+        fault_plan: Some(plan),
+        ..ServerConfig::default()
+    })
+    .map_err(|err| {
+        eprintln!("loadgen: {err}");
+        ExitCode::FAILURE
+    })
+}
+
+/// One chaos storm against a freshly spawned server; the server is drained
+/// before returning.
+fn chaos_storm(
+    label: &str,
+    plan: Arc<FaultPlan>,
+    options: &ChaosOptions,
+) -> Result<ChaosReport, ExitCode> {
+    let server = chaos_server(plan, options)?;
+    let addr = server.addr().to_string();
+    let report = run_chaos_load(&addr, options).map_err(|err| {
+        eprintln!("loadgen: chaos {label} storm: {err}");
+        ExitCode::FAILURE
+    })?;
+    server.join();
+    println!(
+        "  {label:<9} {} requests: {} ok ({} hit / {} executed / {} coalesced / {} stale), \
+         {} fetch-errors, {} busy, {} reconnects, {} unexplained",
+        report.requests,
+        report.ok(),
+        report.hits,
+        report.executed,
+        report.coalesced,
+        report.stale,
+        report.fetch_errors,
+        report.busy,
+        report.reconnects,
+        report.unexplained,
+    );
+    println!(
+        "  {label:<9} p50 {} us  p95 {} us  p99 {} us  wall {:.2} s  \
+         server: {} stale-serves, {} sheds, {} retries, {} negative-hits, {} breaker-transitions",
+        report.latency_quantile_us(0.50),
+        report.latency_quantile_us(0.95),
+        report.latency_quantile_us(0.99),
+        report.wall.as_secs_f64(),
+        report.snapshot.total.stale_serves,
+        report.snapshot.sheds,
+        report.snapshot.fetch_retries,
+        report.snapshot.negative_hits,
+        report.snapshot.breaker_transitions,
+    );
+    Ok(report)
+}
+
+fn chaos_report_json(report: &ChaosReport) -> String {
+    let snapshot =
+        serde_json::to_string(&report.snapshot.total).unwrap_or_else(|_| "null".to_owned());
+    format!(
+        "{{\n      \"requests\": {}, \"ok\": {}, \"hits\": {}, \"executed\": {}, \
+         \"coalesced\": {}, \"stale\": {},\n      \"fetch_errors\": {}, \"busy\": {}, \
+         \"reconnects\": {}, \"unexplained\": {},\n      \"latency_us\": \
+         {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"wall_s\": {:.3},\n      \
+         \"server\": {{\"stale_serves\": {}, \"sheds\": {}, \"fetch_retries\": {}, \
+         \"negative_hits\": {}, \"breaker_transitions\": {}}},\n      \
+         \"engine_totals\": {snapshot}\n    }}",
+        report.requests,
+        report.ok(),
+        report.hits,
+        report.executed,
+        report.coalesced,
+        report.stale,
+        report.fetch_errors,
+        report.busy,
+        report.reconnects,
+        report.unexplained,
+        report.latency_quantile_us(0.50),
+        report.latency_quantile_us(0.95),
+        report.latency_quantile_us(0.99),
+        report.wall.as_secs_f64(),
+        report.snapshot.total.stale_serves,
+        report.snapshot.sheds,
+        report.snapshot.fetch_retries,
+        report.snapshot.negative_hits,
+        report.snapshot.breaker_transitions,
+    )
+}
+
+/// The `--chaos` mode: a fault-free baseline storm under the empty plan,
+/// then the requested plan, then the self-gating scorecard.
+fn run_chaos(spec: &str, args: &Args) -> ExitCode {
+    let Some(plan) = FaultPlan::parse(spec) else {
+        eprintln!("loadgen: unknown fault plan {spec:?} (want empty|canonical[:SEED])");
+        return usage();
+    };
+    let plan = Arc::new(plan);
+    let options = ChaosOptions {
+        clients: args.clients,
+        rounds: args.rounds,
+        ..ChaosOptions::default()
+    };
+    println!(
+        "loadgen: chaos scorecard — {} clients x {} rounds over {} keys, plan {spec}",
+        options.clients, options.rounds, options.keyspace
+    );
+
+    let baseline_plan = Arc::new(FaultPlan::empty(0));
+    let baseline = match chaos_storm("baseline", baseline_plan, &options) {
+        Ok(report) => report,
+        Err(code) => return code,
+    };
+    let faulted = match chaos_storm("faulted", Arc::clone(&plan), &options) {
+        Ok(report) => report,
+        Err(code) => return code,
+    };
+
+    // The gates.  Every client-observed outcome must be explained by the
+    // plan, the degradation machinery must actually have engaged, and the
+    // tail must hold.
+    let baseline_p99 = baseline.latency_quantile_us(0.99).max(1);
+    let faulted_p99 = faulted.latency_quantile_us(0.99);
+    let p99_ratio = faulted_p99 as f64 / baseline_p99 as f64;
+    let mut failures: Vec<String> = Vec::new();
+    if baseline.unexplained != 0 {
+        failures.push(format!(
+            "baseline storm saw {} unexplained errors",
+            baseline.unexplained
+        ));
+    }
+    if faulted.unexplained != 0 {
+        failures.push(format!(
+            "faulted storm saw {} unexplained errors",
+            faulted.unexplained
+        ));
+    }
+    if !plan.is_noop() {
+        if faulted.stale == 0 && faulted.snapshot.total.stale_serves == 0 {
+            failures.push("no stale serves — graceful degradation never engaged".to_owned());
+        }
+        if faulted.snapshot.sheds == 0 {
+            failures.push("no sheds — the overload gate never engaged".to_owned());
+        }
+        // Clients seeing zero of these is the success story (retries and
+        // stale serves absorb them) — but the plan must really have fired.
+        if plan.injected_fetch_errors() == 0 {
+            failures.push("the plan injected no fetch failures".to_owned());
+        }
+    }
+    if p99_ratio > CHAOS_P99_BUDGET {
+        failures.push(format!(
+            "faulted p99 {faulted_p99} us is {p99_ratio:.2}x the baseline {baseline_p99} us \
+             (budget {CHAOS_P99_BUDGET}x)"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"loadgen/chaos\",\n  \"plan\": \"{spec}\",\n  \
+         \"clients\": {},\n  \"rounds\": {},\n  \"keyspace\": {},\n  \
+         \"injected_fetch_errors\": {},\n  \"triggered_resets\": {:?},\n  \
+         \"triggered_stalls\": {:?},\n  \"p99_ratio\": {p99_ratio:.3},\n  \
+         \"p99_budget\": {CHAOS_P99_BUDGET},\n  \"gates_failed\": {:?},\n  \
+         \"baseline\": {},\n  \"faulted\": {}\n}}\n",
+        options.clients,
+        options.rounds,
+        options.keyspace,
+        plan.injected_fetch_errors(),
+        plan.triggered_resets(),
+        plan.triggered_stalls(),
+        failures,
+        chaos_report_json(&baseline),
+        chaos_report_json(&faulted),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_fault_injection.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("loadgen: wrote {path}"),
+        Err(error) => println!("loadgen: could not write {path}: {error}"),
+    }
+
+    if failures.is_empty() {
+        println!(
+            "loadgen: chaos gates hold — every error explained, degradation engaged, \
+             p99 {p99_ratio:.2}x baseline (budget {CHAOS_P99_BUDGET}x)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("loadgen: chaos gate failed: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(code) => return code,
     };
+
+    // --chaos: the fault-injection scorecard instead of the trace replay.
+    if let Some(spec) = args.chaos.clone() {
+        return run_chaos(&spec, &args);
+    }
 
     let workload = match args.workload.as_str() {
         "tpcd_skewed" => Workload::tpcd_skewed(ExperimentScale::quick(args.queries)),

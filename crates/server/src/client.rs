@@ -12,20 +12,27 @@
 //!   answers a connection's requests strictly in order);
 //! * **Reconnect** — a call that fails with a socket error transparently
 //!   re-establishes the connection (including the handshake) and retries
-//!   once, but only for requests whose replay is safe (`GET` — answered as
-//!   a hit after a lost response — `PEEK`, `STATS`, `SHUTDOWN`).
+//!   under the client's [`RetryPolicy`]: bounded attempts with capped
+//!   exponential backoff and deterministic jitter, so a fleet of clients
+//!   facing a flapping server does not reconnect in lockstep.  Retries
+//!   only cover requests whose replay is safe (`GET` — answered as a hit
+//!   after a lost response — `PEEK`, `STATS`, `SHUTDOWN`).
 //!   `REBALANCE_NOW` and `INVALIDATE` are **not** replayed: a lost
 //!   response there surfaces as an error so the caller decides.  A retried
 //!   `GET` is *visible* in the server's statistics as one extra reference,
 //!   which is why deterministic replays run over loopback where
-//!   connections do not drop.
+//!   connections do not drop;
+//! * **Overload cooperation** — a `BUSY` response (the server shedding
+//!   load) is retried after the server's own retry-after hint, and
+//!   surfaces as [`ClientError::Busy`] once the retry budget is spent.
 
 use std::fmt;
 use std::io::{self, Write};
 use std::net::TcpStream;
+use std::thread;
 use std::time::Duration;
 
-use watchman_core::engine::StatsSnapshot;
+use watchman_core::engine::{RetryPolicy, StatsSnapshot};
 
 use crate::wire::{self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError};
 
@@ -53,6 +60,11 @@ pub enum ClientError {
         /// What the call was waiting for.
         expected: &'static str,
     },
+    /// The server shed the request (`BUSY`) and the retry budget is spent.
+    Busy {
+        /// The server's last retry-after hint, in microseconds.
+        retry_after_us: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -68,6 +80,9 @@ impl fmt::Display for ClientError {
                     f,
                     "server sent a response of the wrong kind (expected {expected})"
                 )
+            }
+            ClientError::Busy { retry_after_us } => {
+                write!(f, "server busy (retry after {retry_after_us}us)")
             }
         }
     }
@@ -117,6 +132,17 @@ pub struct Client {
     addr: String,
     stream: Option<TcpStream>,
     next_id: u64,
+    /// Governs reconnect-and-retry of failed batches and the pacing of
+    /// `BUSY` retries: bounded attempts, capped exponential backoff,
+    /// deterministic jitter.
+    reconnect: RetryPolicy,
+    /// Jitter-stream cursor: advances per backoff so consecutive retries
+    /// do not sleep identically.
+    retry_stream: u64,
+    /// Read timeout applied to the current stream *and every reconnect's*
+    /// stream — a client facing a stalled server must not block forever on
+    /// a connection its own retry policy would otherwise have replaced.
+    read_timeout: Option<Duration>,
     /// Staging buffer for outgoing batches: every pipelined request of a
     /// call is encoded here and sent as one write.  Lives on the client so
     /// steady-state batches reuse its capacity instead of growing a fresh
@@ -144,11 +170,33 @@ impl Client {
             addr: addr.into(),
             stream: None,
             next_id: 0,
+            reconnect: RetryPolicy::default(),
+            retry_stream: 0,
+            read_timeout: None,
             encode_buf: Vec::new(),
             read_buf: Vec::new(),
         };
         client.ensure_connected()?;
         Ok(client)
+    }
+
+    /// Replaces the reconnect/`BUSY` retry policy (see [`RetryPolicy`]).
+    /// `RetryPolicy::none()` restores fail-fast behavior: the first
+    /// connection loss or `BUSY` surfaces to the caller.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.reconnect = policy;
+    }
+
+    /// Sets a read timeout on the connection — and on every connection a
+    /// future reconnect establishes.  A timed-out read surfaces as an IO
+    /// wire error, which the retry policy treats like any other connection
+    /// loss: the cure for a server that stalls mid-response is a fresh
+    /// connection, not an eternal block.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+        if let Some(stream) = &self.stream {
+            let _ = stream.set_read_timeout(timeout);
+        }
     }
 
     /// Like [`Client::connect`], but retries with a fixed backoff — the
@@ -180,7 +228,11 @@ impl Client {
 
     fn ensure_connected(&mut self) -> Result<&mut TcpStream, ClientError> {
         if self.stream.is_none() {
-            self.stream = Some(connect_handshaken(&self.addr)?);
+            let stream = connect_handshaken(&self.addr)?;
+            if self.read_timeout.is_some() {
+                let _ = stream.set_read_timeout(self.read_timeout);
+            }
+            self.stream = Some(stream);
         }
         Ok(self.stream.as_mut().expect("just connected"))
     }
@@ -201,28 +253,72 @@ impl Client {
         )
     }
 
+    /// The backoff before the retry numbered `attempt` (1-based), advancing
+    /// the jitter stream so consecutive retries never sleep in lockstep.
+    fn retry_backoff(&mut self, attempt: u32) -> Duration {
+        let stream = self.retry_stream;
+        self.retry_stream = self.retry_stream.wrapping_add(1);
+        self.reconnect.backoff(attempt, stream)
+    }
+
     /// Sends `requests` pipelined and returns the responses in request
-    /// order.  On a socket error the connection is re-established and the
-    /// whole batch retried once — but only when every request in the batch
-    /// is [`retry_safe`](Self::retry_safe); a lost response to a
-    /// non-idempotent admin request is reported, never replayed.
+    /// order.  Two recoverable outcomes are retried under the client's
+    /// [`RetryPolicy`] — bounded attempts, capped exponential backoff,
+    /// deterministic jitter — and only when every request in the batch is
+    /// [`retry_safe`](Self::retry_safe); a lost response to a
+    /// non-idempotent admin request is reported, never replayed:
+    ///
+    /// * a socket error or an EOF mid-protocol (the connection is gone —
+    ///   a server that closed on us shows up as a truncated response
+    ///   stream): reconnect with handshake, backed off so a flapping
+    ///   server is not hammered in a tight loop;
+    /// * a `BUSY` response anywhere in the batch (the server shedding
+    ///   load): the whole batch is replayed after the server's largest
+    ///   retry-after hint or the policy backoff, whichever is longer
+    ///   (capped at the policy's `max_delay`).
     fn call_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
         let retryable = requests.iter().all(Self::retry_safe);
-        for attempt in 0..2 {
+        let budget = self.reconnect.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
             match self.try_call_batch(requests) {
-                // A socket error or an EOF mid-protocol both mean the
-                // connection is gone (a server that closed on us shows up
-                // as a truncated response stream): reconnect (with
-                // handshake) and retry the batch once.
-                Err(ClientError::Wire(WireError::Io(_) | WireError::Truncated { .. }))
-                    if attempt == 0 && retryable =>
-                {
+                Err(
+                    ClientError::Wire(WireError::Io(_) | WireError::Truncated { .. })
+                    | ClientError::Connect { .. },
+                ) if retryable && attempt < budget => {
                     self.stream = None;
+                    let backoff = self.retry_backoff(attempt);
+                    if !backoff.is_zero() {
+                        thread::sleep(backoff);
+                    }
+                }
+                Ok(responses)
+                    if retryable
+                        && attempt < budget
+                        && responses
+                            .iter()
+                            .any(|response| matches!(response, Response::Busy { .. })) =>
+                {
+                    let hint = responses
+                        .iter()
+                        .filter_map(|response| match response {
+                            Response::Busy { retry_after_us } => Some(*retry_after_us),
+                            _ => None,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    let backoff = self
+                        .retry_backoff(attempt)
+                        .max(Duration::from_micros(hint))
+                        .min(self.reconnect.max_delay.max(Duration::from_micros(hint)));
+                    if !backoff.is_zero() {
+                        thread::sleep(backoff);
+                    }
                 }
                 other => return other,
             }
         }
-        unreachable!("second attempt always returns")
     }
 
     fn try_call_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
@@ -271,6 +367,7 @@ impl Client {
         let response = responses.pop().expect("one response per request");
         match response {
             Response::Error { message } => Err(ClientError::Server { message }),
+            Response::Busy { retry_after_us } => Err(ClientError::Busy { retry_after_us }),
             other => Ok(other),
         }
     }
@@ -293,6 +390,7 @@ impl Client {
             .map(|response| match response {
                 Response::Get(response) => Ok(response),
                 Response::Error { message } => Err(ClientError::Server { message }),
+                Response::Busy { retry_after_us } => Err(ClientError::Busy { retry_after_us }),
                 _ => Err(ClientError::UnexpectedResponse { expected: "GET" }),
             })
             .collect()
@@ -386,5 +484,103 @@ impl Client {
                 expected: "SHUTDOWN",
             }),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpListener;
+
+    /// Serves one full exchange on `stream` by hand: handshake, then one
+    /// `SERVER_INFO` request answered with a canned response.
+    fn serve_one_exchange(mut stream: TcpStream) {
+        let hello = wire::read_frame(&mut stream)
+            .expect("hello frame")
+            .expect("hello present");
+        wire::decode_hello(&hello).expect("client hello");
+        wire::write_frame(&mut stream, &wire::encode_hello()).expect("server hello");
+        let frame = wire::read_frame(&mut stream)
+            .expect("request frame")
+            .expect("request present");
+        let (request_id, request) = wire::decode_request(&frame).expect("decode request");
+        assert!(matches!(request, Request::ServerInfo));
+        let response = Response::ServerInfo {
+            threads: 1,
+            workers: 1,
+            sessions: 1,
+        };
+        let body = wire::encode_response(request_id, &response).expect("encode response");
+        wire::write_frame(&mut stream, &body).expect("write response");
+        // Drain until the client hangs up so the response is not lost to an
+        // RST racing the close.
+        let _ = stream.read(&mut [0u8; 64]);
+    }
+
+    /// A flapping listener: the first call succeeds, then the server drops
+    /// the connection *and* refuses the next two reconnects before serving
+    /// again.  The old client retried exactly once, blind and undelayed,
+    /// and surfaced an error here; under the policy-driven loop the second
+    /// call rides out the flap.
+    #[test]
+    fn policy_retries_ride_out_a_flapping_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            // Connection 1: healthy exchange, then closed by the drop.
+            let (stream, _) = listener.accept().expect("accept 1");
+            serve_one_exchange(stream);
+            // Connections 2 and 3: accepted and dropped before handshake.
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().expect("accept flap");
+                drop(stream);
+            }
+            // Connection 4: healthy again.
+            let (stream, _) = listener.accept().expect("accept 4");
+            serve_one_exchange(stream);
+        });
+
+        let mut client = Client::connect(&addr).expect("first connect");
+        client.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(5),
+            jitter_seed: 7,
+        });
+        client.server_info().expect("call on healthy connection");
+        // The server closed connection 1; this call must reconnect through
+        // two dropped connections before the fourth accept serves it.
+        client.server_info().expect("call rides out the flap");
+        // Hang up so connection 4's drain read sees EOF instead of waiting
+        // on a client that never speaks again.
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    /// With retries disabled the first flap surfaces: the regression guard
+    /// for the budget check (`attempt < max_attempts`), which must also
+    /// prevent the pre-policy behavior of one free blind retry.
+    #[test]
+    fn fail_fast_policy_surfaces_the_first_connection_loss() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept 1");
+            // The listener dies here: a reconnect attempt has nowhere to go.
+            drop(listener);
+            serve_one_exchange(stream);
+        });
+        let mut client = Client::connect(&addr).expect("connect");
+        client.set_retry_policy(RetryPolicy::none());
+        client.server_info().expect("healthy call");
+        // The server is closing connection 1 (this request's bytes unblock
+        // its drain read); fail-fast must surface the loss, not loop.
+        let err = client.server_info().expect_err("no retry budget");
+        assert!(matches!(
+            err,
+            ClientError::Wire(_) | ClientError::Connect { .. }
+        ));
+        server.join().expect("server thread");
     }
 }

@@ -34,13 +34,16 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod fault;
 pub mod replay;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use fault::FaultPlan;
 pub use replay::{
-    replay_trace_wire, run_connection_storm, run_load, LoadOptions, LoadReport, StormReport,
+    replay_trace_wire, run_chaos_load, run_connection_storm, run_load, ChaosOptions, ChaosReport,
+    LoadOptions, LoadReport, StormReport,
 };
 pub use server::{serve, ServerConfig, ServerError, ServerHandle, ServerPayload};
 pub use wire::{

@@ -25,13 +25,13 @@
 
 use std::future::poll_fn;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::task::{Context, Poll, Waker};
 use std::thread;
 use std::time::{Duration, Instant};
 use watchman_core::sync::Mutex;
 
-use watchman_core::engine::StatsSnapshot;
+use watchman_core::engine::{RetryPolicy, StatsSnapshot};
 use watchman_core::runtime::net::TcpStream;
 use watchman_core::runtime::{block_on, Runtime};
 use watchman_sim::REBALANCE_EVERY_RECORDS;
@@ -82,6 +82,10 @@ pub struct LoadReport {
     pub executed: u64,
     /// Requests coalesced onto another connection's execution.
     pub coalesced: u64,
+    /// Requests degraded to a last-known-good stale value after a fetch
+    /// failure (only possible when the server runs a fault plan with stale
+    /// serving configured).
+    pub stale: u64,
     /// Client-observed round-trip samples in microseconds (one per
     /// pipelined batch; with `pipeline == 1`, one per request).
     pub batch_latencies_us: Vec<u64>,
@@ -163,7 +167,7 @@ pub fn run_load(
     let pipeline = options.pipeline.max(1);
     let shared_error: Arc<Mutex<Option<ClientError>>> = Arc::new(Mutex::new(None));
     let started = Instant::now();
-    let mut per_client: Vec<(u64, u64, u64, Vec<u64>)> = Vec::new();
+    let mut per_client: Vec<(u64, u64, u64, u64, Vec<u64>)> = Vec::new();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for client_index in 0..clients {
@@ -184,10 +188,11 @@ pub fn run_load(
                 })
                 .collect();
             handles.push(scope.spawn(move || {
-                let run = || -> Result<(u64, u64, u64, Vec<u64>), ClientError> {
+                let run = || -> Result<(u64, u64, u64, u64, Vec<u64>), ClientError> {
                     let mut client =
                         Client::connect_with_retries(addr, 20, Duration::from_millis(50))?;
-                    let (mut hits, mut executed, mut coalesced) = (0u64, 0u64, 0u64);
+                    let (mut hits, mut executed, mut coalesced, mut stale) =
+                        (0u64, 0u64, 0u64, 0u64);
                     let mut latencies = Vec::with_capacity(records.len() / pipeline + 1);
                     for batch in records.chunks(pipeline) {
                         let sent = Instant::now();
@@ -199,10 +204,11 @@ pub fn run_load(
                                 WireSource::Hit => hits += 1,
                                 WireSource::Executed => executed += 1,
                                 WireSource::Coalesced => coalesced += 1,
+                                WireSource::Stale => stale += 1,
                             }
                         }
                     }
-                    Ok((hits, executed, coalesced, latencies))
+                    Ok((hits, executed, coalesced, stale, latencies))
                 };
                 match run() {
                     Ok(result) => Some(result),
@@ -232,14 +238,16 @@ pub fn run_load(
         hits: 0,
         executed: 0,
         coalesced: 0,
+        stale: 0,
         batch_latencies_us: Vec::new(),
         pipeline,
         wall,
     };
-    for (hits, executed, coalesced, latencies) in per_client {
+    for (hits, executed, coalesced, stale, latencies) in per_client {
         report.hits += hits;
         report.executed += executed;
         report.coalesced += coalesced;
+        report.stale += stale;
         report.batch_latencies_us.extend(latencies);
     }
     Ok(report)
@@ -453,4 +461,255 @@ pub fn run_connection_storm(
         client_parks: scheduler.parks,
         wall: started.elapsed(),
     })
+}
+
+/// Options for [`run_chaos_load`].
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub rounds: usize,
+    /// Distinct query keys the clients sweep (shared across clients, so
+    /// concurrent misses coalesce and repeat visits hit or go stale).
+    pub keyspace: usize,
+    /// Declared retrieved-set size per key — together with the server's
+    /// capacity this sets the eviction pressure that forces refetches.
+    pub result_bytes: u64,
+    /// Declared execution cost per key, in blocks.
+    pub cost_blocks: u64,
+    /// Simulated execution time per fetch, in microseconds.
+    pub fetch_delay_us: u32,
+    /// Client-side read timeout: the escape hatch from a stalled
+    /// connection (a timed-out read is treated as connection loss and
+    /// retried on a fresh connection).
+    pub read_timeout: Duration,
+    /// Per-client retry policy for reconnects and `BUSY` pacing.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            clients: 8,
+            rounds: 200,
+            keyspace: 256,
+            result_bytes: 32 << 10,
+            cost_blocks: 500,
+            fetch_delay_us: 200,
+            read_timeout: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_attempts: 5,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(50),
+                jitter_seed: 0xC4A0_5EED,
+            },
+        }
+    }
+}
+
+/// What one [`run_chaos_load`] run observed, client-side tallies plus the
+/// server's final snapshot.  Every request lands in exactly one bucket, so
+/// `ok() + fetch_errors + busy + reconnects + unexplained == requests`.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Number of client connections.
+    pub clients: usize,
+    /// Total requests attempted (client-visible; internal retries of one
+    /// request are not double-counted).
+    pub requests: u64,
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that led an execution.
+    pub executed: u64,
+    /// Requests coalesced onto another connection's execution.
+    pub coalesced: u64,
+    /// Requests degraded to a stale last-known-good value.
+    pub stale: u64,
+    /// Requests answered with a terminal fetch failure — *explained*: the
+    /// fault plan injected those failures.
+    pub fetch_errors: u64,
+    /// Requests still `BUSY` after the client's retry budget — *explained*:
+    /// the server was configured to shed.
+    pub busy: u64,
+    /// Requests lost to a connection the client had to replace (plan
+    /// resets, stalls caught by the read timeout) — *explained*.
+    pub reconnects: u64,
+    /// Errors the fault plan does **not** account for.  The chaos gates
+    /// require this to be zero.
+    pub unexplained: u64,
+    /// Per-request round-trip samples in microseconds (successful requests
+    /// only, including any internal retry pacing they absorbed).
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+    /// The server's final statistics (includes the shed counter the server
+    /// folds in).
+    pub snapshot: StatsSnapshot,
+}
+
+impl ChaosReport {
+    /// Requests that completed with a usable value (fresh or stale).
+    pub fn ok(&self) -> u64 {
+        self.hits + self.executed + self.coalesced + self.stale
+    }
+
+    /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// One chaos client's tallies (the tuple the threads report back).
+#[derive(Debug, Default, Clone)]
+struct ChaosTally {
+    hits: u64,
+    executed: u64,
+    coalesced: u64,
+    stale: u64,
+    fetch_errors: u64,
+    busy: u64,
+    reconnects: u64,
+    unexplained: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Drives a barrier-released storm of retrying clients against the server
+/// at `addr` and classifies every outcome: the measurement half of the
+/// fault-injection harness (the injection half is the
+/// [`FaultPlan`](crate::fault::FaultPlan) installed server-side).
+///
+/// Unlike [`run_load`], client errors do not abort the run — surviving
+/// injected faults is the point.  Each client classifies what it saw
+/// (fresh value, stale value, injected fetch failure, shed, replaced
+/// connection) and anything that no plan category explains lands in
+/// [`ChaosReport::unexplained`].
+pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport, ClientError> {
+    let clients = options.clients.max(1);
+    let rounds = options.rounds.max(1);
+    let keyspace = options.keyspace.max(1);
+    let barrier = Arc::new(Barrier::new(clients));
+    let started = Instant::now();
+    let mut tallies: Vec<ChaosTally> = Vec::with_capacity(clients);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_index in 0..clients {
+            let barrier = Arc::clone(&barrier);
+            let options = options.clone();
+            handles.push(scope.spawn(move || {
+                let mut tally = ChaosTally::default();
+                let connect = |tally: &mut ChaosTally| -> Option<Client> {
+                    match Client::connect_with_retries(addr, 20, Duration::from_millis(20)) {
+                        Ok(mut client) => {
+                            client.set_retry_policy(options.retry.clone());
+                            client.set_read_timeout(Some(options.read_timeout));
+                            Some(client)
+                        }
+                        Err(_) => {
+                            tally.unexplained += 1;
+                            None
+                        }
+                    }
+                };
+                let mut client = connect(&mut tally);
+                barrier.wait();
+                for round in 0..rounds {
+                    let Some(live) = client.as_mut() else {
+                        // Could not even connect: every remaining request of
+                        // this client is unexplained (the plan never cuts the
+                        // server off entirely).
+                        tally.unexplained += 1;
+                        continue;
+                    };
+                    // A deterministic sweep with per-client stride, so
+                    // clients collide on keys (coalescing, hits) while still
+                    // covering the whole keyspace (eviction pressure).
+                    let key_index = (client_index + round * 7) % keyspace;
+                    let request = GetRequest {
+                        key: format!("SELECT payload FROM chaos WHERE k = {key_index}"),
+                        timestamp_us: ((round * clients + client_index) as u64 + 1) * 1_000,
+                        result_bytes: options.result_bytes,
+                        cost_blocks: options.cost_blocks,
+                        fetch_delay_us: options.fetch_delay_us,
+                        deadline_hint_us: 0,
+                        payload_prefix_cap: 0,
+                    };
+                    let sent = Instant::now();
+                    match live.get(request) {
+                        Ok(response) => {
+                            match response.source {
+                                WireSource::Hit => tally.hits += 1,
+                                WireSource::Executed => tally.executed += 1,
+                                WireSource::Coalesced => tally.coalesced += 1,
+                                WireSource::Stale => tally.stale += 1,
+                            }
+                            tally.latencies_us.push(
+                                u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        Err(ClientError::Server { message })
+                            if message.starts_with("fetch failed") =>
+                        {
+                            tally.fetch_errors += 1;
+                        }
+                        Err(ClientError::Busy { .. }) => tally.busy += 1,
+                        Err(ClientError::Wire(_) | ClientError::Connect { .. }) => {
+                            // The client's own retry budget is already spent:
+                            // this connection is gone (plan reset, or a stall
+                            // caught by the read timeout).  Replace it.
+                            tally.reconnects += 1;
+                            client = connect(&mut tally);
+                        }
+                        Err(_) => tally.unexplained += 1,
+                    }
+                }
+                tally
+            }));
+        }
+        for handle in handles {
+            tallies.push(handle.join().expect("chaos client thread"));
+        }
+    });
+    let wall = started.elapsed();
+
+    // The storm is over; fetch the server's final snapshot on a fresh admin
+    // connection (retrying: the plan may target whatever conn id it gets).
+    let mut admin = Client::connect_with_retries(addr, 20, Duration::from_millis(20))?;
+    admin.set_retry_policy(options.retry.clone());
+    admin.set_read_timeout(Some(options.read_timeout));
+    let snapshot = admin.stats()?;
+
+    let mut report = ChaosReport {
+        clients,
+        requests: (clients * rounds) as u64,
+        hits: 0,
+        executed: 0,
+        coalesced: 0,
+        stale: 0,
+        fetch_errors: 0,
+        busy: 0,
+        reconnects: 0,
+        unexplained: 0,
+        latencies_us: Vec::new(),
+        wall,
+        snapshot,
+    };
+    for tally in tallies {
+        report.hits += tally.hits;
+        report.executed += tally.executed;
+        report.coalesced += tally.coalesced;
+        report.stale += tally.stale;
+        report.fetch_errors += tally.fetch_errors;
+        report.busy += tally.busy;
+        report.reconnects += tally.reconnects;
+        report.unexplained += tally.unexplained;
+        report.latencies_us.extend(tally.latencies_us);
+    }
+    Ok(report)
 }

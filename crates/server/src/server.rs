@@ -39,7 +39,7 @@ use std::fmt;
 use std::io;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 use std::thread;
@@ -48,13 +48,14 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use watchman_core::clock::Timestamp;
 use watchman_core::coherence::DependencyObserver;
-use watchman_core::engine::{LookupSource, PolicyKind, RebalanceConfig, Watchman};
+use watchman_core::engine::{FailureConfig, LookupSource, PolicyKind, RebalanceConfig, Watchman};
 use watchman_core::key::QueryKey;
-use watchman_core::runtime::net::{TcpListener, TcpStream};
+use watchman_core::runtime::net::{FaultInjector, TcpListener, TcpStream};
 use watchman_core::runtime::{block_on, Runtime};
 use watchman_core::sync::Mutex;
 use watchman_core::value::{CachePayload, ExecutionCost};
 
+use crate::fault::FaultPlan;
 use crate::wire::{
     self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError, WireSource,
 };
@@ -101,6 +102,24 @@ pub struct ServerConfig {
     pub runtime_workers: usize,
     /// Optional profit-aware capacity rebalancing between shards.
     pub rebalance: Option<RebalanceConfig>,
+    /// Failure-domain configuration handed to the engine: fetch retry
+    /// policy, circuit breaker, stale serving, negative cache.  Only
+    /// consulted on the fallible lookup path, i.e. when
+    /// [`fault_plan`](Self::fault_plan) is installed.
+    pub failure: FailureConfig,
+    /// Maximum `GET`s allowed in flight across every session before the
+    /// server sheds with `BUSY` + a retry-after hint.  `0` (the default)
+    /// disables the admission gate entirely.
+    pub max_inflight: usize,
+    /// How long a session may stall *mid-frame* before the server evicts it
+    /// (the slow-loris defence).  `None` (the default) keeps the seed
+    /// behavior: a stalled peer is only bounded by shutdown's drain grace.
+    pub read_deadline: Option<Duration>,
+    /// Deterministic fault plan.  `Some` routes every `GET` through the
+    /// engine's fallible pipeline (even an empty plan — that is what the
+    /// byte-identical replay test exercises) and installs the plan's wire
+    /// schedule on every accepted session stream.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +131,10 @@ impl Default for ServerConfig {
             capacity_bytes: 64 << 20,
             runtime_workers: 4,
             rebalance: None,
+            failure: FailureConfig::default(),
+            max_inflight: 0,
+            read_deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -274,6 +297,24 @@ struct Shared {
     sessions: AtomicUsize,
     workers: usize,
     addr: SocketAddr,
+    /// Admission-gate capacity ([`ServerConfig::max_inflight`]; 0 = off).
+    max_inflight: usize,
+    /// `GET`s currently holding an admission permit.
+    inflight: AtomicUsize,
+    /// Requests shed with `BUSY` (admission gate full or deadline judged
+    /// unmeetable).  Folded into `STATS` responses as
+    /// `StatsSnapshot::sheds` — sheds never reach the engine, so the engine
+    /// cannot count them.
+    sheds: AtomicU64,
+    /// EWMA of `GET` service time in µs (α = 1/8): the basis of the
+    /// `BUSY` retry-after hint and of deadline-aware shedding.
+    service_ewma_us: AtomicU64,
+    /// Mid-frame read deadline ([`ServerConfig::read_deadline`]).
+    read_deadline: Option<Duration>,
+    /// Installed fault plan, if any.
+    fault: Option<Arc<FaultPlan>>,
+    /// Accept-order connection ids for the fault plan's wire schedule.
+    conn_seq: AtomicU64,
 }
 
 /// Owns one session's slice of the shared bookkeeping (the live-session
@@ -364,6 +405,7 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         .policy(config.policy)
         .capacity_bytes(config.capacity_bytes)
         .runtime_workers(config.runtime_workers)
+        .failure(config.failure.clone())
         .observer(deps.clone());
     if let Some(rebalance) = config.rebalance {
         builder = builder.rebalance(rebalance);
@@ -390,6 +432,13 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         sessions: AtomicUsize::new(0),
         workers: config.runtime_workers.max(1),
         addr,
+        max_inflight: config.max_inflight,
+        inflight: AtomicUsize::new(0),
+        sheds: AtomicU64::new(0),
+        service_ewma_us: AtomicU64::new(0),
+        read_deadline: config.read_deadline,
+        fault: config.fault_plan,
+        conn_seq: AtomicU64::new(0),
     });
 
     let accept_slot = shared.shutdown.register_slot();
@@ -442,7 +491,12 @@ async fn accept_task(listener: TcpListener, shared: Arc<Shared>, slot: usize) {
         .await;
         match accepted {
             None => break,
-            Some(Ok((stream, _peer))) => {
+            Some(Ok((mut stream, _peer))) => {
+                if let Some(plan) = &shared.fault {
+                    let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                    let injector: Arc<dyn FaultInjector> = Arc::clone(plan) as _;
+                    stream.install_fault_injector(injector, conn);
+                }
                 let session_slot = shared.shutdown.register_slot();
                 shared.sessions.fetch_add(1, Ordering::SeqCst);
                 // The guard travels *inside* the spawned future: if the
@@ -475,7 +529,8 @@ enum Fill {
     /// The shutdown signal fired while the session was idle at a frame
     /// boundary.
     Drained,
-    /// The socket failed.
+    /// The socket failed — or the peer stalled mid-frame past the
+    /// configured read deadline and this session is being evicted.
     Failed,
 }
 
@@ -483,6 +538,13 @@ enum Fill {
 /// no frame bytes are buffered**: available bytes always win over shutdown,
 /// and once a frame has started arriving the fill commits to completing it
 /// (the supervisor's grace window bounds a peer that stalls mid-frame).
+///
+/// With a [`ServerConfig::read_deadline`] configured, a *committed* fill —
+/// a frame has started arriving — additionally races that deadline: a peer
+/// that opens a frame and then stops sending (the slow loris) is evicted
+/// when the deadline fires, instead of holding buffer and session state
+/// until shutdown.  Idle connections at a frame boundary are untouched —
+/// a parked session costs nothing.
 async fn fill_or_drain(
     reader: &mut wire::FrameReader,
     stream: &TcpStream,
@@ -490,11 +552,20 @@ async fn fill_or_drain(
     slot: usize,
 ) -> Fill {
     let committed = reader.buffered() > 0;
+    let mut read_deadline = match shared.read_deadline {
+        Some(limit) if committed => Some(Box::pin(shared.runtime.sleep(limit))),
+        _ => None,
+    };
     poll_fn(|cx| match reader.poll_fill(cx, stream) {
         Poll::Ready(Ok(0)) => Poll::Ready(Fill::Eof),
         Poll::Ready(Ok(_)) => Poll::Ready(Fill::Bytes),
         Poll::Ready(Err(_)) => Poll::Ready(Fill::Failed),
         Poll::Pending => {
+            if let Some(deadline) = read_deadline.as_mut() {
+                if deadline.as_mut().poll(cx).is_ready() {
+                    return Poll::Ready(Fill::Failed);
+                }
+            }
             if !committed && shared.shutdown.poll_wait(slot, cx).is_ready() {
                 Poll::Ready(Fill::Drained)
             } else {
@@ -698,7 +769,13 @@ async fn handle_request(shared: &Shared, request: Request) -> Response {
                 },
             }
         }
-        Request::Stats => Response::Stats(shared.engine.stats_snapshot()),
+        Request::Stats => {
+            // The engine never sees shed requests, so the server owns the
+            // shed counter and folds it into the snapshot here.
+            let mut snapshot = shared.engine.stats_snapshot();
+            snapshot.sheds = shared.sheds.load(Ordering::Relaxed);
+            Response::Stats(snapshot)
+        }
         Request::Invalidate { relation } => {
             let report = shared.deps.apply_update(&shared.engine, &relation);
             Response::Invalidate {
@@ -726,6 +803,72 @@ async fn handle_request(shared: &Shared, request: Request) -> Response {
     }
 }
 
+/// An admission permit: one slot of [`ServerConfig::max_inflight`], held
+/// for the duration of one `GET`'s handling.  Dropping the permit releases
+/// the slot — including when the handling future is cancelled or panics,
+/// since both drop the future.
+struct InflightPermit<'a> {
+    /// `None` when the gate is disabled (nothing to release).
+    shared: Option<&'a Shared>,
+}
+
+impl<'a> InflightPermit<'a> {
+    /// Claims a slot, or reports the retry-after hint to shed with.
+    fn try_acquire(shared: &'a Shared) -> Result<InflightPermit<'a>, u64> {
+        if shared.max_inflight == 0 {
+            return Ok(InflightPermit { shared: None });
+        }
+        let mut current = shared.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= shared.max_inflight {
+                return Err(retry_after_hint(shared));
+            }
+            match shared.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Ok(InflightPermit {
+                        shared: Some(shared),
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The `BUSY` retry-after hint: the observed service-time EWMA, clamped so
+/// a cold server still hints something sane and a pathological sample
+/// cannot tell clients to go away for minutes.
+fn retry_after_hint(shared: &Shared) -> u64 {
+    shared
+        .service_ewma_us
+        .load(Ordering::Relaxed)
+        .clamp(1_000, 100_000)
+}
+
+/// Folds one `GET`'s service time into the EWMA (α = 1/8).
+fn record_service_time(shared: &Shared, service_us: u64) {
+    let previous = shared.service_ewma_us.load(Ordering::Relaxed);
+    let next = if previous == 0 {
+        service_us
+    } else {
+        previous - previous / 8 + service_us / 8
+    };
+    shared.service_ewma_us.store(next, Ordering::Relaxed);
+}
+
 async fn handle_get(shared: &Shared, get: GetRequest) -> Response {
     if get.result_bytes > MAX_RESULT_BYTES {
         return Response::Error {
@@ -734,6 +877,29 @@ async fn handle_get(shared: &Shared, get: GetRequest) -> Response {
                 get.result_bytes
             ),
         };
+    }
+    // Overload control, ahead of any engine work.  Two sheds, both answered
+    // with `BUSY` + a retry-after hint instead of queueing:
+    //  * the admission gate is full — more in-flight `GET`s would only grow
+    //    queueing delay past every deadline;
+    //  * the request carries a deadline the service-time EWMA already says
+    //    the server cannot meet — doing the work anyway would burn a worker
+    //    to produce an answer the client has given up on.
+    let _permit = match InflightPermit::try_acquire(shared) {
+        Ok(permit) => permit,
+        Err(retry_after_us) => {
+            shared.sheds.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy { retry_after_us };
+        }
+    };
+    if shared.max_inflight > 0 && get.deadline_hint_us != 0 {
+        let estimate = shared.service_ewma_us.load(Ordering::Relaxed);
+        if estimate > get.deadline_hint_us {
+            shared.sheds.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy {
+                retry_after_us: retry_after_hint(shared),
+            };
+        }
     }
     let started = Instant::now();
     let key = QueryKey::from_raw_query(&get.key);
@@ -744,24 +910,63 @@ async fn handle_get(shared: &Shared, get: GetRequest) -> Response {
     let fetch_delay = Duration::from_micros(u64::from(get.fetch_delay_us));
     // Misses execute on the engine runtime (single-flight across every
     // connection); hits resolve on the first poll without suspending the
-    // session at all.
-    let lookup = shared
-        .engine
-        .get_or_execute_async(&key, now, move || {
-            if !fetch_delay.is_zero() {
-                thread::sleep(fetch_delay);
+    // session at all.  With a fault plan installed the lookup runs through
+    // the engine's *fallible* pipeline — retry, breaker, stale serving,
+    // negative cache — and a terminal failure answers this request with an
+    // error response instead of killing the session.
+    let lookup = match &shared.fault {
+        Some(plan) => {
+            let plan = Arc::clone(plan);
+            let outcome = shared
+                .engine
+                .try_get_or_execute_async(&key, now, move || {
+                    if let Some(error) = plan.fetch_fault(signature) {
+                        return Err(error);
+                    }
+                    if !fetch_delay.is_zero() {
+                        thread::sleep(fetch_delay);
+                    }
+                    Ok((
+                        synthesize_payload(signature, result_bytes),
+                        ExecutionCost::from_blocks(cost_blocks),
+                    ))
+                })
+                .await;
+            match outcome {
+                Ok(lookup) => lookup,
+                Err(failure) => {
+                    record_service_time(
+                        shared,
+                        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    );
+                    return Response::Error {
+                        message: format!("fetch failed: {}", failure.error.message()),
+                    };
+                }
             }
-            (
-                synthesize_payload(signature, result_bytes),
-                ExecutionCost::from_blocks(cost_blocks),
-            )
-        })
-        .await;
+        }
+        None => {
+            shared
+                .engine
+                .get_or_execute_async(&key, now, move || {
+                    if !fetch_delay.is_zero() {
+                        thread::sleep(fetch_delay);
+                    }
+                    (
+                        synthesize_payload(signature, result_bytes),
+                        ExecutionCost::from_blocks(cost_blocks),
+                    )
+                })
+                .await
+        }
+    };
     let service_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    record_service_time(shared, service_us);
     let source = match lookup.source {
         LookupSource::Hit => WireSource::Hit,
         LookupSource::Executed => WireSource::Executed,
         LookupSource::Coalesced => WireSource::Coalesced,
+        LookupSource::Stale => WireSource::Stale,
     };
     let full_len = lookup.value.size_bytes();
     // Clamp to MAX_PREFIX_BYTES: the cached set may legally be bigger than

@@ -106,7 +106,11 @@ use watchman_core::runtime::net::TcpStream as NetStream;
 pub const MAGIC: [u8; 4] = *b"WMAN";
 
 /// The protocol version this build speaks (exact-match negotiation).
-pub const VERSION: u16 = 1;
+///
+/// v2 added the failure-domain surface: the `Stale` lookup source (a value
+/// served from the last-known-good store after a failed refetch) and the
+/// `BUSY` response status carrying a retry-after hint (overload shedding).
+pub const VERSION: u16 = 2;
 
 /// Hard upper bound on a frame body; larger length prefixes are treated as
 /// stream corruption and fail the connection.
@@ -297,6 +301,9 @@ pub enum WireSource {
     Executed,
     /// Coalesced onto another connection's in-flight execution.
     Coalesced,
+    /// The fetch failed and the server degraded to the last-known-good
+    /// value (see `LookupSource::Stale`).
+    Stale,
 }
 
 impl fmt::Display for WireSource {
@@ -305,6 +312,7 @@ impl fmt::Display for WireSource {
             WireSource::Hit => f.write_str("hit"),
             WireSource::Executed => f.write_str("executed"),
             WireSource::Coalesced => f.write_str("coalesced"),
+            WireSource::Stale => f.write_str("stale"),
         }
     }
 }
@@ -379,6 +387,14 @@ pub enum Response {
     Error {
         /// Human-readable failure description.
         message: String,
+    },
+    /// The server refused the request under overload (admission gate full,
+    /// or the request's deadline hint cannot be met).  The request was NOT
+    /// executed; the client should back off and retry.
+    Busy {
+        /// Server-suggested delay before retrying, in microseconds
+        /// (0 = retry at the client's own discretion).
+        retry_after_us: u64,
     },
 }
 
@@ -904,6 +920,7 @@ const OP_SERVER_INFO: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
+const STATUS_BUSY: u8 = 2;
 
 /// Encodes the handshake hello body.
 pub fn encode_hello() -> Vec<u8> {
@@ -1028,6 +1045,11 @@ pub fn encode_response_into(
             put_str(out, message);
             return Ok(());
         }
+        Response::Busy { retry_after_us } => {
+            put_u8(out, STATUS_BUSY);
+            put_u64(out, *retry_after_us);
+            return Ok(());
+        }
         _ => put_u8(out, STATUS_OK),
     }
     match response {
@@ -1037,6 +1059,7 @@ pub fn encode_response_into(
                 WireSource::Hit => 0,
                 WireSource::Executed => 1,
                 WireSource::Coalesced => 2,
+                WireSource::Stale => 3,
             };
             put_u8(out, source);
             put_f64(out, get.cost_blocks);
@@ -1088,7 +1111,7 @@ pub fn encode_response_into(
             put_u32(out, *workers);
             put_u32(out, *sessions);
         }
-        Response::Error { .. } => unreachable!("handled above"),
+        Response::Error { .. } | Response::Busy { .. } => unreachable!("handled above"),
     }
     Ok(())
 }
@@ -1102,6 +1125,9 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
         STATUS_ERROR => Response::Error {
             message: reader.string("error message")?,
         },
+        STATUS_BUSY => Response::Busy {
+            retry_after_us: reader.u64("busy retry-after")?,
+        },
         STATUS_OK => {
             let opcode = reader.u8("response opcode")?;
             match opcode {
@@ -1110,6 +1136,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                         0 => WireSource::Hit,
                         1 => WireSource::Executed,
                         2 => WireSource::Coalesced,
+                        3 => WireSource::Stale,
                         value => {
                             return Err(WireError::InvalidEnum {
                                 field: "lookup source",
@@ -1264,6 +1291,43 @@ mod tests {
         round_trip_response(Response::Error {
             message: "boom".to_owned(),
         });
+        round_trip_response(Response::Get(GetResponse {
+            source: WireSource::Stale,
+            cost_blocks: 88.25,
+            full_len: 42,
+            prefix: vec![9],
+            service_us: 13,
+            deadline_exceeded: false,
+        }));
+        round_trip_response(Response::Busy {
+            retry_after_us: 2_500,
+        });
+        round_trip_response(Response::Busy { retry_after_us: 0 });
+    }
+
+    #[test]
+    fn stale_source_and_busy_status_use_the_v2_code_points() {
+        // The wire byte values are a protocol contract: Stale is source 3,
+        // BUSY is status 2 followed by the retry-after hint.
+        let body = encode_response(
+            1,
+            &Response::Get(GetResponse {
+                source: WireSource::Stale,
+                cost_blocks: 0.0,
+                full_len: 0,
+                prefix: Vec::new(),
+                service_us: 0,
+                deadline_exceeded: false,
+            }),
+        )
+        .unwrap();
+        // id(8) | status(1) | opcode(1) | source(1).
+        assert_eq!(body[8], 0, "OK status");
+        assert_eq!(body[10], 3, "Stale is source code 3");
+
+        let busy = encode_response(1, &Response::Busy { retry_after_us: 7 }).unwrap();
+        assert_eq!(busy[8], 2, "BUSY is status code 2");
+        assert_eq!(u64::from_le_bytes(busy[9..17].try_into().unwrap()), 7);
     }
 
     #[test]

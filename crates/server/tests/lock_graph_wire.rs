@@ -34,6 +34,7 @@ fn wire_stack_keeps_the_lock_graph_acyclic() {
                 .with_min_shard_fraction(0.25)
                 .with_step_fraction(0.2),
         ),
+        ..ServerConfig::default()
     })
     .expect("server binds on loopback");
     let addr = server.addr().to_string();

@@ -30,6 +30,7 @@ fn test_server(capacity_bytes: u64, shards: usize) -> watchman_server::ServerHan
         capacity_bytes,
         runtime_workers: 4,
         rebalance: None,
+        ..ServerConfig::default()
     })
     .expect("server binds on loopback")
 }
@@ -142,6 +143,7 @@ fn wire_replay_is_byte_identical_to_in_process_async_replay() {
         capacity_bytes: capacity,
         runtime_workers: 2,
         rebalance: Some(rebalance),
+        ..ServerConfig::default()
     })
     .expect("server binds");
     let mut client = Client::connect(server.addr().to_string()).expect("client connects");

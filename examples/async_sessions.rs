@@ -69,6 +69,8 @@ fn main() {
                         LookupSource::Hit => sources[0] += 1,
                         LookupSource::Executed => sources[1] += 1,
                         LookupSource::Coalesced => sources[2] += 1,
+                        // The infallible path never degrades to stale.
+                        LookupSource::Stale => unreachable!("stale needs the fallible path"),
                     }
                 }
                 sources

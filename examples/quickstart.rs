@@ -63,6 +63,8 @@ fn main() {
                     .map(|outcome| outcome.to_string())
                     .unwrap_or_default()
             ),
+            // The infallible path never degrades to stale.
+            LookupSource::Stale => unreachable!("stale needs the fallible path"),
         }
     }
 

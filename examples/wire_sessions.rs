@@ -30,6 +30,7 @@ fn main() {
         capacity_bytes: 8 << 20,
         runtime_workers: 2,
         rebalance: None,
+        ..ServerConfig::default()
     })
     .expect("bind loopback");
     let addr = server.addr().to_string();

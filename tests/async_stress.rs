@@ -165,6 +165,7 @@ fn killed_async_leader_hands_over_to_exactly_one_waiter() {
         match block_on(waiter).expect("waiter session completed") {
             LookupSource::Executed => executed += 1,
             LookupSource::Coalesced | LookupSource::Hit => {}
+            LookupSource::Stale => unreachable!("stale needs the fallible path"),
         }
     }
     assert_eq!(executed, 1, "exactly one waiter becomes the new leader");
