@@ -1,0 +1,39 @@
+//! Seeded violations for the `raw-instant-timing` rule.  Two raw clock
+//! reads in what the analyzer treats as a session path (one via the full
+//! `std::time::Instant` path, one via an imported `Instant`), plus the
+//! counter-examples that must stay quiet: the telemetry clock authority,
+//! a string, a comment, and a raw read inside `mod tests`.
+
+use std::time::Instant;
+
+fn handle_get_timed() -> u64 {
+    // Violation: the full-path form.
+    let started = std::time::Instant::now();
+    let _ = started;
+    // Violation: the imported form.
+    let deadline = Instant::now() + std::time::Duration::from_millis(5);
+    let _ = deadline;
+    0
+}
+
+fn handle_get_instrumented() -> u64 {
+    // Legal: the telemetry clock authority shares the histogram epoch.
+    let started = watchman_core::telemetry::now();
+    watchman_core::telemetry::elapsed_us(started)
+}
+
+fn decoys() {
+    // Instant::now() in a comment never fires.
+    let s = "Instant::now() in a string never fires";
+    let _ = s;
+}
+
+mod tests {
+    use std::time::Instant;
+
+    fn wall_clock_assertion() {
+        // Legal: tests time against the raw clock freely.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let _ = deadline;
+    }
+}

@@ -74,6 +74,14 @@
 //!    `deadline` or a `max_*` bound) in the server crate.  A reconnect loop
 //!    with no bound turns one dead server into a client spinning forever;
 //!    bounded attempts with capped backoff are the `RetryPolicy` contract.
+//! 10. **`raw-instant-timing`** — no raw `Instant::now()` in the engine
+//!     (`crates/core/src/engine/`) or the server crate's session paths.
+//!     `watchman_core::telemetry::now()` is the clock authority for those
+//!     paths: it pins the histogram epoch, and a raw `Instant::now()` is
+//!     latency measurement (or a deadline) the telemetry layer never sees —
+//!     an unobservable stall.  `telemetry.rs` itself (the authority's home),
+//!     the blocking client/load drivers (`client.rs`, `replay.rs`), the CLI
+//!     binaries under `src/bin/` and inline `mod tests` are exempt.
 //!
 //! Seeded-violation fixtures live in `fixtures/`; the crate's tests assert
 //! each rule fires on its fixture and stays quiet on counter-examples, so a
@@ -360,6 +368,7 @@ pub fn analyze(set: &FileSet) -> Vec<Finding> {
         rule_unbuffered_frame_write_in_session(path, tokens, &mut findings);
         rule_fallible_unwrap_in_session(path, tokens, &mut findings);
         rule_unbounded_retry_loop(path, tokens, &mut findings);
+        rule_raw_instant_timing(path, tokens, &mut findings);
         rule_policy_signal_coverage(path, tokens, set, &mut findings);
     }
     rule_frame_size_consistency(set, &mut findings);
@@ -801,6 +810,46 @@ fn rule_unbounded_retry_loop(path: &str, tokens: &[Token], findings: &mut Vec<Fi
         }
         // Step past the keyword only: nested loops are analyzed on their own.
         i += 1;
+    }
+}
+
+/// Rule 10: raw `Instant::now()` in the engine or the server crate's
+/// session paths.  Those paths time everything through the telemetry clock
+/// authority (`watchman_core::telemetry::now()`), which shares the epoch
+/// the latency histograms and the flight recorder stamp against.  A raw
+/// `Instant::now()` there is a measurement (or a deadline) that bypasses
+/// the instrumentation — the exact blind spot the telemetry layer exists
+/// to close.  Exempt: `telemetry.rs` (the authority's home and the one
+/// sanctioned call site), the blocking client and load drivers
+/// (`client.rs`, `replay.rs` — wall-clock report timing, not engine
+/// latency), the CLI binaries under `src/bin/`, and inline `mod tests`.
+fn rule_raw_instant_timing(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let in_engine = path.contains("core/src/engine/");
+    let in_session = path.contains("server/src")
+        && !path.ends_with("client.rs")
+        && !path.ends_with("replay.rs")
+        && !path.contains("/bin/");
+    if (!in_engine && !in_session) || path.ends_with("telemetry.rs") {
+        return;
+    }
+    let tokens = strip_test_modules(tokens);
+    for window in tokens.windows(4) {
+        if window[0].is_ident("Instant")
+            && window[1].is_punct(':')
+            && window[2].is_punct(':')
+            && window[3].is_ident("now")
+        {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: window[3].line,
+                rule: "raw-instant-timing",
+                message: "raw Instant::now() bypasses the telemetry clock authority; use \
+                          watchman_core::telemetry::now() so the measurement shares the \
+                          histogram epoch (telemetry.rs, client.rs, replay.rs, src/bin/ \
+                          and tests are the sanctioned raw-clock sites)"
+                    .to_owned(),
+            });
+        }
     }
 }
 
@@ -1330,6 +1379,42 @@ mod tests {
             let findings = analyze_one(exempt, &source);
             assert!(
                 findings.iter().all(|f| f.rule != "unbounded-retry-loop"),
+                "{exempt}: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_instant_fixture_fires_in_engine_and_session_paths_only() {
+        let source = fixture("raw_instant.rs");
+        for guarded in [
+            "crates/server/src/server.rs",
+            "crates/core/src/engine/watchman.rs",
+        ] {
+            let findings = analyze_one(guarded, &source);
+            let hits: Vec<_> = findings
+                .iter()
+                .filter(|f| f.rule == "raw-instant-timing")
+                .collect();
+            // The full-path read and the imported-form read; the telemetry
+            // clock authority, the string, the comment and the raw read
+            // inside `mod tests` all stay quiet.
+            assert_eq!(hits.len(), 2, "{guarded}: {findings:?}");
+        }
+        // The clock authority's home, the blocking client, the load
+        // drivers, the CLI binaries and everything outside the engine and
+        // server crates keep their raw clocks.
+        for exempt in [
+            "crates/core/src/telemetry.rs",
+            "crates/server/src/client.rs",
+            "crates/server/src/replay.rs",
+            "crates/server/src/bin/loadgen.rs",
+            "crates/core/src/runtime/mod.rs",
+            "crates/bench/benches/wire_roundtrip.rs",
+        ] {
+            let findings = analyze_one(exempt, &source);
+            assert!(
+                findings.iter().all(|f| f.rule != "raw-instant-timing"),
                 "{exempt}: {findings:?}"
             );
         }

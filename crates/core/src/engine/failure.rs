@@ -333,6 +333,13 @@ impl CircuitBreaker {
     }
 
     fn transition(&mut self, next: State) {
+        // The single choke point every legal transition passes through, so
+        // the process-wide telemetry counters cover all breakers at once.
+        let telemetry = crate::telemetry::global();
+        telemetry.breaker_transitions.incr();
+        if matches!(next, State::Open { .. }) {
+            telemetry.breaker_trips.incr();
+        }
         self.state = next;
         self.transitions += 1;
     }

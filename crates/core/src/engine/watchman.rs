@@ -15,17 +15,63 @@ use crate::clock::Timestamp;
 use crate::coherence::DependencyIndex;
 use crate::engine::events::{CacheEvent, CacheObserver};
 use crate::engine::failure::{
-    CircuitBreaker, FailureConfig, FetchError, LookupError, NegativeCacheConfig, StalenessPolicy,
+    BreakerState, CircuitBreaker, FailureConfig, FetchError, LookupError, NegativeCacheConfig,
+    StalenessPolicy,
 };
 use crate::engine::policy_kind::PolicyKind;
 use crate::engine::rebalance::{plan_transfer, RebalanceConfig, RebalanceOutcome, ShardSignal};
 use crate::engine::single_flight::{Flight, FlightOutcome, LeaderOutcome, WaiterSlot};
 use crate::key::QueryKey;
-use crate::metrics::CacheStats;
+use crate::metrics::{CacheStats, FragmentationTracker};
 use crate::policy::{InsertOutcome, QueryCache};
 use crate::runtime::{Runtime, Sleep};
 use crate::sync::{Mutex, MutexGuard};
+use crate::telemetry::TraceKind;
 use crate::value::{CachePayload, ExecutionCost};
+
+/// Records a finished lookup into the outcome-keyed telemetry histograms
+/// ([`crate::telemetry`]): latency from the session's first touch of the
+/// engine to the resolved lookup, bucketed by how it resolved.  A coalesced
+/// resolution also feeds the single-flight wait histogram — for a waiter,
+/// the whole lookup *was* the wait.
+fn record_lookup_telemetry(started: Option<Instant>, source: LookupSource) {
+    let Some(started) = started else { return };
+    let micros = crate::telemetry::elapsed_us(started);
+    let telemetry = crate::telemetry::global();
+    match source {
+        LookupSource::Hit => telemetry.lookup_hit_us.record(micros),
+        LookupSource::Executed => telemetry.lookup_executed_us.record(micros),
+        LookupSource::Coalesced => {
+            telemetry.lookup_coalesced_us.record(micros);
+            telemetry.singleflight_wait_us.record(micros);
+        }
+        LookupSource::Stale => telemetry.lookup_stale_us.record(micros),
+    }
+}
+
+/// The error-outcome analogue of [`record_lookup_telemetry`].
+fn record_lookup_error_telemetry(started: Option<Instant>) {
+    let Some(started) = started else { return };
+    crate::telemetry::global()
+        .lookup_error_us
+        .record(crate::telemetry::elapsed_us(started));
+}
+
+/// Publishes an insert's side effects to telemetry: the shard's occupancy
+/// gauge and the global eviction counter.  Called under the shard lock (both
+/// targets are atomics, so this adds no lock class).
+fn record_insert_telemetry(shard_index: usize, used_bytes: u64, outcome: &InsertOutcome) {
+    let telemetry = crate::telemetry::global();
+    telemetry.set_shard_used(shard_index, used_bytes);
+    match outcome {
+        InsertOutcome::Admitted { evicted } | InsertOutcome::AlreadyCached { evicted } => {
+            if !evicted.is_empty() {
+                telemetry.evictions.add(evicted.len() as u64);
+            }
+        }
+        InsertOutcome::Rejected(_) => {}
+    }
+}
 
 /// Pluggable key normalization applied to every key entering the engine.
 ///
@@ -141,6 +187,10 @@ pub struct StatsSnapshot {
     /// itself never sheds — this is always zero in engine-produced snapshots
     /// and is filled in by `watchmand` before a STATS response is encoded.
     pub sheds: u64,
+    /// Storage-fragmentation statistics (the paper's tertiary metric): each
+    /// snapshot call records one `used/capacity` sample into the engine's
+    /// tracker and copies the accumulated series out here.
+    pub fragmentation: FragmentationTracker,
 }
 
 impl StatsSnapshot {
@@ -434,6 +484,10 @@ struct Inner<V> {
     /// Fired on drop so the background rebalance task exits promptly even on
     /// a shared runtime.
     rebalance_shutdown: OnceLock<Arc<ShutdownCell>>,
+    /// Storage-fragmentation sample series, fed by [`Watchman::stats_snapshot`]
+    /// (one `used/capacity` sample per snapshot).  A leaf lock: taken while
+    /// holding every shard lock, never the other way around.
+    fragmentation: Mutex<FragmentationTracker>,
 }
 
 impl<V> Drop for Inner<V> {
@@ -665,8 +719,12 @@ impl<V> WatchmanBuilder<V> {
                 },
                 latest_now: AtomicU64::new(0),
                 rebalance_shutdown: OnceLock::new(),
+                fragmentation: Mutex::new(FragmentationTracker::new()),
             }),
         };
+        crate::telemetry::global()
+            .shard_count
+            .set(shard_count as u64);
         if let Some(period) = self
             .rebalance
             .and_then(|config| config.period)
@@ -1022,6 +1080,7 @@ where
         let size_bytes = value.size_bytes();
         let mut shard = self.inner.shards[index].lock();
         let outcome = shard.cache.insert(key.clone(), value, cost, now);
+        record_insert_telemetry(index, shard.cache.used_bytes(), &outcome);
         // Emitted under the shard lock so observers see this shard's events
         // in cache order (see the events module docs).
         if !self.inner.observers.is_empty() {
@@ -1050,6 +1109,7 @@ where
         F: FnOnce() -> (V, ExecutionCost) + Unpin,
     {
         self.observe_now(now);
+        let started = crate::telemetry::now();
         let key = self.inner.normalizer.apply(key);
         let shard = self.shard_index(&key);
         // Hit fast path: the engine's hottest operation needs none of the
@@ -1061,11 +1121,14 @@ where
         {
             let mut state = self.inner.shards[shard].lock();
             if let Some(value) = state.cache.get(&key, now) {
-                return Lookup {
+                let lookup = Lookup {
                     value: Arc::clone(value),
                     source: LookupSource::Hit,
                     outcome: None,
                 };
+                drop(state);
+                record_lookup_telemetry(Some(started), LookupSource::Hit);
+                return lookup;
             }
         }
         crate::runtime::block_on(LookupFuture {
@@ -1076,6 +1139,7 @@ where
             driver: FetchDriver::Inline(Some(fetch)),
             state: LookupState::Start,
             leader_cancel: None,
+            started: Some(started),
         })
     }
 
@@ -1119,6 +1183,7 @@ where
             },
             state: LookupState::Start,
             leader_cancel: None,
+            started: None,
         }
     }
 
@@ -1185,17 +1250,21 @@ where
         F: FnMut() -> Result<(V, ExecutionCost), FetchError> + Unpin,
     {
         self.observe_now(now);
+        let started = crate::telemetry::now();
         let key = self.inner.normalizer.apply(key);
         let shard = self.shard_index(&key);
         // Hit fast path, identical to the infallible front door.
         {
             let mut state = self.inner.shards[shard].lock();
             if let Some(value) = state.cache.get(&key, now) {
-                return Ok(Lookup {
+                let lookup = Lookup {
                     value: Arc::clone(value),
                     source: LookupSource::Hit,
                     outcome: None,
-                });
+                };
+                drop(state);
+                record_lookup_telemetry(Some(started), LookupSource::Hit);
+                return Ok(lookup);
             }
         }
         crate::runtime::block_on(TryLookupFuture {
@@ -1207,6 +1276,7 @@ where
             state: TryLookupState::Start,
             attempts: 0,
             leader_cancel: None,
+            started: Some(started),
         })
     }
 
@@ -1239,6 +1309,7 @@ where
             state: TryLookupState::Start,
             attempts: 0,
             leader_cancel: None,
+            started: None,
         }
     }
 
@@ -1329,6 +1400,13 @@ where
             state.failure.drop_negative(key);
         }
         let outcome = state.cache.insert(key.clone(), value, cost, now);
+        record_insert_telemetry(shard_index, state.cache.used_bytes(), &outcome);
+        crate::telemetry::global().recorder.record(
+            TraceKind::LookupExecuted,
+            key.signature().value(),
+            shard_index as u64,
+            cost.value() as u64,
+        );
         // Retire the in-flight entry only if it is still ours (defensive:
         // completion is the only remover, so it always is).
         if state
@@ -1379,7 +1457,18 @@ where
             .failure
             .store_negative(key, Arc::clone(error), now, &self.inner.failure.negative);
         if let Some(breaker) = state.failure.breaker.as_mut() {
+            let was_open = matches!(breaker.state(), BreakerState::Open);
             breaker.record_failure(now);
+            if !was_open && matches!(breaker.state(), BreakerState::Open) {
+                // A freshly tripped breaker is an anomaly: snapshot the
+                // flight recorder's context for the key that tripped it.
+                crate::telemetry::global().anomaly(
+                    TraceKind::BreakerTrip,
+                    key.signature().value(),
+                    shard_index as u64,
+                    0,
+                );
+            }
         }
     }
 
@@ -1403,6 +1492,12 @@ where
         if let Some(staleness) = &self.inner.failure.staleness {
             if let Some((value, cost)) = state.failure.stale_for(key, now, staleness) {
                 state.cache.record_stale_reference(cost);
+                crate::telemetry::global().recorder.record(
+                    TraceKind::LookupStale,
+                    key.signature().value(),
+                    shard_index as u64,
+                    cost.value() as u64,
+                );
                 return Ok(Lookup {
                     value,
                     source: LookupSource::Stale,
@@ -1411,6 +1506,12 @@ where
             }
         }
         state.cache.record_error_reference();
+        crate::telemetry::global().recorder.record(
+            TraceKind::LookupError,
+            key.signature().value(),
+            shard_index as u64,
+            u64::from(negative_hit),
+        );
         Err(LookupError {
             error,
             negative_hit,
@@ -1578,12 +1679,14 @@ where
         let mut capacity_bytes = 0;
         let mut entries = 0;
         let mut breaker_transitions = 0;
-        for state in &guards {
+        let telemetry = crate::telemetry::global();
+        for (index, state) in guards.iter().enumerate() {
             let stats = state.cache.stats_snapshot();
             total.merge(&stats);
             per_shard.push(stats);
             let used = state.cache.used_bytes();
             let capacity = state.cache.capacity_bytes();
+            telemetry.set_shard_used(index, used);
             per_shard_used.push(used);
             per_shard_capacity.push(capacity);
             used_bytes += used;
@@ -1595,6 +1698,15 @@ where
                 .as_ref()
                 .map_or(0, CircuitBreaker::transitions);
         }
+        telemetry.shard_count.set(guards.len() as u64);
+        // One occupancy sample per snapshot, taken while every shard guard
+        // is still held so the sample matches the reported numbers.  The
+        // tracker mutex is a leaf: nothing is acquired under it.
+        let fragmentation = {
+            let mut tracker = self.inner.fragmentation.lock();
+            tracker.record(used_bytes, capacity_bytes);
+            tracker.clone()
+        };
         StatsSnapshot {
             total,
             per_shard,
@@ -1613,6 +1725,7 @@ where
             negative_hits: self.inner.negative_hits.load(Ordering::Relaxed),
             breaker_transitions,
             sheds: 0,
+            fragmentation,
         }
     }
 
@@ -1713,7 +1826,12 @@ fn run_spawned_fetch<V, F>(
     // catch_unwind for the same reason the inline path keeps its guard armed
     // through it: a panic in user observer code must abandon the flight, not
     // strand the waiters on a cell that never resolves.
-    let result = catch_unwind(AssertUnwindSafe(fetch)).and_then(|(value, cost)| {
+    let fetch_start = crate::telemetry::now();
+    let fetched = catch_unwind(AssertUnwindSafe(fetch));
+    crate::telemetry::global()
+        .fetch_attempt_us
+        .record(crate::telemetry::elapsed_us(fetch_start));
+    let result = fetched.and_then(|(value, cost)| {
         let value = Arc::new(value);
         catch_unwind(AssertUnwindSafe(|| {
             if let Some(inner) = engine.upgrade() {
@@ -1813,7 +1931,11 @@ async fn run_spawned_try_fetch<V, F>(
             return;
         }
         attempt += 1;
+        let fetch_start = crate::telemetry::now();
         let result = catch_unwind(AssertUnwindSafe(&mut fetch));
+        crate::telemetry::global()
+            .fetch_attempt_us
+            .record(crate::telemetry::elapsed_us(fetch_start));
         match result {
             // A panic keeps the infallible contract: payload to the leader
             // session, flight abandoned so one waiter takes over.
@@ -1870,9 +1992,17 @@ async fn run_spawned_try_fetch<V, F>(
                 if error.is_retryable() && attempt < retry.max_attempts {
                     handle.inner.fetch_retries.fetch_add(1, Ordering::Relaxed);
                     let delay = retry.backoff(attempt, key.signature().value());
+                    let telemetry = crate::telemetry::global();
+                    telemetry.fetch_retries.incr();
+                    telemetry.recorder.record(
+                        TraceKind::FetchRetry,
+                        key.signature().value(),
+                        u64::from(attempt),
+                        delay.as_micros() as u64,
+                    );
                     drop(handle);
                     if !delay.is_zero() {
-                        Sleep::until(timer.clone(), Instant::now() + delay).await;
+                        Sleep::until(timer.clone(), crate::telemetry::now() + delay).await;
                     }
                     continue;
                 }
@@ -1952,6 +2082,10 @@ pub struct LookupFuture<V, F> {
     /// fetch task that has not started yet observes the cancellation and
     /// never invokes the closure.
     leader_cancel: Option<Arc<AtomicBool>>,
+    /// When this session first touched the engine (the synchronous front
+    /// door presets it; the async one stamps it on first poll), feeding the
+    /// outcome-keyed lookup-latency telemetry.
+    started: Option<Instant>,
 }
 
 impl<V, F> std::fmt::Debug for LookupFuture<V, F> {
@@ -1974,6 +2108,9 @@ where
         // All fields are Unpin (`F` by bound — every ordinary closure is),
         // so plain projection is safe without unsafe code.
         let this = self.get_mut();
+        if this.started.is_none() {
+            this.started = Some(crate::telemetry::now());
+        }
         loop {
             let step = match &mut this.state {
                 LookupState::Finished => panic!("LookupFuture polled after completion"),
@@ -2101,6 +2238,7 @@ where
                 }
                 Step::Return(lookup) => {
                     this.state = LookupState::Finished;
+                    record_lookup_telemetry(this.started, lookup.source);
                     return Poll::Ready(lookup);
                 }
                 Step::BecomeWaiter(flight) => {
@@ -2139,7 +2277,11 @@ where
                                 shard_index,
                                 flight: &flight,
                             };
+                            let fetch_start = crate::telemetry::now();
                             let (value, cost) = fetch();
+                            crate::telemetry::global()
+                                .fetch_attempt_us
+                                .record(crate::telemetry::elapsed_us(fetch_start));
                             let value = Arc::new(value);
                             let outcome = this.engine.finish_leader_insert(
                                 &this.key,
@@ -2152,6 +2294,7 @@ where
                             flight.complete(Arc::clone(&value), cost);
                             std::mem::forget(guard);
                             this.state = LookupState::Finished;
+                            record_lookup_telemetry(this.started, LookupSource::Executed);
                             return Poll::Ready(Lookup {
                                 value,
                                 source: LookupSource::Executed,
@@ -2313,6 +2456,8 @@ pub struct TryLookupFuture<V, F> {
     /// current flight (spawned leaders count inside their task instead).
     attempts: u32,
     leader_cancel: Option<Arc<AtomicBool>>,
+    /// When this session first touched the engine (see [`LookupFuture`]).
+    started: Option<Instant>,
 }
 
 impl<V, F> std::fmt::Debug for TryLookupFuture<V, F> {
@@ -2334,6 +2479,9 @@ where
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
+        if this.started.is_none() {
+            this.started = Some(crate::telemetry::now());
+        }
         loop {
             let step = match &mut this.state {
                 TryLookupState::Finished => panic!("TryLookupFuture polled after completion"),
@@ -2359,6 +2507,7 @@ where
                             .inner
                             .negative_hits
                             .fetch_add(1, Ordering::Relaxed);
+                        crate::telemetry::global().negative_hits.incr();
                         TryStep::Resolve {
                             error,
                             negative_hit: true,
@@ -2479,6 +2628,7 @@ where
                 TryStep::Suspend => return Poll::Pending,
                 TryStep::Return(lookup) => {
                     this.state = TryLookupState::Finished;
+                    record_lookup_telemetry(this.started, lookup.source);
                     return Poll::Ready(Ok(lookup));
                 }
                 TryStep::Resolve {
@@ -2487,13 +2637,18 @@ where
                 } => {
                     let shard_index = this.shard.expect("set before resolving");
                     this.state = TryLookupState::Finished;
-                    return Poll::Ready(this.engine.resolve_failed_lookup(
+                    let result = this.engine.resolve_failed_lookup(
                         &this.key,
                         shard_index,
                         this.now,
                         error,
                         negative_hit,
-                    ));
+                    );
+                    match &result {
+                        Ok(lookup) => record_lookup_telemetry(this.started, lookup.source),
+                        Err(_) => record_lookup_error_telemetry(this.started),
+                    }
+                    return Poll::Ready(result);
                 }
                 TryStep::BecomeWaiter(flight) => {
                     this.state = TryLookupState::Waiting {
@@ -2525,7 +2680,12 @@ where
                                     shard_index,
                                     flight: &flight,
                                 };
-                                match fetch() {
+                                let fetch_start = crate::telemetry::now();
+                                let fetched = fetch();
+                                crate::telemetry::global()
+                                    .fetch_attempt_us
+                                    .record(crate::telemetry::elapsed_us(fetch_start));
+                                match fetched {
                                     Ok((value, cost)) => {
                                         let value = Arc::new(value);
                                         let outcome = this.engine.finish_leader_insert_with(
@@ -2540,6 +2700,10 @@ where
                                         flight.complete(Arc::clone(&value), cost);
                                         std::mem::forget(guard);
                                         this.state = TryLookupState::Finished;
+                                        record_lookup_telemetry(
+                                            this.started,
+                                            LookupSource::Executed,
+                                        );
                                         return Poll::Ready(Ok(Lookup {
                                             value,
                                             source: LookupSource::Executed,
@@ -2562,6 +2726,14 @@ where
                                                 this.attempts,
                                                 this.key.signature().value(),
                                             );
+                                            let telemetry = crate::telemetry::global();
+                                            telemetry.fetch_retries.incr();
+                                            telemetry.recorder.record(
+                                                TraceKind::FetchRetry,
+                                                this.key.signature().value(),
+                                                u64::from(this.attempts),
+                                                delay.as_micros() as u64,
+                                            );
                                             if delay.is_zero() {
                                                 continue;
                                             }
@@ -2579,13 +2751,20 @@ where
                                         );
                                         flight.fail(Arc::clone(&error));
                                         this.state = TryLookupState::Finished;
-                                        return Poll::Ready(this.engine.resolve_failed_lookup(
+                                        let result = this.engine.resolve_failed_lookup(
                                             &this.key,
                                             shard_index,
                                             this.now,
                                             error,
                                             false,
-                                        ));
+                                        );
+                                        match &result {
+                                            Ok(lookup) => {
+                                                record_lookup_telemetry(this.started, lookup.source)
+                                            }
+                                            Err(_) => record_lookup_error_telemetry(this.started),
+                                        }
+                                        return Poll::Ready(result);
                                     }
                                 }
                             }
@@ -2775,7 +2954,8 @@ where
                     if this.runtime.upgrade().is_none() {
                         return Poll::Ready(());
                     }
-                    this.sleep = Sleep::until(this.runtime.clone(), Instant::now() + this.period);
+                    this.sleep =
+                        Sleep::until(this.runtime.clone(), crate::telemetry::now() + this.period);
                 }
             }
         }

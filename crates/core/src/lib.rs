@@ -80,6 +80,7 @@
 //! | [`coherence`] | Relation-dependency tracking and invalidation on warehouse updates (§3) |
 //! | [`equivalence`] | Canonical query matching, pluggable into the engine as a [`KeyNormalizer`](engine::KeyNormalizer) (§6) |
 //! | [`metrics`] | Cost savings ratio, hit ratio, fragmentation (§4.1) |
+//! | [`telemetry`] | Process-global metrics registry, latency histograms, flight recorder (see OBSERVABILITY.md) |
 //! | [`theory`] | LNC\* and the exact knapsack oracle (§2.3) |
 
 #![warn(missing_docs)]
@@ -104,6 +105,7 @@ pub mod profit;
 pub mod retained;
 pub mod runtime;
 pub mod sync;
+pub mod telemetry;
 pub mod theory;
 pub mod value;
 
@@ -131,6 +133,7 @@ pub mod prelude {
     pub use crate::policy::{InsertOutcome, QueryCache, RejectReason};
     pub use crate::profit::Profit;
     pub use crate::runtime::{block_on, JoinError, JoinHandle, Runtime};
+    pub use crate::telemetry::{HistogramSnapshot, MetricsSnapshot, TraceDump, TraceEvent};
     pub use crate::value::{CachePayload, Datum, ExecutionCost, RetrievedSet, Row, SizedPayload};
 }
 

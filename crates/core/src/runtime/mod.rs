@@ -238,7 +238,12 @@ impl RuntimeInner {
             let now = Instant::now();
             let mut due = Vec::new();
             while timers.peek().is_some_and(|entry| entry.deadline <= now) {
-                due.push(timers.pop().expect("peeked entry").waker);
+                let entry = timers.pop().expect("peeked entry");
+                // Timer-heap lag: how far past its deadline the timer fires.
+                crate::telemetry::global()
+                    .timer_lag_us
+                    .record(now.saturating_duration_since(entry.deadline).as_micros() as u64);
+                due.push(entry.waker);
             }
             let next = timers
                 .peek()
@@ -448,6 +453,14 @@ impl Runtime {
     /// Load tests use this to assert work stealing actually engages.
     pub fn scheduler_stats(&self) -> QueueStats {
         self.inner.queue.stats()
+    }
+
+    /// Ready tasks currently queued across every worker queue and the
+    /// injector (the scheduler backlog).  Sampled for the METRICS
+    /// exposition; each queue lock is taken one at a time, so the value is
+    /// a consistent-enough gauge, not an atomic snapshot.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
     }
 
     pub(crate) fn inner_handle(&self) -> Weak<RuntimeInner> {

@@ -361,6 +361,19 @@ impl<T> RunQueue<T> {
         }
     }
 
+    /// Total ready items across every local queue and the injector — the
+    /// scheduler's backlog gauge.  Exposition-only: each queue lock is taken
+    /// one at a time (never nested), so the count is a consistent-enough
+    /// sample, not an atomic snapshot.
+    pub(crate) fn depth(&self) -> usize {
+        let mut depth = 0;
+        for local in &self.locals {
+            let local = local.lock();
+            depth += local.fifo.len() + usize::from(local.lifo.is_some());
+        }
+        depth + self.injector.lock().len()
+    }
+
     /// Empties every queue, returning the drained items (shutdown).
     pub(crate) fn drain(&self) -> Vec<T> {
         let mut drained = Vec::new();

@@ -357,6 +357,12 @@ impl Reactor {
                 // The epoll fd went bad: nothing to serve events from.
                 Err(_) => return,
             };
+            if filled > 0 {
+                // One wakeup per epoll_wait return with events: the metric
+                // distinguishes event-coalescing efficiency (few wakeups,
+                // many events) from wakeup churn.
+                crate::telemetry::global().reactor_wakeups.incr();
+            }
             for event in &events[..filled] {
                 // Copy out of the (possibly packed) struct before use.
                 let bits = event.events;

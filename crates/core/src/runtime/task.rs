@@ -242,8 +242,19 @@ impl RunnableTask {
         #[cfg(feature = "lock-graph")]
         crate::sync::note_task_poll(1);
         // TaskFuture::poll never unwinds (it catches user panics), so the
-        // worker thread survives any task.
-        if future.as_mut().poll(&mut cx).is_ready() {
+        // worker thread survives any task.  The poll is timed into the
+        // per-task poll-duration histogram; polls that exceed the
+        // cooperative budget also bump the long-poll counter (a task that
+        // hogs its worker starves every peer behind it).
+        let poll_start = crate::telemetry::now();
+        let ready = future.as_mut().poll(&mut cx).is_ready();
+        let poll_us = crate::telemetry::elapsed_us(poll_start);
+        let telemetry = crate::telemetry::global();
+        telemetry.task_poll_us.record(poll_us);
+        if poll_us >= crate::telemetry::LONG_POLL_THRESHOLD_US {
+            telemetry.long_polls.incr();
+        }
+        if ready {
             *slot = None;
         } else if self
             .runtime

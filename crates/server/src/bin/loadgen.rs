@@ -54,6 +54,7 @@ struct Args {
     connections: usize,
     rounds: usize,
     chaos: Option<String>,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -71,6 +72,7 @@ impl Default for Args {
             connections: 0,
             rounds: 4,
             chaos: None,
+            metrics: false,
             shutdown: false,
         }
     }
@@ -82,7 +84,7 @@ fn usage() -> ExitCode {
          \x20              [--workload tpcd_skewed|set_query_skewed|tpcd] [--clients N]\n\
          \x20              [--queries N] [--pipeline N] [--fetch-delay-us N]\n\
          \x20              [--cache-fraction F] [--connections N] [--rounds N]\n\
-         \x20              [--chaos empty|canonical[:SEED]] [--quick] [--shutdown]"
+         \x20              [--chaos empty|canonical[:SEED]] [--metrics] [--quick] [--shutdown]"
     );
     ExitCode::FAILURE
 }
@@ -122,6 +124,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                 explicit_rounds = Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
             "--chaos" => args.chaos = Some(iter.next().ok_or_else(usage)?.clone()),
+            "--metrics" => args.metrics = true,
             "--quick" => quick = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(usage()),
@@ -175,6 +178,102 @@ fn parse_args() -> Result<Args, ExitCode> {
 /// comfortably below this; a thread-per-session server blows through it by
 /// an order of magnitude at 256 connections.
 const MAX_STORM_THREADS: u32 = 32;
+
+/// `--metrics`: scrape the `METRICS` and `TRACE_DUMP` admin opcodes from a
+/// running server, assert the exposition parses at the expected schema
+/// version with the core metric families present, and print a one-screen
+/// summary.  This is the CI proof that a *spawned* `watchmand` actually
+/// serves the telemetry surface — not just the in-process servers the
+/// tests build.
+fn run_metrics_scrape(addr: &str, shutdown: bool) -> ExitCode {
+    let mut client = match Client::connect_with_retries(addr, 5, Duration::from_millis(50)) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = match client.metrics() {
+        Ok(metrics) => metrics,
+        Err(err) => {
+            eprintln!("loadgen: METRICS scrape failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if metrics.schema != watchman_core::telemetry::METRICS_SCHEMA_VERSION {
+        eprintln!(
+            "loadgen: METRICS schema {} does not match the client's expected {}",
+            metrics.schema,
+            watchman_core::telemetry::METRICS_SCHEMA_VERSION
+        );
+        return ExitCode::FAILURE;
+    }
+    // The registry always emits the full catalog, so an absent family means
+    // the exposition is broken, not that the server has been idle.
+    for (family, present) in [
+        ("counters", !metrics.counters.is_empty()),
+        (
+            "gauge engine.shard_count",
+            metrics.gauge("engine.shard_count") > 0,
+        ),
+        (
+            "histogram engine.lookup.hit_us",
+            metrics.histogram("engine.lookup.hit_us").is_some(),
+        ),
+        (
+            "histogram runtime.task.poll_us",
+            metrics.histogram("runtime.task.poll_us").is_some(),
+        ),
+    ] {
+        if !present {
+            eprintln!("loadgen: METRICS exposition is missing {family}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let lookups: u64 = [
+        "engine.lookup.hit_us",
+        "engine.lookup.executed_us",
+        "engine.lookup.coalesced_us",
+        "engine.lookup.stale_us",
+        "engine.lookup.error_us",
+    ]
+    .iter()
+    .filter_map(|name| metrics.histogram(name))
+    .map(|h| h.count)
+    .sum();
+    println!(
+        "loadgen: METRICS schema v{} from {addr}: {} counters, {} gauges, {} histograms; \
+         {} lookups, {} retries, {} sheds, uptime {:.1} s",
+        metrics.schema,
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len(),
+        lookups,
+        metrics.counter("engine.fetch.retries"),
+        metrics.counter("server.sheds"),
+        metrics.uptime_us as f64 / 1e6,
+    );
+    match client.trace_dump() {
+        Ok(dump) => println!(
+            "loadgen: TRACE_DUMP schema v{}: {} events in the ring ({} recorded overall)",
+            dump.schema,
+            dump.events.len(),
+            dump.recorded,
+        ),
+        Err(err) => {
+            eprintln!("loadgen: TRACE_DUMP scrape failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if shutdown {
+        if let Err(err) = client.shutdown_server() {
+            eprintln!("loadgen: shutdown failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: server drained");
+    }
+    ExitCode::SUCCESS
+}
 
 fn run_storm(addr: &str, connections: usize, rounds: usize, shutdown: bool) -> ExitCode {
     println!(
@@ -319,12 +418,44 @@ fn chaos_storm(
         report.snapshot.negative_hits,
         report.snapshot.breaker_transitions,
     );
+    match &report.mid_storm_metrics {
+        Some(metrics) => println!(
+            "  {label:<9} mid-storm METRICS (schema v{}): {} retries, {} stale-serves, \
+             {} sheds, {} steals, {} trace-events, fragmentation {}permille",
+            metrics.schema,
+            metrics.counter("engine.fetch.retries"),
+            metrics
+                .histogram("engine.lookup.stale_us")
+                .map_or(0, |h| h.count),
+            metrics.counter("server.sheds"),
+            metrics.counter("runtime.scheduler.steals"),
+            metrics.counter("telemetry.trace_events"),
+            metrics.gauge("engine.fragmentation.used_permille"),
+        ),
+        None => println!("  {label:<9} mid-storm METRICS: no scrape landed"),
+    }
     Ok(report)
 }
 
 fn chaos_report_json(report: &ChaosReport) -> String {
     let snapshot =
         serde_json::to_string(&report.snapshot.total).unwrap_or_else(|_| "null".to_owned());
+    let mid_storm = match &report.mid_storm_metrics {
+        Some(metrics) => format!(
+            "{{\"schema\": {}, \"fetch_retries\": {}, \"stale_serves\": {}, \"sheds\": {}, \
+             \"scheduler_steals\": {}, \"trace_events\": {}, \"fragmentation_permille\": {}}}",
+            metrics.schema,
+            metrics.counter("engine.fetch.retries"),
+            metrics
+                .histogram("engine.lookup.stale_us")
+                .map_or(0, |h| h.count),
+            metrics.counter("server.sheds"),
+            metrics.counter("runtime.scheduler.steals"),
+            metrics.counter("telemetry.trace_events"),
+            metrics.gauge("engine.fragmentation.used_permille"),
+        ),
+        None => "null".to_owned(),
+    };
     format!(
         "{{\n      \"requests\": {}, \"ok\": {}, \"hits\": {}, \"executed\": {}, \
          \"coalesced\": {}, \"stale\": {},\n      \"fetch_errors\": {}, \"busy\": {}, \
@@ -332,6 +463,7 @@ fn chaos_report_json(report: &ChaosReport) -> String {
          {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"wall_s\": {:.3},\n      \
          \"server\": {{\"stale_serves\": {}, \"sheds\": {}, \"fetch_retries\": {}, \
          \"negative_hits\": {}, \"breaker_transitions\": {}}},\n      \
+         \"mid_storm_metrics\": {mid_storm},\n      \
          \"engine_totals\": {snapshot}\n    }}",
         report.requests,
         report.ok(),
@@ -413,6 +545,32 @@ fn run_chaos(spec: &str, args: &Args) -> ExitCode {
         // stale serves absorb them) — but the plan must really have fired.
         if plan.injected_fetch_errors() == 0 {
             failures.push("the plan injected no fetch failures".to_owned());
+        }
+        // The observability gate: the METRICS surface must have answered
+        // while the storm was live, and the counters that prove the
+        // degradation and scheduling machinery engaged must have moved.
+        match &faulted.mid_storm_metrics {
+            None => failures.push("no METRICS scrape landed mid-storm".to_owned()),
+            Some(metrics) => {
+                let mut require = |name: &str, value: u64| {
+                    if value == 0 {
+                        failures.push(format!("mid-storm METRICS shows zero {name}"));
+                    }
+                };
+                require("fetch retries", metrics.counter("engine.fetch.retries"));
+                require("sheds", metrics.counter("server.sheds"));
+                require(
+                    "stale serves",
+                    metrics
+                        .histogram("engine.lookup.stale_us")
+                        .map_or(0, |h| h.count),
+                );
+                require(
+                    "scheduler steals",
+                    metrics.counter("runtime.scheduler.steals"),
+                );
+                require("trace events", metrics.counter("telemetry.trace_events"));
+            }
         }
     }
     if p99_ratio > CHAOS_P99_BUDGET {
@@ -505,6 +663,15 @@ fn main() -> ExitCode {
         (None, Some(handle)) => handle.addr().to_string(),
         (None, None) => unreachable!("validated in parse_args"),
     };
+
+    // --metrics: scrape the telemetry admin surface instead of replaying.
+    if args.metrics {
+        let code = run_metrics_scrape(&addr, args.shutdown);
+        if let Some(handle) = spawned {
+            handle.join();
+        }
+        return code;
+    }
 
     // --connections: the high-concurrency storm instead of the trace replay.
     if args.connections > 0 {

@@ -7,8 +7,13 @@
 //! ```text
 //! watchmand [--addr HOST:PORT] [--shards N] [--capacity-bytes N]
 //!           [--policy lnc-ra|lnc-r|lru|lru-k|lfu|lcs|gds] [--k N]
-//!           [--workers N] [--rebalance-ms N]
+//!           [--workers N] [--rebalance-ms N] [--metrics-interval SECS]
 //! ```
+//!
+//! `--metrics-interval SECS` logs a one-line telemetry summary (lookup
+//! counts by outcome, retries, sheds, evictions, scheduler steals) to
+//! stderr every `SECS` seconds — the always-on operational signal; the
+//! full exposition stays behind the `METRICS` opcode.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,7 +38,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: watchmand [--addr HOST:PORT] [--shards N] [--capacity-bytes N]\n\
          \x20                [--policy lnc-ra|lnc-r|lru|lru-k|lfu|lcs|gds] [--k N]\n\
-         \x20                [--workers N] [--rebalance-ms N]"
+         \x20                [--workers N] [--rebalance-ms N] [--metrics-interval SECS]"
     );
     ExitCode::FAILURE
 }
@@ -46,6 +51,7 @@ fn main() -> ExitCode {
     let mut policy_name = "lnc-ra".to_owned();
     let mut k = 4usize;
     let mut rebalance_ms: Option<u64> = None;
+    let mut metrics_interval_secs: u64 = 0;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -86,6 +92,12 @@ fn main() -> ExitCode {
                 Some(v) => rebalance_ms = Some(v),
                 None => return usage(),
             },
+            "--metrics-interval" => {
+                match value("--metrics-interval").and_then(|v| v.parse().ok()) {
+                    Some(v) => metrics_interval_secs = v,
+                    None => return usage(),
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -120,6 +132,32 @@ fn main() -> ExitCode {
         "watchmand listening on {} ({policy_name}, {shards} shards, {capacity} bytes)",
         handle.addr()
     );
+    if metrics_interval_secs > 0 {
+        // A detached logger thread: dies with the process, so shutdown
+        // needs no extra plumbing.
+        let interval = Duration::from_secs(metrics_interval_secs);
+        std::thread::Builder::new()
+            .name("watchmand-metrics".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let telemetry = watchman_core::telemetry::global();
+                eprintln!(
+                    "metrics: hits={} executed={} coalesced={} stale={} errors={} \
+                     retries={} sheds={} evictions={} breaker_trips={} trace_events={}",
+                    telemetry.lookup_hit_us.snapshot().count,
+                    telemetry.lookup_executed_us.snapshot().count,
+                    telemetry.lookup_coalesced_us.snapshot().count,
+                    telemetry.lookup_stale_us.snapshot().count,
+                    telemetry.lookup_error_us.snapshot().count,
+                    telemetry.fetch_retries.get(),
+                    telemetry.sheds.get(),
+                    telemetry.evictions.get(),
+                    telemetry.breaker_trips.get(),
+                    telemetry.recorder.events_recorded(),
+                );
+            })
+            .expect("spawn metrics logger thread");
+    }
     // Serve until a client sends SHUTDOWN.
     handle.wait();
     println!("watchmand: drained, exiting");

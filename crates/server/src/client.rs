@@ -33,6 +33,7 @@ use std::thread;
 use std::time::Duration;
 
 use watchman_core::engine::{RetryPolicy, StatsSnapshot};
+use watchman_core::telemetry::{MetricsSnapshot, TraceDump};
 
 use crate::wire::{self, GetRequest, GetResponse, RebalanceSummary, Request, Response, WireError};
 
@@ -250,6 +251,8 @@ impl Client {
                 | Request::Stats
                 | Request::Shutdown
                 | Request::ServerInfo
+                | Request::Metrics
+                | Request::TraceDump
         )
     }
 
@@ -461,6 +464,30 @@ impl Client {
             } => Ok((threads, workers, sessions)),
             _ => Err(ClientError::UnexpectedResponse {
                 expected: "SERVER_INFO",
+            }),
+        }
+    }
+
+    /// Fetches the server's telemetry exposition: every counter, gauge and
+    /// latency histogram as one versioned snapshot.  The load generator
+    /// scrapes this mid-storm; CI asserts the scrape parses and the storm's
+    /// counters moved.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "METRICS",
+            }),
+        }
+    }
+
+    /// Dumps the server's flight recorder: the bounded ring of recent
+    /// structured trace events, oldest first.
+    pub fn trace_dump(&mut self) -> Result<TraceDump, ClientError> {
+        match self.call(Request::TraceDump)? {
+            Response::TraceDump(dump) => Ok(dump),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "TRACE_DUMP",
             }),
         }
     }

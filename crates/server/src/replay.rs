@@ -34,6 +34,7 @@ use watchman_core::sync::Mutex;
 use watchman_core::engine::{RetryPolicy, StatsSnapshot};
 use watchman_core::runtime::net::TcpStream;
 use watchman_core::runtime::{block_on, Runtime};
+use watchman_core::telemetry::{HistogramSnapshot, MetricsSnapshot};
 use watchman_sim::REBALANCE_EVERY_RECORDS;
 use watchman_trace::Trace;
 
@@ -86,9 +87,12 @@ pub struct LoadReport {
     /// failure (only possible when the server runs a fault plan with stale
     /// serving configured).
     pub stale: u64,
-    /// Client-observed round-trip samples in microseconds (one per
-    /// pipelined batch; with `pipeline == 1`, one per request).
-    pub batch_latencies_us: Vec<u64>,
+    /// Client-observed round-trip latency histogram (one sample per
+    /// pipelined batch; with `pipeline == 1`, one per request).  A shared
+    /// [`HistogramSnapshot`] instead of a sorted sample vector: quantiles
+    /// cost a bucket walk, and a million-request run holds 252 buckets per
+    /// client rather than a million `u64`s.
+    pub batch_latency_us: HistogramSnapshot,
     /// Requests per latency sample (the pipeline depth).
     pub pipeline: usize,
     /// Wall-clock of the whole run.
@@ -108,21 +112,12 @@ impl LoadReport {
 
     /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        if self.batch_latencies_us.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.batch_latencies_us.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank]
+        self.batch_latency_us.quantile(q)
     }
 
     /// Mean latency sample in microseconds.
     pub fn latency_mean_us(&self) -> f64 {
-        if self.batch_latencies_us.is_empty() {
-            return 0.0;
-        }
-        self.batch_latencies_us.iter().sum::<u64>() as f64 / self.batch_latencies_us.len() as f64
+        self.batch_latency_us.mean()
     }
 }
 
@@ -167,7 +162,7 @@ pub fn run_load(
     let pipeline = options.pipeline.max(1);
     let shared_error: Arc<Mutex<Option<ClientError>>> = Arc::new(Mutex::new(None));
     let started = Instant::now();
-    let mut per_client: Vec<(u64, u64, u64, u64, Vec<u64>)> = Vec::new();
+    let mut per_client: Vec<(u64, u64, u64, u64, HistogramSnapshot)> = Vec::new();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for client_index in 0..clients {
@@ -188,17 +183,17 @@ pub fn run_load(
                 })
                 .collect();
             handles.push(scope.spawn(move || {
-                let run = || -> Result<(u64, u64, u64, u64, Vec<u64>), ClientError> {
+                let run = || -> Result<(u64, u64, u64, u64, HistogramSnapshot), ClientError> {
                     let mut client =
                         Client::connect_with_retries(addr, 20, Duration::from_millis(50))?;
                     let (mut hits, mut executed, mut coalesced, mut stale) =
                         (0u64, 0u64, 0u64, 0u64);
-                    let mut latencies = Vec::with_capacity(records.len() / pipeline + 1);
+                    let mut latencies = HistogramSnapshot::empty();
                     for batch in records.chunks(pipeline) {
                         let sent = Instant::now();
                         let responses = client.get_many(batch.to_vec())?;
                         latencies
-                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                            .record(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                         for response in responses {
                             match response.source {
                                 WireSource::Hit => hits += 1,
@@ -239,7 +234,7 @@ pub fn run_load(
         executed: 0,
         coalesced: 0,
         stale: 0,
-        batch_latencies_us: Vec::new(),
+        batch_latency_us: HistogramSnapshot::empty(),
         pipeline,
         wall,
     };
@@ -248,7 +243,7 @@ pub fn run_load(
         report.executed += executed;
         report.coalesced += coalesced;
         report.stale += stale;
-        report.batch_latencies_us.extend(latencies);
+        report.batch_latency_us.merge(&latencies);
     }
     Ok(report)
 }
@@ -260,9 +255,8 @@ pub struct StormReport {
     pub connections: usize,
     /// Requests each connection sent.
     pub rounds: usize,
-    /// Per-request round-trip samples in microseconds, across every
-    /// connection.
-    pub latencies_us: Vec<u64>,
+    /// Per-request round-trip latency histogram, across every connection.
+    pub latency_us: HistogramSnapshot,
     /// The server process's OS thread count, sampled over `SERVER_INFO`
     /// while every storm connection was still open (0 when the platform
     /// cannot report it).
@@ -287,13 +281,7 @@ pub struct StormReport {
 impl StormReport {
     /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank]
+        self.latency_us.quantile(q)
     }
 }
 
@@ -377,7 +365,7 @@ pub fn run_connection_storm(
         let first_error = Arc::clone(&first_error);
         tasks.push(runtime.spawn(async move {
             let run = async {
-                let mut latencies = Vec::with_capacity(rounds);
+                let mut latencies = HistogramSnapshot::empty();
                 for round in 0..rounds {
                     let request = Request::Get(GetRequest::metrics_only(
                         format!("SELECT storm_round{round} FROM stormload"),
@@ -403,9 +391,9 @@ pub fn run_connection_storm(
                     if let Response::Error { message } = response {
                         return Err(WireError::Protocol(format!("server error: {message}")));
                     }
-                    latencies.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    latencies.record(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                 }
-                Ok::<Vec<u64>, WireError>(latencies)
+                Ok::<HistogramSnapshot, WireError>(latencies)
             };
             let result = run.await;
             // Done is reported on the error path too, or the driver would
@@ -439,10 +427,10 @@ pub fn run_connection_storm(
     let info = Client::connect(addr).and_then(|mut admin| admin.server_info());
     gate.fire();
 
-    let mut latencies_us = Vec::with_capacity(connections * rounds);
+    let mut latency_us = HistogramSnapshot::empty();
     for task in tasks {
         if let Ok(Some(latencies)) = block_on(task) {
-            latencies_us.extend(latencies);
+            latency_us.merge(&latencies);
         }
     }
     if let Some(err) = first_error.lock().take() {
@@ -453,7 +441,7 @@ pub fn run_connection_storm(
     Ok(StormReport {
         connections,
         rounds,
-        latencies_us,
+        latency_us,
         server_threads,
         server_workers,
         server_sessions,
@@ -538,14 +526,19 @@ pub struct ChaosReport {
     /// Errors the fault plan does **not** account for.  The chaos gates
     /// require this to be zero.
     pub unexplained: u64,
-    /// Per-request round-trip samples in microseconds (successful requests
-    /// only, including any internal retry pacing they absorbed).
-    pub latencies_us: Vec<u64>,
+    /// Per-request round-trip latency histogram (successful requests only,
+    /// including any internal retry pacing they absorbed).
+    pub latency_us: HistogramSnapshot,
     /// Wall-clock of the whole run.
     pub wall: Duration,
     /// The server's final statistics (includes the shed counter the server
     /// folds in).
     pub snapshot: StatsSnapshot,
+    /// A `METRICS` exposition scraped **while the storm was still
+    /// running** — the live-observability proof: the scrape was issued
+    /// before any client finished, so its counters reflect a server under
+    /// fire, not a post-mortem.  `None` only if every scrape attempt failed.
+    pub mid_storm_metrics: Option<MetricsSnapshot>,
 }
 
 impl ChaosReport {
@@ -556,18 +549,12 @@ impl ChaosReport {
 
     /// The `q`-quantile (0.0–1.0) of the latency samples, in microseconds.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank]
+        self.latency_us.quantile(q)
     }
 }
 
 /// One chaos client's tallies (the tuple the threads report back).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 struct ChaosTally {
     hits: u64,
     executed: u64,
@@ -577,7 +564,23 @@ struct ChaosTally {
     busy: u64,
     reconnects: u64,
     unexplained: u64,
-    latencies_us: Vec<u64>,
+    latency_us: HistogramSnapshot,
+}
+
+impl Default for ChaosTally {
+    fn default() -> Self {
+        ChaosTally {
+            hits: 0,
+            executed: 0,
+            coalesced: 0,
+            stale: 0,
+            fetch_errors: 0,
+            busy: 0,
+            reconnects: 0,
+            unexplained: 0,
+            latency_us: HistogramSnapshot::empty(),
+        }
+    }
 }
 
 /// Drives a barrier-released storm of retrying clients against the server
@@ -597,7 +600,35 @@ pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport,
     let barrier = Arc::new(Barrier::new(clients));
     let started = Instant::now();
     let mut tallies: Vec<ChaosTally> = Vec::with_capacity(clients);
+    let storm_done = Arc::new(AtomicBool::new(false));
+    let mid_storm_metrics: Arc<Mutex<Option<MetricsSnapshot>>> = Arc::new(Mutex::new(None));
     thread::scope(|scope| {
+        // The mid-storm scraper: a dedicated admin connection polling the
+        // `METRICS` opcode while the clients are still firing.  A scrape is
+        // kept only when it was *issued* before the storm finished, so the
+        // stored exposition is guaranteed to be a picture of a server under
+        // load.
+        {
+            let storm_done = Arc::clone(&storm_done);
+            let slot = Arc::clone(&mid_storm_metrics);
+            let retry = options.retry.clone();
+            let read_timeout = options.read_timeout;
+            scope.spawn(move || {
+                let Ok(mut admin) =
+                    Client::connect_with_retries(addr, 20, Duration::from_millis(20))
+                else {
+                    return;
+                };
+                admin.set_retry_policy(retry);
+                admin.set_read_timeout(Some(read_timeout));
+                while !storm_done.load(Ordering::SeqCst) {
+                    if let Ok(snapshot) = admin.metrics() {
+                        *slot.lock() = Some(snapshot);
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+            });
+        }
         let mut handles = Vec::new();
         for client_index in 0..clients {
             let barrier = Arc::clone(&barrier);
@@ -649,7 +680,7 @@ pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport,
                                 WireSource::Coalesced => tally.coalesced += 1,
                                 WireSource::Stale => tally.stale += 1,
                             }
-                            tally.latencies_us.push(
+                            tally.latency_us.record(
                                 u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX),
                             );
                         }
@@ -675,6 +706,7 @@ pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport,
         for handle in handles {
             tallies.push(handle.join().expect("chaos client thread"));
         }
+        storm_done.store(true, Ordering::SeqCst);
     });
     let wall = started.elapsed();
 
@@ -696,9 +728,10 @@ pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport,
         busy: 0,
         reconnects: 0,
         unexplained: 0,
-        latencies_us: Vec::new(),
+        latency_us: HistogramSnapshot::empty(),
         wall,
         snapshot,
+        mid_storm_metrics: mid_storm_metrics.lock().take(),
     };
     for tally in tallies {
         report.hits += tally.hits;
@@ -709,7 +742,7 @@ pub fn run_chaos_load(addr: &str, options: &ChaosOptions) -> Result<ChaosReport,
         report.busy += tally.busy;
         report.reconnects += tally.reconnects;
         report.unexplained += tally.unexplained;
-        report.latencies_us.extend(tally.latencies_us);
+        report.latency_us.merge(&tally.latency_us);
     }
     Ok(report)
 }

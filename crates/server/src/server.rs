@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use watchman_core::clock::Timestamp;
@@ -53,6 +53,7 @@ use watchman_core::key::QueryKey;
 use watchman_core::runtime::net::{FaultInjector, TcpListener, TcpStream};
 use watchman_core::runtime::{block_on, Runtime};
 use watchman_core::sync::Mutex;
+use watchman_core::telemetry::{self, MetricsSnapshot, TraceKind};
 use watchman_core::value::{CachePayload, ExecutionCost};
 
 use crate::fault::FaultPlan;
@@ -324,12 +325,20 @@ struct Shared {
 struct SessionGuard {
     shared: Arc<Shared>,
     slot: usize,
+    /// Accept-order connection id, echoed in the open/close trace events.
+    conn: u64,
 }
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
         self.shared.shutdown.release_slot(self.slot);
-        self.shared.sessions.fetch_sub(1, Ordering::SeqCst);
+        let remaining = self.shared.sessions.fetch_sub(1, Ordering::SeqCst) - 1;
+        telemetry::global().recorder.record(
+            TraceKind::SessionClose,
+            0,
+            self.conn,
+            remaining as u64,
+        );
     }
 }
 
@@ -465,8 +474,8 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
 /// pool it tears down.
 fn supervise(shared: Arc<Shared>, slot: usize) {
     block_on(poll_fn(|cx| shared.shutdown.poll_wait(slot, cx)));
-    let deadline = Instant::now() + DRAIN_GRACE;
-    while shared.sessions.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+    let deadline = telemetry::now() + DRAIN_GRACE;
+    while shared.sessions.load(Ordering::SeqCst) > 0 && telemetry::now() < deadline {
         thread::sleep(Duration::from_millis(5));
     }
     // Cancels the accept task (closing the listening socket) and any
@@ -492,13 +501,16 @@ async fn accept_task(listener: TcpListener, shared: Arc<Shared>, slot: usize) {
         match accepted {
             None => break,
             Some(Ok((mut stream, _peer))) => {
+                let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
                 if let Some(plan) = &shared.fault {
-                    let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
                     let injector: Arc<dyn FaultInjector> = Arc::clone(plan) as _;
                     stream.install_fault_injector(injector, conn);
                 }
                 let session_slot = shared.shutdown.register_slot();
-                shared.sessions.fetch_add(1, Ordering::SeqCst);
+                let live = shared.sessions.fetch_add(1, Ordering::SeqCst) + 1;
+                telemetry::global()
+                    .recorder
+                    .record(TraceKind::SessionOpen, 0, conn, live as u64);
                 // The guard travels *inside* the spawned future: if the
                 // runtime drops the task without polling it (a shutdown
                 // race), dropping the future still releases the count and
@@ -506,6 +518,7 @@ async fn accept_task(listener: TcpListener, shared: Arc<Shared>, slot: usize) {
                 let guard = SessionGuard {
                     shared: Arc::clone(&shared),
                     slot: session_slot,
+                    conn,
                 };
                 drop(shared.runtime.spawn(serve_session(stream, guard)));
             }
@@ -556,16 +569,27 @@ async fn fill_or_drain(
         Some(limit) if committed => Some(Box::pin(shared.runtime.sleep(limit))),
         _ => None,
     };
-    poll_fn(|cx| match reader.poll_fill(cx, stream) {
+    let started = telemetry::now();
+    let mut stalled = false;
+    let fill = poll_fn(|cx| match reader.poll_fill(cx, stream) {
         Poll::Ready(Ok(0)) => Poll::Ready(Fill::Eof),
         Poll::Ready(Ok(_)) => Poll::Ready(Fill::Bytes),
         Poll::Ready(Err(_)) => Poll::Ready(Fill::Failed),
         Poll::Pending => {
             if let Some(deadline) = read_deadline.as_mut() {
                 if deadline.as_mut().poll(cx).is_ready() {
+                    let telemetry = telemetry::global();
+                    telemetry.slow_loris_evictions.incr();
+                    telemetry.anomaly(
+                        TraceKind::SlowLorisEvict,
+                        0,
+                        reader.buffered() as u64,
+                        telemetry::elapsed_us(started),
+                    );
                     return Poll::Ready(Fill::Failed);
                 }
             }
+            stalled = true;
             if !committed && shared.shutdown.poll_wait(slot, cx).is_ready() {
                 Poll::Ready(Fill::Drained)
             } else {
@@ -573,7 +597,15 @@ async fn fill_or_drain(
             }
         }
     })
-    .await
+    .await;
+    // Only fills that actually suspended count as read stalls; a committed
+    // fill whose bytes were already waiting records nothing.
+    if stalled && committed {
+        telemetry::global()
+            .session_read_stall_us
+            .record(telemetry::elapsed_us(started));
+    }
+    fill
 }
 
 /// Whether [`await_frame`] left a complete frame at the front of the
@@ -800,7 +832,50 @@ async fn handle_request(shared: &Shared, request: Request) -> Response {
             workers: shared.workers as u32,
             sessions: shared.sessions.load(Ordering::SeqCst) as u32,
         },
+        Request::Metrics => Response::Metrics(metrics_snapshot(shared)),
+        Request::TraceDump => Response::TraceDump(telemetry::global().recorder.dump()),
     }
+}
+
+/// Assembles the `METRICS` exposition: the process-global registry plus the
+/// entries only this layer can see — scheduler counters, queue depth, live
+/// sessions, the admission gate, and the engine's fragmentation average
+/// (refreshed by taking a stats snapshot, which also updates the per-shard
+/// occupancy gauges under the shard locks).
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let stats = shared.engine.stats_snapshot();
+    let mut snapshot = telemetry::global().snapshot();
+    let scheduler = shared.runtime.scheduler_stats();
+    snapshot
+        .counters
+        .insert("runtime.scheduler.steals".to_owned(), scheduler.steals);
+    snapshot
+        .counters
+        .insert("runtime.scheduler.parks".to_owned(), scheduler.parks);
+    let mut gauge = |name: &str, value: u64| {
+        snapshot.gauges.insert(name.to_owned(), value);
+    };
+    gauge("runtime.queue_depth", shared.runtime.queue_depth() as u64);
+    gauge("runtime.workers", shared.workers as u64);
+    gauge("runtime.alive_tasks", shared.runtime.alive_tasks() as u64);
+    gauge(
+        "server.sessions",
+        shared.sessions.load(Ordering::SeqCst) as u64,
+    );
+    gauge(
+        "server.inflight",
+        shared.inflight.load(Ordering::SeqCst) as u64,
+    );
+    gauge("server.max_inflight", shared.max_inflight as u64);
+    gauge(
+        "server.service_ewma_us",
+        shared.service_ewma_us.load(Ordering::Relaxed),
+    );
+    gauge(
+        "engine.fragmentation.used_permille",
+        (stats.fragmentation.average_used_fraction() * 1000.0) as u64,
+    );
+    snapshot
 }
 
 /// An admission permit: one slot of [`ServerConfig::max_inflight`], held
@@ -858,6 +933,21 @@ fn retry_after_hint(shared: &Shared) -> u64 {
         .clamp(1_000, 100_000)
 }
 
+/// One shed: the server-local counter (folded into `STATS`), the telemetry
+/// counter, and a `Shed` anomaly trace carrying the refused query's
+/// signature and the hint the client was sent.
+fn record_shed(shared: &Shared, get: &GetRequest, retry_after_us: u64) {
+    shared.sheds.fetch_add(1, Ordering::Relaxed);
+    let telemetry = telemetry::global();
+    telemetry.sheds.incr();
+    telemetry.anomaly(
+        TraceKind::Shed,
+        QueryKey::from_raw_query(&get.key).signature().value(),
+        shared.inflight.load(Ordering::SeqCst) as u64,
+        retry_after_us,
+    );
+}
+
 /// Folds one `GET`'s service time into the EWMA (α = 1/8).
 fn record_service_time(shared: &Shared, service_us: u64) {
     let previous = shared.service_ewma_us.load(Ordering::Relaxed);
@@ -888,20 +978,19 @@ async fn handle_get(shared: &Shared, get: GetRequest) -> Response {
     let _permit = match InflightPermit::try_acquire(shared) {
         Ok(permit) => permit,
         Err(retry_after_us) => {
-            shared.sheds.fetch_add(1, Ordering::Relaxed);
+            record_shed(shared, &get, retry_after_us);
             return Response::Busy { retry_after_us };
         }
     };
     if shared.max_inflight > 0 && get.deadline_hint_us != 0 {
         let estimate = shared.service_ewma_us.load(Ordering::Relaxed);
         if estimate > get.deadline_hint_us {
-            shared.sheds.fetch_add(1, Ordering::Relaxed);
-            return Response::Busy {
-                retry_after_us: retry_after_hint(shared),
-            };
+            let retry_after_us = retry_after_hint(shared);
+            record_shed(shared, &get, retry_after_us);
+            return Response::Busy { retry_after_us };
         }
     }
-    let started = Instant::now();
+    let started = telemetry::now();
     let key = QueryKey::from_raw_query(&get.key);
     let now = Timestamp::from_micros(get.timestamp_us);
     let signature = key.signature().value();

@@ -44,6 +44,8 @@
 //! | 5 | `REBALANCE_NOW` | `timestamp_us: u64` |
 //! | 6 | `SHUTDOWN` | (empty) |
 //! | 7 | `SERVER_INFO` | (empty) |
+//! | 8 | `METRICS` | (empty) |
+//! | 9 | `TRACE_DUMP` | (empty) |
 //!
 //! `GET` carries the replay protocol of the simulator: the key is the raw
 //! query text, and `result_bytes`/`cost_blocks` describe what executing the
@@ -71,6 +73,8 @@
 //! | `REBALANCE_NOW` | `moved: u8`; if 1: `donor: u32`, `recipient: u32`, `moved_bytes: u64`, `evicted: u32` |
 //! | `SHUTDOWN` | (empty) |
 //! | `SERVER_INFO` | `threads: u32`, `workers: u32`, `sessions: u32` |
+//! | `METRICS` | JSON-encoded [`MetricsSnapshot`] string |
+//! | `TRACE_DUMP` | JSON-encoded [`TraceDump`] string |
 //!
 //! ## Error handling rules
 //!
@@ -95,12 +99,13 @@
 //! out of session paths.
 
 use std::fmt;
-use std::future::poll_fn;
+use std::future::{poll_fn, Future};
 use std::io::{self, Read, Write};
 use std::task::{ready, Context, Poll};
 
 use watchman_core::engine::StatsSnapshot;
 use watchman_core::runtime::net::TcpStream as NetStream;
+use watchman_core::telemetry::{MetricsSnapshot, TraceDump};
 
 /// The handshake magic: identifies a WATCHMAN wire connection.
 pub const MAGIC: [u8; 4] = *b"WMAN";
@@ -110,7 +115,10 @@ pub const MAGIC: [u8; 4] = *b"WMAN";
 /// v2 added the failure-domain surface: the `Stale` lookup source (a value
 /// served from the last-known-good store after a failed refetch) and the
 /// `BUSY` response status carrying a retry-after hint (overload shedding).
-pub const VERSION: u16 = 2;
+/// v3 added the telemetry admin surface: `METRICS` (the versioned
+/// [`MetricsSnapshot`] exposition) and `TRACE_DUMP` (the flight recorder's
+/// ring as a [`TraceDump`]).
+pub const VERSION: u16 = 3;
 
 /// Hard upper bound on a frame body; larger length prefixes are treated as
 /// stream corruption and fail the connection.
@@ -289,6 +297,12 @@ pub enum Request {
     /// runtime workers, live sessions).  Load tests use this to prove
     /// sessions are tasks, not threads.
     ServerInfo,
+    /// Fetch the process-wide telemetry exposition: every counter, gauge
+    /// and latency histogram as one versioned [`MetricsSnapshot`].
+    Metrics,
+    /// Dump the flight recorder's trace-event ring (newest events, oldest
+    /// first).
+    TraceDump,
 }
 
 /// Where a [`Response::Get`] value came from (mirror of
@@ -383,6 +397,10 @@ pub enum Response {
         /// Sessions (connections) currently live.
         sessions: u32,
     },
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsSnapshot),
+    /// Answer to [`Request::TraceDump`].
+    TraceDump(TraceDump),
     /// The server failed the request (unknown opcode, internal panic, …).
     Error {
         /// Human-readable failure description.
@@ -805,8 +823,28 @@ impl FrameWriter {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let result = stream.write_all_vectored(&[&self.buf]).await;
+        let started = watchman_core::telemetry::now();
+        let mut stalled = false;
+        let result = {
+            let bufs = [self.buf.as_slice()];
+            let mut write = std::pin::pin!(stream.write_all_vectored(&bufs));
+            poll_fn(|cx| match write.as_mut().poll(cx) {
+                Poll::Pending => {
+                    stalled = true;
+                    Poll::Pending
+                }
+                ready => ready,
+            })
+            .await
+        };
         self.buf.clear();
+        // Only flushes the peer's receive window actually suspended count
+        // as write stalls; the common one-poll flush records nothing.
+        if stalled {
+            watchman_core::telemetry::global()
+                .session_write_stall_us
+                .record(watchman_core::telemetry::elapsed_us(started));
+        }
         result
     }
 }
@@ -917,6 +955,8 @@ const OP_INVALIDATE: u8 = 4;
 const OP_REBALANCE_NOW: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
 const OP_SERVER_INFO: u8 = 7;
+const OP_METRICS: u8 = 8;
+const OP_TRACE_DUMP: u8 = 9;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
@@ -982,6 +1022,8 @@ pub fn encode_request_into(out: &mut Vec<u8>, request_id: u64, request: &Request
         }
         Request::Shutdown => put_u8(out, OP_SHUTDOWN),
         Request::ServerInfo => put_u8(out, OP_SERVER_INFO),
+        Request::Metrics => put_u8(out, OP_METRICS),
+        Request::TraceDump => put_u8(out, OP_TRACE_DUMP),
     }
 }
 
@@ -1012,6 +1054,8 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), WireError> {
         },
         OP_SHUTDOWN => Request::Shutdown,
         OP_SERVER_INFO => Request::ServerInfo,
+        OP_METRICS => Request::Metrics,
+        OP_TRACE_DUMP => Request::TraceDump,
         opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
     };
     reader.finish()?;
@@ -1111,6 +1155,18 @@ pub fn encode_response_into(
             put_u32(out, *workers);
             put_u32(out, *sessions);
         }
+        Response::Metrics(snapshot) => {
+            put_u8(out, OP_METRICS);
+            let json = serde_json::to_string(snapshot)
+                .map_err(|err| WireError::Protocol(format!("metrics serialization: {err}")))?;
+            put_str(out, &json);
+        }
+        Response::TraceDump(dump) => {
+            put_u8(out, OP_TRACE_DUMP);
+            let json = serde_json::to_string(dump)
+                .map_err(|err| WireError::Protocol(format!("trace serialization: {err}")))?;
+            put_str(out, &json);
+        }
         Response::Error { .. } | Response::Busy { .. } => unreachable!("handled above"),
     }
     Ok(())
@@ -1188,6 +1244,18 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), WireError> {
                     workers: reader.u32("SERVER_INFO workers")?,
                     sessions: reader.u32("SERVER_INFO sessions")?,
                 },
+                OP_METRICS => {
+                    let json = reader.string("METRICS body")?;
+                    let snapshot: MetricsSnapshot = serde_json::from_str(&json)
+                        .map_err(|err| WireError::Protocol(format!("metrics parse: {err}")))?;
+                    Response::Metrics(snapshot)
+                }
+                OP_TRACE_DUMP => {
+                    let json = reader.string("TRACE_DUMP body")?;
+                    let dump: TraceDump = serde_json::from_str(&json)
+                        .map_err(|err| WireError::Protocol(format!("trace parse: {err}")))?;
+                    Response::TraceDump(dump)
+                }
                 opcode => return Err(WireError::UnknownOpcode { opcode, request_id }),
             }
         }
@@ -1255,6 +1323,8 @@ mod tests {
         round_trip_request(Request::RebalanceNow { timestamp_us: 42 });
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::ServerInfo);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::TraceDump);
     }
 
     #[test]
@@ -1303,6 +1373,59 @@ mod tests {
             retry_after_us: 2_500,
         });
         round_trip_response(Response::Busy { retry_after_us: 0 });
+    }
+
+    #[test]
+    fn telemetry_responses_round_trip() {
+        use watchman_core::telemetry::{HistogramSnapshot, TraceEvent, METRICS_SCHEMA_VERSION};
+
+        let mut histogram = HistogramSnapshot::empty();
+        histogram.record(3);
+        histogram.record(1_024);
+        histogram.record(250_000);
+        let mut snapshot = MetricsSnapshot {
+            schema: METRICS_SCHEMA_VERSION,
+            uptime_us: 1_234_567,
+            counters: Default::default(),
+            gauges: Default::default(),
+            histograms: Default::default(),
+        };
+        snapshot.counters.insert("fetch_retries".to_owned(), 7);
+        snapshot.gauges.insert("shard_count".to_owned(), 4);
+        snapshot
+            .histograms
+            .insert("lookup_hit_us".to_owned(), histogram);
+        round_trip_response(Response::Metrics(snapshot));
+
+        round_trip_response(Response::TraceDump(TraceDump {
+            schema: METRICS_SCHEMA_VERSION,
+            recorded: 43,
+            events: vec![TraceEvent {
+                seq: 42,
+                ts_us: 1_234_567,
+                kind: "fetch_retry".to_owned(),
+                key: 0xDEAD_BEEF,
+                a: 2,
+                b: 15_000,
+            }],
+        }));
+        round_trip_response(Response::TraceDump(TraceDump {
+            schema: METRICS_SCHEMA_VERSION,
+            recorded: 0,
+            events: Vec::new(),
+        }));
+    }
+
+    #[test]
+    fn telemetry_opcodes_use_the_v3_code_points() {
+        // Opcode byte values are a protocol contract: METRICS is 8,
+        // TRACE_DUMP is 9, both with empty request payloads.
+        let metrics = encode_request(1, &Request::Metrics);
+        assert_eq!(metrics[8], 8, "METRICS is opcode 8");
+        assert_eq!(metrics.len(), 9, "METRICS request has no payload");
+        let trace = encode_request(1, &Request::TraceDump);
+        assert_eq!(trace[8], 9, "TRACE_DUMP is opcode 9");
+        assert_eq!(trace.len(), 9, "TRACE_DUMP request has no payload");
     }
 
     #[test]

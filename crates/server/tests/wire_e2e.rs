@@ -15,6 +15,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use watchman_core::engine::{PolicyKind, RebalanceConfig, Watchman};
+use watchman_core::telemetry::{MetricsSnapshot, METRICS_SCHEMA_VERSION};
 use watchman_core::value::SizedPayload;
 use watchman_server::wire::{self, Request, Response};
 use watchman_server::{
@@ -111,6 +112,93 @@ fn storm_executes_each_missed_key_exactly_once_across_connections() {
     assert!(
         snapshot.total.coalesced > 0,
         "no cross-connection coalescing observed"
+    );
+    server.join();
+}
+
+#[test]
+fn metrics_exposition_and_trace_dump_move_under_traffic() {
+    const KEYS: u64 = 16;
+    let server = test_server(64 << 20, 4);
+    let addr = server.addr().to_string();
+    let mut admin = Client::connect(addr.clone()).expect("admin connects");
+    let before = admin.metrics().expect("METRICS before traffic");
+    assert_eq!(before.schema, METRICS_SCHEMA_VERSION);
+
+    // Two sweeps over the same keys: the first executes every key, the
+    // second is all served hits.  The registry is process-global and other
+    // tests in this binary record into it concurrently, so every assertion
+    // below is a monotonic delta (>=), never an exact count.
+    let mut client = Client::connect(addr).expect("client connects");
+    for round in 0..2u64 {
+        for key_index in 0..KEYS {
+            client
+                .get(GetRequest::metrics_only(
+                    format!("SELECT telemetry FROM relation{key_index}"),
+                    round * KEYS + key_index + 1,
+                    1_024,
+                    700,
+                ))
+                .expect("traffic get");
+        }
+    }
+
+    let after = admin.metrics().expect("METRICS after traffic");
+    let lookups = |snapshot: &MetricsSnapshot, name: &str| {
+        snapshot
+            .histogram(name)
+            .map_or(0, |histogram| histogram.count)
+    };
+    assert!(
+        lookups(&after, "engine.lookup.executed_us")
+            >= lookups(&before, "engine.lookup.executed_us") + KEYS,
+        "first sweep must have recorded {KEYS} executed-lookup latencies"
+    );
+    assert!(
+        lookups(&after, "engine.lookup.hit_us") >= lookups(&before, "engine.lookup.hit_us") + KEYS,
+        "second sweep must have recorded {KEYS} hit latencies"
+    );
+    // The server layer fills these in at exposition time: both connections
+    // of this test are open sessions, and the poll histogram moved because
+    // serving the sweeps polled session tasks.
+    assert!(after.gauge("server.sessions") >= 2);
+    assert!(after.gauge("runtime.workers") > 0);
+    assert!(
+        lookups(&after, "runtime.task.poll_us") > lookups(&before, "runtime.task.poll_us"),
+        "serving traffic must record task polls"
+    );
+    // Occupancy gauges refresh under the shard locks during the scrape; the
+    // executed sweep inserted ~16 KiB, so some shard must show bytes.
+    assert!(after.gauge("engine.shard_count") == 4);
+    assert!(
+        (0..4).any(|shard| after.gauge(&format!("engine.shard.{shard:02}.used_bytes")) > 0),
+        "at least one shard gauge must show occupancy after the inserts"
+    );
+    // The paper's tertiary metric rides the same exposition.  At 64 MiB
+    // capacity this test's ~32 KiB of inserts round to 0 permille, so the
+    // nonzero proof lives in the chaos scorecard gate; here we pin that the
+    // gauge is exported at all.
+    assert!(
+        after
+            .gauges
+            .contains_key("engine.fragmentation.used_permille"),
+        "fragmentation gauge missing from the exposition"
+    );
+
+    let dump = admin.trace_dump().expect("TRACE_DUMP");
+    assert_eq!(dump.schema, METRICS_SCHEMA_VERSION);
+    assert!(dump.recorded > 0, "the flight recorder must be always-on");
+    assert!(!dump.events.is_empty());
+    assert!(
+        dump.events
+            .iter()
+            .any(|event| event.kind == "session_open" || event.kind == "lookup_executed"),
+        "the ring must hold session/lookup events from this test's traffic"
+    );
+    // Events are dumped oldest-first with strictly increasing sequence.
+    assert!(
+        dump.events.windows(2).all(|pair| pair[0].seq < pair[1].seq),
+        "trace events must come out in sequence order"
     );
     server.join();
 }
@@ -344,7 +432,15 @@ fn admin_opcodes_peek_without_perturbing_and_invalidate_by_relation() {
         assert_eq!(client.peek(query).expect("peek"), Some(512));
         assert_eq!(client.peek("SELECT nothing FROM nowhere").unwrap(), None);
     }
-    let after = client.stats().expect("stats after");
+    let mut after = client.stats().expect("stats after");
+    // Each STATS scrape records one fragmentation sample by design; PEEK
+    // must not change the occupancy the samples measure.
+    assert_eq!(
+        after.fragmentation.average_used_fraction(),
+        before.fragmentation.average_used_fraction(),
+        "PEEK must not change occupancy"
+    );
+    after.fragmentation = before.fragmentation.clone();
     assert_eq!(before, after, "PEEK must not perturb the snapshot");
 
     // A warehouse update lands on LINEITEM: the dependent set is gone.

@@ -76,6 +76,7 @@
 
 pub use watchman_buffer as buffer;
 pub use watchman_core as core;
+pub use watchman_core::telemetry;
 pub use watchman_server as server;
 pub use watchman_sim as sim;
 pub use watchman_trace as trace;
